@@ -1,0 +1,146 @@
+//! Scaling benches for the numerical kernels underneath the engines:
+//! Poisson layers, the Omega recursion, sparse matrix–vector products,
+//! BSCC decomposition, and whole-engine scaling on the breakdown queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrmc_ctmc::bscc::SccDecomposition;
+use mrmc_ctmc::poisson::{pmf, FoxGlynn, Weights};
+use mrmc_models::cluster::{cluster, ClusterConfig};
+use mrmc_models::queue::{queue, QueueConfig};
+use mrmc_models::random::{random_mrm, RandomMrmConfig};
+use mrmc_numerics::omega::OmegaEvaluator;
+use mrmc_numerics::uniformization::{until_probability, UniformOptions};
+
+fn bench_poisson(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson");
+    for lt in [5.0, 50.0, 500.0] {
+        group.bench_with_input(BenchmarkId::new("fox_glynn", lt), &lt, |b, &lt| {
+            b.iter(|| FoxGlynn::new(lt, 1e-10).weights().len())
+        });
+        group.bench_with_input(BenchmarkId::new("recursion_100", lt), &lt, |b, &lt| {
+            b.iter(|| Weights::new(lt).take(100).sum::<f64>())
+        });
+        group.bench_with_input(BenchmarkId::new("log_pmf_100", lt), &lt, |b, &lt| {
+            b.iter(|| (0..100u64).map(|n| pmf(lt, n)).sum::<f64>())
+        });
+    }
+    group.finish();
+}
+
+fn bench_omega(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omega_recursion");
+    group.sample_size(20);
+    for n in [8u32, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("cold_cache", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut o = OmegaEvaluator::new(vec![5.0, 3.0, 1.0, 0.0]).unwrap();
+                o.evaluate(1.7, &[n / 4, n / 4, n / 4, n / 4])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("warm_cache", n), &n, |b, &n| {
+            let mut o = OmegaEvaluator::new(vec![5.0, 3.0, 1.0, 0.0]).unwrap();
+            let counts = [n / 4, n / 4, n / 4, n / 4];
+            o.evaluate(1.7, &counts);
+            b.iter(|| o.evaluate(1.7, &counts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_and_bscc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_kernels");
+    group.sample_size(20);
+    for states in [100usize, 1000] {
+        let cfg = RandomMrmConfig {
+            states,
+            extra_transitions_per_state: 3.0,
+            ..RandomMrmConfig::default()
+        };
+        let m = random_mrm(42, &cfg);
+        let rates = m.ctmc().rates().clone();
+        let x = vec![1.0 / states as f64; states];
+        group.bench_with_input(BenchmarkId::new("vec_mul", states), &rates, |b, r| {
+            b.iter(|| r.vec_mul(&x))
+        });
+        group.bench_with_input(BenchmarkId::new("bscc", states), &rates, |b, r| {
+            b.iter(|| SccDecomposition::new(r).num_components())
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("queue_until_scaling");
+    group.sample_size(10);
+    for k in [4usize, 8, 16] {
+        let config = QueueConfig::new(k);
+        let m = queue(&config);
+        let phi = vec![true; m.num_states()];
+        let psi = m.labeling().states_with("full");
+        let start = config.up_state(0);
+        group.bench_with_input(BenchmarkId::new("uniformization", k), &k, |b, _| {
+            b.iter(|| {
+                until_probability(
+                    &m,
+                    &phi,
+                    &psi,
+                    2.0,
+                    25.0,
+                    start,
+                    UniformOptions::new().with_truncation(1e-7),
+                )
+                .unwrap()
+                .probability
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster_scaling(c: &mut Criterion) {
+    // Whole-pipeline scaling on the cluster model: steady state and the
+    // reward-blind baseline until, across state-space sizes.
+    let mut group = c.benchmark_group("cluster_scaling");
+    group.sample_size(10);
+    for n in [2usize, 4, 8] {
+        let config = ClusterConfig::new(n);
+        let m = cluster(&config);
+        let states = m.num_states();
+        let phi = vec![true; states];
+        let psi = m.labeling().states_with("down");
+        group.bench_with_input(
+            BenchmarkId::new("baseline_until_t24", states),
+            &m,
+            |b, m| {
+                b.iter(|| {
+                    mrmc_numerics::baseline::until_time_bounded(m, &phi, &psi, 24.0, 1e-9)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("steady_state", states),
+            &m,
+            |b, m| {
+                b.iter(|| {
+                    mrmc_ctmc::steady::steady_state_strongly_connected(
+                        m.ctmc(),
+                        mrmc_sparse::solver::SolverOptions::new().with_tolerance(1e-9),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_poisson,
+    bench_omega,
+    bench_sparse_and_bscc,
+    bench_queue_scaling,
+    bench_cluster_scaling
+);
+criterion_main!(benches);

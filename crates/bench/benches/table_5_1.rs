@@ -1,0 +1,38 @@
+//! Criterion bench for Table 5.1: discretization on the phone model
+//! (state rewards only), one benchmark per step size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_models::phone;
+use mrmc_numerics::discretization::{self, DiscretizationOptions};
+
+fn bench(c: &mut Criterion) {
+    let m = phone::phone();
+    let phi: Vec<bool> = (0..m.num_states())
+        .map(|s| m.labeling().has(s, "Call_Idle") || m.labeling().has(s, "Doze"))
+        .collect();
+    let psi = m.labeling().states_with("Call_Initiated");
+
+    let mut group = c.benchmark_group("table_5_1_discretization");
+    group.sample_size(10);
+    for denom in [16u32, 32] {
+        group.bench_function(format!("d=1/{denom}"), |b| {
+            b.iter(|| {
+                discretization::until_probability(
+                    &m,
+                    &phi,
+                    &psi,
+                    24.0,
+                    600.0,
+                    phone::DOZE,
+                    DiscretizationOptions::with_step(1.0 / f64::from(denom)),
+                )
+                .unwrap()
+                .probability
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

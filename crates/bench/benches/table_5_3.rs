@@ -1,0 +1,22 @@
+//! Criterion bench for Table 5.3: TMR(3) uniformization at constant
+//! truncation probability `w = 1e-11`, one benchmark per mission time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_bench::tables;
+use mrmc_models::tmr::{tmr, TmrConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let mut group = c.benchmark_group("table_5_3_constant_w");
+    group.sample_size(10);
+    for t in [100.0, 300.0, 500.0] {
+        group.bench_function(format!("t={t}"), |b| {
+            b.iter(|| tables::tmr_until_row(&m, &config, t, 1e-11).probability)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

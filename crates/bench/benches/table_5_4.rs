@@ -1,0 +1,22 @@
+//! Criterion bench for Table 5.4: TMR(3) uniformization with the
+//! error-maintaining `(t, w)` schedule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_bench::tables;
+use mrmc_models::tmr::{tmr, TmrConfig};
+
+fn bench(c: &mut Criterion) {
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let mut group = c.benchmark_group("table_5_4_maintained_error");
+    group.sample_size(10);
+    for (t, w) in [(200.0, 1e-8), (400.0, 1e-11), (500.0, 1e-13)] {
+        group.bench_function(format!("t={t}_w={w:.0e}"), |b| {
+            b.iter(|| tables::tmr_until_row(&m, &config, t, w).probability)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

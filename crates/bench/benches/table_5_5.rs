@@ -1,0 +1,39 @@
+//! Criterion bench for Table 5.5 / Figure 5.4: reaching full operation in
+//! the 11-module system (constant failure rates), per starting state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_bench::tables::thesis_lambda;
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_numerics::uniformization::{until_probability, UniformOptions};
+
+fn bench(c: &mut Criterion) {
+    let config = TmrConfig::with_modules(11);
+    let m = tmr(&config);
+    let phi = vec![true; m.num_states()];
+    let psi = m.labeling().states_with("allUp");
+    let lambda = thesis_lambda(&m, &phi, &psi);
+
+    let mut group = c.benchmark_group("table_5_5_constant_rates");
+    group.sample_size(10);
+    for n in [0usize, 5, 10] {
+        group.bench_function(format!("n={n}"), |b| {
+            b.iter(|| {
+                until_probability(
+                    &m,
+                    &phi,
+                    &psi,
+                    100.0,
+                    2000.0,
+                    config.state_with_working(n),
+                    UniformOptions::new().with_truncation(1e-8).with_lambda(lambda),
+                )
+                .unwrap()
+                .probability
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

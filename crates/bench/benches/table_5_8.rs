@@ -1,0 +1,38 @@
+//! Criterion bench for Table 5.8: discretization on the TMR model with
+//! `d = 0.25`, per mission time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_bench::tables::tmr_dependability_sets;
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_numerics::discretization::{until_probability, DiscretizationOptions};
+
+fn bench(c: &mut Criterion) {
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let (phi, psi) = tmr_dependability_sets(&m);
+    let start = config.state_with_working(3);
+
+    let mut group = c.benchmark_group("table_5_8_discretization");
+    group.sample_size(10);
+    for t in [50.0, 200.0] {
+        group.bench_function(format!("t={t}"), |b| {
+            b.iter(|| {
+                until_probability(
+                    &m,
+                    &phi,
+                    &psi,
+                    t,
+                    3000.0,
+                    start,
+                    DiscretizationOptions::with_step(0.25),
+                )
+                .unwrap()
+                .probability
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! The `mrmc` command-line model checker, mirroring the thesis tool's
+//! interface (Appendix: Usage Manual):
+//!
+//! ```text
+//! mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [NP]
+//! ```
+//!
+//! * `u=<w>` — use uniformization with truncation probability `w` for
+//!   reward-bounded until formulas (default: `u=1e-8`);
+//! * `d=<d>` — use discretization with step `d` instead;
+//! * `s=<n>` — use Monte-Carlo simulation with `n` samples (statistical
+//!   estimate, no deterministic error bound);
+//! * `NP` — print only the satisfying states, not the computed
+//!   probabilities.
+//!
+//! Formulas are read from standard input, one per line; empty lines and
+//! `%`-comments are skipped. States are printed 1-indexed, matching the
+//! model file format.
+
+use std::io::BufRead;
+use std::process::ExitCode;
+
+use mrmc::{CheckOptions, ModelChecker, UntilEngine};
+
+#[derive(Debug)]
+struct Cli {
+    tra: String,
+    lab: String,
+    rewr: String,
+    rewi: String,
+    engine: UntilEngine,
+    print_probabilities: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [NP]\n\
+     \n\
+     Reads CSRL formulas from stdin, one per line, e.g.\n\
+     \x20 P(>= 0.3) [a U[0,3][0,23] b]\n\
+     \x20 S(> 0.5) (up)\n\
+     \n\
+     u=<w>  uniformization with path truncation probability w (default u=1e-8)\n\
+     d=<d>  discretization with step size d\n\
+     s=<n>  Monte-Carlo simulation with n samples (statistical estimate)\n\
+     NP     suppress the computed probabilities"
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    if args.len() < 4 {
+        return Err(usage().to_string());
+    }
+    let mut cli = Cli {
+        tra: args[0].clone(),
+        lab: args[1].clone(),
+        rewr: args[2].clone(),
+        rewi: args[3].clone(),
+        engine: UntilEngine::default(),
+        print_probabilities: true,
+    };
+    for arg in &args[4..] {
+        if arg == "NP" {
+            cli.print_probabilities = false;
+        } else if let Some(w) = arg.strip_prefix("u=") {
+            let w: f64 = w
+                .parse()
+                .map_err(|_| format!("invalid truncation probability `{w}`"))?;
+            cli.engine = UntilEngine::uniformization(w);
+        } else if let Some(d) = arg.strip_prefix("d=") {
+            let d: f64 = d
+                .parse()
+                .map_err(|_| format!("invalid discretization step `{d}`"))?;
+            cli.engine = UntilEngine::discretization(d);
+        } else if let Some(n) = arg.strip_prefix("s=") {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| format!("invalid sample count `{n}`"))?;
+            cli.engine = UntilEngine::simulation(n);
+        } else {
+            return Err(format!("unrecognized argument `{arg}`\n\n{}", usage()));
+        }
+    }
+    Ok(cli)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let cli = parse_args(&args)?;
+
+    let mrm = mrmc_mrm::io::load_model(&cli.tra, &cli.lab, &cli.rewr, &cli.rewi)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "loaded model: {} states, {} transitions, {} impulse rewards",
+        mrm.num_states(),
+        mrm.ctmc().rates().nnz(),
+        mrm.impulse_rewards().len()
+    );
+
+    let options = CheckOptions::new().with_engine(cli.engine);
+    let checker = ModelChecker::new(mrm, options);
+
+    let stdin = std::io::stdin();
+    let mut any_error = false;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let text = match line.find('%') {
+            Some(i) => line[..i].trim(),
+            None => line.trim(),
+        };
+        if text.is_empty() {
+            continue;
+        }
+        println!("formula: {text}");
+        match checker.check_str(text) {
+            Ok(outcome) => {
+                let states: Vec<String> = outcome
+                    .satisfying_states()
+                    .map(|s| (s + 1).to_string())
+                    .collect();
+                if states.is_empty() {
+                    println!("  satisfied by: (no states)");
+                } else {
+                    println!("  satisfied by: {}", states.join(" "));
+                }
+                if cli.print_probabilities {
+                    if let Some(probs) = outcome.probabilities() {
+                        for (s, p) in probs.iter().enumerate() {
+                            match outcome.error_bounds() {
+                                Some(errs) => println!(
+                                    "  state {}: P = {:.12} (error bound {:.3e})",
+                                    s + 1,
+                                    p,
+                                    errs[s]
+                                ),
+                                None => println!("  state {}: P = {:.12}", s + 1, p),
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                println!("  error: {e}");
+                any_error = true;
+            }
+        }
+    }
+    if any_error {
+        Err("one or more formulas failed".to_string())
+    } else {
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn minimal_invocation_defaults_to_uniformization() {
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi"])).unwrap();
+        assert_eq!(cli.tra, "a.tra");
+        assert_eq!(cli.rewi, "a.rewi");
+        assert!(cli.print_probabilities);
+        match cli.engine {
+            UntilEngine::Uniformization(u) => assert_eq!(u.truncation, 1e-8),
+            _ => panic!("expected uniformization"),
+        }
+    }
+
+    #[test]
+    fn engine_switches_parse() {
+        let cli =
+            parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "u=1e-11"])).unwrap();
+        match cli.engine {
+            UntilEngine::Uniformization(u) => assert_eq!(u.truncation, 1e-11),
+            _ => panic!("expected uniformization"),
+        }
+        let cli =
+            parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "d=0.25"])).unwrap();
+        match cli.engine {
+            UntilEngine::Discretization(d) => assert_eq!(d.step, 0.25),
+            _ => panic!("expected discretization"),
+        }
+    }
+
+    #[test]
+    fn simulation_switch_parses() {
+        let cli =
+            parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "s=5000"])).unwrap();
+        match cli.engine {
+            UntilEngine::Simulation(s) => assert_eq!(s.samples, 5000),
+            _ => panic!("expected simulation"),
+        }
+        assert!(parse_args(&args(&["a", "b", "c", "d", "s=-3"])).is_err());
+    }
+
+    #[test]
+    fn np_flag_suppresses_probabilities() {
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "NP"])).unwrap();
+        assert!(!cli.print_probabilities);
+    }
+
+    #[test]
+    fn missing_files_show_usage() {
+        let e = parse_args(&args(&["a.tra"])).unwrap_err();
+        assert!(e.contains("usage:"));
+    }
+
+    #[test]
+    fn bad_switches_are_rejected() {
+        assert!(parse_args(&args(&["a", "b", "c", "d", "u=potato"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c", "d", "d=x"])).is_err());
+        let e = parse_args(&args(&["a", "b", "c", "d", "--frob"])).unwrap_err();
+        assert!(e.contains("--frob"));
+    }
+}

@@ -1,0 +1,117 @@
+//! The checker's error type.
+
+use std::error::Error;
+use std::fmt;
+
+use mrmc_csrl::ParseError;
+use mrmc_ctmc::ModelError;
+use mrmc_mrm::MrmError;
+use mrmc_numerics::NumericsError;
+
+/// An error raised while checking a formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckError {
+    /// The formula text failed to parse.
+    Parse(ParseError),
+    /// An atomic proposition does not occur in the model's labeling.
+    ///
+    /// This is a warning-grade condition in some tools; this checker
+    /// reports it as an error because a typo silently yields `ff`.
+    UnknownProposition {
+        /// The unmatched proposition.
+        name: String,
+    },
+    /// The requested bounds fall outside what the numerical engines
+    /// support (time/reward intervals must be of the form `[0, x]`; see
+    /// Section 4.6 and Chapter 6 of the thesis).
+    UnsupportedBounds {
+        /// Which bound was out of scope.
+        what: &'static str,
+    },
+    /// A numerical engine failed.
+    Numerics(NumericsError),
+    /// A chain-level analysis failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Parse(e) => write!(f, "{e}"),
+            CheckError::UnknownProposition { name } => {
+                write!(f, "atomic proposition `{name}` does not label any state")
+            }
+            CheckError::UnsupportedBounds { what } => write!(
+                f,
+                "unsupported {what}: only [0, t] time and [0, r] reward bounds are supported for until formulas"
+            ),
+            CheckError::Numerics(e) => write!(f, "{e}"),
+            CheckError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CheckError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CheckError::Parse(e) => Some(e),
+            CheckError::Numerics(e) => Some(e),
+            CheckError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for CheckError {
+    fn from(e: ParseError) -> Self {
+        CheckError::Parse(e)
+    }
+}
+
+impl From<NumericsError> for CheckError {
+    fn from(e: NumericsError) -> Self {
+        // Normalize the numerics-level unsupported-bounds report.
+        if let NumericsError::UnsupportedBounds { what } = e {
+            CheckError::UnsupportedBounds { what }
+        } else {
+            CheckError::Numerics(e)
+        }
+    }
+}
+
+impl From<ModelError> for CheckError {
+    fn from(e: ModelError) -> Self {
+        CheckError::Model(e)
+    }
+}
+
+impl From<MrmError> for CheckError {
+    fn from(e: MrmError) -> Self {
+        CheckError::Numerics(NumericsError::Model(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CheckError::UnknownProposition { name: "buzy".into() };
+        assert!(e.to_string().contains("buzy"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let e = CheckError::UnsupportedBounds { what: "time lower bound" };
+        assert!(e.to_string().contains("[0, t]"));
+
+        let e: CheckError = mrmc_csrl::parse("a &&").unwrap_err().into();
+        assert!(matches!(e, CheckError::Parse(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: CheckError = NumericsError::UnsupportedBounds { what: "x" }.into();
+        assert!(matches!(e, CheckError::UnsupportedBounds { what: "x" }));
+
+        let e: CheckError = ModelError::EmptyModel.into();
+        assert!(e.to_string().contains("no states"));
+    }
+}

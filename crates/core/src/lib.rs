@@ -1,0 +1,107 @@
+//! `mrmc` — a CSRL model checker for Markov reward models with impulse
+//! rewards.
+//!
+//! This crate is the primary contribution of *Model Checking Markov Reward
+//! Models with Impulse Rewards* (Khattri & Pulungan, 2004 / DSN 2005): given
+//! an [`Mrm`] and a CSRL formula, it computes the set of
+//! states satisfying the formula, together with the computed probabilities
+//! and error bounds.
+//!
+//! The checking procedure (Chapter 4) is a post-order traversal of the
+//! formula (Algorithm 4.1) dispatching to:
+//!
+//! * steady-state formulas — BSCC analysis, per-BSCC steady-state solves,
+//!   and reachability weighting (Algorithm 4.3);
+//! * next formulas — the closed form of Eq. 3.4 over the `K(s, s')`
+//!   intervals (Algorithm 4.4);
+//! * until formulas — the make-absorbing transformation (Theorems 4.1–4.3)
+//!   followed by one of two engines (Algorithm 4.5): uniformization with
+//!   depth-first path generation, or discretization.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mrmc::{ModelChecker, CheckOptions};
+//! use mrmc_ctmc::CtmcBuilder;
+//! use mrmc_mrm::Mrm;
+//!
+//! // A two-state chain: up --(0.1)--> down, down --(0.9)--> up.
+//! let mut b = CtmcBuilder::new(2);
+//! b.transition(0, 1, 0.1).transition(1, 0, 0.9);
+//! b.label(0, "up").label(1, "down");
+//! let mrm = Mrm::without_rewards(b.build()?);
+//!
+//! let checker = ModelChecker::new(mrm, CheckOptions::new());
+//! // Long-run availability is 0.9: every state satisfies S(>= 0.85)(up).
+//! let outcome = checker.check_str("S(>= 0.85) (up)")?;
+//! assert!(outcome.satisfying_states().all(|s| s < 2));
+//! assert_eq!(outcome.sat(), &[true, true]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod next;
+mod options;
+mod outcome;
+mod sat;
+mod steady;
+mod until;
+pub mod witness;
+
+pub use error::CheckError;
+pub use next::next_probabilities;
+pub use options::{CheckOptions, UntilEngine};
+pub use outcome::CheckOutcome;
+pub use until::{until_probabilities, UntilAnalysis};
+pub use witness::{most_probable_witness, Witness};
+
+use mrmc_csrl::StateFormula;
+use mrmc_mrm::Mrm;
+
+/// A model checker bound to one model and one set of numerical options.
+#[derive(Debug, Clone)]
+pub struct ModelChecker {
+    mrm: Mrm,
+    options: CheckOptions,
+}
+
+impl ModelChecker {
+    /// Create a checker for `mrm` with the given options.
+    pub fn new(mrm: Mrm, options: CheckOptions) -> Self {
+        ModelChecker { mrm, options }
+    }
+
+    /// The model being checked.
+    pub fn mrm(&self) -> &Mrm {
+        &self.mrm
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &CheckOptions {
+        &self.options
+    }
+
+    /// Compute `Sat(Φ)` for a parsed formula.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError`] for unsupported bounds, unknown atomic propositions
+    /// (reported with their name), or numerical failures.
+    pub fn check(&self, formula: &StateFormula) -> Result<CheckOutcome, CheckError> {
+        sat::satisfy(&self.mrm, &self.options, formula)
+    }
+
+    /// Parse and check a formula given in concrete syntax.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::Parse`] for syntax errors, otherwise as
+    /// [`check`](ModelChecker::check).
+    pub fn check_str(&self, formula: &str) -> Result<CheckOutcome, CheckError> {
+        let parsed = mrmc_csrl::parse(formula)?;
+        self.check(&parsed)
+    }
+}

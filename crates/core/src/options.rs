@@ -1,0 +1,113 @@
+//! Checker configuration.
+
+use mrmc_numerics::discretization::DiscretizationOptions;
+use mrmc_numerics::monte_carlo::SimulationOptions;
+use mrmc_numerics::uniformization::UniformOptions;
+use mrmc_sparse::solver::SolverOptions;
+
+/// Which engine evaluates time- and reward-bounded until formulas
+/// (the `[u|d] = f` switch of the thesis tool's command line).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UntilEngine {
+    /// Uniformization with depth-first path generation and the given
+    /// truncation probability `w` (Section 4.6). The tool's default with
+    /// `w = 1e-8`.
+    Uniformization(UniformOptions),
+    /// Discretization with the given step `d` (Section 4.5).
+    Discretization(DiscretizationOptions),
+    /// Monte-Carlo simulation (beyond the paper): a statistical *estimate*
+    /// with no deterministic error bound — probability-bound verdicts near
+    /// the bound are unreliable. Intended for validation and for models too
+    /// large for the exact engines.
+    Simulation(SimulationOptions),
+}
+
+impl UntilEngine {
+    /// Uniformization with truncation probability `w`.
+    pub fn uniformization(w: f64) -> Self {
+        UntilEngine::Uniformization(UniformOptions::new().with_truncation(w))
+    }
+
+    /// Discretization with step `d`.
+    pub fn discretization(d: f64) -> Self {
+        UntilEngine::Discretization(DiscretizationOptions::with_step(d))
+    }
+
+    /// Monte-Carlo simulation with the given sample count.
+    pub fn simulation(samples: u64) -> Self {
+        UntilEngine::Simulation(SimulationOptions::with_samples(samples))
+    }
+}
+
+impl Default for UntilEngine {
+    fn default() -> Self {
+        UntilEngine::Uniformization(UniformOptions::new())
+    }
+}
+
+/// Options steering the model checker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckOptions {
+    /// Engine for reward-bounded until formulas.
+    pub until_engine: UntilEngine,
+    /// Linear-solver controls for steady-state and unbounded reachability.
+    pub solver: SolverOptions,
+    /// Truncation error for the Fox–Glynn baseline used on until formulas
+    /// without reward bounds.
+    pub transient_epsilon: f64,
+}
+
+impl CheckOptions {
+    /// The thesis tool's defaults: uniformization with `w = 1e-8`.
+    pub fn new() -> Self {
+        CheckOptions {
+            until_engine: UntilEngine::default(),
+            solver: SolverOptions::new(),
+            transient_epsilon: 1e-10,
+        }
+    }
+
+    /// Replace the until engine.
+    pub fn with_engine(mut self, engine: UntilEngine) -> Self {
+        self.until_engine = engine;
+        self
+    }
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_tool() {
+        let o = CheckOptions::new();
+        match o.until_engine {
+            UntilEngine::Uniformization(u) => assert_eq!(u.truncation, 1e-8),
+            _ => panic!("default must be uniformization"),
+        }
+        assert_eq!(CheckOptions::default(), o);
+    }
+
+    #[test]
+    fn builders() {
+        let o = CheckOptions::new().with_engine(UntilEngine::discretization(0.25));
+        match o.until_engine {
+            UntilEngine::Discretization(d) => assert_eq!(d.step, 0.25),
+            _ => panic!("expected discretization"),
+        }
+        match UntilEngine::simulation(5_000) {
+            UntilEngine::Simulation(s) => assert_eq!(s.samples, 5_000),
+            _ => panic!("expected simulation"),
+        }
+        match UntilEngine::uniformization(1e-11) {
+            UntilEngine::Uniformization(u) => assert_eq!(u.truncation, 1e-11),
+            _ => panic!("expected uniformization"),
+        }
+    }
+}

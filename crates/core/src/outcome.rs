@@ -1,0 +1,101 @@
+//! The result of checking a formula.
+
+/// The outcome of `Sat(Φ)`: the satisfying set, plus — when the outermost
+/// operator was probabilistic — the computed per-state probabilities and
+/// error bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOutcome {
+    sat: Vec<bool>,
+    probabilities: Option<Vec<f64>>,
+    error_bounds: Option<Vec<f64>>,
+}
+
+impl CheckOutcome {
+    pub(crate) fn boolean(sat: Vec<bool>) -> Self {
+        CheckOutcome {
+            sat,
+            probabilities: None,
+            error_bounds: None,
+        }
+    }
+
+    pub(crate) fn with_probabilities(
+        sat: Vec<bool>,
+        probabilities: Vec<f64>,
+        error_bounds: Option<Vec<f64>>,
+    ) -> Self {
+        CheckOutcome {
+            sat,
+            probabilities: Some(probabilities),
+            error_bounds,
+        }
+    }
+
+    /// The characteristic vector of `Sat(Φ)`.
+    pub fn sat(&self) -> &[bool] {
+        &self.sat
+    }
+
+    /// `true` when `state` satisfies the formula.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn holds_in(&self, state: usize) -> bool {
+        self.sat[state]
+    }
+
+    /// Iterate over the indices of satisfying states.
+    pub fn satisfying_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.sat
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(s, _)| s)
+    }
+
+    /// Number of satisfying states.
+    pub fn count(&self) -> usize {
+        self.sat.iter().filter(|&&b| b).count()
+    }
+
+    /// The per-state probabilities computed for the outermost `S`/`P`
+    /// operator (absent for purely boolean formulas).
+    pub fn probabilities(&self) -> Option<&[f64]> {
+        self.probabilities.as_deref()
+    }
+
+    /// Per-state truncation error bounds, when the outermost operator used
+    /// the uniformization engine.
+    pub fn error_bounds(&self) -> Option<&[f64]> {
+        self.error_bounds.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let o = CheckOutcome::boolean(vec![true, false, true]);
+        assert_eq!(o.sat(), &[true, false, true]);
+        assert!(o.holds_in(0));
+        assert!(!o.holds_in(1));
+        assert_eq!(o.satisfying_states().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(o.count(), 2);
+        assert!(o.probabilities().is_none());
+        assert!(o.error_bounds().is_none());
+    }
+
+    #[test]
+    fn probability_outcome() {
+        let o = CheckOutcome::with_probabilities(
+            vec![false, true],
+            vec![0.2, 0.9],
+            Some(vec![1e-9, 2e-9]),
+        );
+        assert_eq!(o.probabilities().unwrap()[1], 0.9);
+        assert_eq!(o.error_bounds().unwrap()[0], 1e-9);
+    }
+}

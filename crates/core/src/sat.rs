@@ -1,0 +1,266 @@
+//! The `Sat(Φ)` recursion (Section 4.1, Algorithm 4.1).
+
+use mrmc_csrl::{PathFormula, StateFormula};
+use mrmc_mrm::Mrm;
+
+use crate::error::CheckError;
+use crate::next::next_probabilities;
+use crate::options::CheckOptions;
+use crate::outcome::CheckOutcome;
+use crate::steady::steady_probabilities;
+use crate::until::until_probabilities;
+
+/// Probabilities attached to the outermost operator, for reporting.
+struct Extras {
+    probabilities: Vec<f64>,
+    error_bounds: Option<Vec<f64>>,
+}
+
+/// Compute `Sat(Φ)` with a post-order traversal of the formula.
+pub fn satisfy(
+    mrm: &Mrm,
+    options: &CheckOptions,
+    formula: &StateFormula,
+) -> Result<CheckOutcome, CheckError> {
+    let (sat, extras) = sat_rec(mrm, options, formula)?;
+    Ok(match extras {
+        Some(e) => CheckOutcome::with_probabilities(sat, e.probabilities, e.error_bounds),
+        None => CheckOutcome::boolean(sat),
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn sat_rec(
+    mrm: &Mrm,
+    options: &CheckOptions,
+    formula: &StateFormula,
+) -> Result<(Vec<bool>, Option<Extras>), CheckError> {
+    let n = mrm.num_states();
+    match formula {
+        StateFormula::True => Ok((vec![true; n], None)),
+        StateFormula::False => Ok((vec![false; n], None)),
+        StateFormula::Ap(name) => {
+            let sat = mrm.labeling().states_with(name);
+            if !sat.iter().any(|&b| b) {
+                return Err(CheckError::UnknownProposition { name: name.clone() });
+            }
+            Ok((sat, None))
+        }
+        StateFormula::Not(inner) => {
+            let (mut sat, _) = sat_rec(mrm, options, inner)?;
+            for b in sat.iter_mut() {
+                *b = !*b;
+            }
+            Ok((sat, None))
+        }
+        StateFormula::Or(a, b) => {
+            let (sa, _) = sat_rec(mrm, options, a)?;
+            let (sb, _) = sat_rec(mrm, options, b)?;
+            Ok((sa.iter().zip(&sb).map(|(&x, &y)| x || y).collect(), None))
+        }
+        StateFormula::And(a, b) => {
+            let (sa, _) = sat_rec(mrm, options, a)?;
+            let (sb, _) = sat_rec(mrm, options, b)?;
+            Ok((sa.iter().zip(&sb).map(|(&x, &y)| x && y).collect(), None))
+        }
+        StateFormula::Implies(a, b) => {
+            let (sa, _) = sat_rec(mrm, options, a)?;
+            let (sb, _) = sat_rec(mrm, options, b)?;
+            Ok((sa.iter().zip(&sb).map(|(&x, &y)| !x || y).collect(), None))
+        }
+        StateFormula::Steady { op, bound, inner } => {
+            let (inner_sat, _) = sat_rec(mrm, options, inner)?;
+            let probabilities = steady_probabilities(mrm, options, &inner_sat)?;
+            let sat = probabilities.iter().map(|&p| op.eval(p, *bound)).collect();
+            Ok((
+                sat,
+                Some(Extras {
+                    probabilities,
+                    error_bounds: None,
+                }),
+            ))
+        }
+        StateFormula::Prob { op, bound, path } => match path.as_ref() {
+            PathFormula::Next {
+                time,
+                reward,
+                inner,
+            } => {
+                let (inner_sat, _) = sat_rec(mrm, options, inner)?;
+                let probabilities = next_probabilities(mrm, time, reward, &inner_sat)?;
+                let sat = probabilities.iter().map(|&p| op.eval(p, *bound)).collect();
+                Ok((
+                    sat,
+                    Some(Extras {
+                        probabilities,
+                        error_bounds: None,
+                    }),
+                ))
+            }
+            PathFormula::Until {
+                time,
+                reward,
+                lhs,
+                rhs,
+            } => {
+                let (phi, _) = sat_rec(mrm, options, lhs)?;
+                let (psi, _) = sat_rec(mrm, options, rhs)?;
+                let analysis = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
+                let sat = analysis
+                    .probabilities
+                    .iter()
+                    .map(|&p| op.eval(p, *bound))
+                    .collect();
+                Ok((
+                    sat,
+                    Some(Extras {
+                        probabilities: analysis.probabilities,
+                        error_bounds: analysis.error_bounds,
+                    }),
+                ))
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelChecker;
+    use mrmc_ctmc::CtmcBuilder;
+
+    fn wavelan() -> Mrm {
+        let mut b = CtmcBuilder::new(5);
+        b.transition(0, 1, 0.1);
+        b.transition(1, 0, 0.05).transition(1, 2, 5.0);
+        b.transition(2, 1, 12.0)
+            .transition(2, 3, 1.5)
+            .transition(2, 4, 0.75);
+        b.transition(3, 2, 10.0);
+        b.transition(4, 2, 15.0);
+        b.label(0, "off");
+        b.label(1, "sleep");
+        b.label(2, "idle");
+        b.label(3, "receive").label(3, "busy");
+        b.label(4, "transmit").label(4, "busy");
+        Mrm::without_rewards(b.build().unwrap())
+    }
+
+    fn checker() -> ModelChecker {
+        ModelChecker::new(wavelan(), CheckOptions::new())
+    }
+
+    #[test]
+    fn boolean_layer() {
+        let c = checker();
+        assert_eq!(c.check_str("TT").unwrap().count(), 5);
+        assert_eq!(c.check_str("FF").unwrap().count(), 0);
+        assert_eq!(
+            c.check_str("busy").unwrap().sat(),
+            &[false, false, false, true, true]
+        );
+        assert_eq!(
+            c.check_str("busy || idle").unwrap().sat(),
+            &[false, false, true, true, true]
+        );
+        assert_eq!(
+            c.check_str("busy && receive").unwrap().sat(),
+            &[false, false, false, true, false]
+        );
+        assert_eq!(
+            c.check_str("!busy").unwrap().sat(),
+            &[true, true, true, false, false]
+        );
+        // busy => receive fails only in the transmit state.
+        assert_eq!(
+            c.check_str("busy => receive").unwrap().sat(),
+            &[true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn unknown_proposition_is_an_error() {
+        let c = checker();
+        let e = c.check_str("buzzy").unwrap_err();
+        assert!(matches!(e, CheckError::UnknownProposition { .. }));
+        assert!(e.to_string().contains("buzzy"));
+    }
+
+    #[test]
+    fn steady_state_formula_on_irreducible_chain() {
+        // Long-run probabilities of the WaveLAN chain: the off/sleep pair
+        // dominates because wake-up is slow.
+        let c = checker();
+        let out = c.check_str("S(> 0.5) (off || sleep)").unwrap();
+        // The chain is irreducible: all states agree.
+        assert!(out.sat().iter().all(|&b| b) || out.sat().iter().all(|&b| !b));
+        let p = out.probabilities().unwrap();
+        assert!((p[0] - p[4]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nested_probability_formula() {
+        // From idle, one jump reaches busy with probability 2.25/14.25.
+        let c = checker();
+        let out = c.check_str("P(> 0.15) [X busy]").unwrap();
+        assert!(out.holds_in(2));
+        assert!(!out.holds_in(0));
+        let p = out.probabilities().unwrap();
+        assert!((p[2] - 2.25 / 14.25).abs() < 1e-12);
+
+        // Nested: states satisfying P(>0.9)[X (P(>0.15)[X busy])] — one
+        // jump into a state from which busy is reachable in one jump with
+        // probability > 0.15 (i.e. into idle).
+        let out = c
+            .check_str("P(> 0.9) [X (P(> 0.15) [X busy])]")
+            .unwrap();
+        // receive and transmit jump to idle with probability 1.
+        assert!(out.holds_in(3));
+        assert!(out.holds_in(4));
+        assert!(!out.holds_in(0));
+    }
+
+    #[test]
+    fn until_formula_end_to_end() {
+        let c = checker();
+        // Unbounded until: from anywhere, busy is eventually reached (the
+        // chain is irreducible). The iterative solver converges to 1 up to
+        // its tolerance, so compare against a slightly smaller bound.
+        let out = c.check_str("P(> 0.9999) [TT U busy]").unwrap();
+        assert_eq!(out.count(), 5);
+        // Time-bounded with generous bound.
+        let out = c.check_str("P(> 0.1) [idle U[0,2] busy]").unwrap();
+        assert!(out.holds_in(2));
+        assert!(out.probabilities().is_some());
+    }
+
+    #[test]
+    fn reward_bounded_until_uses_the_engine() {
+        let c = checker();
+        let out = c
+            .check_str("P(> 0.1) [idle U[0,0.5][0,2000] busy]")
+            .unwrap();
+        assert!(out.error_bounds().is_some());
+        let p = out.probabilities().unwrap();
+        assert!(p[2] > 0.1);
+        assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    fn unsupported_bounds_surface() {
+        let c = checker();
+        let e = c
+            .check_str("P(> 0.1) [idle U[1,2][0,10] busy]")
+            .unwrap_err();
+        assert!(matches!(e, CheckError::UnsupportedBounds { .. }));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let c = checker();
+        assert!(matches!(
+            c.check_str("P(>)"),
+            Err(CheckError::Parse(_))
+        ));
+    }
+}

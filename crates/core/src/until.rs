@@ -1,0 +1,425 @@
+//! Model checking until formulas (Section 4.3.2, Algorithm 4.5).
+//!
+//! Dispatch by bound shape, following the thesis' property classes:
+//!
+//! * **P0** `Φ U Ψ` (no bounds) — a linear system over the embedded DTMC
+//!   (Eq. 3.8);
+//! * **P1** `Φ U^{[0,t]} Ψ` (time only) — Fox–Glynn uniformization
+//!   (`[Bai03]`, [`mrmc_numerics::baseline`]);
+//! * **P2** `Φ U^{[0,t]}_{[0,r]} Ψ` (time and reward) — the uniformization
+//!   path engine or discretization, per the configured
+//!   [`UntilEngine`](crate::UntilEngine).
+//!
+//! General lower bounds are not supported by the numerical methods (the
+//! thesis' Chapter 6 limitation) and yield
+//! [`CheckError::UnsupportedBounds`] — except under the
+//! [`UntilEngine::Simulation`] engine, whose trajectory-level semantics
+//! evaluate arbitrary closed intervals exactly (statistical model
+//! checking; see [`mrmc_numerics::monte_carlo::estimate_until_general`]).
+
+use mrmc_csrl::Interval;
+use mrmc_ctmc::reach;
+use mrmc_mrm::Mrm;
+use mrmc_numerics::{baseline, discretization, monte_carlo, uniformization};
+
+use crate::error::CheckError;
+use crate::options::{CheckOptions, UntilEngine};
+
+/// Per-state until probabilities plus (engine-dependent) error bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UntilAnalysis {
+    /// `P^M(s, Φ U^I_J Ψ)` per state.
+    pub probabilities: Vec<f64>,
+    /// Truncation error bounds per state when the uniformization engine
+    /// ran; `None` for the other property classes.
+    pub error_bounds: Option<Vec<f64>>,
+}
+
+/// Compute `P^M(s, Φ U^I_J Ψ)` for every state.
+///
+/// # Errors
+///
+/// [`CheckError::UnsupportedBounds`] for non-zero lower bounds or a bounded
+/// reward with unbounded time; numerical failures are propagated.
+pub fn until_probabilities(
+    mrm: &Mrm,
+    options: &CheckOptions,
+    time: &Interval,
+    reward: &Interval,
+    phi: &[bool],
+    psi: &[bool],
+) -> Result<UntilAnalysis, CheckError> {
+    if time.lo() != 0.0 || reward.lo() != 0.0 {
+        // A non-zero time lower bound with a *trivial* reward bound has an
+        // exact method: the standard two-phase decomposition ([Bai03]).
+        if reward.is_trivial() {
+            if !time.is_upper_unbounded() {
+                let probabilities = baseline::until_time_interval(
+                    mrm,
+                    phi,
+                    psi,
+                    time.lo(),
+                    time.hi(),
+                    options.transient_epsilon,
+                )?;
+                return Ok(UntilAnalysis {
+                    probabilities,
+                    error_bounds: None,
+                });
+            }
+            // Φ U^{[t1,∞)} Ψ: unbounded reachability as phase 2, the
+            // Φ-constrained backward transient as phase 1.
+            let embedded = mrm.ctmc().embedded_dtmc();
+            let mut u =
+                reach::until_unbounded(embedded.probabilities(), phi, psi, options.solver)?;
+            for (s, value) in u.iter_mut().enumerate() {
+                if !phi[s] {
+                    *value = 0.0;
+                }
+            }
+            let probabilities = baseline::phi_constrained_backward(
+                mrm,
+                phi,
+                u,
+                time.lo(),
+                options.transient_epsilon,
+            )?;
+            return Ok(UntilAnalysis {
+                probabilities,
+                error_bounds: None,
+            });
+        }
+        // Only the statistical engine evaluates general lower bounds.
+        if let UntilEngine::Simulation(sopts) = options.until_engine {
+            if !time.is_upper_unbounded() {
+                let n = mrm.num_states();
+                let mut probabilities = vec![0.0; n];
+                let mut errors = vec![0.0; n];
+                for s in 0..n {
+                    if !phi[s] && !psi[s] {
+                        continue;
+                    }
+                    let opts = sopts.with_seed(sopts.seed.wrapping_add(s as u64));
+                    let est = monte_carlo::estimate_until_general(
+                        mrm, phi, psi, time, reward, s, opts,
+                    )?;
+                    probabilities[s] = est.mean;
+                    errors[s] = est.std_error;
+                }
+                return Ok(UntilAnalysis {
+                    probabilities,
+                    error_bounds: Some(errors),
+                });
+            }
+        }
+        return Err(CheckError::UnsupportedBounds {
+            what: if reward.lo() != 0.0 {
+                "reward lower bound (only the simulation engine supports it)"
+            } else {
+                "time lower bound combined with a reward bound (only the simulation engine supports it)"
+            },
+        });
+    }
+
+    match (time.is_upper_unbounded(), reward.is_upper_unbounded()) {
+        // P0: Φ U Ψ — unbounded reachability over the embedded DTMC.
+        (true, true) => {
+            let embedded = mrm.ctmc().embedded_dtmc();
+            let probabilities =
+                reach::until_unbounded(embedded.probabilities(), phi, psi, options.solver)?;
+            Ok(UntilAnalysis {
+                probabilities,
+                error_bounds: None,
+            })
+        }
+        // Bounded reward with unbounded time has no engine (Chapter 6).
+        (true, false) => Err(CheckError::UnsupportedBounds {
+            what: "unbounded time with a bounded reward",
+        }),
+        // P1: time bound only — the state-reward-free baseline suffices,
+        // regardless of the configured engine.
+        (false, true) => {
+            let probabilities =
+                baseline::until_time_bounded(mrm, phi, psi, time.hi(), options.transient_epsilon)?;
+            Ok(UntilAnalysis {
+                probabilities,
+                error_bounds: None,
+            })
+        }
+        // P2: time and reward bounds — run the configured engine per state.
+        (false, false) => {
+            let t = time.hi();
+            let r = reward.hi();
+            let n = mrm.num_states();
+            match options.until_engine {
+                UntilEngine::Uniformization(uopts) => {
+                    let results =
+                        uniformization::until_probabilities_all(mrm, phi, psi, t, r, uopts)?;
+                    Ok(UntilAnalysis {
+                        probabilities: results.iter().map(|r| r.probability).collect(),
+                        error_bounds: Some(results.iter().map(|r| r.error_bound).collect()),
+                    })
+                }
+                UntilEngine::Discretization(dopts) => {
+                    let mut probabilities = vec![0.0; n];
+                    for s in 0..n {
+                        if !phi[s] && !psi[s] {
+                            continue;
+                        }
+                        let res =
+                            discretization::until_probability(mrm, phi, psi, t, r, s, dopts)?;
+                        probabilities[s] = res.probability;
+                    }
+                    Ok(UntilAnalysis {
+                        probabilities,
+                        error_bounds: None,
+                    })
+                }
+                UntilEngine::Simulation(sopts) => {
+                    let mut probabilities = vec![0.0; n];
+                    let mut errors = vec![0.0; n];
+                    for s in 0..n {
+                        if !phi[s] && !psi[s] {
+                            continue;
+                        }
+                        // De-correlate states while keeping determinism.
+                        let opts = sopts.with_seed(sopts.seed.wrapping_add(s as u64));
+                        let est = monte_carlo::estimate_until(mrm, phi, psi, t, r, s, opts)?;
+                        probabilities[s] = est.mean;
+                        errors[s] = est.std_error;
+                    }
+                    Ok(UntilAnalysis {
+                        probabilities,
+                        // Standard errors reported in the error-bound slot;
+                        // statistical, not a guaranteed bound.
+                        error_bounds: Some(errors),
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrmc_ctmc::CtmcBuilder;
+    use mrmc_numerics::uniformization::UniformOptions;
+
+    fn triangle() -> Mrm {
+        let mut b = CtmcBuilder::new(3);
+        b.transition(0, 1, 1.0)
+            .transition(0, 2, 0.5)
+            .transition(1, 2, 2.0);
+        b.label(0, "a").label(1, "a").label(2, "goal");
+        Mrm::without_rewards(b.build().unwrap())
+    }
+
+    #[test]
+    fn p0_unbounded_until() {
+        let m = triangle();
+        let phi = m.labeling().states_with("a");
+        let psi = m.labeling().states_with("goal");
+        let a = until_probabilities(
+            &m,
+            &CheckOptions::new(),
+            &Interval::unbounded(),
+            &Interval::unbounded(),
+            &phi,
+            &psi,
+        )
+        .unwrap();
+        // Everything eventually reaches the absorbing goal.
+        for (s, p) in a.probabilities.iter().enumerate() {
+            assert!((p - 1.0).abs() < 1e-9, "state {s}");
+        }
+        assert!(a.error_bounds.is_none());
+    }
+
+    #[test]
+    fn p1_time_bounded_until() {
+        let m = triangle();
+        let phi = m.labeling().states_with("a");
+        let psi = m.labeling().states_with("goal");
+        let a = until_probabilities(
+            &m,
+            &CheckOptions::new(),
+            &Interval::upto(1.0),
+            &Interval::unbounded(),
+            &phi,
+            &psi,
+        )
+        .unwrap();
+        // From state 1: 1 − e^{−2}.
+        assert!((a.probabilities[1] - (1.0 - (-2.0f64).exp())).abs() < 1e-9);
+        assert!((a.probabilities[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p2_engines_agree() {
+        let m = triangle();
+        let phi = m.labeling().states_with("a");
+        let psi = m.labeling().states_with("goal");
+        let time = Interval::upto(1.0);
+        let reward = Interval::upto(100.0);
+
+        let uni_opts = CheckOptions::new().with_engine(UntilEngine::Uniformization(
+            UniformOptions::new().with_truncation(1e-12),
+        ));
+        let u = until_probabilities(&m, &uni_opts, &time, &reward, &phi, &psi).unwrap();
+        assert!(u.error_bounds.is_some());
+
+        let disc_opts =
+            CheckOptions::new().with_engine(UntilEngine::discretization(1.0 / 128.0));
+        let d = until_probabilities(&m, &disc_opts, &time, &reward, &phi, &psi).unwrap();
+        for s in 0..3 {
+            assert!(
+                (u.probabilities[s] - d.probabilities[s]).abs() < 0.01,
+                "state {s}: {} vs {}",
+                u.probabilities[s],
+                d.probabilities[s]
+            );
+        }
+    }
+
+    #[test]
+    fn dead_states_skip_the_engine() {
+        let m = triangle();
+        let phi = vec![false, false, false];
+        let psi = vec![false, false, true];
+        let a = until_probabilities(
+            &m,
+            &CheckOptions::new(),
+            &Interval::upto(1.0),
+            &Interval::upto(10.0),
+            &phi,
+            &psi,
+        )
+        .unwrap();
+        assert_eq!(a.probabilities[0], 0.0);
+        assert_eq!(a.probabilities[1], 0.0);
+        assert!((a.probabilities[2] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn trivial_reward_time_window_uses_the_exact_method() {
+        // 0 →(2) goal (absorbing): Pr(tt U^{[0.5,1]} goal) = 1 − e^{−2},
+        // computed exactly by the two-phase decomposition (no error bars).
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 2.0);
+        b.label(1, "goal");
+        let m = Mrm::without_rewards(b.build().unwrap());
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        let window = Interval::new(0.5, 1.0).unwrap();
+        let a = until_probabilities(
+            &m,
+            &CheckOptions::new(),
+            &window,
+            &Interval::unbounded(),
+            &phi,
+            &psi,
+        )
+        .unwrap();
+        assert!(a.error_bounds.is_none());
+        let exact = 1.0 - (-2.0f64).exp();
+        assert!(
+            (a.probabilities[0] - exact).abs() < 1e-9,
+            "{} vs {exact}",
+            a.probabilities[0]
+        );
+        assert!((a.probabilities[1] - 1.0).abs() < 1e-9);
+
+        // And the unbounded-upper variant [0.5, ∞): same value here
+        // (goal is absorbing and reached almost surely).
+        let tail = Interval::new(0.5, f64::INFINITY).unwrap();
+        let a = until_probabilities(
+            &m,
+            &CheckOptions::new(),
+            &tail,
+            &Interval::unbounded(),
+            &phi,
+            &psi,
+        )
+        .unwrap();
+        assert!((a.probabilities[0] - 1.0).abs() < 1e-7, "{}", a.probabilities[0]);
+    }
+
+    #[test]
+    fn simulation_engine_handles_general_lower_bounds() {
+        // A time window *combined with a reward bound* has no exact engine;
+        // the simulation engine estimates it. Chain: 0 →(2) goal with
+        // ρ(0) = 1: witness needs jump time T ∈ [0, 1] (goal absorbing,
+        // reward frozen afterwards) with accumulated reward T·1 ≤ 0.5 at
+        // the (arbitrarily late) witness τ ∈ [0.5, 1]… reward stays T, so
+        // Pr = Pr{T ≤ 0.5} = 1 − e^{−1}.
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 2.0);
+        b.label(1, "goal");
+        let ctmc = b.build().unwrap();
+        let m = Mrm::new(
+            ctmc,
+            mrmc_mrm::StateRewards::new(vec![1.0, 0.0]).unwrap(),
+            mrmc_mrm::ImpulseRewards::new(),
+        )
+        .unwrap();
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        let opts = CheckOptions::new().with_engine(UntilEngine::simulation(60_000));
+        let window = Interval::new(0.5, 1.0).unwrap();
+        let a = until_probabilities(&m, &opts, &window, &Interval::upto(0.5), &phi, &psi)
+            .unwrap();
+        let exact = 1.0 - (-1.0f64).exp();
+        let se = a.error_bounds.as_ref().unwrap()[0];
+        assert!(
+            (a.probabilities[0] - exact).abs() <= 4.0 * se + 1e-9,
+            "{} ± {se} vs {exact}",
+            a.probabilities[0]
+        );
+    }
+
+    #[test]
+    fn unsupported_bounds_are_reported() {
+        let m = triangle();
+        let phi = m.labeling().states_with("a");
+        let psi = m.labeling().states_with("goal");
+        // Time lower bound *with* a reward bound: no exact engine.
+        let lower_time = Interval::new(1.0, 2.0).unwrap();
+        assert!(matches!(
+            until_probabilities(
+                &m,
+                &CheckOptions::new(),
+                &lower_time,
+                &Interval::upto(10.0),
+                &phi,
+                &psi
+            ),
+            Err(CheckError::UnsupportedBounds { what })
+                if what.starts_with("time lower bound")
+        ));
+        let lower_reward = Interval::new(0.5, 2.0).unwrap();
+        assert!(matches!(
+            until_probabilities(
+                &m,
+                &CheckOptions::new(),
+                &Interval::unbounded(),
+                &lower_reward,
+                &phi,
+                &psi
+            ),
+            Err(CheckError::UnsupportedBounds { what })
+                if what.starts_with("reward lower bound")
+        ));
+        assert!(matches!(
+            until_probabilities(
+                &m,
+                &CheckOptions::new(),
+                &Interval::unbounded(),
+                &Interval::upto(5.0),
+                &phi,
+                &psi
+            ),
+            Err(CheckError::UnsupportedBounds { .. })
+        ));
+    }
+}

@@ -1,0 +1,272 @@
+//! Witness extraction: the most probable satisfying path for an until
+//! formula, as a diagnostic companion to the probability verdicts.
+//!
+//! For `Φ U Ψ` the most probable witness is the state sequence maximizing
+//! the product of embedded-DTMC branching probabilities among paths that
+//! stay in Φ-states and end in a Ψ-state — found by a Dijkstra-style search
+//! maximizing log-probability. The returned [`Witness`] also carries the
+//! expected sojourn times (`1/E(s)`) and the reward its path would
+//! accumulate, which lets users sanity-check reward bounds against a
+//! concrete execution.
+
+use mrmc_mrm::{Mrm, TimedPath};
+
+use crate::error::CheckError;
+
+/// A concrete satisfying execution for an until formula.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Witness {
+    /// The state sequence, starting at the query state and ending in a
+    /// Ψ-state.
+    pub states: Vec<usize>,
+    /// Product of embedded-DTMC branching probabilities along the path.
+    pub probability: f64,
+    /// The path with *expected* sojourn times (`1/E(s)` per transient
+    /// state).
+    pub timed: TimedPath,
+    /// Reward accumulated by `timed` at the moment the Ψ-state is entered
+    /// (rate rewards over expected sojourns plus all impulses).
+    pub reward_at_goal: f64,
+    /// Time elapsed at the moment the Ψ-state is entered.
+    pub time_at_goal: f64,
+}
+
+/// Find the most probable Φ-constrained path from `start` to a Ψ-state.
+///
+/// Returns `None` when no Ψ-state is reachable through Φ-states. A `start`
+/// already satisfying Ψ yields the trivial single-state witness with
+/// probability one.
+///
+/// ```
+/// use mrmc::witness::most_probable_witness;
+///
+/// let mut b = mrmc_ctmc::CtmcBuilder::new(3);
+/// b.transition(0, 1, 3.0).transition(0, 2, 1.0).transition(1, 2, 1.0);
+/// b.label(2, "goal");
+/// let mrm = mrmc_mrm::Mrm::without_rewards(b.build()?);
+/// let psi = mrm.labeling().states_with("goal");
+/// let w = most_probable_witness(&mrm, &[true; 3], &psi, 0)?.unwrap();
+/// // The detour through state 1 (probability 3/4 · 1) beats the direct
+/// // jump (probability 1/4).
+/// assert_eq!(w.states, vec![0, 1, 2]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// [`CheckError`] when `phi`/`psi` have the wrong length.
+pub fn most_probable_witness(
+    mrm: &Mrm,
+    phi: &[bool],
+    psi: &[bool],
+    start: usize,
+) -> Result<Option<Witness>, CheckError> {
+    let n = mrm.num_states();
+    if phi.len() != n || psi.len() != n || start >= n {
+        return Err(CheckError::Numerics(
+            mrmc_numerics::NumericsError::SizeMismatch {
+                expected: n,
+                found: phi.len().min(psi.len()).min(start),
+            },
+        ));
+    }
+    if psi[start] {
+        return Ok(Some(build_witness(mrm, vec![start])));
+    }
+    if !phi[start] {
+        return Ok(None);
+    }
+
+    // Dijkstra on -log(probability); only Φ-states may be traversed.
+    const UNREACHED: f64 = f64::INFINITY;
+    let mut dist = vec![UNREACHED; n];
+    let mut pred = vec![usize::MAX; n];
+    let mut done = vec![false; n];
+    dist[start] = 0.0;
+
+    // Binary heap over (cost, state); std's heap is a max-heap, so store
+    // negated costs through `std::cmp::Reverse` on ordered bits.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<(Reverse<u64>, usize)> = BinaryHeap::new();
+    heap.push((Reverse(0.0_f64.to_bits()), start));
+
+    let mut goal = None;
+    while let Some((Reverse(cost_bits), s)) = heap.pop() {
+        let cost = f64::from_bits(cost_bits);
+        if done[s] || cost > dist[s] {
+            continue;
+        }
+        done[s] = true;
+        if psi[s] {
+            goal = Some(s);
+            break;
+        }
+        if !phi[s] {
+            continue;
+        }
+        let exit = mrm.ctmc().exit_rate(s);
+        if exit == 0.0 {
+            continue;
+        }
+        for (target, rate) in mrm.ctmc().rates().row(s) {
+            if target == s {
+                continue; // self-loops never help a shortest witness
+            }
+            if !phi[target] && !psi[target] {
+                continue;
+            }
+            let step_cost = -(rate / exit).ln();
+            let next = cost + step_cost;
+            if next < dist[target] {
+                dist[target] = next;
+                pred[target] = s;
+                heap.push((Reverse(next.to_bits()), target));
+            }
+        }
+    }
+
+    let Some(goal) = goal else {
+        return Ok(None);
+    };
+    let mut states = vec![goal];
+    let mut s = goal;
+    while s != start {
+        s = pred[s];
+        states.push(s);
+    }
+    states.reverse();
+    Ok(Some(build_witness(mrm, states)))
+}
+
+fn build_witness(mrm: &Mrm, states: Vec<usize>) -> Witness {
+    let mut probability = 1.0;
+    for w in states.windows(2) {
+        probability *= mrm.ctmc().embedded_probability(w[0], w[1]);
+    }
+    let sojourns: Vec<f64> = states[..states.len() - 1]
+        .iter()
+        .map(|&s| 1.0 / mrm.ctmc().exit_rate(s))
+        .collect();
+    let time_at_goal: f64 = sojourns.iter().sum();
+    let timed = TimedPath::new(states.clone(), sojourns).expect("witness path is well-formed");
+    let mut reward_at_goal = 0.0;
+    for (i, w) in states.windows(2).enumerate() {
+        reward_at_goal += mrm.state_reward(w[0]) * timed.sojourns()[i];
+        reward_at_goal += mrm.impulse_reward(w[0], w[1]);
+    }
+    Witness {
+        states,
+        probability,
+        timed,
+        reward_at_goal,
+        time_at_goal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrmc_ctmc::CtmcBuilder;
+    use mrmc_mrm::{ImpulseRewards, StateRewards};
+
+    fn wavelan() -> Mrm {
+        let mut b = CtmcBuilder::new(5);
+        b.transition(0, 1, 0.1);
+        b.transition(1, 0, 0.05).transition(1, 2, 5.0);
+        b.transition(2, 1, 12.0)
+            .transition(2, 3, 1.5)
+            .transition(2, 4, 0.75);
+        b.transition(3, 2, 10.0);
+        b.transition(4, 2, 15.0);
+        b.label(0, "off");
+        b.label(1, "sleep");
+        b.label(2, "idle");
+        b.label(3, "busy");
+        b.label(4, "busy");
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![0.0, 80.0, 1319.0, 1675.0, 1425.0]).unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(2, 3, 0.42545).unwrap();
+        iota.set(2, 4, 0.36195).unwrap();
+        Mrm::new(ctmc, rho, iota).unwrap()
+    }
+
+    #[test]
+    fn wavelan_most_probable_route_to_busy() {
+        // From off: off → sleep → idle → receive dominates (the transmit
+        // branch has a smaller branching probability: 0.75 vs 1.5).
+        let m = wavelan();
+        let phi = vec![true; 5];
+        let psi = m.labeling().states_with("busy");
+        let w = most_probable_witness(&m, &phi, &psi, 0)
+            .unwrap()
+            .expect("busy is reachable");
+        assert_eq!(w.states, vec![0, 1, 2, 3]);
+        // P = 1 · (5/5.05) · (1.5/14.25).
+        let expect = (5.0 / 5.05) * (1.5 / 14.25);
+        assert!((w.probability - expect).abs() < 1e-12);
+        // Expected timings: 10 + 1/5.05 + 1/14.25 hours.
+        let expect_t = 10.0 + 1.0 / 5.05 + 1.0 / 14.25;
+        assert!((w.time_at_goal - expect_t).abs() < 1e-9);
+        // Reward includes the entry impulse into receive.
+        assert!(w.reward_at_goal > 0.42545);
+        w.timed.validate_in(&m).unwrap();
+    }
+
+    #[test]
+    fn phi_constraint_forces_detours() {
+        // 0 → 1 → 3 (high probability) vs 0 → 2 → 3: with 1 excluded from
+        // Φ the witness must go through 2.
+        let mut b = CtmcBuilder::new(4);
+        b.transition(0, 1, 9.0).transition(0, 2, 1.0);
+        b.transition(1, 3, 1.0).transition(2, 3, 1.0);
+        b.label(3, "goal");
+        let m = Mrm::without_rewards(b.build().unwrap());
+        let psi = m.labeling().states_with("goal");
+
+        let all = vec![true; 4];
+        let w = most_probable_witness(&m, &all, &psi, 0).unwrap().unwrap();
+        assert_eq!(w.states, vec![0, 1, 3]);
+
+        let phi = vec![true, false, true, true];
+        let w = most_probable_witness(&m, &phi, &psi, 0).unwrap().unwrap();
+        assert_eq!(w.states, vec![0, 2, 3]);
+        assert!((w.probability - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_and_impossible_cases() {
+        let m = wavelan();
+        let phi = vec![true; 5];
+        let psi = m.labeling().states_with("busy");
+        // Start in a Ψ-state: trivial witness.
+        let w = most_probable_witness(&m, &phi, &psi, 3).unwrap().unwrap();
+        assert_eq!(w.states, vec![3]);
+        assert_eq!(w.probability, 1.0);
+        assert_eq!(w.time_at_goal, 0.0);
+        // Start violating Φ with Ψ unreachable: none.
+        let no_phi = vec![false; 5];
+        assert!(most_probable_witness(&m, &no_phi, &psi, 0)
+            .unwrap()
+            .is_none());
+        // Unreachable goal.
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 0, 1.0);
+        b.label(1, "goal");
+        let disconnected = Mrm::without_rewards(b.build().unwrap());
+        let psi = disconnected.labeling().states_with("goal");
+        assert!(
+            most_probable_witness(&disconnected, &[true, true], &psi, 0)
+                .unwrap()
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let m = wavelan();
+        assert!(most_probable_witness(&m, &[true], &[false], 0).is_err());
+        assert!(most_probable_witness(&m, &[true; 5], &[false; 5], 7).is_err());
+    }
+}

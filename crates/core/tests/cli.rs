@@ -1,0 +1,173 @@
+//! End-to-end tests of the `mrmc` binary: write model files, pipe formulas
+//! through stdin, and check the printed verdicts — the workflow of the
+//! thesis' usage manual.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn write_tmr_like_model(dir: &std::path::Path) -> [std::path::PathBuf; 4] {
+    // A 3-state repairable system: up(1) -> degraded(2) -> failed(3),
+    // repairs back up; rewards on degraded operation, impulse on repair.
+    let tra = dir.join("m.tra");
+    std::fs::write(
+        &tra,
+        "STATES 3\nTRANSITIONS 4\n1 2 0.1\n2 3 0.2\n2 1 1.0\n3 1 0.5\n",
+    )
+    .unwrap();
+    let lab = dir.join("m.lab");
+    std::fs::write(
+        &lab,
+        "#DECLARATION\nup degraded failed\n#END\n1 up\n2 degraded\n3 failed\n",
+    )
+    .unwrap();
+    let rewr = dir.join("m.rewr");
+    std::fs::write(&rewr, "1 1.0\n2 3.0\n3 0.0\n").unwrap();
+    let rewi = dir.join("m.rewi");
+    std::fs::write(&rewi, "TRANSITIONS 2\n2 1 5.0\n3 1 20.0\n").unwrap();
+    [tra, lab, rewr, rewi]
+}
+
+fn run_mrmc(args: &[&str], stdin_text: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mrmc"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin_text.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("mrmc-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn checks_formulas_from_stdin() {
+    let dir = temp_dir("basic");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let (stdout, stderr, ok) = run_mrmc(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+        ],
+        "up || degraded\nS(> 0.5) (up)\nP(> 0.99) [TT U failed]\n",
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("loaded model: 3 states, 4 transitions, 2 impulse rewards"));
+    // Boolean formula satisfied by states 1 and 2 (1-indexed).
+    assert!(stdout.contains("satisfied by: 1 2"), "{stdout}");
+    // The chain is irreducible and mostly up.
+    assert!(stdout.contains("formula: S(> 0.5) (up)"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reward_bounded_until_with_both_engines() {
+    let dir = temp_dir("engines");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let paths: Vec<&str> = vec![
+        tra.to_str().unwrap(),
+        lab.to_str().unwrap(),
+        rewr.to_str().unwrap(),
+        rewi.to_str().unwrap(),
+    ];
+    let formula = "P(> 0.001) [up U[0,10][0,50] degraded]\n";
+
+    let (uni_out, _, ok) = run_mrmc(&[paths[0], paths[1], paths[2], paths[3], "u=1e-10"], formula);
+    assert!(ok);
+    assert!(uni_out.contains("error bound"), "{uni_out}");
+
+    let (disc_out, _, ok) =
+        run_mrmc(&[paths[0], paths[1], paths[2], paths[3], "d=0.01"], formula);
+    assert!(ok);
+
+    // Extract the state-1 probability from both outputs and compare.
+    let grab = |text: &str| -> f64 {
+        text.lines()
+            .find(|l| l.trim_start().starts_with("state 1: P = "))
+            .and_then(|l| l.split("P = ").nth(1))
+            .and_then(|v| v.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(f64::NAN)
+    };
+    let (pu, pd) = (grab(&uni_out), grab(&disc_out));
+    assert!(
+        (pu - pd).abs() < 5e-3,
+        "uniformization {pu} vs discretization {pd}\n{uni_out}\n{disc_out}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn np_flag_hides_probabilities() {
+    let dir = temp_dir("np");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let (stdout, _, ok) = run_mrmc(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "NP",
+        ],
+        "S(> 0.5) (up)\n",
+    );
+    assert!(ok);
+    assert!(!stdout.contains("state 1: P ="), "{stdout}");
+    assert!(stdout.contains("satisfied by"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_formula_fails_with_message() {
+    let dir = temp_dir("bad");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let (stdout, stderr, ok) = run_mrmc(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+        ],
+        "P(>= 2) [TT U failed]\nno_such_ap\n",
+    );
+    assert!(!ok);
+    assert!(stdout.contains("error:"), "{stdout}");
+    assert!(stdout.contains("no_such_ap"), "{stdout}");
+    assert!(stderr.contains("one or more formulas failed"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_files_fail_cleanly() {
+    let (_, stderr, ok) = run_mrmc(
+        &["/nonexistent/a.tra", "/nonexistent/a.lab", "/nonexistent/a.rewr", "/nonexistent/a.rewi"],
+        "",
+    );
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (stdout, _, ok) = run_mrmc(&["--help"], "");
+    assert!(ok);
+    assert!(stdout.contains("usage: mrmc"));
+    assert!(stdout.contains("u=<w>"));
+}

@@ -1,0 +1,299 @@
+//! Tokenizer for the CSRL concrete syntax.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical error with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// The offending character or token fragment.
+    pub fragment: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unexpected `{}` at offset {}",
+            self.fragment, self.offset
+        )
+    }
+}
+
+impl Error for LexError {}
+
+/// Kinds of CSRL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier: an atomic proposition or one of the contextual
+    /// keywords `TT`, `FF`, `S`, `P`, `X`, `U`.
+    Ident(String),
+    /// A non-negative numeric literal.
+    Number(f64),
+    /// `~` — infinity.
+    Infinity,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+    /// `=>`
+    Implies,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+}
+
+/// A token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset into the input where it starts.
+    pub offset: usize,
+}
+
+/// Tokenize a formula string.
+///
+/// # Errors
+///
+/// [`LexError`] for unexpected characters or malformed numbers.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, offset: i });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, offset: i });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            '~' => {
+                tokens.push(Token { kind: TokenKind::Infinity, offset: i });
+                i += 1;
+            }
+            '!' => {
+                tokens.push(Token { kind: TokenKind::Not, offset: i });
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::AndAnd, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, fragment: "&".into() });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::OrOr, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, fragment: "|".into() });
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Implies, offset: i });
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, fragment: "=".into() });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E' | '-' | '+')
+                {
+                    // Accept '-'/'+' only directly after an exponent marker.
+                    if matches!(bytes[i] as char, '-' | '+')
+                        && !matches!(bytes[i - 1] as char, 'e' | 'E')
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: f64 = text.parse().map_err(|_| LexError {
+                    offset: start,
+                    fragment: text.to_string(),
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    fragment: other.to_string(),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_the_manual_example() {
+        // P(>= 0.3) [a U [0,3][0,23] b]
+        let ks = kinds("P(>= 0.3) [a U [0,3][0,23] b]");
+        assert_eq!(ks[0], TokenKind::Ident("P".into()));
+        assert_eq!(ks[1], TokenKind::LParen);
+        assert_eq!(ks[2], TokenKind::Ge);
+        assert_eq!(ks[3], TokenKind::Number(0.3));
+        assert!(ks.contains(&TokenKind::Ident("U".into())));
+        assert!(ks.contains(&TokenKind::Number(23.0)));
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("a && b || !c => d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("b".into()),
+                TokenKind::OrOr,
+                TokenKind::Not,
+                TokenKind::Ident("c".into()),
+                TokenKind::Implies,
+                TokenKind::Ident("d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("< <= > >="),
+            vec![TokenKind::Lt, TokenKind::Le, TokenKind::Gt, TokenKind::Ge]
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents() {
+        assert_eq!(kinds("1e-3"), vec![TokenKind::Number(1e-3)]);
+        assert_eq!(kinds("2.5E+2"), vec![TokenKind::Number(250.0)]);
+        assert_eq!(kinds("0.5"), vec![TokenKind::Number(0.5)]);
+        assert_eq!(kinds("600"), vec![TokenKind::Number(600.0)]);
+    }
+
+    #[test]
+    fn infinity_token() {
+        assert_eq!(
+            kinds("[0,~]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Number(0.0),
+                TokenKind::Comma,
+                TokenKind::Infinity,
+                TokenKind::RBracket
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_with_underscores() {
+        assert_eq!(
+            kinds("Call_Idle"),
+            vec![TokenKind::Ident("Call_Idle".into())]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = tokenize("a & b").unwrap_err();
+        assert_eq!(e.offset, 2);
+        assert_eq!(e.fragment, "&");
+        let e = tokenize("a | b").unwrap_err();
+        assert_eq!(e.fragment, "|");
+        let e = tokenize("a = b").unwrap_err();
+        assert_eq!(e.fragment, "=");
+        let e = tokenize("a # b").unwrap_err();
+        assert_eq!(e.fragment, "#");
+        let e = tokenize("1.2.3").unwrap_err();
+        assert_eq!(e.fragment, "1.2.3");
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(tokenize("").unwrap().is_empty());
+        assert!(tokenize("   \t\n").unwrap().is_empty());
+    }
+}

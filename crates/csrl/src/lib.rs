@@ -1,0 +1,49 @@
+//! Continuous Stochastic Reward Logic (CSRL) over Markov reward models with
+//! impulse rewards.
+//!
+//! This crate implements Section 3.6 of *Model Checking Markov Reward Models
+//! with Impulse Rewards*: the syntax of CSRL state and path formulas
+//! ([`StateFormula`], [`PathFormula`]), closed time/reward intervals with the
+//! `⊖` shift operation ([`Interval`]), a lexer and recursive-descent parser
+//! for the thesis tool's concrete syntax, and a pretty-printer that
+//! round-trips through the parser.
+//!
+//! # Concrete syntax (Appendix: Usage Manual)
+//!
+//! ```text
+//! TT | FF | <ap> | ! f | f && f | f || f | f => f | (f)
+//! S(op p) f
+//! P(op p) [ X[t1,t2][r1,r2] f ]
+//! P(op p) [ f U[t1,t2][r1,r2] f ]
+//! P(op p) [ F[t1,t2][r1,r2] f ]      -- derived: tt U f
+//! P(op p) [ G[t1,t2][r1,r2] f ]      -- derived: ¬◇¬f (dual bound)
+//! ```
+//!
+//! where `op ∈ {<, <=, >, >=}`, `p` is a probability, and `~` denotes
+//! infinity. Both interval groups are optional and default to `[0, ~]`.
+//!
+//! # Example
+//!
+//! ```
+//! use mrmc_csrl::parse;
+//!
+//! let f = parse("P(>= 0.3) [ a U[0,3][0,23] b ]")?;
+//! // The printer emits canonical syntax that parses back to the same AST.
+//! let again = parse(&f.to_string())?;
+//! assert_eq!(f, again);
+//! # Ok::<(), mrmc_csrl::ParseError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod interval;
+mod lexer;
+mod parser;
+mod printer;
+
+pub use ast::{CompareOp, PathFormula, StateFormula};
+pub use interval::{Interval, IntervalError};
+pub use lexer::{LexError, Token, TokenKind};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,643 @@
+//! Recursive-descent parser for the CSRL concrete syntax.
+//!
+//! Grammar (see the crate docs for the surface syntax):
+//!
+//! ```text
+//! formula  := or ( '=>' formula )?
+//! or       := and ( '||' and )*
+//! and      := unary ( '&&' unary )*
+//! unary    := '!' unary | primary
+//! primary  := 'TT' | 'FF' | ident | '(' formula ')'
+//!           | 'S' '(' cmp num ')' unary
+//!           | 'P' '(' cmp num ')' '[' path ']'
+//! path     := 'X' bounds formula | 'F' bounds formula
+//!            | 'G' bounds formula | formula 'U' bounds formula
+//! bounds   := ( interval interval? )?          -- defaults to [0,~][0,~]
+//! interval := '[' (num | '~') ',' (num | '~') ']'
+//! ```
+//!
+//! `F φ` is the derived eventually `tt U φ`; `G φ` is the derived globally,
+//! desugared through the thesis' duality `P_{⊴p}(□φ) = ¬P_{dual}(◇¬φ)`.
+//! `S`, `P` (before `(`) and `X`, `U`, `F`, `G` (inside path brackets) are
+//! contextual keywords and cannot be used as atomic propositions in those
+//! positions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{CompareOp, PathFormula, StateFormula};
+use crate::interval::Interval;
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+
+/// A parse error with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset into the input (input length for end-of-input errors).
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            offset: e.offset,
+            message: format!("unexpected `{}`", e.fragment),
+        }
+    }
+}
+
+/// Parse a CSRL state formula from its concrete syntax.
+///
+/// # Errors
+///
+/// [`ParseError`] with a byte offset and message; probability bounds outside
+/// `[0, 1]` and malformed intervals are rejected here.
+///
+/// ```
+/// let f = mrmc_csrl::parse("S(>= 0.3) (b)")?;
+/// assert!(matches!(f, mrmc_csrl::StateFormula::Steady { .. }));
+/// # Ok::<(), mrmc_csrl::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<StateFormula, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let f = p.formula()?;
+    if let Some(t) = p.peek() {
+        return Err(ParseError {
+            offset: t.offset,
+            message: format!("unexpected trailing {:?}", t.kind),
+        });
+    }
+    Ok(f)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self
+                .peek()
+                .map(|t| t.offset)
+                .unwrap_or(self.input_len),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if &t.kind == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.err_here(format!("expected {what}"))),
+        }
+    }
+
+    fn peek_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(Token { kind: TokenKind::Ident(s), .. }) if s == name)
+    }
+
+    fn formula(&mut self) -> Result<StateFormula, ParseError> {
+        let lhs = self.or_formula()?;
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Implies)) {
+            self.pos += 1;
+            let rhs = self.formula()?; // right-associative
+            return Ok(StateFormula::Implies(Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn or_formula(&mut self) -> Result<StateFormula, ParseError> {
+        let mut lhs = self.and_formula()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::OrOr)) {
+            self.pos += 1;
+            let rhs = self.and_formula()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_formula(&mut self) -> Result<StateFormula, ParseError> {
+        let mut lhs = self.unary()?;
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::AndAnd)) {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<StateFormula, ParseError> {
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Not)) {
+            self.pos += 1;
+            return Ok(self.unary()?.not());
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<StateFormula, ParseError> {
+        // `S(`/`P(` are operators; a bare `S`/`P` is an atomic proposition.
+        let next_is_lparen = matches!(
+            self.tokens.get(self.pos + 1).map(|t| &t.kind),
+            Some(TokenKind::LParen)
+        );
+        if self.peek_ident("S") && next_is_lparen {
+            return self.steady();
+        }
+        if self.peek_ident("P") && next_is_lparen {
+            return self.prob();
+        }
+        match self.bump() {
+            Some(Token { kind: TokenKind::Ident(s), .. }) => match s.as_str() {
+                "TT" => Ok(StateFormula::True),
+                "FF" => Ok(StateFormula::False),
+                _ => Ok(StateFormula::Ap(s)),
+            },
+            Some(Token { kind: TokenKind::LParen, .. }) => {
+                let f = self.formula()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(f)
+            }
+            Some(t) => Err(ParseError {
+                offset: t.offset,
+                message: format!("expected a formula, found {:?}", t.kind),
+            }),
+            None => Err(self.err_here("expected a formula, found end of input")),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<CompareOp, ParseError> {
+        match self.bump().map(|t| t.kind) {
+            Some(TokenKind::Lt) => Ok(CompareOp::Lt),
+            Some(TokenKind::Le) => Ok(CompareOp::Le),
+            Some(TokenKind::Gt) => Ok(CompareOp::Gt),
+            Some(TokenKind::Ge) => Ok(CompareOp::Ge),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("expected a comparison operator (<, <=, >, >=)"))
+            }
+        }
+    }
+
+    fn probability(&mut self) -> Result<f64, ParseError> {
+        match self.peek() {
+            Some(Token { kind: TokenKind::Number(v), offset }) => {
+                let (v, offset) = (*v, *offset);
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(ParseError {
+                        offset,
+                        message: format!("probability bound {v} outside [0, 1]"),
+                    });
+                }
+                self.pos += 1;
+                Ok(v)
+            }
+            _ => Err(self.err_here("expected a probability bound")),
+        }
+    }
+
+    fn steady(&mut self) -> Result<StateFormula, ParseError> {
+        self.pos += 1; // S
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let op = self.comparison()?;
+        let bound = self.probability()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let inner = self.unary()?;
+        Ok(StateFormula::Steady {
+            op,
+            bound,
+            inner: Box::new(inner),
+        })
+    }
+
+    fn prob(&mut self) -> Result<StateFormula, ParseError> {
+        self.pos += 1; // P
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let op = self.comparison()?;
+        let bound = self.probability()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        // The globally operator changes the enclosing bound, so it is
+        // handled here rather than in `path_formula`.
+        if self.peek_ident("G") {
+            self.pos += 1;
+            let (time, reward) = self.bounds()?;
+            let inner = self.formula()?;
+            self.expect(&TokenKind::RBracket, "`]`")?;
+            return Ok(StateFormula::prob_globally(op, bound, time, reward, inner));
+        }
+        let path = self.path_formula()?;
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        Ok(StateFormula::Prob {
+            op,
+            bound,
+            path: Box::new(path),
+        })
+    }
+
+    fn path_formula(&mut self) -> Result<PathFormula, ParseError> {
+        if self.peek_ident("F") {
+            // ◇^I_J Φ = tt U^I_J Φ (derived operator of Definition 3.5).
+            self.pos += 1;
+            let (time, reward) = self.bounds()?;
+            let rhs = self.formula()?;
+            return Ok(PathFormula::Until {
+                time,
+                reward,
+                lhs: StateFormula::True,
+                rhs,
+            });
+        }
+        if self.peek_ident("X") {
+            self.pos += 1;
+            let (time, reward) = self.bounds()?;
+            let inner = self.formula()?;
+            return Ok(PathFormula::Next {
+                time,
+                reward,
+                inner,
+            });
+        }
+        let lhs = self.formula()?;
+        if !self.peek_ident("U") {
+            return Err(self.err_here("expected `U` in path formula"));
+        }
+        self.pos += 1;
+        let (time, reward) = self.bounds()?;
+        let rhs = self.formula()?;
+        Ok(PathFormula::Until {
+            time,
+            reward,
+            lhs,
+            rhs,
+        })
+    }
+
+    fn bounds(&mut self) -> Result<(Interval, Interval), ParseError> {
+        if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LBracket)) {
+            return Ok((Interval::unbounded(), Interval::unbounded()));
+        }
+        let time = self.interval()?;
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LBracket)) {
+            let reward = self.interval()?;
+            Ok((time, reward))
+        } else {
+            Ok((time, Interval::unbounded()))
+        }
+    }
+
+    fn interval(&mut self) -> Result<Interval, ParseError> {
+        let start = self.peek().map(|t| t.offset).unwrap_or(self.input_len);
+        self.expect(&TokenKind::LBracket, "`[`")?;
+        let lo = self.bound_value()?;
+        self.expect(&TokenKind::Comma, "`,`")?;
+        let hi = self.bound_value()?;
+        self.expect(&TokenKind::RBracket, "`]`")?;
+        Interval::new(lo, hi).map_err(|e| ParseError {
+            offset: start,
+            message: e.to_string(),
+        })
+    }
+
+    fn bound_value(&mut self) -> Result<f64, ParseError> {
+        match self.bump().map(|t| t.kind) {
+            Some(TokenKind::Number(v)) => Ok(v),
+            Some(TokenKind::Infinity) => Ok(f64::INFINITY),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err_here("expected a number or `~`"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms_and_boolean_operators() {
+        assert_eq!(parse("TT").unwrap(), StateFormula::True);
+        assert_eq!(parse("FF").unwrap(), StateFormula::False);
+        assert_eq!(parse("busy").unwrap(), StateFormula::ap("busy"));
+        assert_eq!(
+            parse("a && b").unwrap(),
+            StateFormula::ap("a").and(StateFormula::ap("b"))
+        );
+        assert_eq!(
+            parse("!a || b").unwrap(),
+            StateFormula::ap("a").not().or(StateFormula::ap("b"))
+        );
+        assert_eq!(
+            parse("a => b").unwrap(),
+            StateFormula::Implies(
+                Box::new(StateFormula::ap("a")),
+                Box::new(StateFormula::ap("b"))
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_not_over_and_over_or() {
+        // !a && b || c  ==  ((!a) && b) || c
+        let f = parse("!a && b || c").unwrap();
+        let expect = StateFormula::ap("a")
+            .not()
+            .and(StateFormula::ap("b"))
+            .or(StateFormula::ap("c"));
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let f = parse("!(a && b)").unwrap();
+        assert_eq!(f, StateFormula::ap("a").and(StateFormula::ap("b")).not());
+    }
+
+    #[test]
+    fn implies_is_right_associative() {
+        let f = parse("a => b => c").unwrap();
+        let expect = StateFormula::Implies(
+            Box::new(StateFormula::ap("a")),
+            Box::new(StateFormula::Implies(
+                Box::new(StateFormula::ap("b")),
+                Box::new(StateFormula::ap("c")),
+            )),
+        );
+        assert_eq!(f, expect);
+    }
+
+    #[test]
+    fn parses_the_manual_until_example() {
+        // "a b-state can be reached with probability at least 0.3 by at most
+        // 3 time-units along a-states accumulating costs at most 23"
+        let f = parse("P(>= 0.3) [a U [0,3][0,23] b]").unwrap();
+        assert_eq!(
+            f,
+            StateFormula::prob_until(
+                CompareOp::Ge,
+                0.3,
+                Interval::upto(3.0),
+                Interval::upto(23.0),
+                StateFormula::ap("a"),
+                StateFormula::ap("b"),
+            )
+        );
+    }
+
+    #[test]
+    fn parses_example_3_3_formulas() {
+        let f = parse("P(> 0.5) [TT U[0,600][0,50] busy]").unwrap();
+        assert!(matches!(f, StateFormula::Prob { .. }));
+
+        let g = parse("P(> 0.8) [(busy || idle) U[0,10][0,50] sleep]").unwrap();
+        if let StateFormula::Prob { path, .. } = &g {
+            if let PathFormula::Until { lhs, .. } = path.as_ref() {
+                assert_eq!(
+                    *lhs,
+                    StateFormula::ap("busy").or(StateFormula::ap("idle"))
+                );
+                return;
+            }
+        }
+        panic!("wrong shape: {g:?}");
+    }
+
+    #[test]
+    fn parses_next_with_and_without_bounds() {
+        let f = parse("P(< 0.1) [X busy]").unwrap();
+        if let StateFormula::Prob { path, .. } = &f {
+            if let PathFormula::Next { time, reward, .. } = path.as_ref() {
+                assert!(time.is_trivial());
+                assert!(reward.is_trivial());
+            } else {
+                panic!("expected next");
+            }
+        }
+
+        let g = parse("P(< 0.1) [X[0,10][0,50] sleep]").unwrap();
+        if let StateFormula::Prob { path, .. } = &g {
+            if let PathFormula::Next { time, reward, .. } = path.as_ref() {
+                assert_eq!((time.lo(), time.hi()), (0.0, 10.0));
+                assert_eq!((reward.lo(), reward.hi()), (0.0, 50.0));
+                return;
+            }
+        }
+        panic!("wrong shape");
+    }
+
+    #[test]
+    fn single_interval_is_the_time_bound() {
+        let f = parse("P(> 0.1) [a U[0,24] b]").unwrap();
+        if let StateFormula::Prob { path, .. } = &f {
+            if let PathFormula::Until { time, reward, .. } = path.as_ref() {
+                assert_eq!(time.hi(), 24.0);
+                assert!(reward.is_trivial());
+                return;
+            }
+        }
+        panic!("wrong shape");
+    }
+
+    #[test]
+    fn infinity_bounds() {
+        let f = parse("P(>= 0) [a U[2,~][0,~] b]").unwrap();
+        if let StateFormula::Prob { path, .. } = &f {
+            if let PathFormula::Until { time, reward, .. } = path.as_ref() {
+                assert_eq!(time.lo(), 2.0);
+                assert!(time.is_upper_unbounded());
+                assert!(reward.is_trivial());
+                return;
+            }
+        }
+        panic!("wrong shape");
+    }
+
+    #[test]
+    fn steady_state_formula() {
+        let f = parse("S(>= 0.3) b").unwrap();
+        assert_eq!(
+            f,
+            StateFormula::Steady {
+                op: CompareOp::Ge,
+                bound: 0.3,
+                inner: Box::new(StateFormula::ap("b")),
+            }
+        );
+        // Binds a single unary formula; use parentheses for more.
+        let g = parse("S(< 0.5) (a || b)").unwrap();
+        if let StateFormula::Steady { inner, .. } = &g {
+            assert!(matches!(inner.as_ref(), StateFormula::Or(..)));
+        } else {
+            panic!("wrong shape");
+        }
+    }
+
+    #[test]
+    fn nested_probability_operators() {
+        // Nested measures as in Example 3.3.
+        let f = parse("P(> 0.8) [X (P(> 0.5) [X[0,10][0,50] sleep])]").unwrap();
+        if let StateFormula::Prob { path, .. } = &f {
+            if let PathFormula::Next { inner, .. } = path.as_ref() {
+                assert!(matches!(inner, StateFormula::Prob { .. }));
+                return;
+            }
+        }
+        panic!("wrong shape");
+    }
+
+    #[test]
+    fn s_and_p_remain_usable_as_plain_propositions() {
+        assert_eq!(parse("S").unwrap(), StateFormula::ap("S"));
+        assert_eq!(
+            parse("P && S").unwrap(),
+            StateFormula::ap("P").and(StateFormula::ap("S"))
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("a &&").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("a b").is_err());
+        assert!(parse("P(>= 1.5) [a U b]").is_err()); // bound outside [0,1]
+        assert!(parse("P(>= 0.5) [a b]").is_err()); // missing U
+        assert!(parse("P(>= 0.5) [a U[3,1] b]").is_err()); // empty interval
+        assert!(parse("P(>= 0.5) [a U[~,1] b]").is_err()); // infinite lower bound
+        assert!(parse("P(0.5 >) [a U b]").is_err());
+        assert!(parse("S(>= 0.3)").is_err());
+        let e = parse("a && & b").unwrap_err();
+        assert!(e.to_string().contains("offset"));
+    }
+
+    #[test]
+    fn deeply_nested_parentheses() {
+        let f = parse("((((a))))").unwrap();
+        assert_eq!(f, StateFormula::ap("a"));
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::parse;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser is total: arbitrary input produces `Ok` or a
+        /// structured error, never a panic.
+        #[test]
+        fn parser_never_panics(input in "[ -~]{0,64}") {
+            let _ = parse(&input);
+        }
+
+        /// Parsing twice is stable (no interior mutability surprises).
+        #[test]
+        fn parsing_is_deterministic(input in "[ -~]{0,48}") {
+            prop_assert_eq!(parse(&input), parse(&input));
+        }
+    }
+}
+
+#[cfg(test)]
+mod derived_operator_tests {
+    use super::parse;
+    use crate::ast::{CompareOp, PathFormula, StateFormula};
+    use crate::interval::Interval;
+
+    #[test]
+    fn eventually_desugars_to_until_from_true() {
+        let f = parse("P(> 0.5) [F[0,10][0,50] goal]").unwrap();
+        assert_eq!(
+            f,
+            StateFormula::prob_eventually(
+                CompareOp::Gt,
+                0.5,
+                Interval::upto(10.0),
+                Interval::upto(50.0),
+                StateFormula::ap("goal"),
+            )
+        );
+    }
+
+    #[test]
+    fn eventually_without_bounds() {
+        let f = parse("P(>= 1) [F goal]").unwrap();
+        if let StateFormula::Prob { path, .. } = &f {
+            if let PathFormula::Until { lhs, time, reward, .. } = path.as_ref() {
+                assert_eq!(*lhs, StateFormula::True);
+                assert!(time.is_trivial());
+                assert!(reward.is_trivial());
+                return;
+            }
+        }
+        panic!("wrong shape: {f:?}");
+    }
+
+    #[test]
+    fn globally_desugars_through_duality() {
+        let f = parse("P(>= 0.9) [G[0,10] up]").unwrap();
+        let expect = StateFormula::prob_globally(
+            CompareOp::Ge,
+            0.9,
+            Interval::upto(10.0),
+            Interval::unbounded(),
+            StateFormula::ap("up"),
+        );
+        assert_eq!(f, expect);
+        // P(≤ 1−0.9)[tt U[0,10] ¬up].
+        if let StateFormula::Prob { op, bound, path } = &f {
+            assert_eq!(*op, CompareOp::Le);
+            assert!((bound - 0.1).abs() < 1e-12);
+            if let PathFormula::Until { rhs, .. } = path.as_ref() {
+                assert_eq!(*rhs, StateFormula::ap("up").not());
+                return;
+            }
+        }
+        panic!("wrong shape: {f:?}");
+    }
+
+    #[test]
+    fn dual_comparisons() {
+        assert_eq!(CompareOp::Lt.dual(), CompareOp::Gt);
+        assert_eq!(CompareOp::Le.dual(), CompareOp::Ge);
+        assert_eq!(CompareOp::Gt.dual(), CompareOp::Lt);
+        assert_eq!(CompareOp::Ge.dual(), CompareOp::Le);
+    }
+
+    #[test]
+    fn f_and_g_remain_plain_propositions_outside_paths() {
+        assert_eq!(parse("F").unwrap(), StateFormula::ap("F"));
+        assert_eq!(parse("G && F").unwrap(), StateFormula::ap("G").and(StateFormula::ap("F")));
+    }
+}

@@ -1,0 +1,270 @@
+//! Pretty-printing of CSRL formulas in the tool's concrete syntax.
+//!
+//! The printer guarantees `parse(f.to_string()) == f` (verified by property
+//! tests): precedence is made explicit with parentheses where needed, and
+//! interval bounds are always printed so contextual keywords cannot collide
+//! with propositions.
+
+use std::fmt;
+
+use crate::ast::{CompareOp, PathFormula, StateFormula};
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Binding strength used for parenthesization (higher binds tighter).
+fn precedence(f: &StateFormula) -> u8 {
+    match f {
+        StateFormula::Implies(..) => 1,
+        StateFormula::Or(..) => 2,
+        StateFormula::And(..) => 3,
+        StateFormula::Not(_) | StateFormula::Steady { .. } => 4,
+        StateFormula::True
+        | StateFormula::False
+        | StateFormula::Ap(_)
+        | StateFormula::Prob { .. } => 5,
+    }
+}
+
+/// Write `f`, parenthesized if its precedence is below `min`.
+fn write_at(f: &StateFormula, min: u8, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if precedence(f) < min {
+        write!(out, "(")?;
+        write_formula(f, out)?;
+        write!(out, ")")
+    } else {
+        write_formula(f, out)
+    }
+}
+
+fn write_formula(f: &StateFormula, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match f {
+        StateFormula::True => write!(out, "TT"),
+        StateFormula::False => write!(out, "FF"),
+        StateFormula::Ap(a) => write!(out, "{a}"),
+        StateFormula::Not(inner) => {
+            write!(out, "!")?;
+            write_at(inner, 4, out)
+        }
+        StateFormula::And(a, b) => {
+            write_at(a, 3, out)?;
+            write!(out, " && ")?;
+            write_at(b, 4, out)
+        }
+        StateFormula::Or(a, b) => {
+            write_at(a, 2, out)?;
+            write!(out, " || ")?;
+            write_at(b, 3, out)
+        }
+        StateFormula::Implies(a, b) => {
+            write_at(a, 2, out)?;
+            write!(out, " => ")?;
+            write_at(b, 1, out)
+        }
+        StateFormula::Steady { op, bound, inner } => {
+            write!(out, "S({op} {bound}) ")?;
+            // Always parenthesize: `S(op p)` binds one unary formula.
+            write!(out, "(")?;
+            write_formula(inner, out)?;
+            write!(out, ")")
+        }
+        StateFormula::Prob { op, bound, path } => {
+            write!(out, "P({op} {bound}) [")?;
+            match path.as_ref() {
+                PathFormula::Next {
+                    time,
+                    reward,
+                    inner,
+                } => {
+                    write!(out, "X{time}{reward} ")?;
+                    write_formula(inner, out)?;
+                }
+                PathFormula::Until {
+                    time,
+                    reward,
+                    lhs,
+                    rhs,
+                } => {
+                    write_formula(lhs, out)?;
+                    write!(out, " U{time}{reward} ")?;
+                    write_formula(rhs, out)?;
+                }
+            }
+            write!(out, "]")
+        }
+    }
+}
+
+impl fmt::Display for StateFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_formula(self, f)
+    }
+}
+
+impl fmt::Display for PathFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathFormula::Next {
+                time,
+                reward,
+                inner,
+            } => write!(f, "X{time}{reward} {inner}"),
+            PathFormula::Until {
+                time,
+                reward,
+                lhs,
+                rhs,
+            } => write!(f, "{lhs} U{time}{reward} {rhs}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::Interval;
+    use crate::parser::parse;
+    use proptest::prelude::*;
+
+    #[test]
+    fn prints_canonical_until() {
+        let f = StateFormula::prob_until(
+            CompareOp::Ge,
+            0.3,
+            Interval::upto(3.0),
+            Interval::upto(23.0),
+            StateFormula::ap("a"),
+            StateFormula::ap("b"),
+        );
+        assert_eq!(f.to_string(), "P(>= 0.3) [a U[0,3][0,23] b]");
+    }
+
+    #[test]
+    fn prints_infinity_as_tilde() {
+        let f = StateFormula::prob_next(
+            CompareOp::Lt,
+            0.5,
+            Interval::unbounded(),
+            Interval::upto(7.0),
+            StateFormula::ap("x"),
+        );
+        assert_eq!(f.to_string(), "P(< 0.5) [X[0,~][0,7] x]");
+    }
+
+    #[test]
+    fn parenthesizes_by_precedence() {
+        let f = StateFormula::ap("a").or(StateFormula::ap("b")).and(StateFormula::ap("c"));
+        assert_eq!(f.to_string(), "(a || b) && c");
+        let g = StateFormula::ap("a").and(StateFormula::ap("b")).not();
+        assert_eq!(g.to_string(), "!(a && b)");
+        let h = StateFormula::ap("a").and(StateFormula::ap("b")).or(StateFormula::ap("c"));
+        assert_eq!(h.to_string(), "a && b || c");
+    }
+
+    #[test]
+    fn roundtrips_fixed_formulas() {
+        for text in [
+            "TT",
+            "FF",
+            "!a",
+            "a && b && c",
+            "a || b && !c",
+            "a => b => c",
+            "(a => b) => c",
+            "S(>= 0.3) (b)",
+            "P(> 0.5) [TT U[0,600][0,50] busy]",
+            "P(> 0.8) [(busy || idle) U[0,10][0,50] sleep]",
+            "P(< 0.1) [X[0,~][0,~] sleep]",
+            "P(> 0.8) [X[0,~][0,~] (P(> 0.5) [X[0,10][0,50] sleep])]",
+            "S(<= 0.9) (P(>= 0.1) [a U[1,2][3,4.5] b])",
+        ] {
+            let f = parse(text).unwrap();
+            let printed = f.to_string();
+            let again = parse(&printed).unwrap_or_else(|e| {
+                panic!("printed `{printed}` failed to parse: {e}")
+            });
+            assert_eq!(f, again, "roundtrip of `{text}` via `{printed}`");
+        }
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (0u32..100, 0u32..100, proptest::bool::ANY).prop_map(|(lo, len, inf)| {
+            let lo = lo as f64 / 4.0;
+            if inf {
+                Interval::new(lo, f64::INFINITY).unwrap()
+            } else {
+                Interval::new(lo, lo + len as f64 / 4.0).unwrap()
+            }
+        })
+    }
+
+    fn arb_op() -> impl Strategy<Value = CompareOp> {
+        prop_oneof![
+            Just(CompareOp::Lt),
+            Just(CompareOp::Le),
+            Just(CompareOp::Gt),
+            Just(CompareOp::Ge),
+        ]
+    }
+
+    fn arb_formula() -> impl Strategy<Value = StateFormula> {
+        let leaf = prop_oneof![
+            Just(StateFormula::True),
+            Just(StateFormula::False),
+            "[a-z][a-z0-9_]{0,6}".prop_map(StateFormula::Ap),
+        ];
+        leaf.prop_recursive(4, 24, 3, |inner| {
+            let prob = (0u32..=100).prop_map(|p| p as f64 / 100.0);
+            prop_oneof![
+                inner.clone().prop_map(|f| f.not()),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| StateFormula::Implies(
+                    Box::new(a),
+                    Box::new(b)
+                )),
+                (arb_op(), prob.clone(), inner.clone()).prop_map(|(op, bound, f)| {
+                    StateFormula::Steady {
+                        op,
+                        bound,
+                        inner: Box::new(f),
+                    }
+                }),
+                (
+                    arb_op(),
+                    prob.clone(),
+                    arb_interval(),
+                    arb_interval(),
+                    inner.clone()
+                )
+                    .prop_map(|(op, bound, t, r, f)| StateFormula::prob_next(
+                        op, bound, t, r, f
+                    )),
+                (
+                    arb_op(),
+                    prob,
+                    arb_interval(),
+                    arb_interval(),
+                    inner.clone(),
+                    inner
+                )
+                    .prop_map(|(op, bound, t, r, a, b)| StateFormula::prob_until(
+                        op, bound, t, r, a, b
+                    )),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn print_parse_roundtrip(f in arb_formula()) {
+            let printed = f.to_string();
+            let parsed = parse(&printed);
+            prop_assert!(parsed.is_ok(), "`{}` failed: {:?}", printed, parsed);
+            prop_assert_eq!(parsed.unwrap(), f, "via `{}`", printed);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Strongly connected components and bottom-SCC detection (Algorithm 4.2).
+//!
+//! The thesis augments Tarjan's algorithm with a `reachSCC` flag to detect
+//! *bottom* strongly connected components (BSCCs): components no transition
+//! leaves. We implement Tarjan iteratively (explicit stack, so deep chains
+//! cannot overflow the call stack) and derive bottomness by checking that
+//! every successor of every member stays inside the component — the same
+//! `O(M + N)` cost as the thesis' in-line flag.
+
+use mrmc_sparse::CsrMatrix;
+
+/// The SCC decomposition of a directed graph given by the non-zero pattern
+/// of a square matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    components: Vec<Vec<usize>>,
+    component_of: Vec<usize>,
+    bottom: Vec<bool>,
+}
+
+impl SccDecomposition {
+    /// Decompose the graph whose edges are the strictly positive entries of
+    /// `matrix` (a rate or probability matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` is not square.
+    pub fn new(matrix: &CsrMatrix) -> Self {
+        assert_eq!(matrix.nrows(), matrix.ncols(), "matrix must be square");
+        let n = matrix.nrows();
+
+        // Iterative Tarjan.
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut component_of = vec![UNVISITED; n];
+
+        // DFS frames: (vertex, iterator position over its successor list).
+        let mut succ: Vec<Vec<usize>> = (0..n)
+            .map(|s| {
+                matrix
+                    .row(s)
+                    .filter(|&(_, v)| v > 0.0)
+                    .map(|(c, _)| c)
+                    .collect()
+            })
+            .collect();
+        // Deduplicate successors (parallel entries are impossible in CSR but
+        // self-loops are fine either way); keep as-is.
+        for list in &mut succ {
+            list.dedup();
+        }
+
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                if *pos < succ[v].len() {
+                    let w = succ[v][*pos];
+                    *pos += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component_of[w] = components.len();
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        components.push(comp);
+                    }
+                }
+            }
+        }
+
+        // Bottom check: a component is bottom iff no member has a successor
+        // outside the component.
+        let mut bottom = vec![true; components.len()];
+        for s in 0..n {
+            let cs = component_of[s];
+            for &t in &succ[s] {
+                if component_of[t] != cs {
+                    bottom[cs] = false;
+                }
+            }
+        }
+
+        SccDecomposition {
+            components,
+            component_of,
+            bottom,
+        }
+    }
+
+    /// Number of SCCs.
+    pub fn num_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// States of component `c`, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn component(&self, c: usize) -> &[usize] {
+        &self.components[c]
+    }
+
+    /// Index of the component containing `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn component_of(&self, state: usize) -> usize {
+        self.component_of[state]
+    }
+
+    /// `true` when component `c` is a bottom SCC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn is_bottom(&self, c: usize) -> bool {
+        self.bottom[c]
+    }
+
+    /// `true` when `state` belongs to a bottom SCC.
+    pub fn is_bottom_state(&self, state: usize) -> bool {
+        self.bottom[self.component_of[state]]
+    }
+
+    /// Iterate over the bottom SCCs as `(component index, states)` pairs —
+    /// the `bsccList` of Algorithm 4.2.
+    pub fn bsccs(&self) -> impl Iterator<Item = (usize, &[usize])> {
+        self.components
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| self.bottom[c])
+            .map(|(c, states)| (c, states.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrmc_sparse::CooBuilder;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for &(u, v) in edges {
+            b.push(u, v, 1.0);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn figure_3_2_has_two_bsccs() {
+        // s1 -> s2 (and s1 -> s5), s2 -> s1, s2 -> s3; B1 = {s3, s4}, B2 = {s5}.
+        // Zero-indexed: 0..=4.
+        let m = graph(
+            5,
+            &[(0, 1), (0, 4), (1, 0), (1, 2), (2, 3), (3, 2), (4, 4)],
+        );
+        let d = SccDecomposition::new(&m);
+        let bsccs: Vec<Vec<usize>> = d.bsccs().map(|(_, s)| s.to_vec()).collect();
+        assert_eq!(bsccs.len(), 2);
+        assert!(bsccs.contains(&vec![2, 3]));
+        assert!(bsccs.contains(&vec![4]));
+        assert!(!d.is_bottom_state(0));
+        assert!(!d.is_bottom_state(1));
+        assert!(d.is_bottom_state(2));
+        assert!(d.is_bottom_state(4));
+        assert_eq!(d.component_of(2), d.component_of(3));
+        assert_ne!(d.component_of(0), d.component_of(2));
+    }
+
+    #[test]
+    fn strongly_connected_graph_is_single_bscc() {
+        let m = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let d = SccDecomposition::new(&m);
+        assert_eq!(d.num_components(), 1);
+        assert!(d.is_bottom(0));
+        assert_eq!(d.component(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn absorbing_state_is_singleton_bscc() {
+        let m = graph(2, &[(0, 1)]);
+        let d = SccDecomposition::new(&m);
+        assert_eq!(d.num_components(), 2);
+        let bsccs: Vec<Vec<usize>> = d.bsccs().map(|(_, s)| s.to_vec()).collect();
+        assert_eq!(bsccs, vec![vec![1]]);
+    }
+
+    #[test]
+    fn isolated_state_without_self_loop_is_bottom() {
+        // A state with no outgoing edges at all: vacuously bottom (it is
+        // absorbing).
+        let m = graph(1, &[]);
+        let d = SccDecomposition::new(&m);
+        assert!(d.is_bottom(0));
+    }
+
+    #[test]
+    fn transient_cycle_is_not_bottom() {
+        // 0 <-> 1 cycle that can escape to absorbing 2.
+        let m = graph(3, &[(0, 1), (1, 0), (1, 2), (2, 2)]);
+        let d = SccDecomposition::new(&m);
+        assert!(!d.is_bottom_state(0));
+        assert!(!d.is_bottom_state(1));
+        assert!(d.is_bottom_state(2));
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow() {
+        // 10_000-state chain exercises the iterative DFS.
+        let n = 10_000;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let m = graph(n, &edges);
+        let d = SccDecomposition::new(&m);
+        assert_eq!(d.num_components(), n);
+        let bottoms: Vec<usize> = d.bsccs().map(|(c, _)| c).collect();
+        assert_eq!(bottoms.len(), 1);
+        assert!(d.is_bottom_state(n - 1));
+    }
+
+    #[test]
+    fn self_loops_do_not_break_bottomness() {
+        let m = graph(2, &[(0, 0), (0, 1), (1, 1)]);
+        let d = SccDecomposition::new(&m);
+        assert!(!d.is_bottom_state(0));
+        assert!(d.is_bottom_state(1));
+    }
+
+    #[test]
+    fn two_intertwined_cycles_merge() {
+        let m = graph(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)]);
+        let d = SccDecomposition::new(&m);
+        assert_eq!(d.num_components(), 1);
+        assert!(d.is_bottom(0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Convenience builder for labeled CTMCs.
+
+use mrmc_sparse::CooBuilder;
+
+use crate::ctmc::Ctmc;
+use crate::error::ModelError;
+use crate::label::Labeling;
+
+/// Incremental builder for a [`Ctmc`].
+///
+/// Transitions pushed for the same `(from, to)` pair accumulate, matching the
+/// usual convention for parallel transitions in high-level model
+/// descriptions.
+///
+/// ```
+/// use mrmc_ctmc::CtmcBuilder;
+///
+/// let mut b = CtmcBuilder::new(2);
+/// b.transition(0, 1, 1.0).transition(1, 0, 2.0).label(0, "start");
+/// let ctmc = b.build()?;
+/// assert_eq!(ctmc.num_states(), 2);
+/// assert!(ctmc.labeling().has(0, "start"));
+/// # Ok::<(), mrmc_ctmc::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtmcBuilder {
+    num_states: usize,
+    rates: CooBuilder,
+    labeling: Labeling,
+}
+
+impl CtmcBuilder {
+    /// Start a builder for a chain with `num_states` states.
+    pub fn new(num_states: usize) -> Self {
+        CtmcBuilder {
+            num_states,
+            rates: CooBuilder::new(num_states, num_states),
+            labeling: Labeling::new(num_states),
+        }
+    }
+
+    /// Number of states the chain will have.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Add (accumulate) a transition `from → to` with the given `rate`.
+    ///
+    /// Validation (non-negativity, bounds) happens in
+    /// [`build`](CtmcBuilder::build).
+    pub fn transition(&mut self, from: usize, to: usize, rate: f64) -> &mut Self {
+        self.rates.push(from, to, rate);
+        self
+    }
+
+    /// Attach atomic proposition `ap` to `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn label(&mut self, state: usize, ap: impl Into<String>) -> &mut Self {
+        self.labeling.add(state, ap);
+        self
+    }
+
+    /// Finish and validate the chain.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Ctmc::new`] rejects, plus
+    /// [`ModelError::StateOutOfBounds`] for transitions past the declared
+    /// state count.
+    pub fn build(self) -> Result<Ctmc, ModelError> {
+        let rates = self.rates.build().map_err(|e| match e {
+            mrmc_sparse::BuildError::IndexOutOfBounds { row, nrows, .. } => {
+                ModelError::StateOutOfBounds {
+                    state: row,
+                    states: nrows,
+                }
+            }
+            mrmc_sparse::BuildError::NonFiniteValue { row, col } => ModelError::NegativeEntry {
+                from: row,
+                to: col,
+                value: f64::NAN,
+            },
+        })?;
+        Ctmc::new(rates, self.labeling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_parallel_transitions() {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 1.0).transition(0, 1, 2.5);
+        let c = b.build().unwrap();
+        assert_eq!(c.rates().get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn out_of_bounds_transition_rejected() {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 5, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::StateOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_rate_rejected() {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, -1.0);
+        assert!(matches!(b.build(), Err(ModelError::NegativeEntry { .. })));
+    }
+
+    #[test]
+    fn nan_rate_rejected() {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, f64::NAN);
+        assert!(matches!(b.build(), Err(ModelError::NegativeEntry { .. })));
+    }
+
+    #[test]
+    fn labels_carry_through() {
+        let mut b = CtmcBuilder::new(1);
+        b.label(0, "a").label(0, "b");
+        let c = b.build().unwrap();
+        assert!(c.labeling().has(0, "a"));
+        assert!(c.labeling().has(0, "b"));
+    }
+
+    #[test]
+    fn empty_builder_rejected() {
+        assert!(matches!(
+            CtmcBuilder::new(0).build(),
+            Err(ModelError::EmptyModel)
+        ));
+    }
+}

@@ -1,0 +1,192 @@
+//! Discrete-time Markov chains (Section 2.3).
+
+use mrmc_sparse::solver::{power_iteration, SolverOptions};
+use mrmc_sparse::CsrMatrix;
+
+use crate::error::ModelError;
+use crate::label::Labeling;
+
+/// A labeled DTMC described by its one-step probability matrix `P` and a
+/// labeling.
+///
+/// Every row must sum to one (within `1e-9`); build absorbing behaviour with
+/// explicit self-loops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dtmc {
+    probs: CsrMatrix,
+    labeling: Labeling,
+}
+
+impl Dtmc {
+    /// Validate and wrap a probability matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::EmptyModel`], [`ModelError::NonSquareMatrix`],
+    ///   [`ModelError::LabelingSizeMismatch`] — structural problems;
+    /// * [`ModelError::NegativeEntry`] — a negative probability;
+    /// * [`ModelError::NotStochastic`] — a row sum differing from one by more
+    ///   than `1e-9`.
+    pub fn new(probs: CsrMatrix, labeling: Labeling) -> Result<Self, ModelError> {
+        if probs.nrows() == 0 {
+            return Err(ModelError::EmptyModel);
+        }
+        if probs.nrows() != probs.ncols() {
+            return Err(ModelError::NonSquareMatrix {
+                nrows: probs.nrows(),
+                ncols: probs.ncols(),
+            });
+        }
+        if labeling.num_states() != probs.nrows() {
+            return Err(ModelError::LabelingSizeMismatch {
+                states: probs.nrows(),
+                labeled: labeling.num_states(),
+            });
+        }
+        for (r, c, v) in probs.iter() {
+            if v < 0.0 {
+                return Err(ModelError::NegativeEntry {
+                    from: r,
+                    to: c,
+                    value: v,
+                });
+            }
+        }
+        for (row, sum) in probs.row_sums().into_iter().enumerate() {
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(ModelError::NotStochastic { row, sum });
+            }
+        }
+        Ok(Dtmc { probs, labeling })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.probs.nrows()
+    }
+
+    /// The one-step probability matrix `P`.
+    pub fn probabilities(&self) -> &CsrMatrix {
+        &self.probs
+    }
+
+    /// The labeling function.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// One step of distribution propagation: `p' = p·P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p.len()` differs from the number of states.
+    pub fn step(&self, p: &[f64]) -> Vec<f64> {
+        self.probs.vec_mul(p)
+    }
+
+    /// The state-occupation probabilities after `steps` steps:
+    /// `p(n) = p(0)·P^n` (Section 2.3.1).
+    pub fn transient(&self, initial: &[f64], steps: usize) -> Vec<f64> {
+        let mut p = initial.to_vec();
+        for _ in 0..steps {
+            p = self.step(&p);
+        }
+        p
+    }
+
+    /// The steady-state distribution `v = v·P` by power iteration
+    /// (Section 2.3.2).
+    ///
+    /// The result depends on `initial` when the chain is reducible; pass the
+    /// actual initial distribution in that case.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures, in particular
+    /// [`mrmc_sparse::SolveError::NotConverged`] for periodic chains where
+    /// the limit does not exist.
+    pub fn steady_state(
+        &self,
+        initial: &[f64],
+        options: SolverOptions,
+    ) -> Result<Vec<f64>, ModelError> {
+        Ok(power_iteration(&self.probs, initial, options)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrmc_sparse::CooBuilder;
+
+    fn figure_2_1() -> Dtmc {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 0, 0.5).push(0, 1, 0.5);
+        b.push(1, 0, 0.25).push(1, 2, 0.75);
+        b.push(2, 0, 0.2).push(2, 1, 0.6).push(2, 2, 0.2);
+        Dtmc::new(b.build().unwrap(), Labeling::new(3)).unwrap()
+    }
+
+    #[test]
+    fn transient_of_example_2_2() {
+        let d = figure_2_1();
+        let p3 = d.transient(&[1.0, 0.0, 0.0], 3);
+        assert!((p3[0] - 0.325).abs() < 1e-12);
+        assert!((p3[1] - 0.4125).abs() < 1e-12);
+        assert!((p3[2] - 0.2625).abs() < 1e-12);
+
+        let p25 = d.transient(&[1.0, 0.0, 0.0], 25);
+        assert!((p25[0] - 0.31111).abs() < 5e-6);
+        assert!((p25[1] - 0.35556).abs() < 5e-6);
+        assert!((p25[2] - 0.33333).abs() < 5e-6);
+    }
+
+    #[test]
+    fn steady_state_of_example_2_3() {
+        let d = figure_2_1();
+        let v = d
+            .steady_state(&[1.0, 0.0, 0.0], SolverOptions::new())
+            .unwrap();
+        assert!((v[0] - 14.0 / 45.0).abs() < 1e-9);
+        assert!((v[1] - 16.0 / 45.0).abs() < 1e-9);
+        assert!((v[2] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let d = figure_2_1();
+        assert_eq!(d.transient(&[0.0, 1.0, 0.0], 0), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn substochastic_row_rejected() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 0.5).push(1, 1, 1.0);
+        assert!(matches!(
+            Dtmc::new(b.build().unwrap(), Labeling::new(2)),
+            Err(ModelError::NotStochastic { row: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn negative_probability_rejected() {
+        let mut b = CooBuilder::new(1, 1);
+        b.push(0, 0, -1.0);
+        assert!(matches!(
+            Dtmc::new(b.build().unwrap(), Labeling::new(1)),
+            Err(ModelError::NegativeEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn structural_errors() {
+        assert!(matches!(
+            Dtmc::new(CsrMatrix::zeros(0, 0), Labeling::new(0)),
+            Err(ModelError::EmptyModel)
+        ));
+        assert!(matches!(
+            Dtmc::new(CsrMatrix::identity(2), Labeling::new(5)),
+            Err(ModelError::LabelingSizeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! Model-construction and analysis errors for Markov chains.
+
+use std::error::Error;
+use std::fmt;
+
+use mrmc_sparse::SolveError;
+
+/// An error raised while constructing or analysing a Markov chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The model has no states.
+    EmptyModel,
+    /// The transition matrix is not square.
+    NonSquareMatrix {
+        /// Number of rows found.
+        nrows: usize,
+        /// Number of columns found.
+        ncols: usize,
+    },
+    /// A rate or probability entry is negative.
+    NegativeEntry {
+        /// Source state of the offending entry.
+        from: usize,
+        /// Target state of the offending entry.
+        to: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// The labeling covers a different number of states than the matrix.
+    LabelingSizeMismatch {
+        /// States in the matrix.
+        states: usize,
+        /// States covered by the labeling.
+        labeled: usize,
+    },
+    /// A DTMC row does not sum to one.
+    NotStochastic {
+        /// The offending row (state).
+        row: usize,
+        /// Its actual sum.
+        sum: f64,
+    },
+    /// A uniformization rate below the maximal exit rate was requested.
+    InvalidUniformizationRate {
+        /// The requested rate.
+        requested: f64,
+        /// The minimal admissible rate (the maximal exit rate).
+        minimum: f64,
+    },
+    /// A state index outside the model was referenced.
+    StateOutOfBounds {
+        /// The offending state index.
+        state: usize,
+        /// Number of states in the model.
+        states: usize,
+    },
+    /// An underlying linear solve failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyModel => write!(f, "model has no states"),
+            ModelError::NonSquareMatrix { nrows, ncols } => {
+                write!(f, "transition matrix is {nrows}x{ncols}, expected square")
+            }
+            ModelError::NegativeEntry { from, to, value } => {
+                write!(f, "negative entry {value} on transition {from} -> {to}")
+            }
+            ModelError::LabelingSizeMismatch { states, labeled } => write!(
+                f,
+                "labeling covers {labeled} states but the model has {states}"
+            ),
+            ModelError::NotStochastic { row, sum } => {
+                write!(f, "row {row} sums to {sum}, expected 1")
+            }
+            ModelError::InvalidUniformizationRate { requested, minimum } => write!(
+                f,
+                "uniformization rate {requested} below maximal exit rate {minimum}"
+            ),
+            ModelError::StateOutOfBounds { state, states } => {
+                write!(f, "state {state} out of bounds for a model with {states} states")
+            }
+            ModelError::Solve(e) => write!(f, "linear solve failed: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for ModelError {
+    fn from(e: SolveError) -> Self {
+        ModelError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ModelError::EmptyModel.to_string().contains("no states"));
+        assert!(ModelError::NonSquareMatrix { nrows: 2, ncols: 3 }
+            .to_string()
+            .contains("2x3"));
+        assert!(ModelError::NegativeEntry {
+            from: 1,
+            to: 2,
+            value: -0.5
+        }
+        .to_string()
+        .contains("-0.5"));
+        assert!(ModelError::LabelingSizeMismatch {
+            states: 4,
+            labeled: 2
+        }
+        .to_string()
+        .contains('4'));
+        assert!(ModelError::NotStochastic { row: 0, sum: 0.9 }
+            .to_string()
+            .contains("0.9"));
+        assert!(ModelError::InvalidUniformizationRate {
+            requested: 1.0,
+            minimum: 2.0
+        }
+        .to_string()
+        .contains("below"));
+        assert!(ModelError::StateOutOfBounds { state: 9, states: 3 }
+            .to_string()
+            .contains('9'));
+    }
+
+    #[test]
+    fn solve_error_wraps_with_source() {
+        let e: ModelError = SolveError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,131 @@
+//! Atomic propositions and state labelings (Section 2.5 of the thesis).
+
+use std::collections::BTreeSet;
+
+/// A labeling function `Label : S → 2^AP` assigning to every state the set of
+/// atomic propositions valid in it.
+///
+/// Atomic propositions are plain strings; a state `s` with `p ∈ Label(s)` is
+/// called a *p-state*.
+///
+/// ```
+/// let mut l = mrmc_ctmc::Labeling::new(3);
+/// l.add(0, "idle");
+/// l.add(2, "busy");
+/// assert!(l.has(0, "idle"));
+/// assert_eq!(l.states_with("busy"), vec![false, false, true]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Labeling {
+    per_state: Vec<BTreeSet<String>>,
+}
+
+impl Labeling {
+    /// An empty labeling over `num_states` states.
+    pub fn new(num_states: usize) -> Self {
+        Labeling {
+            per_state: vec![BTreeSet::new(); num_states],
+        }
+    }
+
+    /// Number of states covered.
+    pub fn num_states(&self) -> usize {
+        self.per_state.len()
+    }
+
+    /// Make `ap` valid in `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn add(&mut self, state: usize, ap: impl Into<String>) -> &mut Self {
+        self.per_state[state].insert(ap.into());
+        self
+    }
+
+    /// `true` when `ap ∈ Label(state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn has(&self, state: usize, ap: &str) -> bool {
+        self.per_state[state].contains(ap)
+    }
+
+    /// The set of propositions valid in `state`, in lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn of_state(&self, state: usize) -> impl Iterator<Item = &str> {
+        self.per_state[state].iter().map(String::as_str)
+    }
+
+    /// The characteristic vector of the set of `ap`-states.
+    pub fn states_with(&self, ap: &str) -> Vec<bool> {
+        self.per_state.iter().map(|s| s.contains(ap)).collect()
+    }
+
+    /// Every proposition used anywhere in the labeling, sorted and
+    /// de-duplicated.
+    pub fn all_propositions(&self) -> Vec<&str> {
+        let mut set = BTreeSet::new();
+        for s in &self.per_state {
+            for ap in s {
+                set.insert(ap.as_str());
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelan_labeling_of_example_2_4() {
+        // States 1..5 of Figure 2.2, zero-indexed here.
+        let mut l = Labeling::new(5);
+        l.add(0, "off");
+        l.add(1, "sleep");
+        l.add(2, "idle");
+        l.add(3, "receive").add(3, "busy");
+        l.add(4, "transmit").add(4, "busy");
+
+        assert!(l.has(3, "busy"));
+        assert!(l.has(4, "busy"));
+        assert!(!l.has(2, "busy"));
+        assert_eq!(
+            l.states_with("busy"),
+            vec![false, false, false, true, true]
+        );
+        assert_eq!(
+            l.all_propositions(),
+            vec!["busy", "idle", "off", "receive", "sleep", "transmit"]
+        );
+        let aps: Vec<&str> = l.of_state(3).collect();
+        assert_eq!(aps, vec!["busy", "receive"]);
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let mut l = Labeling::new(1);
+        l.add(0, "a").add(0, "a");
+        assert_eq!(l.of_state(0).count(), 1);
+    }
+
+    #[test]
+    fn empty_labeling() {
+        let l = Labeling::new(2);
+        assert_eq!(l.num_states(), 2);
+        assert!(l.all_propositions().is_empty());
+        assert_eq!(l.states_with("x"), vec![false, false]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn add_out_of_bounds_panics() {
+        Labeling::new(1).add(1, "a");
+    }
+}

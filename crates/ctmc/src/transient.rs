@@ -1,0 +1,164 @@
+//! Transient analysis of CTMCs by uniformization (Section 2.4.1).
+//!
+//! `p(t) = Σ_n e^{-Λt}(Λt)^n/n! · p(0)·P^n` over the uniformized DTMC, with
+//! the Poisson layer truncated by Fox–Glynn weights.
+
+use crate::error::ModelError;
+use crate::poisson::FoxGlynn;
+use crate::Ctmc;
+
+/// State-occupation probabilities `p(t)` starting from `initial`, with total
+/// truncation error at most `epsilon` (in the L1 sense).
+///
+/// # Errors
+///
+/// [`ModelError::LabelingSizeMismatch`] when `initial` has the wrong length;
+/// uniformization failures are propagated.
+///
+/// # Panics
+///
+/// Panics if `t` is negative/non-finite or `epsilon` is not in `(0, 1)`.
+pub fn transient_distribution(
+    ctmc: &Ctmc,
+    initial: &[f64],
+    t: f64,
+    epsilon: f64,
+) -> Result<Vec<f64>, ModelError> {
+    assert!(t.is_finite() && t >= 0.0, "t must be finite and non-negative");
+    let n = ctmc.num_states();
+    if initial.len() != n {
+        return Err(ModelError::LabelingSizeMismatch {
+            states: n,
+            labeled: initial.len(),
+        });
+    }
+    if t == 0.0 {
+        return Ok(initial.to_vec());
+    }
+
+    let (uni, lambda) = ctmc.uniformized(None)?;
+    let fg = FoxGlynn::new(lambda * t, epsilon);
+    let p = uni.probabilities();
+
+    let mut v = initial.to_vec();
+    let mut acc = vec![0.0; n];
+    for step in 0..=fg.right() {
+        if step >= fg.left() {
+            let w = fg.weights()[(step - fg.left()) as usize];
+            for (a, x) in acc.iter_mut().zip(&v) {
+                *a += w * x;
+            }
+        }
+        if step < fg.right() {
+            v = p.vec_mul(&v);
+        }
+    }
+    Ok(acc)
+}
+
+/// Probability of occupying a `target` state at time `t` from `initial`.
+///
+/// # Errors
+///
+/// See [`transient_distribution`]; additionally rejects a `target` vector of
+/// the wrong length.
+pub fn transient_probability(
+    ctmc: &Ctmc,
+    initial: &[f64],
+    t: f64,
+    target: &[bool],
+    epsilon: f64,
+) -> Result<f64, ModelError> {
+    if target.len() != ctmc.num_states() {
+        return Err(ModelError::LabelingSizeMismatch {
+            states: ctmc.num_states(),
+            labeled: target.len(),
+        });
+    }
+    let d = transient_distribution(ctmc, initial, t, epsilon)?;
+    Ok(d.iter()
+        .zip(target)
+        .filter(|(_, &in_target)| in_target)
+        .map(|(p, _)| p)
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+    use mrmc_sparse::vector;
+
+    fn two_state(fail: f64, repair: f64) -> Ctmc {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, fail).transition(1, 0, repair);
+        b.label(0, "up").label(1, "down");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matches_closed_form_for_two_states() {
+        // p_down(t) = λ/(λ+μ) · (1 − e^{−(λ+μ)t}).
+        let (lambda, mu) = (0.2, 0.8);
+        let c = two_state(lambda, mu);
+        for &t in &[0.1, 1.0, 5.0, 20.0] {
+            let p = transient_distribution(&c, &[1.0, 0.0], t, 1e-12).unwrap();
+            let expect = lambda / (lambda + mu) * (1.0 - (-(lambda + mu) * t).exp());
+            assert!((p[1] - expect).abs() < 1e-9, "t = {t}: {} vs {expect}", p[1]);
+        }
+    }
+
+    #[test]
+    fn t_zero_returns_initial() {
+        let c = two_state(1.0, 1.0);
+        let p = transient_distribution(&c, &[0.3, 0.7], 0.0, 1e-10).unwrap();
+        assert_eq!(p, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn distribution_stays_normalized() {
+        let c = two_state(2.0, 0.5);
+        for &t in &[0.5, 3.0, 50.0] {
+            let p = transient_distribution(&c, &[1.0, 0.0], t, 1e-12).unwrap();
+            assert!((vector::sum(&p) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn converges_to_steady_state() {
+        let c = two_state(1.0, 3.0);
+        let p = transient_distribution(&c, &[0.0, 1.0], 200.0, 1e-12).unwrap();
+        assert!((p[0] - 0.75).abs() < 1e-8);
+        assert!((p[1] - 0.25).abs() < 1e-8);
+    }
+
+    #[test]
+    fn absorbing_state_accumulates() {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 1.0);
+        let c = b.build().unwrap();
+        let p = transient_probability(&c, &[1.0, 0.0], 2.0, &[false, true], 1e-12).unwrap();
+        assert!((p - (1.0 - (-2.0f64).exp())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_lambda_t_is_stable() {
+        // Λt ≈ 2000: Fox–Glynn must not underflow.
+        let c = two_state(100.0, 300.0);
+        let p = transient_distribution(&c, &[1.0, 0.0], 5.0, 1e-10).unwrap();
+        assert!((p[0] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrong_initial_length_rejected() {
+        let c = two_state(1.0, 1.0);
+        assert!(matches!(
+            transient_distribution(&c, &[1.0], 1.0, 1e-10),
+            Err(ModelError::LabelingSizeMismatch { .. })
+        ));
+        assert!(matches!(
+            transient_probability(&c, &[1.0, 0.0], 1.0, &[true], 1e-10),
+            Err(ModelError::LabelingSizeMismatch { .. })
+        ));
+    }
+}

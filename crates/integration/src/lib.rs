@@ -1,0 +1,7 @@
+//! Carrier crate for the workspace-level integration tests (`tests/`) and
+//! examples (`examples/`) at the repository root.
+//!
+//! The test and example sources live outside the crate directory (see the
+//! `[[test]]`/`[[example]]` path entries in `Cargo.toml`), matching the
+//! repository layout described in `DESIGN.md`. The crate itself exports
+//! nothing.

@@ -1,0 +1,53 @@
+//! The reducible CTMC of Figure 3.2 (Example 3.5), used to exercise
+//! BSCC-based steady-state analysis.
+
+use mrmc_ctmc::{Ctmc, CtmcBuilder};
+use mrmc_mrm::Mrm;
+
+/// Build the CTMC of Figure 3.2 (states 0..=4 for the thesis' s1..=s5).
+///
+/// Two BSCCs: `B1 = {s3, s4}` and `B2 = {s5}`; the `b`-state is `s4`.
+/// Checking `S(≥0.3)(b)` from `s1` yields `π(s1, Sat(b)) = 8/21`.
+pub fn figure_3_2() -> Ctmc {
+    let mut b = CtmcBuilder::new(5);
+    b.transition(0, 1, 2.0).transition(0, 4, 1.0);
+    b.transition(1, 0, 1.0).transition(1, 2, 2.0);
+    b.transition(2, 3, 2.0);
+    b.transition(3, 2, 1.0);
+    b.label(3, "b");
+    b.label(4, "sink");
+    b.build().expect("the Figure 3.2 CTMC is well-formed")
+}
+
+/// The same chain wrapped as a reward-free MRM (for checker-level tests).
+pub fn figure_3_2_mrm() -> Mrm {
+    Mrm::without_rewards(figure_3_2())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrmc_ctmc::bscc::SccDecomposition;
+    use mrmc_ctmc::steady::SteadyStateAnalysis;
+    use mrmc_sparse::solver::SolverOptions;
+
+    #[test]
+    fn has_the_two_bsccs_of_the_figure() {
+        let c = figure_3_2();
+        let d = SccDecomposition::new(c.rates());
+        let bsccs: Vec<Vec<usize>> = d.bsccs().map(|(_, s)| s.to_vec()).collect();
+        assert_eq!(bsccs.len(), 2);
+        assert!(bsccs.contains(&vec![2, 3]));
+        assert!(bsccs.contains(&vec![4]));
+    }
+
+    #[test]
+    fn example_3_5_value() {
+        let c = figure_3_2();
+        let a = SteadyStateAnalysis::new(&c, SolverOptions::new()).unwrap();
+        let p = a.probability_from(0, &c.labeling().states_with("b"));
+        assert!((p - 8.0 / 21.0).abs() < 1e-9);
+        // 8/21 ≥ 0.3, so s1 ⊨ S(≥0.3)(b).
+        assert!(p >= 0.3);
+    }
+}

@@ -1,0 +1,48 @@
+//! The three-state DTMC of Figure 2.1 (Examples 2.1–2.3).
+
+use mrmc_ctmc::{Dtmc, Labeling};
+use mrmc_sparse::CooBuilder;
+
+/// Build the DTMC of Figure 2.1.
+///
+/// Its transient distribution after three steps from state 0 is
+/// `(0.325, 0.4125, 0.2625)` (Example 2.2) and its steady-state vector is
+/// `(14/45, 16/45, 1/3)` (Example 2.3).
+pub fn figure_2_1() -> Dtmc {
+    let mut b = CooBuilder::new(3, 3);
+    b.push(0, 0, 0.5).push(0, 1, 0.5);
+    b.push(1, 0, 0.25).push(1, 2, 0.75);
+    b.push(2, 0, 0.2).push(2, 1, 0.6).push(2, 2, 0.2);
+    Dtmc::new(b.build().expect("well-formed"), Labeling::new(3))
+        .expect("the Figure 2.1 DTMC is stochastic")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrmc_sparse::solver::SolverOptions;
+
+    #[test]
+    fn example_2_2_transient() {
+        let d = figure_2_1();
+        let p = d.transient(&[1.0, 0.0, 0.0], 3);
+        assert!((p[0] - 0.325).abs() < 1e-12);
+        assert!((p[1] - 0.4125).abs() < 1e-12);
+        assert!((p[2] - 0.2625).abs() < 1e-12);
+        let p15 = d.transient(&[1.0, 0.0, 0.0], 15);
+        assert!((p15[0] - 0.3111).abs() < 5e-5);
+        assert!((p15[1] - 0.35567).abs() < 5e-5);
+        assert!((p15[2] - 0.33323).abs() < 5e-5);
+    }
+
+    #[test]
+    fn example_2_3_steady_state() {
+        let d = figure_2_1();
+        let v = d
+            .steady_state(&[1.0, 0.0, 0.0], SolverOptions::new())
+            .unwrap();
+        assert!((v[0] - 14.0 / 45.0).abs() < 1e-9);
+        assert!((v[1] - 16.0 / 45.0).abs() < 1e-9);
+        assert!((v[2] - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

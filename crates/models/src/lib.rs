@@ -1,0 +1,34 @@
+//! Example and benchmark models from *Model Checking Markov Reward Models
+//! with Impulse Rewards*.
+//!
+//! * [`wavelan`](wavelan()) — the WaveLAN modem MRM (Figures 2.2/3.1, Examples 2.4,
+//!   3.1, 4.1, 4.2);
+//! * [`tmr`](tmr()) — the triple-modular-redundant system of the evaluation
+//!   chapter (Figure 5.2, Tables 5.2–5.8), parameterizable in the number of
+//!   modules and the failure-rate law;
+//! * [`phone`] — a wireless-phone performability model standing in for the
+//!   `[Hav02]` case study of Table 5.1 (see `DESIGN.md`, substitution 1);
+//! * [`dtmc_examples`] — the three-state DTMC of Figure 2.1;
+//! * [`bscc_examples`] — the reducible chain of Figure 3.2;
+//! * [`random`] — seeded random MRM generation for property tests and
+//!   stress benches;
+//! * [`queue`] — an M/M/1/K queue with server breakdowns (beyond the
+//!   paper: a classic performability workload for stress tests and scaling
+//!   benches);
+//! * [`cluster`] — the fault-tolerant cluster-of-workstations benchmark
+//!   (beyond the paper), with a parameterizable `(N+1)²·8`-state space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bscc_examples;
+pub mod cluster;
+pub mod dtmc_examples;
+pub mod phone;
+pub mod queue;
+pub mod random;
+pub mod tmr;
+pub mod wavelan;
+
+pub use tmr::{tmr, TmrConfig};
+pub use wavelan::wavelan;

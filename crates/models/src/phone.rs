@@ -1,0 +1,126 @@
+//! A wireless-phone performability model standing in for the `[Hav02]` case
+//! study used in Table 5.1 (results *without* impulse rewards).
+//!
+//! The thesis reuses the model of *Model Checking Performability Properties*
+//! (Haverkort et al., DSN 2002) without reproducing its generator matrix;
+//! this module provides a structurally equivalent substitute (see
+//! `DESIGN.md`, substitution 1): after making the `(¬(Call_Idle ∨ Doze) ∨
+//! Call_Initiated)`-states absorbing the chain has exactly three transient
+//! and two absorbing states, as the thesis reports, and the checked
+//! probability for `P(>0.5)[(Call_Idle || Doze) U[0,24][0,600]
+//! Call_Initiated]` lands near the reference value ≈ 0.495.
+//!
+//! States (0-indexed):
+//!
+//! | state | label            | power reward |
+//! |-------|------------------|--------------|
+//! | 0     | `Doze`           | 10           |
+//! | 1     | `Call_Idle`      | 50           |
+//! | 2     | `Deep_Doze` (labeled `Doze`) | 2 |
+//! | 3     | `Call_Initiated` | 40           |
+//! | 4     | `Off`            | 0            |
+//!
+//! All state rewards are integers, so the model exercises the
+//! discretization engine without scaling. The `with_impulses` variant adds
+//! wake-up and call-setup impulse costs for experiments that need them.
+
+use mrmc_ctmc::CtmcBuilder;
+use mrmc_mrm::{ImpulseRewards, Mrm, StateRewards};
+
+/// State index of the `Doze` state (the initial state of Table 5.1).
+pub const DOZE: usize = 0;
+/// State index of the `Call_Idle` state.
+pub const CALL_IDLE: usize = 1;
+/// State index of the deep-doze state (also labeled `Doze`).
+pub const DEEP_DOZE: usize = 2;
+/// State index of the `Call_Initiated` state.
+pub const CALL_INITIATED: usize = 3;
+/// State index of the `Off` state.
+pub const OFF: usize = 4;
+
+fn base(impulses: ImpulseRewards) -> Mrm {
+    let mut b = CtmcBuilder::new(5);
+    b.transition(DOZE, CALL_IDLE, 0.2)
+        .transition(DOZE, DEEP_DOZE, 0.05)
+        .transition(DOZE, OFF, 0.001);
+    b.transition(CALL_IDLE, DOZE, 0.3)
+        .transition(CALL_IDLE, CALL_INITIATED, 0.04)
+        .transition(CALL_IDLE, OFF, 0.002);
+    b.transition(DEEP_DOZE, DOZE, 0.1);
+    b.transition(CALL_INITIATED, CALL_IDLE, 2.0);
+    b.label(DOZE, "Doze");
+    b.label(CALL_IDLE, "Call_Idle");
+    b.label(DEEP_DOZE, "Doze").label(DEEP_DOZE, "Deep_Doze");
+    b.label(CALL_INITIATED, "Call_Initiated");
+    b.label(OFF, "Off");
+    let ctmc = b.build().expect("the phone model is well-formed");
+
+    let rho = StateRewards::new(vec![10.0, 50.0, 2.0, 40.0, 0.0])
+        .expect("rewards are non-negative");
+    Mrm::new(ctmc, rho, impulses).expect("the phone MRM is well-formed")
+}
+
+/// The phone model with state rewards only (the Table 5.1 setting: the
+/// generic algorithm applied to a model whose impulse rewards are all
+/// zero).
+pub fn phone() -> Mrm {
+    base(ImpulseRewards::new())
+}
+
+/// The phone model with impulse rewards on mode changes (wake-up and call
+/// setup), for experiments that exercise both reward kinds.
+pub fn phone_with_impulses() -> Mrm {
+    let mut iota = ImpulseRewards::new();
+    iota.set(DOZE, CALL_IDLE, 1.0).expect("valid impulse");
+    iota.set(CALL_IDLE, CALL_INITIATED, 5.0)
+        .expect("valid impulse");
+    base(iota)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrmc_mrm::transform::make_absorbing;
+
+    #[test]
+    fn absorbed_model_has_three_transient_two_absorbing_states() {
+        // The shape the thesis reports for the Table 5.1 computation.
+        let m = phone();
+        let phi_states: Vec<bool> = (0..5)
+            .map(|s| m.labeling().has(s, "Call_Idle") || m.labeling().has(s, "Doze"))
+            .collect();
+        let psi_states = m.labeling().states_with("Call_Initiated");
+        let absorb: Vec<bool> = phi_states
+            .iter()
+            .zip(&psi_states)
+            .map(|(&p, &q)| !p || q)
+            .collect();
+        let a = make_absorbing(&m, &absorb).unwrap();
+        let absorbing: Vec<usize> = (0..5).filter(|&s| a.ctmc().is_absorbing(s)).collect();
+        assert_eq!(absorbing, vec![CALL_INITIATED, OFF]);
+    }
+
+    #[test]
+    fn rewards_are_integers_for_discretization() {
+        let m = phone();
+        assert!(m.state_rewards().all_integer());
+        assert!(m.impulse_rewards().is_empty());
+    }
+
+    #[test]
+    fn impulse_variant_adds_costs() {
+        let m = phone_with_impulses();
+        assert_eq!(m.impulse_reward(DOZE, CALL_IDLE), 1.0);
+        assert_eq!(m.impulse_reward(CALL_IDLE, CALL_INITIATED), 5.0);
+        assert_eq!(m.impulse_reward(CALL_IDLE, DOZE), 0.0);
+    }
+
+    #[test]
+    fn doze_labels_cover_two_states() {
+        let m = phone();
+        assert_eq!(
+            m.labeling().states_with("Doze"),
+            vec![true, false, true, false, false]
+        );
+    }
+}

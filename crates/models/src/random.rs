@@ -1,0 +1,174 @@
+//! Seeded random MRM generation for property tests and stress benches.
+//!
+//! The generator produces *valid* models by construction: non-negative
+//! rates, rewards drawn from a small set of levels (so reward classes stay
+//! meaningful), impulse rewards only on actual transitions and never on
+//! self-loops, and every state reachable from state 0 (a spanning chain is
+//! always included, keeping until-probabilities non-trivial).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mrmc_ctmc::CtmcBuilder;
+use mrmc_mrm::{ImpulseRewards, Mrm, StateRewards};
+
+/// Parameters for [`random_mrm`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomMrmConfig {
+    /// Number of states (≥ 2).
+    pub states: usize,
+    /// Expected number of extra transitions per state beyond the spanning
+    /// chain.
+    pub extra_transitions_per_state: f64,
+    /// Rates are drawn uniformly from `(0, max_rate]`.
+    pub max_rate: f64,
+    /// State rewards are drawn from this set of levels.
+    pub reward_levels: Vec<f64>,
+    /// Impulse rewards are drawn from this set (zero means "no impulse").
+    pub impulse_levels: Vec<f64>,
+    /// Fraction of states labeled `goal`.
+    pub goal_fraction: f64,
+}
+
+impl Default for RandomMrmConfig {
+    fn default() -> Self {
+        RandomMrmConfig {
+            states: 6,
+            extra_transitions_per_state: 1.5,
+            max_rate: 3.0,
+            reward_levels: vec![0.0, 1.0, 4.0],
+            impulse_levels: vec![0.0, 0.5, 2.0],
+            goal_fraction: 0.25,
+        }
+    }
+}
+
+/// Generate a random but valid MRM, deterministically from `seed`.
+///
+/// Every state carries the label `s{i}`; roughly `goal_fraction` of the
+/// states (at least one, never state 0) also carry `goal`.
+///
+/// # Panics
+///
+/// Panics if `config.states < 2` or the level sets are empty.
+pub fn random_mrm(seed: u64, config: &RandomMrmConfig) -> Mrm {
+    assert!(config.states >= 2, "need at least two states");
+    assert!(!config.reward_levels.is_empty(), "need reward levels");
+    assert!(!config.impulse_levels.is_empty(), "need impulse levels");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = config.states;
+
+    let mut b = CtmcBuilder::new(n);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Spanning chain 0 → 1 → … → n−1 keeps everything reachable.
+    for s in 0..n - 1 {
+        let rate = rng.gen_range(0.05..=config.max_rate);
+        b.transition(s, s + 1, rate);
+        edges.push((s, s + 1));
+    }
+    // Extra random transitions (self-loops allowed).
+    let extra = (config.extra_transitions_per_state * n as f64).round() as usize;
+    for _ in 0..extra {
+        let from = rng.gen_range(0..n);
+        let to = rng.gen_range(0..n);
+        if edges.contains(&(from, to)) {
+            continue;
+        }
+        let rate = rng.gen_range(0.05..=config.max_rate);
+        b.transition(from, to, rate);
+        edges.push((from, to));
+    }
+
+    for s in 0..n {
+        b.label(s, format!("s{s}"));
+    }
+    // Goal states: never state 0, at least one.
+    let mut goals = 0usize;
+    for s in 1..n {
+        if rng.gen_bool(config.goal_fraction.clamp(0.0, 1.0)) {
+            b.label(s, "goal");
+            goals += 1;
+        }
+    }
+    if goals == 0 {
+        b.label(n - 1, "goal");
+    }
+    let ctmc = b.build().expect("generated chain is well-formed");
+
+    let rewards: Vec<f64> = (0..n)
+        .map(|_| config.reward_levels[rng.gen_range(0..config.reward_levels.len())])
+        .collect();
+    let rho = StateRewards::new(rewards).expect("levels are non-negative");
+
+    let mut iota = ImpulseRewards::new();
+    for &(from, to) in &edges {
+        if from == to {
+            continue; // Definition 3.1: no impulse on self-loops.
+        }
+        let level = config.impulse_levels[rng.gen_range(0..config.impulse_levels.len())];
+        if level > 0.0 {
+            iota.set(from, to, level).expect("levels are non-negative");
+        }
+    }
+    Mrm::new(ctmc, rho, iota).expect("generated MRM is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomMrmConfig::default();
+        let a = random_mrm(42, &cfg);
+        let b = random_mrm(42, &cfg);
+        assert_eq!(a, b);
+        let c = random_mrm(43, &cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_models_are_valid_and_connected() {
+        let cfg = RandomMrmConfig::default();
+        for seed in 0..25 {
+            let m = random_mrm(seed, &cfg);
+            assert_eq!(m.num_states(), cfg.states);
+            // Spanning chain: every state is reachable from 0.
+            for s in 0..cfg.states - 1 {
+                assert!(m.ctmc().rates().get(s, s + 1) > 0.0);
+            }
+            // At least one goal state, never state 0.
+            let goals = m.labeling().states_with("goal");
+            assert!(goals.iter().any(|&g| g));
+            assert!(!goals[0]);
+            // No impulse on self-loops.
+            for (f, t, v) in m.impulse_rewards().iter() {
+                assert!(f != t);
+                assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn reward_levels_are_respected() {
+        let cfg = RandomMrmConfig {
+            reward_levels: vec![2.0],
+            impulse_levels: vec![0.0],
+            ..RandomMrmConfig::default()
+        };
+        let m = random_mrm(7, &cfg);
+        for s in 0..m.num_states() {
+            assert_eq!(m.state_reward(s), 2.0);
+        }
+        assert!(m.impulse_rewards().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_model_rejected() {
+        random_mrm(0, &RandomMrmConfig {
+            states: 1,
+            ..RandomMrmConfig::default()
+        });
+    }
+}

@@ -1,0 +1,274 @@
+//! The triple-modular-redundant (TMR) system of the evaluation chapter
+//! (Figure 5.2), generalized to `M` identical modules plus a voter.
+//!
+//! # State space
+//!
+//! * states `0..=M` — `m` modules working, voter up (state index = `m`);
+//! * state `M + 1` — voter down (`vdown`).
+//!
+//! # Transitions (rates of Tables 5.2/5.6)
+//!
+//! * module failure `m → m − 1`: `module_failure_rate`, multiplied by `m`
+//!   when `variable_failure` is set (Table 5.6);
+//! * module repair `m → m + 1`: `module_repair_rate` (one repair facility,
+//!   repairs start immediately);
+//! * voter failure `m → vdown`: `voter_failure_rate`;
+//! * voter repair `vdown → M`: `voter_repair_rate` — after a voter repair
+//!   the system starts "as new" with all modules working.
+//!
+//! # Labels
+//!
+//! `Sup` (≥ 2 modules and voter up — the voter needs two agreeing modules),
+//! `failed` (its complement), `allUp` (`m = M`), `vdown`, and `{m}up` for
+//! every module count.
+//!
+//! # Rewards
+//!
+//! The thesis assigns resource-consumption rewards without giving explicit
+//! units; this crate fixes a documented structure (see `DESIGN.md`,
+//! substitution 2): state reward `base + per_failed · (M − m)` (repairs
+//! consume resources), an elevated `vdown` reward, and impulse rewards on
+//! repair transitions ("to start such repairs substantial effort is
+//! required").
+
+use mrmc_ctmc::CtmcBuilder;
+use mrmc_mrm::{ImpulseRewards, Mrm, StateRewards};
+
+/// Parameters of the TMR model family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TmrConfig {
+    /// Number of identical modules `M` (≥ 1).
+    pub modules: usize,
+    /// Module failure rate (per hour). Table 5.2: `0.0004`.
+    pub module_failure_rate: f64,
+    /// Multiply the failure rate by the number of working modules
+    /// (Table 5.6's variable law).
+    pub variable_failure: bool,
+    /// Module repair rate. Table 5.2: `0.05`.
+    pub module_repair_rate: f64,
+    /// Voter failure rate. Table 5.2: `0.0001`.
+    pub voter_failure_rate: f64,
+    /// Voter repair rate. Table 5.2: `0.06`.
+    pub voter_repair_rate: f64,
+    /// Resource-consumption rate with all modules working.
+    pub base_state_reward: f64,
+    /// Additional consumption per failed module (repair activity).
+    pub per_failed_module_reward: f64,
+    /// Consumption rate while the voter is down.
+    pub vdown_state_reward: f64,
+    /// Impulse cost of starting a module repair (on `m → m + 1`).
+    pub module_repair_impulse: f64,
+    /// Impulse cost of the voter repair (on `vdown → M`).
+    pub voter_repair_impulse: f64,
+}
+
+impl TmrConfig {
+    /// The classic 3-module TMR with the constant rates of Table 5.2 and
+    /// this crate's documented reward calibration.
+    pub fn classic() -> Self {
+        TmrConfig {
+            modules: 3,
+            module_failure_rate: 0.0004,
+            variable_failure: false,
+            module_repair_rate: 0.05,
+            voter_failure_rate: 0.0001,
+            voter_repair_rate: 0.06,
+            base_state_reward: 8.0,
+            per_failed_module_reward: 1.0,
+            vdown_state_reward: 25.0,
+            module_repair_impulse: 10.0,
+            voter_repair_impulse: 20.0,
+        }
+    }
+
+    /// The classic configuration with a different module count (the
+    /// 11-module system of Tables 5.5/5.7).
+    pub fn with_modules(modules: usize) -> Self {
+        TmrConfig {
+            modules,
+            ..TmrConfig::classic()
+        }
+    }
+
+    /// Switch to the variable (per-working-module) failure law of
+    /// Table 5.6.
+    pub fn variable(mut self) -> Self {
+        self.variable_failure = true;
+        self
+    }
+
+    /// State index for `m` working modules (voter up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > modules`.
+    pub fn state_with_working(&self, m: usize) -> usize {
+        assert!(m <= self.modules, "at most {} modules", self.modules);
+        m
+    }
+
+    /// State index of the voter-down state.
+    pub fn vdown_state(&self) -> usize {
+        self.modules + 1
+    }
+
+    /// Total number of states (`M + 2`).
+    pub fn num_states(&self) -> usize {
+        self.modules + 2
+    }
+}
+
+impl Default for TmrConfig {
+    fn default() -> Self {
+        TmrConfig::classic()
+    }
+}
+
+/// Build the TMR Markov reward model for `config`.
+///
+/// # Panics
+///
+/// Panics if `config.modules` is zero or any rate/reward is negative (the
+/// configuration is developer-provided; invalid values are programming
+/// errors).
+pub fn tmr(config: &TmrConfig) -> Mrm {
+    assert!(config.modules >= 1, "need at least one module");
+    let m_max = config.modules;
+    let n = config.num_states();
+    let vdown = config.vdown_state();
+
+    let mut b = CtmcBuilder::new(n);
+    for m in 0..=m_max {
+        if m >= 1 {
+            let rate = if config.variable_failure {
+                m as f64 * config.module_failure_rate
+            } else {
+                config.module_failure_rate
+            };
+            b.transition(m, m - 1, rate);
+        }
+        if m < m_max {
+            b.transition(m, m + 1, config.module_repair_rate);
+        }
+        b.transition(m, vdown, config.voter_failure_rate);
+    }
+    b.transition(vdown, m_max, config.voter_repair_rate);
+
+    for m in 0..=m_max {
+        b.label(m, format!("{m}up"));
+        if m >= 2 {
+            b.label(m, "Sup");
+        } else {
+            b.label(m, "failed");
+        }
+        if m == m_max {
+            b.label(m, "allUp");
+        }
+    }
+    b.label(vdown, "vdown").label(vdown, "failed");
+    let ctmc = b.build().expect("the TMR model is well-formed");
+
+    let mut rewards = Vec::with_capacity(n);
+    for m in 0..=m_max {
+        rewards.push(
+            config.base_state_reward
+                + config.per_failed_module_reward * (m_max - m) as f64,
+        );
+    }
+    rewards.push(config.vdown_state_reward);
+    let rho = StateRewards::new(rewards).expect("rewards are non-negative");
+
+    let mut iota = ImpulseRewards::new();
+    for m in 0..m_max {
+        iota.set(m, m + 1, config.module_repair_impulse)
+            .expect("valid impulse");
+    }
+    iota.set(vdown, m_max, config.voter_repair_impulse)
+        .expect("valid impulse");
+    Mrm::new(ctmc, rho, iota).expect("the TMR MRM is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_structure() {
+        let c = TmrConfig::classic();
+        let m = tmr(&c);
+        assert_eq!(m.num_states(), 5);
+        // allUp state: failure 0.0004, voter failure 0.0001, no repair.
+        assert_eq!(m.ctmc().rates().get(3, 2), 0.0004);
+        assert_eq!(m.ctmc().rates().get(3, 4), 0.0001);
+        assert_eq!(m.ctmc().rates().get(3, 3), 0.0);
+        // Repairs climb the chain.
+        assert_eq!(m.ctmc().rates().get(0, 1), 0.05);
+        assert_eq!(m.ctmc().rates().get(2, 3), 0.05);
+        // Voter repair returns to "as new".
+        assert_eq!(m.ctmc().rates().get(4, 3), 0.06);
+    }
+
+    #[test]
+    fn labels_follow_the_operation_rule() {
+        let c = TmrConfig::classic();
+        let m = tmr(&c);
+        assert!(m.labeling().has(3, "Sup"));
+        assert!(m.labeling().has(3, "allUp"));
+        assert!(m.labeling().has(3, "3up"));
+        assert!(m.labeling().has(2, "Sup"));
+        assert!(!m.labeling().has(2, "allUp"));
+        assert!(m.labeling().has(1, "failed"));
+        assert!(m.labeling().has(0, "failed"));
+        assert!(m.labeling().has(4, "vdown"));
+        assert!(m.labeling().has(4, "failed"));
+    }
+
+    #[test]
+    fn variable_rates_scale_with_working_modules() {
+        let c = TmrConfig::with_modules(11).variable();
+        let m = tmr(&c);
+        assert_eq!(m.num_states(), 13);
+        assert!((m.ctmc().rates().get(11, 10) - 11.0 * 0.0004).abs() < 1e-15);
+        assert!((m.ctmc().rates().get(1, 0) - 0.0004).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rewards_grow_with_failures() {
+        let c = TmrConfig::classic();
+        let m = tmr(&c);
+        assert_eq!(m.state_reward(3), 8.0);
+        assert_eq!(m.state_reward(2), 9.0);
+        assert_eq!(m.state_reward(0), 11.0);
+        assert_eq!(m.state_reward(4), 25.0);
+        assert_eq!(m.impulse_reward(0, 1), 10.0);
+        assert_eq!(m.impulse_reward(4, 3), 20.0);
+        assert_eq!(m.impulse_reward(3, 2), 0.0);
+    }
+
+    #[test]
+    fn state_helpers() {
+        let c = TmrConfig::with_modules(11);
+        assert_eq!(c.state_with_working(0), 0);
+        assert_eq!(c.state_with_working(11), 11);
+        assert_eq!(c.vdown_state(), 12);
+        assert_eq!(c.num_states(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_working_modules_panics() {
+        TmrConfig::classic().state_with_working(4);
+    }
+
+    #[test]
+    fn single_module_system() {
+        let c = TmrConfig::with_modules(1);
+        let m = tmr(&c);
+        // With one module the system can never be operational (needs 2).
+        assert_eq!(
+            m.labeling().states_with("Sup"),
+            vec![false, false, false]
+        );
+        assert_eq!(m.num_states(), 3);
+    }
+}

@@ -1,0 +1,81 @@
+//! The WaveLAN modem MRM (Figures 2.2 and 3.1 of the thesis).
+//!
+//! States (0-indexed; the thesis numbers them 1–5):
+//!
+//! | state | label(s)          | power (mW) |
+//! |-------|-------------------|------------|
+//! | 0     | `off`             | 0          |
+//! | 1     | `sleep`           | 80         |
+//! | 2     | `idle`            | 1319       |
+//! | 3     | `receive`, `busy` | 1675       |
+//! | 4     | `transmit`, `busy`| 1425       |
+//!
+//! Rates are those of Example 4.2 (per hour); impulse rewards (mJ) model the
+//! energy cost of mode switches (Example 3.1).
+
+use mrmc_ctmc::CtmcBuilder;
+use mrmc_mrm::{ImpulseRewards, Mrm, StateRewards};
+
+/// Build the WaveLAN modem MRM with the thesis' rates and rewards.
+pub fn wavelan() -> Mrm {
+    let mut b = CtmcBuilder::new(5);
+    b.transition(0, 1, 0.1);
+    b.transition(1, 0, 0.05).transition(1, 2, 5.0);
+    b.transition(2, 1, 12.0)
+        .transition(2, 3, 1.5)
+        .transition(2, 4, 0.75);
+    b.transition(3, 2, 10.0);
+    b.transition(4, 2, 15.0);
+    b.label(0, "off");
+    b.label(1, "sleep");
+    b.label(2, "idle");
+    b.label(3, "receive").label(3, "busy");
+    b.label(4, "transmit").label(4, "busy");
+    let ctmc = b.build().expect("the WaveLAN model is well-formed");
+
+    let rho = StateRewards::new(vec![0.0, 80.0, 1319.0, 1675.0, 1425.0])
+        .expect("rewards are non-negative");
+    let mut iota = ImpulseRewards::new();
+    iota.set(0, 1, 0.02).expect("valid impulse");
+    iota.set(1, 2, 0.32975).expect("valid impulse");
+    iota.set(2, 3, 0.42545).expect("valid impulse");
+    iota.set(2, 4, 0.36195).expect("valid impulse");
+    Mrm::new(ctmc, rho, iota).expect("the WaveLAN MRM is well-formed")
+}
+
+/// State index of the `off` state.
+pub const OFF: usize = 0;
+/// State index of the `sleep` state.
+pub const SLEEP: usize = 1;
+/// State index of the `idle` state.
+pub const IDLE: usize = 2;
+/// State index of the `receive` state.
+pub const RECEIVE: usize = 3;
+/// State index of the `transmit` state.
+pub const TRANSMIT: usize = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_the_thesis() {
+        let m = wavelan();
+        assert_eq!(m.num_states(), 5);
+        assert_eq!(m.ctmc().exit_rate(IDLE), 14.25);
+        assert_eq!(m.state_reward(RECEIVE), 1675.0);
+        assert_eq!(m.impulse_reward(IDLE, RECEIVE), 0.42545);
+        assert_eq!(m.impulse_reward(RECEIVE, IDLE), 0.0);
+        assert!(m.labeling().has(TRANSMIT, "busy"));
+        assert!(m.labeling().has(OFF, "off"));
+    }
+
+    #[test]
+    fn busy_states_are_exactly_receive_and_transmit() {
+        let m = wavelan();
+        assert_eq!(
+            m.labeling().states_with("busy"),
+            vec![false, false, false, true, true]
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! Error types for reward-model construction and paths.
+
+use std::error::Error;
+use std::fmt;
+
+use mrmc_ctmc::ModelError;
+
+/// An error raised while constructing or transforming a Markov reward model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MrmError {
+    /// A problem with the underlying chain.
+    Model(ModelError),
+    /// A negative (or non-finite) state reward.
+    InvalidStateReward {
+        /// State carrying the offending reward.
+        state: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A negative (or non-finite) impulse reward.
+    InvalidImpulseReward {
+        /// Source state.
+        from: usize,
+        /// Target state.
+        to: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Definition 3.1 requires `ι(s, s) = 0` whenever `R(s, s) > 0`.
+    SelfLoopImpulse {
+        /// The offending state.
+        state: usize,
+        /// The non-zero impulse found on its self-loop.
+        value: f64,
+    },
+    /// The reward structure covers a different number of states than the
+    /// chain.
+    RewardSizeMismatch {
+        /// States in the chain.
+        states: usize,
+        /// States covered by the reward structure.
+        rewarded: usize,
+    },
+}
+
+impl fmt::Display for MrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrmError::Model(e) => write!(f, "{e}"),
+            MrmError::InvalidStateReward { state, value } => {
+                write!(f, "invalid state reward {value} on state {state}")
+            }
+            MrmError::InvalidImpulseReward { from, to, value } => {
+                write!(f, "invalid impulse reward {value} on transition {from} -> {to}")
+            }
+            MrmError::SelfLoopImpulse { state, value } => write!(
+                f,
+                "non-zero impulse reward {value} on self-loop of state {state} (forbidden by Definition 3.1)"
+            ),
+            MrmError::RewardSizeMismatch { states, rewarded } => write!(
+                f,
+                "reward structure covers {rewarded} states but the model has {states}"
+            ),
+        }
+    }
+}
+
+impl Error for MrmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MrmError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for MrmError {
+    fn from(e: ModelError) -> Self {
+        MrmError::Model(e)
+    }
+}
+
+/// An error raised while constructing a timed path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathError {
+    /// A path must contain at least one state.
+    Empty,
+    /// `sojourns` must have exactly one entry less than `states`.
+    LengthMismatch {
+        /// Number of states supplied.
+        states: usize,
+        /// Number of sojourn times supplied.
+        sojourns: usize,
+    },
+    /// Sojourn times must be strictly positive and finite.
+    InvalidSojourn {
+        /// Position of the offending sojourn.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A step `σ[i] → σ[i+1]` has rate zero in the model it was validated
+    /// against.
+    MissingTransition {
+        /// Source state of the impossible step.
+        from: usize,
+        /// Target state of the impossible step.
+        to: usize,
+    },
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Empty => write!(f, "path has no states"),
+            PathError::LengthMismatch { states, sojourns } => write!(
+                f,
+                "path with {states} states needs {} sojourn times, found {sojourns}",
+                states.saturating_sub(1)
+            ),
+            PathError::InvalidSojourn { index, value } => {
+                write!(f, "invalid sojourn time {value} at position {index}")
+            }
+            PathError::MissingTransition { from, to } => {
+                write!(f, "path takes impossible transition {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl Error for PathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(MrmError::InvalidStateReward { state: 1, value: -2.0 }
+            .to_string()
+            .contains("-2"));
+        assert!(MrmError::InvalidImpulseReward {
+            from: 0,
+            to: 1,
+            value: f64::NAN
+        }
+        .to_string()
+        .contains("0 -> 1"));
+        assert!(MrmError::SelfLoopImpulse { state: 3, value: 1.0 }
+            .to_string()
+            .contains("Definition 3.1"));
+        assert!(MrmError::RewardSizeMismatch {
+            states: 2,
+            rewarded: 3
+        }
+        .to_string()
+        .contains('3'));
+        assert!(PathError::Empty.to_string().contains("no states"));
+        assert!(PathError::LengthMismatch {
+            states: 3,
+            sojourns: 5
+        }
+        .to_string()
+        .contains("needs 2"));
+        assert!(PathError::InvalidSojourn {
+            index: 0,
+            value: -1.0
+        }
+        .to_string()
+        .contains("-1"));
+        assert!(PathError::MissingTransition { from: 1, to: 2 }
+            .to_string()
+            .contains("1 -> 2"));
+    }
+
+    #[test]
+    fn model_error_wraps_with_source() {
+        let e: MrmError = ModelError::EmptyModel.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

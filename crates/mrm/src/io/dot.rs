@@ -1,0 +1,79 @@
+//! Graphviz (DOT) export of reward models, rendering the labeled directed
+//! graphs the thesis uses to present MRMs (Figures 2.1, 3.1): vertices
+//! carry the label set and state reward, edges carry the rate and — when
+//! non-zero — the impulse reward.
+
+use std::fmt::Write as _;
+
+use crate::mrm::Mrm;
+
+/// Render `mrm` as a Graphviz digraph.
+///
+/// States are shown 1-indexed to match the model file formats; a state node
+/// reads `s1\n{off} ρ=0`, an edge reads `0.1` or `0.1, ι=0.02`.
+pub fn write_dot(mrm: &Mrm) -> String {
+    let mut out = String::from("digraph mrm {\n");
+    out.push_str("  rankdir=LR;\n  node [shape=circle];\n");
+    for s in 0..mrm.num_states() {
+        let labels: Vec<&str> = mrm.labeling().of_state(s).collect();
+        let _ = writeln!(
+            out,
+            "  s{} [label=\"s{}\\n{{{}}} \u{3c1}={}\"];",
+            s + 1,
+            s + 1,
+            labels.join(","),
+            mrm.state_reward(s)
+        );
+    }
+    for (from, to, rate) in mrm.ctmc().rates().iter() {
+        let impulse = mrm.impulse_reward(from, to);
+        if impulse > 0.0 {
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [label=\"{}, \u{3b9}={}\"];",
+                from + 1,
+                to + 1,
+                rate,
+                impulse
+            );
+        } else {
+            let _ = writeln!(out, "  s{} -> s{} [label=\"{}\"];", from + 1, to + 1, rate);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrm::test_models::wavelan;
+
+    #[test]
+    fn wavelan_dot_contains_structure() {
+        let dot = write_dot(&wavelan());
+        assert!(dot.starts_with("digraph mrm {"));
+        assert!(dot.ends_with("}\n"));
+        // All five states, with labels and rewards.
+        for s in 1..=5 {
+            assert!(dot.contains(&format!("s{s} [label=")), "{dot}");
+        }
+        assert!(dot.contains("{idle} ρ=1319"));
+        assert!(dot.contains("{busy,receive} ρ=1675"));
+        // Rates and impulses on edges.
+        assert!(dot.contains("s3 -> s4 [label=\"1.5, ι=0.42545\"]"));
+        assert!(dot.contains("s4 -> s3 [label=\"10\"]"));
+        // Exactly 8 edges.
+        assert_eq!(dot.matches(" -> ").count(), 8);
+    }
+
+    #[test]
+    fn dot_handles_unlabeled_reward_free_models() {
+        let mut b = mrmc_ctmc::CtmcBuilder::new(2);
+        b.transition(0, 1, 1.0);
+        let m = crate::Mrm::without_rewards(b.build().unwrap());
+        let dot = write_dot(&m);
+        assert!(dot.contains("s1 [label=\"s1\\n{} ρ=0\"]"));
+        assert!(dot.contains("s1 -> s2 [label=\"1\"]"));
+    }
+}

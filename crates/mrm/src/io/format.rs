@@ -1,0 +1,144 @@
+//! Format errors for the model file parsers.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong on a particular line of a model file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatErrorKind {
+    /// A required header (`STATES n`, `TRANSITIONS m`, `#DECLARATION`,
+    /// `#END`) was missing or malformed.
+    BadHeader {
+        /// What the parser expected to see.
+        expected: &'static str,
+    },
+    /// A line did not have the expected number of fields.
+    WrongFieldCount {
+        /// Fields expected.
+        expected: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A field did not parse as a number.
+    BadNumber {
+        /// The offending token.
+        token: String,
+    },
+    /// A state index was zero or exceeded the declared state count.
+    StateOutOfRange {
+        /// The offending (1-indexed) state.
+        state: usize,
+        /// Declared number of states.
+        states: usize,
+    },
+    /// An undeclared atomic proposition was used.
+    UndeclaredProposition {
+        /// The offending proposition.
+        name: String,
+    },
+    /// The declared transition count does not match the body.
+    CountMismatch {
+        /// Declared count.
+        declared: usize,
+        /// Lines actually present.
+        found: usize,
+    },
+}
+
+/// A parse error with its (1-based) line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// 1-based line number of the offending line (0 for end-of-file
+    /// conditions).
+    pub line: usize,
+    /// What went wrong.
+    pub kind: FormatErrorKind,
+}
+
+impl FormatError {
+    pub(crate) fn new(line: usize, kind: FormatErrorKind) -> Self {
+        FormatError { line, kind }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            FormatErrorKind::BadHeader { expected } => {
+                write!(f, "expected header `{expected}`")
+            }
+            FormatErrorKind::WrongFieldCount { expected, found } => {
+                write!(f, "expected {expected} fields, found {found}")
+            }
+            FormatErrorKind::BadNumber { token } => {
+                write!(f, "`{token}` is not a valid number")
+            }
+            FormatErrorKind::StateOutOfRange { state, states } => {
+                write!(f, "state {state} out of range 1..={states}")
+            }
+            FormatErrorKind::UndeclaredProposition { name } => {
+                write!(f, "atomic proposition `{name}` was not declared")
+            }
+            FormatErrorKind::CountMismatch { declared, found } => {
+                write!(f, "declared {declared} transitions but found {found}")
+            }
+        }
+    }
+}
+
+impl Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_line_and_kind() {
+        let e = FormatError::new(
+            7,
+            FormatErrorKind::BadNumber {
+                token: "abc".into(),
+            },
+        );
+        let s = e.to_string();
+        assert!(s.contains("line 7"));
+        assert!(s.contains("abc"));
+
+        let e = FormatError::new(1, FormatErrorKind::BadHeader { expected: "STATES n" });
+        assert!(e.to_string().contains("STATES n"));
+
+        let e = FormatError::new(
+            2,
+            FormatErrorKind::StateOutOfRange {
+                state: 9,
+                states: 3,
+            },
+        );
+        assert!(e.to_string().contains("1..=3"));
+
+        let e = FormatError::new(
+            3,
+            FormatErrorKind::UndeclaredProposition { name: "ap1".into() },
+        );
+        assert!(e.to_string().contains("ap1"));
+
+        let e = FormatError::new(
+            4,
+            FormatErrorKind::WrongFieldCount {
+                expected: 3,
+                found: 2,
+            },
+        );
+        assert!(e.to_string().contains("3 fields"));
+
+        let e = FormatError::new(
+            0,
+            FormatErrorKind::CountMismatch {
+                declared: 5,
+                found: 4,
+            },
+        );
+        assert!(e.to_string().contains("declared 5"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Writers emitting the model file formats (round-trip companions of the
+//! parsers).
+
+use std::fmt::Write as _;
+
+use crate::mrm::Mrm;
+
+/// Render the `.tra` file of a model (1-indexed states).
+pub fn write_tra(mrm: &Mrm) -> String {
+    let rates = mrm.ctmc().rates();
+    let mut out = String::new();
+    writeln!(out, "STATES {}", mrm.num_states()).expect("write to String");
+    writeln!(out, "TRANSITIONS {}", rates.nnz()).expect("write to String");
+    for (from, to, rate) in rates.iter() {
+        writeln!(out, "{} {} {}", from + 1, to + 1, rate).expect("write to String");
+    }
+    out
+}
+
+/// Render the `.lab` file of a model.
+pub fn write_lab(mrm: &Mrm) -> String {
+    let labeling = mrm.labeling();
+    let mut out = String::new();
+    out.push_str("#DECLARATION\n");
+    let props = labeling.all_propositions();
+    if !props.is_empty() {
+        out.push_str(&props.join(" "));
+        out.push('\n');
+    }
+    out.push_str("#END\n");
+    for s in 0..mrm.num_states() {
+        let aps: Vec<&str> = labeling.of_state(s).collect();
+        if !aps.is_empty() {
+            writeln!(out, "{} {}", s + 1, aps.join(",")).expect("write to String");
+        }
+    }
+    out
+}
+
+/// Render the `.rewr` file of a model (zero rewards omitted).
+pub fn write_rewr(mrm: &Mrm) -> String {
+    let mut out = String::new();
+    for s in 0..mrm.num_states() {
+        let r = mrm.state_reward(s);
+        if r != 0.0 {
+            writeln!(out, "{} {}", s + 1, r).expect("write to String");
+        }
+    }
+    out
+}
+
+/// Render the `.rewi` file of a model.
+pub fn write_rewi(mrm: &Mrm) -> String {
+    let mut out = String::new();
+    writeln!(out, "TRANSITIONS {}", mrm.impulse_rewards().len()).expect("write to String");
+    for (from, to, v) in mrm.impulse_rewards().iter() {
+        writeln!(out, "{} {} {}", from + 1, to + 1, v).expect("write to String");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::parse::ModelFiles;
+    use crate::mrm::test_models::wavelan;
+
+    #[test]
+    fn roundtrip_preserves_the_model() {
+        let m = wavelan();
+        let files = ModelFiles {
+            tra: write_tra(&m),
+            lab: write_lab(&m),
+            rewr: write_rewr(&m),
+            rewi: write_rewi(&m),
+        };
+        let back = files.assemble().unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tra_has_headers() {
+        let m = wavelan();
+        let t = write_tra(&m);
+        assert!(t.starts_with("STATES 5\nTRANSITIONS 8\n"));
+    }
+
+    #[test]
+    fn lab_declares_everything_used() {
+        let m = wavelan();
+        let l = write_lab(&m);
+        assert!(l.contains("#DECLARATION"));
+        assert!(l.contains("busy"));
+        assert!(l.contains("#END"));
+    }
+
+    #[test]
+    fn rewi_counts_match() {
+        let m = wavelan();
+        let i = write_rewi(&m);
+        assert!(i.starts_with("TRANSITIONS 4\n"));
+        assert_eq!(i.lines().count(), 5);
+    }
+}

@@ -1,0 +1,53 @@
+//! Markov reward models with state-based *and* impulse rewards.
+//!
+//! This crate implements Chapter 3 of *Model Checking Markov Reward Models
+//! with Impulse Rewards*:
+//!
+//! * [`Mrm`] — the model `M = ((S, R, Label), ρ, ι)` of Definition 3.1,
+//!   a labeled CTMC augmented with a state reward structure `ρ` and an
+//!   impulse reward structure `ι`;
+//! * [`TimedPath`] — timed paths with the occupancy function `σ@t` and the
+//!   accumulated reward `y_σ(t)` of Definition 3.3;
+//! * [`transform::make_absorbing`] — the `M[Φ]` transformation of
+//!   Definition 4.1 that underlies the until algorithms;
+//! * [`UniformizedMrm`] — the uniformized MRM of Definition 4.2 used by the
+//!   path-exploration engine;
+//! * [`io`] — the `.tra`/`.lab`/`.rewr`/`.rewi` file formats of the thesis'
+//!   tool.
+//!
+//! # Example
+//!
+//! ```
+//! use mrmc_ctmc::CtmcBuilder;
+//! use mrmc_mrm::{ImpulseRewards, Mrm, StateRewards};
+//!
+//! let mut b = CtmcBuilder::new(2);
+//! b.transition(0, 1, 1.0).transition(1, 0, 2.0);
+//! let ctmc = b.build()?;
+//!
+//! let rho = StateRewards::new(vec![3.0, 0.5])?;
+//! let mut iota = ImpulseRewards::new();
+//! iota.set(0, 1, 10.0)?;
+//! let mrm = Mrm::new(ctmc, rho, iota)?;
+//! assert_eq!(mrm.state_reward(0), 3.0);
+//! assert_eq!(mrm.impulse_reward(0, 1), 10.0);
+//! assert_eq!(mrm.impulse_reward(1, 0), 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod io;
+mod mrm;
+mod path;
+mod rewards;
+pub mod transform;
+mod uniformized;
+
+pub use error::{MrmError, PathError};
+pub use mrm::Mrm;
+pub use path::TimedPath;
+pub use rewards::{ImpulseRewards, StateRewards};
+pub use uniformized::UniformizedMrm;

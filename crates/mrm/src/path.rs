@@ -1,0 +1,269 @@
+//! Timed paths in an MRM (Definition 3.3): the occupancy function `σ@t` and
+//! the accumulated reward `y_σ(t)`.
+
+use crate::error::PathError;
+use crate::mrm::Mrm;
+
+/// A (finite prefix of a) timed path `σ = s_0 →^{t_0} s_1 →^{t_1} …`.
+///
+/// The path stores a sojourn time for every state except the last; the final
+/// state is treated as occupied forever (`t_n = ∞`), which matches both
+/// finite paths ending in an absorbing state and queries below the recorded
+/// horizon on longer paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedPath {
+    states: Vec<usize>,
+    sojourns: Vec<f64>,
+    cumulative: Vec<f64>,
+}
+
+impl TimedPath {
+    /// Build a path from its state sequence and per-state sojourn times.
+    ///
+    /// # Errors
+    ///
+    /// * [`PathError::Empty`] — no states;
+    /// * [`PathError::LengthMismatch`] — `sojourns.len() != states.len() - 1`;
+    /// * [`PathError::InvalidSojourn`] — a sojourn that is not strictly
+    ///   positive and finite.
+    pub fn new(states: Vec<usize>, sojourns: Vec<f64>) -> Result<Self, PathError> {
+        if states.is_empty() {
+            return Err(PathError::Empty);
+        }
+        if sojourns.len() != states.len() - 1 {
+            return Err(PathError::LengthMismatch {
+                states: states.len(),
+                sojourns: sojourns.len(),
+            });
+        }
+        for (index, &value) in sojourns.iter().enumerate() {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(PathError::InvalidSojourn { index, value });
+            }
+        }
+        let mut cumulative = Vec::with_capacity(sojourns.len() + 1);
+        let mut acc = 0.0;
+        cumulative.push(0.0);
+        for &s in &sojourns {
+            acc += s;
+            cumulative.push(acc);
+        }
+        Ok(TimedPath {
+            states,
+            sojourns,
+            cumulative,
+        })
+    }
+
+    /// Check that every step of the path is an actual transition
+    /// (`R(σ[i], σ[i+1]) > 0`) of `mrm`.
+    ///
+    /// # Errors
+    ///
+    /// [`PathError::MissingTransition`] naming the first impossible step.
+    pub fn validate_in(&self, mrm: &Mrm) -> Result<(), PathError> {
+        for w in self.states.windows(2) {
+            if mrm.ctmc().rates().get(w[0], w[1]) <= 0.0 {
+                return Err(PathError::MissingTransition {
+                    from: w[0],
+                    to: w[1],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `σ[i]`, the `(i+1)`-st state on the path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the recorded prefix.
+    pub fn state(&self, i: usize) -> usize {
+        self.states[i]
+    }
+
+    /// Number of recorded states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` when the path records a single state and no transitions.
+    pub fn is_empty(&self) -> bool {
+        false // a valid path always has at least one state
+    }
+
+    /// The last recorded state, `last(σ)`.
+    pub fn last_state(&self) -> usize {
+        *self.states.last().expect("paths are non-empty")
+    }
+
+    /// The index `i` with `σ@t = σ[i]`: the state occupied at time `t`
+    /// (Definition 3.3). `t = 0` is resolved to the initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or non-finite.
+    pub fn index_at(&self, t: f64) -> usize {
+        assert!(t.is_finite() && t >= 0.0, "time must be finite and non-negative");
+        if t == 0.0 {
+            return 0;
+        }
+        // Largest i with cumulative[i] < t (cumulative[0] = 0), capped at the
+        // final state which absorbs the remainder. At an exact boundary
+        // Σ_{j≤i} t_j = t the definition assigns the earlier state.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&t).expect("finite"))
+        {
+            Ok(i) => (i - 1).min(self.states.len() - 1),
+            Err(i) => (i - 1).min(self.states.len() - 1),
+        }
+    }
+
+    /// `σ@t`, the state occupied at time `t`.
+    pub fn state_at(&self, t: f64) -> usize {
+        self.states[self.index_at(t)]
+    }
+
+    /// The accumulated reward `y_σ(t)` of Definition 3.3: rate rewards for
+    /// completed sojourns, the partial sojourn in the current state, and the
+    /// impulse rewards of all transitions taken strictly before `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative or non-finite.
+    pub fn accumulated_reward(&self, mrm: &Mrm, t: f64) -> f64 {
+        let i = self.index_at(t);
+        let mut y = mrm.state_reward(self.states[i]) * (t - self.cumulative[i]);
+        for j in 0..i {
+            y += mrm.state_reward(self.states[j]) * self.sojourns[j];
+            y += mrm.impulse_reward(self.states[j], self.states[j + 1]);
+        }
+        y
+    }
+
+    /// The recorded state sequence.
+    pub fn states(&self) -> &[usize] {
+        &self.states
+    }
+
+    /// The recorded sojourn times (one per state except the last).
+    pub fn sojourns(&self) -> &[f64] {
+        &self.sojourns
+    }
+
+    /// Total recorded time before the final (held-forever) state.
+    pub fn horizon(&self) -> f64 {
+        *self.cumulative.last().expect("paths are non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrm::test_models::wavelan;
+
+    /// The path of Example 3.2:
+    /// 1 →^{10} 2 →^{4} 3 →^{2} 4 →^{3.75} 3 →^{1} 5 →^{2.5} 3 (0-indexed).
+    fn example_path() -> TimedPath {
+        TimedPath::new(
+            vec![0, 1, 2, 3, 2, 4, 2],
+            vec![10.0, 4.0, 2.0, 3.75, 1.0, 2.5],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example_3_2_occupancy() {
+        let p = example_path();
+        // σ@21.75 = σ[5] = state 5 (index 4 in zero-based states).
+        assert_eq!(p.index_at(21.75), 5);
+        assert_eq!(p.state_at(21.75), 4);
+        assert_eq!(p.state_at(0.0), 0);
+        assert_eq!(p.state_at(10.0), 0); // boundary belongs to the earlier state
+        assert_eq!(p.state_at(10.0 + 1e-9), 1);
+        // Beyond the horizon the last state absorbs.
+        assert_eq!(p.state_at(1e6), 2);
+    }
+
+    #[test]
+    fn example_3_2_accumulated_reward() {
+        let m = wavelan();
+        let p = example_path();
+        p.validate_in(&m).unwrap();
+        let y = p.accumulated_reward(&m, 21.75);
+        // 11983.25 mW·s + 1.13715 mJ = 11984.38715 mJ.
+        assert!((y - 11984.38715).abs() < 1e-9, "got {y}");
+    }
+
+    #[test]
+    fn reward_at_zero_is_zero() {
+        let m = wavelan();
+        let p = example_path();
+        assert_eq!(p.accumulated_reward(&m, 0.0), 0.0);
+    }
+
+    #[test]
+    fn reward_is_monotone_in_time() {
+        let m = wavelan();
+        let p = example_path();
+        let mut prev = 0.0;
+        for k in 0..200 {
+            let t = k as f64 * 0.15;
+            let y = p.accumulated_reward(&m, t);
+            assert!(y + 1e-12 >= prev, "t = {t}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn validation_catches_missing_transition() {
+        let m = wavelan();
+        // 1 -> 3 (0-indexed 0 -> 2) is not a transition of the WaveLAN model.
+        let p = TimedPath::new(vec![0, 2], vec![1.0]).unwrap();
+        assert_eq!(
+            p.validate_in(&m),
+            Err(PathError::MissingTransition { from: 0, to: 2 })
+        );
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(TimedPath::new(vec![], vec![]), Err(PathError::Empty));
+        assert!(matches!(
+            TimedPath::new(vec![0, 1], vec![]),
+            Err(PathError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            TimedPath::new(vec![0, 1], vec![0.0]),
+            Err(PathError::InvalidSojourn { .. })
+        ));
+        assert!(matches!(
+            TimedPath::new(vec![0, 1], vec![-2.0]),
+            Err(PathError::InvalidSojourn { .. })
+        ));
+        assert!(matches!(
+            TimedPath::new(vec![0, 1], vec![f64::INFINITY]),
+            Err(PathError::InvalidSojourn { .. })
+        ));
+    }
+
+    #[test]
+    fn singleton_path() {
+        let p = TimedPath::new(vec![3], vec![]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.last_state(), 3);
+        assert_eq!(p.state_at(100.0), 3);
+        assert_eq!(p.horizon(), 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let p = example_path();
+        assert_eq!(p.states().len(), 7);
+        assert_eq!(p.sojourns().len(), 6);
+        assert_eq!(p.state(3), 3);
+        assert!((p.horizon() - 23.25).abs() < 1e-12);
+        assert!(!p.is_empty());
+    }
+}

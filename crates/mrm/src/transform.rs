@@ -1,0 +1,149 @@
+//! The `M[Φ]` make-absorbing transformation (Definition 4.1).
+//!
+//! All Φ-states become absorbing and reward-free: their outgoing rates,
+//! state rewards, and outgoing impulse rewards are set to zero. The
+//! transformation is idempotent and composes as
+//! `M[Φ][Ψ] = M[Φ ∨ Ψ]`.
+
+use mrmc_ctmc::{Ctmc, CtmcBuilder};
+
+use crate::error::MrmError;
+use crate::mrm::Mrm;
+use crate::rewards::{ImpulseRewards, StateRewards};
+
+/// Produce `M[Φ]` for the Φ-states given by the characteristic vector
+/// `absorb`.
+///
+/// # Errors
+///
+/// [`MrmError::RewardSizeMismatch`] when `absorb.len()` differs from the
+/// number of states; reconstruction errors are propagated (they indicate a
+/// bug rather than bad input, since the source model already validated).
+pub fn make_absorbing(mrm: &Mrm, absorb: &[bool]) -> Result<Mrm, MrmError> {
+    let n = mrm.num_states();
+    if absorb.len() != n {
+        return Err(MrmError::RewardSizeMismatch {
+            states: n,
+            rewarded: absorb.len(),
+        });
+    }
+
+    let mut b = CtmcBuilder::new(n);
+    #[allow(clippy::needless_range_loop)] // s also indexes the rate matrix
+    for s in 0..n {
+        if absorb[s] {
+            continue;
+        }
+        for (t, r) in mrm.ctmc().rates().row(s) {
+            b.transition(s, t, r);
+        }
+    }
+    for s in 0..n {
+        for ap in mrm.labeling().of_state(s) {
+            b.label(s, ap);
+        }
+    }
+    let ctmc: Ctmc = b.build()?;
+
+    let rho = StateRewards::new(
+        (0..n)
+            .map(|s| if absorb[s] { 0.0 } else { mrm.state_reward(s) })
+            .collect(),
+    )?;
+    let mut iota = ImpulseRewards::new();
+    for (from, to, v) in mrm.impulse_rewards().iter() {
+        if !absorb[from] {
+            iota.set(from, to, v)?;
+        }
+    }
+    Mrm::new(ctmc, rho, iota)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrm::test_models::wavelan;
+
+    #[test]
+    fn example_4_1_busy_states_absorbing() {
+        let m = wavelan();
+        let busy = m.labeling().states_with("busy");
+        let a = make_absorbing(&m, &busy).unwrap();
+
+        // busy-states 3 and 4 lose all outgoing rates and rewards.
+        assert!(a.ctmc().is_absorbing(3));
+        assert!(a.ctmc().is_absorbing(4));
+        assert_eq!(a.state_reward(3), 0.0);
+        assert_eq!(a.state_reward(4), 0.0);
+        // Other states keep everything.
+        assert_eq!(a.ctmc().rates().get(2, 3), 1.5);
+        assert_eq!(a.state_reward(2), 1319.0);
+        assert_eq!(a.impulse_reward(2, 3), 0.42545);
+        // Labels survive.
+        assert!(a.labeling().has(3, "busy"));
+    }
+
+    #[test]
+    fn transformation_is_idempotent() {
+        let m = wavelan();
+        let busy = m.labeling().states_with("busy");
+        let once = make_absorbing(&m, &busy).unwrap();
+        let twice = make_absorbing(&once, &busy).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn composition_equals_union() {
+        // M[Φ][Ψ] = M[Φ ∨ Ψ].
+        let m = wavelan();
+        let busy = m.labeling().states_with("busy");
+        let off = m.labeling().states_with("off");
+        let union: Vec<bool> = busy.iter().zip(&off).map(|(&a, &b)| a || b).collect();
+
+        let sequential =
+            make_absorbing(&make_absorbing(&m, &busy).unwrap(), &off).unwrap();
+        let joint = make_absorbing(&m, &union).unwrap();
+        assert_eq!(sequential, joint);
+    }
+
+    #[test]
+    fn absorbing_nothing_changes_nothing_but_impulses_of_removed_rows() {
+        let m = wavelan();
+        let none = vec![false; m.num_states()];
+        let a = make_absorbing(&m, &none).unwrap();
+        assert_eq!(a, m);
+    }
+
+    #[test]
+    fn absorbing_everything_zeroes_the_model() {
+        let m = wavelan();
+        let all = vec![true; m.num_states()];
+        let a = make_absorbing(&m, &all).unwrap();
+        for s in 0..a.num_states() {
+            assert!(a.ctmc().is_absorbing(s));
+            assert_eq!(a.state_reward(s), 0.0);
+        }
+        assert!(a.impulse_rewards().is_empty());
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let m = wavelan();
+        assert!(matches!(
+            make_absorbing(&m, &[true]),
+            Err(MrmError::RewardSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incoming_impulses_to_absorbed_states_survive() {
+        // Only *outgoing* rewards of absorbed states are cleared: the impulse
+        // earned on entering an absorbed state still counts (Theorem 4.1
+        // relies on this).
+        let m = wavelan();
+        let busy = m.labeling().states_with("busy");
+        let a = make_absorbing(&m, &busy).unwrap();
+        assert_eq!(a.impulse_reward(2, 3), 0.42545);
+        assert_eq!(a.impulse_reward(2, 4), 0.36195);
+    }
+}

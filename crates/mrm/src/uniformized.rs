@@ -1,0 +1,187 @@
+//! The uniformized MRM `M^u = (S, P, Λ, Label, ρ, ι)` (Definition 4.2).
+
+use mrmc_ctmc::Labeling;
+use mrmc_sparse::CsrMatrix;
+
+use crate::error::MrmError;
+use crate::mrm::Mrm;
+
+/// A uniformized Markov reward model: the uniformized DTMC of the underlying
+/// chain together with the (unchanged) reward structures, with impulse
+/// rewards pre-aligned to the transition matrix for fast iteration during
+/// path generation.
+///
+/// Self-loops introduced by uniformization carry no impulse reward — they
+/// model continued residence, not a transition. Genuine self-loops of the
+/// source model cannot carry impulses either (Definition 3.1), so every
+/// diagonal impulse is zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniformizedMrm {
+    probs: CsrMatrix,
+    lambda: f64,
+    state_rewards: Vec<f64>,
+    /// `impulses[k]` belongs to the `k`-th stored entry of `probs`,
+    /// enumerated row by row.
+    impulses: Vec<f64>,
+    /// Prefix offsets into `impulses`, one per state (plus a sentinel).
+    row_offsets: Vec<usize>,
+    labeling: Labeling,
+}
+
+impl UniformizedMrm {
+    /// Uniformize `mrm` with the given rate (or `1.02 · max E(s)` when
+    /// `None`; see [`mrmc_ctmc::Ctmc::uniformized`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid uniformization rates.
+    pub fn new(mrm: &Mrm, lambda: Option<f64>) -> Result<Self, MrmError> {
+        let (dtmc, lambda) = mrm.ctmc().uniformized(lambda)?;
+        let probs = dtmc.probabilities().clone();
+        let mut impulses = Vec::with_capacity(probs.nnz());
+        let mut row_offsets = Vec::with_capacity(probs.nrows() + 1);
+        row_offsets.push(0);
+        for s in 0..probs.nrows() {
+            for (t, _) in probs.row(s) {
+                impulses.push(if t == s {
+                    0.0
+                } else {
+                    mrm.impulse_reward(s, t)
+                });
+            }
+            row_offsets.push(impulses.len());
+        }
+        Ok(UniformizedMrm {
+            probs,
+            lambda,
+            state_rewards: mrm.state_rewards().as_slice().to_vec(),
+            impulses,
+            row_offsets,
+            labeling: mrm.labeling().clone(),
+        })
+    }
+
+    /// The uniformization rate `Λ` of the associated Poisson process.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The one-step probability matrix `P`.
+    pub fn probabilities(&self) -> &CsrMatrix {
+        &self.probs
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.probs.nrows()
+    }
+
+    /// `ρ(state)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn state_reward(&self, state: usize) -> f64 {
+        self.state_rewards[state]
+    }
+
+    /// All state rewards.
+    pub fn state_rewards(&self) -> &[f64] {
+        &self.state_rewards
+    }
+
+    /// The labeling.
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// Iterate over the outgoing transitions of `state` as
+    /// `(target, probability, impulse reward)` triples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn transitions(
+        &self,
+        state: usize,
+    ) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+        let offset = self.row_offsets[state];
+        self.probs
+            .row(state)
+            .enumerate()
+            .map(move |(k, (t, p))| (t, p, self.impulses[offset + k]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mrm::test_models::wavelan;
+
+    #[test]
+    fn example_4_2_probabilities_and_impulses() {
+        let m = wavelan();
+        let u = UniformizedMrm::new(&m, Some(15.0)).unwrap();
+        assert_eq!(u.lambda(), 15.0);
+        assert_eq!(u.num_states(), 5);
+        assert_eq!(u.state_reward(2), 1319.0);
+
+        // Transitions of state 2 (the idle state): self-loop carries no
+        // impulse, the jumps to busy states keep theirs.
+        let ts: Vec<(usize, f64, f64)> = u.transitions(2).collect();
+        assert_eq!(ts.len(), 4);
+        let to_1 = ts.iter().find(|t| t.0 == 1).unwrap();
+        assert!((to_1.1 - 0.8).abs() < 1e-12);
+        assert_eq!(to_1.2, 0.0);
+        let to_2 = ts.iter().find(|t| t.0 == 2).unwrap();
+        assert!((to_2.1 - 0.05).abs() < 1e-12);
+        assert_eq!(to_2.2, 0.0);
+        let to_3 = ts.iter().find(|t| t.0 == 3).unwrap();
+        assert!((to_3.1 - 0.1).abs() < 1e-12);
+        assert_eq!(to_3.2, 0.42545);
+        let to_4 = ts.iter().find(|t| t.0 == 4).unwrap();
+        assert!((to_4.1 - 0.05).abs() < 1e-12);
+        assert_eq!(to_4.2, 0.36195);
+    }
+
+    #[test]
+    fn transition_probabilities_sum_to_one() {
+        let m = wavelan();
+        let u = UniformizedMrm::new(&m, None).unwrap();
+        for s in 0..u.num_states() {
+            let total: f64 = u.transitions(s).map(|(_, p, _)| p).sum();
+            assert!((total - 1.0).abs() < 1e-12, "state {s}");
+        }
+    }
+
+    #[test]
+    fn state_without_self_loop_at_exact_lambda() {
+        // State 4 has E = Λ = 15: no self-loop in the uniformized chain.
+        let m = wavelan();
+        let u = UniformizedMrm::new(&m, Some(15.0)).unwrap();
+        let ts: Vec<(usize, f64, f64)> = u.transitions(4).collect();
+        assert_eq!(ts, vec![(2, 1.0, 0.0)]);
+    }
+
+    #[test]
+    fn invalid_lambda_propagates() {
+        let m = wavelan();
+        assert!(UniformizedMrm::new(&m, Some(1.0)).is_err());
+    }
+
+    #[test]
+    fn impulses_align_with_matrix_entries() {
+        let m = wavelan();
+        let u = UniformizedMrm::new(&m, None).unwrap();
+        for s in 0..u.num_states() {
+            for (t, p, imp) in u.transitions(s) {
+                assert!(p > 0.0);
+                if t == s {
+                    assert_eq!(imp, 0.0);
+                } else {
+                    assert_eq!(imp, m.impulse_reward(s, t), "{s} -> {t}");
+                }
+            }
+        }
+    }
+}

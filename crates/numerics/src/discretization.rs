@@ -1,0 +1,492 @@
+//! Discretization-based evaluation of time- and reward-bounded until
+//! (Section 4.4.1 and Algorithm 4.6).
+//!
+//! Both time and accumulated reward are discretized with the same step `d`.
+//! `F^j(s, k)` is the probability density of being in state `s` at time
+//! `j·d` with accumulated reward `k·d`; the recursion adds the self term
+//! (no transition in the last step) and one term per incoming transition,
+//! with the impulse reward shifting the reward index by `ι/d` cells.
+//!
+//! State rewards must be integers after scaling (the reward index advances
+//! by `ρ(s)` cells per step); the engine finds a power-of-ten scale
+//! automatically and rescales the bound accordingly.
+
+use mrmc_mrm::{transform::make_absorbing, Mrm};
+
+use crate::error::NumericsError;
+
+/// Options for the discretization engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscretizationOptions {
+    /// The step size `d` (in time units). Must satisfy `d ≤ 1/max_s E(s)` so
+    /// `1 − E(s)·d` stays a probability.
+    pub step: f64,
+    /// Upper bound on the reward grid size (memory guard). Default `5·10^7`
+    /// cells per state.
+    pub max_cells: usize,
+}
+
+impl DiscretizationOptions {
+    /// Use step size `d` with the default memory guard.
+    pub fn with_step(step: f64) -> Self {
+        DiscretizationOptions {
+            step,
+            max_cells: 50_000_000,
+        }
+    }
+}
+
+/// The outcome of a discretization run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscretizationResult {
+    /// The computed probability, clamped into `[0, 1]`.
+    pub probability: f64,
+    /// Number of time steps `T = t/d` performed.
+    pub time_steps: usize,
+    /// Number of reward cells `R = r/d` (after scaling).
+    pub reward_cells: usize,
+    /// The power-of-ten factor applied to make state rewards integral.
+    pub reward_scale: f64,
+}
+
+/// Find a power-of-ten scale making every reward integral (within `1e-9`
+/// relative tolerance).
+fn integer_scale(rewards: &[f64]) -> Result<f64, NumericsError> {
+    'scales: for exp in 0..=6 {
+        let scale = 10f64.powi(exp);
+        for &r in rewards {
+            let scaled = r * scale;
+            if (scaled - scaled.round()).abs() > 1e-9 * (1.0 + scaled.abs()) {
+                continue 'scales;
+            }
+        }
+        return Ok(scale);
+    }
+    let offending = rewards
+        .iter()
+        .copied()
+        .find(|r| {
+            let s = r * 1e6;
+            (s - s.round()).abs() > 1e-9 * (1.0 + s.abs())
+        })
+        .unwrap_or(f64::NAN);
+    Err(NumericsError::NonIntegerRewards { reward: offending })
+}
+
+/// Evaluate `P^M(start, Φ U^{[0,t]}_{[0,r]} Ψ)` by discretization
+/// (Algorithm 4.6).
+///
+/// # Errors
+///
+/// [`NumericsError`] for size mismatches, an unstable or degenerate step
+/// size, rewards that cannot be scaled to integers, or a reward grid
+/// exceeding the memory guard.
+pub fn until_probability(
+    mrm: &Mrm,
+    phi: &[bool],
+    psi: &[bool],
+    t: f64,
+    r: f64,
+    start: usize,
+    options: DiscretizationOptions,
+) -> Result<DiscretizationResult, NumericsError> {
+    let n = mrm.num_states();
+    if phi.len() != n {
+        return Err(NumericsError::SizeMismatch {
+            expected: n,
+            found: phi.len(),
+        });
+    }
+    if psi.len() != n {
+        return Err(NumericsError::SizeMismatch {
+            expected: n,
+            found: psi.len(),
+        });
+    }
+    if start >= n {
+        return Err(NumericsError::SizeMismatch {
+            expected: n,
+            found: start,
+        });
+    }
+    if !(t.is_finite() && t > 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            name: "t",
+            value: t,
+            requirement: "must be finite and positive",
+        });
+    }
+    if !(r.is_finite() && r >= 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            name: "r",
+            value: r,
+            requirement: "must be finite and non-negative (use the uniformization engine for unbounded rewards)",
+        });
+    }
+    let d = options.step;
+    if !(d.is_finite() && d > 0.0 && d <= t) {
+        return Err(NumericsError::InvalidParameter {
+            name: "step",
+            value: d,
+            requirement: "must be positive and at most t",
+        });
+    }
+
+    // Theorem 4.1: absorb (¬Φ ∨ Ψ)-states, then evaluate
+    // Pr{Y(t) ≤ r, X(t) ⊨ Ψ}.
+    let absorb: Vec<bool> = phi.iter().zip(psi).map(|(&p, &q)| !p || q).collect();
+    let absorbed = make_absorbing(mrm, &absorb)?;
+    let rates = absorbed.ctmc().rates().clone();
+    let exit = absorbed.ctmc().exit_rates().to_vec();
+
+    let max_exit = exit.iter().fold(0.0_f64, |m, &e| m.max(e));
+    if max_exit > 0.0 && d > 1.0 / max_exit {
+        return Err(NumericsError::InvalidParameter {
+            name: "step",
+            value: d,
+            requirement: "must be at most 1/max exit rate for stability",
+        });
+    }
+
+    let scale = integer_scale(absorbed.state_rewards().as_slice())?;
+    let cells = ((r * scale) / d).floor();
+    if !(cells.is_finite() && cells >= 0.0) || cells as usize > options.max_cells {
+        return Err(NumericsError::InvalidParameter {
+            name: "step",
+            value: d,
+            requirement: "reward grid exceeds the memory guard; increase d or max_cells",
+        });
+    }
+    let reward_cells = cells as usize;
+    let time_steps = (t / d).round().max(1.0) as usize;
+
+    // Per-state reward advance (cells per step) and per-transition data.
+    let rho: Vec<usize> = absorbed
+        .state_rewards()
+        .as_slice()
+        .iter()
+        .map(|&x| (x * scale).round() as usize)
+        .collect();
+    // (from, to, rate·d, reward shift in cells).
+    let mut transitions: Vec<(usize, usize, f64, usize)> = Vec::with_capacity(rates.nnz());
+    for (from, to, rate) in rates.iter() {
+        let shift = rho[from] + ((absorbed.impulse_reward(from, to) * scale) / d).round() as usize;
+        transitions.push((from, to, rate * d, shift));
+    }
+
+    // Double-buffered density F[s][k].
+    let width = reward_cells + 1;
+    let mut current = vec![vec![0.0f64; width]; n];
+    let mut next = vec![vec![0.0f64; width]; n];
+    if rho[start] <= reward_cells {
+        current[start][rho[start]] = 1.0 / d;
+    }
+
+    for _ in 1..time_steps {
+        for row in next.iter_mut() {
+            for v in row.iter_mut() {
+                *v = 0.0;
+            }
+        }
+        // Self term: remain in s for another d time units.
+        for s in 0..n {
+            let stay = 1.0 - exit[s] * d;
+            if stay == 0.0 {
+                continue;
+            }
+            let shift = rho[s];
+            if shift > reward_cells {
+                continue;
+            }
+            let (src, dst) = (&current[s], &mut next[s]);
+            for k in shift..width {
+                dst[k] += src[k - shift] * stay;
+            }
+        }
+        // Transition terms.
+        for &(from, to, rate_d, shift) in &transitions {
+            if shift > reward_cells {
+                continue;
+            }
+            if from == to {
+                for k in (shift..width).rev() {
+                    // Self-loop: source and destination rows coincide; the
+                    // shifted read must not observe already-written cells,
+                    // which reverse iteration guarantees for shift ≥ 0.
+                    let v = current[from][k - shift] * rate_d;
+                    next[to][k] += v;
+                }
+            } else {
+                let (src_row, dst_row) = {
+                    // Disjoint borrow of two rows.
+                    if from < to {
+                        let (a, b) = next.split_at_mut(to);
+                        let _ = &a[from];
+                        (&current[from], &mut b[0])
+                    } else {
+                        let (_, b) = next.split_at_mut(to);
+                        (&current[from], &mut b[0])
+                    }
+                };
+                for k in shift..width {
+                    dst_row[k] += src_row[k - shift] * rate_d;
+                }
+            }
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+
+    let mut probability = 0.0;
+    for s in 0..n {
+        if psi[s] {
+            probability += current[s].iter().sum::<f64>() * d;
+        }
+    }
+    Ok(DiscretizationResult {
+        probability: probability.clamp(0.0, 1.0),
+        time_steps,
+        reward_cells,
+        reward_scale: scale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniformization::{self, UniformOptions};
+    use mrmc_ctmc::CtmcBuilder;
+    use mrmc_mrm::{ImpulseRewards, StateRewards};
+
+    fn wavelan() -> Mrm {
+        let mut b = CtmcBuilder::new(5);
+        b.transition(0, 1, 0.1);
+        b.transition(1, 0, 0.05).transition(1, 2, 5.0);
+        b.transition(2, 1, 12.0)
+            .transition(2, 3, 1.5)
+            .transition(2, 4, 0.75);
+        b.transition(3, 2, 10.0);
+        b.transition(4, 2, 15.0);
+        b.label(2, "idle");
+        b.label(3, "busy");
+        b.label(4, "busy");
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![0.0, 80.0, 1319.0, 1675.0, 1425.0]).unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(2, 3, 0.42545).unwrap();
+        iota.set(2, 4, 0.36195).unwrap();
+        Mrm::new(ctmc, rho, iota).unwrap()
+    }
+
+    #[test]
+    fn example_3_6_by_discretization() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let res = until_probability(
+            &m,
+            &phi,
+            &psi,
+            2.0,
+            2000.0,
+            2,
+            DiscretizationOptions::with_step(1.0 / 64.0),
+        )
+        .unwrap();
+        // Closed form 0.15789; discretization error is O(d).
+        assert!(
+            (res.probability - 0.15789).abs() < 0.02,
+            "got {}",
+            res.probability
+        );
+        assert_eq!(res.time_steps, 128);
+    }
+
+    #[test]
+    fn halving_d_converges_toward_uniformization() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let reference = uniformization::until_probability(
+            &m,
+            &phi,
+            &psi,
+            2.0,
+            2000.0,
+            2,
+            UniformOptions::new().with_truncation(1e-13),
+        )
+        .unwrap()
+        .probability;
+
+        let mut errors = Vec::new();
+        for &d in &[1.0 / 16.0, 1.0 / 32.0, 1.0 / 64.0] {
+            let p = until_probability(
+                &m,
+                &phi,
+                &psi,
+                2.0,
+                2000.0,
+                2,
+                DiscretizationOptions::with_step(d),
+            )
+            .unwrap()
+            .probability;
+            errors.push((p - reference).abs());
+        }
+        assert!(
+            errors[2] < errors[0],
+            "errors should shrink with d: {errors:?}"
+        );
+        assert!(errors[2] < 0.01, "final error too large: {errors:?}");
+    }
+
+    #[test]
+    fn reward_free_model_matches_exponential() {
+        // 0 →(2) 1 absorbing, no rewards: P(tt U^[0,t]_[0,r] goal) with any
+        // r ≥ 0 equals 1 − e^{−2t}.
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 2.0);
+        b.label(1, "goal");
+        let m = Mrm::without_rewards(b.build().unwrap());
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        let res = until_probability(
+            &m,
+            &phi,
+            &psi,
+            1.0,
+            10.0,
+            0,
+            DiscretizationOptions::with_step(1.0 / 256.0),
+        )
+        .unwrap();
+        let expect = 1.0 - (-2.0f64).exp();
+        assert!((res.probability - expect).abs() < 0.01, "{}", res.probability);
+    }
+
+    #[test]
+    fn fractional_rewards_are_scaled() {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 1.0);
+        b.label(1, "goal");
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![0.25, 0.0]).unwrap();
+        let m = Mrm::new(ctmc, rho, ImpulseRewards::new()).unwrap();
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        let res = until_probability(
+            &m,
+            &phi,
+            &psi,
+            1.0,
+            100.0,
+            0,
+            DiscretizationOptions::with_step(1.0 / 64.0),
+        )
+        .unwrap();
+        assert_eq!(res.reward_scale, 100.0);
+        assert!(res.probability > 0.5);
+    }
+
+    #[test]
+    fn irrational_rewards_rejected() {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 1.0);
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![std::f64::consts::PI, 0.0]).unwrap();
+        let m = Mrm::new(ctmc, rho, ImpulseRewards::new()).unwrap();
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        assert!(matches!(
+            until_probability(
+                &m,
+                &phi,
+                &psi,
+                1.0,
+                10.0,
+                0,
+                DiscretizationOptions::with_step(0.1),
+            ),
+            Err(NumericsError::NonIntegerRewards { .. })
+        ));
+    }
+
+    #[test]
+    fn unstable_step_rejected() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        // max exit rate of the absorbed model is 14.25: d = 0.1 > 1/14.25.
+        assert!(matches!(
+            until_probability(
+                &m,
+                &phi,
+                &psi,
+                2.0,
+                100.0,
+                2,
+                DiscretizationOptions::with_step(0.1),
+            ),
+            Err(NumericsError::InvalidParameter { name: "step", .. })
+        ));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let opts = DiscretizationOptions::with_step(0.01);
+        assert!(until_probability(&m, &phi, &psi, 0.0, 1.0, 2, opts).is_err());
+        assert!(until_probability(&m, &phi, &psi, 1.0, f64::INFINITY, 2, opts).is_err());
+        assert!(until_probability(&m, &phi, &psi, 1.0, -1.0, 2, opts).is_err());
+        assert!(until_probability(&m, &[true], &psi, 1.0, 1.0, 2, opts).is_err());
+        assert!(
+            until_probability(&m, &phi, &psi, 1.0, 1.0, 99, opts).is_err()
+        );
+        // Step larger than t.
+        assert!(until_probability(
+            &m,
+            &phi,
+            &psi,
+            0.001,
+            1.0,
+            2,
+            DiscretizationOptions::with_step(0.01)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn memory_guard_triggers() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let mut opts = DiscretizationOptions::with_step(0.01);
+        opts.max_cells = 10;
+        assert!(matches!(
+            until_probability(&m, &phi, &psi, 2.0, 2000.0, 2, opts),
+            Err(NumericsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn tight_reward_bound_suppresses_probability() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let tight = until_probability(
+            &m,
+            &phi,
+            &psi,
+            2.0,
+            1.0,
+            2,
+            DiscretizationOptions::with_step(1.0 / 64.0),
+        )
+        .unwrap()
+        .probability;
+        // Idle earns 1319/h: reward 1 is exhausted almost immediately.
+        assert!(tight < 0.01, "tight = {tight}");
+    }
+}

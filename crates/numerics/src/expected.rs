@@ -1,0 +1,371 @@
+//! Expected accumulated reward `E[Y(t)]` by uniformization.
+//!
+//! A standard companion measure to the distribution `Pr{Y(t) ≤ r}` the
+//! thesis computes: the *mean* of the performability variable, covering
+//! both reward kinds,
+//!
+//! ```text
+//! E[Y(t)] = Σ_s g(s) · ∫_0^t π_s(u) du,
+//! g(s)    = ρ(s) + Σ_{s'} R(s, s') · ι(s, s'),
+//! ```
+//!
+//! since residing in `s` earns rate reward `ρ(s)` and generates impulse
+//! reward at expected rate `Σ R(s,s')·ι(s,s')`. The integral of the
+//! transient distribution follows from uniformization:
+//!
+//! ```text
+//! ∫_0^t p(u) du = (1/Λ) · Σ_{n≥0} Pr{N_{Λt} ≥ n+1} · p(0)·P^n.
+//! ```
+
+use mrmc_ctmc::poisson;
+use mrmc_mrm::Mrm;
+
+use crate::error::NumericsError;
+
+/// Compute `E[Y(t)]` from the distribution `initial`, truncating the
+/// uniformization sum once the remaining Poisson mass is below `epsilon`.
+///
+/// ```
+/// use mrmc_numerics::expected::expected_accumulated_reward;
+///
+/// // A single always-on state earning 3 per hour: E[Y(2)] = 6.
+/// let ctmc = mrmc_ctmc::CtmcBuilder::new(1).build()?;
+/// let mrm = mrmc_mrm::Mrm::new(
+///     ctmc,
+///     mrmc_mrm::StateRewards::new(vec![3.0])?,
+///     mrmc_mrm::ImpulseRewards::new(),
+/// )?;
+/// let e = expected_accumulated_reward(&mrm, &[1.0], 2.0, 1e-10)?;
+/// assert!((e - 6.0).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+///
+/// [`NumericsError`] for a wrong-length initial distribution or invalid
+/// parameters.
+pub fn expected_accumulated_reward(
+    mrm: &Mrm,
+    initial: &[f64],
+    t: f64,
+    epsilon: f64,
+) -> Result<f64, NumericsError> {
+    let n = mrm.num_states();
+    if initial.len() != n {
+        return Err(NumericsError::SizeMismatch {
+            expected: n,
+            found: initial.len(),
+        });
+    }
+    if !(t.is_finite() && t >= 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            name: "t",
+            value: t,
+            requirement: "must be finite and non-negative",
+        });
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(NumericsError::InvalidParameter {
+            name: "epsilon",
+            value: epsilon,
+            requirement: "must be in (0, 1)",
+        });
+    }
+    if t == 0.0 {
+        return Ok(0.0);
+    }
+
+    // Total reward-generation rate per state.
+    let gain: Vec<f64> = (0..n)
+        .map(|s| {
+            let impulse_rate: f64 = mrm
+                .ctmc()
+                .rates()
+                .row(s)
+                .map(|(target, rate)| rate * mrm.impulse_reward(s, target))
+                .sum();
+            mrm.state_reward(s) + impulse_rate
+        })
+        .collect();
+
+    let (uni, lambda) = mrm.ctmc().uniformized(None)?;
+    let p = uni.probabilities();
+    let lambda_t = lambda * t;
+
+    let mut v = initial.to_vec();
+    let mut total = 0.0;
+    let mut step: u64 = 0;
+    loop {
+        // Weight of the n-th term: Pr{N ≥ n+1} / Λ. Also the remaining
+        // contribution is bounded by t·max|g| times the same tail, so it
+        // doubles as the truncation criterion.
+        let tail = poisson::upper_tail(lambda_t, step + 1);
+        if tail < epsilon {
+            break;
+        }
+        let term: f64 = v.iter().zip(&gain).map(|(pv, g)| pv * g).sum();
+        total += term * tail / lambda;
+        v = p.vec_mul(&v);
+        step += 1;
+        // ∑ tail/Λ = t exactly, so the loop always terminates: the tail is
+        // strictly decreasing beyond the mode.
+        debug_assert!(step < 100_000_000, "runaway uniformization sum");
+    }
+    Ok(total)
+}
+
+/// The long-run reward rate `lim_{t→∞} E[Y(t)]/t = Σ_s g(s)·π(s)`, with
+/// `π` the long-run state distribution from `initial` (BSCC-weighted for
+/// reducible chains) and `g(s) = ρ(s) + Σ_{s'} R(s,s')·ι(s,s')` the total
+/// reward-generation rate of state `s`.
+///
+/// # Errors
+///
+/// [`NumericsError`] for a wrong-length initial distribution or solver
+/// failures.
+pub fn long_run_reward_rate(
+    mrm: &Mrm,
+    initial: &[f64],
+    solver: mrmc_sparse::solver::SolverOptions,
+) -> Result<f64, NumericsError> {
+    let n = mrm.num_states();
+    if initial.len() != n {
+        return Err(NumericsError::SizeMismatch {
+            expected: n,
+            found: initial.len(),
+        });
+    }
+    let analysis = mrmc_ctmc::steady::SteadyStateAnalysis::new(mrm.ctmc(), solver)?;
+    let mut rate = 0.0;
+    for (start, &weight) in initial.iter().enumerate() {
+        if weight == 0.0 {
+            continue;
+        }
+        let pi = analysis.distribution_from(start);
+        for (s, &p) in pi.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let impulse_rate: f64 = mrm
+                .ctmc()
+                .rates()
+                .row(s)
+                .map(|(target, r)| r * mrm.impulse_reward(s, target))
+                .sum();
+            rate += weight * p * (mrm.state_reward(s) + impulse_rate);
+        }
+    }
+    Ok(rate)
+}
+
+/// Convenience: `E[Y(t)]` from a single start state.
+///
+/// # Errors
+///
+/// See [`expected_accumulated_reward`].
+pub fn expected_accumulated_reward_from(
+    mrm: &Mrm,
+    start: usize,
+    t: f64,
+    epsilon: f64,
+) -> Result<f64, NumericsError> {
+    if start >= mrm.num_states() {
+        return Err(NumericsError::SizeMismatch {
+            expected: mrm.num_states(),
+            found: start,
+        });
+    }
+    let mut initial = vec![0.0; mrm.num_states()];
+    initial[start] = 1.0;
+    expected_accumulated_reward(mrm, &initial, t, epsilon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monte_carlo::{estimate_expected_reward, SimulationOptions};
+    use mrmc_ctmc::CtmcBuilder;
+    use mrmc_mrm::{ImpulseRewards, StateRewards};
+
+    #[test]
+    fn single_state_is_linear_in_t() {
+        let ctmc = CtmcBuilder::new(1).build().unwrap();
+        let m = Mrm::new(
+            ctmc,
+            StateRewards::new(vec![3.0]).unwrap(),
+            ImpulseRewards::new(),
+        )
+        .unwrap();
+        for &t in &[0.0, 0.5, 2.0, 10.0] {
+            let e = expected_accumulated_reward_from(&m, 0, t, 1e-12).unwrap();
+            assert!((e - 3.0 * t).abs() < 1e-9, "t = {t}: {e}");
+        }
+    }
+
+    #[test]
+    fn pure_impulse_matches_jump_probability() {
+        // 0 →(2) 1 absorbing with impulse 1: E[Y(t)] = 1 − e^{−2t}.
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 2.0);
+        let ctmc = b.build().unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(0, 1, 1.0).unwrap();
+        let m = Mrm::new(ctmc, StateRewards::zero(2), iota).unwrap();
+        for &t in &[0.1, 1.0, 3.0] {
+            let e = expected_accumulated_reward_from(&m, 0, t, 1e-12).unwrap();
+            let exact = 1.0 - (-2.0 * t).exp();
+            assert!((e - exact).abs() < 1e-8, "t = {t}: {e} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn rate_reward_on_absorbing_two_state_chain() {
+        // 0 →(λ) 1, ρ = (a, b):
+        // E[Y(t)] = b·t + (a − b)·(1 − e^{−λt})/λ.
+        let (lambda, a, bb) = (1.5, 4.0, 1.0);
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, lambda);
+        let ctmc = b.build().unwrap();
+        let m = Mrm::new(
+            ctmc,
+            StateRewards::new(vec![a, bb]).unwrap(),
+            ImpulseRewards::new(),
+        )
+        .unwrap();
+        for &t in &[0.2, 1.0, 5.0] {
+            let e = expected_accumulated_reward_from(&m, 0, t, 1e-13).unwrap();
+            let exact = bb * t + (a - bb) * (1.0 - (-lambda * t).exp()) / lambda;
+            assert!((e - exact).abs() < 1e-8, "t = {t}: {e} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_simulation_on_the_wavelan_model() {
+        let mut b = CtmcBuilder::new(5);
+        b.transition(0, 1, 0.1);
+        b.transition(1, 0, 0.05).transition(1, 2, 5.0);
+        b.transition(2, 1, 12.0)
+            .transition(2, 3, 1.5)
+            .transition(2, 4, 0.75);
+        b.transition(3, 2, 10.0);
+        b.transition(4, 2, 15.0);
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![0.0, 80.0, 1319.0, 1675.0, 1425.0]).unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(0, 1, 0.02).unwrap();
+        iota.set(1, 2, 0.32975).unwrap();
+        iota.set(2, 3, 0.42545).unwrap();
+        iota.set(2, 4, 0.36195).unwrap();
+        let m = Mrm::new(ctmc, rho, iota).unwrap();
+
+        let exact = expected_accumulated_reward_from(&m, 1, 2.0, 1e-12).unwrap();
+        let sim = estimate_expected_reward(&m, 2.0, 1, SimulationOptions::with_samples(40_000))
+            .unwrap();
+        assert!(
+            sim.is_consistent_with(exact, 4.5),
+            "uniformization {exact} vs simulation {} ± {}",
+            sim.mean,
+            sim.std_error
+        );
+    }
+
+    #[test]
+    fn long_run_rate_of_a_two_state_chain() {
+        // up(ρ=2) ↔ down(ρ=10), rates 1 and 3: π = (3/4, 1/4), plus the
+        // repair impulse 8 on down→up at long-run frequency π_down·3.
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 1.0).transition(1, 0, 3.0);
+        let ctmc = b.build().unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(1, 0, 8.0).unwrap();
+        let m = Mrm::new(
+            ctmc,
+            StateRewards::new(vec![2.0, 10.0]).unwrap(),
+            iota,
+        )
+        .unwrap();
+        let rate = long_run_reward_rate(
+            &m,
+            &[1.0, 0.0],
+            mrmc_sparse::solver::SolverOptions::new(),
+        )
+        .unwrap();
+        let exact = 0.75 * 2.0 + 0.25 * 10.0 + 0.25 * 3.0 * 8.0;
+        assert!((rate - exact).abs() < 1e-8, "{rate} vs {exact}");
+    }
+
+    #[test]
+    fn long_run_rate_matches_expected_reward_slope() {
+        // For an irreducible chain, E[Y(t)]/t converges to the long-run
+        // rate.
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 0.5).transition(1, 0, 2.0);
+        let ctmc = b.build().unwrap();
+        let m = Mrm::new(
+            ctmc,
+            StateRewards::new(vec![1.0, 6.0]).unwrap(),
+            ImpulseRewards::new(),
+        )
+        .unwrap();
+        let rate = long_run_reward_rate(
+            &m,
+            &[1.0, 0.0],
+            mrmc_sparse::solver::SolverOptions::new(),
+        )
+        .unwrap();
+        let t = 400.0;
+        let ey = expected_accumulated_reward_from(&m, 0, t, 1e-12).unwrap();
+        assert!((ey / t - rate).abs() < 0.01, "{} vs {rate}", ey / t);
+    }
+
+    #[test]
+    fn long_run_rate_respects_absorbing_structure() {
+        // Everything is eventually absorbed in a zero-reward state: the
+        // long-run rate is zero.
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 1.0);
+        let ctmc = b.build().unwrap();
+        let m = Mrm::new(
+            ctmc,
+            StateRewards::new(vec![5.0, 0.0]).unwrap(),
+            ImpulseRewards::new(),
+        )
+        .unwrap();
+        let rate = long_run_reward_rate(
+            &m,
+            &[1.0, 0.0],
+            mrmc_sparse::solver::SolverOptions::new(),
+        )
+        .unwrap();
+        assert!(rate.abs() < 1e-10);
+    }
+
+    #[test]
+    fn weighted_initial_distribution() {
+        let ctmc = CtmcBuilder::new(1).build().unwrap();
+        let single = Mrm::new(
+            ctmc,
+            StateRewards::new(vec![2.0]).unwrap(),
+            ImpulseRewards::new(),
+        )
+        .unwrap();
+        // A point mass must equal the convenience wrapper.
+        let a = expected_accumulated_reward(&single, &[1.0], 3.0, 1e-12).unwrap();
+        let b = expected_accumulated_reward_from(&single, 0, 3.0, 1e-12).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let ctmc = CtmcBuilder::new(1).build().unwrap();
+        let m = Mrm::without_rewards(ctmc);
+        assert!(expected_accumulated_reward(&m, &[1.0, 0.0], 1.0, 1e-10).is_err());
+        assert!(expected_accumulated_reward(&m, &[1.0], -1.0, 1e-10).is_err());
+        assert!(expected_accumulated_reward(&m, &[1.0], 1.0, 0.0).is_err());
+        assert!(expected_accumulated_reward_from(&m, 5, 1.0, 1e-10).is_err());
+        assert_eq!(
+            expected_accumulated_reward_from(&m, 0, 0.0, 1e-10).unwrap(),
+            0.0
+        );
+    }
+}

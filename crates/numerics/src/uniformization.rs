@@ -1,0 +1,869 @@
+//! Uniformization-based evaluation of time- and reward-bounded until
+//! (Section 4.6) and of the performability distribution `Pr{Y(t) ≤ r}`
+//! (Eq. 4.4).
+//!
+//! The pipeline for `P^M(s, Φ U^{[0,t]}_{[0,r]} Ψ)`:
+//!
+//! 1. make all `(¬Φ ∨ Ψ)`-states absorbing (Theorems 4.1/4.3);
+//! 2. uniformize the absorbed MRM (Definition 4.2);
+//! 3. generate paths depth-first with truncation probability `w`
+//!    (Algorithm 4.7), aggregating by `(k, j)` reward-count classes;
+//! 4. per class, evaluate the conditional probability
+//!    `Pr{Y(t) ≤ r | n, k, j}` with the Omega algorithm (Eq. 4.9,
+//!    Algorithm 4.8);
+//! 5. sum `P(σ, t) · Pr{Y(t) ≤ r | σ}` over the stored classes (Eq. 4.5) and
+//!    report the truncation error bound (Eq. 4.6).
+
+use mrmc_ctmc::poisson;
+use mrmc_mrm::{transform::make_absorbing, Mrm, UniformizedMrm};
+
+use crate::error::NumericsError;
+use crate::omega::OmegaEvaluator;
+use crate::path_classes::PathClasses;
+use crate::reward_structure::RewardClasses;
+
+/// Options for the uniformization engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformOptions {
+    /// The path truncation probability `w`: paths with
+    /// `P(σ, t) < w` are discarded (Definition 4.6). Default `1e-8`, the
+    /// thesis tool's default.
+    pub truncation: f64,
+    /// Explicit uniformization rate `Λ`; `None` picks
+    /// `1.02 · max_s E(s)`.
+    pub lambda: Option<f64>,
+    /// Hard cap on the exploration depth (a safety net; the truncation
+    /// probability is the intended control). Default `1_000_000`.
+    pub max_depth: u64,
+    /// Use potential-based pruning instead of the thesis' literal rule.
+    ///
+    /// The thesis discards a prefix σ as soon as `P(σ, t) = ψ_n(Λt)·P(σ)`
+    /// falls below `w` — but for `n` below the Poisson mode the weight of an
+    /// *extension* of σ can exceed `P(σ, t)`, so the literal rule
+    /// over-truncates whenever `e^{−Λt} < w` (visible as the error blow-up
+    /// at large `t` in Table 5.3). With this flag a prefix is discarded only
+    /// when `P(σ)·max_{m ≥ n} ψ_m(Λt) < w`. Off by default for fidelity;
+    /// the ablation bench compares both rules.
+    pub improved_pruning: bool,
+}
+
+impl UniformOptions {
+    /// The defaults used by the thesis tool: `w = 1e-8`, automatic `Λ`.
+    pub fn new() -> Self {
+        UniformOptions {
+            truncation: 1e-8,
+            lambda: None,
+            max_depth: 1_000_000,
+            improved_pruning: false,
+        }
+    }
+
+    /// Replace the truncation probability `w`.
+    pub fn with_truncation(mut self, w: f64) -> Self {
+        self.truncation = w;
+        self
+    }
+
+    /// Pin the uniformization rate.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = Some(lambda);
+        self
+    }
+
+    /// Enable potential-based pruning (see
+    /// [`improved_pruning`](UniformOptions::improved_pruning)).
+    pub fn with_improved_pruning(mut self) -> Self {
+        self.improved_pruning = true;
+        self
+    }
+}
+
+impl Default for UniformOptions {
+    fn default() -> Self {
+        UniformOptions::new()
+    }
+}
+
+/// The outcome of a uniformization-based until evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UntilResult {
+    /// The computed probability (Eq. 4.5), clamped into `[0, 1]`.
+    pub probability: f64,
+    /// The truncation error bound `E` (Eq. 4.6).
+    pub error_bound: f64,
+    /// Number of distinct `(k, j)` path classes stored.
+    pub num_classes: usize,
+    /// Number of DFS nodes expanded.
+    pub explored_nodes: u64,
+    /// Number of stored (Ψ-ending) path prefixes.
+    pub stored_paths: u64,
+    /// Number of truncated path prefixes contributing to the error bound.
+    pub truncated_paths: u64,
+    /// Deepest path length reached.
+    pub max_depth: u64,
+}
+
+fn validate_inputs(
+    mrm: &Mrm,
+    phi: &[bool],
+    psi: &[bool],
+    t: f64,
+    r: f64,
+    start: usize,
+    options: &UniformOptions,
+) -> Result<(), NumericsError> {
+    let n = mrm.num_states();
+    if phi.len() != n {
+        return Err(NumericsError::SizeMismatch {
+            expected: n,
+            found: phi.len(),
+        });
+    }
+    if psi.len() != n {
+        return Err(NumericsError::SizeMismatch {
+            expected: n,
+            found: psi.len(),
+        });
+    }
+    if start >= n {
+        return Err(NumericsError::SizeMismatch {
+            expected: n,
+            found: start,
+        });
+    }
+    if !(t.is_finite() && t >= 0.0) {
+        return Err(NumericsError::InvalidParameter {
+            name: "t",
+            value: t,
+            requirement: "must be finite and non-negative",
+        });
+    }
+    if r.is_nan() || r < 0.0 {
+        return Err(NumericsError::InvalidParameter {
+            name: "r",
+            value: r,
+            requirement: "must be non-negative",
+        });
+    }
+    if !(options.truncation > 0.0 && options.truncation < 1.0) {
+        return Err(NumericsError::InvalidParameter {
+            name: "truncation",
+            value: options.truncation,
+            requirement: "must be in (0, 1)",
+        });
+    }
+    Ok(())
+}
+
+/// Evaluate `P^M(start, Φ U^{[0,t]}_{[0,r]} Ψ)` by uniformization.
+///
+/// `phi` and `psi` are characteristic vectors of the Φ- and Ψ-states; `r`
+/// may be `f64::INFINITY` (the reward bound then never binds and the result
+/// matches plain time-bounded until).
+///
+/// # Errors
+///
+/// [`NumericsError`] for size mismatches, bad parameters, or model problems.
+pub fn until_probability(
+    mrm: &Mrm,
+    phi: &[bool],
+    psi: &[bool],
+    t: f64,
+    r: f64,
+    start: usize,
+    options: UniformOptions,
+) -> Result<UntilResult, NumericsError> {
+    validate_inputs(mrm, phi, psi, t, r, start, &options)?;
+    if t == 0.0 {
+        // At time zero the accumulated reward is zero: the formula holds iff
+        // the start state is a Ψ-state.
+        return Ok(UntilResult {
+            probability: if psi[start] { 1.0 } else { 0.0 },
+            error_bound: 0.0,
+            num_classes: 0,
+            explored_nodes: 0,
+            stored_paths: 0,
+            truncated_paths: 0,
+            max_depth: 0,
+        });
+    }
+
+    // Theorem 4.1: absorb (¬Φ ∨ Ψ)-states.
+    let absorb: Vec<bool> = phi
+        .iter()
+        .zip(psi)
+        .map(|(&p, &q)| !p || q)
+        .collect();
+    let absorbed = make_absorbing(mrm, &absorb)?;
+    let uni = UniformizedMrm::new(&absorbed, options.lambda)?;
+    let classes_def = RewardClasses::new(&uni);
+
+    let classes = generate_path_classes(
+        &uni,
+        &classes_def,
+        phi,
+        psi,
+        start,
+        uni.lambda() * t,
+        &options,
+    );
+    evaluate_classes(&classes, &classes_def, uni.lambda() * t, t, r)
+}
+
+/// Evaluate `P^M(s, Φ U^{[0,t]}_{[0,r]} Ψ)` for **every** state, sharing
+/// the absorbed model, its uniformization and the reward-class structure
+/// across start states (the per-state work is then only the path
+/// exploration itself).
+///
+/// States satisfying neither Φ nor Ψ get probability zero without any
+/// exploration.
+///
+/// # Errors
+///
+/// See [`until_probability`].
+pub fn until_probabilities_all(
+    mrm: &Mrm,
+    phi: &[bool],
+    psi: &[bool],
+    t: f64,
+    r: f64,
+    options: UniformOptions,
+) -> Result<Vec<UntilResult>, NumericsError> {
+    validate_inputs(mrm, phi, psi, t, r, 0, &options)?;
+    let n = mrm.num_states();
+    let zero = |is_psi: bool| UntilResult {
+        probability: if is_psi { 1.0 } else { 0.0 },
+        error_bound: 0.0,
+        num_classes: 0,
+        explored_nodes: 0,
+        stored_paths: 0,
+        truncated_paths: 0,
+        max_depth: 0,
+    };
+    if t == 0.0 {
+        return Ok((0..n).map(|s| zero(psi[s])).collect());
+    }
+
+    let absorb: Vec<bool> = phi.iter().zip(psi).map(|(&p, &q)| !p || q).collect();
+    let absorbed = make_absorbing(mrm, &absorb)?;
+    let uni = UniformizedMrm::new(&absorbed, options.lambda)?;
+    let classes_def = RewardClasses::new(&uni);
+    let lambda_t = uni.lambda() * t;
+
+    let mut out = Vec::with_capacity(n);
+    for s in 0..n {
+        if !phi[s] && !psi[s] {
+            out.push(zero(false));
+            continue;
+        }
+        let classes = generate_path_classes(
+            &uni,
+            &classes_def,
+            phi,
+            psi,
+            s,
+            lambda_t,
+            &options,
+        );
+        out.push(evaluate_classes(&classes, &classes_def, lambda_t, t, r)?);
+    }
+    Ok(out)
+}
+
+/// Evaluate the performability distribution `Pr{Y(t) ≤ r}` from `start`
+/// (Eq. 4.4) — no state restriction and no absorbing transformation.
+///
+/// # Errors
+///
+/// See [`until_probability`].
+pub fn performability(
+    mrm: &Mrm,
+    t: f64,
+    r: f64,
+    start: usize,
+    options: UniformOptions,
+) -> Result<UntilResult, NumericsError> {
+    let all = vec![true; mrm.num_states()];
+    validate_inputs(mrm, &all, &all, t, r, start, &options)?;
+    if t == 0.0 {
+        return Ok(UntilResult {
+            probability: 1.0,
+            error_bound: 0.0,
+            num_classes: 0,
+            explored_nodes: 0,
+            stored_paths: 0,
+            truncated_paths: 0,
+            max_depth: 0,
+        });
+    }
+    let uni = UniformizedMrm::new(mrm, options.lambda)?;
+    let classes_def = RewardClasses::new(&uni);
+    let classes = generate_path_classes(
+        &uni,
+        &classes_def,
+        &all,
+        &all,
+        start,
+        uni.lambda() * t,
+        &options,
+    );
+    evaluate_classes(&classes, &classes_def, uni.lambda() * t, t, r)
+}
+
+/// Run Algorithm 4.7 (depth-first path generation) and return the aggregated
+/// path classes. Exposed publicly so the exploration itself can be tested
+/// and benchmarked (Figure 4.3).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_path_classes(
+    uni: &UniformizedMrm,
+    classes_def: &RewardClasses,
+    phi: &[bool],
+    psi: &[bool],
+    start: usize,
+    lambda_t: f64,
+    options: &UniformOptions,
+) -> PathClasses {
+    let truncation = options.truncation;
+    let max_depth = options.max_depth;
+    struct Ctx<'a> {
+        uni: &'a UniformizedMrm,
+        rc: &'a RewardClasses,
+        phi: &'a [bool],
+        psi: &'a [bool],
+        lambda_t: f64,
+        w: f64,
+        max_depth: u64,
+        /// `max_m ψ_m(Λt)` — the Poisson weight at the mode, used by
+        /// potential-based pruning (`None` for the thesis' literal rule).
+        mode_pmf: Option<f64>,
+    }
+    struct DfsState {
+        k: Vec<u32>,
+        j: Vec<u32>,
+        out: PathClasses,
+    }
+
+    /// Visit a node whose weighted probability `P(σ, t) = ψ_n(Λt)·P(σ)` is
+    /// already known to be at least `w`.
+    fn visit(ctx: &Ctx<'_>, st: &mut DfsState, s: usize, n: u64, path_prob: f64, weighted: f64) {
+        st.out.count_node(n);
+        if ctx.psi[s] {
+            st.out.store(&st.k, &st.j, path_prob);
+        }
+        let next_factor = ctx.lambda_t / (n + 1) as f64;
+        for (target, p, impulse) in ctx.uni.transitions(s) {
+            // Line 1 of Algorithm 4.7: (¬Φ ∧ ¬Ψ)-states end exploration and
+            // can never satisfy the formula — no error contribution either.
+            if !ctx.phi[target] && !ctx.psi[target] {
+                continue;
+            }
+            let child_path = path_prob * p;
+            let child_weighted = weighted * next_factor * p;
+            // Literal rule: prune on P(σ, t) < w. Potential rule: prune only
+            // when no extension of σ can reach weight w any more.
+            let prune = match ctx.mode_pmf {
+                None => child_weighted < ctx.w,
+                Some(mode) => {
+                    let best = if (n + 1) as f64 >= ctx.lambda_t {
+                        child_weighted
+                    } else {
+                        child_path * mode
+                    };
+                    best < ctx.w
+                }
+            };
+            if prune || n + 1 > ctx.max_depth {
+                // Eq. 4.6: discarding σ' and all suffixes loses at most
+                // P(σ')·Pr{N ≥ n + 1} probability mass.
+                st.out
+                    .add_error(child_path * poisson::upper_tail(ctx.lambda_t, n + 1));
+                continue;
+            }
+            st.k[ctx.rc.state_class(target)] += 1;
+            st.j[ctx.rc.impulse_class(impulse)] += 1;
+            visit(ctx, st, target, n + 1, child_path, child_weighted);
+            st.k[ctx.rc.state_class(target)] -= 1;
+            st.j[ctx.rc.impulse_class(impulse)] -= 1;
+        }
+    }
+
+    let ctx = Ctx {
+        uni,
+        rc: classes_def,
+        phi,
+        psi,
+        lambda_t,
+        w: truncation,
+        max_depth,
+        mode_pmf: options
+            .improved_pruning
+            .then(|| poisson::pmf(lambda_t, lambda_t.floor() as u64)),
+    };
+    let mut st = DfsState {
+        k: vec![0; classes_def.num_state_classes()],
+        j: vec![0; classes_def.num_impulse_classes()],
+        out: PathClasses::new(),
+    };
+
+    if !phi[start] && !psi[start] {
+        return st.out;
+    }
+    let root_weight = (-lambda_t).exp();
+    st.k[classes_def.state_class(start)] = 1;
+    let root_pruned = match ctx.mode_pmf {
+        None => root_weight < truncation,
+        Some(mode) => mode < truncation,
+    };
+    if root_pruned {
+        // Even the empty path is below the truncation probability: the
+        // whole computation is truncated mass.
+        st.out.add_error(1.0);
+        return st.out;
+    }
+    visit(&ctx, &mut st, start, 0, 1.0, root_weight);
+    st.out
+}
+
+/// Combine stored path classes into the final probability (Eq. 4.5) using
+/// the Omega algorithm for the conditional probabilities (Eq. 4.9).
+fn evaluate_classes(
+    classes: &PathClasses,
+    classes_def: &RewardClasses,
+    lambda_t: f64,
+    t: f64,
+    r: f64,
+) -> Result<UntilResult, NumericsError> {
+    let mut omega = OmegaEvaluator::new(classes_def.omega_coefficients())?;
+    let r_min = classes_def.min_state_reward();
+
+    let mut probability = 0.0;
+    for (key, path_prob) in classes.iter() {
+        let n = key.path_length();
+        // r' = r/t − r_{K+1} − (1/t)·Σ_i i_i·j_i   (Eq. 4.9/4.10).
+        let r_prime = if r.is_infinite() {
+            f64::INFINITY
+        } else {
+            r / t - r_min - classes_def.impulse_total(&key.j) / t
+        };
+        let conditional = omega.evaluate(r_prime, &key.k);
+        if conditional == 0.0 {
+            continue;
+        }
+        probability += poisson::pmf(lambda_t, n) * path_prob * conditional;
+    }
+
+    Ok(UntilResult {
+        probability: probability.clamp(0.0, 1.0),
+        error_bound: classes.error_bound(),
+        num_classes: classes.num_classes(),
+        explored_nodes: classes.explored_nodes(),
+        stored_paths: classes.stored_paths(),
+        truncated_paths: classes.truncated_paths(),
+        max_depth: classes.max_depth(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrmc_ctmc::CtmcBuilder;
+    use mrmc_mrm::{ImpulseRewards, StateRewards};
+
+    fn wavelan() -> Mrm {
+        let mut b = CtmcBuilder::new(5);
+        b.transition(0, 1, 0.1);
+        b.transition(1, 0, 0.05).transition(1, 2, 5.0);
+        b.transition(2, 1, 12.0)
+            .transition(2, 3, 1.5)
+            .transition(2, 4, 0.75);
+        b.transition(3, 2, 10.0);
+        b.transition(4, 2, 15.0);
+        b.label(0, "off");
+        b.label(1, "sleep");
+        b.label(2, "idle");
+        b.label(3, "busy");
+        b.label(4, "busy");
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![0.0, 80.0, 1319.0, 1675.0, 1425.0]).unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(0, 1, 0.02).unwrap();
+        iota.set(1, 2, 0.32975).unwrap();
+        iota.set(2, 3, 0.42545).unwrap();
+        iota.set(2, 4, 0.36195).unwrap();
+        Mrm::new(ctmc, rho, iota).unwrap()
+    }
+
+    /// A two-state chain 0 →(λ) 1 with 1 absorbing.
+    fn two_state(lambda: f64) -> Mrm {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, lambda);
+        b.label(0, "a");
+        b.label(1, "goal");
+        Mrm::without_rewards(b.build().unwrap())
+    }
+
+    #[test]
+    fn reward_free_until_matches_exponential_cdf() {
+        let m = two_state(2.0);
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        for &t in &[0.1, 0.5, 1.0, 2.0] {
+            let res = until_probability(
+                &m,
+                &phi,
+                &psi,
+                t,
+                f64::INFINITY,
+                0,
+                UniformOptions::new().with_truncation(1e-12),
+            )
+            .unwrap();
+            let expect = 1.0 - (-2.0 * t).exp();
+            assert!(
+                (res.probability - expect).abs() < 1e-8,
+                "t = {t}: {} vs {expect} (err bound {})",
+                res.probability,
+                res.error_bound
+            );
+        }
+    }
+
+    #[test]
+    fn example_3_6_until_with_rewards() {
+        // P(3, idle U^[0,2]_[0,2000] busy) = 0.15789… (closed form in the
+        // thesis; the reward bound permits staying idle for up to
+        // a ≈ 1.516 h before jumping).
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        // e^{-Λt} ≈ 4e-13 bounds every P(σ, t) from above at the root, so
+        // the truncation probability must sit well below it.
+        let res = until_probability(
+            &m,
+            &phi,
+            &psi,
+            2.0,
+            2000.0,
+            2,
+            UniformOptions::new().with_truncation(1e-16).with_lambda(14.25),
+        )
+        .unwrap();
+        assert!(
+            (res.probability - 0.15789).abs() < 2e-4,
+            "got {} (error bound {})",
+            res.probability,
+            res.error_bound
+        );
+    }
+
+    #[test]
+    fn example_3_6_without_reward_bound_is_larger() {
+        // Without the reward bound the probability is
+        // (λ_IR + λ_IT)/E(3) · (1 − e^{−E(3)·2}) ≈ 0.157894…
+        // With the generous bound of 2000 the values are extremely close;
+        // with a small bound the probability drops.
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let opts = UniformOptions::new()
+            .with_truncation(1e-17)
+            .with_lambda(14.25);
+        let generous = until_probability(&m, &phi, &psi, 2.0, f64::INFINITY, 2, opts)
+            .unwrap()
+            .probability;
+        let tight = until_probability(&m, &phi, &psi, 2.0, 700.0, 2, opts)
+            .unwrap()
+            .probability;
+        let tiny = until_probability(&m, &phi, &psi, 2.0, 0.3, 2, opts)
+            .unwrap()
+            .probability;
+        assert!(tight < generous);
+        assert!(tiny < tight);
+        // With r = 0.3 even a single impulse (0.42545) exceeds the bound
+        // unless the jump happens at reward < 0.3 − impulse < 0: impossible.
+        assert!(tiny < 1e-9, "tiny = {tiny}");
+    }
+
+    #[test]
+    fn psi_start_state_counts_when_it_stays() {
+        // Starting in a Ψ-state: the until holds if we are still there at
+        // time t — in the absorbed model, always (Ψ-states are absorbing).
+        let m = two_state(1.0);
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        let res = until_probability(&m, &phi, &psi, 1.0, f64::INFINITY, 1, UniformOptions::new())
+            .unwrap();
+        assert!((res.probability - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn dead_start_state_gives_zero() {
+        let m = two_state(1.0);
+        let phi = vec![false, false];
+        let psi = vec![false, true];
+        let res =
+            until_probability(&m, &phi, &psi, 1.0, 10.0, 0, UniformOptions::new()).unwrap();
+        assert_eq!(res.probability, 0.0);
+        assert_eq!(res.explored_nodes, 0);
+    }
+
+    #[test]
+    fn t_zero_is_membership_test() {
+        let m = two_state(1.0);
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        let r0 = until_probability(&m, &phi, &psi, 0.0, 5.0, 0, UniformOptions::new()).unwrap();
+        assert_eq!(r0.probability, 0.0);
+        let r1 = until_probability(&m, &phi, &psi, 0.0, 5.0, 1, UniformOptions::new()).unwrap();
+        assert_eq!(r1.probability, 1.0);
+    }
+
+    #[test]
+    fn tighter_truncation_reduces_error_bound() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let loose = until_probability(
+            &m,
+            &phi,
+            &psi,
+            0.5,
+            2000.0,
+            2,
+            UniformOptions::new().with_truncation(1e-5),
+        )
+        .unwrap();
+        let tight = until_probability(
+            &m,
+            &phi,
+            &psi,
+            0.5,
+            2000.0,
+            2,
+            UniformOptions::new().with_truncation(1e-10),
+        )
+        .unwrap();
+        assert!(tight.error_bound < loose.error_bound);
+        assert!(tight.explored_nodes >= loose.explored_nodes);
+        // Both estimates agree within the looser error bound.
+        assert!((tight.probability - loose.probability).abs() <= loose.error_bound + 1e-12);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_reward_bound() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let opts = UniformOptions::new()
+            .with_truncation(1e-15)
+            .with_lambda(14.25);
+        let mut prev = 0.0;
+        for &r in &[0.0, 100.0, 500.0, 1000.0, 2000.0, 5000.0] {
+            let p = until_probability(&m, &phi, &psi, 2.0, r, 2, opts)
+                .unwrap()
+                .probability;
+            assert!(p + 1e-9 >= prev, "r = {r}: {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn performability_distribution_is_monotone_and_reaches_one() {
+        // Path exploration on the *un-absorbed* model is exponential in Λt
+        // (the thesis' own complexity caveat), so keep the horizon short.
+        let m = wavelan();
+        let opts = UniformOptions::new().with_truncation(1e-7);
+        // Pr{Y(0.2) ≤ r} from the sleep state (state 1).
+        let mut prev = 0.0;
+        for &r in &[0.0, 10.0, 50.0, 200.0, 1000.0] {
+            let p = performability(&m, 0.2, r, 1, opts).unwrap().probability;
+            assert!(p + 1e-9 >= prev, "r = {r}");
+            prev = p;
+        }
+        let total = performability(&m, 0.2, f64::INFINITY, 1, opts).unwrap();
+        assert!(
+            (total.probability - 1.0).abs() <= total.error_bound + 1e-6,
+            "{} vs error {}",
+            total.probability,
+            total.error_bound
+        );
+    }
+
+    #[test]
+    fn figure_4_3_exploration_order_and_classes() {
+        // Make (¬idle ∨ busy)-states absorbing and explore from state 3
+        // (0-indexed 2) to depth 2 — the setting of Figure 4.3.
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let absorb: Vec<bool> = phi.iter().zip(&psi).map(|(&p, &q)| !p || q).collect();
+        let absorbed = make_absorbing(&m, &absorb).unwrap();
+        let uni = UniformizedMrm::new(&absorbed, None).unwrap();
+        let rc = RewardClasses::new(&uni);
+        let opts = UniformOptions {
+            truncation: 1e-30,
+            max_depth: 2,
+            ..UniformOptions::new()
+        };
+        let classes =
+            generate_path_classes(&uni, &rc, &phi, &psi, 2, uni.lambda() * 1.0, &opts);
+        // Paths of length ≤ 2 ending in busy: 3→4, 3→5, 3→3→4, 3→3→5
+        // (3→4→4 and 3→5→5 continue via the absorbing self-loops).
+        assert!(classes.stored_paths() >= 4);
+        assert!(classes.num_classes() >= 2);
+        // The truncated frontier contributes error mass.
+        assert!(classes.error_bound() > 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let m = two_state(1.0);
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        assert!(matches!(
+            until_probability(&m, &[true], &psi, 1.0, 1.0, 0, UniformOptions::new()),
+            Err(NumericsError::SizeMismatch { .. })
+        ));
+        assert!(matches!(
+            until_probability(&m, &phi, &psi, -1.0, 1.0, 0, UniformOptions::new()),
+            Err(NumericsError::InvalidParameter { name: "t", .. })
+        ));
+        assert!(matches!(
+            until_probability(&m, &phi, &psi, 1.0, -1.0, 0, UniformOptions::new()),
+            Err(NumericsError::InvalidParameter { name: "r", .. })
+        ));
+        assert!(matches!(
+            until_probability(
+                &m,
+                &phi,
+                &psi,
+                1.0,
+                1.0,
+                0,
+                UniformOptions::new().with_truncation(0.0)
+            ),
+            Err(NumericsError::InvalidParameter {
+                name: "truncation",
+                ..
+            })
+        ));
+        assert!(matches!(
+            until_probability(&m, &phi, &psi, 1.0, 1.0, 9, UniformOptions::new()),
+            Err(NumericsError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn improved_pruning_rescues_large_lambda_t() {
+        // At t = 2 with Λ ≈ 14.5, e^{−Λt} < 1e-12: the literal rule prunes
+        // the root and returns 0 with error bound 1; the potential rule
+        // still recovers the probability.
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let literal = until_probability(
+            &m,
+            &phi,
+            &psi,
+            2.0,
+            2000.0,
+            2,
+            UniformOptions::new().with_truncation(1e-12),
+        )
+        .unwrap();
+        assert_eq!(literal.probability, 0.0);
+        assert_eq!(literal.error_bound, 1.0);
+
+        let improved = until_probability(
+            &m,
+            &phi,
+            &psi,
+            2.0,
+            2000.0,
+            2,
+            UniformOptions::new()
+                .with_truncation(1e-12)
+                .with_improved_pruning(),
+        )
+        .unwrap();
+        assert!(
+            (improved.probability - 0.15789).abs() < 1e-3,
+            "got {}",
+            improved.probability
+        );
+    }
+
+    #[test]
+    fn explicit_lambda_matches_automatic() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let auto = until_probability(
+            &m,
+            &phi,
+            &psi,
+            1.0,
+            2000.0,
+            2,
+            UniformOptions::new().with_truncation(1e-11),
+        )
+        .unwrap();
+        let pinned = until_probability(
+            &m,
+            &phi,
+            &psi,
+            1.0,
+            2000.0,
+            2,
+            UniformOptions::new().with_truncation(1e-11).with_lambda(20.0),
+        )
+        .unwrap();
+        assert!(
+            (auto.probability - pinned.probability).abs()
+                <= auto.error_bound + pinned.error_bound + 1e-9
+        );
+    }
+}
+
+#[cfg(test)]
+mod all_states_tests {
+    use super::*;
+    use mrmc_ctmc::CtmcBuilder;
+
+    #[test]
+    fn all_states_matches_per_state_calls() {
+        let mut b = CtmcBuilder::new(3);
+        b.transition(0, 1, 1.0)
+            .transition(0, 2, 0.5)
+            .transition(1, 2, 2.0);
+        b.label(0, "a").label(1, "a").label(2, "goal");
+        let m = Mrm::without_rewards(b.build().unwrap());
+        let phi = m.labeling().states_with("a");
+        let psi = m.labeling().states_with("goal");
+        let opts = UniformOptions::new().with_truncation(1e-11);
+        let all = until_probabilities_all(&m, &phi, &psi, 1.0, 50.0, opts).unwrap();
+        for (s, combined) in all.iter().enumerate() {
+            let single = until_probability(&m, &phi, &psi, 1.0, 50.0, s, opts).unwrap();
+            assert_eq!(*combined, single, "state {s}");
+        }
+    }
+
+    #[test]
+    fn all_states_skips_dead_states() {
+        let mut b = CtmcBuilder::new(3);
+        b.transition(0, 1, 1.0).transition(1, 2, 1.0);
+        b.label(2, "goal");
+        let m = Mrm::without_rewards(b.build().unwrap());
+        // Φ excludes state 1 entirely.
+        let phi = vec![true, false, true];
+        let psi = vec![false, false, true];
+        let opts = UniformOptions::new();
+        let all = until_probabilities_all(&m, &phi, &psi, 1.0, 1.0, opts).unwrap();
+        assert_eq!(all[1].probability, 0.0);
+        assert_eq!(all[1].explored_nodes, 0);
+        // t = 0 short-circuit: membership test.
+        let t0 = until_probabilities_all(&m, &phi, &psi, 0.0, 1.0, opts).unwrap();
+        assert_eq!(t0[2].probability, 1.0);
+        assert_eq!(t0[0].probability, 0.0);
+    }
+}

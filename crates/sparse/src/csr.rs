@@ -1,0 +1,575 @@
+//! Compressed-sparse-row matrices.
+//!
+//! [`CsrMatrix`] is the workhorse representation for rate matrices and
+//! transition-probability matrices throughout the workspace. Matrices are
+//! built through [`CooBuilder`], which accepts coordinate-format entries in
+//! any order, merges duplicates by addition, and drops explicit zeros.
+
+use crate::error::BuildError;
+
+/// Builder collecting coordinate-format (`(row, col, value)`) entries for a
+/// [`CsrMatrix`].
+///
+/// Entries may be pushed in any order; duplicates are summed. Exact zeros are
+/// dropped during [`build`](CooBuilder::build) so the resulting sparsity
+/// pattern only contains structural non-zeros.
+///
+/// ```
+/// use mrmc_sparse::CooBuilder;
+///
+/// let mut b = CooBuilder::new(2, 3);
+/// b.push(1, 2, 4.0);
+/// b.push(0, 0, 1.0);
+/// b.push(1, 2, 1.0); // merged with the earlier (1, 2) entry
+/// let m = b.build().unwrap();
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CooBuilder {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooBuilder {
+    /// Create a builder for an `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooBuilder {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Create a builder with pre-allocated capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooBuilder {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of rows the built matrix will have.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns the built matrix will have.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Queue an entry. Bounds and finiteness are validated in
+    /// [`build`](CooBuilder::build).
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> &mut Self {
+        self.entries.push((row, col, value));
+        self
+    }
+
+    /// Number of queued (unmerged) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no entries have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Build the CSR matrix, merging duplicate coordinates by addition and
+    /// dropping entries that merged to exactly zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::IndexOutOfBounds`] for entries outside the
+    /// declared shape and [`BuildError::NonFiniteValue`] for NaN/infinite
+    /// values.
+    pub fn build(mut self) -> Result<CsrMatrix, BuildError> {
+        for &(r, c, v) in &self.entries {
+            if r >= self.nrows || c >= self.ncols {
+                return Err(BuildError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows: self.nrows,
+                    ncols: self.ncols,
+                });
+            }
+            if !v.is_finite() {
+                return Err(BuildError::NonFiniteValue { row: r, col: c });
+            }
+        }
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        row_ptr.push(0);
+
+        let mut current_row = 0usize;
+        let mut i = 0usize;
+        while i < self.entries.len() {
+            let (r, c, mut v) = self.entries[i];
+            i += 1;
+            while i < self.entries.len() && self.entries[i].0 == r && self.entries[i].1 == c {
+                v += self.entries[i].2;
+                i += 1;
+            }
+            if v == 0.0 {
+                continue;
+            }
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            col_idx.push(c);
+            values.push(v);
+        }
+        while current_row < self.nrows {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+
+        Ok(CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+}
+
+/// An immutable matrix in compressed-sparse-row format.
+///
+/// Rows are stored contiguously; within each row, column indices are strictly
+/// increasing. Use [`CooBuilder`] to construct one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+/// Iterator over the `(column, value)` pairs of one matrix row, produced by
+/// [`CsrMatrix::row`].
+#[derive(Debug, Clone)]
+pub struct RowEntries<'a> {
+    cols: std::slice::Iter<'a, usize>,
+    vals: std::slice::Iter<'a, f64>,
+}
+
+impl<'a> Iterator for RowEntries<'a> {
+    type Item = (usize, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        Some((*self.cols.next()?, *self.vals.next()?))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.cols.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for RowEntries<'a> {}
+
+impl CsrMatrix {
+    /// An `n x n` matrix with no stored entries.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(row, col)`, `0.0` when the entry is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.nrows, "row {row} out of bounds");
+        assert!(col < self.ncols, "col {col} out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        match self.col_idx[lo..hi].binary_search(&col) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterate over the stored `(column, value)` pairs of `row` in increasing
+    /// column order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> RowEntries<'_> {
+        assert!(row < self.nrows, "row {row} out of bounds");
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        RowEntries {
+            cols: self.col_idx[lo..hi].iter(),
+            vals: self.values[lo..hi].iter(),
+        }
+    }
+
+    /// Number of stored entries in `row`.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.row_ptr[row + 1] - self.row_ptr[row]
+    }
+
+    /// Iterate over all stored entries as `(row, col, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |r| self.row(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Sum of the stored values in each row.
+    ///
+    /// For a rate matrix this is the total exit rate `E(s)` of each state.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.nrows)
+            .map(|r| self.row(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Matrix–vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    #[allow(clippy::needless_range_loop)] // rows pair with dense outputs
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols, "mul_vec: length mismatch");
+        let mut y = vec![0.0; self.nrows];
+        for r in 0..self.nrows {
+            let mut acc = 0.0;
+            for (c, v) in self.row(r) {
+                acc += v * x[c];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Vector–matrix product `y = x·A` (distribution propagation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    #[allow(clippy::needless_range_loop)] // rows pair with dense inputs
+    pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.nrows, "vec_mul: length mismatch");
+        let mut y = vec![0.0; self.ncols];
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(r) {
+                y[c] += xr * v;
+            }
+        }
+        y
+    }
+
+    /// The transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols];
+        for &c in &self.col_idx {
+            counts[c] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(self.ncols + 1);
+        row_ptr.push(0);
+        for c in 0..self.ncols {
+            row_ptr.push(row_ptr[c] + counts[c]);
+        }
+        let mut next = row_ptr[..self.ncols].to_vec();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                let k = next[c];
+                next[c] += 1;
+                col_idx[k] = r;
+                values[k] = v;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// A copy with every stored value transformed by `f`.
+    ///
+    /// Entries mapped to exactly zero are kept structurally; use
+    /// [`CooBuilder`] to re-compress if that matters.
+    pub fn map_values(&self, mut f: impl FnMut(usize, usize, f64) -> f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for r in 0..self.nrows {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            for k in lo..hi {
+                out.values[k] = f(r, self.col_idx[k], self.values[k]);
+            }
+        }
+        out
+    }
+
+    /// A copy scaled by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> CsrMatrix {
+        self.map_values(|_, _, v| alpha * v)
+    }
+
+    /// Convert to a dense row-major `Vec<Vec<f64>>` (intended for tests and
+    /// small direct solves).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.ncols]; self.nrows];
+        for (r, c, v) in self.iter() {
+            d[r][c] = v;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 0.5 0.5 0   ]
+        // [ 0.25 0 0.75 ]
+        // [ 0.2 0.6 0.2 ]
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 0, 0.5).push(0, 1, 0.5);
+        b.push(1, 0, 0.25).push(1, 2, 0.75);
+        b.push(2, 0, 0.2).push(2, 1, 0.6).push(2, 2, 0.2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let m = sample();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 3);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(1, 2), 0.75);
+    }
+
+    #[test]
+    fn duplicates_merge_and_zeros_drop() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 1.0).push(0, 0, 2.0).push(1, 1, 5.0).push(1, 1, -5.0);
+        let m = b.build().unwrap();
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_entry_rejected() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(2, 0, 1.0);
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::IndexOutOfBounds { row: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_entry_rejected() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, f64::NAN);
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::NonFiniteValue { row: 0, col: 0 })
+        ));
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let mut b = CooBuilder::new(4, 4);
+        b.push(3, 0, 1.0);
+        let m = b.build().unwrap();
+        assert_eq!(m.row(0).count(), 0);
+        assert_eq!(m.row(3).count(), 1);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn row_iteration_sorted() {
+        let mut b = CooBuilder::new(1, 5);
+        b.push(0, 4, 4.0).push(0, 1, 1.0).push(0, 3, 3.0);
+        let m = b.build().unwrap();
+        let row: Vec<_> = m.row(0).collect();
+        assert_eq!(row, vec![(1, 1.0), (3, 3.0), (4, 4.0)]);
+    }
+
+    #[test]
+    fn mul_vec_and_vec_mul() {
+        let m = sample();
+        // A·x with x = e0.
+        assert_eq!(m.mul_vec(&[1.0, 0.0, 0.0]), vec![0.5, 0.25, 0.2]);
+        // x·A with x = e0 (one DTMC step from state 0).
+        assert_eq!(m.vec_mul(&[1.0, 0.0, 0.0]), vec![0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn transient_example_2_2_of_the_thesis() {
+        // p(3) = p(0) · P^3 for the DTMC of Figure 2.1.
+        let m = sample();
+        let mut p = vec![1.0, 0.0, 0.0];
+        for _ in 0..3 {
+            p = m.vec_mul(&p);
+        }
+        assert!((p[0] - 0.325).abs() < 1e-12);
+        assert!((p[1] - 0.4125).abs() < 1e-12);
+        assert!((p[2] - 0.2625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 1), 0.25);
+        assert_eq!(t.get(2, 1), 0.75);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn row_sums_are_exit_rates() {
+        let m = sample();
+        let sums = m.row_sums();
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = CsrMatrix::identity(3);
+        assert_eq!(i.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        let z = CsrMatrix::zeros(2, 3);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.mul_vec(&[1.0, 1.0, 1.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let m = sample().scaled(2.0);
+        assert_eq!(m.get(1, 2), 1.5);
+        let m2 = m.map_values(|r, c, v| if r == c { 0.0 } else { v });
+        assert_eq!(m2.get(0, 0), 0.0);
+        assert_eq!(m2.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn to_dense_matches() {
+        let m = sample();
+        let d = m.to_dense();
+        assert_eq!(d[1], vec![0.25, 0.0, 0.75]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        sample().get(3, 0);
+    }
+
+    fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
+        (1usize..8, 1usize..8)
+            .prop_flat_map(|(r, c)| {
+                let entries = proptest::collection::vec(
+                    (0..r, 0..c, -10.0..10.0f64),
+                    0..24,
+                );
+                (Just(r), Just(c), entries)
+            })
+            .prop_map(|(r, c, es)| {
+                let mut b = CooBuilder::new(r, c);
+                for (i, j, v) in es {
+                    b.push(i, j, v);
+                }
+                b.build().unwrap()
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_is_involution(m in arb_matrix()) {
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn mul_vec_matches_dense(m in arb_matrix(), seed in 0u64..1000) {
+            let x: Vec<f64> = (0..m.ncols())
+                .map(|i| ((seed as f64) + i as f64).sin())
+                .collect();
+            let y = m.mul_vec(&x);
+            let d = m.to_dense();
+            for r in 0..m.nrows() {
+                let expect: f64 = (0..m.ncols()).map(|c| d[r][c] * x[c]).sum();
+                prop_assert!((y[r] - expect).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn vec_mul_agrees_with_transpose_mul_vec(m in arb_matrix(), seed in 0u64..1000) {
+            let x: Vec<f64> = (0..m.nrows())
+                .map(|i| ((seed as f64) * 0.37 + i as f64).cos())
+                .collect();
+            let a = m.vec_mul(&x);
+            let b = m.transpose().mul_vec(&x);
+            for (u, v) in a.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn row_sums_match_iteration(m in arb_matrix()) {
+            let sums = m.row_sums();
+            for (r, total) in sums.iter().enumerate() {
+                let s: f64 = m.row(r).map(|(_, v)| v).sum();
+                prop_assert!((total - s).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Error types for matrix construction and linear-system solving.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while building a matrix from coordinate-format entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// An entry `(row, col)` lies outside the declared dimensions.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        nrows: usize,
+        /// Declared number of columns.
+        ncols: usize,
+    },
+    /// An entry value is NaN or infinite.
+    NonFiniteValue {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for a {nrows}x{ncols} matrix"
+            ),
+            BuildError::NonFiniteValue { row, col } => {
+                write!(f, "entry ({row}, {col}) has a non-finite value")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// An error raised by a linear-system solver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The coefficient matrix (or system) is singular up to the pivot
+    /// tolerance, so no unique solution exists.
+    Singular,
+    /// An iterative method failed to reach the requested tolerance.
+    NotConverged {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// The residual (maximum absolute update) at the last iteration.
+        residual: f64,
+    },
+    /// Vector/matrix dimensions do not line up.
+    DimensionMismatch {
+        /// What was expected, e.g. a vector length.
+        expected: usize,
+        /// What was found.
+        found: usize,
+    },
+    /// A diagonal entry needed by the method is (numerically) zero.
+    ZeroDiagonal {
+        /// Index of the zero diagonal entry.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular => write!(f, "matrix is singular"),
+            SolveError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            SolveError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            SolveError::ZeroDiagonal { index } => {
+                write!(f, "zero diagonal entry at index {index}")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BuildError::IndexOutOfBounds {
+            row: 3,
+            col: 4,
+            nrows: 2,
+            ncols: 2,
+        };
+        assert!(e.to_string().contains("(3, 4)"));
+        assert!(e.to_string().contains("2x2"));
+
+        let e = SolveError::NotConverged {
+            iterations: 10,
+            residual: 0.5,
+        };
+        assert!(e.to_string().contains("10"));
+
+        let e = SolveError::DimensionMismatch {
+            expected: 5,
+            found: 3,
+        };
+        assert!(e.to_string().contains("expected 5"));
+
+        let e = SolveError::ZeroDiagonal { index: 7 };
+        assert!(e.to_string().contains('7'));
+
+        assert_eq!(SolveError::Singular.to_string(), "matrix is singular");
+    }
+
+    #[test]
+    fn errors_implement_error_trait() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<BuildError>();
+        assert_error::<SolveError>();
+    }
+}

@@ -1,0 +1,148 @@
+//! Jacobi iteration for `A·x = b`.
+
+use super::SolverOptions;
+use crate::error::SolveError;
+use crate::CsrMatrix;
+
+/// Solve `A·x = b` by Jacobi sweeps, starting from `x0`.
+///
+/// Converges more slowly than [`super::gauss_seidel`] but does not depend on
+/// the state enumeration order; the test suites use it to cross-check
+/// Gauss–Seidel results.
+///
+/// # Errors
+///
+/// Same contract as [`super::gauss_seidel`]: dimension mismatches, zero
+/// diagonals, and non-convergence are reported as typed errors.
+pub fn jacobi(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    options: SolverOptions,
+) -> Result<Vec<f64>, SolveError> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: a.ncols(),
+        });
+    }
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+    if x0.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: x0.len(),
+        });
+    }
+
+    let mut diag = vec![0.0; n];
+    #[allow(clippy::needless_range_loop)] // r also indexes the matrix rows
+    for r in 0..n {
+        for (c, v) in a.row(r) {
+            if c == r {
+                diag[r] = v;
+            }
+        }
+        if diag[r].abs() < 1e-300 {
+            return Err(SolveError::ZeroDiagonal { index: r });
+        }
+    }
+
+    let mut x = x0.to_vec();
+    let mut next = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    for iteration in 1..=options.max_iterations {
+        residual = 0.0;
+        for r in 0..n {
+            let mut acc = b[r];
+            for (c, v) in a.row(r) {
+                if c != r {
+                    acc -= v * x[c];
+                }
+            }
+            next[r] = acc / diag[r];
+            residual = residual.max((next[r] - x[r]).abs());
+        }
+        std::mem::swap(&mut x, &mut next);
+        if residual <= options.tolerance {
+            return Ok(x);
+        }
+        if !residual.is_finite() {
+            return Err(SolveError::NotConverged {
+                iterations: iteration,
+                residual,
+            });
+        }
+    }
+    Err(SolveError::NotConverged {
+        iterations: options.max_iterations,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::gauss_seidel;
+    use super::*;
+    use crate::CooBuilder;
+
+    fn matrix(rows: &[Vec<f64>]) -> CsrMatrix {
+        let mut b = CooBuilder::new(rows.len(), rows[0].len());
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    b.push(i, j, v);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn agrees_with_gauss_seidel() {
+        let a = matrix(&[
+            vec![10.0, -1.0, 2.0],
+            vec![-1.0, 11.0, -1.0],
+            vec![2.0, -1.0, 10.0],
+        ]);
+        let b = [6.0, 25.0, -11.0];
+        let xj = jacobi(&a, &b, &[0.0; 3], SolverOptions::new()).unwrap();
+        let xg = gauss_seidel(&a, &b, &[0.0; 3], SolverOptions::new()).unwrap();
+        for (u, v) in xj.iter().zip(&xg) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let a = matrix(&[vec![0.0, 1.0], vec![1.0, 1.0]]);
+        assert_eq!(
+            jacobi(&a, &[1.0, 1.0], &[0.0, 0.0], SolverOptions::new()),
+            Err(SolveError::ZeroDiagonal { index: 0 })
+        );
+    }
+
+    #[test]
+    fn non_convergence_reported() {
+        let a = matrix(&[vec![1.0, 10.0], vec![10.0, 1.0]]);
+        let opts = SolverOptions::new().with_max_iterations(25);
+        assert!(matches!(
+            jacobi(&a, &[1.0, 1.0], &[0.0, 0.0], opts),
+            Err(SolveError::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let a = matrix(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(matches!(
+            jacobi(&a, &[1.0], &[0.0, 0.0], SolverOptions::new()),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,130 @@
+//! Power iteration for stationary distributions of stochastic matrices.
+
+use super::SolverOptions;
+use crate::error::SolveError;
+use crate::{vector, CsrMatrix};
+
+/// Compute the stationary distribution `π = π·P` of a stochastic matrix `P`
+/// by power iteration from `x0`.
+///
+/// `x0` is normalized before iterating. The iteration converges whenever `P`
+/// is the transition matrix of an irreducible *aperiodic* chain; the
+/// uniformized DTMC of a CTMC with `Λ` strictly above the maximal exit rate
+/// always has a self-loop and is therefore aperiodic.
+///
+/// # Errors
+///
+/// * [`SolveError::DimensionMismatch`] — `P` not square or `x0` of the wrong
+///   length;
+/// * [`SolveError::Singular`] — `x0` normalizes to the zero vector;
+/// * [`SolveError::NotConverged`] — iteration cap reached.
+pub fn power_iteration(
+    p: &CsrMatrix,
+    x0: &[f64],
+    options: SolverOptions,
+) -> Result<Vec<f64>, SolveError> {
+    let n = p.nrows();
+    if p.ncols() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: p.ncols(),
+        });
+    }
+    if x0.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: x0.len(),
+        });
+    }
+    let mut x = x0.to_vec();
+    if !vector::normalize_l1(&mut x) {
+        return Err(SolveError::Singular);
+    }
+
+    let mut residual = f64::INFINITY;
+    for _iteration in 1..=options.max_iterations {
+        let mut next = p.vec_mul(&x);
+        // Renormalize to fight drift from floating-point round-off.
+        if !vector::normalize_l1(&mut next) {
+            return Err(SolveError::Singular);
+        }
+        residual = vector::max_abs_diff(&x, &next);
+        x = next;
+        if residual <= options.tolerance {
+            return Ok(x);
+        }
+    }
+    Err(SolveError::NotConverged {
+        iterations: options.max_iterations,
+        residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooBuilder;
+
+    fn matrix(rows: &[Vec<f64>]) -> CsrMatrix {
+        let mut b = CooBuilder::new(rows.len(), rows[0].len());
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    b.push(i, j, v);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn steady_state_of_example_2_3() {
+        // Figure 2.1 DTMC: steady state (14/45, 16/45, 1/3).
+        let p = matrix(&[
+            vec![0.5, 0.5, 0.0],
+            vec![0.25, 0.0, 0.75],
+            vec![0.2, 0.6, 0.2],
+        ]);
+        let v = power_iteration(&p, &[1.0, 0.0, 0.0], SolverOptions::new()).unwrap();
+        assert!((v[0] - 14.0 / 45.0).abs() < 1e-9);
+        assert!((v[1] - 16.0 / 45.0).abs() < 1e-9);
+        assert!((v[2] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorbing_chain_concentrates() {
+        let p = matrix(&[vec![0.5, 0.5], vec![0.0, 1.0]]);
+        let v = power_iteration(&p, &[1.0, 0.0], SolverOptions::new()).unwrap();
+        assert!(v[0] < 1e-9);
+        assert!((v[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_start_rejected() {
+        let p = matrix(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(
+            power_iteration(&p, &[0.0, 0.0], SolverOptions::new()),
+            Err(SolveError::Singular)
+        );
+    }
+
+    #[test]
+    fn periodic_chain_does_not_converge() {
+        // A 2-cycle flips the distribution forever.
+        let p = matrix(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let opts = SolverOptions::new().with_max_iterations(100);
+        assert!(matches!(
+            power_iteration(&p, &[1.0, 0.0], opts),
+            Err(SolveError::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_reported() {
+        let p = matrix(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(matches!(
+            power_iteration(&p, &[1.0], SolverOptions::new()),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,60 @@
+//! A small CSRL read–eval–print loop over the built-in evaluation models.
+//!
+//! Run with `cargo run --example csrl_repl -- [wavelan|tmr|phone]` and type
+//! formulas, one per line (Ctrl-D to exit):
+//!
+//! ```text
+//! > S(< 0.05) (failed)
+//! > P(> 0.1) [Sup U[0,100][0,3000] failed]
+//! ```
+
+use std::io::{BufRead, Write};
+
+use mrmc::{CheckOptions, ModelChecker};
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_models::{phone, wavelan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "wavelan".into());
+    let mrm = match which.as_str() {
+        "wavelan" => wavelan(),
+        "tmr" => tmr(&TmrConfig::classic()),
+        "phone" => phone::phone_with_impulses(),
+        other => {
+            eprintln!("unknown model `{other}`; pick wavelan, tmr, or phone");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "model `{which}`: {} states; atomic propositions: {}",
+        mrm.num_states(),
+        mrm.labeling().all_propositions().join(", ")
+    );
+    let checker = ModelChecker::new(mrm, CheckOptions::new());
+
+    let stdin = std::io::stdin();
+    print!("> ");
+    std::io::stdout().flush()?;
+    for line in stdin.lock().lines() {
+        let line = line?;
+        let text = line.trim();
+        if !text.is_empty() {
+            match checker.check_str(text) {
+                Ok(out) => {
+                    let states: Vec<usize> = out.satisfying_states().collect();
+                    println!("satisfied by {states:?}");
+                    if let Some(p) = out.probabilities() {
+                        for (s, v) in p.iter().enumerate() {
+                            println!("  state {s}: {v:.9}");
+                        }
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            }
+        }
+        print!("> ");
+        std::io::stdout().flush()?;
+    }
+    println!();
+    Ok(())
+}

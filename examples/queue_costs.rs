@@ -1,0 +1,58 @@
+//! Cost/revenue analysis of an M/M/1/K queue with server breakdowns —
+//! a performability workload beyond the thesis' own case studies,
+//! exercising state rewards (holding + downtime costs) and impulse rewards
+//! (per-job revenue, per-repair cost) together.
+//!
+//! Run with `cargo run --release --example queue_costs`.
+
+use mrmc::{CheckOptions, ModelChecker, UntilEngine};
+use mrmc_models::queue::{queue, QueueConfig};
+use mrmc_numerics::expected::expected_accumulated_reward_from;
+use mrmc_numerics::monte_carlo::{estimate_expected_reward, SimulationOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = QueueConfig::new(5);
+    let mrm = queue(&config);
+    println!(
+        "breakdown queue: K = {}, λ = {}, μ = {}, {} states",
+        config.capacity,
+        config.arrival_rate,
+        config.service_rate,
+        mrm.num_states()
+    );
+
+    // Expected accumulated cost over a shift of 8 hours, from empty+up:
+    // uniformization vs simulation.
+    let start = config.up_state(0);
+    let exact = expected_accumulated_reward_from(&mrm, start, 8.0, 1e-10)?;
+    let sim = estimate_expected_reward(&mrm, 8.0, start, SimulationOptions::with_samples(20_000))?;
+    println!("\nE[accumulated cost over 8h] = {exact:.4}");
+    println!("  simulation check: {:.4} ± {:.4}", sim.mean, sim.std_error);
+
+    // CSRL queries.
+    let checker = ModelChecker::new(
+        mrm,
+        CheckOptions::new().with_engine(UntilEngine::uniformization(1e-9)),
+    );
+    let queries = [
+        // Long-run: the queue is rarely full.
+        "S(< 0.2) (full)",
+        // The buffer fills within 10 hours while spending at most 40 cost
+        // units, with probability below one half.
+        "P(< 0.5) [TT U[0,10][0,40] full]",
+        // From up-states, the next event is a breakdown with low probability.
+        "P(< 0.05) [X down]",
+    ];
+    println!();
+    for q in queries {
+        let out = checker.check_str(q)?;
+        println!("{q}");
+        println!(
+            "  holds in {} of {} states; P(start) = {:.6}",
+            out.count(),
+            out.sat().len(),
+            out.probabilities().map_or(f64::NAN, |p| p[start])
+        );
+    }
+    Ok(())
+}

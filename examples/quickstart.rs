@@ -1,0 +1,56 @@
+//! Quickstart: build a small Markov reward model with impulse rewards,
+//! check a handful of CSRL formulas, and read the results.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mrmc::{CheckOptions, ModelChecker};
+use mrmc_ctmc::CtmcBuilder;
+use mrmc_mrm::{ImpulseRewards, Mrm, StateRewards};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny job-processing system:
+    //   idle --(2.0)--> busy    (accepting a job costs 1 unit instantly)
+    //   busy --(1.5)--> idle
+    //   busy --(0.1)--> down    (crash)
+    //   down --(0.8)--> idle    (repair costs 5 units instantly)
+    let mut b = CtmcBuilder::new(3);
+    b.transition(0, 1, 2.0)
+        .transition(1, 0, 1.5)
+        .transition(1, 2, 0.1)
+        .transition(2, 0, 0.8);
+    b.label(0, "idle").label(1, "busy").label(2, "down");
+    let ctmc = b.build()?;
+
+    // Running costs per hour: idle 1, busy 4, down 0 (powered off).
+    let rho = StateRewards::new(vec![1.0, 4.0, 0.0])?;
+    let mut iota = ImpulseRewards::new();
+    iota.set(0, 1, 1.0)?;
+    iota.set(2, 0, 5.0)?;
+    let mrm = Mrm::new(ctmc, rho, iota)?;
+
+    let checker = ModelChecker::new(mrm, CheckOptions::new());
+
+    let formulas = [
+        // Is the long-run probability of being down below 10%?
+        "S(< 0.1) (down)",
+        // Starting anywhere, do we crash within 10 hours while spending at
+        // most 30 cost units, with probability below 10%?
+        "P(< 0.1) [!down U[0,10][0,30] down]",
+        // Is the next transition a crash with probability below 10%?
+        "P(< 0.1) [X down]",
+        // Unbounded: the system eventually goes down almost surely.
+        "P(> 0.999) [TT U down]",
+    ];
+    for f in formulas {
+        let outcome = checker.check_str(f)?;
+        let states: Vec<usize> = outcome.satisfying_states().collect();
+        println!("{f}");
+        println!("  satisfied by states {states:?}");
+        if let Some(probs) = outcome.probabilities() {
+            for (s, p) in probs.iter().enumerate() {
+                println!("  state {s}: P = {p:.6}");
+            }
+        }
+    }
+    Ok(())
+}

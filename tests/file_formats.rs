@@ -1,0 +1,119 @@
+//! The model file formats end-to-end: write the evaluation models out,
+//! load them back, and check formulas against the loaded copies.
+
+use mrmc::{CheckOptions, ModelChecker};
+use mrmc_mrm::io::{self, ModelFiles};
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_models::wavelan;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mrmc-it-{}-{}", name, std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn wavelan_roundtrips_through_files() {
+    let m = wavelan();
+    let files = ModelFiles {
+        tra: io::write_tra(&m),
+        lab: io::write_lab(&m),
+        rewr: io::write_rewr(&m),
+        rewi: io::write_rewi(&m),
+    };
+    let back = files.assemble().unwrap();
+    assert_eq!(back, m);
+}
+
+#[test]
+fn tmr_loads_from_disk_and_checks() {
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let dir = temp_dir("tmr");
+    let paths: Vec<std::path::PathBuf> = ["m.tra", "m.lab", "m.rewr", "m.rewi"]
+        .iter()
+        .map(|n| dir.join(n))
+        .collect();
+    std::fs::write(&paths[0], io::write_tra(&m)).unwrap();
+    std::fs::write(&paths[1], io::write_lab(&m)).unwrap();
+    std::fs::write(&paths[2], io::write_rewr(&m)).unwrap();
+    std::fs::write(&paths[3], io::write_rewi(&m)).unwrap();
+
+    let loaded = io::load_model(&paths[0], &paths[1], &paths[2], &paths[3]).unwrap();
+    assert_eq!(loaded, m);
+
+    let checker = ModelChecker::new(loaded, CheckOptions::new());
+    let out = checker
+        .check_str("P(> 0.001) [Sup U[0,50][0,3000] failed]")
+        .unwrap();
+    let p = out.probabilities().unwrap();
+    assert!((p[config.state_with_working(3)] - 0.00509).abs() < 2e-4);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hand_written_model_in_the_manual_format() {
+    // The format exactly as the appendix presents it.
+    let files = ModelFiles {
+        tra: "STATES 3\nTRANSITIONS 3\n1 2 1.0\n2 3 2.0\n2 1 0.5\n".into(),
+        lab: "#DECLARATION\na b\n#END\n1 a\n2 a\n3 b\n".into(),
+        rewr: "1 2.0\n2 3.0\n".into(),
+        rewi: "TRANSITIONS 1\n1 2 4.0\n".into(),
+    };
+    let m = files.assemble().unwrap();
+    assert_eq!(m.num_states(), 3);
+    assert_eq!(m.impulse_reward(0, 1), 4.0);
+
+    let checker = ModelChecker::new(m, CheckOptions::new());
+    // "a b-state can be reached with probability at least 0.3 by at most 3
+    // time-units along a-states accumulating costs at most 23" — the
+    // appendix's own example formula.
+    let out = checker.check_str("P(>= 0.3) [a U [0,3][0,23] b]").unwrap();
+    assert!(out.probabilities().is_some());
+    assert_eq!(out.sat().len(), 3);
+}
+
+#[test]
+fn malformed_files_are_rejected_with_positions() {
+    let files = ModelFiles {
+        tra: "STATES 2\nTRANSITIONS 1\n1 2 abc\n".into(),
+        lab: String::new(),
+        rewr: String::new(),
+        rewi: String::new(),
+    };
+    let e = files.assemble().unwrap_err().to_string();
+    assert!(e.contains("line 3"), "{e}");
+    assert!(e.contains("abc"), "{e}");
+
+    let files = ModelFiles {
+        tra: "STATES 2\nTRANSITIONS 1\n1 2 1.0\n".into(),
+        lab: "#DECLARATION\nup\n#END\n1 down\n".into(),
+        rewr: String::new(),
+        rewi: String::new(),
+    };
+    let e = files.assemble().unwrap_err().to_string();
+    assert!(e.contains("down"), "{e}");
+}
+
+#[test]
+fn semantic_model_errors_are_reported() {
+    // Negative rate.
+    let files = ModelFiles {
+        tra: "STATES 2\nTRANSITIONS 1\n1 2 -1.0\n".into(),
+        lab: String::new(),
+        rewr: String::new(),
+        rewi: String::new(),
+    };
+    assert!(files.assemble().is_err());
+
+    // Impulse on an actual self-loop.
+    let files = ModelFiles {
+        tra: "STATES 1\nTRANSITIONS 1\n1 1 1.0\n".into(),
+        lab: String::new(),
+        rewr: String::new(),
+        rewi: "TRANSITIONS 1\n1 1 5.0\n".into(),
+    };
+    let e = files.assemble().unwrap_err().to_string();
+    assert!(e.contains("self-loop"), "{e}");
+}

@@ -1,0 +1,157 @@
+//! Three-engine agreement: uniformization, discretization, and Monte-Carlo
+//! simulation evaluated on the same queries must coincide (within the
+//! respective error bounds / standard errors). This extends the thesis'
+//! two-engine correctness argument (§5.3.3) with a structurally unrelated
+//! third estimator.
+
+use mrmc::{CheckOptions, ModelChecker, UntilEngine};
+use mrmc_models::queue::{queue, QueueConfig};
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_numerics::discretization::{self, DiscretizationOptions};
+use mrmc_numerics::monte_carlo::{estimate_until, SimulationOptions};
+use mrmc_numerics::uniformization::{self, UniformOptions};
+
+#[test]
+fn three_engines_agree_on_the_tmr_dependability_query() {
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let phi = m.labeling().states_with("Sup");
+    let psi = m.labeling().states_with("failed");
+    let start = config.state_with_working(3);
+    let (t, r) = (100.0, 3000.0);
+
+    let uni = uniformization::until_probability(
+        &m,
+        &phi,
+        &psi,
+        t,
+        r,
+        start,
+        UniformOptions::new().with_truncation(1e-11).with_lambda(0.0505),
+    )
+    .unwrap();
+    let disc = discretization::until_probability(
+        &m,
+        &phi,
+        &psi,
+        t,
+        r,
+        start,
+        DiscretizationOptions::with_step(0.25),
+    )
+    .unwrap();
+    let sim = estimate_until(
+        &m,
+        &phi,
+        &psi,
+        t,
+        r,
+        start,
+        SimulationOptions::with_samples(200_000),
+    )
+    .unwrap();
+
+    assert!(
+        (uni.probability - disc.probability).abs() < 1e-3,
+        "uniformization {} vs discretization {}",
+        uni.probability,
+        disc.probability
+    );
+    assert!(
+        sim.is_consistent_with(uni.probability, 4.0),
+        "simulation {} ± {} vs uniformization {}",
+        sim.mean,
+        sim.std_error,
+        uni.probability
+    );
+}
+
+#[test]
+fn three_engines_agree_on_the_breakdown_queue() {
+    let config = QueueConfig::new(4);
+    let m = queue(&config);
+    let phi = vec![true; m.num_states()];
+    let psi = m.labeling().states_with("full");
+    let start = config.up_state(0);
+    let (t, r) = (3.0, 12.0);
+
+    let uni = uniformization::until_probability(
+        &m,
+        &phi,
+        &psi,
+        t,
+        r,
+        start,
+        UniformOptions::new().with_truncation(1e-9),
+    )
+    .unwrap();
+    let disc = discretization::until_probability(
+        &m,
+        &phi,
+        &psi,
+        t,
+        r,
+        start,
+        DiscretizationOptions::with_step(1.0 / 256.0),
+    )
+    .unwrap();
+    let sim = estimate_until(
+        &m,
+        &phi,
+        &psi,
+        t,
+        r,
+        start,
+        SimulationOptions::with_samples(120_000),
+    )
+    .unwrap();
+
+    assert!(
+        (uni.probability - disc.probability).abs() < 0.01 + uni.error_bound,
+        "uniformization {} (±{}) vs discretization {}",
+        uni.probability,
+        uni.error_bound,
+        disc.probability
+    );
+    assert!(
+        sim.is_consistent_with(uni.probability, 4.0),
+        "simulation {} ± {} vs uniformization {}",
+        sim.mean,
+        sim.std_error,
+        uni.probability
+    );
+}
+
+#[test]
+fn simulation_engine_plugs_into_the_checker() {
+    let config = QueueConfig::new(3);
+    let m = queue(&config);
+    let formula = "P(< 0.5) [TT U[0,3][0,12] full]";
+
+    let exact = ModelChecker::new(m.clone(), CheckOptions::new())
+        .check_str(formula)
+        .unwrap();
+    let simulated = ModelChecker::new(
+        m,
+        CheckOptions::new().with_engine(UntilEngine::simulation(60_000)),
+    )
+    .check_str(formula)
+    .unwrap();
+
+    // The probabilities agree within a few standard errors...
+    let pe = exact.probabilities().unwrap();
+    let ps = simulated.probabilities().unwrap();
+    let se = simulated.error_bounds().unwrap();
+    for s in 0..pe.len() {
+        assert!(
+            (pe[s] - ps[s]).abs() <= 5.0 * se[s] + 0.01,
+            "state {s}: exact {} vs simulated {} ± {}",
+            pe[s],
+            ps[s],
+            se[s]
+        );
+    }
+    // ...and the formula is far enough from the bound that the verdicts
+    // coincide.
+    assert_eq!(exact.sat(), simulated.sat());
+}
