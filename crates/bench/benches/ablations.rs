@@ -6,8 +6,9 @@
 //!   discretization vs the state-reward-free baseline that ignores the
 //!   reward bound).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_bench::harness::Criterion;
 use mrmc_bench::tables::{thesis_lambda, tmr_dependability_sets};
+use mrmc_bench::{criterion_group, criterion_main};
 use mrmc_models::queue::{queue, QueueConfig};
 use mrmc_models::tmr::{tmr, TmrConfig};
 use mrmc_numerics::baseline;
@@ -28,8 +29,15 @@ fn bench_pruning(c: &mut Criterion) {
     group.bench_function("literal_t=400_w=1e-11", |b| {
         b.iter(|| {
             until_probability(
-                &m, &phi, &psi, 400.0, 3000.0, start,
-                UniformOptions::new().with_truncation(1e-11).with_lambda(lambda),
+                &m,
+                &phi,
+                &psi,
+                400.0,
+                3000.0,
+                start,
+                UniformOptions::new()
+                    .with_truncation(1e-11)
+                    .with_lambda(lambda),
             )
             .unwrap()
             .probability
@@ -38,7 +46,12 @@ fn bench_pruning(c: &mut Criterion) {
     group.bench_function("potential_t=400_w=1e-11", |b| {
         b.iter(|| {
             until_probability(
-                &m, &phi, &psi, 400.0, 3000.0, start,
+                &m,
+                &phi,
+                &psi,
+                400.0,
+                3000.0,
+                start,
                 UniformOptions::new()
                     .with_truncation(1e-11)
                     .with_lambda(lambda)
@@ -63,8 +76,15 @@ fn bench_lambda_choice(c: &mut Criterion) {
     group.bench_function("max_exit", |b| {
         b.iter(|| {
             until_probability(
-                &m, &phi, &psi, 300.0, 3000.0, start,
-                UniformOptions::new().with_truncation(1e-9).with_lambda(lambda),
+                &m,
+                &phi,
+                &psi,
+                300.0,
+                3000.0,
+                start,
+                UniformOptions::new()
+                    .with_truncation(1e-9)
+                    .with_lambda(lambda),
             )
             .unwrap()
             .probability
@@ -73,7 +93,12 @@ fn bench_lambda_choice(c: &mut Criterion) {
     group.bench_function("slack_1.02", |b| {
         b.iter(|| {
             until_probability(
-                &m, &phi, &psi, 300.0, 3000.0, start,
+                &m,
+                &phi,
+                &psi,
+                300.0,
+                3000.0,
+                start,
                 UniformOptions::new().with_truncation(1e-9),
             )
             .unwrap()
@@ -95,8 +120,15 @@ fn bench_engine_comparison(c: &mut Criterion) {
     group.bench_function("uniformization_w=1e-8", |b| {
         b.iter(|| {
             until_probability(
-                &m, &phi, &psi, 100.0, 3000.0, start,
-                UniformOptions::new().with_truncation(1e-8).with_lambda(lambda),
+                &m,
+                &phi,
+                &psi,
+                100.0,
+                3000.0,
+                start,
+                UniformOptions::new()
+                    .with_truncation(1e-8)
+                    .with_lambda(lambda),
             )
             .unwrap()
             .probability
@@ -105,7 +137,12 @@ fn bench_engine_comparison(c: &mut Criterion) {
     group.bench_function("discretization_d=0.25", |b| {
         b.iter(|| {
             discretization::until_probability(
-                &m, &phi, &psi, 100.0, 3000.0, start,
+                &m,
+                &phi,
+                &psi,
+                100.0,
+                3000.0,
+                start,
                 DiscretizationOptions::with_step(0.25),
             )
             .unwrap()

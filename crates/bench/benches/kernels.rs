@@ -2,7 +2,8 @@
 //! Poisson layers, the Omega recursion, sparse matrix–vector products,
 //! BSCC decomposition, and whole-engine scaling on the breakdown queue.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrmc_bench::harness::{BenchmarkId, Criterion};
+use mrmc_bench::{criterion_group, criterion_main};
 use mrmc_ctmc::bscc::SccDecomposition;
 use mrmc_ctmc::poisson::{pmf, FoxGlynn, Weights};
 use mrmc_models::cluster::{cluster, ClusterConfig};
@@ -113,24 +114,19 @@ fn bench_cluster_scaling(c: &mut Criterion) {
             &m,
             |b, m| {
                 b.iter(|| {
-                    mrmc_numerics::baseline::until_time_bounded(m, &phi, &psi, 24.0, 1e-9)
-                        .unwrap()
+                    mrmc_numerics::baseline::until_time_bounded(m, &phi, &psi, 24.0, 1e-9).unwrap()
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("steady_state", states),
-            &m,
-            |b, m| {
-                b.iter(|| {
-                    mrmc_ctmc::steady::steady_state_strongly_connected(
-                        m.ctmc(),
-                        mrmc_sparse::solver::SolverOptions::new().with_tolerance(1e-9),
-                    )
-                    .unwrap()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("steady_state", states), &m, |b, m| {
+            b.iter(|| {
+                mrmc_ctmc::steady::steady_state_strongly_connected(
+                    m.ctmc(),
+                    mrmc_sparse::solver::SolverOptions::new().with_tolerance(1e-9),
+                )
+                .unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,134 @@
+//! Scaling bench for the parallel path-exploration engine: the same
+//! reward-bounded until evaluated at 1, 2, and 4 worker threads on the TMR
+//! and cluster models, plus a summary table of measured speedups.
+//!
+//! The parallel engine is deterministic (bit-identical to serial at any
+//! thread count — asserted here before timing), so any speedup is free:
+//! no accuracy is traded. Speedups can only materialize on multi-core
+//! hosts; on a single-CPU machine the threaded runs merely add scheduling
+//! overhead.
+
+use std::time::Instant;
+
+use mrmc_bench::harness::{BenchmarkId, Criterion};
+use mrmc_bench::tables::{thesis_lambda, tmr_dependability_sets};
+use mrmc_bench::{criterion_group, criterion_main};
+use mrmc_models::cluster::{cluster, ClusterConfig};
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_mrm::Mrm;
+use mrmc_numerics::uniformization::{until_probability, UniformOptions};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+struct Case {
+    name: &'static str,
+    model: Mrm,
+    phi: Vec<bool>,
+    psi: Vec<bool>,
+    start: usize,
+    t: f64,
+    r: f64,
+    options: UniformOptions,
+}
+
+fn tmr_case() -> Case {
+    let config = TmrConfig::classic();
+    let model = tmr(&config);
+    let (phi, psi) = tmr_dependability_sets(&model);
+    let lambda = thesis_lambda(&model, &phi, &psi);
+    let start = config.state_with_working(config.modules);
+    Case {
+        name: "tmr",
+        model,
+        phi,
+        psi,
+        start,
+        t: 100.0,
+        r: 3000.0,
+        options: UniformOptions::new()
+            .with_truncation(1e-9)
+            .with_lambda(lambda),
+    }
+}
+
+fn cluster_case() -> Case {
+    let config = ClusterConfig::new(2);
+    let model = cluster(&config);
+    let phi = vec![true; model.num_states()];
+    let psi = model.labeling().states_with("down");
+    let start = config.all_up();
+    Case {
+        name: "cluster_n2",
+        model,
+        phi,
+        psi,
+        start,
+        t: 10.0,
+        r: 500.0,
+        options: UniformOptions::new()
+            .with_truncation(1e-8)
+            .with_improved_pruning(),
+    }
+}
+
+fn run(case: &Case, threads: usize) -> f64 {
+    until_probability(
+        &case.model,
+        &case.phi,
+        &case.psi,
+        case.t,
+        case.r,
+        case.start,
+        case.options.with_threads(threads),
+    )
+    .expect("uniformization succeeds")
+    .probability
+}
+
+fn bench(c: &mut Criterion) {
+    let cases = [tmr_case(), cluster_case()];
+    let mut group = c.benchmark_group("parallel_until");
+    group.sample_size(10);
+    for case in &cases {
+        // Determinism gate: the timed configurations must agree bit-for-bit
+        // before their timings are worth comparing.
+        let serial = run(case, 1);
+        for threads in THREADS {
+            assert_eq!(
+                serial.to_bits(),
+                run(case, threads).to_bits(),
+                "{}: threads = {threads} diverged from serial",
+                case.name
+            );
+            group.bench_with_input(
+                BenchmarkId::new(case.name, threads),
+                &threads,
+                |b, &threads| b.iter(|| run(case, threads)),
+            );
+        }
+    }
+    group.finish();
+
+    // Speedup summary: one timed pass per (case, threads) pair.
+    println!("\nspeedup vs serial (single pass; needs a multi-core host):");
+    for case in &cases {
+        let time = |threads: usize| {
+            let started = Instant::now();
+            run(case, threads);
+            started.elapsed().as_secs_f64()
+        };
+        let base = time(1);
+        for threads in THREADS {
+            let elapsed = time(threads);
+            println!(
+                "  {:<12} threads={threads}: {:>8.3} ms  ({:.2}x)",
+                case.name,
+                elapsed * 1e3,
+                base / elapsed
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

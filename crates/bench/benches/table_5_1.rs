@@ -1,7 +1,8 @@
 //! Criterion bench for Table 5.1: discretization on the phone model
 //! (state rewards only), one benchmark per step size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_bench::harness::Criterion;
+use mrmc_bench::{criterion_group, criterion_main};
 use mrmc_models::phone;
 use mrmc_numerics::discretization::{self, DiscretizationOptions};
 

@@ -1,8 +1,9 @@
 //! Criterion bench for Table 5.4: TMR(3) uniformization with the
 //! error-maintaining `(t, w)` schedule.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_bench::harness::Criterion;
 use mrmc_bench::tables;
+use mrmc_bench::{criterion_group, criterion_main};
 use mrmc_models::tmr::{tmr, TmrConfig};
 
 fn bench(c: &mut Criterion) {

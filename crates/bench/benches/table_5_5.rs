@@ -1,8 +1,9 @@
 //! Criterion bench for Table 5.5 / Figure 5.4: reaching full operation in
 //! the 11-module system (constant failure rates), per starting state.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_bench::harness::Criterion;
 use mrmc_bench::tables::thesis_lambda;
+use mrmc_bench::{criterion_group, criterion_main};
 use mrmc_models::tmr::{tmr, TmrConfig};
 use mrmc_numerics::uniformization::{until_probability, UniformOptions};
 
@@ -25,7 +26,9 @@ fn bench(c: &mut Criterion) {
                     100.0,
                     2000.0,
                     config.state_with_working(n),
-                    UniformOptions::new().with_truncation(1e-8).with_lambda(lambda),
+                    UniformOptions::new()
+                        .with_truncation(1e-8)
+                        .with_lambda(lambda),
                 )
                 .unwrap()
                 .probability

@@ -1,8 +1,9 @@
 //! Criterion bench for Table 5.8: discretization on the TMR model with
 //! `d = 0.25`, per mission time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mrmc_bench::harness::Criterion;
 use mrmc_bench::tables::tmr_dependability_sets;
+use mrmc_bench::{criterion_group, criterion_main};
 use mrmc_models::tmr::{tmr, TmrConfig};
 use mrmc_numerics::discretization::{until_probability, DiscretizationOptions};
 

@@ -33,7 +33,10 @@ fn print_table_5_1() {
         fmt_p(out.reference),
         fmt_e(out.reference_error)
     );
-    println!("   {:>8} | {:>22} | {:>12}", "d", "Pr{{Y<=600, X|=Psi}}", "time (s)");
+    println!(
+        "   {:>8} | {:>22} | {:>12}",
+        "d", "Pr{{Y<=600, X|=Psi}}", "time (s)"
+    );
     for row in &out.rows {
         println!(
             "   {:>8} | {:>22} | {:>12.3}",
@@ -53,9 +56,18 @@ fn print_rates(config: &TmrConfig, title: &str) {
         format!("{}", config.module_failure_rate)
     };
     println!("   failure of modules : {fail} / hour");
-    println!("   failure of voter   : {} / hour", config.voter_failure_rate);
-    println!("   repair of modules  : {} / hour", config.module_repair_rate);
-    println!("   repair of voter    : {} / hour", config.voter_repair_rate);
+    println!(
+        "   failure of voter   : {} / hour",
+        config.voter_failure_rate
+    );
+    println!(
+        "   repair of modules  : {} / hour",
+        config.module_repair_rate
+    );
+    println!(
+        "   repair of voter    : {} / hour",
+        config.voter_repair_rate
+    );
     println!(
         "   state rewards      : {} + {} per failed module; vdown {}",
         config.base_state_reward, config.per_failed_module_reward, config.vdown_state_reward
@@ -110,7 +122,10 @@ fn print_modules(rows: &[tables::ModulesRow], title: &str) {
 fn print_table_5_8() {
     println!("== Table 5.8: Results by Discretization (TMR, d = 0.25) ==");
     let rows = tables::table_5_8(&[50.0, 100.0, 150.0, 200.0], 0.25);
-    println!("   {:>5} | {:>22} | {:>9} | {:>7}", "t", "P", "time (s)", "steps");
+    println!(
+        "   {:>5} | {:>22} | {:>9} | {:>7}",
+        "t", "P", "time (s)", "steps"
+    );
     for r in &rows {
         println!(
             "   {:>5} | {:>22} | {:>9.3} | {:>7}",
@@ -123,7 +138,11 @@ fn print_table_5_8() {
     println!();
 }
 
-fn write_csv(path: &PathBuf, header: &str, rows: impl Iterator<Item = String>) -> std::io::Result<()> {
+fn write_csv(
+    path: &PathBuf,
+    header: &str,
+    rows: impl Iterator<Item = String>,
+) -> std::io::Result<()> {
     use std::io::Write;
     let mut f = std::fs::File::create(path)?;
     writeln!(f, "{header}")?;
@@ -197,7 +216,9 @@ fn validate() {
                 t,
                 3000.0,
                 start,
-                UniformOptions::new().with_truncation(1e-11).with_lambda(lambda),
+                UniformOptions::new()
+                    .with_truncation(1e-11)
+                    .with_lambda(lambda),
             )
             .expect("uniformization succeeds")
         });
@@ -295,7 +316,10 @@ fn extension(out_dir: &PathBuf) -> std::io::Result<()> {
         "t_hours,expected_cost",
         rows.into_iter(),
     )?;
-    println!("wrote {}", out_dir.join("queue_expected_cost.csv").display());
+    println!(
+        "wrote {}",
+        out_dir.join("queue_expected_cost.csv").display()
+    );
     Ok(())
 }
 

@@ -1,0 +1,292 @@
+//! A tiny in-tree micro-benchmark harness with a `criterion`-shaped API.
+//!
+//! The workspace must build with no network access, so the external
+//! `criterion` crate is unavailable. This module provides the subset of its
+//! surface the `benches/` files use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`] / [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] / [`BenchmarkGroup::finish`],
+//! [`BenchmarkId`], [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — so a bench file ports by swapping its
+//! import line only.
+//!
+//! Measurement model: after a short calibration run that picks an
+//! iteration count filling roughly [`Criterion::target_sample_time`], each
+//! benchmark takes `sample_size` timed samples and reports the minimum,
+//! median, and mean per-iteration wall time. No statistics beyond that —
+//! this harness exists to print honest numbers offline, not to replace a
+//! statistics engine.
+//!
+//! [`criterion_group!`]: crate::criterion_group
+//! [`criterion_main!`]: crate::criterion_main
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+///
+/// Re-exported under criterion's name so bench code reads identically.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver; one per bench binary.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    default_sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            target_sample_time: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Wall time each calibrated sample should roughly occupy.
+    pub fn target_sample_time(&self) -> Duration {
+        self.target_sample_time
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        eprintln!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            target_sample_time: self.target_sample_time,
+        }
+    }
+}
+
+/// A two-part benchmark identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            param: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.param)
+    }
+}
+
+/// A named collection of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark under this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.target_sample_time);
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Run one parameterized benchmark under this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.target_sample_time);
+        f(&mut b, input);
+        b.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// End the group (kept for criterion API parity; reporting is eager).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    target_sample_time: Duration,
+    /// Per-iteration seconds, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, target_sample_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            target_sample_time,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Measure `f`, storing per-iteration times for the final report.
+    ///
+    /// One calibration pass times a single iteration and derives how many
+    /// iterations fill the target sample time; each of the `sample_size`
+    /// samples then runs that many iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibration: one warm-up iteration, also priming caches.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let per_sample = (self.target_sample_time.as_secs_f64() / once).clamp(1.0, 1e6) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / per_sample as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            eprintln!("{group}/{id}: no samples (closure never called iter)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        eprintln!(
+            "{group}/{id}: min {} | median {} | mean {} ({} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            sorted.len()
+        );
+    }
+
+    /// Minimum per-iteration seconds across samples (for speedup reports).
+    pub fn min_sample(&self) -> Option<f64> {
+        self.samples
+            .iter()
+            .copied()
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+}
+
+/// Render seconds with a human-appropriate unit.
+pub fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs each group, mirroring criterion's macro of
+/// the same name.
+///
+/// Cargo passes `--bench`/`--test` style flags to bench binaries with
+/// `harness = false`; they are accepted and ignored, except `--list`,
+/// which prints nothing and exits (so `cargo test --benches` stays quiet).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(5, Duration::from_millis(1));
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+        assert!(b.min_sample().is_some());
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("harness_selftest");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn id_formats_with_slash() {
+        assert_eq!(BenchmarkId::new("omega", 17).to_string(), "omega/17");
+    }
+
+    #[test]
+    fn time_formatting_picks_units() {
+        assert_eq!(fmt_time(2.0), "2.000 s");
+        assert_eq!(fmt_time(2e-3), "2.000 ms");
+        assert_eq!(fmt_time(2e-6), "2.000 µs");
+        assert_eq!(fmt_time(2e-9), "2.0 ns");
+    }
+}

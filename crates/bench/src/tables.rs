@@ -1,8 +1,8 @@
 //! One function per table of the evaluation chapter.
 
-use mrmc_mrm::{transform::make_absorbing, Mrm};
 use mrmc_models::phone;
 use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_mrm::{transform::make_absorbing, Mrm};
 use mrmc_numerics::discretization::{self, DiscretizationOptions};
 use mrmc_numerics::uniformization::{self, UniformOptions};
 
@@ -170,7 +170,9 @@ pub fn tmr_until_row(mrm: &Mrm, config: &TmrConfig, t: f64, w: f64) -> TmrUntilR
 pub fn table_5_3(ts: &[f64], w: f64) -> Vec<TmrUntilRow> {
     let config = TmrConfig::classic();
     let m = tmr(&config);
-    ts.iter().map(|&t| tmr_until_row(&m, &config, t, w)).collect()
+    ts.iter()
+        .map(|&t| tmr_until_row(&m, &config, t, w))
+        .collect()
 }
 
 /// The `(t, w)` schedule of Table 5.4 (maintaining `E < 1e-4`).
@@ -344,7 +346,12 @@ mod tests {
     fn table_5_4_keeps_error_small() {
         let rows = table_5_4(&[(50.0, 1e-6), (100.0, 1e-7)]);
         for row in rows {
-            assert!(row.error_bound < 1e-4, "t = {}: E = {}", row.t, row.error_bound);
+            assert!(
+                row.error_bound < 1e-4,
+                "t = {}: E = {}",
+                row.t,
+                row.error_bound
+            );
         }
     }
 

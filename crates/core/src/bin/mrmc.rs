@@ -10,6 +10,9 @@
 //! * `d=<d>` — use discretization with step `d` instead;
 //! * `s=<n>` — use Monte-Carlo simulation with `n` samples (statistical
 //!   estimate, no deterministic error bound);
+//! * `--threads N` (or `--threads=N`) — run the uniformization path
+//!   exploration on `N` worker threads (`0` = auto-detect). Results are
+//!   bit-identical to the serial run at any thread count;
 //! * `NP` — print only the satisfying states, not the computed
 //!   probabilities.
 //!
@@ -29,20 +32,23 @@ struct Cli {
     rewr: String,
     rewi: String,
     engine: UntilEngine,
+    threads: usize,
     print_probabilities: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [NP]\n\
+    "usage: mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--threads N] [NP]\n\
      \n\
      Reads CSRL formulas from stdin, one per line, e.g.\n\
      \x20 P(>= 0.3) [a U[0,3][0,23] b]\n\
      \x20 S(> 0.5) (up)\n\
      \n\
-     u=<w>  uniformization with path truncation probability w (default u=1e-8)\n\
-     d=<d>  discretization with step size d\n\
-     s=<n>  Monte-Carlo simulation with n samples (statistical estimate)\n\
-     NP     suppress the computed probabilities"
+     u=<w>        uniformization with path truncation probability w (default u=1e-8)\n\
+     d=<d>        discretization with step size d\n\
+     s=<n>        Monte-Carlo simulation with n samples (statistical estimate)\n\
+     --threads N  worker threads for the uniformization engine (0 = auto,\n\
+     \x20            default 1); results are bit-identical at any thread count\n\
+     NP           suppress the computed probabilities"
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -55,11 +61,24 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         rewr: args[2].clone(),
         rewi: args[3].clone(),
         engine: UntilEngine::default(),
+        threads: 1,
         print_probabilities: true,
     };
-    for arg in &args[4..] {
+    let mut rest = args[4..].iter();
+    while let Some(arg) = rest.next() {
         if arg == "NP" {
             cli.print_probabilities = false;
+        } else if arg == "--threads" || arg.starts_with("--threads=") {
+            let value = match arg.strip_prefix("--threads=") {
+                Some(v) => v.to_string(),
+                None => rest
+                    .next()
+                    .ok_or_else(|| "--threads requires a value".to_string())?
+                    .clone(),
+            };
+            cli.threads = value
+                .parse()
+                .map_err(|_| format!("invalid thread count `{value}`"))?;
         } else if let Some(w) = arg.strip_prefix("u=") {
             let w: f64 = w
                 .parse()
@@ -99,7 +118,9 @@ fn run() -> Result<(), String> {
         mrm.impulse_rewards().len()
     );
 
-    let options = CheckOptions::new().with_engine(cli.engine);
+    let options = CheckOptions::new()
+        .with_engine(cli.engine)
+        .with_threads(cli.threads);
     let checker = ModelChecker::new(mrm, options);
 
     let stdin = std::io::stdin();
@@ -186,14 +207,12 @@ mod tests {
 
     #[test]
     fn engine_switches_parse() {
-        let cli =
-            parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "u=1e-11"])).unwrap();
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "u=1e-11"])).unwrap();
         match cli.engine {
             UntilEngine::Uniformization(u) => assert_eq!(u.truncation, 1e-11),
             _ => panic!("expected uniformization"),
         }
-        let cli =
-            parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "d=0.25"])).unwrap();
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "d=0.25"])).unwrap();
         match cli.engine {
             UntilEngine::Discretization(d) => assert_eq!(d.step, 0.25),
             _ => panic!("expected discretization"),
@@ -202,13 +221,57 @@ mod tests {
 
     #[test]
     fn simulation_switch_parses() {
-        let cli =
-            parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "s=5000"])).unwrap();
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "s=5000"])).unwrap();
         match cli.engine {
             UntilEngine::Simulation(s) => assert_eq!(s.samples, 5000),
             _ => panic!("expected simulation"),
         }
         assert!(parse_args(&args(&["a", "b", "c", "d", "s=-3"])).is_err());
+    }
+
+    #[test]
+    fn threads_flag_parses_in_both_spellings() {
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi"])).unwrap();
+        assert_eq!(cli.threads, 1);
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(cli.threads, 4);
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--threads=0",
+        ]))
+        .unwrap();
+        assert_eq!(cli.threads, 0);
+        // Composes with an engine switch and NP.
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "u=1e-10",
+            "--threads=2",
+            "NP",
+        ]))
+        .unwrap();
+        assert_eq!(cli.threads, 2);
+        assert!(!cli.print_probabilities);
+    }
+
+    #[test]
+    fn bad_threads_values_are_rejected() {
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--threads"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--threads", "x"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--threads=-2"])).is_err());
     }
 
     #[test]

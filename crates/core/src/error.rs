@@ -97,11 +97,15 @@ mod tests {
 
     #[test]
     fn display_and_sources() {
-        let e = CheckError::UnknownProposition { name: "buzy".into() };
+        let e = CheckError::UnknownProposition {
+            name: "buzy".into(),
+        };
         assert!(e.to_string().contains("buzy"));
         assert!(std::error::Error::source(&e).is_none());
 
-        let e = CheckError::UnsupportedBounds { what: "time lower bound" };
+        let e = CheckError::UnsupportedBounds {
+            what: "time lower bound",
+        };
         assert!(e.to_string().contains("[0, t]"));
 
         let e: CheckError = mrmc_csrl::parse("a &&").unwrap_err().into();

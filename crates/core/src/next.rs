@@ -14,7 +14,13 @@ use crate::error::CheckError;
 
 /// The interval `K(s, s')` for residence in `s` followed by the jump to
 /// `s'`; `None` when empty.
-fn k_interval(mrm: &Mrm, s: usize, s_prime: usize, time: &Interval, reward: &Interval) -> Option<Interval> {
+fn k_interval(
+    mrm: &Mrm,
+    s: usize,
+    s_prime: usize,
+    time: &Interval,
+    reward: &Interval,
+) -> Option<Interval> {
     let rho = mrm.state_reward(s);
     let iota = mrm.impulse_reward(s, s_prime);
     if rho == 0.0 {
@@ -113,8 +119,8 @@ mod tests {
         // Eq. 3.5: P(s, X Φ) = Σ_{s' ⊨ Φ} P(s, s').
         let m = model();
         let phi = m.labeling().states_with("a");
-        let p = next_probabilities(&m, &Interval::unbounded(), &Interval::unbounded(), &phi)
-            .unwrap();
+        let p =
+            next_probabilities(&m, &Interval::unbounded(), &Interval::unbounded(), &phi).unwrap();
         assert!((p[0] - 0.25).abs() < 1e-12);
         assert_eq!(p[1], 0.0); // absorbing
         assert_eq!(p[2], 0.0);
@@ -125,8 +131,7 @@ mod tests {
         let m = model();
         let phi = m.labeling().states_with("a");
         // Within time 0.5: P(0→1 in [0, 0.5]) = 1/4 · (1 − e^{−4·0.5}).
-        let p = next_probabilities(&m, &Interval::upto(0.5), &Interval::unbounded(), &phi)
-            .unwrap();
+        let p = next_probabilities(&m, &Interval::upto(0.5), &Interval::unbounded(), &phi).unwrap();
         let expect = 0.25 * (1.0 - (-2.0f64).exp());
         assert!((p[0] - expect).abs() < 1e-12);
     }
@@ -136,13 +141,11 @@ mod tests {
         let m = model();
         let phi = m.labeling().states_with("a");
         // J = [0, 9]: need 2x + 5 ≤ 9 ⇔ x ≤ 2.
-        let p =
-            next_probabilities(&m, &Interval::unbounded(), &Interval::upto(9.0), &phi).unwrap();
+        let p = next_probabilities(&m, &Interval::unbounded(), &Interval::upto(9.0), &phi).unwrap();
         let expect = 0.25 * (1.0 - (-4.0 * 2.0f64).exp());
         assert!((p[0] - expect).abs() < 1e-12);
         // J = [0, 4]: the impulse alone (5) exceeds the bound; K is empty.
-        let p =
-            next_probabilities(&m, &Interval::unbounded(), &Interval::upto(4.0), &phi).unwrap();
+        let p = next_probabilities(&m, &Interval::unbounded(), &Interval::upto(4.0), &phi).unwrap();
         assert_eq!(p[0], 0.0);
     }
 
@@ -175,24 +178,19 @@ mod tests {
         let m = Mrm::new(ctmc, StateRewards::zero(2), iota).unwrap();
         let phi = m.labeling().states_with("goal");
         // J = [0, 2]: impulse 3 > 2, never satisfied.
-        let p =
-            next_probabilities(&m, &Interval::unbounded(), &Interval::upto(2.0), &phi).unwrap();
+        let p = next_probabilities(&m, &Interval::unbounded(), &Interval::upto(2.0), &phi).unwrap();
         assert_eq!(p[0], 0.0);
         // J = [0, 3]: impulse fits for any residence time.
-        let p =
-            next_probabilities(&m, &Interval::unbounded(), &Interval::upto(3.0), &phi).unwrap();
+        let p = next_probabilities(&m, &Interval::unbounded(), &Interval::upto(3.0), &phi).unwrap();
         assert!((p[0] - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn wrong_phi_length_rejected() {
         let m = model();
-        assert!(next_probabilities(
-            &m,
-            &Interval::unbounded(),
-            &Interval::unbounded(),
-            &[true]
-        )
-        .is_err());
+        assert!(
+            next_probabilities(&m, &Interval::unbounded(), &Interval::unbounded(), &[true])
+                .is_err()
+        );
     }
 }

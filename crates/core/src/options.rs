@@ -72,6 +72,18 @@ impl CheckOptions {
         self.until_engine = engine;
         self
     }
+
+    /// Set the worker-thread count for the uniformization until engine
+    /// (`0` = auto-detect, `1` = serial; see
+    /// [`ParallelOptions`](mrmc_numerics::uniformization::ParallelOptions)).
+    /// The parallel engine is deterministic — results are bit-identical at
+    /// any thread count. No effect on the other engines.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        if let UntilEngine::Uniformization(u) = self.until_engine {
+            self.until_engine = UntilEngine::Uniformization(u.with_threads(threads));
+        }
+        self
+    }
 }
 
 impl Default for CheckOptions {
@@ -108,6 +120,23 @@ mod tests {
         match UntilEngine::uniformization(1e-11) {
             UntilEngine::Uniformization(u) => assert_eq!(u.truncation, 1e-11),
             _ => panic!("expected uniformization"),
+        }
+    }
+
+    #[test]
+    fn with_threads_reaches_the_uniformization_engine() {
+        let o = CheckOptions::new().with_threads(4);
+        match o.until_engine {
+            UntilEngine::Uniformization(u) => assert_eq!(u.parallel.threads, 4),
+            _ => panic!("default must be uniformization"),
+        }
+        // Other engines are untouched (and not broken) by the setter.
+        let o = CheckOptions::new()
+            .with_engine(UntilEngine::discretization(0.5))
+            .with_threads(4);
+        match o.until_engine {
+            UntilEngine::Discretization(d) => assert_eq!(d.step, 0.5),
+            _ => panic!("expected discretization"),
         }
     }
 }

@@ -211,9 +211,7 @@ mod tests {
         // Nested: states satisfying P(>0.9)[X (P(>0.15)[X busy])] — one
         // jump into a state from which busy is reachable in one jump with
         // probability > 0.15 (i.e. into idle).
-        let out = c
-            .check_str("P(> 0.9) [X (P(> 0.15) [X busy])]")
-            .unwrap();
+        let out = c.check_str("P(> 0.9) [X (P(> 0.15) [X busy])]").unwrap();
         // receive and transmit jump to idle with probability 1.
         assert!(out.holds_in(3));
         assert!(out.holds_in(4));
@@ -258,9 +256,6 @@ mod tests {
     #[test]
     fn parse_errors_surface() {
         let c = checker();
-        assert!(matches!(
-            c.check_str("P(>)"),
-            Err(CheckError::Parse(_))
-        ));
+        assert!(matches!(c.check_str("P(>)"), Err(CheckError::Parse(_))));
     }
 }

@@ -38,12 +38,8 @@ mod tests {
         b.label(3, "b");
         let m = Mrm::without_rewards(b.build().unwrap());
 
-        let p = steady_probabilities(
-            &m,
-            &CheckOptions::new(),
-            &m.labeling().states_with("b"),
-        )
-        .unwrap();
+        let p =
+            steady_probabilities(&m, &CheckOptions::new(), &m.labeling().states_with("b")).unwrap();
         // π(s1, b) = 8/21; from inside B1 it is π^B1(s4) = 2/3; from the
         // sink it is 0.
         assert!((p[0] - 8.0 / 21.0).abs() < 1e-9);
@@ -58,12 +54,8 @@ mod tests {
         b.transition(0, 1, 1.0).transition(1, 0, 3.0);
         b.label(0, "up");
         let m = Mrm::without_rewards(b.build().unwrap());
-        let p = steady_probabilities(
-            &m,
-            &CheckOptions::new(),
-            &m.labeling().states_with("up"),
-        )
-        .unwrap();
+        let p = steady_probabilities(&m, &CheckOptions::new(), &m.labeling().states_with("up"))
+            .unwrap();
         assert!((p[0] - 0.75).abs() < 1e-9);
         assert!((p[1] - 0.75).abs() < 1e-9);
     }

@@ -70,8 +70,7 @@ pub fn until_probabilities(
             // Φ U^{[t1,∞)} Ψ: unbounded reachability as phase 2, the
             // Φ-constrained backward transient as phase 1.
             let embedded = mrm.ctmc().embedded_dtmc();
-            let mut u =
-                reach::until_unbounded(embedded.probabilities(), phi, psi, options.solver)?;
+            let mut u = reach::until_unbounded(embedded.probabilities(), phi, psi, options.solver)?;
             for (s, value) in u.iter_mut().enumerate() {
                 if !phi[s] {
                     *value = 0.0;
@@ -100,9 +99,8 @@ pub fn until_probabilities(
                         continue;
                     }
                     let opts = sopts.with_seed(sopts.seed.wrapping_add(s as u64));
-                    let est = monte_carlo::estimate_until_general(
-                        mrm, phi, psi, time, reward, s, opts,
-                    )?;
+                    let est =
+                        monte_carlo::estimate_until_general(mrm, phi, psi, time, reward, s, opts)?;
                     probabilities[s] = est.mean;
                     errors[s] = est.std_error;
                 }
@@ -166,8 +164,7 @@ pub fn until_probabilities(
                         if !phi[s] && !psi[s] {
                             continue;
                         }
-                        let res =
-                            discretization::until_probability(mrm, phi, psi, t, r, s, dopts)?;
+                        let res = discretization::until_probability(mrm, phi, psi, t, r, s, dopts)?;
                         probabilities[s] = res.probability;
                     }
                     Ok(UntilAnalysis {
@@ -269,8 +266,7 @@ mod tests {
         let u = until_probabilities(&m, &uni_opts, &time, &reward, &phi, &psi).unwrap();
         assert!(u.error_bounds.is_some());
 
-        let disc_opts =
-            CheckOptions::new().with_engine(UntilEngine::discretization(1.0 / 128.0));
+        let disc_opts = CheckOptions::new().with_engine(UntilEngine::discretization(1.0 / 128.0));
         let d = until_probabilities(&m, &disc_opts, &time, &reward, &phi, &psi).unwrap();
         for s in 0..3 {
             assert!(
@@ -342,7 +338,11 @@ mod tests {
             &psi,
         )
         .unwrap();
-        assert!((a.probabilities[0] - 1.0).abs() < 1e-7, "{}", a.probabilities[0]);
+        assert!(
+            (a.probabilities[0] - 1.0).abs() < 1e-7,
+            "{}",
+            a.probabilities[0]
+        );
     }
 
     #[test]
@@ -367,8 +367,7 @@ mod tests {
         let psi = vec![false, true];
         let opts = CheckOptions::new().with_engine(UntilEngine::simulation(60_000));
         let window = Interval::new(0.5, 1.0).unwrap();
-        let a = until_probabilities(&m, &opts, &window, &Interval::upto(0.5), &phi, &psi)
-            .unwrap();
+        let a = until_probabilities(&m, &opts, &window, &Interval::upto(0.5), &phi, &psi).unwrap();
         let exact = 1.0 - (-1.0f64).exp();
         let se = a.error_bounds.as_ref().unwrap()[0];
         assert!(

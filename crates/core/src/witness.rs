@@ -256,11 +256,9 @@ mod tests {
         b.label(1, "goal");
         let disconnected = Mrm::without_rewards(b.build().unwrap());
         let psi = disconnected.labeling().states_with("goal");
-        assert!(
-            most_probable_witness(&disconnected, &[true, true], &psi, 0)
-                .unwrap()
-                .is_none()
-        );
+        assert!(most_probable_witness(&disconnected, &[true, true], &psi, 0)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -89,12 +89,14 @@ fn reward_bounded_until_with_both_engines() {
     ];
     let formula = "P(> 0.001) [up U[0,10][0,50] degraded]\n";
 
-    let (uni_out, _, ok) = run_mrmc(&[paths[0], paths[1], paths[2], paths[3], "u=1e-10"], formula);
+    let (uni_out, _, ok) = run_mrmc(
+        &[paths[0], paths[1], paths[2], paths[3], "u=1e-10"],
+        formula,
+    );
     assert!(ok);
     assert!(uni_out.contains("error bound"), "{uni_out}");
 
-    let (disc_out, _, ok) =
-        run_mrmc(&[paths[0], paths[1], paths[2], paths[3], "d=0.01"], formula);
+    let (disc_out, _, ok) = run_mrmc(&[paths[0], paths[1], paths[2], paths[3], "d=0.01"], formula);
     assert!(ok);
 
     // Extract the state-1 probability from both outputs and compare.
@@ -157,7 +159,12 @@ fn bad_formula_fails_with_message() {
 #[test]
 fn missing_files_fail_cleanly() {
     let (_, stderr, ok) = run_mrmc(
-        &["/nonexistent/a.tra", "/nonexistent/a.lab", "/nonexistent/a.rewr", "/nonexistent/a.rewi"],
+        &[
+            "/nonexistent/a.tra",
+            "/nonexistent/a.lab",
+            "/nonexistent/a.rewr",
+            "/nonexistent/a.rewi",
+        ],
         "",
     );
     assert!(!ok);

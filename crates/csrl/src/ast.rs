@@ -213,9 +213,7 @@ impl StateFormula {
             StateFormula::Ap(a) => StateFormula::Ap(a.clone()),
             StateFormula::Not(f) => f.desugared().not(),
             StateFormula::Or(a, b) => a.desugared().or(b.desugared()),
-            StateFormula::And(a, b) => {
-                a.desugared().not().or(b.desugared().not()).not()
-            }
+            StateFormula::And(a, b) => a.desugared().not().or(b.desugared().not()).not(),
             StateFormula::Implies(a, b) => a.desugared().not().or(b.desugared()),
             StateFormula::Steady { op, bound, inner } => StateFormula::Steady {
                 op: *op,
@@ -258,9 +256,7 @@ impl StateFormula {
                 StateFormula::True | StateFormula::False => {}
                 StateFormula::Ap(a) => out.push(a),
                 StateFormula::Not(f) => walk(f, out),
-                StateFormula::Or(a, b)
-                | StateFormula::And(a, b)
-                | StateFormula::Implies(a, b) => {
+                StateFormula::Or(a, b) | StateFormula::And(a, b) | StateFormula::Implies(a, b) => {
                     walk(a, out);
                     walk(b, out);
                 }
@@ -329,10 +325,7 @@ mod tests {
         .desugared();
         assert!(matches!(imp, StateFormula::Or(..)));
 
-        assert_eq!(
-            StateFormula::False.desugared(),
-            StateFormula::True.not()
-        );
+        assert_eq!(StateFormula::False.desugared(), StateFormula::True.not());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Deterministic random-formula generation for round-trip testing.
+//!
+//! The printer promises `parse(f.to_string()) == f` for every well-formed
+//! formula; exercising that promise needs a source of structurally diverse
+//! ASTs. This module generates them from the workspace's in-tree
+//! [`Xoshiro256StarStar`] generator, replacing the external `proptest`
+//! strategy the test-suite used before the hermetic-build change: every
+//! generated corpus is reproducible from a literal seed.
+//!
+//! Intervals are drawn on a quarter-unit grid (`k/4`) so printed bounds
+//! round-trip exactly through the decimal formatter, and upper bounds are
+//! infinite with probability ¼ to exercise the `~` syntax.
+
+use mrmc_sparse::rng::Xoshiro256StarStar;
+
+use crate::ast::{CompareOp, PathFormula, StateFormula};
+use crate::interval::Interval;
+
+/// A random closed interval with grid-aligned bounds; upper bound is
+/// infinite with probability ¼.
+pub fn random_interval(rng: &mut Xoshiro256StarStar) -> Interval {
+    let lo = rng.range_usize(400) as f64 / 4.0;
+    if rng.bool_with(0.25) {
+        Interval::new(lo, f64::INFINITY).unwrap()
+    } else {
+        let len = rng.range_usize(400) as f64 / 4.0;
+        Interval::new(lo, lo + len).unwrap()
+    }
+}
+
+/// A uniformly random comparison operator.
+pub fn random_op(rng: &mut Xoshiro256StarStar) -> CompareOp {
+    match rng.range_usize(4) {
+        0 => CompareOp::Lt,
+        1 => CompareOp::Le,
+        2 => CompareOp::Gt,
+        _ => CompareOp::Ge,
+    }
+}
+
+/// A random probability bound on a percent grid, so it prints exactly.
+pub fn random_bound(rng: &mut Xoshiro256StarStar) -> f64 {
+    rng.range_usize(101) as f64 / 100.0
+}
+
+/// A random atomic-proposition name matching `[a-z][a-z0-9_]{0,6}`.
+pub fn random_ap(rng: &mut Xoshiro256StarStar) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::new();
+    s.push(FIRST[rng.range_usize(FIRST.len())] as char);
+    for _ in 0..rng.range_usize(7) {
+        s.push(REST[rng.range_usize(REST.len())] as char);
+    }
+    s
+}
+
+/// A random state formula of nesting depth at most `depth`.
+///
+/// At depth 0 only leaves (`TT`, `FF`, atomic propositions) are produced;
+/// deeper levels draw uniformly from negation, conjunction, disjunction,
+/// implication, steady-state, and time/reward-bounded next and until
+/// operators, so the full grammar of the printer is exercised.
+pub fn random_formula(rng: &mut Xoshiro256StarStar, depth: usize) -> StateFormula {
+    if depth == 0 {
+        return match rng.range_usize(4) {
+            0 => StateFormula::True,
+            1 => StateFormula::False,
+            _ => StateFormula::Ap(random_ap(rng)),
+        };
+    }
+    match rng.range_usize(8) {
+        0 => random_formula(rng, depth - 1).not(),
+        1 => random_formula(rng, depth - 1).and(random_formula(rng, depth - 1)),
+        2 => random_formula(rng, depth - 1).or(random_formula(rng, depth - 1)),
+        3 => StateFormula::Implies(
+            Box::new(random_formula(rng, depth - 1)),
+            Box::new(random_formula(rng, depth - 1)),
+        ),
+        4 => StateFormula::Steady {
+            op: random_op(rng),
+            bound: random_bound(rng),
+            inner: Box::new(random_formula(rng, depth - 1)),
+        },
+        5 => StateFormula::prob_next(
+            random_op(rng),
+            random_bound(rng),
+            random_interval(rng),
+            random_interval(rng),
+            random_formula(rng, depth - 1),
+        ),
+        6 => StateFormula::prob_until(
+            random_op(rng),
+            random_bound(rng),
+            random_interval(rng),
+            random_interval(rng),
+            random_formula(rng, depth - 1),
+            random_formula(rng, depth - 1),
+        ),
+        _ => random_formula(rng, depth - 1),
+    }
+}
+
+/// A random path formula (next or until) with depth-`depth` operands.
+pub fn random_path_formula(rng: &mut Xoshiro256StarStar, depth: usize) -> PathFormula {
+    if rng.bool_with(0.5) {
+        PathFormula::Next {
+            time: random_interval(rng),
+            reward: random_interval(rng),
+            inner: random_formula(rng, depth),
+        }
+    } else {
+        PathFormula::Until {
+            time: random_interval(rng),
+            reward: random_interval(rng),
+            lhs: random_formula(rng, depth),
+            rhs: random_formula(rng, depth),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(99);
+        let mut b = Xoshiro256StarStar::seed_from_u64(99);
+        for _ in 0..32 {
+            assert_eq!(random_formula(&mut a, 3), random_formula(&mut b, 3));
+        }
+    }
+
+    #[test]
+    fn depth_zero_yields_leaves() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        for _ in 0..32 {
+            match random_formula(&mut rng, 0) {
+                StateFormula::True | StateFormula::False | StateFormula::Ap(_) => {}
+                other => panic!("non-leaf at depth 0: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ap_names_are_valid_identifiers() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        for _ in 0..128 {
+            let ap = random_ap(&mut rng);
+            let mut chars = ap.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            assert!(ap.len() <= 7);
+        }
+    }
+}

@@ -86,72 +86,123 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             '~' => {
-                tokens.push(Token { kind: TokenKind::Infinity, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Infinity,
+                    offset: i,
+                });
                 i += 1;
             }
             '!' => {
-                tokens.push(Token { kind: TokenKind::Not, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Not,
+                    offset: i,
+                });
                 i += 1;
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Token { kind: TokenKind::AndAnd, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::AndAnd,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, fragment: "&".into() });
+                    return Err(LexError {
+                        offset: i,
+                        fragment: "&".into(),
+                    });
                 }
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Token { kind: TokenKind::OrOr, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::OrOr,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, fragment: "|".into() });
+                    return Err(LexError {
+                        offset: i,
+                        fragment: "|".into(),
+                    });
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Implies, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Implies,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, fragment: "=".into() });
+                    return Err(LexError {
+                        offset: i,
+                        fragment: "=".into(),
+                    });
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -206,7 +257,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

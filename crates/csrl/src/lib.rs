@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod ast;
+pub mod generator;
 mod interval;
 mod lexer;
 mod parser;

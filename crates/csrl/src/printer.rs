@@ -125,9 +125,10 @@ impl fmt::Display for PathFormula {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generator::random_formula;
     use crate::interval::Interval;
     use crate::parser::parse;
-    use proptest::prelude::*;
+    use mrmc_sparse::rng::Xoshiro256StarStar;
 
     #[test]
     fn prints_canonical_until() {
@@ -156,11 +157,15 @@ mod tests {
 
     #[test]
     fn parenthesizes_by_precedence() {
-        let f = StateFormula::ap("a").or(StateFormula::ap("b")).and(StateFormula::ap("c"));
+        let f = StateFormula::ap("a")
+            .or(StateFormula::ap("b"))
+            .and(StateFormula::ap("c"));
         assert_eq!(f.to_string(), "(a || b) && c");
         let g = StateFormula::ap("a").and(StateFormula::ap("b")).not();
         assert_eq!(g.to_string(), "!(a && b)");
-        let h = StateFormula::ap("a").and(StateFormula::ap("b")).or(StateFormula::ap("c"));
+        let h = StateFormula::ap("a")
+            .and(StateFormula::ap("b"))
+            .or(StateFormula::ap("c"));
         assert_eq!(h.to_string(), "a && b || c");
     }
 
@@ -183,88 +188,21 @@ mod tests {
         ] {
             let f = parse(text).unwrap();
             let printed = f.to_string();
-            let again = parse(&printed).unwrap_or_else(|e| {
-                panic!("printed `{printed}` failed to parse: {e}")
-            });
+            let again = parse(&printed)
+                .unwrap_or_else(|e| panic!("printed `{printed}` failed to parse: {e}"));
             assert_eq!(f, again, "roundtrip of `{text}` via `{printed}`");
         }
     }
 
-    fn arb_interval() -> impl Strategy<Value = Interval> {
-        (0u32..100, 0u32..100, proptest::bool::ANY).prop_map(|(lo, len, inf)| {
-            let lo = lo as f64 / 4.0;
-            if inf {
-                Interval::new(lo, f64::INFINITY).unwrap()
-            } else {
-                Interval::new(lo, lo + len as f64 / 4.0).unwrap()
-            }
-        })
-    }
-
-    fn arb_op() -> impl Strategy<Value = CompareOp> {
-        prop_oneof![
-            Just(CompareOp::Lt),
-            Just(CompareOp::Le),
-            Just(CompareOp::Gt),
-            Just(CompareOp::Ge),
-        ]
-    }
-
-    fn arb_formula() -> impl Strategy<Value = StateFormula> {
-        let leaf = prop_oneof![
-            Just(StateFormula::True),
-            Just(StateFormula::False),
-            "[a-z][a-z0-9_]{0,6}".prop_map(StateFormula::Ap),
-        ];
-        leaf.prop_recursive(4, 24, 3, |inner| {
-            let prob = (0u32..=100).prop_map(|p| p as f64 / 100.0);
-            prop_oneof![
-                inner.clone().prop_map(|f| f.not()),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| StateFormula::Implies(
-                    Box::new(a),
-                    Box::new(b)
-                )),
-                (arb_op(), prob.clone(), inner.clone()).prop_map(|(op, bound, f)| {
-                    StateFormula::Steady {
-                        op,
-                        bound,
-                        inner: Box::new(f),
-                    }
-                }),
-                (
-                    arb_op(),
-                    prob.clone(),
-                    arb_interval(),
-                    arb_interval(),
-                    inner.clone()
-                )
-                    .prop_map(|(op, bound, t, r, f)| StateFormula::prob_next(
-                        op, bound, t, r, f
-                    )),
-                (
-                    arb_op(),
-                    prob,
-                    arb_interval(),
-                    arb_interval(),
-                    inner.clone(),
-                    inner
-                )
-                    .prop_map(|(op, bound, t, r, a, b)| StateFormula::prob_until(
-                        op, bound, t, r, a, b
-                    )),
-            ]
-        })
-    }
-
-    proptest! {
-        #[test]
-        fn print_parse_roundtrip(f in arb_formula()) {
+    #[test]
+    fn print_parse_roundtrip() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0x9121);
+        for _ in 0..256 {
+            let f = random_formula(&mut rng, 4);
             let printed = f.to_string();
             let parsed = parse(&printed);
-            prop_assert!(parsed.is_ok(), "`{}` failed: {:?}", printed, parsed);
-            prop_assert_eq!(parsed.unwrap(), f, "via `{}`", printed);
+            assert!(parsed.is_ok(), "`{printed}` failed: {parsed:?}");
+            assert_eq!(parsed.unwrap(), f, "via `{printed}`");
         }
     }
 }

@@ -187,10 +187,7 @@ mod tests {
     fn figure_3_2_has_two_bsccs() {
         // s1 -> s2 (and s1 -> s5), s2 -> s1, s2 -> s3; B1 = {s3, s4}, B2 = {s5}.
         // Zero-indexed: 0..=4.
-        let m = graph(
-            5,
-            &[(0, 1), (0, 4), (1, 0), (1, 2), (2, 3), (3, 2), (4, 4)],
-        );
+        let m = graph(5, &[(0, 1), (0, 4), (1, 0), (1, 2), (2, 3), (3, 2), (4, 4)]);
         let d = SccDecomposition::new(&m);
         let bsccs: Vec<Vec<usize>> = d.bsccs().map(|(_, s)| s.to_vec()).collect();
         assert_eq!(bsccs.len(), 2);

@@ -161,10 +161,7 @@ impl Ctmc {
     /// [`ModelError::InvalidUniformizationRate`] when an explicit `rate`
     /// below the maximal exit rate (or non-positive/non-finite) is given.
     pub fn uniformized(&self, rate: Option<f64>) -> Result<(Dtmc, f64), ModelError> {
-        let max_exit = self
-            .exit_rates
-            .iter()
-            .fold(0.0_f64, |m, &e| m.max(e));
+        let max_exit = self.exit_rates.iter().fold(0.0_f64, |m, &e| m.max(e));
         let lambda = match rate {
             Some(l) => {
                 if !(l.is_finite() && l > 0.0 && l >= max_exit) {

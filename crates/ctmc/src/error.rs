@@ -80,7 +80,10 @@ impl fmt::Display for ModelError {
                 "uniformization rate {requested} below maximal exit rate {minimum}"
             ),
             ModelError::StateOutOfBounds { state, states } => {
-                write!(f, "state {state} out of bounds for a model with {states} states")
+                write!(
+                    f,
+                    "state {state} out of bounds for a model with {states} states"
+                )
             }
             ModelError::Solve(e) => write!(f, "linear solve failed: {e}"),
         }
@@ -134,9 +137,12 @@ mod tests {
         }
         .to_string()
         .contains("below"));
-        assert!(ModelError::StateOutOfBounds { state: 9, states: 3 }
-            .to_string()
-            .contains('9'));
+        assert!(ModelError::StateOutOfBounds {
+            state: 9,
+            states: 3
+        }
+        .to_string()
+        .contains('9'));
     }
 
     #[test]

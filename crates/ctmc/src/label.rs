@@ -96,10 +96,7 @@ mod tests {
         assert!(l.has(3, "busy"));
         assert!(l.has(4, "busy"));
         assert!(!l.has(2, "busy"));
-        assert_eq!(
-            l.states_with("busy"),
-            vec![false, false, false, true, true]
-        );
+        assert_eq!(l.states_with("busy"), vec![false, false, false, true, true]);
         assert_eq!(
             l.all_propositions(),
             vec!["busy", "idle", "off", "receive", "sleep", "transmit"]

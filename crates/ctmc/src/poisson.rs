@@ -200,10 +200,7 @@ impl FoxGlynn {
             lambda_t.is_finite() && lambda_t >= 0.0,
             "lambda_t must be finite and non-negative"
         );
-        assert!(
-            epsilon > 0.0 && epsilon < 1.0,
-            "epsilon must be in (0, 1)"
-        );
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
         if lambda_t == 0.0 {
             return FoxGlynn {
                 left: 0,
@@ -334,10 +331,7 @@ mod tests {
         let lt = 7.3;
         let ws: Vec<f64> = Weights::new(lt).take(40).collect();
         for (n, w) in ws.iter().enumerate() {
-            assert!(
-                (w - pmf(lt, n as u64)).abs() < 1e-12 * (1.0 + w),
-                "n = {n}"
-            );
+            assert!((w - pmf(lt, n as u64)).abs() < 1e-12 * (1.0 + w), "n = {n}");
         }
     }
 

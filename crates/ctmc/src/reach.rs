@@ -62,9 +62,7 @@ pub fn until_unbounded(
     }
 
     // "Maybe" states need the linear solve.
-    let maybe: Vec<usize> = (0..n)
-        .filter(|&s| can_reach[s] && !psi[s])
-        .collect();
+    let maybe: Vec<usize> = (0..n).filter(|&s| can_reach[s] && !psi[s]).collect();
     let mut local_of = vec![usize::MAX; n];
     for (i, &s) in maybe.iter().enumerate() {
         local_of[s] = i;
@@ -228,7 +226,7 @@ mod tests {
     }
 
     #[test]
-    fn unreachable_component_gets_zero_without_solver_issues(){
+    fn unreachable_component_gets_zero_without_solver_issues() {
         // Two disconnected cycles; target in the second one.
         let p = matrix(&[
             vec![0.0, 1.0, 0.0, 0.0],

@@ -459,12 +459,7 @@ mod tests {
         let c = b.build().unwrap();
         let gs = steady_state_strongly_connected(&c, SolverOptions::new()).unwrap();
         let (uni, _) = c.uniformized(None).unwrap();
-        let pw = power_iteration(
-            uni.probabilities(),
-            &[0.25; 4],
-            SolverOptions::new(),
-        )
-        .unwrap();
+        let pw = power_iteration(uni.probabilities(), &[0.25; 4], SolverOptions::new()).unwrap();
         for (u, v) in gs.iter().zip(&pw) {
             assert!((u - v).abs() < 1e-7, "{gs:?} vs {pw:?}");
         }

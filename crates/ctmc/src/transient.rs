@@ -24,7 +24,10 @@ pub fn transient_distribution(
     t: f64,
     epsilon: f64,
 ) -> Result<Vec<f64>, ModelError> {
-    assert!(t.is_finite() && t >= 0.0, "t must be finite and non-negative");
+    assert!(
+        t.is_finite() && t >= 0.0,
+        "t must be finite and non-negative"
+    );
     let n = ctmc.num_states();
     if initial.len() != n {
         return Err(ModelError::LabelingSizeMismatch {
@@ -104,7 +107,11 @@ mod tests {
         for &t in &[0.1, 1.0, 5.0, 20.0] {
             let p = transient_distribution(&c, &[1.0, 0.0], t, 1e-12).unwrap();
             let expect = lambda / (lambda + mu) * (1.0 - (-(lambda + mu) * t).exp());
-            assert!((p[1] - expect).abs() < 1e-9, "t = {t}: {} vs {expect}", p[1]);
+            assert!(
+                (p[1] - expect).abs() < 1e-9,
+                "t = {t}: {} vs {expect}",
+                p[1]
+            );
         }
     }
 

@@ -87,8 +87,9 @@ impl ClusterConfig {
     ) -> usize {
         assert!(left <= self.workstations && right <= self.workstations);
         let n1 = self.workstations + 1;
-        let flags =
-            usize::from(l_switch_up) | (usize::from(r_switch_up) << 1) | (usize::from(backbone_up) << 2);
+        let flags = usize::from(l_switch_up)
+            | (usize::from(r_switch_up) << 1)
+            | (usize::from(backbone_up) << 2);
         (left * n1 + right) * 8 + flags
     }
 

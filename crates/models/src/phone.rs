@@ -55,8 +55,8 @@ fn base(impulses: ImpulseRewards) -> Mrm {
     b.label(OFF, "Off");
     let ctmc = b.build().expect("the phone model is well-formed");
 
-    let rho = StateRewards::new(vec![10.0, 50.0, 2.0, 40.0, 0.0])
-        .expect("rewards are non-negative");
+    let rho =
+        StateRewards::new(vec![10.0, 50.0, 2.0, 40.0, 0.0]).expect("rewards are non-negative");
     Mrm::new(ctmc, rho, impulses).expect("the phone MRM is well-formed")
 }
 

@@ -140,8 +140,7 @@ pub fn queue(config: &QueueConfig) -> Mrm {
     let mut rewards = vec![0.0; config.num_states()];
     for j in 0..=k {
         rewards[config.up_state(j)] = config.holding_cost * j as f64;
-        rewards[config.down_state(j)] =
-            config.holding_cost * j as f64 + config.downtime_cost;
+        rewards[config.down_state(j)] = config.holding_cost * j as f64 + config.downtime_cost;
     }
     let rho = StateRewards::new(rewards).expect("costs are non-negative");
 
@@ -189,14 +188,8 @@ mod tests {
         let m = queue(&c);
         assert_eq!(m.state_reward(c.up_state(2)), 2.0);
         assert_eq!(m.state_reward(c.down_state(2)), 7.0);
-        assert_eq!(
-            m.impulse_reward(c.up_state(2), c.up_state(1)),
-            2.0
-        );
-        assert_eq!(
-            m.impulse_reward(c.down_state(1), c.up_state(1)),
-            10.0
-        );
+        assert_eq!(m.impulse_reward(c.up_state(2), c.up_state(1)), 2.0);
+        assert_eq!(m.impulse_reward(c.down_state(1), c.up_state(1)), 10.0);
         assert_eq!(m.impulse_reward(c.up_state(1), c.up_state(2)), 0.0);
     }
 

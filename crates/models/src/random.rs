@@ -6,8 +6,7 @@
 //! self-loops, and every state reachable from state 0 (a spanning chain is
 //! always included, keeping until-probabilities non-trivial).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mrmc_sparse::rng::Xoshiro256StarStar;
 
 use mrmc_ctmc::CtmcBuilder;
 use mrmc_mrm::{ImpulseRewards, Mrm, StateRewards};
@@ -55,26 +54,26 @@ pub fn random_mrm(seed: u64, config: &RandomMrmConfig) -> Mrm {
     assert!(config.states >= 2, "need at least two states");
     assert!(!config.reward_levels.is_empty(), "need reward levels");
     assert!(!config.impulse_levels.is_empty(), "need impulse levels");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     let n = config.states;
 
     let mut b = CtmcBuilder::new(n);
     let mut edges: Vec<(usize, usize)> = Vec::new();
     // Spanning chain 0 → 1 → … → n−1 keeps everything reachable.
     for s in 0..n - 1 {
-        let rate = rng.gen_range(0.05..=config.max_rate);
+        let rate = rng.range_f64(0.05, config.max_rate);
         b.transition(s, s + 1, rate);
         edges.push((s, s + 1));
     }
     // Extra random transitions (self-loops allowed).
     let extra = (config.extra_transitions_per_state * n as f64).round() as usize;
     for _ in 0..extra {
-        let from = rng.gen_range(0..n);
-        let to = rng.gen_range(0..n);
+        let from = rng.range_usize(n);
+        let to = rng.range_usize(n);
         if edges.contains(&(from, to)) {
             continue;
         }
-        let rate = rng.gen_range(0.05..=config.max_rate);
+        let rate = rng.range_f64(0.05, config.max_rate);
         b.transition(from, to, rate);
         edges.push((from, to));
     }
@@ -85,7 +84,7 @@ pub fn random_mrm(seed: u64, config: &RandomMrmConfig) -> Mrm {
     // Goal states: never state 0, at least one.
     let mut goals = 0usize;
     for s in 1..n {
-        if rng.gen_bool(config.goal_fraction.clamp(0.0, 1.0)) {
+        if rng.bool_with(config.goal_fraction) {
             b.label(s, "goal");
             goals += 1;
         }
@@ -96,7 +95,7 @@ pub fn random_mrm(seed: u64, config: &RandomMrmConfig) -> Mrm {
     let ctmc = b.build().expect("generated chain is well-formed");
 
     let rewards: Vec<f64> = (0..n)
-        .map(|_| config.reward_levels[rng.gen_range(0..config.reward_levels.len())])
+        .map(|_| config.reward_levels[rng.range_usize(config.reward_levels.len())])
         .collect();
     let rho = StateRewards::new(rewards).expect("levels are non-negative");
 
@@ -105,7 +104,7 @@ pub fn random_mrm(seed: u64, config: &RandomMrmConfig) -> Mrm {
         if from == to {
             continue; // Definition 3.1: no impulse on self-loops.
         }
-        let level = config.impulse_levels[rng.gen_range(0..config.impulse_levels.len())];
+        let level = config.impulse_levels[rng.range_usize(config.impulse_levels.len())];
         if level > 0.0 {
             iota.set(from, to, level).expect("levels are non-negative");
         }
@@ -166,9 +165,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two")]
     fn tiny_model_rejected() {
-        random_mrm(0, &RandomMrmConfig {
-            states: 1,
-            ..RandomMrmConfig::default()
-        });
+        random_mrm(
+            0,
+            &RandomMrmConfig {
+                states: 1,
+                ..RandomMrmConfig::default()
+            },
+        );
     }
 }

@@ -170,10 +170,8 @@ pub fn tmr(config: &TmrConfig) -> Mrm {
 
     let mut rewards = Vec::with_capacity(n);
     for m in 0..=m_max {
-        rewards.push(
-            config.base_state_reward
-                + config.per_failed_module_reward * (m_max - m) as f64,
-        );
+        rewards
+            .push(config.base_state_reward + config.per_failed_module_reward * (m_max - m) as f64);
     }
     rewards.push(config.vdown_state_reward);
     let rho = StateRewards::new(rewards).expect("rewards are non-negative");
@@ -265,10 +263,7 @@ mod tests {
         let c = TmrConfig::with_modules(1);
         let m = tmr(&c);
         // With one module the system can never be operational (needs 2).
-        assert_eq!(
-            m.labeling().states_with("Sup"),
-            vec![false, false, false]
-        );
+        assert_eq!(m.labeling().states_with("Sup"), vec![false, false, false]);
         assert_eq!(m.num_states(), 3);
     }
 }

@@ -136,9 +136,12 @@ mod tests {
 
     #[test]
     fn display_covers_variants() {
-        assert!(MrmError::InvalidStateReward { state: 1, value: -2.0 }
-            .to_string()
-            .contains("-2"));
+        assert!(MrmError::InvalidStateReward {
+            state: 1,
+            value: -2.0
+        }
+        .to_string()
+        .contains("-2"));
         assert!(MrmError::InvalidImpulseReward {
             from: 0,
             to: 1,
@@ -146,9 +149,12 @@ mod tests {
         }
         .to_string()
         .contains("0 -> 1"));
-        assert!(MrmError::SelfLoopImpulse { state: 3, value: 1.0 }
-            .to_string()
-            .contains("Definition 3.1"));
+        assert!(MrmError::SelfLoopImpulse {
+            state: 3,
+            value: 1.0
+        }
+        .to_string()
+        .contains("Definition 3.1"));
         assert!(MrmError::RewardSizeMismatch {
             states: 2,
             rewarded: 3

@@ -105,7 +105,12 @@ mod tests {
         assert!(s.contains("line 7"));
         assert!(s.contains("abc"));
 
-        let e = FormatError::new(1, FormatErrorKind::BadHeader { expected: "STATES n" });
+        let e = FormatError::new(
+            1,
+            FormatErrorKind::BadHeader {
+                expected: "STATES n",
+            },
+        );
         assert!(e.to_string().contains("STATES n"));
 
         let e = FormatError::new(

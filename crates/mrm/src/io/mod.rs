@@ -118,12 +118,7 @@ pub fn load_model(
         rewr: read(rewr)?,
         rewi: read(rewi)?,
     };
-    files.assemble_with(
-        fmt_err(tra),
-        fmt_err(lab),
-        fmt_err(rewr),
-        fmt_err(rewi),
-    )
+    files.assemble_with(fmt_err(tra), fmt_err(lab), fmt_err(rewr), fmt_err(rewi))
 }
 
 #[cfg(test)]
@@ -139,10 +134,7 @@ mod tests {
             std::fs::write(&p, content).unwrap();
             p
         };
-        let tra = write(
-            "m.tra",
-            "STATES 2\nTRANSITIONS 2\n1 2 0.5\n2 1 1.5\n",
-        );
+        let tra = write("m.tra", "STATES 2\nTRANSITIONS 2\n1 2 0.5\n2 1 1.5\n");
         let lab = write("m.lab", "#DECLARATION\nup down\n#END\n1 up\n2 down\n");
         let rewr = write("m.rewr", "1 2.0\n2 0.0\n");
         let rewi = write("m.rewi", "TRANSITIONS 1\n1 2 3.5\n");

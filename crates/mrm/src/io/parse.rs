@@ -144,15 +144,22 @@ pub fn parse_tra(text: &str) -> Result<TraContents, FormatError> {
         .enumerate()
         .filter_map(|(i, l)| clean(l).map(|c| (i + 1, c)));
 
-    let (l1, states_line) = lines
-        .next()
-        .ok_or_else(|| FormatError::new(0, FormatErrorKind::BadHeader { expected: "STATES n" }))?;
+    let (l1, states_line) = lines.next().ok_or_else(|| {
+        FormatError::new(
+            0,
+            FormatErrorKind::BadHeader {
+                expected: "STATES n",
+            },
+        )
+    })?;
     let num_states = match states_line.split_whitespace().collect::<Vec<_>>()[..] {
         ["STATES", n] => parse_usize(n, l1)?,
         _ => {
             return Err(FormatError::new(
                 l1,
-                FormatErrorKind::BadHeader { expected: "STATES n" },
+                FormatErrorKind::BadHeader {
+                    expected: "STATES n",
+                },
             ))
         }
     };
@@ -398,7 +405,9 @@ mod tests {
             FormatErrorKind::BadNumber { .. }
         ));
         assert!(matches!(
-            parse_tra("STATES 2\nTRANSITIONS 1\n1 2\n").unwrap_err().kind,
+            parse_tra("STATES 2\nTRANSITIONS 1\n1 2\n")
+                .unwrap_err()
+                .kind,
             FormatErrorKind::WrongFieldCount { .. }
         ));
         assert!(matches!(
@@ -426,11 +435,7 @@ mod tests {
 
     #[test]
     fn lab_happy_path() {
-        let l = parse_lab(
-            "#DECLARATION\nup down busy\n#END\n1 up\n2 down,busy\n",
-            2,
-        )
-        .unwrap();
+        let l = parse_lab("#DECLARATION\nup down busy\n#END\n1 up\n2 down,busy\n", 2).unwrap();
         assert!(l.has(0, "up"));
         assert!(l.has(1, "down"));
         assert!(l.has(1, "busy"));

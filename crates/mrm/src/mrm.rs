@@ -228,11 +228,7 @@ mod tests {
         b.transition(0, 1, 1.0);
         let ctmc = b.build().unwrap();
         assert!(matches!(
-            Mrm::new(
-                ctmc.clone(),
-                StateRewards::zero(3),
-                ImpulseRewards::new()
-            ),
+            Mrm::new(ctmc.clone(), StateRewards::zero(3), ImpulseRewards::new()),
             Err(MrmError::RewardSizeMismatch { .. })
         ));
         let mut iota = ImpulseRewards::new();

@@ -104,7 +104,10 @@ impl TimedPath {
     ///
     /// Panics if `t` is negative or non-finite.
     pub fn index_at(&self, t: f64) -> usize {
-        assert!(t.is_finite() && t >= 0.0, "time must be finite and non-negative");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "time must be finite and non-negative"
+        );
         if t == 0.0 {
             return 0;
         }

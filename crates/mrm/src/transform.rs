@@ -100,8 +100,7 @@ mod tests {
         let off = m.labeling().states_with("off");
         let union: Vec<bool> = busy.iter().zip(&off).map(|(&a, &b)| a || b).collect();
 
-        let sequential =
-            make_absorbing(&make_absorbing(&m, &busy).unwrap(), &off).unwrap();
+        let sequential = make_absorbing(&make_absorbing(&m, &busy).unwrap(), &off).unwrap();
         let joint = make_absorbing(&m, &union).unwrap();
         assert_eq!(sequential, joint);
     }

@@ -101,10 +101,7 @@ impl UniformizedMrm {
     /// # Panics
     ///
     /// Panics if `state` is out of bounds.
-    pub fn transitions(
-        &self,
-        state: usize,
-    ) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+    pub fn transitions(&self, state: usize) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
         let offset = self.row_offsets[state];
         self.probs
             .row(state)

@@ -361,7 +361,11 @@ mod tests {
         )
         .unwrap();
         let expect = 1.0 - (-2.0f64).exp();
-        assert!((res.probability - expect).abs() < 0.01, "{}", res.probability);
+        assert!(
+            (res.probability - expect).abs() < 0.01,
+            "{}",
+            res.probability
+        );
     }
 
     #[test]
@@ -441,9 +445,7 @@ mod tests {
         assert!(until_probability(&m, &phi, &psi, 1.0, f64::INFINITY, 2, opts).is_err());
         assert!(until_probability(&m, &phi, &psi, 1.0, -1.0, 2, opts).is_err());
         assert!(until_probability(&m, &[true], &psi, 1.0, 1.0, 2, opts).is_err());
-        assert!(
-            until_probability(&m, &phi, &psi, 1.0, 1.0, 99, opts).is_err()
-        );
+        assert!(until_probability(&m, &phi, &psi, 1.0, 1.0, 99, opts).is_err());
         // Step larger than t.
         assert!(until_probability(
             &m,

@@ -99,9 +99,11 @@ mod tests {
         }
         .to_string()
         .contains("truncation"));
-        assert!(NumericsError::UnsupportedBounds { what: "time lower bound" }
-            .to_string()
-            .contains("[0, t]"));
+        assert!(NumericsError::UnsupportedBounds {
+            what: "time lower bound"
+        }
+        .to_string()
+        .contains("[0, t]"));
         assert!(NumericsError::NonIntegerRewards { reward: 0.3 }
             .to_string()
             .contains("0.3"));

@@ -259,8 +259,8 @@ mod tests {
         let m = Mrm::new(ctmc, rho, iota).unwrap();
 
         let exact = expected_accumulated_reward_from(&m, 1, 2.0, 1e-12).unwrap();
-        let sim = estimate_expected_reward(&m, 2.0, 1, SimulationOptions::with_samples(40_000))
-            .unwrap();
+        let sim =
+            estimate_expected_reward(&m, 2.0, 1, SimulationOptions::with_samples(40_000)).unwrap();
         assert!(
             sim.is_consistent_with(exact, 4.5),
             "uniformization {exact} vs simulation {} ± {}",
@@ -278,18 +278,9 @@ mod tests {
         let ctmc = b.build().unwrap();
         let mut iota = ImpulseRewards::new();
         iota.set(1, 0, 8.0).unwrap();
-        let m = Mrm::new(
-            ctmc,
-            StateRewards::new(vec![2.0, 10.0]).unwrap(),
-            iota,
-        )
-        .unwrap();
-        let rate = long_run_reward_rate(
-            &m,
-            &[1.0, 0.0],
-            mrmc_sparse::solver::SolverOptions::new(),
-        )
-        .unwrap();
+        let m = Mrm::new(ctmc, StateRewards::new(vec![2.0, 10.0]).unwrap(), iota).unwrap();
+        let rate = long_run_reward_rate(&m, &[1.0, 0.0], mrmc_sparse::solver::SolverOptions::new())
+            .unwrap();
         let exact = 0.75 * 2.0 + 0.25 * 10.0 + 0.25 * 3.0 * 8.0;
         assert!((rate - exact).abs() < 1e-8, "{rate} vs {exact}");
     }
@@ -307,12 +298,8 @@ mod tests {
             ImpulseRewards::new(),
         )
         .unwrap();
-        let rate = long_run_reward_rate(
-            &m,
-            &[1.0, 0.0],
-            mrmc_sparse::solver::SolverOptions::new(),
-        )
-        .unwrap();
+        let rate = long_run_reward_rate(&m, &[1.0, 0.0], mrmc_sparse::solver::SolverOptions::new())
+            .unwrap();
         let t = 400.0;
         let ey = expected_accumulated_reward_from(&m, 0, t, 1e-12).unwrap();
         assert!((ey / t - rate).abs() < 0.01, "{} vs {rate}", ey / t);
@@ -331,12 +318,8 @@ mod tests {
             ImpulseRewards::new(),
         )
         .unwrap();
-        let rate = long_run_reward_rate(
-            &m,
-            &[1.0, 0.0],
-            mrmc_sparse::solver::SolverOptions::new(),
-        )
-        .unwrap();
+        let rate = long_run_reward_rate(&m, &[1.0, 0.0], mrmc_sparse::solver::SolverOptions::new())
+            .unwrap();
         assert!(rate.abs() < 1e-10);
     }
 

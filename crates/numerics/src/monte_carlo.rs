@@ -7,8 +7,7 @@
 //! reward accumulation along the sampled trajectory. The integration tests
 //! cross-check all three.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mrmc_sparse::rng::Xoshiro256StarStar;
 
 use mrmc_csrl::Interval;
 use mrmc_mrm::{Mrm, TimedPath};
@@ -114,14 +113,14 @@ fn validate(
 }
 
 /// Sample one sojourn time from `Exp(rate)`.
-fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
+fn sample_exp(rng: &mut Xoshiro256StarStar, rate: f64) -> f64 {
     // Inverse CDF on (0, 1]; `1 - gen::<f64>()` avoids ln(0).
-    -(1.0 - rng.gen::<f64>()).ln() / rate
+    -(1.0 - rng.next_f64()).ln() / rate
 }
 
 /// Pick the successor of `state` according to the race semantics.
-fn sample_successor(mrm: &Mrm, rng: &mut StdRng, state: usize, exit: f64) -> usize {
-    let mut u = rng.gen::<f64>() * exit;
+fn sample_successor(mrm: &Mrm, rng: &mut Xoshiro256StarStar, state: usize, exit: f64) -> usize {
+    let mut u = rng.next_f64() * exit;
     let mut last = state;
     for (target, rate) in mrm.ctmc().rates().row(state) {
         last = target;
@@ -138,7 +137,7 @@ fn sample_successor(mrm: &Mrm, rng: &mut StdRng, state: usize, exit: f64) -> usi
 /// `Φ U^{[0,t]}_{[0,r]} Ψ`.
 fn simulate_until(
     mrm: &Mrm,
-    rng: &mut StdRng,
+    rng: &mut Xoshiro256StarStar,
     phi: &[bool],
     psi: &[bool],
     t: f64,
@@ -206,7 +205,7 @@ pub fn estimate_until(
     options: SimulationOptions,
 ) -> Result<Estimate, NumericsError> {
     validate(mrm, phi, psi, t, r, start, &options)?;
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(options.seed);
     let mut hits = 0u64;
     for _ in 0..options.samples {
         if simulate_until(mrm, &mut rng, phi, psi, t, r, start) {
@@ -236,7 +235,7 @@ pub fn estimate_performability(
 ) -> Result<Estimate, NumericsError> {
     let all = vec![true; mrm.num_states()];
     validate(mrm, &all, &all, t, r, start, &options)?;
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(options.seed);
     let mut hits = 0u64;
     for _ in 0..options.samples {
         let y = sample_accumulated_reward(mrm, &mut rng, start, t);
@@ -266,7 +265,7 @@ pub fn estimate_expected_reward(
 ) -> Result<Estimate, NumericsError> {
     let all = vec![true; mrm.num_states()];
     validate(mrm, &all, &all, t, 0.0, start, &options)?;
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(options.seed);
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
     for _ in 0..options.samples {
@@ -285,7 +284,7 @@ pub fn estimate_expected_reward(
 }
 
 /// Sample `y_σ(t)` along one trajectory.
-fn sample_accumulated_reward(mrm: &Mrm, rng: &mut StdRng, start: usize, t: f64) -> f64 {
+fn sample_accumulated_reward(mrm: &Mrm, rng: &mut Xoshiro256StarStar, start: usize, t: f64) -> f64 {
     let mut state = start;
     let mut time = 0.0;
     let mut reward = 0.0;
@@ -331,12 +330,17 @@ pub fn sample_path(
             requirement: "must be finite and positive",
         });
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
     Ok(sample_path_with(mrm, &mut rng, start, horizon))
 }
 
 /// Internal sampler sharing one RNG across many trajectories.
-fn sample_path_with(mrm: &Mrm, rng: &mut StdRng, start: usize, horizon: f64) -> TimedPath {
+fn sample_path_with(
+    mrm: &Mrm,
+    rng: &mut Xoshiro256StarStar,
+    start: usize,
+    horizon: f64,
+) -> TimedPath {
     let mut states = vec![start];
     let mut sojourns = Vec::new();
     let mut time = 0.0;
@@ -384,7 +388,7 @@ pub fn estimate_until_general(
         });
     }
     let horizon = (time.hi() * 1.0000001).max(1e-9);
-    let mut rng = StdRng::seed_from_u64(options.seed);
+    let mut rng = Xoshiro256StarStar::seed_from_u64(options.seed);
     let mut hits = 0u64;
     for _ in 0..options.samples {
         let path = sample_path_with(mrm, &mut rng, start, horizon);
@@ -540,8 +544,7 @@ mod tests {
         iota.set(0, 1, 1.0).unwrap();
         let m = Mrm::new(ctmc, StateRewards::zero(2), iota).unwrap();
         let est =
-            estimate_expected_reward(&m, 1.0, 0, SimulationOptions::with_samples(60_000))
-                .unwrap();
+            estimate_expected_reward(&m, 1.0, 0, SimulationOptions::with_samples(60_000)).unwrap();
         let exact = 1.0 - (-2.0f64).exp();
         assert!(
             est.is_consistent_with(exact, 4.0),

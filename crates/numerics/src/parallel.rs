@@ -1,0 +1,696 @@
+//! Multi-threaded path exploration for the uniformization engine, built on
+//! `std::thread`/`std::sync` only.
+//!
+//! # Why this is safe to parallelize
+//!
+//! Algorithm 4.7 explores a tree of path prefixes; the subtree under any
+//! prefix depends only on that prefix's state, depth, probability, and
+//! `(k, j)` reward counts. Subtrees are therefore independent units of
+//! work. The only subtlety is floating-point reproducibility: the serial
+//! engine folds path probabilities into per-class totals and the Eq. 4.6
+//! error bound in DFS order, and floating-point addition is not
+//! associative, so naive "sum per worker, merge at the end" would give
+//! results that vary with the thread count.
+//!
+//! # Deterministic event-replay reduction
+//!
+//! This module sidesteps that with a three-phase design whose output is
+//! **bit-for-bit identical to the serial engine at any thread count**:
+//!
+//! 1. **Frontier (sequential).** A bounded DFS runs the ordinary visit
+//!    logic down to a cutoff depth. Instead of recursing past the cutoff it
+//!    records a [`Task`] — a snapshot of the pending subtree root (state,
+//!    depth, path probability, Poisson-weighted probability, and the
+//!    `(k, j)` counts). This snapshot is the *shared-prefix cache*: the
+//!    prefix's probability and reward counts are computed once here and
+//!    reused by whichever worker claims the subtree, instead of re-walking
+//!    the prefix. Store/error events emitted by the frontier itself and the
+//!    task markers are recorded in one ordered master list. Because a DFS
+//!    subtree occupies a contiguous interval of the serial event sequence,
+//!    this master list is exactly the serial event stream with each
+//!    deferred subtree collapsed to a placeholder.
+//! 2. **Workers (parallel).** `N` scoped threads claim tasks from an
+//!    atomic counter (a work queue with built-in load balancing — the
+//!    frontier is deepened until there are at least
+//!    `threads × chunk_size` tasks). Each worker runs the identical visit
+//!    logic on its subtree, recording its Store/error events *in order*
+//!    into a private buffer. Node counts are aggregated as plain integers
+//!    (order-insensitive).
+//! 3. **Replay (sequential).** The master list is replayed in order; task
+//!    placeholders are spliced with the owning worker's event buffer. The
+//!    result is the exact serial event order, applied to the same
+//!    Kahan-compensated accumulators ([`PathClasses`]) the serial engine
+//!    uses — hence bitwise equality, which the tests assert with
+//!    `to_bits()`.
+//!
+//! The second parallel surface is Eq. 4.5 itself: the per-class
+//! conditional probabilities `Ω(r', k)` are pure functions of their inputs
+//! (memoization only avoids recomputation), so [`omega_terms`] computes
+//! them with per-worker [`OmegaEvaluator`]s and the caller folds the terms
+//! in class order — again identical to the serial fold.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use mrmc_ctmc::poisson;
+use mrmc_mrm::UniformizedMrm;
+
+use crate::error::NumericsError;
+use crate::omega::OmegaEvaluator;
+use crate::path_classes::PathClasses;
+use crate::reward_structure::RewardClasses;
+use crate::uniformization::UniformOptions;
+
+/// Deepest frontier cutoff tried when hunting for enough tasks; bounds the
+/// cost of iterative deepening on degenerate (chain-like) models.
+const MAX_CUTOFF: u64 = 16;
+
+/// Everything the visit logic reads, shared immutably across workers.
+struct ExploreCtx<'a> {
+    uni: &'a UniformizedMrm,
+    rc: &'a RewardClasses,
+    phi: &'a [bool],
+    psi: &'a [bool],
+    lambda_t: f64,
+    w: f64,
+    max_depth: u64,
+    /// `max_m ψ_m(Λt)` for potential-based pruning (`None` = literal rule).
+    mode_pmf: Option<f64>,
+}
+
+/// The mutable `(k, j)` reward-count vectors threaded through the DFS.
+struct Counts {
+    k: Vec<u32>,
+    j: Vec<u32>,
+}
+
+/// A deferred subtree: the cached shared prefix (probabilities and reward
+/// counts) a worker resumes from.
+struct Task {
+    state: usize,
+    n: u64,
+    path_prob: f64,
+    weighted: f64,
+    k: Box<[u32]>,
+    j: Box<[u32]>,
+}
+
+/// An ordered accumulation event; replaying these in serial order is what
+/// makes the reduction exact.
+enum Event {
+    /// A Ψ-ending prefix: add `prob` to class `(k, j)`.
+    Store {
+        k: Box<[u32]>,
+        j: Box<[u32]>,
+        prob: f64,
+    },
+    /// A truncated prefix's Eq. 4.6 error contribution.
+    Error(f64),
+}
+
+/// One entry of the frontier's master list: an own event or a placeholder
+/// for a deferred subtree.
+enum MasterItem {
+    Event(Event),
+    Task(usize),
+}
+
+/// Where the visit logic reports its findings. The three implementations
+/// (direct-to-`PathClasses`, frontier recorder, worker recorder) share the
+/// identical traversal, so the event streams they see are the same.
+trait Sink {
+    fn node(&mut self, depth: u64);
+    fn store(&mut self, k: &[u32], j: &[u32], prob: f64);
+    fn error(&mut self, contribution: f64);
+    /// Offer a child subtree for deferral *before* recursion; returning
+    /// `true` claims it (frontier), `false` lets the DFS recurse inline.
+    fn offer(
+        &mut self,
+        state: usize,
+        n: u64,
+        path_prob: f64,
+        weighted: f64,
+        counts: &Counts,
+    ) -> bool;
+}
+
+/// Serial sink: apply events straight to the accumulators. With this sink
+/// the traversal is exactly the legacy recursive engine.
+struct DirectSink<'a>(&'a mut PathClasses);
+
+impl Sink for DirectSink<'_> {
+    fn node(&mut self, depth: u64) {
+        self.0.count_node(depth);
+    }
+    fn store(&mut self, k: &[u32], j: &[u32], prob: f64) {
+        self.0.store(k, j, prob);
+    }
+    fn error(&mut self, contribution: f64) {
+        self.0.add_error(contribution);
+    }
+    fn offer(&mut self, _: usize, _: u64, _: f64, _: f64, _: &Counts) -> bool {
+        false
+    }
+}
+
+/// Frontier sink: record own events and defer subtrees below the cutoff.
+struct FrontierSink {
+    cutoff: u64,
+    master: Vec<MasterItem>,
+    tasks: Vec<Task>,
+    nodes: u64,
+    deepest: u64,
+}
+
+impl Sink for FrontierSink {
+    fn node(&mut self, depth: u64) {
+        self.nodes += 1;
+        self.deepest = self.deepest.max(depth);
+    }
+    fn store(&mut self, k: &[u32], j: &[u32], prob: f64) {
+        self.master.push(MasterItem::Event(Event::Store {
+            k: k.to_vec().into_boxed_slice(),
+            j: j.to_vec().into_boxed_slice(),
+            prob,
+        }));
+    }
+    fn error(&mut self, contribution: f64) {
+        self.master
+            .push(MasterItem::Event(Event::Error(contribution)));
+    }
+    fn offer(
+        &mut self,
+        state: usize,
+        n: u64,
+        path_prob: f64,
+        weighted: f64,
+        counts: &Counts,
+    ) -> bool {
+        if n < self.cutoff {
+            return false;
+        }
+        let idx = self.tasks.len();
+        self.tasks.push(Task {
+            state,
+            n,
+            path_prob,
+            weighted,
+            k: counts.k.clone().into_boxed_slice(),
+            j: counts.j.clone().into_boxed_slice(),
+        });
+        self.master.push(MasterItem::Task(idx));
+        true
+    }
+}
+
+/// Worker sink: record this subtree's events in traversal order.
+#[derive(Default)]
+struct WorkerSink {
+    events: Vec<Event>,
+    nodes: u64,
+    deepest: u64,
+}
+
+impl Sink for WorkerSink {
+    fn node(&mut self, depth: u64) {
+        self.nodes += 1;
+        self.deepest = self.deepest.max(depth);
+    }
+    fn store(&mut self, k: &[u32], j: &[u32], prob: f64) {
+        self.events.push(Event::Store {
+            k: k.to_vec().into_boxed_slice(),
+            j: j.to_vec().into_boxed_slice(),
+            prob,
+        });
+    }
+    fn error(&mut self, contribution: f64) {
+        self.events.push(Event::Error(contribution));
+    }
+    fn offer(&mut self, _: usize, _: u64, _: f64, _: f64, _: &Counts) -> bool {
+        false
+    }
+}
+
+/// The visit logic of Algorithm 4.7, byte-for-byte the arithmetic of the
+/// serial engine; only the destination of events is abstracted.
+fn visit<S: Sink>(
+    ctx: &ExploreCtx<'_>,
+    counts: &mut Counts,
+    sink: &mut S,
+    s: usize,
+    n: u64,
+    path_prob: f64,
+    weighted: f64,
+) {
+    sink.node(n);
+    if ctx.psi[s] {
+        sink.store(&counts.k, &counts.j, path_prob);
+    }
+    let next_factor = ctx.lambda_t / (n + 1) as f64;
+    for (target, p, impulse) in ctx.uni.transitions(s) {
+        // Line 1 of Algorithm 4.7: (¬Φ ∧ ¬Ψ)-states end exploration and
+        // can never satisfy the formula — no error contribution either.
+        if !ctx.phi[target] && !ctx.psi[target] {
+            continue;
+        }
+        let child_path = path_prob * p;
+        let child_weighted = weighted * next_factor * p;
+        // Literal rule: prune on P(σ, t) < w. Potential rule: prune only
+        // when no extension of σ can reach weight w any more.
+        let prune = match ctx.mode_pmf {
+            None => child_weighted < ctx.w,
+            Some(mode) => {
+                let best = if (n + 1) as f64 >= ctx.lambda_t {
+                    child_weighted
+                } else {
+                    child_path * mode
+                };
+                best < ctx.w
+            }
+        };
+        if prune || n + 1 > ctx.max_depth {
+            // Eq. 4.6: discarding σ' and all suffixes loses at most
+            // P(σ')·Pr{N ≥ n + 1} probability mass.
+            sink.error(child_path * poisson::upper_tail(ctx.lambda_t, n + 1));
+            continue;
+        }
+        let sc = ctx.rc.state_class(target);
+        let ic = ctx.rc.impulse_class(impulse);
+        counts.k[sc] += 1;
+        counts.j[ic] += 1;
+        if !sink.offer(target, n + 1, child_path, child_weighted, counts) {
+            visit(ctx, counts, sink, target, n + 1, child_path, child_weighted);
+        }
+        counts.k[sc] -= 1;
+        counts.j[ic] -= 1;
+    }
+}
+
+/// Run Algorithm 4.7 from `start`, serially (`threads ≤ 1`) or with the
+/// frontier/worker/replay pipeline. Identical output either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn explore(
+    uni: &UniformizedMrm,
+    classes_def: &RewardClasses,
+    phi: &[bool],
+    psi: &[bool],
+    start: usize,
+    lambda_t: f64,
+    options: &UniformOptions,
+) -> PathClasses {
+    let ctx = ExploreCtx {
+        uni,
+        rc: classes_def,
+        phi,
+        psi,
+        lambda_t,
+        w: options.truncation,
+        max_depth: options.max_depth,
+        mode_pmf: options
+            .improved_pruning
+            .then(|| poisson::pmf(lambda_t, lambda_t.floor() as u64)),
+    };
+
+    let mut out = PathClasses::new();
+    if !phi[start] && !psi[start] {
+        return out;
+    }
+    let root_weight = (-lambda_t).exp();
+    let root_pruned = match ctx.mode_pmf {
+        None => root_weight < ctx.w,
+        Some(mode) => mode < ctx.w,
+    };
+    if root_pruned {
+        // Even the empty path is below the truncation probability: the
+        // whole computation is truncated mass.
+        out.add_error(1.0);
+        return out;
+    }
+
+    let threads = options.parallel.effective_threads();
+    let fresh_counts = || {
+        let mut c = Counts {
+            k: vec![0; classes_def.num_state_classes()],
+            j: vec![0; classes_def.num_impulse_classes()],
+        };
+        c.k[classes_def.state_class(start)] = 1;
+        c
+    };
+
+    if threads <= 1 {
+        let mut counts = fresh_counts();
+        let mut sink = DirectSink(&mut out);
+        visit(&ctx, &mut counts, &mut sink, start, 0, 1.0, root_weight);
+        return out;
+    }
+
+    // Phase 1: frontier. Deepen the cutoff until the task pool is large
+    // enough to keep every worker busy through the atomic work queue.
+    let target_tasks = threads * options.parallel.chunk_size.max(1);
+    let mut frontier = FrontierSink {
+        cutoff: 1,
+        master: Vec::new(),
+        tasks: Vec::new(),
+        nodes: 0,
+        deepest: 0,
+    };
+    for cutoff in 1..=MAX_CUTOFF {
+        frontier = FrontierSink {
+            cutoff,
+            master: Vec::new(),
+            tasks: Vec::new(),
+            nodes: 0,
+            deepest: 0,
+        };
+        let mut counts = fresh_counts();
+        visit(&ctx, &mut counts, &mut frontier, start, 0, 1.0, root_weight);
+        if frontier.tasks.len() >= target_tasks || frontier.tasks.is_empty() {
+            break;
+        }
+    }
+    out.add_node_stats(frontier.nodes, frontier.deepest);
+
+    // Phase 2: workers drain the task queue.
+    let results = run_workers(&ctx, &frontier.tasks, threads);
+
+    // Phase 3: ordered replay — the exact serial event sequence.
+    for item in frontier.master {
+        match item {
+            MasterItem::Event(ev) => apply(&mut out, &ev),
+            MasterItem::Task(i) => {
+                let w = &results[i];
+                out.add_node_stats(w.nodes, w.deepest);
+                for ev in &w.events {
+                    apply(&mut out, ev);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn apply(out: &mut PathClasses, ev: &Event) {
+    match ev {
+        Event::Store { k, j, prob } => out.store(k, j, *prob),
+        Event::Error(e) => out.add_error(*e),
+    }
+}
+
+/// Scoped worker pool: an atomic index is the work queue, an mpsc channel
+/// carries each finished subtree's event buffer back by task index.
+fn run_workers(ctx: &ExploreCtx<'_>, tasks: &[Task], threads: usize) -> Vec<WorkerSink> {
+    let mut slots: Vec<Option<WorkerSink>> = Vec::new();
+    slots.resize_with(tasks.len(), || None);
+    let next = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, WorkerSink)>();
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(i) else { break };
+                let mut counts = Counts {
+                    k: task.k.to_vec(),
+                    j: task.j.to_vec(),
+                };
+                let mut sink = WorkerSink::default();
+                visit(
+                    ctx,
+                    &mut counts,
+                    &mut sink,
+                    task.state,
+                    task.n,
+                    task.path_prob,
+                    task.weighted,
+                );
+                if tx.send((i, sink)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, sink) in rx {
+            slots[i] = Some(sink);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker completed every claimed task"))
+        .collect()
+}
+
+/// One Eq. 4.5 term request: threshold `r'`, Omega counts `k`, and the
+/// weight `ψ_n(Λt)·P(σ)` the conditional probability is multiplied by.
+pub(crate) struct TermRequest<'a> {
+    /// Effective Omega threshold `r'` (Eq. 4.10); may be `+∞`.
+    pub r_prime: f64,
+    /// Residence counts per reward class.
+    pub k: &'a [u32],
+    /// `ψ_n(Λt) · P(σ)`.
+    pub weight: f64,
+}
+
+/// Compute `weight · Ω(r', k)` for every request, in request order.
+///
+/// With `threads ≤ 1` a single evaluator runs sequentially; otherwise the
+/// request list is split into contiguous ranges, one per worker, each with
+/// a private [`OmegaEvaluator`] (the memo cache is per-worker). Ω is a
+/// deterministic pure function of `(r', k)` — memoization only avoids
+/// recomputation — so the assembled term vector is independent of the
+/// thread count, and the caller's ordered fold stays exact.
+pub(crate) fn omega_terms(
+    requests: &[TermRequest<'_>],
+    coefficients: Vec<f64>,
+    threads: usize,
+) -> Result<Vec<f64>, NumericsError> {
+    if threads <= 1 || requests.len() < 2 * threads {
+        let mut omega = OmegaEvaluator::new(coefficients)?;
+        return Ok(requests
+            .iter()
+            .map(|rq| rq.weight * omega.evaluate(rq.r_prime, rq.k))
+            .collect());
+    }
+
+    // Validate the coefficient list once up front so workers cannot fail.
+    OmegaEvaluator::new(coefficients.clone())?;
+    let per = requests.len().div_ceil(threads);
+    let mut terms = vec![0.0; requests.len()];
+    thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
+        for chunk_start in (0..requests.len()).step_by(per) {
+            let tx = tx.clone();
+            let coeffs = coefficients.clone();
+            let chunk = &requests[chunk_start..(chunk_start + per).min(requests.len())];
+            scope.spawn(move || {
+                let mut omega = OmegaEvaluator::new(coeffs).expect("coefficients validated above");
+                let out: Vec<f64> = chunk
+                    .iter()
+                    .map(|rq| rq.weight * omega.evaluate(rq.r_prime, rq.k))
+                    .collect();
+                let _ = tx.send((chunk_start, out));
+            });
+        }
+        drop(tx);
+        for (start, chunk_terms) in rx {
+            terms[start..start + chunk_terms.len()].copy_from_slice(&chunk_terms);
+        }
+    });
+    Ok(terms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniformization::{
+        generate_path_classes, until_probability, ParallelOptions, UniformOptions,
+    };
+    use mrmc_ctmc::CtmcBuilder;
+    use mrmc_mrm::{transform::make_absorbing, ImpulseRewards, Mrm, StateRewards};
+
+    fn wavelan() -> Mrm {
+        let mut b = CtmcBuilder::new(5);
+        b.transition(0, 1, 0.1);
+        b.transition(1, 0, 0.05).transition(1, 2, 5.0);
+        b.transition(2, 1, 12.0)
+            .transition(2, 3, 1.5)
+            .transition(2, 4, 0.75);
+        b.transition(3, 2, 10.0);
+        b.transition(4, 2, 15.0);
+        b.label(2, "idle");
+        b.label(3, "busy");
+        b.label(4, "busy");
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![0.0, 80.0, 1319.0, 1675.0, 1425.0]).unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(1, 2, 0.32975).unwrap();
+        iota.set(2, 3, 0.42545).unwrap();
+        iota.set(2, 4, 0.36195).unwrap();
+        Mrm::new(ctmc, rho, iota).unwrap()
+    }
+
+    fn assert_classes_identical(a: &PathClasses, b: &PathClasses) {
+        assert_eq!(a.num_classes(), b.num_classes());
+        assert_eq!(a.stored_paths(), b.stored_paths());
+        assert_eq!(a.truncated_paths(), b.truncated_paths());
+        assert_eq!(a.explored_nodes(), b.explored_nodes());
+        assert_eq!(a.max_depth(), b.max_depth());
+        assert_eq!(a.error_bound().to_bits(), b.error_bound().to_bits());
+        for ((ka, va), (kb, vb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ka, kb);
+            assert_eq!(va.to_bits(), vb.to_bits(), "class {ka:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_is_bitwise_identical_to_serial() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let absorb: Vec<bool> = phi.iter().zip(&psi).map(|(&p, &q)| !p || q).collect();
+        let absorbed = make_absorbing(&m, &absorb).unwrap();
+        let uni = UniformizedMrm::new(&absorbed, None).unwrap();
+        let rc = RewardClasses::new(&uni);
+        let lambda_t = uni.lambda() * 0.8;
+
+        let serial_opts = UniformOptions::new().with_truncation(1e-10);
+        let serial = generate_path_classes(&uni, &rc, &phi, &psi, 2, lambda_t, &serial_opts);
+        assert!(serial.num_classes() > 0);
+
+        for threads in [2, 4, 8] {
+            let par_opts = serial_opts.with_threads(threads);
+            let parallel = generate_path_classes(&uni, &rc, &phi, &psi, 2, lambda_t, &par_opts);
+            assert_classes_identical(&serial, &parallel);
+        }
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_the_result() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let absorb: Vec<bool> = phi.iter().zip(&psi).map(|(&p, &q)| !p || q).collect();
+        let absorbed = make_absorbing(&m, &absorb).unwrap();
+        let uni = UniformizedMrm::new(&absorbed, None).unwrap();
+        let rc = RewardClasses::new(&uni);
+        let lambda_t = uni.lambda() * 0.6;
+
+        let base = UniformOptions::new().with_truncation(1e-9);
+        let serial = generate_path_classes(&uni, &rc, &phi, &psi, 2, lambda_t, &base);
+        for chunk_size in [1, 2, 32] {
+            let opts = base.with_parallel(ParallelOptions {
+                threads: 3,
+                chunk_size,
+            });
+            let got = generate_path_classes(&uni, &rc, &phi, &psi, 2, lambda_t, &opts);
+            assert_classes_identical(&serial, &got);
+        }
+    }
+
+    #[test]
+    fn parallel_until_probability_is_bitwise_identical() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let serial = until_probability(
+            &m,
+            &phi,
+            &psi,
+            1.0,
+            2000.0,
+            2,
+            UniformOptions::new().with_truncation(1e-11),
+        )
+        .unwrap();
+        for threads in [2, 4, 8] {
+            let par = until_probability(
+                &m,
+                &phi,
+                &psi,
+                1.0,
+                2000.0,
+                2,
+                UniformOptions::new()
+                    .with_truncation(1e-11)
+                    .with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(
+                serial.probability.to_bits(),
+                par.probability.to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(serial.error_bound.to_bits(), par.error_bound.to_bits());
+            assert_eq!(serial.num_classes, par.num_classes);
+            assert_eq!(serial.explored_nodes, par.explored_nodes);
+            assert_eq!(serial.stored_paths, par.stored_paths);
+        }
+    }
+
+    #[test]
+    fn degenerate_chain_still_works_in_parallel() {
+        // A pure chain has branching factor 1: the frontier can never
+        // gather many tasks, and the cutoff cap must end the deepening.
+        let mut b = CtmcBuilder::new(4);
+        b.transition(0, 1, 1.0)
+            .transition(1, 2, 1.0)
+            .transition(2, 3, 1.0);
+        b.label(3, "goal");
+        let m = Mrm::without_rewards(b.build().unwrap());
+        let phi = vec![true; 4];
+        let psi = m.labeling().states_with("goal");
+        let serial =
+            until_probability(&m, &phi, &psi, 1.0, 10.0, 0, UniformOptions::new()).unwrap();
+        let par = until_probability(
+            &m,
+            &phi,
+            &psi,
+            1.0,
+            10.0,
+            0,
+            UniformOptions::new().with_threads(4),
+        )
+        .unwrap();
+        assert_eq!(serial.probability.to_bits(), par.probability.to_bits());
+    }
+
+    #[test]
+    fn omega_terms_match_between_serial_and_parallel() {
+        let coeffs = vec![4.0, 1.5, 0.0];
+        let counts: Vec<Vec<u32>> = (0..40)
+            .map(|i| vec![1 + (i % 3) as u32, (i % 4) as u32, 1 + (i % 2) as u32])
+            .collect();
+        let requests: Vec<TermRequest<'_>> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, k)| TermRequest {
+                r_prime: 0.3 + 0.1 * i as f64,
+                k,
+                weight: 1.0 / (1 + i) as f64,
+            })
+            .collect();
+        let serial = omega_terms(&requests, coeffs.clone(), 1).unwrap();
+        for threads in [2, 4, 8] {
+            let par = omega_terms(&requests, coeffs.clone(), threads).unwrap();
+            assert_eq!(serial.len(), par.len());
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "term {i}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_options_defaults_and_auto_detect() {
+        let p = ParallelOptions::new();
+        assert_eq!(p.threads, 1);
+        assert!(p.chunk_size >= 1);
+        assert_eq!(p.effective_threads(), 1);
+        // 0 = auto-detect; always at least one thread.
+        let auto = ParallelOptions {
+            threads: 0,
+            chunk_size: 8,
+        };
+        assert!(auto.effective_threads() >= 1);
+    }
+}

@@ -7,6 +7,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::kahan::KahanSum;
+
 /// The `(k, j)` characterization of a path class; the path length `n` is
 /// implicit (`Σ k_i = n + 1`).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -29,9 +31,12 @@ impl PathClassKey {
 #[derive(Debug, Clone, Default)]
 pub struct PathClasses {
     /// Ordered map so iteration (and hence floating-point summation order
-    /// in Eq. 4.5) is deterministic across runs.
-    classes: BTreeMap<PathClassKey, f64>,
-    error_bound: f64,
+    /// in Eq. 4.5) is deterministic across runs. Per-class probabilities
+    /// are Kahan-compensated: together with the parallel engine's ordered
+    /// event replay, identical addition order yields bit-identical values
+    /// at any thread count.
+    classes: BTreeMap<PathClassKey, KahanSum>,
+    error_bound: KahanSum,
     stored_paths: u64,
     truncated_paths: u64,
     explored_nodes: u64,
@@ -51,13 +56,13 @@ impl PathClasses {
             k: k.to_vec().into_boxed_slice(),
             j: j.to_vec().into_boxed_slice(),
         };
-        *self.classes.entry(key).or_insert(0.0) += path_probability;
+        self.classes.entry(key).or_default().add(path_probability);
         self.stored_paths += 1;
     }
 
     /// Record the error contribution of a truncated path (Eq. 4.6).
     pub fn add_error(&mut self, contribution: f64) {
-        self.error_bound += contribution;
+        self.error_bound.add(contribution);
         self.truncated_paths += 1;
     }
 
@@ -67,9 +72,18 @@ impl PathClasses {
         self.max_depth = self.max_depth.max(depth);
     }
 
+    /// Merge bulk exploration statistics (explored-node count and deepest
+    /// level). Used by the parallel engine's reduction, where workers count
+    /// nodes locally — both quantities are order-insensitive integers, so
+    /// bulk merging cannot perturb determinism.
+    pub fn add_node_stats(&mut self, explored_nodes: u64, max_depth: u64) {
+        self.explored_nodes += explored_nodes;
+        self.max_depth = self.max_depth.max(max_depth);
+    }
+
     /// Iterate `(class, accumulated P(σ))` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&PathClassKey, f64)> {
-        self.classes.iter().map(|(k, &v)| (k, v))
+        self.classes.iter().map(|(k, v)| (k, v.value()))
     }
 
     /// Number of distinct `(k, j)` classes.
@@ -79,7 +93,7 @@ impl PathClasses {
 
     /// The accumulated truncation error bound `E` of Eq. 4.6.
     pub fn error_bound(&self) -> f64 {
-        self.error_bound
+        self.error_bound.value()
     }
 
     /// Number of stored (satisfying) path prefixes.
@@ -141,5 +155,15 @@ mod tests {
         assert_eq!(pc.truncated_paths(), 2);
         assert_eq!(pc.explored_nodes(), 3);
         assert_eq!(pc.max_depth(), 5);
+    }
+
+    #[test]
+    fn bulk_node_stats_merge() {
+        let mut pc = PathClasses::new();
+        pc.count_node(2);
+        pc.add_node_stats(10, 7);
+        pc.add_node_stats(5, 3);
+        assert_eq!(pc.explored_nodes(), 16);
+        assert_eq!(pc.max_depth(), 7);
     }
 }

@@ -256,14 +256,17 @@ mod tests {
         let in_window = Interval::new(170.0, 180.0).unwrap();
         assert!(until_holds(&m, &p, &phi, &psi, &in_window, &Interval::unbounded()).unwrap());
         let between_visits = Interval::new(198.0, 207.0).unwrap();
-        assert!(
-            !until_holds(&m, &p, &phi, &psi, &between_visits, &Interval::unbounded()).unwrap()
-        );
+        assert!(!until_holds(&m, &p, &phi, &psi, &between_visits, &Interval::unbounded()).unwrap());
         let after_everything = Interval::new(1000.0, 2000.0).unwrap();
-        assert!(
-            !until_holds(&m, &p, &phi, &psi, &after_everything, &Interval::unbounded())
-                .unwrap()
-        );
+        assert!(!until_holds(
+            &m,
+            &p,
+            &phi,
+            &psi,
+            &after_everything,
+            &Interval::unbounded()
+        )
+        .unwrap());
     }
 
     #[test]
@@ -351,8 +354,14 @@ mod tests {
             &Interval::upto(1.0),
         )
         .unwrap());
-        assert!(!next_holds(&m, &p, &busy, &Interval::unbounded(), &Interval::unbounded())
-            .unwrap());
+        assert!(!next_holds(
+            &m,
+            &p,
+            &busy,
+            &Interval::unbounded(),
+            &Interval::unbounded()
+        )
+        .unwrap());
         assert!(!next_holds(
             &m,
             &p,
@@ -372,8 +381,14 @@ mod tests {
         .unwrap());
         // Single-state path: σ[1] undefined.
         let single = TimedPath::new(vec![0], vec![]).unwrap();
-        assert!(!next_holds(&m, &single, &sleep, &Interval::unbounded(), &Interval::unbounded())
-            .unwrap());
+        assert!(!next_holds(
+            &m,
+            &single,
+            &sleep,
+            &Interval::unbounded(),
+            &Interval::unbounded()
+        )
+        .unwrap());
     }
 
     #[test]
@@ -389,7 +404,13 @@ mod tests {
             &Interval::unbounded(),
         )
         .is_err());
-        assert!(next_holds(&m, &p, &[true], &Interval::unbounded(), &Interval::unbounded())
-            .is_err());
+        assert!(next_holds(
+            &m,
+            &p,
+            &[true],
+            &Interval::unbounded(),
+            &Interval::unbounded()
+        )
+        .is_err());
     }
 }

@@ -104,7 +104,10 @@ impl RewardClasses {
 
     /// The smallest distinct state reward `r_{K+1}`.
     pub fn min_state_reward(&self) -> f64 {
-        *self.state_rewards.last().expect("non-empty by construction")
+        *self
+            .state_rewards
+            .last()
+            .expect("non-empty by construction")
     }
 
     /// The Omega coefficients `c_l = r_l − r_{K+1}` (strictly decreasing,

@@ -18,9 +18,56 @@ use mrmc_ctmc::poisson;
 use mrmc_mrm::{transform::make_absorbing, Mrm, UniformizedMrm};
 
 use crate::error::NumericsError;
-use crate::omega::OmegaEvaluator;
+use crate::kahan::KahanSum;
+use crate::parallel::{self, TermRequest};
 use crate::path_classes::PathClasses;
 use crate::reward_structure::RewardClasses;
+
+/// Threading options for the path-exploration engine.
+///
+/// The parallel engine (module [`parallel`](crate::parallel)) is
+/// **deterministic**: for any `threads` and `chunk_size` the result is
+/// bit-for-bit identical to the serial engine, so these knobs only trade
+/// wall-clock time, never accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelOptions {
+    /// Number of worker threads. `1` (the default) runs the serial engine;
+    /// `0` auto-detects the available CPU parallelism.
+    pub threads: usize,
+    /// Target number of work items *per thread*: the sequential frontier
+    /// pass is deepened until at least `threads × chunk_size` subtrees are
+    /// available, so the atomic work queue can balance uneven subtree
+    /// sizes. Default `8`.
+    pub chunk_size: usize,
+}
+
+impl ParallelOptions {
+    /// Serial defaults: one thread, chunk size 8.
+    pub fn new() -> Self {
+        ParallelOptions {
+            threads: 1,
+            chunk_size: 8,
+        }
+    }
+
+    /// The actual worker count: resolves `threads == 0` to the available
+    /// CPU parallelism (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for ParallelOptions {
+    fn default() -> Self {
+        ParallelOptions::new()
+    }
+}
 
 /// Options for the uniformization engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,6 +92,9 @@ pub struct UniformOptions {
     /// when `P(σ)·max_{m ≥ n} ψ_m(Λt) < w`. Off by default for fidelity;
     /// the ablation bench compares both rules.
     pub improved_pruning: bool,
+    /// Threading configuration; serial by default. Any setting produces
+    /// bit-identical results (see [`ParallelOptions`]).
+    pub parallel: ParallelOptions,
 }
 
 impl UniformOptions {
@@ -55,6 +105,7 @@ impl UniformOptions {
             lambda: None,
             max_depth: 1_000_000,
             improved_pruning: false,
+            parallel: ParallelOptions::new(),
         }
     }
 
@@ -74,6 +125,18 @@ impl UniformOptions {
     /// [`improved_pruning`](UniformOptions::improved_pruning)).
     pub fn with_improved_pruning(mut self) -> Self {
         self.improved_pruning = true;
+        self
+    }
+
+    /// Set the worker-thread count (`0` = auto-detect, `1` = serial).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallel.threads = threads;
+        self
+    }
+
+    /// Replace the full threading configuration.
+    pub fn with_parallel(mut self, parallel: ParallelOptions) -> Self {
+        self.parallel = parallel;
         self
     }
 }
@@ -189,11 +252,7 @@ pub fn until_probability(
     }
 
     // Theorem 4.1: absorb (¬Φ ∨ Ψ)-states.
-    let absorb: Vec<bool> = phi
-        .iter()
-        .zip(psi)
-        .map(|(&p, &q)| !p || q)
-        .collect();
+    let absorb: Vec<bool> = phi.iter().zip(psi).map(|(&p, &q)| !p || q).collect();
     let absorbed = make_absorbing(mrm, &absorb)?;
     let uni = UniformizedMrm::new(&absorbed, options.lambda)?;
     let classes_def = RewardClasses::new(&uni);
@@ -207,7 +266,14 @@ pub fn until_probability(
         uni.lambda() * t,
         &options,
     );
-    evaluate_classes(&classes, &classes_def, uni.lambda() * t, t, r)
+    evaluate_classes(
+        &classes,
+        &classes_def,
+        uni.lambda() * t,
+        t,
+        r,
+        options.parallel.effective_threads(),
+    )
 }
 
 /// Evaluate `P^M(s, Φ U^{[0,t]}_{[0,r]} Ψ)` for **every** state, sharing
@@ -256,16 +322,15 @@ pub fn until_probabilities_all(
             out.push(zero(false));
             continue;
         }
-        let classes = generate_path_classes(
-            &uni,
+        let classes = generate_path_classes(&uni, &classes_def, phi, psi, s, lambda_t, &options);
+        out.push(evaluate_classes(
+            &classes,
             &classes_def,
-            phi,
-            psi,
-            s,
             lambda_t,
-            &options,
-        );
-        out.push(evaluate_classes(&classes, &classes_def, lambda_t, t, r)?);
+            t,
+            r,
+            options.parallel.effective_threads(),
+        )?);
     }
     Ok(out)
 }
@@ -307,12 +372,23 @@ pub fn performability(
         uni.lambda() * t,
         &options,
     );
-    evaluate_classes(&classes, &classes_def, uni.lambda() * t, t, r)
+    evaluate_classes(
+        &classes,
+        &classes_def,
+        uni.lambda() * t,
+        t,
+        r,
+        options.parallel.effective_threads(),
+    )
 }
 
 /// Run Algorithm 4.7 (depth-first path generation) and return the aggregated
 /// path classes. Exposed publicly so the exploration itself can be tested
 /// and benchmarked (Figure 4.3).
+///
+/// With `options.parallel.threads > 1` the exploration runs on the
+/// multi-threaded engine of the [`parallel`](crate::parallel) module; the
+/// result is bit-for-bit identical to the serial run.
 #[allow(clippy::too_many_arguments)]
 pub fn generate_path_classes(
     uni: &UniformizedMrm,
@@ -323,137 +399,54 @@ pub fn generate_path_classes(
     lambda_t: f64,
     options: &UniformOptions,
 ) -> PathClasses {
-    let truncation = options.truncation;
-    let max_depth = options.max_depth;
-    struct Ctx<'a> {
-        uni: &'a UniformizedMrm,
-        rc: &'a RewardClasses,
-        phi: &'a [bool],
-        psi: &'a [bool],
-        lambda_t: f64,
-        w: f64,
-        max_depth: u64,
-        /// `max_m ψ_m(Λt)` — the Poisson weight at the mode, used by
-        /// potential-based pruning (`None` for the thesis' literal rule).
-        mode_pmf: Option<f64>,
-    }
-    struct DfsState {
-        k: Vec<u32>,
-        j: Vec<u32>,
-        out: PathClasses,
-    }
-
-    /// Visit a node whose weighted probability `P(σ, t) = ψ_n(Λt)·P(σ)` is
-    /// already known to be at least `w`.
-    fn visit(ctx: &Ctx<'_>, st: &mut DfsState, s: usize, n: u64, path_prob: f64, weighted: f64) {
-        st.out.count_node(n);
-        if ctx.psi[s] {
-            st.out.store(&st.k, &st.j, path_prob);
-        }
-        let next_factor = ctx.lambda_t / (n + 1) as f64;
-        for (target, p, impulse) in ctx.uni.transitions(s) {
-            // Line 1 of Algorithm 4.7: (¬Φ ∧ ¬Ψ)-states end exploration and
-            // can never satisfy the formula — no error contribution either.
-            if !ctx.phi[target] && !ctx.psi[target] {
-                continue;
-            }
-            let child_path = path_prob * p;
-            let child_weighted = weighted * next_factor * p;
-            // Literal rule: prune on P(σ, t) < w. Potential rule: prune only
-            // when no extension of σ can reach weight w any more.
-            let prune = match ctx.mode_pmf {
-                None => child_weighted < ctx.w,
-                Some(mode) => {
-                    let best = if (n + 1) as f64 >= ctx.lambda_t {
-                        child_weighted
-                    } else {
-                        child_path * mode
-                    };
-                    best < ctx.w
-                }
-            };
-            if prune || n + 1 > ctx.max_depth {
-                // Eq. 4.6: discarding σ' and all suffixes loses at most
-                // P(σ')·Pr{N ≥ n + 1} probability mass.
-                st.out
-                    .add_error(child_path * poisson::upper_tail(ctx.lambda_t, n + 1));
-                continue;
-            }
-            st.k[ctx.rc.state_class(target)] += 1;
-            st.j[ctx.rc.impulse_class(impulse)] += 1;
-            visit(ctx, st, target, n + 1, child_path, child_weighted);
-            st.k[ctx.rc.state_class(target)] -= 1;
-            st.j[ctx.rc.impulse_class(impulse)] -= 1;
-        }
-    }
-
-    let ctx = Ctx {
-        uni,
-        rc: classes_def,
-        phi,
-        psi,
-        lambda_t,
-        w: truncation,
-        max_depth,
-        mode_pmf: options
-            .improved_pruning
-            .then(|| poisson::pmf(lambda_t, lambda_t.floor() as u64)),
-    };
-    let mut st = DfsState {
-        k: vec![0; classes_def.num_state_classes()],
-        j: vec![0; classes_def.num_impulse_classes()],
-        out: PathClasses::new(),
-    };
-
-    if !phi[start] && !psi[start] {
-        return st.out;
-    }
-    let root_weight = (-lambda_t).exp();
-    st.k[classes_def.state_class(start)] = 1;
-    let root_pruned = match ctx.mode_pmf {
-        None => root_weight < truncation,
-        Some(mode) => mode < truncation,
-    };
-    if root_pruned {
-        // Even the empty path is below the truncation probability: the
-        // whole computation is truncated mass.
-        st.out.add_error(1.0);
-        return st.out;
-    }
-    visit(&ctx, &mut st, start, 0, 1.0, root_weight);
-    st.out
+    parallel::explore(uni, classes_def, phi, psi, start, lambda_t, options)
 }
 
 /// Combine stored path classes into the final probability (Eq. 4.5) using
 /// the Omega algorithm for the conditional probabilities (Eq. 4.9).
+///
+/// Two phases: the per-class terms `ψ_n(Λt)·P(σ)·Ω(r', k)` are pure
+/// functions of their class and may be computed by parallel workers
+/// ([`parallel::omega_terms`]); the final fold is a single ordered
+/// Kahan-compensated sum over classes in `BTreeMap` key order, so the
+/// result does not depend on the thread count.
 fn evaluate_classes(
     classes: &PathClasses,
     classes_def: &RewardClasses,
     lambda_t: f64,
     t: f64,
     r: f64,
+    threads: usize,
 ) -> Result<UntilResult, NumericsError> {
-    let mut omega = OmegaEvaluator::new(classes_def.omega_coefficients())?;
     let r_min = classes_def.min_state_reward();
 
-    let mut probability = 0.0;
-    for (key, path_prob) in classes.iter() {
-        let n = key.path_length();
-        // r' = r/t − r_{K+1} − (1/t)·Σ_i i_i·j_i   (Eq. 4.9/4.10).
-        let r_prime = if r.is_infinite() {
-            f64::INFINITY
-        } else {
-            r / t - r_min - classes_def.impulse_total(&key.j) / t
-        };
-        let conditional = omega.evaluate(r_prime, &key.k);
-        if conditional == 0.0 {
-            continue;
-        }
-        probability += poisson::pmf(lambda_t, n) * path_prob * conditional;
+    let entries: Vec<_> = classes.iter().collect();
+    let requests: Vec<TermRequest<'_>> = entries
+        .iter()
+        .map(|(key, path_prob)| {
+            let n = key.path_length();
+            // r' = r/t − r_{K+1} − (1/t)·Σ_i i_i·j_i   (Eq. 4.9/4.10).
+            let r_prime = if r.is_infinite() {
+                f64::INFINITY
+            } else {
+                r / t - r_min - classes_def.impulse_total(&key.j) / t
+            };
+            TermRequest {
+                r_prime,
+                k: &key.k,
+                weight: poisson::pmf(lambda_t, n) * path_prob,
+            }
+        })
+        .collect();
+    let terms = parallel::omega_terms(&requests, classes_def.omega_coefficients(), threads)?;
+
+    let mut probability = KahanSum::new();
+    for term in terms {
+        probability.add(term);
     }
 
     Ok(UntilResult {
-        probability: probability.clamp(0.0, 1.0),
+        probability: probability.value().clamp(0.0, 1.0),
         error_bound: classes.error_bound(),
         num_classes: classes.num_classes(),
         explored_nodes: classes.explored_nodes(),
@@ -545,7 +538,9 @@ mod tests {
             2.0,
             2000.0,
             2,
-            UniformOptions::new().with_truncation(1e-16).with_lambda(14.25),
+            UniformOptions::new()
+                .with_truncation(1e-16)
+                .with_lambda(14.25),
         )
         .unwrap();
         assert!(
@@ -601,8 +596,7 @@ mod tests {
         let m = two_state(1.0);
         let phi = vec![false, false];
         let psi = vec![false, true];
-        let res =
-            until_probability(&m, &phi, &psi, 1.0, 10.0, 0, UniformOptions::new()).unwrap();
+        let res = until_probability(&m, &phi, &psi, 1.0, 10.0, 0, UniformOptions::new()).unwrap();
         assert_eq!(res.probability, 0.0);
         assert_eq!(res.explored_nodes, 0);
     }
@@ -705,8 +699,7 @@ mod tests {
             max_depth: 2,
             ..UniformOptions::new()
         };
-        let classes =
-            generate_path_classes(&uni, &rc, &phi, &psi, 2, uni.lambda() * 1.0, &opts);
+        let classes = generate_path_classes(&uni, &rc, &phi, &psi, 2, uni.lambda() * 1.0, &opts);
         // Paths of length ≤ 2 ending in busy: 3→4, 3→5, 3→3→4, 3→3→5
         // (3→4→4 and 3→5→5 continue via the absorbing self-loops).
         assert!(classes.stored_paths() >= 4);
@@ -815,7 +808,9 @@ mod tests {
             1.0,
             2000.0,
             2,
-            UniformOptions::new().with_truncation(1e-11).with_lambda(20.0),
+            UniformOptions::new()
+                .with_truncation(1e-11)
+                .with_lambda(20.0),
         )
         .unwrap();
         assert!(

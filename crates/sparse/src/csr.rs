@@ -371,7 +371,7 @@ impl CsrMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::Xoshiro256StarStar;
 
     fn sample() -> CsrMatrix {
         // [ 0.5 0.5 0   ]
@@ -398,7 +398,10 @@ mod tests {
     #[test]
     fn duplicates_merge_and_zeros_drop() {
         let mut b = CooBuilder::new(2, 2);
-        b.push(0, 0, 1.0).push(0, 0, 2.0).push(1, 1, 5.0).push(1, 1, -5.0);
+        b.push(0, 0, 1.0)
+            .push(0, 0, 2.0)
+            .push(1, 1, 5.0)
+            .push(1, 1, -5.0);
         let m = b.build().unwrap();
         assert_eq!(m.get(0, 0), 3.0);
         assert_eq!(m.nnz(), 1);
@@ -514,32 +517,34 @@ mod tests {
         sample().get(3, 0);
     }
 
-    fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
-        (1usize..8, 1usize..8)
-            .prop_flat_map(|(r, c)| {
-                let entries = proptest::collection::vec(
-                    (0..r, 0..c, -10.0..10.0f64),
-                    0..24,
-                );
-                (Just(r), Just(c), entries)
-            })
-            .prop_map(|(r, c, es)| {
-                let mut b = CooBuilder::new(r, c);
-                for (i, j, v) in es {
-                    b.push(i, j, v);
-                }
-                b.build().unwrap()
-            })
+    fn random_matrix(rng: &mut Xoshiro256StarStar) -> CsrMatrix {
+        let r = 1 + rng.range_usize(7);
+        let c = 1 + rng.range_usize(7);
+        let mut b = CooBuilder::new(r, c);
+        for _ in 0..rng.range_usize(24) {
+            b.push(
+                rng.range_usize(r),
+                rng.range_usize(c),
+                rng.range_f64(-10.0, 10.0),
+            );
+        }
+        b.build().unwrap()
     }
 
-    proptest! {
-        #[test]
-        fn transpose_is_involution(m in arb_matrix()) {
-            prop_assert_eq!(m.transpose().transpose(), m);
+    #[test]
+    fn transpose_is_involution() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC5A1);
+        for _ in 0..64 {
+            let m = random_matrix(&mut rng);
+            assert_eq!(m.transpose().transpose(), m);
         }
+    }
 
-        #[test]
-        fn mul_vec_matches_dense(m in arb_matrix(), seed in 0u64..1000) {
+    #[test]
+    fn mul_vec_matches_dense() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC5A2);
+        for seed in 0..64u64 {
+            let m = random_matrix(&mut rng);
             let x: Vec<f64> = (0..m.ncols())
                 .map(|i| ((seed as f64) + i as f64).sin())
                 .collect();
@@ -547,28 +552,36 @@ mod tests {
             let d = m.to_dense();
             for r in 0..m.nrows() {
                 let expect: f64 = (0..m.ncols()).map(|c| d[r][c] * x[c]).sum();
-                prop_assert!((y[r] - expect).abs() < 1e-9);
+                assert!((y[r] - expect).abs() < 1e-9);
             }
         }
+    }
 
-        #[test]
-        fn vec_mul_agrees_with_transpose_mul_vec(m in arb_matrix(), seed in 0u64..1000) {
+    #[test]
+    fn vec_mul_agrees_with_transpose_mul_vec() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC5A3);
+        for seed in 0..64u64 {
+            let m = random_matrix(&mut rng);
             let x: Vec<f64> = (0..m.nrows())
                 .map(|i| ((seed as f64) * 0.37 + i as f64).cos())
                 .collect();
             let a = m.vec_mul(&x);
             let b = m.transpose().mul_vec(&x);
             for (u, v) in a.iter().zip(&b) {
-                prop_assert!((u - v).abs() < 1e-9);
+                assert!((u - v).abs() < 1e-9);
             }
         }
+    }
 
-        #[test]
-        fn row_sums_match_iteration(m in arb_matrix()) {
+    #[test]
+    fn row_sums_match_iteration() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC5A4);
+        for _ in 0..64 {
+            let m = random_matrix(&mut rng);
             let sums = m.row_sums();
             for (r, total) in sums.iter().enumerate() {
                 let s: f64 = m.row(r).map(|(_, v)| v).sum();
-                prop_assert!((total - s).abs() < 1e-12);
+                assert!((total - s).abs() < 1e-12);
             }
         }
     }

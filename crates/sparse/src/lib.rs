@@ -12,7 +12,10 @@
 //! * [`solver`] — iterative solvers (Gauss–Seidel, Jacobi, power iteration)
 //!   for the linear systems arising in steady-state and unbounded-reachability
 //!   analysis;
-//! * [`vector`] — the handful of dense-vector kernels everything shares.
+//! * [`vector`] — the handful of dense-vector kernels everything shares;
+//! * [`rng`] — a deterministic in-tree pseudo-random generator
+//!   (SplitMix64 / xoshiro256**), so the workspace builds and tests with
+//!   no external `rand` dependency (hermetic, offline builds).
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 mod csr;
 mod dense;
 mod error;
+pub mod rng;
 pub mod solver;
 pub mod vector;
 

@@ -1,0 +1,197 @@
+//! A small, deterministic, in-tree pseudo-random generator.
+//!
+//! The workspace must build and test with **no network access**, so the
+//! external `rand` crate is out of reach. This module provides the two
+//! standard generators the rest of the workspace uses instead:
+//!
+//! * [`SplitMix64`] — the 64-bit finalizer-based generator of Steele,
+//!   Lea & Flood, used here exclusively to expand a user seed into the
+//!   256-bit state of the main generator (its intended role);
+//! * [`Xoshiro256StarStar`] — Blackman & Vigna's `xoshiro256**`, the
+//!   general-purpose generator behind every randomized test, the random
+//!   model generator, and the Monte-Carlo engine.
+//!
+//! Both are tiny, well-studied, and fully deterministic per seed, which is
+//! what the hermetic test-suite needs: every "random" test in this
+//! workspace is reproducible from its literal seed.
+
+/// SplitMix64: a 64-bit generator with a single `u64` of state.
+///
+/// Primarily used to seed [`Xoshiro256StarStar`]; usable on its own for
+/// throwaway streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256**: the workspace's general-purpose deterministic generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Create a generator, expanding `seed` through [`SplitMix64`] as the
+    /// xoshiro authors recommend (avoids the all-zero state for every
+    /// seed, including 0).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256StarStar {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits, the standard
+    /// bit-shift construction).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range");
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// A uniform `usize` in `[0, n)` via Lemire-style rejection-free
+    /// widening multiply (tiny bias is irrelevant at test scales, and the
+    /// method is branch-free and deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`.
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// A biased coin: `true` with probability `p` (clamped into `[0, 1]`).
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference stream for seed 1234567 from the public-domain
+        // splitmix64.c test vector.
+        let mut sm = SplitMix64::new(1234567);
+        let expect: [u64; 5] = [
+            6457827717110365317,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ];
+        for e in expect {
+            assert_eq!(sm.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_per_seed() {
+        let mut a = Xoshiro256StarStar::seed_from_u64(42);
+        let mut b = Xoshiro256StarStar::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Xoshiro256StarStar::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(0);
+        // The state expansion must not yield the forbidden all-zero state.
+        assert!((0..10).any(|_| r.next_u64() != 0));
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_looks_uniform() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(11);
+        for _ in 0..1_000 {
+            let x = r.range_f64(2.0, 3.5);
+            assert!((2.0..3.5).contains(&x));
+            let k = r.range_usize(7);
+            assert!(k < 7);
+        }
+        // Every bucket of a small range is hit.
+        let mut seen = [false; 5];
+        for _ in 0..1_000 {
+            seen[r.range_usize(5)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn bool_with_matches_probability() {
+        let mut r = Xoshiro256StarStar::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.bool_with(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+        assert!(!r.bool_with(0.0));
+        assert!(r.bool_with(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_usize_range_panics() {
+        Xoshiro256StarStar::seed_from_u64(0).range_usize(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn inverted_f64_range_panics() {
+        Xoshiro256StarStar::seed_from_u64(0).range_f64(1.0, 1.0);
+    }
+}

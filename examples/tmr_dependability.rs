@@ -24,9 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The evaluation formula at a few mission times.
     println!("\nP[Sup U[0,t][0,3000] failed] from the fully-operational state:");
     for t in [50, 100, 200, 400] {
-        let out = checker.check_str(&format!(
-            "P(> 0.1) [Sup U[0,{t}][0,3000] failed]"
-        ))?;
+        let out = checker.check_str(&format!("P(> 0.1) [Sup U[0,{t}][0,3000] failed]"))?;
         let p = out.probabilities().expect("probabilistic formula");
         let e = out.error_bounds().expect("uniformization ran");
         let s = config.state_with_working(3);
@@ -46,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m2 = tmr(&config);
     let phi = m2.labeling().states_with("Sup");
     let psi = m2.labeling().states_with("failed");
-    if let Some(w) =
-        most_probable_witness(&m2, &phi, &psi, config.state_with_working(3))?
-    {
+    if let Some(w) = most_probable_witness(&m2, &phi, &psi, config.state_with_working(3))? {
         println!(
             "\nmost probable failure trajectory: states {:?} (branching probability {:.4});",
             w.states, w.probability

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let checker = ModelChecker::new(mrm.clone(), CheckOptions::new().with_engine(engine));
     let out = checker.check_str("P(> 0.1) [idle U[0,2][0,2000] busy]")?;
     let p = out.probabilities().expect("probabilistic formula");
-    println!("P(idle U[0,2][0,2000] busy) from idle = {:.6} (thesis: 0.15789)", p[2]);
+    println!(
+        "P(idle U[0,2][0,2000] busy) from idle = {:.6} (thesis: 0.15789)",
+        p[2]
+    );
 
     // Long-run mode occupancy.
     let out = checker.check_str("S(>= 0) (busy)")?;

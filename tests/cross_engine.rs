@@ -3,6 +3,7 @@
 //! same values, and both must degenerate to the state-reward-free baseline
 //! when the reward bound is loose.
 
+use mrmc_models::cluster::{cluster, ClusterConfig};
 use mrmc_models::tmr::{tmr, TmrConfig};
 use mrmc_models::{phone, random, wavelan};
 use mrmc_numerics::baseline;
@@ -25,7 +26,9 @@ fn tmr_engines_agree_at_several_horizons() {
             t,
             3000.0,
             start,
-            UniformOptions::new().with_truncation(1e-11).with_lambda(0.0505),
+            UniformOptions::new()
+                .with_truncation(1e-11)
+                .with_lambda(0.0505),
         )
         .unwrap();
         let disc = discretization::until_probability(
@@ -45,6 +48,123 @@ fn tmr_engines_agree_at_several_horizons() {
             disc.probability
         );
     }
+}
+
+#[test]
+fn tmr_parallel_uniformization_is_bitwise_serial_and_agrees_with_discretization() {
+    // The parallel engine promises *bit-for-bit* equality with the serial
+    // engine at any thread count, and both must stay within the Eq. 4.6
+    // truncation error bound of the independent discretization engine.
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let phi = m.labeling().states_with("Sup");
+    let psi = m.labeling().states_with("failed");
+    let start = config.state_with_working(3);
+    let (t, r) = (100.0, 3000.0);
+    let base = UniformOptions::new()
+        .with_truncation(1e-11)
+        .with_lambda(0.0505);
+
+    let serial = uniformization::until_probability(&m, &phi, &psi, t, r, start, base).unwrap();
+    for threads in [2, 4, 8] {
+        let parallel = uniformization::until_probability(
+            &m,
+            &phi,
+            &psi,
+            t,
+            r,
+            start,
+            base.with_threads(threads),
+        )
+        .unwrap();
+        assert_eq!(
+            serial.probability.to_bits(),
+            parallel.probability.to_bits(),
+            "threads = {threads}: {} vs {}",
+            serial.probability,
+            parallel.probability
+        );
+        assert_eq!(serial.error_bound.to_bits(), parallel.error_bound.to_bits());
+        assert_eq!(serial.num_classes, parallel.num_classes);
+        assert_eq!(serial.explored_nodes, parallel.explored_nodes);
+    }
+
+    let disc = discretization::until_probability(
+        &m,
+        &phi,
+        &psi,
+        t,
+        r,
+        start,
+        DiscretizationOptions::with_step(0.25),
+    )
+    .unwrap();
+    assert!(
+        (serial.probability - disc.probability).abs() < 5e-4 + serial.error_bound,
+        "uniformization {} (±{}) vs discretization {}",
+        serial.probability,
+        serial.error_bound,
+        disc.probability
+    );
+}
+
+#[test]
+fn cluster_parallel_uniformization_is_bitwise_serial_and_agrees_with_discretization() {
+    // Same contract on a structurally different model: the workstation
+    // cluster with repair impulses (larger state space, denser branching).
+    let config = ClusterConfig::new(2);
+    let m = cluster(&config);
+    let phi = vec![true; m.num_states()];
+    let premium = m.labeling().states_with("premium");
+    let psi: Vec<bool> = premium.iter().map(|&p| !p).collect();
+    let start = config.all_up();
+    let (t, r) = (10.0, 25.0);
+    let base = UniformOptions::new()
+        .with_truncation(1e-9)
+        .with_improved_pruning();
+
+    let serial = uniformization::until_probability(&m, &phi, &psi, t, r, start, base).unwrap();
+    assert!(serial.probability > 0.0, "degradation must be reachable");
+    for threads in [2, 4, 8] {
+        let parallel = uniformization::until_probability(
+            &m,
+            &phi,
+            &psi,
+            t,
+            r,
+            start,
+            base.with_threads(threads),
+        )
+        .unwrap();
+        assert_eq!(
+            serial.probability.to_bits(),
+            parallel.probability.to_bits(),
+            "threads = {threads}: {} vs {}",
+            serial.probability,
+            parallel.probability
+        );
+        assert_eq!(serial.error_bound.to_bits(), parallel.error_bound.to_bits());
+        assert_eq!(serial.stored_paths, parallel.stored_paths);
+        assert_eq!(serial.truncated_paths, parallel.truncated_paths);
+    }
+
+    let disc = discretization::until_probability(
+        &m,
+        &phi,
+        &psi,
+        t,
+        r,
+        start,
+        DiscretizationOptions::with_step(1.0 / 16.0),
+    )
+    .unwrap();
+    assert!(
+        (serial.probability - disc.probability).abs() < 5e-3 + serial.error_bound,
+        "uniformization {} (±{}) vs discretization {}",
+        serial.probability,
+        serial.error_bound,
+        disc.probability
+    );
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! CSRL printer/parser round-trip over a structured corpus: for every
+//! well-formed formula `f`, `parse(f.to_string()) == f`.
+//!
+//! Two layers: a fixed corpus of concrete-syntax strings covering the
+//! interval edge cases of `X^I_J` and `U^I_J` and nested steady-state
+//! operators, and a seeded sweep over the in-tree deterministic AST
+//! generator (`mrmc_csrl::generator`), which replaced the external
+//! `proptest` dependency in the hermetic offline build.
+
+use mrmc_csrl::generator::{random_formula, random_path_formula};
+use mrmc_csrl::{parse, CompareOp, Interval, StateFormula};
+use mrmc_sparse::rng::Xoshiro256StarStar;
+
+/// Parse → print → parse and require a fixed point of the AST.
+fn assert_roundtrip(input: &str) {
+    let first = parse(input).unwrap_or_else(|e| panic!("`{input}` fails to parse: {e}"));
+    let printed = first.to_string();
+    let second =
+        parse(&printed).unwrap_or_else(|e| panic!("printed `{printed}` fails to parse: {e}"));
+    assert_eq!(
+        first, second,
+        "`{input}` → `{printed}` is not a fixed point"
+    );
+}
+
+#[test]
+fn next_operator_with_interval_edge_cases() {
+    for input in [
+        // Both interval groups present, finite.
+        "P(>= 0.3) [ X[0,3][0,23] a ]",
+        // Point intervals: time and reward pinned to a single value.
+        "P(< 0.5) [ X[2,2][0,0] b ]",
+        // Infinite upper bounds spelled with `~`.
+        "P(> 0.1) [ X[0,~][0,~] c ]",
+        "P(<= 0.99) [ X[1.5,~][0.25,7] d ]",
+        // Zero-width at zero.
+        "P(>= 0) [ X[0,0][0,0] e ]",
+        // Omitted interval groups default to [0, ~].
+        "P(>= 0.3) [ X a ]",
+        "P(>= 0.3) [ X[0,4] a ]",
+    ] {
+        assert_roundtrip(input);
+    }
+}
+
+#[test]
+fn until_operator_with_interval_edge_cases() {
+    for input in [
+        "P(>= 0.3) [ a U[0,3][0,23] b ]",
+        // Fractional and point bounds.
+        "P(< 0.25) [ a U[0.5,0.5][1.25,1.25] b ]",
+        // Unbounded time with bounded reward and vice versa.
+        "P(> 0.75) [ up U[0,~][0,100] down ]",
+        "P(> 0.75) [ up U[0,24][0,~] down ]",
+        // No interval groups at all: plain unbounded until.
+        "P(>= 0.5) [ a U b ]",
+        // Time group only.
+        "P(>= 0.5) [ a U[3,17] b ]",
+        // Compound operands around the until.
+        "P(>= 0.5) [ (a && !b) U[0,8][0,4] (c || TT) ]",
+    ] {
+        assert_roundtrip(input);
+    }
+}
+
+#[test]
+fn nested_steady_state_and_boolean_structure() {
+    for input in [
+        "S(> 0.5) (up)",
+        // Steady-state over a probabilistic until.
+        "S(> 0.5) (P(>= 0.3) [ a U[0,3][0,23] b ])",
+        // Steady nested inside steady.
+        "S(<= 0.9) (S(> 0.1) (ok))",
+        // Steady inside a boolean context, under negation and implication.
+        "!S(> 0.5) (up) && (a => S(< 0.2) (b))",
+        // Probability bound edge values.
+        "S(>= 0) (a) || S(<= 1) (b)",
+        // Derived temporal operators expand to until/next forms and must
+        // round-trip through their expansion.
+        "P(>= 0.2) [ F[0,10][0,5] goal ]",
+        "P(<= 0.8) [ G[0,10] safe ]",
+    ] {
+        assert_roundtrip(input);
+    }
+}
+
+#[test]
+fn generated_state_formulas_roundtrip() {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x0C41);
+    for depth in 0..=4 {
+        for _ in 0..128 {
+            let f = random_formula(&mut rng, depth);
+            let printed = f.to_string();
+            let back =
+                parse(&printed).unwrap_or_else(|e| panic!("`{printed}` fails to parse: {e}"));
+            assert_eq!(f, back, "depth {depth}: `{printed}`");
+        }
+    }
+}
+
+#[test]
+fn generated_path_formulas_roundtrip_under_prob() {
+    // Path formulas only occur under a probability operator; wrap each
+    // generated one in P(>= p) [...] and round-trip the whole formula.
+    let mut rng = Xoshiro256StarStar::seed_from_u64(0x0C42);
+    for _ in 0..256 {
+        let bound = rng.range_usize(101) as f64 / 100.0;
+        let f = StateFormula::Prob {
+            op: CompareOp::Ge,
+            bound,
+            path: Box::new(random_path_formula(&mut rng, 2)),
+        };
+        let printed = f.to_string();
+        let back = parse(&printed).unwrap_or_else(|e| panic!("`{printed}` fails to parse: {e}"));
+        assert_eq!(f, back, "`{printed}`");
+    }
+}
+
+#[test]
+fn printed_intervals_preserve_infinities_exactly() {
+    // The `~` spelling must survive an AST-level round trip: construct the
+    // intervals directly so no parser leniency can mask a printer bug.
+    let f = StateFormula::prob_until(
+        CompareOp::Lt,
+        0.42,
+        Interval::new(0.75, f64::INFINITY).unwrap(),
+        Interval::new(0.0, 23.0).unwrap(),
+        StateFormula::Ap("a".into()),
+        StateFormula::Ap("b".into()),
+    );
+    let printed = f.to_string();
+    assert!(printed.contains('~'), "`{printed}` lost the infinite bound");
+    assert_eq!(parse(&printed).unwrap(), f);
+}

@@ -89,9 +89,7 @@ fn wavelan_quickstart_formulas() {
     assert!(out.holds_in(2));
 
     // Next with time and reward bounds.
-    let out = checker
-        .check_str("P(> 0.1) [X[0,1][0,2000] busy]")
-        .unwrap();
+    let out = checker.check_str("P(> 0.1) [X[0,1][0,2000] busy]").unwrap();
     assert!(out.holds_in(2));
     assert!(!out.holds_in(0));
 }
@@ -100,7 +98,9 @@ fn wavelan_quickstart_formulas() {
 fn error_reporting_is_actionable() {
     let checker = ModelChecker::new(wavelan(), CheckOptions::new());
 
-    let e = checker.check_str("P(>= 0.5) [idle U[2,3][0,50] busy]").unwrap_err();
+    let e = checker
+        .check_str("P(>= 0.5) [idle U[2,3][0,50] busy]")
+        .unwrap_err();
     assert!(matches!(e, CheckError::UnsupportedBounds { .. }), "{e}");
 
     let e = checker.check_str("no_such_label").unwrap_err();

@@ -2,9 +2,9 @@
 //! load them back, and check formulas against the loaded copies.
 
 use mrmc::{CheckOptions, ModelChecker};
-use mrmc_mrm::io::{self, ModelFiles};
 use mrmc_models::tmr::{tmr, TmrConfig};
 use mrmc_models::wavelan;
+use mrmc_mrm::io::{self, ModelFiles};
 
 fn temp_dir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("mrmc-it-{}-{}", name, std::process::id()));

@@ -3,8 +3,8 @@
 
 use mrmc::{CheckOptions, ModelChecker};
 use mrmc_ctmc::steady::SteadyStateAnalysis;
-use mrmc_mrm::TimedPath;
 use mrmc_models::{bscc_examples, dtmc_examples, wavelan};
+use mrmc_mrm::TimedPath;
 use mrmc_sparse::solver::SolverOptions;
 
 /// Examples 2.1–2.3: the Figure 2.1 DTMC's transient and steady-state

@@ -1,10 +1,14 @@
-//! Property-based integration tests over randomly generated (but valid)
+//! Property-style integration tests over randomly generated (but valid)
 //! reward models.
+//!
+//! These were originally `proptest` properties; they now run each law over a
+//! fixed range of deterministic seeds (the in-tree generator in
+//! `mrmc_models::random` is reproducible per seed), so the suite is hermetic
+//! and every failure names the seed that produced it.
 
 use mrmc::{CheckOptions, ModelChecker};
 use mrmc_models::random::{random_mrm, RandomMrmConfig};
 use mrmc_numerics::uniformization::{until_probability, UniformOptions};
-use proptest::prelude::*;
 
 fn small_cfg() -> RandomMrmConfig {
     RandomMrmConfig {
@@ -17,11 +21,9 @@ fn small_cfg() -> RandomMrmConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn until_probability_is_monotone_in_t_and_r(seed in 0u64..500) {
+#[test]
+fn until_probability_is_monotone_in_t_and_r() {
+    for seed in 0u64..16 {
         let m = random_mrm(seed, &small_cfg());
         let phi = vec![true; m.num_states()];
         let psi = m.labeling().states_with("goal");
@@ -29,103 +31,125 @@ proptest! {
 
         let mut prev = 0.0;
         for t in [0.25, 0.5, 1.0] {
-            let p = until_probability(&m, &phi, &psi, t, 10.0, 0, opts)
-                .unwrap();
-            prop_assert!(
+            let p = until_probability(&m, &phi, &psi, t, 10.0, 0, opts).unwrap();
+            assert!(
                 p.probability + p.error_bound + 1e-9 >= prev,
-                "t = {t}: {} (+{}) < {prev}", p.probability, p.error_bound
+                "seed {seed}, t = {t}: {} (+{}) < {prev}",
+                p.probability,
+                p.error_bound
             );
             prev = p.probability - p.error_bound;
         }
 
         let mut prev = 0.0;
         for r in [0.5, 2.0, 8.0] {
-            let p = until_probability(&m, &phi, &psi, 0.5, r, 0, opts)
-                .unwrap();
-            prop_assert!(p.probability + p.error_bound + 1e-9 >= prev);
+            let p = until_probability(&m, &phi, &psi, 0.5, r, 0, opts).unwrap();
+            assert!(p.probability + p.error_bound + 1e-9 >= prev, "seed {seed}");
             prev = p.probability - p.error_bound;
         }
     }
+}
 
-    #[test]
-    fn formula_negation_complements_sat(seed in 0u64..500) {
+#[test]
+fn formula_negation_complements_sat() {
+    for seed in 0u64..16 {
         let m = random_mrm(seed, &small_cfg());
         let checker = ModelChecker::new(m, CheckOptions::new());
         let pos = checker.check_str("goal").unwrap();
         let neg = checker.check_str("!goal").unwrap();
         for s in 0..pos.sat().len() {
-            prop_assert_eq!(pos.holds_in(s), !neg.holds_in(s));
+            assert_eq!(pos.holds_in(s), !neg.holds_in(s), "seed {seed}, state {s}");
         }
     }
+}
 
-    #[test]
-    fn steady_state_probabilities_form_a_distribution(seed in 0u64..500) {
+#[test]
+fn steady_state_probabilities_form_a_distribution() {
+    for seed in 0u64..16 {
         let m = random_mrm(seed, &small_cfg());
         let n = m.num_states();
         let checker = ModelChecker::new(m, CheckOptions::new());
         // π(s, Sat(tt)) = 1 for every s.
         let out = checker.check_str("S(>= 0.999999) TT").unwrap();
-        prop_assert_eq!(out.count(), n);
+        assert_eq!(out.count(), n, "seed {seed}");
     }
+}
 
-    #[test]
-    fn probability_bounds_partition_the_state_space(seed in 0u64..500) {
-        // Sat(P(<p)[φ]) and Sat(P(>=p)[φ]) partition S.
+#[test]
+fn probability_bounds_partition_the_state_space() {
+    // Sat(P(<p)[φ]) and Sat(P(>=p)[φ]) partition S.
+    for seed in 0u64..16 {
         let m = random_mrm(seed, &small_cfg());
         let checker = ModelChecker::new(m, CheckOptions::new());
         let lt = checker.check_str("P(< 0.5) [TT U[0,1] goal]").unwrap();
         let ge = checker.check_str("P(>= 0.5) [TT U[0,1] goal]").unwrap();
         for s in 0..lt.sat().len() {
-            prop_assert!(lt.holds_in(s) ^ ge.holds_in(s), "state {s}");
+            assert!(lt.holds_in(s) ^ ge.holds_in(s), "seed {seed}, state {s}");
         }
     }
+}
 
-    #[test]
-    fn next_probabilities_stay_in_unit_interval(seed in 0u64..500) {
+#[test]
+fn next_probabilities_stay_in_unit_interval() {
+    for seed in 0u64..16 {
         let m = random_mrm(seed, &small_cfg());
         let checker = ModelChecker::new(m, CheckOptions::new());
         let out = checker.check_str("P(>= 0) [X[0,2][0,5] goal]").unwrap();
         for &p in out.probabilities().unwrap() {
-            prop_assert!((0.0..=1.0).contains(&p));
+            assert!((0.0..=1.0).contains(&p), "seed {seed}: {p}");
         }
         // op = >= 0 is a tautology over probabilities.
-        prop_assert_eq!(out.count(), out.sat().len());
+        assert_eq!(out.count(), out.sat().len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn error_bound_shrinks_with_truncation(seed in 0u64..200) {
+#[test]
+fn error_bound_shrinks_with_truncation() {
+    for seed in 0u64..16 {
         let m = random_mrm(seed, &small_cfg());
         let phi = vec![true; m.num_states()];
         let psi = m.labeling().states_with("goal");
         let loose = until_probability(
-            &m, &phi, &psi, 0.5, 5.0, 0,
+            &m,
+            &phi,
+            &psi,
+            0.5,
+            5.0,
+            0,
             UniformOptions::new().with_truncation(1e-4),
-        ).unwrap();
+        )
+        .unwrap();
         let tight = until_probability(
-            &m, &phi, &psi, 0.5, 5.0, 0,
+            &m,
+            &phi,
+            &psi,
+            0.5,
+            5.0,
+            0,
             UniformOptions::new().with_truncation(1e-10),
-        ).unwrap();
-        prop_assert!(tight.error_bound <= loose.error_bound + 1e-15);
+        )
+        .unwrap();
+        assert!(
+            tight.error_bound <= loose.error_bound + 1e-15,
+            "seed {seed}"
+        );
         // Results agree within the looser bound.
-        prop_assert!(
-            (tight.probability - loose.probability).abs() <= loose.error_bound + 1e-12
+        assert!(
+            (tight.probability - loose.probability).abs() <= loose.error_bound + 1e-12,
+            "seed {seed}"
         );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// The exact path-level until semantics agree with the inline
-    /// trajectory predicate used by the restricted estimator: estimating
-    /// via sampled `TimedPath`s and via `estimate_until` must coincide
-    /// statistically on `[0, t]`/`[0, r]` bounds.
-    #[test]
-    fn path_semantics_consistent_with_inline_simulation(seed in 0u64..200) {
-        use mrmc_csrl::Interval;
-        use mrmc_numerics::monte_carlo::{
-            estimate_until, estimate_until_general, SimulationOptions,
-        };
+/// The exact path-level until semantics agree with the inline trajectory
+/// predicate used by the restricted estimator: estimating via sampled
+/// `TimedPath`s and via `estimate_until` must coincide statistically on
+/// `[0, t]`/`[0, r]` bounds.
+#[test]
+fn path_semantics_consistent_with_inline_simulation() {
+    use mrmc_csrl::Interval;
+    use mrmc_numerics::monte_carlo::{estimate_until, estimate_until_general, SimulationOptions};
+    for seed in 0u64..12 {
         let m = random_mrm(seed, &small_cfg());
         let phi = vec![true; m.num_states()];
         let psi = m.labeling().states_with("goal");
@@ -142,13 +166,20 @@ proptest! {
         )
         .unwrap();
         let tol = 4.0 * (a.std_error + b.std_error) + 0.01;
-        prop_assert!((a.mean - b.mean).abs() <= tol, "{} vs {}", a.mean, b.mean);
+        assert!(
+            (a.mean - b.mean).abs() <= tol,
+            "seed {seed}: {} vs {}",
+            a.mean,
+            b.mean
+        );
     }
+}
 
-    /// Model files round-trip for arbitrary generated models.
-    #[test]
-    fn io_roundtrip_on_random_models(seed in 0u64..500) {
-        use mrmc_mrm::io::{self, ModelFiles};
+/// Model files round-trip for arbitrary generated models.
+#[test]
+fn io_roundtrip_on_random_models() {
+    use mrmc_mrm::io::{self, ModelFiles};
+    for seed in 0u64..12 {
         let m = random_mrm(seed, &small_cfg());
         let files = ModelFiles {
             tra: io::write_tra(&m),
@@ -157,15 +188,16 @@ proptest! {
             rewi: io::write_rewi(&m),
         };
         let back = files.assemble().unwrap();
-        prop_assert_eq!(back, m);
+        assert_eq!(back, m, "seed {seed}");
     }
+}
 
-    /// Expected reward from uniformization matches simulation on random
-    /// models.
-    #[test]
-    fn expected_reward_cross_check(seed in 0u64..60) {
-        use mrmc_numerics::expected::expected_accumulated_reward_from;
-        use mrmc_numerics::monte_carlo::{estimate_expected_reward, SimulationOptions};
+/// Expected reward from uniformization matches simulation on random models.
+#[test]
+fn expected_reward_cross_check() {
+    use mrmc_numerics::expected::expected_accumulated_reward_from;
+    use mrmc_numerics::monte_carlo::{estimate_expected_reward, SimulationOptions};
+    for seed in 0u64..8 {
         let m = random_mrm(seed, &small_cfg());
         let exact = expected_accumulated_reward_from(&m, 0, 1.0, 1e-10).unwrap();
         let sim = estimate_expected_reward(
@@ -175,42 +207,44 @@ proptest! {
             SimulationOptions::with_samples(12_000).with_seed(seed),
         )
         .unwrap();
-        prop_assert!(
+        assert!(
             sim.is_consistent_with(exact, 5.0),
-            "exact {exact} vs sim {} ± {}", sim.mean, sim.std_error
+            "seed {seed}: exact {exact} vs sim {} ± {}",
+            sim.mean,
+            sim.std_error
         );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Definition 4.1 laws on random models: idempotence and composition
-    /// by union.
-    #[test]
-    fn make_absorbing_laws(seed in 0u64..500) {
-        use mrmc_mrm::transform::make_absorbing;
+/// Definition 4.1 laws on random models: idempotence and composition by
+/// union.
+#[test]
+fn make_absorbing_laws() {
+    use mrmc_mrm::transform::make_absorbing;
+    for seed in 0u64..24 {
         let m = random_mrm(seed, &small_cfg());
         let goal = m.labeling().states_with("goal");
         let s0 = m.labeling().states_with("s0");
 
         let once = make_absorbing(&m, &goal).unwrap();
         let twice = make_absorbing(&once, &goal).unwrap();
-        prop_assert_eq!(&once, &twice);
+        assert_eq!(&once, &twice, "seed {seed}");
 
         let union: Vec<bool> = goal.iter().zip(&s0).map(|(&a, &b)| a || b).collect();
         let sequential = make_absorbing(&once, &s0).unwrap();
         let joint = make_absorbing(&m, &union).unwrap();
-        prop_assert_eq!(sequential, joint);
+        assert_eq!(sequential, joint, "seed {seed}");
     }
+}
 
-    /// The absorbing transformation leaves until probabilities invariant
-    /// (the engine applies it internally, so applying it beforehand must
-    /// change nothing) — the computational content of Theorem 4.1.
-    #[test]
-    fn until_invariant_under_pre_absorption(seed in 0u64..200) {
-        use mrmc_mrm::transform::make_absorbing;
-        use mrmc_numerics::baseline;
+/// The absorbing transformation leaves until probabilities invariant (the
+/// engine applies it internally, so applying it beforehand must change
+/// nothing) — the computational content of Theorem 4.1.
+#[test]
+fn until_invariant_under_pre_absorption() {
+    use mrmc_mrm::transform::make_absorbing;
+    use mrmc_numerics::baseline;
+    for seed in 0u64..16 {
         let m = random_mrm(seed, &small_cfg());
         let phi = vec![true; m.num_states()];
         let psi = m.labeling().states_with("goal");
@@ -220,15 +254,18 @@ proptest! {
         let a = baseline::until_time_bounded(&m, &phi, &psi, 0.7, 1e-11).unwrap();
         let b = baseline::until_time_bounded(&pre, &phi, &psi, 0.7, 1e-11).unwrap();
         for (s, (x, y)) in a.iter().zip(&b).enumerate() {
-            prop_assert!((x - y).abs() < 1e-9, "state {s}: {x} vs {y}");
+            assert!((x - y).abs() < 1e-9, "seed {seed}, state {s}: {x} vs {y}");
         }
     }
+}
 
-    /// Uniformization-rate invariance: transient distributions agree for
-    /// different admissible Λ (random models, random horizon).
-    #[test]
-    fn transient_is_lambda_invariant(seed in 0u64..200, t in 0.1..2.0f64) {
-        use mrmc_ctmc::poisson::FoxGlynn;
+/// Uniformization-rate invariance: transient distributions agree for
+/// different admissible Λ (random models, seed-derived horizon).
+#[test]
+fn transient_is_lambda_invariant() {
+    use mrmc_ctmc::poisson::FoxGlynn;
+    for seed in 0u64..16 {
+        let t = 0.1 + 1.9 * (seed as f64 / 16.0);
         let m = random_mrm(seed, &small_cfg());
         let n = m.num_states();
         let mut initial = vec![0.0; n];
@@ -261,29 +298,34 @@ proptest! {
         let p1 = run(max_exit);
         let p2 = run(3.0 * max_exit);
         for (s, (x, y)) in p1.iter().zip(&p2).enumerate() {
-            prop_assert!((x - y).abs() < 1e-8, "state {s}: {x} vs {y}");
+            assert!((x - y).abs() < 1e-8, "seed {seed}, state {s}: {x} vs {y}");
         }
     }
+}
 
-    /// Witnesses found by the diagnostic search are genuine: they validate
-    /// against the model, end in Ψ, traverse only Φ-states before, and
-    /// their probability is the product of embedded branching
-    /// probabilities.
-    #[test]
-    fn witnesses_are_genuine(seed in 0u64..300) {
-        use mrmc::witness::most_probable_witness;
+/// Witnesses found by the diagnostic search are genuine: they validate
+/// against the model, end in Ψ, traverse only Φ-states before, and their
+/// probability is the product of embedded branching probabilities.
+#[test]
+fn witnesses_are_genuine() {
+    use mrmc::witness::most_probable_witness;
+    for seed in 0u64..24 {
         let m = random_mrm(seed, &small_cfg());
-        let phi: Vec<bool> = m.labeling().states_with("goal")
-            .iter().map(|&g| !g).collect(); // Φ = ¬goal
+        let phi: Vec<bool> = m
+            .labeling()
+            .states_with("goal")
+            .iter()
+            .map(|&g| !g)
+            .collect(); // Φ = ¬goal
         let psi = m.labeling().states_with("goal");
         if let Some(w) = most_probable_witness(&m, &phi, &psi, 0).unwrap() {
             w.timed.validate_in(&m).unwrap();
             let last = *w.states.last().unwrap();
-            prop_assert!(psi[last]);
+            assert!(psi[last], "seed {seed}");
             for &s in &w.states[..w.states.len() - 1] {
-                prop_assert!(phi[s], "intermediate state {s} violates Φ");
+                assert!(phi[s], "seed {seed}: intermediate state {s} violates Φ");
             }
-            prop_assert!(w.probability > 0.0 && w.probability <= 1.0);
+            assert!(w.probability > 0.0 && w.probability <= 1.0, "seed {seed}");
         }
     }
 }

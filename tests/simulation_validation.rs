@@ -27,7 +27,9 @@ fn three_engines_agree_on_the_tmr_dependability_query() {
         t,
         r,
         start,
-        UniformOptions::new().with_truncation(1e-11).with_lambda(0.0505),
+        UniformOptions::new()
+            .with_truncation(1e-11)
+            .with_lambda(0.0505),
     )
     .unwrap();
     let disc = discretization::until_probability(

@@ -32,9 +32,7 @@ fn cluster_200_states_full_checker_pass() {
     assert!(out.holds_in(start));
 
     // Interval-time until through the two-phase method.
-    let out = checker
-        .check_str("P(< 0.5) [TT U[24,168] down]")
-        .unwrap();
+    let out = checker.check_str("P(< 0.5) [TT U[24,168] down]").unwrap();
     let p = out.probabilities().unwrap();
     assert!((0.0..=1.0).contains(&p[start]));
 }
@@ -54,13 +52,8 @@ fn cluster_unbounded_reachability_is_certain() {
     for target in ["down", "premium"] {
         let psi = m.labeling().states_with(target);
         let embedded = m.ctmc().embedded_dtmc();
-        let r = mrmc_ctmc::reach::until_unbounded(
-            embedded.probabilities(),
-            &phi,
-            &psi,
-            solver,
-        )
-        .unwrap();
+        let r = mrmc_ctmc::reach::until_unbounded(embedded.probabilities(), &phi, &psi, solver)
+            .unwrap();
         for (s, &p) in r.iter().enumerate() {
             assert!(p > 1.0 - 1e-4, "{target} from state {s}: {p}");
         }
@@ -114,16 +107,12 @@ fn cluster_steady_state_matches_across_solvers() {
     let config = ClusterConfig::new(3);
     let m = cluster(&config);
     let pi_gs =
-        mrmc_ctmc::steady::steady_state_strongly_connected(m.ctmc(), SolverOptions::new())
-            .unwrap();
+        mrmc_ctmc::steady::steady_state_strongly_connected(m.ctmc(), SolverOptions::new()).unwrap();
     let (uni, _) = m.ctmc().uniformized(None).unwrap();
     let start = vec![1.0 / m.num_states() as f64; m.num_states()];
-    let pi_pw = mrmc_sparse::solver::power_iteration(
-        uni.probabilities(),
-        &start,
-        SolverOptions::new(),
-    )
-    .unwrap();
+    let pi_pw =
+        mrmc_sparse::solver::power_iteration(uni.probabilities(), &start, SolverOptions::new())
+            .unwrap();
     for (s, (a, b)) in pi_gs.iter().zip(&pi_pw).enumerate() {
         assert!((a - b).abs() < 1e-7, "state {s}: {a} vs {b}");
     }
