@@ -1,0 +1,68 @@
+//! Work vs. requested tolerance: the adaptive driver on the TMR
+//! dependability query. Each benchmark fixes a target ε and measures the
+//! full refinement loop (all rounds until the reported budget is ≤ ε), so
+//! the timings track how much extra exploration each decade of accuracy
+//! costs.
+
+use mrmc_bench::harness::Criterion;
+use mrmc_bench::tables;
+use mrmc_bench::{criterion_group, criterion_main};
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_numerics::adaptive::{self, AdaptiveOptions};
+use mrmc_numerics::discretization::DiscretizationOptions;
+use mrmc_numerics::uniformization::UniformOptions;
+
+fn bench(c: &mut Criterion) {
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let (phi, psi) = tables::tmr_dependability_sets(&m);
+    let start = config.state_with_working(3);
+    let (t, r) = (100.0, 3000.0);
+
+    let mut group = c.benchmark_group("adaptive_uniformization");
+    group.sample_size(10);
+    for epsilon in [1e-3, 1e-6, 1e-9] {
+        group.bench_function(format!("eps={epsilon:e}"), |b| {
+            b.iter(|| {
+                adaptive::uniformization_until(
+                    &m,
+                    &phi,
+                    &psi,
+                    t,
+                    r,
+                    start,
+                    UniformOptions::new().with_lambda(0.0505),
+                    AdaptiveOptions::new(epsilon),
+                )
+                .unwrap()
+                .probability
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("adaptive_discretization");
+    group.sample_size(10);
+    for epsilon in [1e-2, 1e-3] {
+        group.bench_function(format!("eps={epsilon:e}"), |b| {
+            b.iter(|| {
+                adaptive::discretization_until(
+                    &m,
+                    &phi,
+                    &psi,
+                    t,
+                    r,
+                    start,
+                    DiscretizationOptions::with_step(0.25),
+                    AdaptiveOptions::new(epsilon),
+                )
+                .unwrap()
+                .probability
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

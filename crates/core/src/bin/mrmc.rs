@@ -10,6 +10,13 @@
 //! * `d=<d>` — use discretization with step `d` instead;
 //! * `s=<n>` — use Monte-Carlo simulation with `n` samples (statistical
 //!   estimate, no deterministic error bound);
+//! * `--tolerance E` (or `--tolerance=E`) — request accuracy `E` on every
+//!   computed probability: engines run under the adaptive driver, and a
+//!   formula whose error budget cannot be driven below `E` fails with
+//!   *tolerance not met* (process exit code 3);
+//! * `--json` — machine-readable output: one JSON object per formula with
+//!   the satisfied/unknown state sets and per-state probability, verdict
+//!   and error-budget breakdown;
 //! * `--threads N` (or `--threads=N`) — run the uniformization path
 //!   exploration on `N` worker threads (`0` = auto-detect). Results are
 //!   bit-identical to the serial run at any thread count;
@@ -19,11 +26,15 @@
 //! Formulas are read from standard input, one per line; empty lines and
 //! `%`-comments are skipped. States are printed 1-indexed, matching the
 //! model file format.
+//!
+//! Exit codes: `0` all formulas checked, `1` a formula or the model failed,
+//! `3` every failure was a missed tolerance (the model and formulas are
+//! fine — only more work, a smaller `d`/`w`, or a looser `E` is needed).
 
 use std::io::BufRead;
 use std::process::ExitCode;
 
-use mrmc::{CheckOptions, ModelChecker, UntilEngine};
+use mrmc::{CheckError, CheckOptions, CheckOutcome, ModelChecker, UntilEngine, Verdict};
 
 #[derive(Debug)]
 struct Cli {
@@ -33,22 +44,28 @@ struct Cli {
     rewi: String,
     engine: UntilEngine,
     threads: usize,
+    tolerance: Option<f64>,
+    json: bool,
     print_probabilities: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--threads N] [NP]\n\
+    "usage: mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [NP]\n\
      \n\
      Reads CSRL formulas from stdin, one per line, e.g.\n\
      \x20 P(>= 0.3) [a U[0,3][0,23] b]\n\
      \x20 S(> 0.5) (up)\n\
      \n\
-     u=<w>        uniformization with path truncation probability w (default u=1e-8)\n\
-     d=<d>        discretization with step size d\n\
-     s=<n>        Monte-Carlo simulation with n samples (statistical estimate)\n\
-     --threads N  worker threads for the uniformization engine (0 = auto,\n\
-     \x20            default 1); results are bit-identical at any thread count\n\
-     NP           suppress the computed probabilities"
+     u=<w>          uniformization with path truncation probability w (default u=1e-8)\n\
+     d=<d>          discretization with step size d\n\
+     s=<n>          Monte-Carlo simulation with n samples (statistical estimate)\n\
+     --tolerance E  adaptively refine the engine until the reported error\n\
+     \x20              budget is <= E; exit code 3 if that cannot be achieved\n\
+     --json         one JSON object per formula (states, probabilities,\n\
+     \x20              verdicts, error-budget breakdown)\n\
+     --threads N    worker threads for the uniformization engine (0 = auto,\n\
+     \x20              default 1); results are bit-identical at any thread count\n\
+     NP             suppress the computed probabilities"
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -62,12 +79,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         rewi: args[3].clone(),
         engine: UntilEngine::default(),
         threads: 1,
+        tolerance: None,
+        json: false,
         print_probabilities: true,
     };
     let mut rest = args[4..].iter();
     while let Some(arg) = rest.next() {
         if arg == "NP" {
             cli.print_probabilities = false;
+        } else if arg == "--json" {
+            cli.json = true;
         } else if arg == "--threads" || arg.starts_with("--threads=") {
             let value = match arg.strip_prefix("--threads=") {
                 Some(v) => v.to_string(),
@@ -79,6 +100,21 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             cli.threads = value
                 .parse()
                 .map_err(|_| format!("invalid thread count `{value}`"))?;
+        } else if arg == "--tolerance" || arg.starts_with("--tolerance=") {
+            let value = match arg.strip_prefix("--tolerance=") {
+                Some(v) => v.to_string(),
+                None => rest
+                    .next()
+                    .ok_or_else(|| "--tolerance requires a value".to_string())?
+                    .clone(),
+            };
+            let e: f64 = value
+                .parse()
+                .map_err(|_| format!("invalid tolerance `{value}`"))?;
+            if !(e > 0.0 && e < 1.0) {
+                return Err(format!("tolerance must be in (0, 1), got `{value}`"));
+            }
+            cli.tolerance = Some(e);
         } else if let Some(w) = arg.strip_prefix("u=") {
             let w: f64 = w
                 .parse()
@@ -101,30 +137,166 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
-fn run() -> Result<(), String> {
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON value (`null` for non-finite values, which
+/// JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn verdict_name(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Holds => "holds",
+        Verdict::Fails => "fails",
+        Verdict::Unknown => "unknown",
+    }
+}
+
+/// One JSON object (a single line) describing a checked formula.
+fn json_outcome(formula: &str, outcome: &CheckOutcome) -> String {
+    let set = |states: Vec<usize>| {
+        states
+            .iter()
+            .map(|s| (s + 1).to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let mut out = format!(
+        "{{\"formula\":\"{}\",\"satisfied\":[{}],\"unknown\":[{}]",
+        json_escape(formula),
+        set(outcome.satisfying_states().collect()),
+        set(outcome.unknown_states().collect()),
+    );
+    if let Some(probs) = outcome.probabilities() {
+        out.push_str(",\"states\":[");
+        for (s, &p) in probs.iter().enumerate() {
+            if s > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"state\":{},\"probability\":{},\"verdict\":\"{}\"",
+                s + 1,
+                json_f64(p),
+                verdict_name(outcome.verdict(s)),
+            ));
+            if let Some(errs) = outcome.error_bounds() {
+                out.push_str(&format!(",\"error_bound\":{}", json_f64(errs[s])));
+            }
+            if let Some(budgets) = outcome.budgets() {
+                let b = &budgets[s];
+                out.push_str(",\"budget\":{");
+                for (name, value) in b.components() {
+                    out.push_str(&format!("\"{name}\":{},", json_f64(value)));
+                }
+                out.push_str(&format!(
+                    "\"total\":{},\"dominant\":\"{}\"}}",
+                    json_f64(b.total()),
+                    b.dominant().0
+                ));
+            }
+            out.push('}');
+        }
+        out.push(']');
+    }
+    out.push('}');
+    out
+}
+
+fn print_human(outcome: &CheckOutcome, print_probabilities: bool) {
+    let states: Vec<String> = outcome
+        .satisfying_states()
+        .map(|s| (s + 1).to_string())
+        .collect();
+    if states.is_empty() {
+        println!("  satisfied by: (no states)");
+    } else {
+        println!("  satisfied by: {}", states.join(" "));
+    }
+    if outcome.has_unknown() {
+        let undecided: Vec<String> = outcome
+            .unknown_states()
+            .map(|s| (s + 1).to_string())
+            .collect();
+        println!(
+            "  undecided (error budget straddles the bound): {}",
+            undecided.join(" ")
+        );
+    }
+    if !print_probabilities {
+        return;
+    }
+    let Some(probs) = outcome.probabilities() else {
+        return;
+    };
+    for (s, p) in probs.iter().enumerate() {
+        let mut line = format!("  state {}: P = {:.12}", s + 1, p);
+        if let Some(errs) = outcome.error_bounds() {
+            line.push_str(&format!(" (error bound {:.3e})", errs[s]));
+        }
+        if let Some(budgets) = outcome.budgets() {
+            let b = &budgets[s];
+            let (name, value) = b.dominant();
+            line.push_str(&format!(
+                " [total error {:.3e}, dominant: {} {:.3e}]",
+                b.total(),
+                name,
+                value
+            ));
+        }
+        if outcome.verdict(s) == Verdict::Unknown {
+            line.push_str(" -- unknown");
+        }
+        println!("{line}");
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", usage());
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
     let cli = parse_args(&args)?;
 
     let mrm = mrmc_mrm::io::load_model(&cli.tra, &cli.lab, &cli.rewr, &cli.rewi)
         .map_err(|e| e.to_string())?;
-    println!(
-        "loaded model: {} states, {} transitions, {} impulse rewards",
-        mrm.num_states(),
-        mrm.ctmc().rates().nnz(),
-        mrm.impulse_rewards().len()
-    );
+    if !cli.json {
+        println!(
+            "loaded model: {} states, {} transitions, {} impulse rewards",
+            mrm.num_states(),
+            mrm.ctmc().rates().nnz(),
+            mrm.impulse_rewards().len()
+        );
+    }
 
-    let options = CheckOptions::new()
+    let mut options = CheckOptions::new()
         .with_engine(cli.engine)
         .with_threads(cli.threads);
+    if let Some(e) = cli.tolerance {
+        options = options.with_tolerance(e);
+    }
     let checker = ModelChecker::new(mrm, options);
 
     let stdin = std::io::stdin();
     let mut any_error = false;
+    let mut any_tolerance_miss = false;
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| e.to_string())?;
         let text = match line.find('%') {
@@ -134,50 +306,54 @@ fn run() -> Result<(), String> {
         if text.is_empty() {
             continue;
         }
-        println!("formula: {text}");
+        if !cli.json {
+            println!("formula: {text}");
+        }
         match checker.check_str(text) {
             Ok(outcome) => {
-                let states: Vec<String> = outcome
-                    .satisfying_states()
-                    .map(|s| (s + 1).to_string())
-                    .collect();
-                if states.is_empty() {
-                    println!("  satisfied by: (no states)");
+                if cli.json {
+                    println!("{}", json_outcome(text, &outcome));
                 } else {
-                    println!("  satisfied by: {}", states.join(" "));
-                }
-                if cli.print_probabilities {
-                    if let Some(probs) = outcome.probabilities() {
-                        for (s, p) in probs.iter().enumerate() {
-                            match outcome.error_bounds() {
-                                Some(errs) => println!(
-                                    "  state {}: P = {:.12} (error bound {:.3e})",
-                                    s + 1,
-                                    p,
-                                    errs[s]
-                                ),
-                                None => println!("  state {}: P = {:.12}", s + 1, p),
-                            }
-                        }
-                    }
+                    print_human(&outcome, cli.print_probabilities);
                 }
             }
             Err(e) => {
-                println!("  error: {e}");
-                any_error = true;
+                let tolerance_miss = matches!(e, CheckError::ToleranceNotMet { .. });
+                if cli.json {
+                    let kind = if tolerance_miss {
+                        "tolerance_not_met"
+                    } else {
+                        "check_failed"
+                    };
+                    println!(
+                        "{{\"formula\":\"{}\",\"error\":\"{}\",\"error_kind\":\"{kind}\"}}",
+                        json_escape(text),
+                        json_escape(&e.to_string())
+                    );
+                } else {
+                    println!("  error: {e}");
+                }
+                if tolerance_miss {
+                    any_tolerance_miss = true;
+                } else {
+                    any_error = true;
+                }
             }
         }
     }
     if any_error {
         Err("one or more formulas failed".to_string())
+    } else if any_tolerance_miss {
+        eprintln!("tolerance not met for one or more formulas");
+        Ok(ExitCode::from(3))
     } else {
-        Ok(())
+        Ok(ExitCode::SUCCESS)
     }
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("{msg}");
             ExitCode::FAILURE
@@ -199,6 +375,8 @@ mod tests {
         assert_eq!(cli.tra, "a.tra");
         assert_eq!(cli.rewi, "a.rewi");
         assert!(cli.print_probabilities);
+        assert_eq!(cli.tolerance, None);
+        assert!(!cli.json);
         match cli.engine {
             UntilEngine::Uniformization(u) => assert_eq!(u.truncation, 1e-8),
             _ => panic!("expected uniformization"),
@@ -227,6 +405,44 @@ mod tests {
             _ => panic!("expected simulation"),
         }
         assert!(parse_args(&args(&["a", "b", "c", "d", "s=-3"])).is_err());
+    }
+
+    #[test]
+    fn tolerance_flag_parses_in_both_spellings() {
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--tolerance",
+            "1e-6",
+        ]))
+        .unwrap();
+        assert_eq!(cli.tolerance, Some(1e-6));
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--tolerance=0.001",
+        ]))
+        .unwrap();
+        assert_eq!(cli.tolerance, Some(1e-3));
+    }
+
+    #[test]
+    fn bad_tolerance_values_are_rejected() {
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--tolerance"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--tolerance", "x"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--tolerance=0"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--tolerance=1.5"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--tolerance=-1e-6"])).is_err());
+    }
+
+    #[test]
+    fn json_flag_parses() {
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "--json"])).unwrap();
+        assert!(cli.json);
     }
 
     #[test]
@@ -292,5 +508,13 @@ mod tests {
         assert!(parse_args(&args(&["a", "b", "c", "d", "d=x"])).is_err());
         let e = parse_args(&args(&["a", "b", "c", "d", "--frob"])).unwrap_err();
         assert!(e.contains("--frob"));
+    }
+
+    #[test]
+    fn json_escaping_covers_the_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+        assert_eq!(json_f64(0.5), "5e-1");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
     }
 }

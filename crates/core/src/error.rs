@@ -28,6 +28,14 @@ pub enum CheckError {
         /// Which bound was out of scope.
         what: &'static str,
     },
+    /// The adaptive driver could not refine the engine far enough to meet
+    /// the requested [`tolerance`](crate::CheckOptions::tolerance).
+    ToleranceNotMet {
+        /// The tolerance the caller asked for.
+        requested: f64,
+        /// The tightest total error budget achieved.
+        achieved: f64,
+    },
     /// A numerical engine failed.
     Numerics(NumericsError),
     /// A chain-level analysis failed.
@@ -44,6 +52,13 @@ impl fmt::Display for CheckError {
             CheckError::UnsupportedBounds { what } => write!(
                 f,
                 "unsupported {what}: only [0, t] time and [0, r] reward bounds are supported for until formulas"
+            ),
+            CheckError::ToleranceNotMet {
+                requested,
+                achieved,
+            } => write!(
+                f,
+                "tolerance not met: requested {requested:e}, achieved error bound {achieved:e}"
             ),
             CheckError::Numerics(e) => write!(f, "{e}"),
             CheckError::Model(e) => write!(f, "{e}"),
@@ -70,11 +85,17 @@ impl From<ParseError> for CheckError {
 
 impl From<NumericsError> for CheckError {
     fn from(e: NumericsError) -> Self {
-        // Normalize the numerics-level unsupported-bounds report.
-        if let NumericsError::UnsupportedBounds { what } = e {
-            CheckError::UnsupportedBounds { what }
-        } else {
-            CheckError::Numerics(e)
+        // Normalize the numerics-level structured reports.
+        match e {
+            NumericsError::UnsupportedBounds { what } => CheckError::UnsupportedBounds { what },
+            NumericsError::ToleranceNotMet {
+                requested,
+                achieved,
+            } => CheckError::ToleranceNotMet {
+                requested,
+                achieved,
+            },
+            other => CheckError::Numerics(other),
         }
     }
 }
@@ -114,6 +135,20 @@ mod tests {
 
         let e: CheckError = NumericsError::UnsupportedBounds { what: "x" }.into();
         assert!(matches!(e, CheckError::UnsupportedBounds { what: "x" }));
+
+        let e: CheckError = NumericsError::ToleranceNotMet {
+            requested: 1e-6,
+            achieved: 1e-4,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            CheckError::ToleranceNotMet {
+                requested: 1e-6,
+                achieved: 1e-4
+            }
+        ));
+        assert!(e.to_string().contains("1e-6"));
 
         let e: CheckError = ModelError::EmptyModel.into();
         assert!(e.to_string().contains("no states"));

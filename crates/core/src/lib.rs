@@ -54,9 +54,11 @@ pub mod witness;
 pub use error::CheckError;
 pub use next::next_probabilities;
 pub use options::{CheckOptions, UntilEngine};
-pub use outcome::CheckOutcome;
+pub use outcome::{CheckOutcome, Verdict};
 pub use until::{until_probabilities, UntilAnalysis};
 pub use witness::{most_probable_witness, Witness};
+
+pub use mrmc_numerics::ErrorBudget;
 
 use mrmc_csrl::StateFormula;
 use mrmc_mrm::Mrm;

@@ -55,6 +55,14 @@ pub struct CheckOptions {
     /// Truncation error for the Fox–Glynn baseline used on until formulas
     /// without reward bounds.
     pub transient_epsilon: f64,
+    /// Requested accuracy `ε` on computed probabilities. When set, until
+    /// engines run under the adaptive driver
+    /// ([`mrmc_numerics::adaptive`]): their knobs (`w`, `d`, samples) are
+    /// refined until the reported error budget is ≤ `ε`, and checking
+    /// fails with [`CheckError::ToleranceNotMet`](crate::CheckError) if
+    /// the driver's work cap is hit first. `None` (the default) runs each
+    /// engine once at its configured knob.
+    pub tolerance: Option<f64>,
 }
 
 impl CheckOptions {
@@ -64,12 +72,20 @@ impl CheckOptions {
             until_engine: UntilEngine::default(),
             solver: SolverOptions::new(),
             transient_epsilon: 1e-10,
+            tolerance: None,
         }
     }
 
     /// Replace the until engine.
     pub fn with_engine(mut self, engine: UntilEngine) -> Self {
         self.until_engine = engine;
+        self
+    }
+
+    /// Request a guaranteed accuracy `ε` on computed probabilities (see
+    /// [`tolerance`](CheckOptions::tolerance)).
+    pub fn with_tolerance(mut self, epsilon: f64) -> Self {
+        self.tolerance = Some(epsilon);
         self
     }
 
@@ -104,6 +120,13 @@ mod tests {
             _ => panic!("default must be uniformization"),
         }
         assert_eq!(CheckOptions::default(), o);
+    }
+
+    #[test]
+    fn tolerance_builder() {
+        let o = CheckOptions::new();
+        assert_eq!(o.tolerance, None);
+        assert_eq!(o.with_tolerance(1e-6).tolerance, Some(1e-6));
     }
 
     #[test]

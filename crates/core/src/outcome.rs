@@ -1,48 +1,98 @@
 //! The result of checking a formula.
 
-/// The outcome of `Sat(Φ)`: the satisfying set, plus — when the outermost
-/// operator was probabilistic — the computed per-state probabilities and
-/// error bounds.
+use mrmc_numerics::ErrorBudget;
+
+/// A bound-aware, three-valued verdict for one state.
+///
+/// When the computed probability's error budget straddles the threshold of
+/// a `P⋈p`/`S⋈p` operator, the checker refuses to pick a side: the state
+/// is [`Unknown`](Verdict::Unknown) rather than silently mis-classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The formula definitely holds (at every probability inside the
+    /// budget interval).
+    Holds,
+    /// The formula definitely fails.
+    Fails,
+    /// The threshold lies inside the budget interval: undecidable at this
+    /// accuracy. Request a tighter tolerance to resolve it.
+    Unknown,
+}
+
+/// The outcome of `Sat(Φ)`: the satisfying set, the undecided set, plus —
+/// when the outermost operator was probabilistic — the computed per-state
+/// probabilities, error bounds and budgets.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckOutcome {
     sat: Vec<bool>,
+    unknown: Vec<bool>,
     probabilities: Option<Vec<f64>>,
     error_bounds: Option<Vec<f64>>,
+    budgets: Option<Vec<ErrorBudget>>,
 }
 
 impl CheckOutcome {
-    pub(crate) fn boolean(sat: Vec<bool>) -> Self {
-        CheckOutcome {
-            sat,
-            probabilities: None,
-            error_bounds: None,
-        }
-    }
-
     pub(crate) fn with_probabilities(
         sat: Vec<bool>,
+        unknown: Vec<bool>,
         probabilities: Vec<f64>,
         error_bounds: Option<Vec<f64>>,
+        budgets: Option<Vec<ErrorBudget>>,
     ) -> Self {
         CheckOutcome {
             sat,
+            unknown,
             probabilities: Some(probabilities),
             error_bounds,
+            budgets,
         }
     }
 
-    /// The characteristic vector of `Sat(Φ)`.
+    pub(crate) fn with_unknown(sat: Vec<bool>, unknown: Vec<bool>) -> Self {
+        CheckOutcome {
+            sat,
+            unknown,
+            probabilities: None,
+            error_bounds: None,
+            budgets: None,
+        }
+    }
+
+    /// The characteristic vector of `Sat(Φ)` — the states where the
+    /// formula *definitely* holds. Undecided states read `false` here;
+    /// consult [`verdict`](Self::verdict) or [`unknown`](Self::unknown)
+    /// to tell them apart from definite failures.
     pub fn sat(&self) -> &[bool] {
         &self.sat
     }
 
-    /// `true` when `state` satisfies the formula.
+    /// The characteristic vector of the undecided states.
+    pub fn unknown(&self) -> &[bool] {
+        &self.unknown
+    }
+
+    /// `true` when `state` definitely satisfies the formula.
     ///
     /// # Panics
     ///
     /// Panics if `state` is out of bounds.
     pub fn holds_in(&self, state: usize) -> bool {
         self.sat[state]
+    }
+
+    /// The three-valued verdict for `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn verdict(&self, state: usize) -> Verdict {
+        if self.sat[state] {
+            Verdict::Holds
+        } else if self.unknown[state] {
+            Verdict::Unknown
+        } else {
+            Verdict::Fails
+        }
     }
 
     /// Iterate over the indices of satisfying states.
@@ -52,6 +102,20 @@ impl CheckOutcome {
             .enumerate()
             .filter(|(_, &b)| b)
             .map(|(s, _)| s)
+    }
+
+    /// Iterate over the indices of undecided states.
+    pub fn unknown_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.unknown
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(s, _)| s)
+    }
+
+    /// `true` when any state is undecided at the achieved accuracy.
+    pub fn has_unknown(&self) -> bool {
+        self.unknown.iter().any(|&b| b)
     }
 
     /// Number of satisfying states.
@@ -70,6 +134,13 @@ impl CheckOutcome {
     pub fn error_bounds(&self) -> Option<&[f64]> {
         self.error_bounds.as_deref()
     }
+
+    /// Per-state error budgets for the outermost operator, when its
+    /// engine accounts for its error (see
+    /// [`ErrorBudget`](mrmc_numerics::ErrorBudget)).
+    pub fn budgets(&self) -> Option<&[ErrorBudget]> {
+        self.budgets.as_deref()
+    }
 }
 
 #[cfg(test)]
@@ -78,7 +149,7 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let o = CheckOutcome::boolean(vec![true, false, true]);
+        let o = CheckOutcome::with_unknown(vec![true, false, true], vec![false; 3]);
         assert_eq!(o.sat(), &[true, false, true]);
         assert!(o.holds_in(0));
         assert!(!o.holds_in(1));
@@ -86,16 +157,44 @@ mod tests {
         assert_eq!(o.count(), 2);
         assert!(o.probabilities().is_none());
         assert!(o.error_bounds().is_none());
+        assert!(o.budgets().is_none());
+        assert!(!o.has_unknown());
+        assert_eq!(o.verdict(0), Verdict::Holds);
+        assert_eq!(o.verdict(1), Verdict::Fails);
     }
 
     #[test]
     fn probability_outcome() {
         let o = CheckOutcome::with_probabilities(
             vec![false, true],
+            vec![false, false],
             vec![0.2, 0.9],
             Some(vec![1e-9, 2e-9]),
+            Some(vec![
+                ErrorBudget::from_truncation(1e-9),
+                ErrorBudget::from_truncation(2e-9),
+            ]),
         );
         assert_eq!(o.probabilities().unwrap()[1], 0.9);
         assert_eq!(o.error_bounds().unwrap()[0], 1e-9);
+        assert_eq!(o.budgets().unwrap()[0].path_truncation, 1e-9);
+    }
+
+    #[test]
+    fn unknown_states_are_not_satisfying() {
+        let o = CheckOutcome::with_probabilities(
+            vec![false, true, false],
+            vec![true, false, false],
+            vec![0.5, 0.9, 0.1],
+            None,
+            None,
+        );
+        assert_eq!(o.verdict(0), Verdict::Unknown);
+        assert_eq!(o.verdict(1), Verdict::Holds);
+        assert_eq!(o.verdict(2), Verdict::Fails);
+        assert!(!o.holds_in(0));
+        assert!(o.has_unknown());
+        assert_eq!(o.unknown_states().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(o.count(), 1);
     }
 }

@@ -1,7 +1,23 @@
-//! The `Sat(Φ)` recursion (Section 4.1, Algorithm 4.1).
+//! The `Sat(Φ)` recursion (Section 4.1, Algorithm 4.1), extended with
+//! bound-aware three-valued verdicts.
+//!
+//! Every probability the engines report comes with an
+//! [`ErrorBudget`](mrmc_numerics::ErrorBudget). A threshold operator
+//! `P⋈p`/`S⋈p` is therefore evaluated on the *interval*
+//! `[p̂ − E, p̂ + E]`: when the whole interval falls on one side of the
+//! bound the verdict is definite, otherwise the state is *unknown*
+//! (Kleene's strong three-valued logic) instead of silently guessed.
+//!
+//! Unknown inner sets are propagated through nested `S`/`P` operators by
+//! monotone two-run widening: steady-state, next and until probabilities
+//! are all nondecreasing in their argument state sets, so running the
+//! engine on the definite set (lower) and on definite ∪ unknown (upper)
+//! brackets the true probability. The midpoint is reported, and the
+//! half-width is charged to the budget's `propagation` component.
 
-use mrmc_csrl::{PathFormula, StateFormula};
+use mrmc_csrl::{CompareOp, PathFormula, StateFormula};
 use mrmc_mrm::Mrm;
+use mrmc_numerics::ErrorBudget;
 
 use crate::error::CheckError;
 use crate::next::next_probabilities;
@@ -14,6 +30,7 @@ use crate::until::until_probabilities;
 struct Extras {
     probabilities: Vec<f64>,
     error_bounds: Option<Vec<f64>>,
+    budgets: Option<Vec<ErrorBudget>>,
 }
 
 /// Compute `Sat(Φ)` with a post-order traversal of the formula.
@@ -22,11 +39,93 @@ pub fn satisfy(
     options: &CheckOptions,
     formula: &StateFormula,
 ) -> Result<CheckOutcome, CheckError> {
-    let (sat, extras) = sat_rec(mrm, options, formula)?;
+    let (sat, unknown, extras) = sat_rec(mrm, options, formula)?;
     Ok(match extras {
-        Some(e) => CheckOutcome::with_probabilities(sat, e.probabilities, e.error_bounds),
-        None => CheckOutcome::boolean(sat),
+        Some(e) => CheckOutcome::with_probabilities(
+            sat,
+            unknown,
+            e.probabilities,
+            e.error_bounds,
+            e.budgets,
+        ),
+        None => CheckOutcome::with_unknown(sat, unknown),
     })
+}
+
+/// `a ∪ b` as characteristic vectors.
+fn union(a: &[bool], b: &[bool]) -> Vec<bool> {
+    a.iter().zip(b).map(|(&x, &y)| x || y).collect()
+}
+
+fn any(v: &[bool]) -> bool {
+    v.iter().any(|&b| b)
+}
+
+/// Combine a lower/upper probability pair from monotone two-run widening
+/// into a midpoint estimate and a budget charging the half-width to the
+/// `propagation` component (on top of the component-wise worst case of
+/// the two runs' own budgets).
+fn widen(
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    lo_budgets: Option<Vec<ErrorBudget>>,
+    hi_budgets: Option<Vec<ErrorBudget>>,
+) -> (Vec<f64>, Option<Vec<ErrorBudget>>) {
+    let n = lo.len();
+    let mut probabilities = Vec::with_capacity(n);
+    let mut budgets = Vec::with_capacity(n);
+    for s in 0..n {
+        // The engines' own error can perturb the bracketing by up to their
+        // budget, so order the endpoints defensively.
+        let (a, b) = if lo[s] <= hi[s] {
+            (lo[s], hi[s])
+        } else {
+            (hi[s], lo[s])
+        };
+        probabilities.push(0.5 * (a + b));
+        let base = match (&lo_budgets, &hi_budgets) {
+            (Some(l), Some(h)) => l[s].max(&h[s]),
+            (Some(l), None) => l[s],
+            (None, Some(h)) => h[s],
+            (None, None) => ErrorBudget::zero(),
+        };
+        budgets.push(base.widened_by(0.5 * (b - a)));
+    }
+    (probabilities, Some(budgets))
+}
+
+/// Evaluate `⋈ bound` on each probability. With budgets the comparison is
+/// interval-valued: a threshold inside `[p − E, p + E]` yields *unknown*.
+fn threshold_verdicts(
+    op: CompareOp,
+    bound: f64,
+    probabilities: &[f64],
+    budgets: Option<&[ErrorBudget]>,
+) -> (Vec<bool>, Vec<bool>) {
+    let n = probabilities.len();
+    match budgets {
+        None => (
+            probabilities.iter().map(|&p| op.eval(p, bound)).collect(),
+            vec![false; n],
+        ),
+        Some(bs) => {
+            let mut sat = Vec::with_capacity(n);
+            let mut unknown = vec![false; n];
+            for (s, (&p, budget)) in probabilities.iter().zip(bs).enumerate() {
+                let e = budget.total();
+                // Probabilities live in [0, 1]; clamping the interval keeps
+                // trivial thresholds (≥ 0, ≤ 1) decidable under any budget.
+                match op.eval_interval((p - e).max(0.0), (p + e).min(1.0), bound) {
+                    Some(v) => sat.push(v),
+                    None => {
+                        sat.push(false);
+                        unknown[s] = true;
+                    }
+                }
+            }
+            (sat, unknown)
+        }
+    }
 }
 
 #[allow(clippy::type_complexity)]
@@ -34,49 +133,80 @@ fn sat_rec(
     mrm: &Mrm,
     options: &CheckOptions,
     formula: &StateFormula,
-) -> Result<(Vec<bool>, Option<Extras>), CheckError> {
+) -> Result<(Vec<bool>, Vec<bool>, Option<Extras>), CheckError> {
     let n = mrm.num_states();
     match formula {
-        StateFormula::True => Ok((vec![true; n], None)),
-        StateFormula::False => Ok((vec![false; n], None)),
+        StateFormula::True => Ok((vec![true; n], vec![false; n], None)),
+        StateFormula::False => Ok((vec![false; n], vec![false; n], None)),
         StateFormula::Ap(name) => {
             let sat = mrm.labeling().states_with(name);
-            if !sat.iter().any(|&b| b) {
+            if !any(&sat) {
                 return Err(CheckError::UnknownProposition { name: name.clone() });
             }
-            Ok((sat, None))
+            Ok((sat, vec![false; n], None))
         }
         StateFormula::Not(inner) => {
-            let (mut sat, _) = sat_rec(mrm, options, inner)?;
-            for b in sat.iter_mut() {
-                *b = !*b;
-            }
-            Ok((sat, None))
+            let (isat, iunk, _) = sat_rec(mrm, options, inner)?;
+            // ¬unknown stays unknown; only definite-false flips to true.
+            let sat = isat.iter().zip(&iunk).map(|(&s, &u)| !s && !u).collect();
+            Ok((sat, iunk, None))
         }
         StateFormula::Or(a, b) => {
-            let (sa, _) = sat_rec(mrm, options, a)?;
-            let (sb, _) = sat_rec(mrm, options, b)?;
-            Ok((sa.iter().zip(&sb).map(|(&x, &y)| x || y).collect(), None))
+            let (sa, ua, _) = sat_rec(mrm, options, a)?;
+            let (sb, ub, _) = sat_rec(mrm, options, b)?;
+            let sat: Vec<bool> = union(&sa, &sb);
+            let unknown = sat
+                .iter()
+                .zip(ua.iter().zip(&ub))
+                .map(|(&s, (&x, &y))| !s && (x || y))
+                .collect();
+            Ok((sat, unknown, None))
         }
         StateFormula::And(a, b) => {
-            let (sa, _) = sat_rec(mrm, options, a)?;
-            let (sb, _) = sat_rec(mrm, options, b)?;
-            Ok((sa.iter().zip(&sb).map(|(&x, &y)| x && y).collect(), None))
+            let (sa, ua, _) = sat_rec(mrm, options, a)?;
+            let (sb, ub, _) = sat_rec(mrm, options, b)?;
+            let mut sat = Vec::with_capacity(n);
+            let mut unknown = Vec::with_capacity(n);
+            for s in 0..n {
+                let both = sa[s] && sb[s];
+                // Definitely false as soon as either side definitely fails.
+                let def_false = (!sa[s] && !ua[s]) || (!sb[s] && !ub[s]);
+                sat.push(both);
+                unknown.push(!both && !def_false);
+            }
+            Ok((sat, unknown, None))
         }
         StateFormula::Implies(a, b) => {
-            let (sa, _) = sat_rec(mrm, options, a)?;
-            let (sb, _) = sat_rec(mrm, options, b)?;
-            Ok((sa.iter().zip(&sb).map(|(&x, &y)| !x || y).collect(), None))
+            // a ⇒ b ≡ ¬a ∨ b in Kleene logic.
+            let (sa, ua, _) = sat_rec(mrm, options, a)?;
+            let (sb, ub, _) = sat_rec(mrm, options, b)?;
+            let mut sat = Vec::with_capacity(n);
+            let mut unknown = Vec::with_capacity(n);
+            for s in 0..n {
+                let holds = (!sa[s] && !ua[s]) || sb[s];
+                sat.push(holds);
+                unknown.push(!holds && (ua[s] || ub[s]));
+            }
+            Ok((sat, unknown, None))
         }
         StateFormula::Steady { op, bound, inner } => {
-            let (inner_sat, _) = sat_rec(mrm, options, inner)?;
-            let probabilities = steady_probabilities(mrm, options, &inner_sat)?;
-            let sat = probabilities.iter().map(|&p| op.eval(p, *bound)).collect();
+            let (isat, iunk, _) = sat_rec(mrm, options, inner)?;
+            let (probabilities, budgets) = if any(&iunk) {
+                let lo = steady_probabilities(mrm, options, &isat)?;
+                let hi = steady_probabilities(mrm, options, &union(&isat, &iunk))?;
+                widen(lo, hi, None, None)
+            } else {
+                (steady_probabilities(mrm, options, &isat)?, None)
+            };
+            let (sat, unknown) =
+                threshold_verdicts(*op, *bound, &probabilities, budgets.as_deref());
             Ok((
                 sat,
+                unknown,
                 Some(Extras {
                     probabilities,
                     error_bounds: None,
+                    budgets,
                 }),
             ))
         }
@@ -86,14 +216,23 @@ fn sat_rec(
                 reward,
                 inner,
             } => {
-                let (inner_sat, _) = sat_rec(mrm, options, inner)?;
-                let probabilities = next_probabilities(mrm, time, reward, &inner_sat)?;
-                let sat = probabilities.iter().map(|&p| op.eval(p, *bound)).collect();
+                let (isat, iunk, _) = sat_rec(mrm, options, inner)?;
+                let (probabilities, budgets) = if any(&iunk) {
+                    let lo = next_probabilities(mrm, time, reward, &isat)?;
+                    let hi = next_probabilities(mrm, time, reward, &union(&isat, &iunk))?;
+                    widen(lo, hi, None, None)
+                } else {
+                    (next_probabilities(mrm, time, reward, &isat)?, None)
+                };
+                let (sat, unknown) =
+                    threshold_verdicts(*op, *bound, &probabilities, budgets.as_deref());
                 Ok((
                     sat,
+                    unknown,
                     Some(Extras {
                         probabilities,
                         error_bounds: None,
+                        budgets,
                     }),
                 ))
             }
@@ -103,19 +242,44 @@ fn sat_rec(
                 lhs,
                 rhs,
             } => {
-                let (phi, _) = sat_rec(mrm, options, lhs)?;
-                let (psi, _) = sat_rec(mrm, options, rhs)?;
-                let analysis = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
-                let sat = analysis
-                    .probabilities
-                    .iter()
-                    .map(|&p| op.eval(p, *bound))
-                    .collect();
+                let (phi, phi_u, _) = sat_rec(mrm, options, lhs)?;
+                let (psi, psi_u, _) = sat_rec(mrm, options, rhs)?;
+                let (probabilities, error_bounds, budgets) = if any(&phi_u) || any(&psi_u) {
+                    let lo = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
+                    let hi = until_probabilities(
+                        mrm,
+                        options,
+                        time,
+                        reward,
+                        &union(&phi, &phi_u),
+                        &union(&psi, &psi_u),
+                    )?;
+                    let error_bounds = match (lo.error_bounds, hi.error_bounds) {
+                        (Some(l), Some(h)) => {
+                            Some(l.iter().zip(&h).map(|(&a, &b)| a.max(b)).collect())
+                        }
+                        _ => None,
+                    };
+                    let (probabilities, budgets) =
+                        widen(lo.probabilities, hi.probabilities, lo.budgets, hi.budgets);
+                    (probabilities, error_bounds, budgets)
+                } else {
+                    let analysis = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
+                    (
+                        analysis.probabilities,
+                        analysis.error_bounds,
+                        analysis.budgets,
+                    )
+                };
+                let (sat, unknown) =
+                    threshold_verdicts(*op, *bound, &probabilities, budgets.as_deref());
                 Ok((
                     sat,
+                    unknown,
                     Some(Extras {
-                        probabilities: analysis.probabilities,
-                        error_bounds: analysis.error_bounds,
+                        probabilities,
+                        error_bounds,
+                        budgets,
                     }),
                 ))
             }
@@ -126,7 +290,8 @@ fn sat_rec(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ModelChecker;
+    use crate::outcome::Verdict;
+    use crate::{ModelChecker, UntilEngine};
     use mrmc_ctmc::CtmcBuilder;
 
     fn wavelan() -> Mrm {
@@ -148,6 +313,15 @@ mod tests {
 
     fn checker() -> ModelChecker {
         ModelChecker::new(wavelan(), CheckOptions::new())
+    }
+
+    /// A checker whose uniformization engine is crippled (huge truncation
+    /// probability), so interior thresholds become undecidable.
+    fn sloppy_checker() -> ModelChecker {
+        ModelChecker::new(
+            wavelan(),
+            CheckOptions::new().with_engine(UntilEngine::uniformization(0.5)),
+        )
     }
 
     #[test]
@@ -239,23 +413,73 @@ mod tests {
             .check_str("P(> 0.1) [idle U[0,0.5][0,2000] busy]")
             .unwrap();
         assert!(out.error_bounds().is_some());
+        let budgets = out.budgets().expect("uniformization reports budgets");
+        assert!(budgets.iter().all(|b| b.is_well_formed()));
         let p = out.probabilities().unwrap();
         assert!(p[2] > 0.1);
         assert_eq!(p[0], 0.0);
+        // Far from the bound at w = 1e-8: every verdict is definite.
+        assert!(!out.has_unknown());
     }
 
     #[test]
-    fn unsupported_bounds_surface() {
-        let c = checker();
-        let e = c
-            .check_str("P(> 0.1) [idle U[1,2][0,10] busy]")
-            .unwrap_err();
-        assert!(matches!(e, CheckError::UnsupportedBounds { .. }));
+    fn straddled_threshold_is_unknown_not_guessed() {
+        // With truncation probability 0.5 the budget covers half the unit
+        // interval: an interior threshold cannot be decided, and the
+        // checker must say so rather than pick a side.
+        let out = sloppy_checker()
+            .check_str("P(> 0.3) [idle U[0,0.5][0,2000] busy]")
+            .unwrap();
+        assert_eq!(out.verdict(2), Verdict::Unknown);
+        assert!(!out.holds_in(2));
+        assert!(out.has_unknown());
+        // A trivial threshold stays decidable under any budget.
+        let out = sloppy_checker()
+            .check_str("P(>= 0) [idle U[0,0.5][0,2000] busy]")
+            .unwrap();
+        assert!(!out.has_unknown());
+        assert_eq!(out.count(), 5);
     }
 
     #[test]
-    fn parse_errors_surface() {
-        let c = checker();
-        assert!(matches!(c.check_str("P(>)"), Err(CheckError::Parse(_))));
+    fn kleene_connectives_propagate_unknown() {
+        let c = sloppy_checker();
+        let u = "P(> 0.3) [idle U[0,0.5][0,2000] busy]";
+        // ¬unknown is unknown.
+        let out = c.check_str(&format!("!({u})")).unwrap();
+        assert_eq!(out.verdict(2), Verdict::Unknown);
+        // unknown ∨ TT is true; unknown ∧ FF is false.
+        let out = c.check_str(&format!("({u}) || TT")).unwrap();
+        assert_eq!(out.verdict(2), Verdict::Holds);
+        let out = c.check_str(&format!("({u}) && FF")).unwrap();
+        assert_eq!(out.verdict(2), Verdict::Fails);
+        // unknown ∨ FF and unknown ∧ TT stay unknown.
+        let out = c.check_str(&format!("({u}) || FF")).unwrap();
+        assert_eq!(out.verdict(2), Verdict::Unknown);
+        let out = c.check_str(&format!("({u}) && TT")).unwrap();
+        assert_eq!(out.verdict(2), Verdict::Unknown);
+        // unknown ⇒ FF is unknown; FF ⇒ unknown is true.
+        let out = c.check_str(&format!("({u}) => FF")).unwrap();
+        assert_eq!(out.verdict(2), Verdict::Unknown);
+        let out = c.check_str(&format!("FF => ({u})")).unwrap();
+        assert_eq!(out.verdict(2), Verdict::Holds);
+    }
+
+    #[test]
+    fn nested_unknown_widens_the_outer_budget() {
+        // The inner formula is undecidable in state idle under the sloppy
+        // engine; the outer X-operator then runs on bracketing inner sets
+        // and charges the spread to the propagation component.
+        let c = sloppy_checker();
+        let inner = "P(> 0.3) [idle U[0,0.5][0,2000] busy]";
+        let out = c.check_str(&format!("P(> 0.9) [X ({inner})]")).unwrap();
+        let budgets = out.budgets().expect("widening must attach budgets");
+        // From receive/transmit every jump lands in idle, the unknown
+        // state: the bracketing runs disagree by the full jump probability.
+        assert!(budgets[3].propagation > 0.4);
+        assert_eq!(out.verdict(3), Verdict::Unknown);
+        // From off the next state is sleep (definite on both runs).
+        assert_eq!(budgets[0].propagation, 0.0);
+        assert_eq!(out.verdict(0), Verdict::Fails);
     }
 }

@@ -20,7 +20,7 @@
 use mrmc_csrl::Interval;
 use mrmc_ctmc::reach;
 use mrmc_mrm::Mrm;
-use mrmc_numerics::{baseline, discretization, monte_carlo, uniformization};
+use mrmc_numerics::{adaptive, baseline, discretization, monte_carlo, uniformization, ErrorBudget};
 
 use crate::error::CheckError;
 use crate::options::{CheckOptions, UntilEngine};
@@ -31,8 +31,15 @@ pub struct UntilAnalysis {
     /// `P^M(s, Φ U^I_J Ψ)` per state.
     pub probabilities: Vec<f64>,
     /// Truncation error bounds per state when the uniformization engine
-    /// ran; `None` for the other property classes.
+    /// ran; `None` for the other property classes. Kept with its original
+    /// engine-native meaning (Eq. 4.6 truncation mass / standard error);
+    /// the full decomposition lives in [`budgets`](UntilAnalysis::budgets).
     pub error_bounds: Option<Vec<f64>>,
+    /// Per-state error budgets: `None` only for the property classes
+    /// solved exactly (to solver tolerance) — unbounded until over the
+    /// embedded DTMC. Statistical components hold at the simulation
+    /// confidence level rather than with certainty.
+    pub budgets: Option<Vec<ErrorBudget>>,
 }
 
 /// Compute `P^M(s, Φ U^I_J Ψ)` for every state.
@@ -49,26 +56,41 @@ pub fn until_probabilities(
     phi: &[bool],
     psi: &[bool],
 ) -> Result<UntilAnalysis, CheckError> {
+    if let Some(eps) = options.tolerance {
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(CheckError::Numerics(
+                mrmc_numerics::NumericsError::InvalidParameter {
+                    name: "tolerance",
+                    value: eps,
+                    requirement: "must be in (0, 1)",
+                },
+            ));
+        }
+    }
     if time.lo() != 0.0 || reward.lo() != 0.0 {
         // A non-zero time lower bound with a *trivial* reward bound has an
         // exact method: the standard two-phase decomposition ([Bai03]).
         if reward.is_trivial() {
             if !time.is_upper_unbounded() {
-                let probabilities = baseline::until_time_interval(
-                    mrm,
-                    phi,
-                    psi,
-                    time.lo(),
-                    time.hi(),
-                    options.transient_epsilon,
-                )?;
+                // Two Fox–Glynn phases, each truncated at ε': the budget
+                // is their sum. A requested tolerance simply tightens ε'.
+                let eps_used = match options.tolerance {
+                    Some(eps) => options.transient_epsilon.min(eps / 2.0),
+                    None => options.transient_epsilon,
+                };
+                let probabilities =
+                    baseline::until_time_interval(mrm, phi, psi, time.lo(), time.hi(), eps_used)?;
+                let n = probabilities.len();
                 return Ok(UntilAnalysis {
                     probabilities,
                     error_bounds: None,
+                    budgets: Some(vec![ErrorBudget::from_poisson_tail(2.0 * eps_used); n]),
                 });
             }
             // Φ U^{[t1,∞)} Ψ: unbounded reachability as phase 2, the
-            // Φ-constrained backward transient as phase 1.
+            // Φ-constrained backward transient as phase 1. The solver
+            // phase is exact to its own convergence tolerance, outside
+            // the budget system — no budget is claimed.
             let embedded = mrm.ctmc().embedded_dtmc();
             let mut u = reach::until_unbounded(embedded.probabilities(), phi, psi, options.solver)?;
             for (s, value) in u.iter_mut().enumerate() {
@@ -86,14 +108,20 @@ pub fn until_probabilities(
             return Ok(UntilAnalysis {
                 probabilities,
                 error_bounds: None,
+                budgets: None,
             });
         }
         // Only the statistical engine evaluates general lower bounds.
         if let UntilEngine::Simulation(sopts) = options.until_engine {
             if !time.is_upper_unbounded() {
+                let samples = simulation_samples(sopts.samples, options.tolerance)?;
+                let mut sopts = sopts;
+                sopts.samples = samples;
+                let radius = monte_carlo::hoeffding_radius(samples, adaptive::SIMULATION_DELTA);
                 let n = mrm.num_states();
                 let mut probabilities = vec![0.0; n];
                 let mut errors = vec![0.0; n];
+                let mut budgets = vec![ErrorBudget::zero(); n];
                 for s in 0..n {
                     if !phi[s] && !psi[s] {
                         continue;
@@ -103,10 +131,12 @@ pub fn until_probabilities(
                         monte_carlo::estimate_until_general(mrm, phi, psi, time, reward, s, opts)?;
                     probabilities[s] = est.mean;
                     errors[s] = est.std_error;
+                    budgets[s] = ErrorBudget::from_statistical(radius);
                 }
                 return Ok(UntilAnalysis {
                     probabilities,
                     error_bounds: Some(errors),
+                    budgets: Some(budgets),
                 });
             }
         }
@@ -120,7 +150,8 @@ pub fn until_probabilities(
     }
 
     match (time.is_upper_unbounded(), reward.is_upper_unbounded()) {
-        // P0: Φ U Ψ — unbounded reachability over the embedded DTMC.
+        // P0: Φ U Ψ — unbounded reachability over the embedded DTMC,
+        // exact to the solver's convergence tolerance (no budget).
         (true, true) => {
             let embedded = mrm.ctmc().embedded_dtmc();
             let probabilities =
@@ -128,6 +159,7 @@ pub fn until_probabilities(
             Ok(UntilAnalysis {
                 probabilities,
                 error_bounds: None,
+                budgets: None,
             })
         }
         // Bounded reward with unbounded time has no engine (Chapter 6).
@@ -135,46 +167,89 @@ pub fn until_probabilities(
             what: "unbounded time with a bounded reward",
         }),
         // P1: time bound only — the state-reward-free baseline suffices,
-        // regardless of the configured engine.
+        // regardless of the configured engine. The Fox–Glynn window is
+        // truncated at ε', which IS the budget; a requested tolerance
+        // tightens ε' directly, so this class always meets it.
         (false, true) => {
-            let probabilities =
-                baseline::until_time_bounded(mrm, phi, psi, time.hi(), options.transient_epsilon)?;
+            let eps_used = match options.tolerance {
+                Some(eps) => options.transient_epsilon.min(eps),
+                None => options.transient_epsilon,
+            };
+            let probabilities = baseline::until_time_bounded(mrm, phi, psi, time.hi(), eps_used)?;
+            let n = probabilities.len();
             Ok(UntilAnalysis {
                 probabilities,
                 error_bounds: None,
+                budgets: Some(vec![ErrorBudget::from_poisson_tail(eps_used); n]),
             })
         }
-        // P2: time and reward bounds — run the configured engine per state.
+        // P2: time and reward bounds — run the configured engine per state,
+        // under the adaptive driver when a tolerance was requested.
         (false, false) => {
             let t = time.hi();
             let r = reward.hi();
             let n = mrm.num_states();
             match options.until_engine {
                 UntilEngine::Uniformization(uopts) => {
-                    let results =
-                        uniformization::until_probabilities_all(mrm, phi, psi, t, r, uopts)?;
+                    let results = match options.tolerance {
+                        Some(eps) => adaptive::uniformization_until_all(
+                            mrm,
+                            phi,
+                            psi,
+                            t,
+                            r,
+                            uopts,
+                            adaptive::AdaptiveOptions::new(eps),
+                        )?,
+                        None => {
+                            uniformization::until_probabilities_all(mrm, phi, psi, t, r, uopts)?
+                        }
+                    };
                     Ok(UntilAnalysis {
                         probabilities: results.iter().map(|r| r.probability).collect(),
                         error_bounds: Some(results.iter().map(|r| r.error_bound).collect()),
+                        budgets: Some(results.iter().map(|r| r.budget).collect()),
                     })
                 }
                 UntilEngine::Discretization(dopts) => {
                     let mut probabilities = vec![0.0; n];
+                    let mut budgets = vec![ErrorBudget::zero(); n];
                     for s in 0..n {
                         if !phi[s] && !psi[s] {
                             continue;
                         }
-                        let res = discretization::until_probability(mrm, phi, psi, t, r, s, dopts)?;
+                        let res = match options.tolerance {
+                            Some(eps) => adaptive::discretization_until(
+                                mrm,
+                                phi,
+                                psi,
+                                t,
+                                r,
+                                s,
+                                dopts,
+                                adaptive::AdaptiveOptions::new(eps),
+                            )?,
+                            None => {
+                                discretization::until_probability(mrm, phi, psi, t, r, s, dopts)?
+                            }
+                        };
                         probabilities[s] = res.probability;
+                        budgets[s] = res.budget;
                     }
                     Ok(UntilAnalysis {
                         probabilities,
                         error_bounds: None,
+                        budgets: Some(budgets),
                     })
                 }
                 UntilEngine::Simulation(sopts) => {
+                    let samples = simulation_samples(sopts.samples, options.tolerance)?;
+                    let mut sopts = sopts;
+                    sopts.samples = samples;
+                    let radius = monte_carlo::hoeffding_radius(samples, adaptive::SIMULATION_DELTA);
                     let mut probabilities = vec![0.0; n];
                     let mut errors = vec![0.0; n];
+                    let mut budgets = vec![ErrorBudget::zero(); n];
                     for s in 0..n {
                         if !phi[s] && !psi[s] {
                             continue;
@@ -184,16 +259,39 @@ pub fn until_probabilities(
                         let est = monte_carlo::estimate_until(mrm, phi, psi, t, r, s, opts)?;
                         probabilities[s] = est.mean;
                         errors[s] = est.std_error;
+                        budgets[s] = ErrorBudget::from_statistical(radius);
                     }
                     Ok(UntilAnalysis {
                         probabilities,
                         // Standard errors reported in the error-bound slot;
-                        // statistical, not a guaranteed bound.
+                        // statistical, not a guaranteed bound. The budget
+                        // carries the distribution-free Hoeffding radius.
                         error_bounds: Some(errors),
+                        budgets: Some(budgets),
                     })
                 }
             }
         }
+    }
+}
+
+/// Resolve the simulation sample count: the configured base, raised to the
+/// Hoeffding-sized count when a tolerance is requested. Fails upfront with
+/// `ToleranceNotMet` when more than [`adaptive::MAX_SAMPLES`] trajectories
+/// would be needed.
+fn simulation_samples(base: u64, tolerance: Option<f64>) -> Result<u64, CheckError> {
+    match tolerance {
+        None => Ok(base),
+        Some(eps) => match monte_carlo::hoeffding_samples(eps, adaptive::SIMULATION_DELTA) {
+            Some(n) if n <= adaptive::MAX_SAMPLES => Ok(n.max(base)),
+            _ => Err(CheckError::ToleranceNotMet {
+                requested: eps,
+                achieved: monte_carlo::hoeffding_radius(
+                    adaptive::MAX_SAMPLES,
+                    adaptive::SIMULATION_DELTA,
+                ),
+            }),
+        },
     }
 }
 

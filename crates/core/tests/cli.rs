@@ -27,7 +27,7 @@ fn write_tmr_like_model(dir: &std::path::Path) -> [std::path::PathBuf; 4] {
     [tra, lab, rewr, rewi]
 }
 
-fn run_mrmc(args: &[&str], stdin_text: &str) -> (String, String, bool) {
+fn run_mrmc_code(args: &[&str], stdin_text: &str) -> (String, String, Option<i32>) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_mrmc"))
         .args(args)
         .stdin(Stdio::piped())
@@ -45,8 +45,13 @@ fn run_mrmc(args: &[&str], stdin_text: &str) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code(),
     )
+}
+
+fn run_mrmc(args: &[&str], stdin_text: &str) -> (String, String, bool) {
+    let (stdout, stderr, code) = run_mrmc_code(args, stdin_text);
+    (stdout, stderr, code == Some(0))
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -177,4 +182,152 @@ fn help_prints_usage() {
     assert!(ok);
     assert!(stdout.contains("usage: mrmc"));
     assert!(stdout.contains("u=<w>"));
+    assert!(stdout.contains("--tolerance"));
+    assert!(stdout.contains("--json"));
+}
+
+#[test]
+fn tolerance_flag_drives_the_adaptive_engine() {
+    let dir = temp_dir("tolerance");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let (stdout, stderr, code) = run_mrmc_code(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "--tolerance",
+            "1e-6",
+        ],
+        "P(> 0.001) [up U[0,10][0,50] degraded]\n",
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}\nstdout: {stdout}");
+    // The achieved budget is printed and respects the tolerance.
+    assert!(stdout.contains("total error"), "{stdout}");
+    let total: f64 = stdout
+        .lines()
+        .find(|l| l.contains("state 1:"))
+        .and_then(|l| l.split("total error ").nth(1))
+        .and_then(|v| v.split(',').next())
+        .and_then(|v| v.trim().parse().ok())
+        .expect("budget total printed");
+    assert!(total <= 1e-6, "achieved {total} > 1e-6\n{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unreachable_tolerance_exits_with_code_3() {
+    // 1000 base samples can never certify 1e-6 (Hoeffding sizing exceeds
+    // the simulation work cap): the run must fail with the dedicated exit
+    // code, distinct from general errors (1).
+    let dir = temp_dir("tolfail");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let (stdout, stderr, code) = run_mrmc_code(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "s=1000",
+            "--tolerance",
+            "1e-6",
+        ],
+        "P(> 0.001) [up U[0,10][0,50] degraded]\n",
+    );
+    assert_eq!(code, Some(3), "stderr: {stderr}\nstdout: {stdout}");
+    assert!(stdout.contains("tolerance not met"), "{stdout}");
+    assert!(stderr.contains("tolerance not met"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn json_output_carries_budget_fields() {
+    let dir = temp_dir("json");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let (stdout, stderr, code) = run_mrmc_code(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "--json",
+            "--tolerance",
+            "1e-6",
+        ],
+        "P(> 0.001) [up U[0,10][0,50] degraded]\n",
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}\nstdout: {stdout}");
+    // JSON mode suppresses the human banner; one object per formula.
+    assert!(!stdout.contains("loaded model"), "{stdout}");
+    let line = stdout.lines().next().expect("one JSON line");
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    for needle in [
+        "\"formula\":\"P(> 0.001) [up U[0,10][0,50] degraded]\"",
+        "\"satisfied\":[",
+        "\"unknown\":[",
+        "\"states\":[",
+        "\"probability\":",
+        "\"verdict\":\"",
+        "\"budget\":{",
+        "\"path_truncation\":",
+        "\"poisson_tail\":",
+        "\"float_accumulation\":",
+        "\"discretization\":",
+        "\"statistical\":",
+        "\"propagation\":",
+        "\"total\":",
+        "\"dominant\":\"",
+    ] {
+        assert!(line.contains(needle), "missing {needle} in {line}");
+    }
+
+    // A missed tolerance in JSON mode is a structured error object.
+    let (stdout, _, code) = run_mrmc_code(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "s=1000",
+            "--json",
+            "--tolerance",
+            "1e-6",
+        ],
+        "P(> 0.001) [up U[0,10][0,50] degraded]\n",
+    );
+    assert_eq!(code, Some(3));
+    assert!(
+        stdout.contains("\"error_kind\":\"tolerance_not_met\""),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn point_intervals_yield_exact_budgets() {
+    // `U[0,0][0,0]` degenerates to the ψ-indicator: probability 1 on
+    // ψ-states, 0 elsewhere, with an identically-zero (exact) budget, so
+    // even `P(>= 1)` is decided — no unknown verdicts.
+    let dir = temp_dir("point");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let (stdout, stderr, code) = run_mrmc_code(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "--json",
+        ],
+        "P(>= 1) [TT U[0,0][0,0] degraded]\n",
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}\nstdout: {stdout}");
+    let line = stdout.lines().next().unwrap();
+    assert!(line.contains("\"satisfied\":[2]"), "{line}");
+    assert!(line.contains("\"unknown\":[]"), "{line}");
+    assert!(line.contains("\"total\":0e0"), "{line}");
+    assert!(
+        line.contains("\"state\":2,\"probability\":1e0,\"verdict\":\"holds\""),
+        "{line}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

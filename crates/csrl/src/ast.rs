@@ -26,6 +26,21 @@ impl CompareOp {
         }
     }
 
+    /// Evaluate `actual ⊴ bound` when `actual` is only known to lie in
+    /// `[lo, hi]`: `Some(verdict)` when every value in the interval agrees,
+    /// `None` when the bound falls inside the interval and the comparison
+    /// is undecidable at this accuracy. All four operators are monotone in
+    /// `actual`, so checking the endpoints suffices.
+    pub fn eval_interval(self, lo: f64, hi: f64, bound: f64) -> Option<bool> {
+        let at_lo = self.eval(lo, bound);
+        let at_hi = self.eval(hi, bound);
+        if at_lo == at_hi {
+            Some(at_lo)
+        } else {
+            None
+        }
+    }
+
     /// The dual comparison under complementation: `P(q) ⊴ p` iff
     /// `P(¬q) = 1 − P(q)` satisfies the dual against `1 − p`. Used to
     /// desugar the globally operator (`□φ ≡ ¬◇¬φ`).
@@ -291,6 +306,22 @@ mod tests {
         assert!(CompareOp::Ge.eval(0.5, 0.5));
         assert!(!CompareOp::Ge.eval(0.4, 0.5));
         assert_eq!(CompareOp::Ge.symbol(), ">=");
+    }
+
+    #[test]
+    fn interval_eval_three_valued() {
+        // Interval entirely on one side: decided.
+        assert_eq!(CompareOp::Gt.eval_interval(0.6, 0.7, 0.5), Some(true));
+        assert_eq!(CompareOp::Gt.eval_interval(0.2, 0.3, 0.5), Some(false));
+        // Bound inside the interval: undecidable.
+        assert_eq!(CompareOp::Gt.eval_interval(0.4, 0.6, 0.5), None);
+        assert_eq!(CompareOp::Le.eval_interval(0.4, 0.6, 0.5), None);
+        // Endpoint cases follow strictness: [0.5, 0.6] > 0.5 is undecided
+        // (lo fails the strict test), but ≥ 0.5 holds throughout.
+        assert_eq!(CompareOp::Gt.eval_interval(0.5, 0.6, 0.5), None);
+        assert_eq!(CompareOp::Ge.eval_interval(0.5, 0.6, 0.5), Some(true));
+        // Degenerate interval: plain eval.
+        assert_eq!(CompareOp::Lt.eval_interval(0.3, 0.3, 0.5), Some(true));
     }
 
     #[test]

@@ -347,6 +347,33 @@ mod tests {
     }
 
     #[test]
+    fn point_intervals_and_scientific_numbers_tokenize() {
+        // `[0,0]` with no interior whitespace — the bracket, number, comma
+        // sequence must not fuse.
+        assert_eq!(
+            kinds("[0,0]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Number(0.0),
+                TokenKind::Comma,
+                TokenKind::Number(0.0),
+                TokenKind::RBracket,
+            ]
+        );
+        // Tolerance-style magnitudes appear in bounds too.
+        assert_eq!(
+            kinds("[0,1e-3]"),
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Number(0.0),
+                TokenKind::Comma,
+                TokenKind::Number(1e-3),
+                TokenKind::RBracket,
+            ]
+        );
+    }
+
+    #[test]
     fn empty_input_is_empty() {
         assert!(tokenize("").unwrap().is_empty());
         assert!(tokenize("   \t\n").unwrap().is_empty());

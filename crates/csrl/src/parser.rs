@@ -666,6 +666,41 @@ mod derived_operator_tests {
     }
 
     #[test]
+    fn point_intervals_parse() {
+        // `[0,0]` is a legal (degenerate) bound: zero elapsed time / zero
+        // accumulated reward. Downstream it produces trivial probabilities
+        // with an exact (all-zero) error budget.
+        let f = parse("P(>= 0.3) [a U[0,0][0,0] b]").unwrap();
+        if let StateFormula::Prob { path, .. } = &f {
+            if let PathFormula::Until { time, reward, .. } = path.as_ref() {
+                assert_eq!(*time, Interval::new(0.0, 0.0).unwrap());
+                assert_eq!(*reward, Interval::new(0.0, 0.0).unwrap());
+            } else {
+                panic!("wrong shape: {f:?}");
+            }
+        } else {
+            panic!("wrong shape: {f:?}");
+        }
+        // Non-zero point intervals and the next operator take them too.
+        let f = parse("P(< 0.5) [X[2,2][3,3] b]").unwrap();
+        if let StateFormula::Prob { path, .. } = &f {
+            if let PathFormula::Next { time, reward, .. } = path.as_ref() {
+                assert_eq!(*time, Interval::new(2.0, 2.0).unwrap());
+                assert_eq!(*reward, Interval::new(3.0, 3.0).unwrap());
+                return;
+            }
+        }
+        panic!("wrong shape: {f:?}");
+    }
+
+    #[test]
+    fn inverted_intervals_are_rejected() {
+        // `[3,1]` is empty under Definition 3.1 and must not parse.
+        assert!(parse("P(>= 0.3) [a U[3,1] b]").is_err());
+        assert!(parse("P(>= 0.3) [a U[0,3][5,2] b]").is_err());
+    }
+
+    #[test]
     fn f_and_g_remain_plain_propositions_outside_paths() {
         assert_eq!(parse("F").unwrap(), StateFormula::ap("F"));
         assert_eq!(

@@ -13,6 +13,7 @@
 
 use mrmc_mrm::{transform::make_absorbing, Mrm};
 
+use crate::budget::ErrorBudget;
 use crate::error::NumericsError;
 
 /// Options for the discretization engine.
@@ -24,15 +25,29 @@ pub struct DiscretizationOptions {
     /// Upper bound on the reward grid size (memory guard). Default `5·10^7`
     /// cells per state.
     pub max_cells: usize,
+    /// Run a Richardson companion at step `2d` to estimate the
+    /// discretization error a posteriori (default). The companion grid is
+    /// half as wide and half as deep, so it costs about a quarter of the
+    /// main run; disabling it falls back to a coarse a-priori bound.
+    pub estimate_error: bool,
 }
 
 impl DiscretizationOptions {
-    /// Use step size `d` with the default memory guard.
+    /// Use step size `d` with the default memory guard and a-posteriori
+    /// error estimation.
     pub fn with_step(step: f64) -> Self {
         DiscretizationOptions {
             step,
             max_cells: 50_000_000,
+            estimate_error: true,
         }
+    }
+
+    /// Skip the Richardson companion run; the budget then carries the
+    /// coarse a-priori step-error bound instead of the sharper estimate.
+    pub fn without_error_estimate(mut self) -> Self {
+        self.estimate_error = false;
+        self
     }
 }
 
@@ -41,6 +56,12 @@ impl DiscretizationOptions {
 pub struct DiscretizationResult {
     /// The computed probability, clamped into `[0, 1]`.
     pub probability: f64,
+    /// The error decomposition. `budget.discretization` is the Richardson
+    /// step-doubling estimate `2·|P_d − P_{2d}|` when the companion run was
+    /// possible (the scheme is first-order, so `P_d − P_{2d} ≈ C·d` and the
+    /// doubled gap over-covers the remaining error of `P_d`); otherwise a
+    /// coarse a-priori bound `min(E_max²·t·d, 1)`.
+    pub budget: ErrorBudget,
     /// Number of time steps `T = t/d` performed.
     pub time_steps: usize,
     /// Number of reward cells `R = r/d` (after scaling).
@@ -136,11 +157,14 @@ pub fn until_probability(
     // Pr{Y(t) ≤ r, X(t) ⊨ Ψ}.
     let absorb: Vec<bool> = phi.iter().zip(psi).map(|(&p, &q)| !p || q).collect();
     let absorbed = make_absorbing(mrm, &absorb)?;
-    let rates = absorbed.ctmc().rates().clone();
-    let exit = absorbed.ctmc().exit_rates().to_vec();
-
+    let exit = absorbed.ctmc().exit_rates();
     let max_exit = exit.iter().fold(0.0_f64, |m, &e| m.max(e));
-    if max_exit > 0.0 && d > 1.0 / max_exit {
+    let stable_limit = if max_exit > 0.0 {
+        1.0 / max_exit
+    } else {
+        f64::INFINITY
+    };
+    if d > stable_limit {
         return Err(NumericsError::InvalidParameter {
             name: "step",
             value: d,
@@ -149,8 +173,68 @@ pub fn until_probability(
     }
 
     let scale = integer_scale(absorbed.state_rewards().as_slice())?;
-    let cells = ((r * scale) / d).floor();
-    if !(cells.is_finite() && cells >= 0.0) || cells as usize > options.max_cells {
+    let grid = GridProblem {
+        absorbed: &absorbed,
+        psi,
+        start,
+        t,
+        r,
+        scale,
+        max_cells: options.max_cells,
+    };
+    let (probability, time_steps, reward_cells) = evolve_grid(&grid, d)?;
+
+    // A-posteriori step error: Richardson companion at 2d where the
+    // doubled step is still stable and fits the horizon; otherwise a
+    // coarse a-priori bound from the per-step local truncation error
+    // O((E·d)²) accumulated over t/d steps.
+    let a_priori = (max_exit * max_exit * t * d).min(1.0);
+    let discretization = if options.estimate_error && 2.0 * d <= stable_limit && 2.0 * d <= t {
+        match evolve_grid(&grid, 2.0 * d) {
+            Ok((coarse, _, _)) => 2.0 * (probability - coarse).abs(),
+            Err(_) => a_priori,
+        }
+    } else {
+        a_priori
+    };
+    // Per step, each density cell receives one self term plus the incoming
+    // transition terms — first-order rounding model on an O(1) total mass.
+    let ops_per_step = 2.0 + absorbed.ctmc().rates().nnz() as f64 / n as f64;
+    let budget = ErrorBudget {
+        discretization,
+        float_accumulation: f64::EPSILON * time_steps as f64 * ops_per_step,
+        ..ErrorBudget::zero()
+    };
+
+    Ok(DiscretizationResult {
+        probability,
+        budget,
+        time_steps,
+        reward_cells,
+        reward_scale: scale,
+    })
+}
+
+/// The fixed part of a discretization run: everything except the step size.
+struct GridProblem<'a> {
+    absorbed: &'a Mrm,
+    psi: &'a [bool],
+    start: usize,
+    t: f64,
+    r: f64,
+    scale: f64,
+    max_cells: usize,
+}
+
+/// Run Algorithm 4.6 on the absorbed model with step `d`, returning the
+/// clamped probability, the time-step count and the reward-cell count.
+/// Factored out of [`until_probability`] so the Richardson companion can
+/// re-run the same problem at `2d`.
+fn evolve_grid(g: &GridProblem<'_>, d: f64) -> Result<(f64, usize, usize), NumericsError> {
+    let n = g.absorbed.num_states();
+    let exit = g.absorbed.ctmc().exit_rates();
+    let cells = ((g.r * g.scale) / d).floor();
+    if !(cells.is_finite() && cells >= 0.0) || cells as usize > g.max_cells {
         return Err(NumericsError::InvalidParameter {
             name: "step",
             value: d,
@@ -158,19 +242,22 @@ pub fn until_probability(
         });
     }
     let reward_cells = cells as usize;
-    let time_steps = (t / d).round().max(1.0) as usize;
+    let time_steps = (g.t / d).round().max(1.0) as usize;
 
     // Per-state reward advance (cells per step) and per-transition data.
-    let rho: Vec<usize> = absorbed
+    let rho: Vec<usize> = g
+        .absorbed
         .state_rewards()
         .as_slice()
         .iter()
-        .map(|&x| (x * scale).round() as usize)
+        .map(|&x| (x * g.scale).round() as usize)
         .collect();
     // (from, to, rate·d, reward shift in cells).
+    let rates = g.absorbed.ctmc().rates();
     let mut transitions: Vec<(usize, usize, f64, usize)> = Vec::with_capacity(rates.nnz());
     for (from, to, rate) in rates.iter() {
-        let shift = rho[from] + ((absorbed.impulse_reward(from, to) * scale) / d).round() as usize;
+        let shift =
+            rho[from] + ((g.absorbed.impulse_reward(from, to) * g.scale) / d).round() as usize;
         transitions.push((from, to, rate * d, shift));
     }
 
@@ -178,8 +265,8 @@ pub fn until_probability(
     let width = reward_cells + 1;
     let mut current = vec![vec![0.0f64; width]; n];
     let mut next = vec![vec![0.0f64; width]; n];
-    if rho[start] <= reward_cells {
-        current[start][rho[start]] = 1.0 / d;
+    if rho[g.start] <= reward_cells {
+        current[g.start][rho[g.start]] = 1.0 / d;
     }
 
     for _ in 1..time_steps {
@@ -237,17 +324,12 @@ pub fn until_probability(
     }
 
     let mut probability = 0.0;
-    for s in 0..n {
-        if psi[s] {
-            probability += current[s].iter().sum::<f64>() * d;
+    for (row, &in_psi) in current.iter().zip(g.psi.iter()).take(n) {
+        if in_psi {
+            probability += row.iter().sum::<f64>() * d;
         }
     }
-    Ok(DiscretizationResult {
-        probability: probability.clamp(0.0, 1.0),
-        time_steps,
-        reward_cells,
-        reward_scale: scale,
-    })
+    Ok((probability.clamp(0.0, 1.0), time_steps, reward_cells))
 }
 
 #[cfg(test)]

@@ -39,6 +39,14 @@ pub enum NumericsError {
         /// Found length.
         found: usize,
     },
+    /// The adaptive driver exhausted its work cap before the reported
+    /// error budget reached the requested tolerance.
+    ToleranceNotMet {
+        /// The tolerance the caller asked for.
+        requested: f64,
+        /// The tightest total budget the driver achieved.
+        achieved: f64,
+    },
 }
 
 impl fmt::Display for NumericsError {
@@ -61,6 +69,13 @@ impl fmt::Display for NumericsError {
             NumericsError::SizeMismatch { expected, found } => {
                 write!(f, "expected a vector of length {expected}, found {found}")
             }
+            NumericsError::ToleranceNotMet {
+                requested,
+                achieved,
+            } => write!(
+                f,
+                "tolerance not met: requested {requested:e}, achieved error bound {achieved:e}"
+            ),
         }
     }
 }
@@ -113,6 +128,12 @@ mod tests {
         }
         .to_string()
         .contains('4'));
+        let e = NumericsError::ToleranceNotMet {
+            requested: 1e-9,
+            achieved: 3.2e-7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1e-9") && s.contains("3.2e-7"), "{s}");
     }
 
     #[test]

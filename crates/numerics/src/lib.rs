@@ -62,7 +62,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod baseline;
+pub mod budget;
 pub mod discretization;
 mod error;
 pub mod expected;
@@ -75,6 +77,7 @@ pub mod path_semantics;
 pub mod reward_structure;
 pub mod uniformization;
 
+pub use budget::ErrorBudget;
 pub use error::NumericsError;
 pub use path_classes::{PathClassKey, PathClasses};
 

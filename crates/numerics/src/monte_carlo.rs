@@ -58,6 +58,48 @@ impl Estimate {
     pub fn is_consistent_with(&self, value: f64, sigmas: f64) -> bool {
         (value - self.mean).abs() <= sigmas * self.std_error + 1e-12
     }
+
+    /// The distribution-free Hoeffding radius of this estimate at
+    /// confidence `1 − delta`: `Pr{|mean − p| ≥ radius} ≤ delta` for *any*
+    /// Bernoulli parameter `p`, with no normality assumption. This is the
+    /// value the simulation engine reports in its statistical budget
+    /// component.
+    pub fn hoeffding_radius(&self, delta: f64) -> f64 {
+        hoeffding_radius(self.samples, delta)
+    }
+
+    /// The Wilson score interval `(lo, hi)` at `z` standard normal
+    /// quantiles — sharper than Hoeffding near 0 and 1, used by the
+    /// oracle-backed validation tests.
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        let n = self.samples as f64;
+        let z2 = z * z;
+        let center = (self.mean + z2 / (2.0 * n)) / (1.0 + z2 / n);
+        let half = (z / (1.0 + z2 / n))
+            * ((self.mean * (1.0 - self.mean) / n) + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+/// Hoeffding radius for a Bernoulli mean over `samples` draws at
+/// confidence `1 − delta`: `√(ln(2/δ) / 2n)`.
+pub fn hoeffding_radius(samples: u64, delta: f64) -> f64 {
+    ((2.0 / delta).ln() / (2.0 * samples as f64)).sqrt()
+}
+
+/// The smallest sample count whose Hoeffding radius is at most `epsilon`
+/// at confidence `1 − delta`: `⌈ln(2/δ) / 2ε²⌉`. Returns `None` when the
+/// count would overflow practical limits (> 2^53).
+pub fn hoeffding_samples(epsilon: f64, delta: f64) -> Option<u64> {
+    if !(epsilon > 0.0 && delta > 0.0 && delta < 1.0) {
+        return None;
+    }
+    let n = ((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil();
+    if n.is_finite() && n <= 9.0e15 {
+        Some(n.max(1.0) as u64)
+    } else {
+        None
+    }
 }
 
 fn validate(
@@ -552,6 +594,51 @@ mod tests {
             est.mean,
             est.std_error
         );
+    }
+
+    #[test]
+    fn hoeffding_radius_and_sample_count_are_inverses() {
+        let (eps, delta) = (1e-2, 1e-6);
+        let n = hoeffding_samples(eps, delta).unwrap();
+        assert!(hoeffding_radius(n, delta) <= eps);
+        assert!(hoeffding_radius(n - 1, delta) > eps);
+        // Degenerate requests are refused rather than rounded.
+        assert!(hoeffding_samples(0.0, delta).is_none());
+        assert!(hoeffding_samples(1e-2, 0.0).is_none());
+        assert!(hoeffding_samples(1e-2, 1.0).is_none());
+        // 1e-9 would need ~7·10^18 samples: unrepresentable, refused.
+        assert!(hoeffding_samples(1e-9, delta).is_none());
+    }
+
+    #[test]
+    fn confidence_intervals_cover_the_exponential_cdf() {
+        let m = two_state(2.0);
+        let phi = vec![true, true];
+        let psi = vec![false, true];
+        let est = estimate_until(
+            &m,
+            &phi,
+            &psi,
+            1.0,
+            f64::INFINITY,
+            0,
+            SimulationOptions::with_samples(50_000),
+        )
+        .unwrap();
+        let exact = 1.0 - (-2.0f64).exp();
+        let radius = est.hoeffding_radius(1e-6);
+        assert!(
+            (est.mean - exact).abs() <= radius,
+            "Hoeffding: {} ± {radius} vs {exact}",
+            est.mean
+        );
+        let (lo, hi) = est.wilson_interval(4.0);
+        assert!(
+            lo <= exact && exact <= hi,
+            "Wilson: [{lo}, {hi}] vs {exact}"
+        );
+        // Wilson at z = 4 is sharper than Hoeffding at δ = 1e-6 here.
+        assert!(hi - lo < 2.0 * radius);
     }
 
     #[test]

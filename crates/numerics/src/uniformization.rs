@@ -17,6 +17,7 @@
 use mrmc_ctmc::poisson;
 use mrmc_mrm::{transform::make_absorbing, Mrm, UniformizedMrm};
 
+use crate::budget::ErrorBudget;
 use crate::error::NumericsError;
 use crate::kahan::KahanSum;
 use crate::parallel::{self, TermRequest};
@@ -152,8 +153,15 @@ impl Default for UniformOptions {
 pub struct UntilResult {
     /// The computed probability (Eq. 4.5), clamped into `[0, 1]`.
     pub probability: f64,
-    /// The truncation error bound `E` (Eq. 4.6).
+    /// The truncation error bound `E` (Eq. 4.6). Kept as the engine-native
+    /// bound; equals `budget.path_truncation`.
     pub error_bound: f64,
+    /// The full error decomposition. For this engine the Eq. 4.6 mass
+    /// already covers the Poisson tail of every discarded path suffix
+    /// (each pruned prefix is charged `P(σ)·Pr{N ≥ n}`), so
+    /// `budget.poisson_tail` is zero and the only other component is the
+    /// floating-point accumulation of the Omega evaluation and final fold.
+    pub budget: ErrorBudget,
     /// Number of distinct `(k, j)` path classes stored.
     pub num_classes: usize,
     /// Number of DFS nodes expanded.
@@ -164,6 +172,23 @@ pub struct UntilResult {
     pub truncated_paths: u64,
     /// Deepest path length reached.
     pub max_depth: u64,
+}
+
+impl UntilResult {
+    /// An exact result (`t = 0` membership tests and dead start states):
+    /// no exploration, zero budget.
+    fn trivial(probability: f64) -> Self {
+        UntilResult {
+            probability,
+            error_bound: 0.0,
+            budget: ErrorBudget::zero(),
+            num_classes: 0,
+            explored_nodes: 0,
+            stored_paths: 0,
+            truncated_paths: 0,
+            max_depth: 0,
+        }
+    }
 }
 
 fn validate_inputs(
@@ -240,15 +265,7 @@ pub fn until_probability(
     if t == 0.0 {
         // At time zero the accumulated reward is zero: the formula holds iff
         // the start state is a Ψ-state.
-        return Ok(UntilResult {
-            probability: if psi[start] { 1.0 } else { 0.0 },
-            error_bound: 0.0,
-            num_classes: 0,
-            explored_nodes: 0,
-            stored_paths: 0,
-            truncated_paths: 0,
-            max_depth: 0,
-        });
+        return Ok(UntilResult::trivial(if psi[start] { 1.0 } else { 0.0 }));
     }
 
     // Theorem 4.1: absorb (¬Φ ∨ Ψ)-states.
@@ -297,15 +314,7 @@ pub fn until_probabilities_all(
 ) -> Result<Vec<UntilResult>, NumericsError> {
     validate_inputs(mrm, phi, psi, t, r, 0, &options)?;
     let n = mrm.num_states();
-    let zero = |is_psi: bool| UntilResult {
-        probability: if is_psi { 1.0 } else { 0.0 },
-        error_bound: 0.0,
-        num_classes: 0,
-        explored_nodes: 0,
-        stored_paths: 0,
-        truncated_paths: 0,
-        max_depth: 0,
-    };
+    let zero = |is_psi: bool| UntilResult::trivial(if is_psi { 1.0 } else { 0.0 });
     if t == 0.0 {
         return Ok((0..n).map(|s| zero(psi[s])).collect());
     }
@@ -351,15 +360,7 @@ pub fn performability(
     let all = vec![true; mrm.num_states()];
     validate_inputs(mrm, &all, &all, t, r, start, &options)?;
     if t == 0.0 {
-        return Ok(UntilResult {
-            probability: 1.0,
-            error_bound: 0.0,
-            num_classes: 0,
-            explored_nodes: 0,
-            stored_paths: 0,
-            truncated_paths: 0,
-            max_depth: 0,
-        });
+        return Ok(UntilResult::trivial(1.0));
     }
     let uni = UniformizedMrm::new(mrm, options.lambda)?;
     let classes_def = RewardClasses::new(&uni);
@@ -440,14 +441,36 @@ fn evaluate_classes(
         .collect();
     let terms = parallel::omega_terms(&requests, classes_def.omega_coefficients(), threads)?;
 
+    // First-order floating-point error model alongside the Eq. 4.5 fold:
+    // each term `ψ_n(Λt)·P(σ)·Ω(r', k)` is produced by O(n + L) operations
+    // (L omega coefficients, the pmf product, the r' setup), each bounded
+    // relative to the term's magnitude; the compensated fold itself adds at
+    // most `2ε` per unit of summed magnitude, and the log-space Poisson pmf
+    // carries ~1e-13 relative error from the Lanczos `ln_gamma` — budgeted
+    // at 1e-12 for headroom. Pure post-processing of the ordered term list,
+    // so the parallel-determinism guarantee is untouched.
+    let eps = f64::EPSILON;
+    let num_coeffs = classes_def.omega_coefficients().len() as f64;
     let mut probability = KahanSum::new();
-    for term in terms {
-        probability.add(term);
+    let mut float_accumulation = 0.0;
+    let mut magnitude = 0.0;
+    for (term, (key, _)) in terms.iter().zip(&entries) {
+        probability.add(*term);
+        let ops = key.path_length() as f64 + num_coeffs + 2.0;
+        float_accumulation += term.abs() * ops * eps;
+        magnitude += term.abs();
     }
+    float_accumulation += (2.0 * eps + 1e-12) * magnitude;
 
+    let budget = ErrorBudget {
+        path_truncation: classes.error_bound(),
+        float_accumulation,
+        ..ErrorBudget::zero()
+    };
     Ok(UntilResult {
         probability: probability.value().clamp(0.0, 1.0),
         error_bound: classes.error_bound(),
+        budget,
         num_classes: classes.num_classes(),
         explored_nodes: classes.explored_nodes(),
         stored_paths: classes.stored_paths(),

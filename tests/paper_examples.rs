@@ -3,8 +3,11 @@
 
 use mrmc::{CheckOptions, ModelChecker};
 use mrmc_ctmc::steady::SteadyStateAnalysis;
-use mrmc_models::{bscc_examples, dtmc_examples, wavelan};
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_models::{bscc_examples, dtmc_examples, phone, wavelan};
 use mrmc_mrm::TimedPath;
+use mrmc_numerics::discretization::{self, DiscretizationOptions};
+use mrmc_numerics::uniformization::{self, UniformOptions};
 use mrmc_sparse::solver::SolverOptions;
 
 /// Examples 2.1–2.3: the Figure 2.1 DTMC's transient and steady-state
@@ -149,6 +152,192 @@ fn chapter_4_omega_worked_example() {
     assert!(v > 0.0 && v < 1.0);
     let mut fresh = OmegaEvaluator::new(vec![5.0, 3.0, 1.0, 0.0]).unwrap();
     assert_eq!(fresh.evaluate(r_prime, &[1, 2, 2, 2]), v);
+}
+
+// ---------------------------------------------------------------------------
+// Golden accuracy tests: every evaluation-chapter probability is asserted
+// within the engine's *own reported* error budget of the thesis' value
+// (plus the thesis' own reported bound E, since both runs carry error).
+// The TMR reward calibration matches the thesis to 14-15 digits
+// (EXPERIMENTS.md, Table 5.8), so the paper numbers are directly
+// comparable.
+// ---------------------------------------------------------------------------
+
+/// Thesis Table 5.3 rows (t, P, E) at constant `w = 1e-11`, `Λ = 0.0505`.
+const TABLE_5_3: &[(f64, f64, f64)] = &[
+    (50.0, 0.005087386, 2.44e-9),
+    (100.0, 0.010200966, 1.25e-8),
+    (200.0, 0.020357846, 9.59e-8),
+    (300.0, 0.030410801, 3.72e-7),
+];
+
+/// Thesis Table 5.4 rows (t, w, P, E) — the per-`t` truncation schedule
+/// that maintains E < 1e-4.
+const TABLE_5_4: &[(f64, f64, f64, f64)] = &[
+    (50.0, 1e-6, 0.005066347, 4.26e-5),
+    (100.0, 1e-7, 0.010192188, 2.19e-5),
+    (200.0, 1e-8, 0.020349518, 1.81e-5),
+    (300.0, 1e-9, 0.030388713, 3.05e-5),
+];
+
+/// Thesis Table 5.8 rows (t, P) for discretization at `d = 0.25` (the
+/// reproduction matches these to 14-15 significant digits).
+const TABLE_5_8: &[(f64, f64)] = &[(50.0, 0.005061779415718182), (100.0, 0.010175568967901463)];
+
+fn tmr_dependability_sets(m: &mrmc_mrm::Mrm) -> (Vec<bool>, Vec<bool>) {
+    (
+        m.labeling().states_with("Sup"),
+        m.labeling().states_with("failed"),
+    )
+}
+
+/// Table 5.3: uniformization at constant `w = 1e-11` reproduces the paper
+/// probabilities within `budget.total() + E_thesis`.
+#[test]
+fn table_5_3_probabilities_within_reported_budget() {
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let (phi, psi) = tmr_dependability_sets(&m);
+    let start = config.state_with_working(3);
+    for &(t, p_thesis, e_thesis) in TABLE_5_3 {
+        let r = uniformization::until_probability(
+            &m,
+            &phi,
+            &psi,
+            t,
+            3000.0,
+            start,
+            UniformOptions::new()
+                .with_truncation(1e-11)
+                .with_lambda(0.0505),
+        )
+        .unwrap();
+        let slack = r.budget.total() + e_thesis;
+        assert!(
+            (r.probability - p_thesis).abs() <= slack,
+            "t = {t}: |{} - {p_thesis}| > {slack}",
+            r.probability
+        );
+        // Eq. 4.6 already charges the Poisson tail of each pruned prefix,
+        // so the uniformization budget has no separate tail component and
+        // its truncation component is exactly the engine-native bound.
+        assert_eq!(r.budget.poisson_tail, 0.0, "t = {t}");
+        assert_eq!(r.budget.path_truncation, r.error_bound, "t = {t}");
+        assert!(r.budget.is_well_formed(), "t = {t}");
+    }
+}
+
+/// Table 5.4: the thesis' truncation schedule keeps every reported budget
+/// below 1e-4 and the paper values inside it.
+#[test]
+fn table_5_4_schedule_within_budget() {
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let (phi, psi) = tmr_dependability_sets(&m);
+    let start = config.state_with_working(3);
+    for &(t, w, p_thesis, e_thesis) in TABLE_5_4 {
+        let r = uniformization::until_probability(
+            &m,
+            &phi,
+            &psi,
+            t,
+            3000.0,
+            start,
+            UniformOptions::new().with_truncation(w).with_lambda(0.0505),
+        )
+        .unwrap();
+        assert!(
+            r.budget.total() < 1e-4,
+            "t = {t}: budget {} breaches the maintained bound",
+            r.budget.total()
+        );
+        let slack = r.budget.total() + e_thesis;
+        assert!(
+            (r.probability - p_thesis).abs() <= slack,
+            "t = {t}, w = {w}: |{} - {p_thesis}| > {slack}",
+            r.probability
+        );
+    }
+}
+
+/// Table 5.8: discretization at `d = 0.25` hits the paper values within
+/// its a-posteriori (Richardson) budget — which is far looser than the
+/// actual 14-digit agreement, as an a-posteriori bound must be.
+#[test]
+fn table_5_8_discretization_within_budget() {
+    let config = TmrConfig::classic();
+    let m = tmr(&config);
+    let (phi, psi) = tmr_dependability_sets(&m);
+    let start = config.state_with_working(3);
+    for &(t, p_thesis) in TABLE_5_8 {
+        let r = discretization::until_probability(
+            &m,
+            &phi,
+            &psi,
+            t,
+            3000.0,
+            start,
+            DiscretizationOptions::with_step(0.25),
+        )
+        .unwrap();
+        assert!(
+            (r.probability - p_thesis).abs() <= r.budget.total(),
+            "t = {t}: |{} - {p_thesis}| > {}",
+            r.probability,
+            r.budget.total()
+        );
+        // The step-doubling estimate is the dominant component.
+        assert!(r.budget.discretization > 0.0, "t = {t}");
+        assert_eq!(r.budget.dominant().0, "discretization", "t = {t}");
+    }
+}
+
+/// Table 5.1's golden contract. The thesis' reference value (0.49540399)
+/// belongs to the original [Hav02] phone model, which is not recoverable
+/// from the text; the in-tree substitute's contract is that discretization
+/// converges on the *uniformization* reference within the sum of both
+/// reported budgets (same shape checks as EXPERIMENTS.md).
+#[test]
+fn table_5_1_discretization_within_budget_of_reference() {
+    let m = phone::phone();
+    let phi: Vec<bool> = (0..m.num_states())
+        .map(|s| m.labeling().has(s, "Call_Idle") || m.labeling().has(s, "Doze"))
+        .collect();
+    let psi = m.labeling().states_with("Call_Initiated");
+    let (t, r) = (24.0, 600.0);
+
+    let reference = uniformization::until_probability(
+        &m,
+        &phi,
+        &psi,
+        t,
+        r,
+        phone::DOZE,
+        UniformOptions::new()
+            .with_truncation(1e-10)
+            .with_improved_pruning(),
+    )
+    .unwrap();
+
+    for d in [1.0 / 16.0, 1.0 / 32.0] {
+        let disc = discretization::until_probability(
+            &m,
+            &phi,
+            &psi,
+            t,
+            r,
+            phone::DOZE,
+            DiscretizationOptions::with_step(d),
+        )
+        .unwrap();
+        let slack = disc.budget.total() + reference.budget.total();
+        assert!(
+            (disc.probability - reference.probability).abs() <= slack,
+            "d = {d}: |{} - {}| > {slack}",
+            disc.probability,
+            reference.probability
+        );
+    }
 }
 
 /// Example 3.3's formulas all parse and check on the WaveLAN model.

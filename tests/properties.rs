@@ -141,6 +141,152 @@ fn error_bound_shrinks_with_truncation() {
     }
 }
 
+/// Budget monotonicity: tightening the engine knob (`w` for
+/// uniformization, `d` for discretization) never increases the reported
+/// total error budget. Discretization runs on the a-priori bound here
+/// (`without_error_estimate`), which is exactly monotone in `d`; the
+/// a-posteriori Richardson estimate is only asymptotically so.
+#[test]
+fn budget_is_monotone_in_the_engine_knob() {
+    use mrmc_numerics::discretization::{self, DiscretizationOptions};
+    for seed in 0u64..12 {
+        let m = random_mrm(seed, &small_cfg());
+        let phi = vec![true; m.num_states()];
+        let psi = m.labeling().states_with("goal");
+
+        let mut prev = f64::INFINITY;
+        for w in [1e-4, 1e-7, 1e-10] {
+            let r = until_probability(
+                &m,
+                &phi,
+                &psi,
+                0.5,
+                5.0,
+                0,
+                UniformOptions::new().with_truncation(w),
+            )
+            .unwrap();
+            assert!(
+                r.budget.total() <= prev + 1e-15,
+                "seed {seed}, w = {w}: {} > {prev}",
+                r.budget.total()
+            );
+            prev = r.budget.total();
+        }
+
+        let mut prev = f64::INFINITY;
+        for d in [1.0 / 16.0, 1.0 / 32.0, 1.0 / 64.0] {
+            let r = discretization::until_probability(
+                &m,
+                &phi,
+                &psi,
+                0.5,
+                5.0,
+                0,
+                DiscretizationOptions::with_step(d).without_error_estimate(),
+            )
+            .unwrap();
+            assert!(
+                r.budget.total() <= prev + 1e-15,
+                "seed {seed}, d = {d}: {} > {prev}",
+                r.budget.total()
+            );
+            prev = r.budget.total();
+        }
+    }
+}
+
+/// The budget's named components sum (bitwise) to its total, for both
+/// reward-aware engines on random models.
+#[test]
+fn budget_components_sum_to_total() {
+    use mrmc_numerics::discretization::{self, DiscretizationOptions};
+    for seed in 0u64..12 {
+        let m = random_mrm(seed, &small_cfg());
+        let phi = vec![true; m.num_states()];
+        let psi = m.labeling().states_with("goal");
+
+        let uni = until_probability(
+            &m,
+            &phi,
+            &psi,
+            0.5,
+            5.0,
+            0,
+            UniformOptions::new().with_truncation(1e-8),
+        )
+        .unwrap();
+        let disc = discretization::until_probability(
+            &m,
+            &phi,
+            &psi,
+            0.5,
+            5.0,
+            0,
+            DiscretizationOptions::with_step(1.0 / 32.0),
+        )
+        .unwrap();
+        for (what, b) in [
+            ("uniformization", uni.budget),
+            ("discretization", disc.budget),
+        ] {
+            assert!(b.is_well_formed(), "seed {seed} ({what})");
+            let sum: f64 = b.components().iter().map(|&(_, v)| v).sum();
+            assert_eq!(
+                sum.to_bits(),
+                b.total().to_bits(),
+                "seed {seed} ({what}): components sum {sum} != total {}",
+                b.total()
+            );
+        }
+    }
+}
+
+/// Two adaptive runs at different tolerances describe the same number:
+/// their results differ by at most the larger ε (each is within its own
+/// reported budget of the true probability).
+#[test]
+fn adaptive_results_agree_across_tolerances() {
+    use mrmc_numerics::adaptive::{self, AdaptiveOptions};
+    for seed in 0u64..8 {
+        let m = random_mrm(seed, &small_cfg());
+        let phi = vec![true; m.num_states()];
+        let psi = m.labeling().states_with("goal");
+
+        let loose = adaptive::uniformization_until(
+            &m,
+            &phi,
+            &psi,
+            0.5,
+            5.0,
+            0,
+            UniformOptions::new(),
+            AdaptiveOptions::new(1e-3),
+        )
+        .unwrap();
+        let tight = adaptive::uniformization_until(
+            &m,
+            &phi,
+            &psi,
+            0.5,
+            5.0,
+            0,
+            UniformOptions::new(),
+            AdaptiveOptions::new(1e-6),
+        )
+        .unwrap();
+        assert!(loose.budget.total() <= 1e-3, "seed {seed}");
+        assert!(tight.budget.total() <= 1e-6, "seed {seed}");
+        assert!(
+            (loose.probability - tight.probability).abs()
+                <= loose.budget.total() + tight.budget.total(),
+            "seed {seed}: {} vs {}",
+            loose.probability,
+            tight.probability
+        );
+    }
+}
+
 /// The exact path-level until semantics agree with the inline trajectory
 /// predicate used by the restricted estimator: estimating via sampled
 /// `TimedPath`s and via `estimate_until` must coincide statistically on
