@@ -1,0 +1,275 @@
+//! Cost-prediction lint passes (`C` codes).
+//!
+//! Reward-bounded until formulas (both `sup I` and `sup J` finite — the
+//! thesis' P2 property class) are the only ones that start a genuinely
+//! expensive engine, and both failure modes are predictable from the model
+//! and the knobs alone via [`mrmc_numerics::cost`]:
+//!
+//! * the path-exploration engine visits a tree whose depth is the
+//!   uniformization truncation depth and whose branching factor is the
+//!   mean out-degree — `C101` warns when the product explodes;
+//! * the discretization engine allocates a `states × ⌈r/d⌉` grid — `C102`
+//!   warns when that exceeds a memory budget, and `C001` when the step
+//!   violates the `d ≤ 1/max-exit-rate` stability requirement;
+//! * `C103` is an informational note with the predicted numbers, so a
+//!   user can sanity-check an expensive run before launching it.
+//!
+//! Everything here is Warning/Note grade (promoted by `--deny warnings`):
+//! predictions are upper-bound flavored, and the stability check `C001`
+//! depends on which states the until's make-absorbing step removes, which
+//! is not known statically.
+
+use mrmc_csrl::{PathFormula, StateFormula};
+use mrmc_numerics::cost::{estimate_discretization, estimate_uniformization};
+
+use crate::diagnostic::{Diagnostic, Report, Severity};
+use crate::{EngineHint, LintContext};
+
+/// Estimated path-tree nodes above which `C101` fires.
+const PATH_EXPLOSION_NODES: f64 = 1e8;
+
+/// Estimated grid bytes above which `C102` fires (8 GiB-ish).
+const GRID_MEMORY_BYTES: f64 = 8e9;
+
+/// The worst-case (largest `t`, largest `r`) P2-class until bounds in the
+/// formula, if any.
+fn p2_bounds(formula: &StateFormula) -> Option<(f64, f64)> {
+    fn walk(f: &StateFormula, acc: &mut Option<(f64, f64)>) {
+        match f {
+            StateFormula::True | StateFormula::False | StateFormula::Ap(_) => {}
+            StateFormula::Not(inner) => walk(inner, acc),
+            StateFormula::Or(a, b) | StateFormula::And(a, b) | StateFormula::Implies(a, b) => {
+                walk(a, acc);
+                walk(b, acc);
+            }
+            StateFormula::Steady { inner, .. } => walk(inner, acc),
+            StateFormula::Prob { path, .. } => match path.as_ref() {
+                PathFormula::Next { inner, .. } => walk(inner, acc),
+                PathFormula::Until {
+                    time,
+                    reward,
+                    lhs,
+                    rhs,
+                } => {
+                    if time.lo() == 0.0
+                        && reward.lo() == 0.0
+                        && !time.is_upper_unbounded()
+                        && !reward.is_upper_unbounded()
+                    {
+                        let (t, r) = (time.hi(), reward.hi());
+                        *acc = Some(match *acc {
+                            Some((at, ar)) => (at.max(t), ar.max(r)),
+                            None => (t, r),
+                        });
+                    }
+                    walk(lhs, acc);
+                    walk(rhs, acc);
+                }
+            },
+        }
+    }
+    let mut acc = None;
+    walk(formula, &mut acc);
+    acc
+}
+
+/// `C001`/`C101`/`C102`/`C103`: predict the configured engine's cost for
+/// the formula's most expensive reward-bounded until.
+pub fn prediction(ctx: &LintContext<'_>, report: &mut Report) {
+    let Some(formula) = ctx.formula else { return };
+    let Some((t, r)) = p2_bounds(formula) else {
+        return; // no P2-class until: no expensive engine runs.
+    };
+    match ctx.engine {
+        EngineHint::Uniformization { truncation } => {
+            let c = estimate_uniformization(ctx.mrm, t, truncation);
+            if c.estimated_paths > PATH_EXPLOSION_NODES {
+                report.push(
+                    Diagnostic::new(
+                        "C101",
+                        Severity::Warning,
+                        format!(
+                            "path explosion likely: ~{:.1e} path-tree nodes \
+                             (branching {:.2}, truncation depth {} at \u{039b}t = {:.1})",
+                            c.estimated_paths, c.mean_branching, c.truncation_depth, c.lambda_t
+                        ),
+                    )
+                    .with_suggestion(
+                        "raise the truncation probability (u=1e-6), shorten the time bound, \
+                         or switch to the discretization (d=...) or simulation (s=...) engine",
+                    ),
+                );
+            } else {
+                report.push(Diagnostic::new(
+                    "C103",
+                    Severity::Note,
+                    format!(
+                        "uniformization forecast: \u{039b}t = {:.1}, truncation depth {}, \
+                         ~{:.1e} path-tree nodes",
+                        c.lambda_t, c.truncation_depth, c.estimated_paths
+                    ),
+                ));
+            }
+        }
+        EngineHint::Discretization { step } => {
+            let c = estimate_discretization(ctx.mrm, t, r, step);
+            if !c.stable {
+                report.push(
+                    Diagnostic::new(
+                        "C001",
+                        Severity::Warning,
+                        format!(
+                            "discretization step {step} violates the stability requirement \
+                             d \u{2264} 1/max-exit-rate; the engine will reject it unless the \
+                             fastest states are made absorbing"
+                        ),
+                    )
+                    .with_suggestion(format!(
+                        "use d <= {:.3e}",
+                        1.0 / ctx
+                            .mrm
+                            .ctmc()
+                            .exit_rates()
+                            .iter()
+                            .fold(0.0_f64, |a, &b| a.max(b))
+                    )),
+                );
+            }
+            if c.estimated_bytes > GRID_MEMORY_BYTES {
+                report.push(
+                    Diagnostic::new(
+                        "C102",
+                        Severity::Warning,
+                        format!(
+                            "discretization grid needs ~{:.1e} bytes ({:.0} reward cells \
+                             \u{00d7} {} states)",
+                            c.estimated_bytes,
+                            c.reward_cells,
+                            ctx.mrm.num_states()
+                        ),
+                    )
+                    .with_suggestion(
+                        "increase the step d, lower the reward bound, or switch engines",
+                    ),
+                );
+            } else if c.stable {
+                report.push(Diagnostic::new(
+                    "C103",
+                    Severity::Note,
+                    format!(
+                        "discretization forecast: {:.0} time steps \u{00d7} {:.0} reward \
+                         cells, ~{:.1e} bytes",
+                        c.time_steps, c.reward_cells, c.estimated_bytes
+                    ),
+                ));
+            }
+        }
+        EngineHint::Simulation { samples } => {
+            report.push(Diagnostic::new(
+                "C103",
+                Severity::Note,
+                format!(
+                    "simulation forecast: {samples} trajectories per state \u{00d7} {} states \
+                     over horizon {t}",
+                    ctx.mrm.num_states()
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analyzer;
+    use mrmc_ctmc::CtmcBuilder;
+    use mrmc_mrm::Mrm;
+
+    fn chain() -> Mrm {
+        let mut b = CtmcBuilder::new(3);
+        b.transition(0, 1, 1.0)
+            .transition(1, 0, 1.0)
+            .transition(1, 2, 2.0)
+            .transition(2, 1, 3.0);
+        b.label(0, "a").label(2, "goal");
+        Mrm::without_rewards(b.build().unwrap())
+    }
+
+    fn lint(mrm: &Mrm, text: &str, engine: EngineHint) -> Report {
+        let f = mrmc_csrl::parse(text).unwrap();
+        Analyzer::new().check_formula(mrm, &f, engine)
+    }
+
+    #[test]
+    fn no_p2_until_no_cost_codes() {
+        let m = chain();
+        let r = lint(&m, "P(>= 0.5) [a U[0,10] goal]", EngineHint::default());
+        assert!(!r.codes().iter().any(|c| c.starts_with('C')), "{r}");
+    }
+
+    #[test]
+    fn small_run_gets_a_forecast_note() {
+        let m = chain();
+        let r = lint(&m, "P(>= 0.5) [a U[0,2][0,10] goal]", EngineHint::default());
+        let d = r.diagnostics().iter().find(|d| d.code == "C103").unwrap();
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("truncation depth"));
+        assert!(!r.codes().contains(&"C101"));
+    }
+
+    #[test]
+    fn long_horizon_warns_of_path_explosion() {
+        let m = chain();
+        let r = lint(
+            &m,
+            "P(>= 0.5) [a U[0,1000][0,1e9] goal]",
+            EngineHint::Uniformization { truncation: 1e-8 },
+        );
+        let d = r.diagnostics().iter().find(|d| d.code == "C101").unwrap();
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.suggestion.is_some());
+    }
+
+    #[test]
+    fn unstable_step_warns_c001() {
+        let m = chain(); // max exit 4.0 ⇒ needs d ≤ 0.25
+        let r = lint(
+            &m,
+            "P(>= 0.5) [a U[0,2][0,10] goal]",
+            EngineHint::Discretization { step: 0.5 },
+        );
+        let d = r.diagnostics().iter().find(|d| d.code == "C001").unwrap();
+        assert!(d.suggestion.as_deref().unwrap().contains("d <="));
+        // A stable step instead produces the forecast note.
+        let r = lint(
+            &m,
+            "P(>= 0.5) [a U[0,2][0,10] goal]",
+            EngineHint::Discretization { step: 0.01 },
+        );
+        assert!(r.codes().contains(&"C103"));
+        assert!(!r.codes().contains(&"C001"));
+    }
+
+    #[test]
+    fn huge_grid_warns_c102() {
+        let m = chain();
+        let r = lint(
+            &m,
+            "P(>= 0.5) [a U[0,2][0,1e9] goal]",
+            EngineHint::Discretization { step: 0.0001 },
+        );
+        assert!(r.codes().contains(&"C102"), "{r}");
+    }
+
+    #[test]
+    fn simulation_forecast_notes_sample_count() {
+        let m = chain();
+        let r = lint(
+            &m,
+            "P(>= 0.5) [a U[0,2][0,10] goal]",
+            EngineHint::Simulation { samples: 5000 },
+        );
+        let d = r.diagnostics().iter().find(|d| d.code == "C103").unwrap();
+        assert!(d.message.contains("5000"));
+    }
+}

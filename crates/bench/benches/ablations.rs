@@ -41,7 +41,7 @@ fn bench_pruning(c: &mut Criterion) {
             )
             .unwrap()
             .probability
-        })
+        });
     });
     group.bench_function("potential_t=400_w=1e-11", |b| {
         b.iter(|| {
@@ -59,7 +59,7 @@ fn bench_pruning(c: &mut Criterion) {
             )
             .unwrap()
             .probability
-        })
+        });
     });
     group.finish();
 }
@@ -88,7 +88,7 @@ fn bench_lambda_choice(c: &mut Criterion) {
             )
             .unwrap()
             .probability
-        })
+        });
     });
     group.bench_function("slack_1.02", |b| {
         b.iter(|| {
@@ -103,7 +103,7 @@ fn bench_lambda_choice(c: &mut Criterion) {
             )
             .unwrap()
             .probability
-        })
+        });
     });
     group.finish();
 }
@@ -132,7 +132,7 @@ fn bench_engine_comparison(c: &mut Criterion) {
             )
             .unwrap()
             .probability
-        })
+        });
     });
     group.bench_function("discretization_d=0.25", |b| {
         b.iter(|| {
@@ -147,10 +147,10 @@ fn bench_engine_comparison(c: &mut Criterion) {
             )
             .unwrap()
             .probability
-        })
+        });
     });
     group.bench_function("baseline_no_reward_bound", |b| {
-        b.iter(|| baseline::until_time_bounded(&m, &phi, &psi, 100.0, 1e-10).unwrap()[start])
+        b.iter(|| baseline::until_time_bounded(&m, &phi, &psi, 100.0, 1e-10).unwrap()[start]);
     });
     group.finish();
 }
@@ -191,13 +191,13 @@ fn bench_linear_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_linear_solvers_queue128");
     group.sample_size(20);
     group.bench_function("gauss_seidel", |b| {
-        b.iter(|| gauss_seidel(&a, &rhs, &x0, opts).unwrap())
+        b.iter(|| gauss_seidel(&a, &rhs, &x0, opts).unwrap());
     });
     group.bench_function("sor_1.3", |b| {
-        b.iter(|| sor(&a, &rhs, &x0, 1.3, opts).unwrap())
+        b.iter(|| sor(&a, &rhs, &x0, 1.3, opts).unwrap());
     });
     group.bench_function("jacobi", |b| {
-        b.iter(|| jacobi(&a, &rhs, &x0, opts).unwrap())
+        b.iter(|| jacobi(&a, &rhs, &x0, opts).unwrap());
     });
     group.finish();
 }

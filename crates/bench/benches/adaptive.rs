@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
                 )
                 .unwrap()
                 .probability
-            })
+            });
         });
     }
     group.finish();
@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
                 )
                 .unwrap()
                 .probability
-            })
+            });
         });
     }
     group.finish();

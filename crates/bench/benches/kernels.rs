@@ -16,13 +16,13 @@ fn bench_poisson(c: &mut Criterion) {
     let mut group = c.benchmark_group("poisson");
     for lt in [5.0, 50.0, 500.0] {
         group.bench_with_input(BenchmarkId::new("fox_glynn", lt), &lt, |b, &lt| {
-            b.iter(|| FoxGlynn::new(lt, 1e-10).weights().len())
+            b.iter(|| FoxGlynn::new(lt, 1e-10).weights().len());
         });
         group.bench_with_input(BenchmarkId::new("recursion_100", lt), &lt, |b, &lt| {
-            b.iter(|| Weights::new(lt).take(100).sum::<f64>())
+            b.iter(|| Weights::new(lt).take(100).sum::<f64>());
         });
         group.bench_with_input(BenchmarkId::new("log_pmf_100", lt), &lt, |b, &lt| {
-            b.iter(|| (0..100u64).map(|n| pmf(lt, n)).sum::<f64>())
+            b.iter(|| (0..100u64).map(|n| pmf(lt, n)).sum::<f64>());
         });
     }
     group.finish();
@@ -36,13 +36,13 @@ fn bench_omega(c: &mut Criterion) {
             b.iter(|| {
                 let mut o = OmegaEvaluator::new(vec![5.0, 3.0, 1.0, 0.0]).unwrap();
                 o.evaluate(1.7, &[n / 4, n / 4, n / 4, n / 4])
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("warm_cache", n), &n, |b, &n| {
             let mut o = OmegaEvaluator::new(vec![5.0, 3.0, 1.0, 0.0]).unwrap();
             let counts = [n / 4, n / 4, n / 4, n / 4];
             o.evaluate(1.7, &counts);
-            b.iter(|| o.evaluate(1.7, &counts))
+            b.iter(|| o.evaluate(1.7, &counts));
         });
     }
     group.finish();
@@ -61,10 +61,10 @@ fn bench_sparse_and_bscc(c: &mut Criterion) {
         let rates = m.ctmc().rates().clone();
         let x = vec![1.0 / states as f64; states];
         group.bench_with_input(BenchmarkId::new("vec_mul", states), &rates, |b, r| {
-            b.iter(|| r.vec_mul(&x))
+            b.iter(|| r.vec_mul(&x));
         });
         group.bench_with_input(BenchmarkId::new("bscc", states), &rates, |b, r| {
-            b.iter(|| SccDecomposition::new(r).num_components())
+            b.iter(|| SccDecomposition::new(r).num_components());
         });
     }
     group.finish();
@@ -92,7 +92,7 @@ fn bench_queue_scaling(c: &mut Criterion) {
                 )
                 .unwrap()
                 .probability
-            })
+            });
         });
     }
     group.finish();
@@ -115,7 +115,7 @@ fn bench_cluster_scaling(c: &mut Criterion) {
             |b, m| {
                 b.iter(|| {
                     mrmc_numerics::baseline::until_time_bounded(m, &phi, &psi, 24.0, 1e-9).unwrap()
-                })
+                });
             },
         );
         group.bench_with_input(BenchmarkId::new("steady_state", states), &m, |b, m| {
@@ -125,7 +125,7 @@ fn bench_cluster_scaling(c: &mut Criterion) {
                     mrmc_sparse::solver::SolverOptions::new().with_tolerance(1e-9),
                 )
                 .unwrap()
-            })
+            });
         });
     }
     group.finish();

@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
                 )
                 .unwrap()
                 .probability
-            })
+            });
         });
     }
     group.finish();

@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for t in [100.0, 300.0, 500.0] {
         group.bench_function(format!("t={t}"), |b| {
-            b.iter(|| tables::tmr_until_row(&m, &config, t, 1e-11).probability)
+            b.iter(|| tables::tmr_until_row(&m, &config, t, 1e-11).probability);
         });
     }
     group.finish();

@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for (t, w) in [(200.0, 1e-8), (400.0, 1e-11), (500.0, 1e-13)] {
         group.bench_function(format!("t={t}_w={w:.0e}"), |b| {
-            b.iter(|| tables::tmr_until_row(&m, &config, t, w).probability)
+            b.iter(|| tables::tmr_until_row(&m, &config, t, w).probability);
         });
     }
     group.finish();

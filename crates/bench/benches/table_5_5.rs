@@ -32,7 +32,7 @@ fn bench(c: &mut Criterion) {
                 )
                 .unwrap()
                 .probability
-            })
+            });
         });
     }
     group.finish();

@@ -271,7 +271,7 @@ mod tests {
             ran = true;
         });
         group.bench_with_input(BenchmarkId::new("with_input", 3), &3, |b, &x| {
-            b.iter(|| x * 2)
+            b.iter(|| x * 2);
         });
         group.finish();
         assert!(ran);

@@ -27,14 +27,32 @@
 //! `%`-comments are skipped. States are printed 1-indexed, matching the
 //! model file format.
 //!
-//! Exit codes: `0` all formulas checked, `1` a formula or the model failed,
-//! `3` every failure was a missed tolerance (the model and formulas are
-//! fine — only more work, a smaller `d`/`w`, or a looser `E` is needed).
+//! There is also a standalone lint subcommand that runs the static
+//! analysis without starting any numerical engine:
+//!
+//! ```text
+//! mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--json] [--deny warnings]
+//! ```
+//!
+//! It lints the model, every formula read from stdin (model-only when
+//! stdin is a terminal), and the predicted engine cost, then prints the
+//! diagnostics (human-readable, or one JSON object with `--json`).
+//! `--deny warnings` promotes Warning-grade findings to Errors.
+//!
+//! Exit codes: `0` all formulas checked (or lint found no errors), `1` a
+//! formula or the model failed operationally, `2` the pre-flight lint (or
+//! `mrmc lint`) found Error-grade diagnostics — no engine was started —
+//! and `3` every failure was a missed tolerance (the model and formulas
+//! are fine — only more work, a smaller `d`/`w`, or a looser `E` is
+//! needed).
 
-use std::io::BufRead;
+use std::io::{BufRead, IsTerminal};
 use std::process::ExitCode;
 
-use mrmc::{CheckError, CheckOptions, CheckOutcome, ModelChecker, UntilEngine, Verdict};
+use mrmc::{
+    diagnose_load_error, Analyzer, CheckError, CheckOptions, CheckOutcome, Diagnostic,
+    ModelChecker, Report, Severity, UntilEngine, Verdict,
+};
 
 #[derive(Debug)]
 struct Cli {
@@ -51,6 +69,7 @@ struct Cli {
 
 fn usage() -> &'static str {
     "usage: mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [NP]\n\
+     \x20      mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--json] [--deny warnings]\n\
      \n\
      Reads CSRL formulas from stdin, one per line, e.g.\n\
      \x20 P(>= 0.3) [a U[0,3][0,23] b]\n\
@@ -65,7 +84,43 @@ fn usage() -> &'static str {
      \x20              verdicts, error-budget breakdown)\n\
      --threads N    worker threads for the uniformization engine (0 = auto,\n\
      \x20              default 1); results are bit-identical at any thread count\n\
-     NP             suppress the computed probabilities"
+     NP             suppress the computed probabilities\n\
+     \n\
+     The lint subcommand statically analyzes the model, the formulas on\n\
+     stdin (model-only when stdin is a terminal), and the predicted engine\n\
+     cost, without running any engine. --deny warnings promotes warnings\n\
+     to errors. Exit code 2 when error-grade diagnostics are present."
+}
+
+/// Parse a `u=`/`d=`/`s=` engine switch; `None` when `arg` is not one.
+fn parse_engine_switch(arg: &str) -> Option<Result<UntilEngine, String>> {
+    if let Some(w) = arg.strip_prefix("u=") {
+        Some(
+            w.parse()
+                .map(UntilEngine::uniformization)
+                .map_err(|_| format!("invalid truncation probability `{w}`")),
+        )
+    } else if let Some(d) = arg.strip_prefix("d=") {
+        Some(
+            d.parse()
+                .map(UntilEngine::discretization)
+                .map_err(|_| format!("invalid discretization step `{d}`")),
+        )
+    } else {
+        arg.strip_prefix("s=").map(|n| {
+            n.parse()
+                .map(UntilEngine::simulation)
+                .map_err(|_| format!("invalid sample count `{n}`"))
+        })
+    }
+}
+
+/// Strip a `%` comment and surrounding whitespace from a formula line.
+fn formula_text(line: &str) -> &str {
+    match line.find('%') {
+        Some(i) => line[..i].trim(),
+        None => line.trim(),
+    }
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -115,26 +170,109 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 return Err(format!("tolerance must be in (0, 1), got `{value}`"));
             }
             cli.tolerance = Some(e);
-        } else if let Some(w) = arg.strip_prefix("u=") {
-            let w: f64 = w
-                .parse()
-                .map_err(|_| format!("invalid truncation probability `{w}`"))?;
-            cli.engine = UntilEngine::uniformization(w);
-        } else if let Some(d) = arg.strip_prefix("d=") {
-            let d: f64 = d
-                .parse()
-                .map_err(|_| format!("invalid discretization step `{d}`"))?;
-            cli.engine = UntilEngine::discretization(d);
-        } else if let Some(n) = arg.strip_prefix("s=") {
-            let n: u64 = n
-                .parse()
-                .map_err(|_| format!("invalid sample count `{n}`"))?;
-            cli.engine = UntilEngine::simulation(n);
+        } else if let Some(engine) = parse_engine_switch(arg) {
+            cli.engine = engine?;
         } else {
             return Err(format!("unrecognized argument `{arg}`\n\n{}", usage()));
         }
     }
     Ok(cli)
+}
+
+#[derive(Debug)]
+struct LintCli {
+    tra: String,
+    lab: String,
+    rewr: String,
+    rewi: String,
+    engine: UntilEngine,
+    json: bool,
+    deny_warnings: bool,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintCli, String> {
+    if args.len() < 4 {
+        return Err(usage().to_string());
+    }
+    let mut cli = LintCli {
+        tra: args[0].clone(),
+        lab: args[1].clone(),
+        rewr: args[2].clone(),
+        rewi: args[3].clone(),
+        engine: UntilEngine::default(),
+        json: false,
+        deny_warnings: false,
+    };
+    let mut rest = args[4..].iter();
+    while let Some(arg) = rest.next() {
+        if arg == "--json" {
+            cli.json = true;
+        } else if arg == "--deny" || arg == "--deny=warnings" {
+            if arg == "--deny" {
+                let value = rest
+                    .next()
+                    .ok_or_else(|| "--deny requires a value (only `warnings`)".to_string())?;
+                if value != "warnings" {
+                    return Err(format!("--deny only supports `warnings`, got `{value}`"));
+                }
+            }
+            cli.deny_warnings = true;
+        } else if let Some(engine) = parse_engine_switch(arg) {
+            cli.engine = engine?;
+        } else {
+            return Err(format!("unrecognized argument `{arg}`\n\n{}", usage()));
+        }
+    }
+    Ok(cli)
+}
+
+/// The `mrmc lint` subcommand: run every static-analysis pass over the
+/// model, the formulas on stdin, and the predicted engine cost, then
+/// print the report. Never starts a numerical engine.
+fn run_lint(args: &[String]) -> Result<ExitCode, String> {
+    let cli = parse_lint_args(args)?;
+    let analyzer = Analyzer::new();
+    let hint = CheckOptions::new().with_engine(cli.engine).engine_hint();
+    let mut report = Report::new();
+    match mrmc_mrm::io::load_model(&cli.tra, &cli.lab, &cli.rewr, &cli.rewi) {
+        Ok(mrm) => {
+            report.extend(analyzer.check_model(&mrm));
+            // Formulas come from stdin like the check mode; an interactive
+            // invocation lints the model only.
+            if !std::io::stdin().is_terminal() {
+                let stdin = std::io::stdin();
+                for line in stdin.lock().lines() {
+                    let line = line.map_err(|e| e.to_string())?;
+                    let text = formula_text(&line);
+                    if text.is_empty() {
+                        continue;
+                    }
+                    match mrmc_csrl::parse(text) {
+                        Ok(f) => report.extend(analyzer.check_formula(&mrm, &f, hint)),
+                        Err(e) => report.push(Diagnostic::new(
+                            "F003",
+                            Severity::Error,
+                            format!("formula `{text}` does not parse: {e}"),
+                        )),
+                    }
+                }
+            }
+        }
+        Err(e) => report.push(diagnose_load_error(&e)),
+    }
+    if cli.deny_warnings {
+        report.deny_warnings();
+    }
+    if cli.json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(if report.has_errors() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -273,6 +411,9 @@ fn run() -> Result<ExitCode, String> {
         println!("{}", usage());
         return Ok(ExitCode::SUCCESS);
     }
+    if args.first().map(String::as_str) == Some("lint") {
+        return run_lint(&args[1..]);
+    }
     let cli = parse_args(&args)?;
 
     let mrm = mrmc_mrm::io::load_model(&cli.tra, &cli.lab, &cli.rewr, &cli.rewi)
@@ -296,20 +437,33 @@ fn run() -> Result<ExitCode, String> {
 
     let stdin = std::io::stdin();
     let mut any_error = false;
+    let mut any_preflight = false;
     let mut any_tolerance_miss = false;
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| e.to_string())?;
-        let text = match line.find('%') {
-            Some(i) => line[..i].trim(),
-            None => line.trim(),
-        };
+        let text = formula_text(&line);
         if text.is_empty() {
             continue;
         }
         if !cli.json {
             println!("formula: {text}");
         }
-        match checker.check_str(text) {
+        let result = match mrmc_csrl::parse(text) {
+            Ok(f) => {
+                if !cli.json {
+                    // Surface Warning/Note pre-flight findings on stderr;
+                    // Error-grade ones abort `check` below.
+                    for d in checker.preflight(&f).diagnostics() {
+                        if d.severity != Severity::Error {
+                            eprintln!("  {d}");
+                        }
+                    }
+                }
+                checker.check(&f)
+            }
+            Err(e) => Err(CheckError::Parse(e)),
+        };
+        match result {
             Ok(outcome) => {
                 if cli.json {
                     println!("{}", json_outcome(text, &outcome));
@@ -319,9 +473,12 @@ fn run() -> Result<ExitCode, String> {
             }
             Err(e) => {
                 let tolerance_miss = matches!(e, CheckError::ToleranceNotMet { .. });
+                let preflight = matches!(e, CheckError::Preflight(_));
                 if cli.json {
                     let kind = if tolerance_miss {
                         "tolerance_not_met"
+                    } else if preflight {
+                        "preflight"
                     } else {
                         "check_failed"
                     };
@@ -335,6 +492,8 @@ fn run() -> Result<ExitCode, String> {
                 }
                 if tolerance_miss {
                     any_tolerance_miss = true;
+                } else if preflight {
+                    any_preflight = true;
                 } else {
                     any_error = true;
                 }
@@ -343,6 +502,9 @@ fn run() -> Result<ExitCode, String> {
     }
     if any_error {
         Err("one or more formulas failed".to_string())
+    } else if any_preflight {
+        eprintln!("pre-flight lint rejected one or more formulas");
+        Ok(ExitCode::from(2))
     } else if any_tolerance_miss {
         eprintln!("tolerance not met for one or more formulas");
         Ok(ExitCode::from(3))
@@ -366,7 +528,7 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
+        list.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
@@ -508,6 +670,48 @@ mod tests {
         assert!(parse_args(&args(&["a", "b", "c", "d", "d=x"])).is_err());
         let e = parse_args(&args(&["a", "b", "c", "d", "--frob"])).unwrap_err();
         assert!(e.contains("--frob"));
+    }
+
+    #[test]
+    fn lint_args_parse() {
+        let cli = parse_lint_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi"])).unwrap();
+        assert!(!cli.json);
+        assert!(!cli.deny_warnings);
+        let cli = parse_lint_args(&args(&[
+            "a.tra", "a.lab", "a.rewr", "a.rewi", "d=0.1", "--json", "--deny", "warnings",
+        ]))
+        .unwrap();
+        assert!(cli.json);
+        assert!(cli.deny_warnings);
+        match cli.engine {
+            UntilEngine::Discretization(d) => assert_eq!(d.step, 0.1),
+            _ => panic!("expected discretization"),
+        }
+        let cli = parse_lint_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--deny=warnings",
+        ]))
+        .unwrap();
+        assert!(cli.deny_warnings);
+    }
+
+    #[test]
+    fn bad_lint_args_are_rejected() {
+        assert!(parse_lint_args(&args(&["a.tra"])).is_err());
+        assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--deny"])).is_err());
+        assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--deny", "notes"])).is_err());
+        assert!(parse_lint_args(&args(&["a", "b", "c", "d", "NP"])).is_err());
+        assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--tolerance", "1e-6"])).is_err());
+    }
+
+    #[test]
+    fn formula_text_strips_comments() {
+        assert_eq!(formula_text("  S(> 0.5) (up) % note"), "S(> 0.5) (up)");
+        assert_eq!(formula_text("% all comment"), "");
+        assert_eq!(formula_text("   "), "");
     }
 
     #[test]

@@ -36,6 +36,10 @@ pub enum CheckError {
         /// The tightest total error budget achieved.
         achieved: f64,
     },
+    /// The static pre-flight lint found Error-grade diagnostics; no
+    /// numerical engine was started. The report carries every finding
+    /// (including any warnings and notes that accompanied the errors).
+    Preflight(mrmc_analysis::Report),
     /// A numerical engine failed.
     Numerics(NumericsError),
     /// A chain-level analysis failed.
@@ -60,6 +64,13 @@ impl fmt::Display for CheckError {
                 f,
                 "tolerance not met: requested {requested:e}, achieved error bound {achieved:e}"
             ),
+            CheckError::Preflight(report) => {
+                write!(f, "pre-flight lint failed:")?;
+                for d in report.errors() {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             CheckError::Numerics(e) => write!(f, "{e}"),
             CheckError::Model(e) => write!(f, "{e}"),
         }
@@ -152,5 +163,25 @@ mod tests {
 
         let e: CheckError = ModelError::EmptyModel.into();
         assert!(e.to_string().contains("no states"));
+    }
+
+    #[test]
+    fn preflight_display_lists_the_error_diagnostics() {
+        use mrmc_analysis::{Diagnostic, Report, Severity};
+        let mut report = Report::new();
+        report.push(Diagnostic::new(
+            "F001",
+            Severity::Error,
+            "atomic proposition `buzzy` does not label any state",
+        ));
+        report.push(Diagnostic::new("M106", Severity::Warning, "unused label"));
+        let e = CheckError::Preflight(report);
+        let s = e.to_string();
+        assert!(s.contains("pre-flight lint failed"));
+        assert!(s.contains("error[F001]"));
+        assert!(s.contains("buzzy"));
+        // Only Error-grade findings are shown in the compact message.
+        assert!(!s.contains("M106"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

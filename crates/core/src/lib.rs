@@ -60,6 +60,10 @@ pub use witness::{most_probable_witness, Witness};
 
 pub use mrmc_numerics::ErrorBudget;
 
+// Re-export the static-analysis vocabulary so downstream users (and the
+// CLI's `lint` subcommand) need not depend on `mrmc-analysis` directly.
+pub use mrmc_analysis::{diagnose_load_error, Analyzer, Diagnostic, EngineHint, Report, Severity};
+
 use mrmc_csrl::StateFormula;
 use mrmc_mrm::Mrm;
 
@@ -86,13 +90,34 @@ impl ModelChecker {
         &self.options
     }
 
+    /// Run the static pre-flight lint for `formula` against this model
+    /// and the configured engine, without starting any engine.
+    ///
+    /// This is the same report [`check`](ModelChecker::check) gates on;
+    /// callers that want to surface Warning/Note findings (the CLI prints
+    /// them to stderr) obtain them here.
+    pub fn preflight(&self, formula: &StateFormula) -> mrmc_analysis::Report {
+        mrmc_analysis::preflight(&self.mrm, formula, self.options.engine_hint())
+    }
+
     /// Compute `Sat(Φ)` for a parsed formula.
+    ///
+    /// Unless [`CheckOptions::without_preflight`] was used, the static
+    /// pre-flight lint runs first and Error-grade findings abort with
+    /// [`CheckError::Preflight`] before any numerical engine starts.
     ///
     /// # Errors
     ///
-    /// [`CheckError`] for unsupported bounds, unknown atomic propositions
-    /// (reported with their name), or numerical failures.
+    /// [`CheckError`] for pre-flight lint errors (unknown atomic
+    /// propositions, unsupported bounds — reported with stable diagnostic
+    /// codes), or numerical failures.
     pub fn check(&self, formula: &StateFormula) -> Result<CheckOutcome, CheckError> {
+        if self.options.preflight {
+            let report = self.preflight(formula);
+            if report.has_errors() {
+                return Err(CheckError::Preflight(report));
+            }
+        }
         sat::satisfy(&self.mrm, &self.options, formula)
     }
 

@@ -63,6 +63,13 @@ pub struct CheckOptions {
     /// the driver's work cap is hit first. `None` (the default) runs each
     /// engine once at its configured knob.
     pub tolerance: Option<f64>,
+    /// Run the static pre-flight lint ([`mrmc_analysis::preflight`])
+    /// before any numerical engine starts. Error-grade findings abort the
+    /// check with [`CheckError::Preflight`](crate::CheckError) instead of
+    /// surfacing later (or never) from deep inside an engine. On by
+    /// default; [`without_preflight`](CheckOptions::without_preflight)
+    /// turns it off for callers that want the raw engine errors.
+    pub preflight: bool,
 }
 
 impl CheckOptions {
@@ -73,6 +80,30 @@ impl CheckOptions {
             solver: SolverOptions::new(),
             transient_epsilon: 1e-10,
             tolerance: None,
+            preflight: true,
+        }
+    }
+
+    /// Disable the static pre-flight lint (see
+    /// [`preflight`](CheckOptions::preflight)).
+    pub fn without_preflight(mut self) -> Self {
+        self.preflight = false;
+        self
+    }
+
+    /// The [`mrmc_analysis::EngineHint`] matching the configured until
+    /// engine, for the cost-prediction lint passes.
+    pub fn engine_hint(&self) -> mrmc_analysis::EngineHint {
+        match self.until_engine {
+            UntilEngine::Uniformization(u) => mrmc_analysis::EngineHint::Uniformization {
+                truncation: u.truncation,
+            },
+            UntilEngine::Discretization(d) => {
+                mrmc_analysis::EngineHint::Discretization { step: d.step }
+            }
+            UntilEngine::Simulation(s) => {
+                mrmc_analysis::EngineHint::Simulation { samples: s.samples }
+            }
         }
     }
 
@@ -120,6 +151,35 @@ mod tests {
             _ => panic!("default must be uniformization"),
         }
         assert_eq!(CheckOptions::default(), o);
+    }
+
+    #[test]
+    fn preflight_defaults_on_and_can_be_disabled() {
+        assert!(CheckOptions::new().preflight);
+        assert!(!CheckOptions::new().without_preflight().preflight);
+    }
+
+    #[test]
+    fn engine_hint_mirrors_the_until_engine() {
+        use mrmc_analysis::EngineHint;
+        assert_eq!(
+            CheckOptions::new()
+                .with_engine(UntilEngine::uniformization(1e-11))
+                .engine_hint(),
+            EngineHint::Uniformization { truncation: 1e-11 }
+        );
+        assert_eq!(
+            CheckOptions::new()
+                .with_engine(UntilEngine::discretization(0.25))
+                .engine_hint(),
+            EngineHint::Discretization { step: 0.25 }
+        );
+        assert_eq!(
+            CheckOptions::new()
+                .with_engine(UntilEngine::simulation(5_000))
+                .engine_hint(),
+            EngineHint::Simulation { samples: 5_000 }
+        );
     }
 
     #[test]

@@ -354,7 +354,14 @@ mod tests {
 
     #[test]
     fn unknown_proposition_is_an_error() {
+        // Caught by the pre-flight lint (F001) before any engine runs.
         let c = checker();
+        let e = c.check_str("buzzy").unwrap_err();
+        assert!(matches!(e, CheckError::Preflight(_)), "{e}");
+        assert!(e.to_string().contains("buzzy"));
+
+        // With pre-flight disabled, the recursion itself reports it.
+        let c = ModelChecker::new(wavelan(), CheckOptions::new().without_preflight());
         let e = c.check_str("buzzy").unwrap_err();
         assert!(matches!(e, CheckError::UnknownProposition { .. }));
         assert!(e.to_string().contains("buzzy"));
@@ -414,7 +421,9 @@ mod tests {
             .unwrap();
         assert!(out.error_bounds().is_some());
         let budgets = out.budgets().expect("uniformization reports budgets");
-        assert!(budgets.iter().all(|b| b.is_well_formed()));
+        assert!(budgets
+            .iter()
+            .all(mrmc_numerics::ErrorBudget::is_well_formed));
         let p = out.probabilities().unwrap();
         assert!(p[2] > 0.1);
         assert_eq!(p[0], 0.0);

@@ -1,0 +1,201 @@
+//! Golden tests of the `mrmc lint` subcommand against the diagnostics
+//! corpus under `tests/lint_corpus/` at the repository root.
+//!
+//! Every corpus case is a directory holding a model (`m.tra`, `m.lab`,
+//! `m.rewr`, `m.rewi`), optional formulas (`formulas.csrl`), and an
+//! `expect` file with the exact sorted set of diagnostic codes the lint
+//! must report — nothing more, nothing less. Codes are a stable public
+//! interface: a case starting to report different codes is a breaking
+//! change, not a test to update casually.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus")
+}
+
+fn run_lint(case: &Path, extra: &[&str]) -> (String, String, Option<i32>) {
+    let file = |name: &str| case.join(name).to_str().unwrap().to_string();
+    let mut args = vec![
+        "lint".to_string(),
+        file("m.tra"),
+        file("m.lab"),
+        file("m.rewr"),
+        file("m.rewi"),
+    ];
+    args.extend(extra.iter().map(ToString::to_string));
+    let formulas = std::fs::read_to_string(case.join("formulas.csrl")).unwrap_or_default();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mrmc"))
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(formulas.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+/// Pull the sorted, de-duplicated diagnostic codes out of `--json` output.
+fn codes_in(json: &str) -> Vec<String> {
+    let mut codes = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"code\":\"") {
+        let tail = &rest[i + 8..];
+        let end = tail.find('"').expect("closing quote");
+        codes.push(tail[..end].to_string());
+        rest = &tail[end..];
+    }
+    codes.sort();
+    codes.dedup();
+    codes
+}
+
+/// The declared error count from the `--json` summary.
+fn error_count_in(json: &str) -> usize {
+    let i = json.rfind("\"errors\":").expect("errors field");
+    json[i + 9..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("errors count")
+}
+
+#[test]
+fn corpus_cases_report_exactly_the_expected_codes() {
+    let corpus = corpus_dir();
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(&corpus)
+        .expect("corpus directory exists")
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            p.is_dir().then_some(p)
+        })
+        .collect();
+    cases.sort();
+    assert!(cases.len() >= 7, "corpus shrank: {cases:?}");
+
+    for case in cases {
+        let name = case.file_name().unwrap().to_string_lossy().into_owned();
+        let mut expected: Vec<String> = std::fs::read_to_string(case.join("expect"))
+            .unwrap_or_else(|_| panic!("case {name} has an expect file"))
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty())
+            .map(ToString::to_string)
+            .collect();
+        expected.sort();
+
+        let (stdout, stderr, code) = run_lint(&case, &["--json"]);
+        assert_eq!(
+            codes_in(&stdout),
+            expected,
+            "case {name}: codes diverged\nstdout: {stdout}\nstderr: {stderr}"
+        );
+
+        // Exit code 2 exactly when Error-grade diagnostics are present.
+        let errors = error_count_in(&stdout);
+        let want = if errors > 0 { Some(2) } else { Some(0) };
+        assert_eq!(code, want, "case {name}: exit code\nstdout: {stdout}");
+    }
+}
+
+#[test]
+fn deny_warnings_promotes_and_fails() {
+    // `suspicious_model` is warning-only: exit 0 normally, 2 under --deny.
+    let case = corpus_dir().join("suspicious_model");
+    let (_, _, code) = run_lint(&case, &[]);
+    assert_eq!(code, Some(0));
+    let (stdout, _, code) = run_lint(&case, &["--deny", "warnings"]);
+    assert_eq!(code, Some(2), "{stdout}");
+    assert!(stdout.contains("error[M101]"), "{stdout}");
+    // Notes are never promoted.
+    assert!(stdout.contains("note[M107]"), "{stdout}");
+}
+
+#[test]
+fn human_output_carries_codes_and_summary() {
+    let case = corpus_dir().join("formulas");
+    let (stdout, _, code) = run_lint(&case, &[]);
+    assert_eq!(code, Some(2));
+    assert!(stdout.contains("error[F001]"), "{stdout}");
+    assert!(stdout.contains("error[F002]"), "{stdout}");
+    assert!(stdout.contains("help:"), "{stdout}");
+    assert!(stdout.contains("lint: 2 errors"), "{stdout}");
+}
+
+#[test]
+fn unparsable_formula_is_f003() {
+    let case = corpus_dir().join("clean");
+    let file = |name: &str| case.join(name).to_str().unwrap().to_string();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mrmc"))
+        .args([
+            "lint".to_string(),
+            file("m.tra"),
+            file("m.lab"),
+            file("m.rewr"),
+            file("m.rewi"),
+            "--json".to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"P(>= 0.5) [up U\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(2), "{stdout}");
+    assert!(stdout.contains("\"code\":\"F003\""), "{stdout}");
+}
+
+#[test]
+fn example_model_is_lint_clean() {
+    // The shipped TMR example must stay clean even under --deny warnings;
+    // CI runs the same invocation as a smoke test.
+    let models = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/models");
+    let file = |name: &str| models.join(name).to_str().unwrap().to_string();
+    let formulas = std::fs::read_to_string(models.join("tmr.csrl")).unwrap();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mrmc"))
+        .args([
+            "lint".to_string(),
+            file("tmr.tra"),
+            file("tmr.lab"),
+            file("tmr.rewr"),
+            file("tmr.rewi"),
+            "--deny".to_string(),
+            "warnings".to_string(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(formulas.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("0 errors, 0 warnings"), "{stdout}");
+}

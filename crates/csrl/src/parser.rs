@@ -105,7 +105,7 @@ impl Parser {
 
     fn err_here(&self, message: impl Into<String>) -> ParseError {
         ParseError {
-            offset: self.peek().map(|t| t.offset).unwrap_or(self.input_len),
+            offset: self.peek().map_or(self.input_len, |t| t.offset),
             message: message.into(),
         }
     }
@@ -323,7 +323,7 @@ impl Parser {
     }
 
     fn interval(&mut self) -> Result<Interval, ParseError> {
-        let start = self.peek().map(|t| t.offset).unwrap_or(self.input_len);
+        let start = self.peek().map_or(self.input_len, |t| t.offset);
         self.expect(&TokenKind::LBracket, "`[`")?;
         let lo = self.bound_value()?;
         self.expect(&TokenKind::Comma, "`,`")?;

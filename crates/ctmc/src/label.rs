@@ -18,6 +18,7 @@ use std::collections::BTreeSet;
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Labeling {
     per_state: Vec<BTreeSet<String>>,
+    declared: BTreeSet<String>,
 }
 
 impl Labeling {
@@ -25,6 +26,7 @@ impl Labeling {
     pub fn new(num_states: usize) -> Self {
         Labeling {
             per_state: vec![BTreeSet::new(); num_states],
+            declared: BTreeSet::new(),
         }
     }
 
@@ -33,13 +35,32 @@ impl Labeling {
         self.per_state.len()
     }
 
+    /// Declare `ap` as part of the vocabulary without assigning it to a
+    /// state. Assigning a proposition with [`add`](Labeling::add) declares
+    /// it implicitly, so this is only needed for propositions that may end
+    /// up unused (the `.lab` file's `#DECLARATION` block); the lint pass
+    /// reports declared-but-unused propositions.
+    pub fn declare(&mut self, ap: impl Into<String>) -> &mut Self {
+        self.declared.insert(ap.into());
+        self
+    }
+
+    /// Every declared proposition (explicitly via
+    /// [`declare`](Labeling::declare) or implicitly via
+    /// [`add`](Labeling::add)), sorted and de-duplicated.
+    pub fn declared(&self) -> Vec<&str> {
+        self.declared.iter().map(String::as_str).collect()
+    }
+
     /// Make `ap` valid in `state`.
     ///
     /// # Panics
     ///
     /// Panics if `state` is out of bounds.
     pub fn add(&mut self, state: usize, ap: impl Into<String>) -> &mut Self {
-        self.per_state[state].insert(ap.into());
+        let ap = ap.into();
+        self.declared.insert(ap.clone());
+        self.per_state[state].insert(ap);
         self
     }
 
@@ -117,7 +138,21 @@ mod tests {
         let l = Labeling::new(2);
         assert_eq!(l.num_states(), 2);
         assert!(l.all_propositions().is_empty());
+        assert!(l.declared().is_empty());
         assert_eq!(l.states_with("x"), vec![false, false]);
+    }
+
+    #[test]
+    fn declarations_track_the_vocabulary() {
+        let mut l = Labeling::new(2);
+        l.declare("unused").add(0, "used");
+        assert_eq!(l.declared(), vec!["unused", "used"]);
+        // Only `used` actually labels a state.
+        assert_eq!(l.all_propositions(), vec!["used"]);
+        // Declaring is idempotent and does not assign.
+        l.declare("used");
+        assert!(!l.has(0, "unused"));
+        assert_eq!(l.declared().len(), 2);
     }
 
     #[test]

@@ -248,7 +248,7 @@ impl FoxGlynn {
 
         // Normalize, then trim the tails down to epsilon/2 on each side.
         let total: f64 = weights.iter().sum();
-        for w in weights.iter_mut() {
+        for w in &mut weights {
             *w /= total;
         }
         let mut lo = 0usize;

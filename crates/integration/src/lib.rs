@@ -5,3 +5,5 @@
 //! `[[test]]`/`[[example]]` path entries in `Cargo.toml`), matching the
 //! repository layout described in `DESIGN.md`. The crate itself exports
 //! nothing.
+
+#![forbid(unsafe_code)]

@@ -43,6 +43,34 @@ pub enum FormatErrorKind {
         /// Lines actually present.
         found: usize,
     },
+    /// A `(from, to)` transition pair occurred more than once (`.tra` or
+    /// `.rewi`). Earlier versions silently kept the last entry; duplicates
+    /// almost always indicate a generator bug, so they are rejected.
+    DuplicateTransition {
+        /// Source state (1-indexed, as written in the file).
+        from: usize,
+        /// Target state (1-indexed, as written in the file).
+        to: usize,
+    },
+    /// A state received a reward value more than once in a `.rewr` file.
+    DuplicateReward {
+        /// The state (1-indexed, as written in the file).
+        state: usize,
+    },
+    /// A state was assigned the same atomic proposition more than once in
+    /// a `.lab` file.
+    DuplicateLabel {
+        /// The state (1-indexed, as written in the file).
+        state: usize,
+        /// The repeated proposition.
+        name: String,
+    },
+    /// An atomic proposition appeared more than once in the `#DECLARATION`
+    /// block of a `.lab` file.
+    DuplicateDeclaration {
+        /// The repeated proposition.
+        name: String,
+    },
 }
 
 /// A parse error with its (1-based) line number.
@@ -82,6 +110,18 @@ impl fmt::Display for FormatError {
             }
             FormatErrorKind::CountMismatch { declared, found } => {
                 write!(f, "declared {declared} transitions but found {found}")
+            }
+            FormatErrorKind::DuplicateTransition { from, to } => {
+                write!(f, "duplicate transition entry {from} -> {to}")
+            }
+            FormatErrorKind::DuplicateReward { state } => {
+                write!(f, "duplicate reward entry for state {state}")
+            }
+            FormatErrorKind::DuplicateLabel { state, name } => {
+                write!(f, "state {state} is labeled `{name}` more than once")
+            }
+            FormatErrorKind::DuplicateDeclaration { name } => {
+                write!(f, "atomic proposition `{name}` declared more than once")
             }
         }
     }
@@ -145,5 +185,26 @@ mod tests {
             },
         );
         assert!(e.to_string().contains("declared 5"));
+
+        let e = FormatError::new(5, FormatErrorKind::DuplicateTransition { from: 1, to: 2 });
+        assert!(e.to_string().contains("duplicate transition entry 1 -> 2"));
+
+        let e = FormatError::new(6, FormatErrorKind::DuplicateReward { state: 3 });
+        assert!(e.to_string().contains("duplicate reward entry for state 3"));
+
+        let e = FormatError::new(
+            7,
+            FormatErrorKind::DuplicateLabel {
+                state: 2,
+                name: "up".into(),
+            },
+        );
+        assert!(e.to_string().contains("`up` more than once"));
+
+        let e = FormatError::new(
+            8,
+            FormatErrorKind::DuplicateDeclaration { name: "up".into() },
+        );
+        assert!(e.to_string().contains("declared more than once"));
     }
 }

@@ -185,6 +185,7 @@ pub fn parse_tra(text: &str) -> Result<TraContents, FormatError> {
     };
 
     let mut transitions = Vec::with_capacity(declared);
+    let mut seen = std::collections::HashSet::with_capacity(declared);
     for (ln, line) in lines {
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 3 {
@@ -199,6 +200,15 @@ pub fn parse_tra(text: &str) -> Result<TraContents, FormatError> {
         let from = check_state(parse_usize(fields[0], ln)?, num_states, ln)?;
         let to = check_state(parse_usize(fields[1], ln)?, num_states, ln)?;
         let rate = parse_f64(fields[2], ln)?;
+        if !seen.insert((from, to)) {
+            return Err(FormatError::new(
+                ln,
+                FormatErrorKind::DuplicateTransition {
+                    from: from + 1,
+                    to: to + 1,
+                },
+            ));
+        }
         transitions.push((from, to, rate));
     }
     if transitions.len() != declared {
@@ -246,9 +256,14 @@ pub fn parse_lab(text: &str, num_states: usize) -> Result<Labeling, FormatError>
             break;
         }
         for ap in line.split_whitespace() {
+            if declared.iter().any(|d| d == ap) {
+                return Err(FormatError::new(
+                    ln,
+                    FormatErrorKind::DuplicateDeclaration { name: ap.into() },
+                ));
+            }
             declared.push(ap.to_string());
         }
-        let _ = ln;
     }
     if !saw_end {
         return Err(FormatError::new(
@@ -258,6 +273,9 @@ pub fn parse_lab(text: &str, num_states: usize) -> Result<Labeling, FormatError>
     }
 
     let mut labeling = Labeling::new(num_states);
+    for ap in &declared {
+        labeling.declare(ap);
+    }
     for (ln, line) in lines {
         let mut fields = line.split_whitespace();
         let state_tok = fields.next().expect("clean lines are non-empty");
@@ -268,6 +286,15 @@ pub fn parse_lab(text: &str, num_states: usize) -> Result<Labeling, FormatError>
                 return Err(FormatError::new(
                     ln,
                     FormatErrorKind::UndeclaredProposition { name: ap.into() },
+                ));
+            }
+            if labeling.has(state, ap) {
+                return Err(FormatError::new(
+                    ln,
+                    FormatErrorKind::DuplicateLabel {
+                        state: state + 1,
+                        name: ap.into(),
+                    },
                 ));
             }
             labeling.add(state, ap);
@@ -284,6 +311,7 @@ pub fn parse_lab(text: &str, num_states: usize) -> Result<Labeling, FormatError>
 /// [`FormatError`] with the offending line.
 pub fn parse_rewr(text: &str, num_states: usize) -> Result<Vec<f64>, FormatError> {
     let mut rewards = vec![0.0; num_states];
+    let mut specified = vec![false; num_states];
     for (ln, line) in text
         .lines()
         .enumerate()
@@ -300,6 +328,13 @@ pub fn parse_rewr(text: &str, num_states: usize) -> Result<Vec<f64>, FormatError
             ));
         }
         let state = check_state(parse_usize(fields[0], ln)?, num_states, ln)?;
+        if specified[state] {
+            return Err(FormatError::new(
+                ln,
+                FormatErrorKind::DuplicateReward { state: state + 1 },
+            ));
+        }
+        specified[state] = true;
         rewards[state] = parse_f64(fields[1], ln)?;
     }
     Ok(rewards)
@@ -317,10 +352,9 @@ pub fn parse_rewi(text: &str, num_states: usize) -> Result<ImpulseRewards, Forma
         .enumerate()
         .filter_map(|(i, l)| clean(l).map(|c| (i + 1, c)));
 
-    let (l1, header) = match lines.next() {
-        Some(x) => x,
-        // An empty .rewi file means "no impulse rewards".
-        None => return Ok(ImpulseRewards::new()),
+    // An empty .rewi file means "no impulse rewards".
+    let Some((l1, header)) = lines.next() else {
+        return Ok(ImpulseRewards::new());
     };
     let declared = match header.split_whitespace().collect::<Vec<_>>()[..] {
         ["TRANSITIONS", m] => parse_usize(m, l1)?,
@@ -336,6 +370,7 @@ pub fn parse_rewi(text: &str, num_states: usize) -> Result<ImpulseRewards, Forma
 
     let mut impulses = ImpulseRewards::new();
     let mut count = 0usize;
+    let mut seen = std::collections::HashSet::new();
     for (ln, line) in lines {
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() != 3 {
@@ -349,6 +384,15 @@ pub fn parse_rewi(text: &str, num_states: usize) -> Result<ImpulseRewards, Forma
         }
         let from = check_state(parse_usize(fields[0], ln)?, num_states, ln)?;
         let to = check_state(parse_usize(fields[1], ln)?, num_states, ln)?;
+        if !seen.insert((from, to)) {
+            return Err(FormatError::new(
+                ln,
+                FormatErrorKind::DuplicateTransition {
+                    from: from + 1,
+                    to: to + 1,
+                },
+            ));
+        }
         let value = parse_f64(fields[2], ln)?;
         if !(value.is_finite() && value >= 0.0) {
             return Err(FormatError::new(
@@ -434,6 +478,16 @@ mod tests {
     }
 
     #[test]
+    fn tra_rejects_duplicate_transitions() {
+        let e = parse_tra("STATES 2\nTRANSITIONS 2\n1 2 1.0\n1 2 3.0\n").unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(matches!(
+            e.kind,
+            FormatErrorKind::DuplicateTransition { from: 1, to: 2 }
+        ));
+    }
+
+    #[test]
     fn lab_happy_path() {
         let l = parse_lab("#DECLARATION\nup down busy\n#END\n1 up\n2 down,busy\n", 2).unwrap();
         assert!(l.has(0, "up"));
@@ -473,6 +527,28 @@ mod tests {
     }
 
     #[test]
+    fn lab_rejects_duplicate_declarations_and_labels() {
+        let e = parse_lab("#DECLARATION\nup up\n#END\n", 1).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            FormatErrorKind::DuplicateDeclaration { ref name } if name == "up"
+        ));
+        let e = parse_lab("#DECLARATION\nup down\n#END\n1 up\n1 down,up\n", 1).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(matches!(
+            e.kind,
+            FormatErrorKind::DuplicateLabel { state: 1, ref name } if name == "up"
+        ));
+    }
+
+    #[test]
+    fn lab_keeps_unused_declarations() {
+        let l = parse_lab("#DECLARATION\nup spare\n#END\n1 up\n", 1).unwrap();
+        assert_eq!(l.declared(), vec!["spare", "up"]);
+        assert_eq!(l.all_propositions(), vec!["up"]);
+    }
+
+    #[test]
     fn rewr_defaults_to_zero() {
         let r = parse_rewr("2 5.5\n", 3).unwrap();
         assert_eq!(r, vec![0.0, 5.5, 0.0]);
@@ -487,6 +563,12 @@ mod tests {
         assert!(matches!(
             parse_rewr("1 abc\n", 2).unwrap_err().kind,
             FormatErrorKind::BadNumber { .. }
+        ));
+        let e = parse_rewr("1 2.0\n1 3.0\n", 2).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(
+            e.kind,
+            FormatErrorKind::DuplicateReward { state: 1 }
         ));
     }
 
@@ -513,6 +595,12 @@ mod tests {
         assert!(matches!(
             parse_rewi("TRANSITIONS 2\n1 2 4.0\n", 2).unwrap_err().kind,
             FormatErrorKind::CountMismatch { .. }
+        ));
+        assert!(matches!(
+            parse_rewi("TRANSITIONS 2\n1 2 4.0\n1 2 4.0\n", 2)
+                .unwrap_err()
+                .kind,
+            FormatErrorKind::DuplicateTransition { from: 1, to: 2 }
         ));
     }
 

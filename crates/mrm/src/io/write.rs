@@ -22,7 +22,7 @@ pub fn write_lab(mrm: &Mrm) -> String {
     let labeling = mrm.labeling();
     let mut out = String::new();
     out.push_str("#DECLARATION\n");
-    let props = labeling.all_propositions();
+    let props = labeling.declared();
     if !props.is_empty() {
         out.push_str(&props.join(" "));
         out.push('\n');

@@ -154,11 +154,7 @@ pub fn uniformization_until_all(
     adaptive: AdaptiveOptions,
 ) -> Result<Vec<UntilResult>, NumericsError> {
     adaptive.validate()?;
-    let worst = |v: &[UntilResult]| {
-        v.iter()
-            .map(|r| r.budget.total())
-            .fold(0.0f64, |m, b| m.max(b))
-    };
+    let worst = |v: &[UntilResult]| v.iter().map(|r| r.budget.total()).fold(0.0f64, f64::max);
     let mut w = adaptive.initial_truncation(base.truncation);
     let mut best: Option<Vec<UntilResult>> = None;
     for _ in 0..adaptive.max_rounds {

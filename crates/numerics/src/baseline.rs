@@ -79,7 +79,7 @@ pub fn until_time_bounded(
             u = p.mul_vec(&u);
         }
     }
-    for a in acc.iter_mut() {
+    for a in &mut acc {
         *a = a.clamp(0.0, 1.0);
     }
     Ok(acc)
@@ -214,7 +214,7 @@ pub fn phi_constrained_backward(
             u = p.mul_vec(&u);
         }
     }
-    for a in acc.iter_mut() {
+    for a in &mut acc {
         *a = a.clamp(0.0, 1.0);
     }
     Ok(acc)

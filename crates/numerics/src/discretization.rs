@@ -270,7 +270,7 @@ fn evolve_grid(g: &GridProblem<'_>, d: f64) -> Result<(f64, usize, usize), Numer
     }
 
     for _ in 1..time_steps {
-        for row in next.iter_mut() {
+        for row in &mut next {
             for v in row.iter_mut() {
                 *v = 0.0;
             }

@@ -65,6 +65,7 @@
 pub mod adaptive;
 pub mod baseline;
 pub mod budget;
+pub mod cost;
 pub mod discretization;
 mod error;
 pub mod expected;

@@ -19,7 +19,7 @@
 //!
 //! 1. **Frontier (sequential).** A bounded DFS runs the ordinary visit
 //!    logic down to a cutoff depth. Instead of recursing past the cutoff it
-//!    records a [`Task`] — a snapshot of the pending subtree root (state,
+//!    records a `Task` — a snapshot of the pending subtree root (state,
 //!    depth, path probability, Poisson-weighted probability, and the
 //!    `(k, j)` counts). This snapshot is the *shared-prefix cache*: the
 //!    prefix's probability and reward counts are computed once here and
@@ -45,7 +45,7 @@
 //!
 //! The second parallel surface is Eq. 4.5 itself: the per-class
 //! conditional probabilities `Ω(r', k)` are pure functions of their inputs
-//! (memoization only avoids recomputation), so [`omega_terms`] computes
+//! (memoization only avoids recomputation), so `omega_terms` computes
 //! them with per-worker [`OmegaEvaluator`]s and the caller folds the terms
 //! in class order — again identical to the serial fold.
 

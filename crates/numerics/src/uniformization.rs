@@ -26,7 +26,7 @@ use crate::reward_structure::RewardClasses;
 
 /// Threading options for the path-exploration engine.
 ///
-/// The parallel engine (module [`parallel`](crate::parallel)) is
+/// The parallel engine (module [`parallel`]) is
 /// **deterministic**: for any `threads` and `chunk_size` the result is
 /// bit-for-bit identical to the serial engine, so these knobs only trade
 /// wall-clock time, never accuracy.
@@ -55,9 +55,7 @@ impl ParallelOptions {
     /// CPU parallelism (at least 1).
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         } else {
             self.threads
         }
@@ -388,7 +386,7 @@ pub fn performability(
 /// and benchmarked (Figure 4.3).
 ///
 /// With `options.parallel.threads > 1` the exploration runs on the
-/// multi-threaded engine of the [`parallel`](crate::parallel) module; the
+/// multi-threaded engine of the [`parallel`] module; the
 /// result is bit-for-bit identical to the serial run.
 #[allow(clippy::too_many_arguments)]
 pub fn generate_path_classes(

@@ -190,7 +190,7 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(0x65DE1);
         for _ in 0..64 {
             let mut rows = vec![vec![0.0; 4]; 4];
-            for row in rows.iter_mut() {
+            for row in &mut rows {
                 for x in row.iter_mut() {
                     *x = rng.range_f64(-1.0, 1.0);
                 }

@@ -172,7 +172,7 @@ mod tests {
         let mut rng = Xoshiro256StarStar::seed_from_u64(0xD07);
         for _ in 0..64 {
             let v = random_vec(&mut rng, 31, -1e3, 1e3);
-            let w: Vec<f64> = v.iter().rev().cloned().collect();
+            let w: Vec<f64> = v.iter().rev().copied().collect();
             let d1 = dot(&v, &w);
             let d2 = dot(&w, &v);
             assert!((d1 - d2).abs() <= 1e-9 * (1.0 + d1.abs()));

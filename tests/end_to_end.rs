@@ -98,12 +98,23 @@ fn wavelan_quickstart_formulas() {
 fn error_reporting_is_actionable() {
     let checker = ModelChecker::new(wavelan(), CheckOptions::new());
 
+    // The pre-flight lint intercepts unsupported bounds (F002) before any
+    // engine starts.
     let e = checker
+        .check_str("P(>= 0.5) [idle U[2,3][0,50] busy]")
+        .unwrap_err();
+    assert!(matches!(e, CheckError::Preflight(_)), "{e}");
+    assert!(e.to_string().contains("F002"), "{e}");
+
+    // With pre-flight disabled, the engine-level error surfaces instead.
+    let raw = ModelChecker::new(wavelan(), CheckOptions::new().without_preflight());
+    let e = raw
         .check_str("P(>= 0.5) [idle U[2,3][0,50] busy]")
         .unwrap_err();
     assert!(matches!(e, CheckError::UnsupportedBounds { .. }), "{e}");
 
     let e = checker.check_str("no_such_label").unwrap_err();
+    assert!(matches!(e, CheckError::Preflight(_)), "{e}");
     assert!(e.to_string().contains("no_such_label"));
 
     let e = checker.check_str("P(>= 2) [TT U busy]").unwrap_err();

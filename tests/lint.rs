@@ -1,0 +1,102 @@
+//! Library-level tests of the static-analysis (lint) pipeline: the
+//! repository's clean reference models must produce zero Error-grade
+//! diagnostics, the pre-flight gate in [`mrmc::ModelChecker::check`] must
+//! intercept broken formulas before any engine starts, and the analyzer
+//! must be total (no panics) over randomly generated models.
+
+use mrmc::{Analyzer, CheckError, CheckOptions, EngineHint, ModelChecker, Severity};
+use mrmc_models::cluster::{cluster, ClusterConfig};
+use mrmc_models::random::{random_mrm, RandomMrmConfig};
+use mrmc_models::{tmr, wavelan, TmrConfig};
+
+#[test]
+fn clean_reference_models_have_no_error_diagnostics() {
+    let analyzer = Analyzer::new();
+    for (name, mrm) in [
+        ("tmr", tmr(&TmrConfig::classic())),
+        ("cluster", cluster(&ClusterConfig::new(4))),
+        ("wavelan", wavelan()),
+    ] {
+        let report = analyzer.check_model(&mrm);
+        assert!(
+            !report.has_errors(),
+            "{name}: model lint reported errors:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn well_formed_formulas_pass_the_formula_lints() {
+    let analyzer = Analyzer::new();
+    let mrm = tmr(&TmrConfig::classic());
+    for text in [
+        "S(> 0.9) (Sup)",
+        "P(> 0.99) [TT U allUp]",
+        "P(< 0.05) [Sup U[0,2][0,10] failed]",
+        "P(> 0.1) [X[0,1][0,5] Sup]",
+    ] {
+        let f = mrmc_csrl::parse(text).unwrap();
+        let report = analyzer.check_formula(&mrm, &f, EngineHint::default());
+        assert!(
+            !report.has_errors(),
+            "`{text}` flagged with errors:\n{report}"
+        );
+    }
+}
+
+#[test]
+fn preflight_gates_check_before_the_engines() {
+    let checker = ModelChecker::new(tmr(&TmrConfig::classic()), CheckOptions::new());
+
+    // Unknown proposition: F001 aborts the check.
+    let e = checker.check_str("no_such_ap").unwrap_err();
+    let CheckError::Preflight(report) = e else {
+        panic!("expected a pre-flight abort, got {e}");
+    };
+    assert!(report.codes().contains(&"F001"), "{report}");
+
+    // Unsupported bound combination: F002 aborts the check.
+    let e = checker
+        .check_str("P(>= 0.5) [Sup U[1,2][0,10] failed]")
+        .unwrap_err();
+    let CheckError::Preflight(report) = e else {
+        panic!("expected a pre-flight abort, got {e}");
+    };
+    assert!(report.codes().contains(&"F002"), "{report}");
+
+    // A checkable formula passes the gate and produces a verdict.
+    assert!(checker.check_str("S(> 0.0) (Sup)").is_ok());
+}
+
+#[test]
+fn preflight_report_is_available_without_checking() {
+    let checker = ModelChecker::new(tmr(&TmrConfig::classic()), CheckOptions::new());
+    let f = mrmc_csrl::parse("P(< 0.05) [Sup U[0,2][0,10] failed]").unwrap();
+    let report = checker.preflight(&f);
+    assert!(!report.has_errors(), "{report}");
+    // The cost forecast (C103) rides along as a note.
+    assert!(report.codes().contains(&"C103"), "{report}");
+    assert_eq!(report.count(Severity::Error), 0);
+}
+
+#[test]
+fn analyzer_is_total_over_random_models() {
+    let analyzer = Analyzer::new();
+    let config = RandomMrmConfig::default();
+    for seed in 0..32 {
+        let mrm = random_mrm(seed, &config);
+        let report = analyzer.check_model(&mrm);
+        // Random models are connected and positively labeled by
+        // construction: warnings are possible, errors are not (the model
+        // passes produce only Warning/Note grades).
+        assert!(
+            !report.has_errors(),
+            "seed {seed}: unexpected errors:\n{report}"
+        );
+        for text in ["P(> 0.1) [TT U[0,1][0,2] goal]", "S(> 0.1) (goal)"] {
+            let f = mrmc_csrl::parse(text).unwrap();
+            let fr = analyzer.check_formula(&mrm, &f, EngineHint::default());
+            assert!(!fr.has_errors(), "seed {seed} `{text}`:\n{fr}");
+        }
+    }
+}
