@@ -20,16 +20,14 @@
 //! is not known statically.
 
 use mrmc_csrl::{PathFormula, StateFormula};
-use mrmc_numerics::cost::{estimate_discretization, estimate_uniformization};
+use mrmc_numerics::cost::{estimate_discretization, estimate_uniformization, max_stable_step};
 
 use crate::diagnostic::{Diagnostic, Report, Severity};
 use crate::{EngineHint, LintContext};
 
-/// Estimated path-tree nodes above which `C101` fires.
-const PATH_EXPLOSION_NODES: f64 = 1e8;
-
-/// Estimated grid bytes above which `C102` fires (8 GiB-ish).
-const GRID_MEMORY_BYTES: f64 = 8e9;
+// The thresholds live in `mrmc_numerics::cost` (the single source of truth
+// shared with the engines); re-exported here for lint consumers.
+pub use mrmc_numerics::cost::{GRID_MEMORY_BYTES, PATH_EXPLOSION_NODES};
 
 /// The worst-case (largest `t`, largest `r`) P2-class until bounds in the
 /// formula, if any.
@@ -124,15 +122,7 @@ pub fn prediction(ctx: &LintContext<'_>, report: &mut Report) {
                              fastest states are made absorbing"
                         ),
                     )
-                    .with_suggestion(format!(
-                        "use d <= {:.3e}",
-                        1.0 / ctx
-                            .mrm
-                            .ctmc()
-                            .exit_rates()
-                            .iter()
-                            .fold(0.0_f64, |a, &b| a.max(b))
-                    )),
+                    .with_suggestion(format!("use d <= {:.3e}", max_stable_step(ctx.mrm))),
                 );
             }
             if c.estimated_bytes > GRID_MEMORY_BYTES {

@@ -55,6 +55,10 @@ pub struct Diagnostic {
     /// files), truncated to a few representatives for large sets; empty
     /// for formula- or model-global findings.
     pub states: Vec<usize>,
+    /// 1-based line of the offending record in the source file the
+    /// finding points at (load diagnostics only); `None` when the finding
+    /// has no single source location.
+    pub line: Option<usize>,
     /// What is wrong, in one sentence.
     pub message: String,
     /// What to do about it, when a concrete suggestion exists.
@@ -68,6 +72,7 @@ impl Diagnostic {
             code,
             severity,
             states: Vec::new(),
+            line: None,
             message: message.into(),
             suggestion: None,
         }
@@ -77,6 +82,13 @@ impl Diagnostic {
     #[must_use]
     pub fn with_states(mut self, states: Vec<usize>) -> Self {
         self.states = states;
+        self
+    }
+
+    /// Attach a 1-based source-file line number.
+    #[must_use]
+    pub fn with_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
         self
     }
 
@@ -99,6 +111,9 @@ impl fmt::Display for Diagnostic {
                 plural(self.states.len()),
                 refs.join(", ")
             )?;
+        }
+        if let Some(l) = self.line {
+            write!(f, " (line {l})")?;
         }
         if let Some(s) = &self.suggestion {
             write!(f, "\n  help: {s}")?;
@@ -235,6 +250,9 @@ impl Report {
                 json_escape(&d.message),
             )
             .expect("write to String");
+            if let Some(l) = d.line {
+                write!(out, ",\"line\":{l}").expect("write to String");
+            }
             if let Some(s) = &d.suggestion {
                 write!(out, ",\"suggestion\":\"{}\"", json_escape(s)).expect("write to String");
             }
@@ -297,6 +315,24 @@ mod tests {
         assert!(s.contains("warning[M103]"));
         assert!(s.contains("states 2, 5"));
         assert!(s.contains("help: remove the impulse entry"));
+    }
+
+    #[test]
+    fn line_numbers_render_in_both_formats() {
+        let d = Diagnostic::new("M002", Severity::Error, "duplicate transition entry 1 -> 2")
+            .with_line(5);
+        assert_eq!(d.line, Some(5));
+        assert!(d.to_string().contains("(line 5)"));
+        let mut r = Report::new();
+        r.push(d);
+        assert!(r.render_json().contains("\"line\":5"));
+        // Absent when no location is known.
+        let r2 = {
+            let mut r = Report::new();
+            r.push(Diagnostic::new("M001", Severity::Error, "x"));
+            r
+        };
+        assert!(!r2.render_json().contains("\"line\""));
     }
 
     #[test]

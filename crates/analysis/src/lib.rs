@@ -51,9 +51,11 @@
 pub mod cost;
 pub mod diagnostic;
 pub mod formula;
+pub mod lumping;
 pub mod model;
 
 pub use diagnostic::{Diagnostic, Report, Severity};
+pub use lumping::{CertificateError, LumpingAnalysis, LumpingCertificate, Observation};
 
 use mrmc_csrl::StateFormula;
 use mrmc_mrm::io::LoadError;
@@ -281,20 +283,31 @@ pub fn preflight(mrm: &Mrm, formula: &StateFormula, engine: EngineHint) -> Repor
 /// * `M003` — duplicate label, declaration, or reward entry;
 /// * `M004` — the files parse but violate the MRM definition
 ///   (negative rates/rewards, self-loop impulses, size mismatches).
+///
+/// Format errors carry the 1-based line of the offending record
+/// ([`Diagnostic::line`]), so editors and scripts can jump straight to it.
 pub fn diagnose_load_error(err: &LoadError) -> Diagnostic {
     use mrmc_mrm::io::FormatErrorKind;
-    let code = match err {
-        LoadError::Format { source, .. } => match source.kind {
-            FormatErrorKind::DuplicateTransition { .. } => "M002",
-            FormatErrorKind::DuplicateReward { .. }
-            | FormatErrorKind::DuplicateLabel { .. }
-            | FormatErrorKind::DuplicateDeclaration { .. } => "M003",
-            _ => "M001",
-        },
-        LoadError::Io { .. } => "M001",
-        LoadError::Model(_) => "M004",
+    let (code, line) = match err {
+        LoadError::Format { source, .. } => {
+            let code = match source.kind {
+                FormatErrorKind::DuplicateTransition { .. } => "M002",
+                FormatErrorKind::DuplicateReward { .. }
+                | FormatErrorKind::DuplicateLabel { .. }
+                | FormatErrorKind::DuplicateDeclaration { .. } => "M003",
+                _ => "M001",
+            };
+            // Line 0 is the parser's "end of file" sentinel, not a record.
+            (code, (source.line > 0).then_some(source.line))
+        }
+        LoadError::Io { .. } => ("M001", None),
+        LoadError::Model(_) => ("M004", None),
     };
-    Diagnostic::new(code, Severity::Error, err.to_string())
+    let d = Diagnostic::new(code, Severity::Error, err.to_string());
+    match line {
+        Some(l) => d.with_line(l),
+        None => d,
+    }
 }
 
 #[cfg(test)]
@@ -357,6 +370,8 @@ mod tests {
         let d = diagnose_load_error(&broken.assemble().unwrap_err());
         assert_eq!(d.code, "M002");
         assert_eq!(d.severity, Severity::Error);
+        // The duplicate `1 2` record sits on line 4 of the .tra file.
+        assert_eq!(d.line, Some(4));
 
         let bad_header = ModelFiles {
             tra: "garbage".into(),
@@ -375,6 +390,8 @@ mod tests {
         };
         let d = diagnose_load_error(&dup_label.assemble().unwrap_err());
         assert_eq!(d.code, "M003");
+        // The `1 up,up` record sits on line 4 of the .lab file.
+        assert_eq!(d.line, Some(4));
 
         let negative_rate = ModelFiles {
             tra: "STATES 2\nTRANSITIONS 1\n1 2 -1.0\n".into(),
@@ -384,5 +401,19 @@ mod tests {
         };
         let d = diagnose_load_error(&negative_rate.assemble().unwrap_err());
         assert_eq!(d.code, "M004");
+        // Model-level violations have no single source line.
+        assert_eq!(d.line, None);
+
+        let dup_reward = ModelFiles {
+            tra: "STATES 2\nTRANSITIONS 2\n1 2 1.0\n2 1 1.0\n".into(),
+            lab: String::new(),
+            rewr: "1 2.0\n1 3.0\n".into(),
+            rewi: String::new(),
+        };
+        let d = diagnose_load_error(&dup_reward.assemble().unwrap_err());
+        assert_eq!(d.code, "M003");
+        // The repeated `1 ...` reward record sits on line 2 of the .rewr
+        // file.
+        assert_eq!(d.line, Some(2));
     }
 }

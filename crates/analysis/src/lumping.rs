@@ -1,0 +1,1032 @@
+//! Lumpability analysis: formula-adaptive, certificate-backed state-space
+//! reduction (`R` codes).
+//!
+//! For a model `M` and a CSRL formula `Φ`, this module computes the
+//! coarsest partition of the state space this analysis can *prove* to
+//! preserve the semantics of `Φ` — an ordinary (strong) lumping quotient —
+//! and packages the proof as a [`LumpingCertificate`] that an independent
+//! `O(m)` verifier re-checks before any engine is allowed to trust it.
+//!
+//! # Formula-adaptive observation
+//!
+//! What must be preserved depends on what `Φ` can observe
+//! ([`Observation::of`]):
+//!
+//! * a pure boolean formula over atomic propositions observes only the
+//!   labeling — the initial partition groups states by their *relevant*
+//!   propositions (those occurring in `Φ`) and no further refinement is
+//!   needed;
+//! * an `S`/`P` operator observes the transition law — blocks are refined
+//!   until all members agree, bit-for-bit, on their aggregate rate into
+//!   every other block;
+//! * a nontrivial accumulated-reward bound `J` additionally observes the
+//!   reward structure — members must agree on the state-reward rate and on
+//!   the impulse earned towards every other block (and intra-block
+//!   impulses must be zero, since a jump inside a block is invisible in
+//!   the quotient but would still accumulate reward).
+//!
+//! # Exactness
+//!
+//! All comparisons are **bitwise** on the `f64` representation
+//! ([`f64::to_bits`]), and aggregate rates are summed in the row order of
+//! the sparse matrix, exactly as [`mrmc_mrm::transform::quotient`] and the
+//! certificate verifier sum them. The quotient therefore reproduces the
+//! full model's arithmetic *exactly* — no new rounding is introduced, so
+//! checking the quotient and lifting the result is bit-reproducible.
+//!
+//! # Diagnostics
+//!
+//! The [`pass`] (registered by `mrmc lint --lumping`, *not* part of the
+//! default set) reports:
+//!
+//! * `R001` (error) — a certificate failed re-verification (a bug trap:
+//!   analysis and verifier disagree);
+//! * `R101` (note) — the model is lumpable for this formula, with the
+//!   original and reduced state counts;
+//! * `R102` (note) — no nontrivial quotient exists for this formula;
+//! * `R103` (note) — state rewards block further lumping, with an example
+//!   pair of states separated only by their reward rates;
+//! * `R104` (note) — impulse rewards block further lumping, with an
+//!   example pair.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use mrmc_csrl::{PathFormula, StateFormula};
+use mrmc_mrm::transform::quotient;
+use mrmc_mrm::{Mrm, Partition};
+
+use crate::{Diagnostic, LintContext, Pass, Report, Scope, Severity};
+
+/// Which aspects of a model a formula can observe — and a lumping must
+/// therefore preserve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// The formula contains an `S` or `P` operator, so the transition law
+    /// (and hence aggregate inter-block rates) is observable.
+    pub rates: bool,
+    /// Some path operator carries a nontrivial accumulated-reward bound
+    /// `J ≠ [0, ∞)`, so state and impulse rewards are observable.
+    pub rewards: bool,
+}
+
+impl Observation {
+    /// What `formula` observes, by structural walk.
+    pub fn of(formula: &StateFormula) -> Self {
+        let mut obs = Observation {
+            rates: false,
+            rewards: false,
+        };
+        walk_state(formula, &mut obs);
+        obs
+    }
+}
+
+fn walk_state(f: &StateFormula, obs: &mut Observation) {
+    match f {
+        StateFormula::True | StateFormula::False | StateFormula::Ap(_) => {}
+        StateFormula::Not(g) => walk_state(g, obs),
+        StateFormula::Or(a, b) | StateFormula::And(a, b) | StateFormula::Implies(a, b) => {
+            walk_state(a, obs);
+            walk_state(b, obs);
+        }
+        StateFormula::Steady { inner, .. } => {
+            obs.rates = true;
+            walk_state(inner, obs);
+        }
+        StateFormula::Prob { path, .. } => {
+            obs.rates = true;
+            walk_path(path, obs);
+        }
+    }
+}
+
+fn walk_path(p: &PathFormula, obs: &mut Observation) {
+    match p {
+        PathFormula::Next { reward, inner, .. } => {
+            if !reward.is_trivial() {
+                obs.rewards = true;
+            }
+            walk_state(inner, obs);
+        }
+        PathFormula::Until {
+            reward, lhs, rhs, ..
+        } => {
+            if !reward.is_trivial() {
+                obs.rewards = true;
+            }
+            walk_state(lhs, obs);
+            walk_state(rhs, obs);
+        }
+    }
+}
+
+/// The result of [`analyze`]: the proven partition, its certificate (when
+/// it actually reduces the model), and attribution for what blocked
+/// further lumping.
+#[derive(Debug, Clone)]
+pub struct LumpingAnalysis {
+    /// What the formula observes.
+    pub observation: Observation,
+    /// The atomic propositions occurring in the formula, sorted.
+    pub relevant_aps: Vec<String>,
+    /// The coarsest partition the analysis proved safe.
+    pub partition: Partition,
+    /// The checkable certificate; `None` when the partition is the
+    /// identity (nothing to reduce, nothing to certify).
+    pub certificate: Option<LumpingCertificate>,
+    /// An example pair of states kept apart *only* by their state-reward
+    /// rates (0-indexed), when reward observation split a rate-lumpable
+    /// pair.
+    pub reward_blocked: Option<(usize, usize)>,
+    /// An example pair of states kept apart *only* by impulse rewards
+    /// (0-indexed).
+    pub impulse_blocked: Option<(usize, usize)>,
+}
+
+/// Compute the coarsest provable `Φ`-preserving lumping of `mrm`.
+///
+/// The algorithm is partition refinement: start from the coarsest
+/// partition compatible with the formula's atomic propositions (plus the
+/// state-reward rate when rewards are observed), then repeatedly split
+/// blocks whose members disagree on their signature — the bitwise
+/// aggregate rate into every other block and, when rewards are observed,
+/// the set of impulse values earned towards every other block. At the
+/// fixpoint, remaining impulse-uniformity violations (a state earning two
+/// different impulses towards one block, or a nonzero impulse inside a
+/// block) trigger a split of the *receiving* block and the refinement
+/// restarts; every such split strictly increases the block count, so the
+/// loop terminates.
+pub fn analyze(mrm: &Mrm, formula: &StateFormula) -> LumpingAnalysis {
+    let observation = Observation::of(formula);
+    let mut relevant_aps: Vec<String> = formula
+        .propositions()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    relevant_aps.sort_unstable();
+    relevant_aps.dedup();
+
+    let partition = refine(
+        mrm,
+        &relevant_aps,
+        observation.rates,
+        observation.rewards,
+        observation.rewards,
+    );
+
+    let (reward_blocked, impulse_blocked) = if observation.rewards {
+        let p_rate = refine(mrm, &relevant_aps, true, false, false);
+        let p_state = refine(mrm, &relevant_aps, true, true, false);
+        (
+            first_split_pair(&p_rate, &p_state),
+            first_split_pair(&p_state, &partition),
+        )
+    } else {
+        (None, None)
+    };
+
+    let certificate = if partition.is_identity() {
+        None
+    } else {
+        build_certificate(mrm, &partition, observation, relevant_aps.clone())
+    };
+
+    LumpingAnalysis {
+        observation,
+        relevant_aps,
+        partition,
+        certificate,
+        reward_blocked,
+        impulse_blocked,
+    }
+}
+
+/// The coarsest partition matching the requested observation level.
+fn refine(
+    mrm: &Mrm,
+    relevant_aps: &[String],
+    use_rates: bool,
+    use_state_rewards: bool,
+    use_impulses: bool,
+) -> Partition {
+    let n = mrm.num_states();
+    let mut keys: HashMap<(Vec<bool>, u64), usize> = HashMap::new();
+    let assignment: Vec<usize> = (0..n)
+        .map(|s| {
+            let aps: Vec<bool> = relevant_aps
+                .iter()
+                .map(|ap| mrm.labeling().has(s, ap))
+                .collect();
+            let rho = if use_state_rewards {
+                mrm.state_reward(s).to_bits()
+            } else {
+                0
+            };
+            let next = keys.len();
+            *keys.entry((aps, rho)).or_insert(next)
+        })
+        .collect();
+    let mut partition = Partition::from_assignment(&assignment);
+    if !use_rates {
+        return partition;
+    }
+
+    loop {
+        loop {
+            let refined = split_by_signature(mrm, &partition, use_impulses);
+            if refined.num_blocks() == partition.num_blocks() {
+                break;
+            }
+            partition = refined;
+        }
+        if !use_impulses {
+            return partition;
+        }
+        let Some((source, block)) = find_impulse_violation(mrm, &partition) else {
+            return partition;
+        };
+        partition = split_block_by_incoming_impulse(mrm, &partition, source, block);
+    }
+}
+
+/// One refinement round: group states by their current block plus their
+/// per-target-block signature.
+fn split_by_signature(mrm: &Mrm, partition: &Partition, use_impulses: bool) -> Partition {
+    #[derive(Hash, PartialEq, Eq)]
+    struct Signature {
+        block: usize,
+        /// `(target block, aggregate rate bits)`, sorted by target block;
+        /// the sum is accumulated in row order so it is bit-reproducible.
+        rates: Vec<(usize, u64)>,
+        /// `(target block, sorted deduplicated impulse bits)`, including
+        /// the implicit zero of impulse-free transitions.
+        impulses: Vec<(usize, Vec<u64>)>,
+    }
+
+    let n = mrm.num_states();
+    let k = partition.num_blocks();
+    let mut sums = vec![0.0_f64; k];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut keys: HashMap<Signature, usize> = HashMap::new();
+    let assignment: Vec<usize> = (0..n)
+        .map(|s| {
+            let b = partition.block_of(s);
+            let mut impulse_map: HashMap<usize, Vec<u64>> = HashMap::new();
+            for (t, r) in mrm.ctmc().rates().row(s) {
+                let c = partition.block_of(t);
+                if c == b {
+                    continue;
+                }
+                if sums[c] == 0.0 {
+                    touched.push(c);
+                }
+                sums[c] += r;
+                if use_impulses {
+                    impulse_map
+                        .entry(c)
+                        .or_default()
+                        .push(mrm.impulse_reward(s, t).to_bits());
+                }
+            }
+            touched.sort_unstable();
+            let rates: Vec<(usize, u64)> =
+                touched.iter().map(|&c| (c, sums[c].to_bits())).collect();
+            for &c in &touched {
+                sums[c] = 0.0;
+            }
+            touched.clear();
+            let mut impulses: Vec<(usize, Vec<u64>)> = impulse_map
+                .into_iter()
+                .map(|(c, mut vs)| {
+                    vs.sort_unstable();
+                    vs.dedup();
+                    (c, vs)
+                })
+                .collect();
+            impulses.sort_unstable();
+            let next = keys.len();
+            *keys
+                .entry(Signature {
+                    block: b,
+                    rates,
+                    impulses,
+                })
+                .or_insert(next)
+        })
+        .collect();
+    Partition::from_assignment(&assignment)
+}
+
+/// Find a `(source state, block to split)` pair witnessing an impulse
+/// uniformity violation: either `source` earns two different impulses
+/// towards the block, or it earns a nonzero impulse *inside* it.
+fn find_impulse_violation(mrm: &Mrm, partition: &Partition) -> Option<(usize, usize)> {
+    for s in 0..mrm.num_states() {
+        let b = partition.block_of(s);
+        let mut per_block: HashMap<usize, u64> = HashMap::new();
+        for (t, _) in mrm.ctmc().rates().row(s) {
+            let c = partition.block_of(t);
+            let v = mrm.impulse_reward(s, t).to_bits();
+            if c == b {
+                if v != 0 {
+                    return Some((s, b));
+                }
+            } else if let Some(&prev) = per_block.get(&c) {
+                if prev != v {
+                    return Some((s, c));
+                }
+            } else {
+                per_block.insert(c, v);
+            }
+        }
+    }
+    None
+}
+
+/// Split `block` by the impulse its members receive from `source`
+/// (a state without a `source` transition is its own group). Any valid
+/// lumping must separate members receiving different impulses from the
+/// same state, so this never splits a pair the coarsest valid partition
+/// could keep together — and it always splits the witnessing pair, so the
+/// outer loop makes progress.
+fn split_block_by_incoming_impulse(
+    mrm: &Mrm,
+    partition: &Partition,
+    source: usize,
+    block: usize,
+) -> Partition {
+    let mut from_source: HashMap<usize, u64> = HashMap::new();
+    for (t, _) in mrm.ctmc().rates().row(source) {
+        if partition.block_of(t) == block {
+            from_source.insert(t, mrm.impulse_reward(source, t).to_bits());
+        }
+    }
+    let k = partition.num_blocks();
+    let mut keys: HashMap<Option<u64>, usize> = HashMap::new();
+    let mut assignment = partition.assignment().to_vec();
+    for (t, slot) in assignment.iter_mut().enumerate() {
+        if *slot == block {
+            let next = keys.len();
+            *slot = k + *keys.entry(from_source.get(&t).copied()).or_insert(next);
+        }
+    }
+    Partition::from_assignment(&assignment)
+}
+
+/// The first (lowest-index) pair of states sharing a `coarse` block but
+/// split apart in `fine`; `fine` must refine `coarse`.
+fn first_split_pair(coarse: &Partition, fine: &Partition) -> Option<(usize, usize)> {
+    let mut first_seen: Vec<Option<(usize, usize)>> = vec![None; coarse.num_blocks()];
+    for s in 0..coarse.num_states() {
+        match first_seen[coarse.block_of(s)] {
+            None => first_seen[coarse.block_of(s)] = Some((s, fine.block_of(s))),
+            Some((s0, fb0)) => {
+                if fine.block_of(s) != fb0 {
+                    return Some((s0, s));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn build_certificate(
+    mrm: &Mrm,
+    partition: &Partition,
+    observation: Observation,
+    relevant_aps: Vec<String>,
+) -> Option<LumpingCertificate> {
+    let reduced = if observation.rewards {
+        quotient(mrm, partition).ok()?
+    } else {
+        // The formula cannot observe rewards, so the quotient is built
+        // reward-free: cheaper to check, and the verifier can insist on it.
+        quotient(&Mrm::without_rewards(mrm.ctmc().clone()), partition).ok()?
+    };
+    Some(LumpingCertificate {
+        partition: partition.clone(),
+        quotient: reduced,
+        relevant_aps,
+        observes_rates: observation.rates,
+        observes_rewards: observation.rewards,
+    })
+}
+
+/// A checkable lumping certificate: the partition, the quotient model it
+/// claims to induce, and what the certified formula class observes.
+///
+/// The certificate is plain data. Nothing downstream trusts the analysis
+/// that produced it — [`LumpingCertificate::verify`] re-validates every
+/// claim against the original model in `O(m)` with bitwise comparisons,
+/// and `mrmc-core` refuses to check on a quotient whose certificate does
+/// not verify.
+#[derive(Debug, Clone)]
+pub struct LumpingCertificate {
+    /// The claimed lumping.
+    pub partition: Partition,
+    /// The claimed quotient model (reward-free when rewards are not
+    /// observed).
+    pub quotient: Mrm,
+    /// The atomic propositions whose per-state truth must survive the
+    /// quotient, sorted.
+    pub relevant_aps: Vec<String>,
+    /// Whether aggregate inter-block rates are part of the claim.
+    pub observes_rates: bool,
+    /// Whether state and impulse rewards are part of the claim.
+    pub observes_rewards: bool,
+}
+
+impl LumpingCertificate {
+    /// Re-validate the certificate against `mrm`.
+    ///
+    /// Checks, in order: the partition covers the state space and the
+    /// quotient has one state per block; every state agrees with its block
+    /// on every relevant proposition; when rates are observed, every
+    /// state's aggregate rate into every other block equals the quotient
+    /// row **bitwise** (sums accumulated in row order, exactly as the
+    /// quotient was built); when rewards are observed, every state matches
+    /// its block's state-reward rate bitwise, every inter-block transition
+    /// carries exactly the block-pair impulse, and intra-block impulses
+    /// are zero; when rewards are *not* observed, the quotient must be
+    /// reward-free.
+    ///
+    /// Runs in `O(n·|AP| + m)`.
+    ///
+    /// # Errors
+    ///
+    /// The first [`CertificateError`] encountered, identifying the
+    /// offending state or transition.
+    pub fn verify(&self, mrm: &Mrm) -> Result<(), CertificateError> {
+        let n = mrm.num_states();
+        if self.partition.num_states() != n {
+            return Err(CertificateError::PartitionSize {
+                states: n,
+                partitioned: self.partition.num_states(),
+            });
+        }
+        let k = self.partition.num_blocks();
+        if self.quotient.num_states() != k {
+            return Err(CertificateError::QuotientSize {
+                blocks: k,
+                quotient_states: self.quotient.num_states(),
+            });
+        }
+        if !self.observes_rewards && !self.quotient.is_reward_free() {
+            return Err(CertificateError::UnexpectedRewards);
+        }
+
+        for s in 0..n {
+            let b = self.partition.block_of(s);
+            for ap in &self.relevant_aps {
+                if mrm.labeling().has(s, ap) != self.quotient.labeling().has(b, ap) {
+                    return Err(CertificateError::LabelMismatch {
+                        state: s,
+                        ap: ap.clone(),
+                    });
+                }
+            }
+        }
+
+        if self.observes_rates {
+            let mut sums = vec![0.0_f64; k];
+            let mut touched: Vec<usize> = Vec::new();
+            for s in 0..n {
+                let b = self.partition.block_of(s);
+                for (t, r) in mrm.ctmc().rates().row(s) {
+                    let c = self.partition.block_of(t);
+                    if c == b {
+                        continue;
+                    }
+                    if sums[c] == 0.0 {
+                        touched.push(c);
+                    }
+                    sums[c] += r;
+                }
+                let qrates = self.quotient.ctmc().rates();
+                let mut ok = qrates.row_nnz(b) == touched.len();
+                for &c in &touched {
+                    if qrates.get(b, c).to_bits() != sums[c].to_bits() {
+                        ok = false;
+                    }
+                    sums[c] = 0.0;
+                }
+                touched.clear();
+                if !ok {
+                    return Err(CertificateError::RateMismatch { state: s, block: b });
+                }
+            }
+        }
+
+        if self.observes_rewards {
+            for s in 0..n {
+                let b = self.partition.block_of(s);
+                if mrm.state_reward(s).to_bits() != self.quotient.state_reward(b).to_bits() {
+                    return Err(CertificateError::StateRewardMismatch { state: s });
+                }
+                for (t, _) in mrm.ctmc().rates().row(s) {
+                    let c = self.partition.block_of(t);
+                    let v = mrm.impulse_reward(s, t);
+                    if c == b {
+                        if v != 0.0 {
+                            return Err(CertificateError::IntraBlockImpulse { from: s, to: t });
+                        }
+                    } else if v.to_bits() != self.quotient.impulse_reward(b, c).to_bits() {
+                        return Err(CertificateError::ImpulseMismatch { from: s, to: t });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`LumpingCertificate`] failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// The partition covers a different number of states than the model.
+    PartitionSize {
+        /// States in the model.
+        states: usize,
+        /// States covered by the partition.
+        partitioned: usize,
+    },
+    /// The quotient has a different number of states than the partition
+    /// has blocks.
+    QuotientSize {
+        /// Blocks in the partition.
+        blocks: usize,
+        /// States in the claimed quotient.
+        quotient_states: usize,
+    },
+    /// The certificate claims rewards are unobservable but the quotient
+    /// carries rewards.
+    UnexpectedRewards,
+    /// A state disagrees with its block on a relevant proposition.
+    LabelMismatch {
+        /// The offending state.
+        state: usize,
+        /// The proposition in question.
+        ap: String,
+    },
+    /// A state's aggregate rates into other blocks do not match the
+    /// quotient row of its block bitwise.
+    RateMismatch {
+        /// The offending state.
+        state: usize,
+        /// Its block.
+        block: usize,
+    },
+    /// A state's reward rate differs from its block's.
+    StateRewardMismatch {
+        /// The offending state.
+        state: usize,
+    },
+    /// A transition's impulse differs from the block-pair impulse.
+    ImpulseMismatch {
+        /// Source state.
+        from: usize,
+        /// Target state.
+        to: usize,
+    },
+    /// A nonzero impulse inside a block.
+    IntraBlockImpulse {
+        /// Source state.
+        from: usize,
+        /// Target state.
+        to: usize,
+    },
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::PartitionSize {
+                states,
+                partitioned,
+            } => write!(
+                f,
+                "partition covers {partitioned} states but the model has {states}"
+            ),
+            CertificateError::QuotientSize {
+                blocks,
+                quotient_states,
+            } => write!(
+                f,
+                "quotient has {quotient_states} states for a {blocks}-block partition"
+            ),
+            CertificateError::UnexpectedRewards => {
+                write!(f, "reward-blind certificate carries a rewarded quotient")
+            }
+            CertificateError::LabelMismatch { state, ap } => write!(
+                f,
+                "state {state} disagrees with its block on proposition \"{ap}\""
+            ),
+            CertificateError::RateMismatch { state, block } => write!(
+                f,
+                "aggregate rates of state {state} do not match quotient row of block {block}"
+            ),
+            CertificateError::StateRewardMismatch { state } => {
+                write!(f, "state reward of state {state} differs from its block's")
+            }
+            CertificateError::ImpulseMismatch { from, to } => write!(
+                f,
+                "impulse on transition {from} -> {to} differs from its block pair's"
+            ),
+            CertificateError::IntraBlockImpulse { from, to } => write!(
+                f,
+                "nonzero impulse on intra-block transition {from} -> {to}"
+            ),
+        }
+    }
+}
+
+impl Error for CertificateError {}
+
+/// The lumpability lint pass. **Not** part of
+/// [`Analyzer::default_passes`](crate::Analyzer::default_passes) — register
+/// [`PASS`] explicitly (the CLI does under `mrmc lint --lumping`).
+pub fn pass(ctx: &LintContext<'_>, report: &mut Report) {
+    let Some(formula) = ctx.formula else { return };
+    let analysis = analyze(ctx.mrm, formula);
+    let n = ctx.mrm.num_states();
+    let k = analysis.partition.num_blocks();
+    match &analysis.certificate {
+        Some(cert) => {
+            if let Err(e) = cert.verify(ctx.mrm) {
+                report.push(Diagnostic::new(
+                    "R001",
+                    Severity::Error,
+                    format!("lumping certificate failed verification: {e}"),
+                ));
+                return;
+            }
+            report.push(
+                Diagnostic::new(
+                    "R101",
+                    Severity::Note,
+                    format!("model is lumpable: {n} -> {k} states for this formula"),
+                )
+                .with_suggestion(
+                    "the checker applies this verified reduction automatically; \
+                     pass --no-reduction to disable it",
+                ),
+            );
+        }
+        None => {
+            report.push(Diagnostic::new(
+                "R102",
+                Severity::Note,
+                format!(
+                    "no nontrivial quotient: the coarsest provable partition for this formula \
+                     keeps all {n} states"
+                ),
+            ));
+        }
+    }
+    if let Some((a, b)) = analysis.reward_blocked {
+        report.push(
+            Diagnostic::new(
+                "R103",
+                Severity::Note,
+                "state rewards block further lumping between otherwise-lumpable states",
+            )
+            .with_states(vec![a + 1, b + 1]),
+        );
+    }
+    if let Some((a, b)) = analysis.impulse_blocked {
+        report.push(
+            Diagnostic::new(
+                "R104",
+                Severity::Note,
+                "impulse rewards block further lumping between otherwise-lumpable states",
+            )
+            .with_states(vec![a + 1, b + 1]),
+        );
+    }
+}
+
+/// The pass descriptor for [`Analyzer::register`](crate::Analyzer::register).
+pub const PASS: Pass = Pass {
+    name: "lumpability",
+    scope: Scope::Formula,
+    run: pass,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analyzer;
+    use mrmc_ctmc::CtmcBuilder;
+    use mrmc_models::{tmr, TmrConfig};
+    use mrmc_mrm::{ImpulseRewards, StateRewards};
+
+    fn parse(s: &str) -> StateFormula {
+        mrmc_csrl::parse(s).unwrap()
+    }
+
+    /// 0 → {1, 2} → 3 → 0 with the middle states lumpable for anything.
+    fn diamond(rewards: [f64; 4], imp1: f64, imp2: f64) -> Mrm {
+        let mut b = CtmcBuilder::new(4);
+        b.transition(0, 1, 1.0).transition(0, 2, 1.0);
+        b.transition(1, 3, 2.0);
+        b.transition(2, 3, 2.0);
+        b.transition(3, 0, 0.5);
+        b.label(1, "mid").label(2, "mid");
+        b.label(3, "goal");
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(rewards.to_vec()).unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(1, 3, imp1).unwrap();
+        iota.set(2, 3, imp2).unwrap();
+        Mrm::new(ctmc, rho, iota).unwrap()
+    }
+
+    #[test]
+    fn observation_tracks_operators_and_reward_bounds() {
+        assert_eq!(
+            Observation::of(&parse("goal || !mid")),
+            Observation {
+                rates: false,
+                rewards: false
+            }
+        );
+        assert_eq!(
+            Observation::of(&parse("P(>= 0.5) [TT U[0,1] goal]")),
+            Observation {
+                rates: true,
+                rewards: false
+            }
+        );
+        assert_eq!(
+            Observation::of(&parse("P(>= 0.5) [TT U[0,1][0,2] goal]")),
+            Observation {
+                rates: true,
+                rewards: true
+            }
+        );
+        assert_eq!(
+            Observation::of(&parse("S(< 0.1) (goal)")),
+            Observation {
+                rates: true,
+                rewards: false
+            }
+        );
+    }
+
+    #[test]
+    fn pure_ap_formula_lumps_by_labels_alone() {
+        // TMR's rate structure does not lump, but a boolean formula cannot
+        // see it: the partition is the proposition partition.
+        let m = tmr(&TmrConfig::classic());
+        let a = analyze(&m, &parse("Sup"));
+        assert_eq!(a.partition.num_blocks(), 2);
+        let cert = a.certificate.expect("reduction exists");
+        assert!(cert.quotient.is_reward_free());
+        cert.verify(&m).unwrap();
+    }
+
+    #[test]
+    fn rate_observing_formula_refines_by_rates() {
+        let m = tmr(&TmrConfig::classic());
+        let a = analyze(&m, &parse("P(>= 0.5) [TT U[0,1] failed]"));
+        // The classic TMR rate structure admits no nontrivial lumping.
+        assert!(a.partition.is_identity());
+        assert!(a.certificate.is_none());
+    }
+
+    #[test]
+    fn lumpable_rate_structure_reduces_under_probabilistic_formula() {
+        let m = diamond([0.0, 5.0, 5.0, 1.0], 0.5, 0.5);
+        let a = analyze(&m, &parse("P(>= 0.5) [TT U[0,1] goal]"));
+        assert_eq!(a.partition.num_blocks(), 3);
+        let cert = a.certificate.expect("mid states merge");
+        assert!(cert.quotient.is_reward_free());
+        cert.verify(&m).unwrap();
+    }
+
+    #[test]
+    fn reward_bound_keeps_rewards_and_still_lumps_when_uniform() {
+        let m = diamond([0.0, 5.0, 5.0, 1.0], 0.5, 0.5);
+        let a = analyze(&m, &parse("P(>= 0.5) [TT U[0,1][0,2] goal]"));
+        assert_eq!(a.partition.num_blocks(), 3);
+        let cert = a.certificate.expect("mid states merge");
+        assert!(!cert.quotient.is_reward_free());
+        assert_eq!(cert.quotient.state_reward(cert.partition.block_of(1)), 5.0);
+        cert.verify(&m).unwrap();
+        assert_eq!(a.reward_blocked, None);
+        assert_eq!(a.impulse_blocked, None);
+    }
+
+    #[test]
+    fn state_rewards_block_lumping_with_example_pair() {
+        let m = diamond([0.0, 5.0, 6.0, 1.0], 0.5, 0.5);
+        let a = analyze(&m, &parse("P(>= 0.5) [TT U[0,1][0,2] goal]"));
+        assert!(a.partition.is_identity());
+        assert_eq!(a.reward_blocked, Some((1, 2)));
+        assert_eq!(a.impulse_blocked, None);
+        // A reward-blind formula still lumps the same model.
+        let b = analyze(&m, &parse("P(>= 0.5) [TT U[0,1] goal]"));
+        assert_eq!(b.partition.num_blocks(), 3);
+    }
+
+    #[test]
+    fn impulse_rewards_block_lumping_with_example_pair() {
+        let m = diamond([0.0, 5.0, 5.0, 1.0], 0.5, 0.7);
+        let a = analyze(&m, &parse("P(>= 0.5) [TT U[0,1][0,2] goal]"));
+        assert!(a.partition.is_identity());
+        assert_eq!(a.reward_blocked, None);
+        assert_eq!(a.impulse_blocked, Some((1, 2)));
+    }
+
+    #[test]
+    fn non_uniform_impulses_from_one_state_split_the_target_block() {
+        // 0 reaches both mid states with different impulses: any valid
+        // reward-observing lumping must keep 1 and 2 apart.
+        let mut b = CtmcBuilder::new(4);
+        b.transition(0, 1, 1.0).transition(0, 2, 1.0);
+        b.transition(1, 3, 2.0);
+        b.transition(2, 3, 2.0);
+        b.transition(3, 0, 0.5);
+        b.label(1, "mid").label(2, "mid");
+        b.label(3, "goal");
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![0.0, 5.0, 5.0, 1.0]).unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(0, 1, 1.0).unwrap();
+        iota.set(0, 2, 2.0).unwrap();
+        let m = Mrm::new(ctmc, rho, iota).unwrap();
+        let a = analyze(&m, &parse("P(>= 0.5) [TT U[0,1][0,2] goal]"));
+        assert_ne!(a.partition.block_of(1), a.partition.block_of(2));
+        if let Some(cert) = &a.certificate {
+            cert.verify(&m).unwrap();
+        }
+    }
+
+    #[test]
+    fn intra_block_impulse_forces_a_split() {
+        // 1 and 2 would merge, but 1 → 2 carries an impulse that a quotient
+        // could not account for.
+        let mut b = CtmcBuilder::new(4);
+        b.transition(0, 1, 1.0).transition(0, 2, 1.0);
+        b.transition(1, 3, 2.0).transition(1, 2, 1.0);
+        b.transition(2, 3, 2.0).transition(2, 1, 1.0);
+        b.transition(3, 0, 0.5);
+        b.label(1, "mid").label(2, "mid");
+        b.label(3, "goal");
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![0.0, 5.0, 5.0, 1.0]).unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(1, 2, 3.0).unwrap();
+        let m = Mrm::new(ctmc, rho, iota).unwrap();
+
+        // Reward-blind: 1 and 2 lump (the impulse is invisible).
+        let blind = analyze(&m, &parse("P(>= 0.5) [TT U[0,1] goal]"));
+        assert_eq!(blind.partition.block_of(1), blind.partition.block_of(2));
+        blind.certificate.unwrap().verify(&m).unwrap();
+
+        // Reward-observing: they must stay apart.
+        let full = analyze(&m, &parse("P(>= 0.5) [TT U[0,1][0,2] goal]"));
+        assert_ne!(full.partition.block_of(1), full.partition.block_of(2));
+        if let Some(cert) = &full.certificate {
+            cert.verify(&m).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupted_certificates_are_rejected() {
+        let m = diamond([0.0, 5.0, 5.0, 1.0], 0.5, 0.5);
+        let a = analyze(&m, &parse("P(>= 0.5) [TT U[0,1][0,2] goal]"));
+        let cert = a.certificate.unwrap();
+        cert.verify(&m).unwrap();
+
+        // Wrong partition size.
+        let mut bad = cert.clone();
+        bad.partition = Partition::identity(3);
+        assert!(matches!(
+            bad.verify(&m),
+            Err(CertificateError::PartitionSize { .. })
+        ));
+
+        // Quotient with tampered rates.
+        let mut bad = cert.clone();
+        let mut qb = CtmcBuilder::new(3);
+        qb.transition(0, 1, 2.5); // was 2.0
+        qb.transition(1, 2, 2.0);
+        qb.transition(2, 0, 0.5);
+        qb.label(1, "mid").label(2, "goal");
+        bad.quotient = Mrm::new(
+            qb.build().unwrap(),
+            StateRewards::new(vec![0.0, 5.0, 1.0]).unwrap(),
+            {
+                let mut i = ImpulseRewards::new();
+                i.set(1, 2, 0.5).unwrap();
+                i
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            bad.verify(&m),
+            Err(CertificateError::RateMismatch { .. })
+        ));
+
+        // Quotient with a mislabeled block.
+        let mut bad = cert.clone();
+        let mut qb = CtmcBuilder::new(3);
+        qb.transition(0, 1, 2.0);
+        qb.transition(1, 2, 2.0);
+        qb.transition(2, 0, 0.5);
+        qb.label(0, "goal").label(1, "mid");
+        bad.quotient = Mrm::new(
+            qb.build().unwrap(),
+            StateRewards::new(vec![0.0, 5.0, 1.0]).unwrap(),
+            {
+                let mut i = ImpulseRewards::new();
+                i.set(1, 2, 0.5).unwrap();
+                i
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            bad.verify(&m),
+            Err(CertificateError::LabelMismatch { .. })
+        ));
+
+        // Partition merging states with different rewards.
+        let mut bad = cert;
+        bad.partition = Partition::from_assignment(&[0, 0, 1, 2]);
+        assert!(bad.verify(&m).is_err());
+    }
+
+    #[test]
+    fn reward_blind_certificate_must_be_reward_free() {
+        let m = diamond([0.0, 5.0, 5.0, 1.0], 0.5, 0.5);
+        let a = analyze(&m, &parse("goal"));
+        let mut cert = a.certificate.unwrap();
+        cert.verify(&m).unwrap();
+        cert.quotient = quotient(&m, &cert.partition).unwrap();
+        assert!(matches!(
+            cert.verify(&m),
+            Err(CertificateError::UnexpectedRewards)
+        ));
+    }
+
+    #[test]
+    fn pass_reports_lumpable_models_and_blockers() {
+        let mut analyzer = Analyzer::empty();
+        analyzer.register(PASS);
+
+        let m = tmr(&TmrConfig::classic());
+        let report = analyzer.check_formula(&m, &parse("Sup"), Default::default());
+        assert_eq!(report.codes(), vec!["R101"]);
+        assert!(report.render_human().contains("5 -> 2 states"));
+
+        let report = analyzer.check_formula(
+            &m,
+            &parse("P(>= 0.5) [TT U[0,1] failed]"),
+            Default::default(),
+        );
+        assert_eq!(report.codes(), vec!["R102"]);
+
+        let blocked = diamond([0.0, 5.0, 6.0, 1.0], 0.5, 0.7);
+        let report = analyzer.check_formula(
+            &blocked,
+            &parse("P(>= 0.5) [TT U[0,1][0,2] goal]"),
+            Default::default(),
+        );
+        assert_eq!(report.codes(), vec!["R102", "R103"]);
+        // The example pair is reported 1-indexed.
+        let d = report
+            .diagnostics()
+            .iter()
+            .find(|d| d.code == "R103")
+            .unwrap();
+        assert_eq!(d.states, vec![2, 3]);
+    }
+
+    #[test]
+    fn certificate_errors_display() {
+        for e in [
+            CertificateError::PartitionSize {
+                states: 4,
+                partitioned: 3,
+            },
+            CertificateError::QuotientSize {
+                blocks: 2,
+                quotient_states: 3,
+            },
+            CertificateError::UnexpectedRewards,
+            CertificateError::LabelMismatch {
+                state: 1,
+                ap: "up".into(),
+            },
+            CertificateError::RateMismatch { state: 1, block: 0 },
+            CertificateError::StateRewardMismatch { state: 2 },
+            CertificateError::ImpulseMismatch { from: 0, to: 1 },
+            CertificateError::IntraBlockImpulse { from: 0, to: 1 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Doc-sync guard: every diagnostic code the analysis crate can construct
+//! must be documented in the code table of `docs/USAGE.md`. Codes are a
+//! stable public interface — shipping an undocumented one is a bug, so
+//! this test fails the build until the table is updated.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Collect every `"M001"`-style string literal from the crate's sources.
+fn codes_in_sources() -> BTreeSet<String> {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let mut codes = BTreeSet::new();
+    let mut stack = vec![src];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("source directory exists") {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                stack.push(path);
+                continue;
+            }
+            if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let text = std::fs::read_to_string(&path).expect("source file reads");
+            for (i, _) in text.match_indices('"') {
+                let tail = &text[i + 1..];
+                let Some(end) = tail.find('"') else { continue };
+                let lit = &tail[..end];
+                if lit.len() == 4
+                    && matches!(lit.as_bytes()[0], b'M' | b'F' | b'C' | b'R')
+                    && lit[1..].bytes().all(|b| b.is_ascii_digit())
+                {
+                    codes.insert(lit.to_string());
+                }
+            }
+        }
+    }
+    codes
+}
+
+#[test]
+fn every_constructible_code_is_documented_in_usage_md() {
+    let codes = codes_in_sources();
+    assert!(codes.len() >= 25, "code scan broke — found only {codes:?}");
+
+    let usage = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/USAGE.md");
+    let usage = std::fs::read_to_string(usage).expect("docs/USAGE.md exists");
+
+    let undocumented: Vec<&String> = codes
+        .iter()
+        .filter(|c| !usage.contains(&format!("`{c}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "diagnostic codes missing from the docs/USAGE.md table: {undocumented:?}"
+    );
+}

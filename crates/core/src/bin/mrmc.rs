@@ -20,6 +20,9 @@
 //! * `--threads N` (or `--threads=N`) — run the uniformization path
 //!   exploration on `N` worker threads (`0` = auto-detect). Results are
 //!   bit-identical to the serial run at any thread count;
+//! * `--no-reduction` — always check on the full model; by default, the
+//!   checker runs on a certified lumping quotient when one exists for the
+//!   formula (the reduction is exact, so results are unchanged);
 //! * `NP` — print only the satisfying states, not the computed
 //!   probabilities.
 //!
@@ -31,13 +34,15 @@
 //! analysis without starting any numerical engine:
 //!
 //! ```text
-//! mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--json] [--deny warnings]
+//! mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--lumping] [--json] [--deny warnings]
 //! ```
 //!
 //! It lints the model, every formula read from stdin (model-only when
 //! stdin is a terminal), and the predicted engine cost, then prints the
 //! diagnostics (human-readable, or one JSON object with `--json`).
-//! `--deny warnings` promotes Warning-grade findings to Errors.
+//! `--lumping` additionally runs the lumpability analysis per formula
+//! (`R0xx`/`R1xx` codes); `--deny warnings` promotes Warning-grade
+//! findings to Errors.
 //!
 //! Exit codes: `0` all formulas checked (or lint found no errors), `1` a
 //! formula or the model failed operationally, `2` the pre-flight lint (or
@@ -50,8 +55,8 @@ use std::io::{BufRead, IsTerminal};
 use std::process::ExitCode;
 
 use mrmc::{
-    diagnose_load_error, Analyzer, CheckError, CheckOptions, CheckOutcome, Diagnostic,
-    ModelChecker, Report, Severity, UntilEngine, Verdict,
+    diagnose_load_error, lumping, Analyzer, CheckError, CheckOptions, CheckOutcome, Diagnostic,
+    ModelChecker, Reduction, Report, Severity, UntilEngine, Verdict,
 };
 
 #[derive(Debug)]
@@ -65,11 +70,12 @@ struct Cli {
     tolerance: Option<f64>,
     json: bool,
     print_probabilities: bool,
+    no_reduction: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [NP]\n\
-     \x20      mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--json] [--deny warnings]\n\
+    "usage: mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [--no-reduction] [NP]\n\
+     \x20      mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--lumping] [--json] [--deny warnings]\n\
      \n\
      Reads CSRL formulas from stdin, one per line, e.g.\n\
      \x20 P(>= 0.3) [a U[0,3][0,23] b]\n\
@@ -84,12 +90,17 @@ fn usage() -> &'static str {
      \x20              verdicts, error-budget breakdown)\n\
      --threads N    worker threads for the uniformization engine (0 = auto,\n\
      \x20              default 1); results are bit-identical at any thread count\n\
+     --no-reduction always check on the full model; by default the checker\n\
+     \x20              runs on a certified lumping quotient when one exists\n\
+     \x20              (exact, results unchanged)\n\
      NP             suppress the computed probabilities\n\
      \n\
      The lint subcommand statically analyzes the model, the formulas on\n\
      stdin (model-only when stdin is a terminal), and the predicted engine\n\
-     cost, without running any engine. --deny warnings promotes warnings\n\
-     to errors. Exit code 2 when error-grade diagnostics are present."
+     cost, without running any engine. --lumping additionally reports the\n\
+     per-formula lumpability analysis (R codes). --deny warnings promotes\n\
+     warnings to errors. Exit code 2 when error-grade diagnostics are\n\
+     present."
 }
 
 /// Parse a `u=`/`d=`/`s=` engine switch; `None` when `arg` is not one.
@@ -137,6 +148,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         tolerance: None,
         json: false,
         print_probabilities: true,
+        no_reduction: false,
     };
     let mut rest = args[4..].iter();
     while let Some(arg) = rest.next() {
@@ -144,6 +156,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             cli.print_probabilities = false;
         } else if arg == "--json" {
             cli.json = true;
+        } else if arg == "--no-reduction" {
+            cli.no_reduction = true;
         } else if arg == "--threads" || arg.starts_with("--threads=") {
             let value = match arg.strip_prefix("--threads=") {
                 Some(v) => v.to_string(),
@@ -188,6 +202,7 @@ struct LintCli {
     engine: UntilEngine,
     json: bool,
     deny_warnings: bool,
+    lumping: bool,
 }
 
 fn parse_lint_args(args: &[String]) -> Result<LintCli, String> {
@@ -202,11 +217,14 @@ fn parse_lint_args(args: &[String]) -> Result<LintCli, String> {
         engine: UntilEngine::default(),
         json: false,
         deny_warnings: false,
+        lumping: false,
     };
     let mut rest = args[4..].iter();
     while let Some(arg) = rest.next() {
         if arg == "--json" {
             cli.json = true;
+        } else if arg == "--lumping" {
+            cli.lumping = true;
         } else if arg == "--deny" || arg == "--deny=warnings" {
             if arg == "--deny" {
                 let value = rest
@@ -231,7 +249,10 @@ fn parse_lint_args(args: &[String]) -> Result<LintCli, String> {
 /// print the report. Never starts a numerical engine.
 fn run_lint(args: &[String]) -> Result<ExitCode, String> {
     let cli = parse_lint_args(args)?;
-    let analyzer = Analyzer::new();
+    let mut analyzer = Analyzer::new();
+    if cli.lumping {
+        analyzer.register(lumping::PASS);
+    }
     let hint = CheckOptions::new().with_engine(cli.engine).engine_hint();
     let mut report = Report::new();
     match mrmc_mrm::io::load_model(&cli.tra, &cli.lab, &cli.rewr, &cli.rewi) {
@@ -322,6 +343,12 @@ fn json_outcome(formula: &str, outcome: &CheckOutcome) -> String {
         set(outcome.satisfying_states().collect()),
         set(outcome.unknown_states().collect()),
     );
+    if let Some(r) = outcome.reduction() {
+        out.push_str(&format!(
+            ",\"original_states\":{},\"reduced_states\":{}",
+            r.original_states, r.reduced_states
+        ));
+    }
     if let Some(probs) = outcome.probabilities() {
         out.push_str(",\"states\":[");
         for (s, &p) in probs.iter().enumerate() {
@@ -358,6 +385,12 @@ fn json_outcome(formula: &str, outcome: &CheckOutcome) -> String {
 }
 
 fn print_human(outcome: &CheckOutcome, print_probabilities: bool) {
+    if let Some(r) = outcome.reduction() {
+        println!(
+            "  checked on a verified quotient: {} -> {} states",
+            r.original_states, r.reduced_states
+        );
+    }
     let states: Vec<String> = outcome
         .satisfying_states()
         .map(|s| (s + 1).to_string())
@@ -432,6 +465,9 @@ fn run() -> Result<ExitCode, String> {
         .with_threads(cli.threads);
     if let Some(e) = cli.tolerance {
         options = options.with_tolerance(e);
+    }
+    if cli.no_reduction {
+        options = options.with_reduction(Reduction::Off);
     }
     let checker = ModelChecker::new(mrm, options);
 
@@ -659,6 +695,36 @@ mod tests {
     }
 
     #[test]
+    fn no_reduction_flag_parses() {
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi"])).unwrap();
+        assert!(!cli.no_reduction);
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--no-reduction",
+        ]))
+        .unwrap();
+        assert!(cli.no_reduction);
+        // Composes with the other switches.
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "u=1e-10",
+            "--no-reduction",
+            "--json",
+            "NP",
+        ]))
+        .unwrap();
+        assert!(cli.no_reduction);
+        assert!(cli.json);
+        assert!(!cli.print_probabilities);
+    }
+
+    #[test]
     fn missing_files_show_usage() {
         let e = parse_args(&args(&["a.tra"])).unwrap_err();
         assert!(e.contains("usage:"));
@@ -677,6 +743,7 @@ mod tests {
         let cli = parse_lint_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi"])).unwrap();
         assert!(!cli.json);
         assert!(!cli.deny_warnings);
+        assert!(!cli.lumping);
         let cli = parse_lint_args(&args(&[
             "a.tra", "a.lab", "a.rewr", "a.rewi", "d=0.1", "--json", "--deny", "warnings",
         ]))
@@ -699,12 +766,30 @@ mod tests {
     }
 
     #[test]
+    fn lumping_flag_parses() {
+        let cli = parse_lint_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--lumping",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(cli.lumping);
+        assert!(cli.json);
+    }
+
+    #[test]
     fn bad_lint_args_are_rejected() {
         assert!(parse_lint_args(&args(&["a.tra"])).is_err());
         assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--deny"])).is_err());
         assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--deny", "notes"])).is_err());
         assert!(parse_lint_args(&args(&["a", "b", "c", "d", "NP"])).is_err());
         assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--tolerance", "1e-6"])).is_err());
+        // --lumping belongs to the lint subcommand only.
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--lumping"])).is_err());
+        assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--no-reduction"])).is_err());
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub mod witness;
 
 pub use error::CheckError;
 pub use next::next_probabilities;
-pub use options::{CheckOptions, UntilEngine};
-pub use outcome::{CheckOutcome, Verdict};
+pub use options::{CheckOptions, Reduction, UntilEngine};
+pub use outcome::{CheckOutcome, ReductionInfo, Verdict};
 pub use until::{until_probabilities, UntilAnalysis};
 pub use witness::{most_probable_witness, Witness};
 
@@ -62,7 +62,9 @@ pub use mrmc_numerics::ErrorBudget;
 
 // Re-export the static-analysis vocabulary so downstream users (and the
 // CLI's `lint` subcommand) need not depend on `mrmc-analysis` directly.
-pub use mrmc_analysis::{diagnose_load_error, Analyzer, Diagnostic, EngineHint, Report, Severity};
+pub use mrmc_analysis::{
+    diagnose_load_error, lumping, Analyzer, Diagnostic, EngineHint, Pass, Report, Scope, Severity,
+};
 
 use mrmc_csrl::StateFormula;
 use mrmc_mrm::Mrm;
@@ -106,11 +108,20 @@ impl ModelChecker {
     /// pre-flight lint runs first and Error-grade findings abort with
     /// [`CheckError::Preflight`] before any numerical engine starts.
     ///
+    /// Under the default [`Reduction::Auto`] policy, the checker then
+    /// analyzes the model for a formula-preserving lumping
+    /// ([`mrmc_analysis::lumping`]); when a strictly smaller quotient
+    /// exists *and* its certificate passes independent verification, the
+    /// engines run on the quotient and the per-block results are lifted
+    /// back to the full state space. The reduction is exact (bitwise), and
+    /// [`CheckOutcome::reduction`] records when it was applied.
+    ///
     /// # Errors
     ///
     /// [`CheckError`] for pre-flight lint errors (unknown atomic
     /// propositions, unsupported bounds — reported with stable diagnostic
-    /// codes), or numerical failures.
+    /// codes), [`CheckError::Reduction`] under [`Reduction::Require`] when
+    /// no verified quotient exists, or numerical failures.
     pub fn check(&self, formula: &StateFormula) -> Result<CheckOutcome, CheckError> {
         if self.options.preflight {
             let report = self.preflight(formula);
@@ -118,7 +129,42 @@ impl ModelChecker {
                 return Err(CheckError::Preflight(report));
             }
         }
+        if let Some(cert) = self.reduction_certificate(formula)? {
+            let info = ReductionInfo {
+                original_states: self.mrm.num_states(),
+                reduced_states: cert.quotient.num_states(),
+            };
+            let outcome = sat::satisfy(&cert.quotient, &self.options, formula)?;
+            return Ok(outcome.lift(&cert.partition, info));
+        }
         sat::satisfy(&self.mrm, &self.options, formula)
+    }
+
+    /// The verified lumping certificate `check` would reduce with, or
+    /// `None` when checking runs on the full model. Errors only under
+    /// [`Reduction::Require`].
+    fn reduction_certificate(
+        &self,
+        formula: &StateFormula,
+    ) -> Result<Option<lumping::LumpingCertificate>, CheckError> {
+        let require = match self.options.reduction {
+            Reduction::Off => return Ok(None),
+            Reduction::Auto => false,
+            Reduction::Require => true,
+        };
+        match lumping::analyze(&self.mrm, formula).certificate {
+            Some(cert) => match cert.verify(&self.mrm) {
+                Ok(()) => Ok(Some(cert)),
+                Err(e) if require => Err(CheckError::Reduction {
+                    reason: format!("lumping certificate failed verification: {e}"),
+                }),
+                Err(_) => Ok(None),
+            },
+            None if require => Err(CheckError::Reduction {
+                reason: "no nontrivial quotient exists for this formula".into(),
+            }),
+            None => Ok(None),
+        }
     }
 
     /// Parse and check a formula given in concrete syntax.

@@ -45,6 +45,26 @@ impl Default for UntilEngine {
     }
 }
 
+/// Whether the checker may run on a certified lumping quotient
+/// (see [`mrmc_analysis::lumping`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Analyze lumpability for each formula, independently verify the
+    /// certificate, and check on the quotient when it is strictly smaller
+    /// than the original model; silently fall back to the full model
+    /// otherwise. The default — the reduction is exact (bitwise), so there
+    /// is no accuracy trade-off.
+    #[default]
+    Auto,
+    /// Never reduce; always check on the full model (the CLI's
+    /// `--no-reduction`).
+    Off,
+    /// Fail with [`CheckError::Reduction`](crate::CheckError) unless a
+    /// verified, strictly smaller quotient exists. For callers that depend
+    /// on the reduction (e.g. the full model is too large).
+    Require,
+}
+
 /// Options steering the model checker.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CheckOptions {
@@ -70,6 +90,9 @@ pub struct CheckOptions {
     /// default; [`without_preflight`](CheckOptions::without_preflight)
     /// turns it off for callers that want the raw engine errors.
     pub preflight: bool,
+    /// Whether to check on a certified lumping quotient when one exists
+    /// (see [`Reduction`]). [`Reduction::Auto`] by default.
+    pub reduction: Reduction,
 }
 
 impl CheckOptions {
@@ -81,6 +104,7 @@ impl CheckOptions {
             transient_epsilon: 1e-10,
             tolerance: None,
             preflight: true,
+            reduction: Reduction::Auto,
         }
     }
 
@@ -117,6 +141,12 @@ impl CheckOptions {
     /// [`tolerance`](CheckOptions::tolerance)).
     pub fn with_tolerance(mut self, epsilon: f64) -> Self {
         self.tolerance = Some(epsilon);
+        self
+    }
+
+    /// Set the reduction policy (see [`Reduction`]).
+    pub fn with_reduction(mut self, reduction: Reduction) -> Self {
+        self.reduction = reduction;
         self
     }
 
@@ -179,6 +209,19 @@ mod tests {
                 .with_engine(UntilEngine::simulation(5_000))
                 .engine_hint(),
             EngineHint::Simulation { samples: 5_000 }
+        );
+    }
+
+    #[test]
+    fn reduction_defaults_to_auto() {
+        let o = CheckOptions::new();
+        assert_eq!(o.reduction, Reduction::Auto);
+        assert_eq!(o.with_reduction(Reduction::Off).reduction, Reduction::Off);
+        assert_eq!(
+            CheckOptions::new()
+                .with_reduction(Reduction::Require)
+                .reduction,
+            Reduction::Require
         );
     }
 

@@ -1,6 +1,17 @@
 //! The result of checking a formula.
 
+use mrmc_mrm::Partition;
 use mrmc_numerics::ErrorBudget;
+
+/// How the state space was reduced before checking (see
+/// [`Reduction`](crate::Reduction)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionInfo {
+    /// States in the original model.
+    pub original_states: usize,
+    /// States in the certified quotient the engines actually ran on.
+    pub reduced_states: usize,
+}
 
 /// A bound-aware, three-valued verdict for one state.
 ///
@@ -29,6 +40,7 @@ pub struct CheckOutcome {
     probabilities: Option<Vec<f64>>,
     error_bounds: Option<Vec<f64>>,
     budgets: Option<Vec<ErrorBudget>>,
+    reduction: Option<ReductionInfo>,
 }
 
 impl CheckOutcome {
@@ -45,6 +57,7 @@ impl CheckOutcome {
             probabilities: Some(probabilities),
             error_bounds,
             budgets,
+            reduction: None,
         }
     }
 
@@ -55,6 +68,21 @@ impl CheckOutcome {
             probabilities: None,
             error_bounds: None,
             budgets: None,
+            reduction: None,
+        }
+    }
+
+    /// Lift a per-block outcome computed on a quotient back to the
+    /// original state space: every state receives the result of its block,
+    /// and the outcome records the reduction that took place.
+    pub(crate) fn lift(self, partition: &Partition, info: ReductionInfo) -> Self {
+        CheckOutcome {
+            sat: partition.lift(&self.sat),
+            unknown: partition.lift(&self.unknown),
+            probabilities: self.probabilities.map(|p| partition.lift(&p)),
+            error_bounds: self.error_bounds.map(|e| partition.lift(&e)),
+            budgets: self.budgets.map(|b| partition.lift(&b)),
+            reduction: Some(info),
         }
     }
 
@@ -141,6 +169,14 @@ impl CheckOutcome {
     pub fn budgets(&self) -> Option<&[ErrorBudget]> {
         self.budgets.as_deref()
     }
+
+    /// The state-space reduction applied before checking, when the checker
+    /// ran on a certified lumping quotient (see
+    /// [`Reduction`](crate::Reduction)); `None` when the full model was
+    /// checked.
+    pub fn reduction(&self) -> Option<ReductionInfo> {
+        self.reduction
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +214,30 @@ mod tests {
         assert_eq!(o.probabilities().unwrap()[1], 0.9);
         assert_eq!(o.error_bounds().unwrap()[0], 1e-9);
         assert_eq!(o.budgets().unwrap()[0].path_truncation, 1e-9);
+    }
+
+    #[test]
+    fn lift_replicates_block_results_per_state() {
+        // Blocks {0, 2} and {1, 3}: a 2-block outcome becomes a 4-state one.
+        let p = Partition::from_assignment(&[0, 1, 0, 1]);
+        let o = CheckOutcome::with_probabilities(
+            vec![true, false],
+            vec![false, true],
+            vec![0.9, 0.4],
+            Some(vec![1e-9, 2e-9]),
+            None,
+        );
+        assert_eq!(o.reduction(), None);
+        let info = ReductionInfo {
+            original_states: 4,
+            reduced_states: 2,
+        };
+        let lifted = o.lift(&p, info);
+        assert_eq!(lifted.sat(), &[true, false, true, false]);
+        assert_eq!(lifted.unknown(), &[false, true, false, true]);
+        assert_eq!(lifted.probabilities().unwrap(), &[0.9, 0.4, 0.9, 0.4]);
+        assert_eq!(lifted.error_bounds().unwrap(), &[1e-9, 2e-9, 1e-9, 2e-9]);
+        assert_eq!(lifted.reduction(), Some(info));
     }
 
     #[test]

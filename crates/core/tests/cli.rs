@@ -304,6 +304,93 @@ fn json_output_carries_budget_fields() {
 }
 
 #[test]
+fn no_reduction_flag_disables_the_lumping_quotient() {
+    // A diamond with twin mid states: lumpable 4 -> 3 for a steady-state
+    // formula (the twins have identical aggregate rates) and 4 -> 2 for a
+    // pure-AP one.
+    let dir = temp_dir("reduction");
+    let tra = dir.join("m.tra");
+    std::fs::write(
+        &tra,
+        "STATES 4\nTRANSITIONS 5\n1 2 1.0\n1 3 1.0\n2 4 2.0\n3 4 2.0\n4 1 0.5\n",
+    )
+    .unwrap();
+    let lab = dir.join("m.lab");
+    std::fs::write(
+        &lab,
+        "#DECLARATION\nstart mid goal\n#END\n1 start\n2 mid\n3 mid\n4 goal\n",
+    )
+    .unwrap();
+    let rewr = dir.join("m.rewr");
+    std::fs::write(&rewr, "").unwrap();
+    let rewi = dir.join("m.rewi");
+    std::fs::write(&rewi, "TRANSITIONS 0\n").unwrap();
+    let paths = [
+        tra.to_str().unwrap().to_string(),
+        lab.to_str().unwrap().to_string(),
+        rewr.to_str().unwrap().to_string(),
+        rewi.to_str().unwrap().to_string(),
+    ];
+    let p: Vec<&str> = paths.iter().map(String::as_str).collect();
+
+    let formulas = "S(> 0.1) (goal)\ngoal\n";
+    let (reduced, stderr, ok) = run_mrmc(&[p[0], p[1], p[2], p[3]], formulas);
+    assert!(ok, "stderr: {stderr}");
+    assert!(
+        reduced.contains("checked on a verified quotient: 4 -> 3 states"),
+        "{reduced}"
+    );
+    assert!(
+        reduced.contains("checked on a verified quotient: 4 -> 2 states"),
+        "{reduced}"
+    );
+
+    let (full, stderr, ok) = run_mrmc(&[p[0], p[1], p[2], p[3], "--no-reduction"], formulas);
+    assert!(ok, "stderr: {stderr}");
+    assert!(!full.contains("verified quotient"), "{full}");
+
+    // The reduction is exact: same satisfying sets, same probabilities
+    // (up to solver round-off on the different-sized systems).
+    let grab = |text: &str, state: usize| -> f64 {
+        text.lines()
+            .find(|l| l.trim_start().starts_with(&format!("state {state}: P = ")))
+            .and_then(|l| l.split("P = ").nth(1))
+            .and_then(|v| v.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(f64::NAN)
+    };
+    for s in 1..=4 {
+        let (pr, pf) = (grab(&reduced, s), grab(&full, s));
+        assert!(
+            (pr - pf).abs() <= 1e-9,
+            "state {s}: reduced {pr} vs full {pf}\n{reduced}\n{full}"
+        );
+    }
+    let sat_lines = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.contains("satisfied by:"))
+            .map(ToString::to_string)
+            .collect()
+    };
+    assert_eq!(sat_lines(&reduced), sat_lines(&full), "{reduced}\n{full}");
+
+    // JSON mode records the original and reduced state counts.
+    let (json, _, ok) = run_mrmc(&[p[0], p[1], p[2], p[3], "--json"], "S(> 0.1) (goal)\n");
+    assert!(ok);
+    assert!(
+        json.contains("\"original_states\":4,\"reduced_states\":3"),
+        "{json}"
+    );
+    let (json, _, ok) = run_mrmc(
+        &[p[0], p[1], p[2], p[3], "--json", "--no-reduction"],
+        "S(> 0.1) (goal)\n",
+    );
+    assert!(ok);
+    assert!(!json.contains("original_states"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn point_intervals_yield_exact_budgets() {
     // `U[0,0][0,0]` degenerates to the ψ-indicator: probability 1 on
     // ψ-states, 0 elsewhere, with an identically-zero (exact) budget, so

@@ -4,9 +4,11 @@
 //! Every corpus case is a directory holding a model (`m.tra`, `m.lab`,
 //! `m.rewr`, `m.rewi`), optional formulas (`formulas.csrl`), and an
 //! `expect` file with the exact sorted set of diagnostic codes the lint
-//! must report — nothing more, nothing less. Codes are a stable public
-//! interface: a case starting to report different codes is a breaking
-//! change, not a test to update casually.
+//! must report — nothing more, nothing less. An optional `expect_lines`
+//! file pins the exact sorted source-line numbers the diagnostics must
+//! point at. Codes are a stable public interface: a case starting to
+//! report different codes is a breaking change, not a test to update
+//! casually.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -63,6 +65,20 @@ fn codes_in(json: &str) -> Vec<String> {
     codes
 }
 
+/// The sorted `"line":N` locations present in `--json` output.
+fn lines_in(json: &str) -> Vec<usize> {
+    let mut lines = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"line\":") {
+        let tail = &rest[i + 7..];
+        let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+        lines.push(digits.parse().expect("line number"));
+        rest = tail;
+    }
+    lines.sort_unstable();
+    lines
+}
+
 /// The declared error count from the `--json` summary.
 fn error_count_in(json: &str) -> usize {
     let i = json.rfind("\"errors\":").expect("errors field");
@@ -104,6 +120,21 @@ fn corpus_cases_report_exactly_the_expected_codes() {
             expected,
             "case {name}: codes diverged\nstdout: {stdout}\nstderr: {stderr}"
         );
+
+        // Cases with an `expect_lines` file also pin the source locations.
+        if let Ok(want) = std::fs::read_to_string(case.join("expect_lines")) {
+            let want: Vec<usize> = want
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(|l| l.parse().expect("line number"))
+                .collect();
+            assert_eq!(
+                lines_in(&stdout),
+                want,
+                "case {name}: locations diverged\nstdout: {stdout}"
+            );
+        }
 
         // Exit code 2 exactly when Error-grade diagnostics are present.
         let errors = error_count_in(&stdout);
@@ -164,6 +195,50 @@ fn unparsable_formula_is_f003() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(2), "{stdout}");
     assert!(stdout.contains("\"code\":\"F003\""), "{stdout}");
+}
+
+#[test]
+fn lumping_flag_reports_r_codes() {
+    // The TMR example with a pure-AP formula lumps 5 -> 2 (a
+    // rate-observing formula would see the full chain); without --lumping
+    // no R codes appear at all.
+    let models = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/models");
+    let file = |name: &str| models.join(name).to_str().unwrap().to_string();
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "lint".to_string(),
+            file("tmr.tra"),
+            file("tmr.lab"),
+            file("tmr.rewr"),
+            file("tmr.rewi"),
+        ];
+        args.extend(extra.iter().map(ToString::to_string));
+        let mut child = Command::new(env!("CARGO_BIN_EXE_mrmc"))
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary runs");
+        child.stdin.as_mut().unwrap().write_all(b"Sup\n").unwrap();
+        let out = child.wait_with_output().unwrap();
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            out.status.code(),
+        )
+    };
+
+    let (stdout, code) = run(&["--lumping", "--json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"code\":\"R101\""), "{stdout}");
+    assert!(stdout.contains("lumpable"), "{stdout}");
+
+    let (stdout, code) = run(&["--json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        !codes_in(&stdout).iter().any(|c| c.starts_with('R')),
+        "{stdout}"
+    );
 }
 
 #[test]

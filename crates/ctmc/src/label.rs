@@ -87,6 +87,24 @@ impl Labeling {
         self.per_state.iter().map(|s| s.contains(ap)).collect()
     }
 
+    /// The propositions valid in *every* one of `states`, in lexicographic
+    /// order — the labels a lumping quotient can safely keep on a block.
+    /// Empty for an empty state set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state is out of bounds.
+    pub fn common_to(&self, states: &[usize]) -> Vec<&str> {
+        let Some((&first, rest)) = states.split_first() else {
+            return Vec::new();
+        };
+        self.per_state[first]
+            .iter()
+            .filter(|ap| rest.iter().all(|&s| self.per_state[s].contains(*ap)))
+            .map(String::as_str)
+            .collect()
+    }
+
     /// Every proposition used anywhere in the labeling, sorted and
     /// de-duplicated.
     pub fn all_propositions(&self) -> Vec<&str> {
@@ -159,5 +177,19 @@ mod tests {
     #[should_panic]
     fn add_out_of_bounds_panics() {
         Labeling::new(1).add(1, "a");
+    }
+
+    #[test]
+    fn common_to_intersects_member_labels() {
+        let mut l = Labeling::new(4);
+        l.add(0, "up").add(0, "fast");
+        l.add(1, "up").add(1, "slow");
+        l.add(2, "up").add(2, "fast");
+        assert_eq!(l.common_to(&[0, 1, 2]), vec!["up"]);
+        assert_eq!(l.common_to(&[0, 2]), vec!["fast", "up"]);
+        assert_eq!(l.common_to(&[3]), Vec::<&str>::new());
+        assert_eq!(l.common_to(&[]), Vec::<&str>::new());
+        // The state-3 member empties every intersection.
+        assert!(l.common_to(&[0, 3]).is_empty());
     }
 }

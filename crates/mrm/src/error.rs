@@ -41,6 +41,13 @@ pub enum MrmError {
         /// States covered by the reward structure.
         rewarded: usize,
     },
+    /// A partition covers a different number of states than the chain.
+    PartitionSizeMismatch {
+        /// States in the chain.
+        states: usize,
+        /// States covered by the partition.
+        partitioned: usize,
+    },
 }
 
 impl fmt::Display for MrmError {
@@ -60,6 +67,13 @@ impl fmt::Display for MrmError {
             MrmError::RewardSizeMismatch { states, rewarded } => write!(
                 f,
                 "reward structure covers {rewarded} states but the model has {states}"
+            ),
+            MrmError::PartitionSizeMismatch {
+                states,
+                partitioned,
+            } => write!(
+                f,
+                "partition covers {partitioned} states but the model has {states}"
             ),
         }
     }

@@ -41,6 +41,7 @@
 mod error;
 pub mod io;
 mod mrm;
+mod partition;
 mod path;
 mod rewards;
 pub mod transform;
@@ -48,6 +49,7 @@ mod uniformized;
 
 pub use error::{MrmError, PathError};
 pub use mrm::Mrm;
+pub use partition::Partition;
 pub use path::TimedPath;
 pub use rewards::{ImpulseRewards, StateRewards};
 pub use uniformized::UniformizedMrm;

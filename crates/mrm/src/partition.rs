@@ -1,0 +1,188 @@
+//! State-space partitions, the carrier of lumping quotients.
+//!
+//! A [`Partition`] groups the `n` states of a model into `k ≤ n` *blocks*.
+//! It is plain data: nothing here decides whether a partition is a valid
+//! lumping — that is the job of the certificate verifier in
+//! `mrmc-analysis` — but the representation is canonical (blocks are
+//! numbered `0..k` in order of their lowest member), so two partitions
+//! describing the same grouping compare equal.
+
+use std::fmt;
+
+/// A partition of the state space `0..n` into blocks `0..k`.
+///
+/// Blocks are canonically numbered by first appearance: block `0` contains
+/// state `0`, and block indices increase with the lowest state index of
+/// each block. The *representative* of a block is its lowest member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `block_of[s]` is the block index of state `s`, in `0..num_blocks`.
+    block_of: Vec<usize>,
+    /// Lowest member of each block, indexed by block.
+    representatives: Vec<usize>,
+}
+
+impl Partition {
+    /// Build a partition from an arbitrary per-state block assignment.
+    ///
+    /// The assignment may use any `usize` keys; they are renumbered
+    /// canonically (by first appearance) so that equal groupings yield
+    /// equal partitions.
+    pub fn from_assignment(assignment: &[usize]) -> Self {
+        let mut renumber: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut block_of = Vec::with_capacity(assignment.len());
+        let mut representatives = Vec::new();
+        for (state, &key) in assignment.iter().enumerate() {
+            let next = renumber.len();
+            let block = *renumber.entry(key).or_insert(next);
+            if block == representatives.len() {
+                representatives.push(state);
+            }
+            block_of.push(block);
+        }
+        Partition {
+            block_of,
+            representatives,
+        }
+    }
+
+    /// The discrete partition: every state in its own block.
+    pub fn identity(num_states: usize) -> Self {
+        Partition {
+            block_of: (0..num_states).collect(),
+            representatives: (0..num_states).collect(),
+        }
+    }
+
+    /// Number of states partitioned.
+    pub fn num_states(&self) -> usize {
+        self.block_of.len()
+    }
+
+    /// Number of blocks `k`.
+    pub fn num_blocks(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The block index of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of bounds.
+    pub fn block_of(&self, state: usize) -> usize {
+        self.block_of[state]
+    }
+
+    /// The per-state block assignment, canonical numbering.
+    pub fn assignment(&self) -> &[usize] {
+        &self.block_of
+    }
+
+    /// The lowest member of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of bounds.
+    pub fn representative(&self, block: usize) -> usize {
+        self.representatives[block]
+    }
+
+    /// `true` when every state is its own block (no reduction).
+    pub fn is_identity(&self) -> bool {
+        self.num_blocks() == self.num_states()
+    }
+
+    /// The members of every block, in state order.
+    pub fn blocks(&self) -> Vec<Vec<usize>> {
+        let mut blocks = vec![Vec::new(); self.num_blocks()];
+        for (state, &b) in self.block_of.iter().enumerate() {
+            blocks[b].push(state);
+        }
+        blocks
+    }
+
+    /// Lift a per-block vector back to a per-state vector: state `s`
+    /// receives the value of its block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_block.len() != self.num_blocks()`.
+    pub fn lift<T: Clone>(&self, per_block: &[T]) -> Vec<T> {
+        assert_eq!(
+            per_block.len(),
+            self.num_blocks(),
+            "per-block vector length must match the block count"
+        );
+        self.block_of
+            .iter()
+            .map(|&b| per_block[b].clone())
+            .collect()
+    }
+}
+
+impl fmt::Display for Partition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states in {} blocks",
+            self.num_states(),
+            self.num_blocks()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_renumbering() {
+        // Keys 7, 3, 7, 3, 9 become blocks 0, 1, 0, 1, 2.
+        let p = Partition::from_assignment(&[7, 3, 7, 3, 9]);
+        assert_eq!(p.assignment(), &[0, 1, 0, 1, 2]);
+        assert_eq!(p.num_states(), 5);
+        assert_eq!(p.num_blocks(), 3);
+        assert_eq!(p.representative(0), 0);
+        assert_eq!(p.representative(1), 1);
+        assert_eq!(p.representative(2), 4);
+        // The same grouping under different keys is the same partition.
+        assert_eq!(p, Partition::from_assignment(&[0, 5, 0, 5, 1]));
+    }
+
+    #[test]
+    fn identity_partition() {
+        let p = Partition::identity(3);
+        assert!(p.is_identity());
+        assert_eq!(p.num_blocks(), 3);
+        assert_eq!(p.blocks(), vec![vec![0], vec![1], vec![2]]);
+        assert!(!Partition::from_assignment(&[0, 0, 1]).is_identity());
+    }
+
+    #[test]
+    fn blocks_list_members_in_state_order() {
+        let p = Partition::from_assignment(&[0, 1, 0, 2, 1]);
+        assert_eq!(p.blocks(), vec![vec![0, 2], vec![1, 4], vec![3]]);
+    }
+
+    #[test]
+    fn lift_replicates_block_values() {
+        let p = Partition::from_assignment(&[0, 1, 0, 1]);
+        assert_eq!(p.lift(&[0.25, 0.75]), vec![0.25, 0.75, 0.25, 0.75]);
+        assert_eq!(p.lift(&[true, false]), vec![true, false, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "per-block vector length")]
+    fn lift_checks_length() {
+        Partition::from_assignment(&[0, 0]).lift(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_partition() {
+        let p = Partition::from_assignment(&[]);
+        assert_eq!(p.num_states(), 0);
+        assert_eq!(p.num_blocks(), 0);
+        assert!(p.is_identity());
+    }
+}

@@ -1,14 +1,22 @@
-//! The `M[Φ]` make-absorbing transformation (Definition 4.1).
+//! Model transformations: the `M[Φ]` make-absorbing transformation
+//! (Definition 4.1) and the lumping quotient `M/∼`.
 //!
-//! All Φ-states become absorbing and reward-free: their outgoing rates,
-//! state rewards, and outgoing impulse rewards are set to zero. The
-//! transformation is idempotent and composes as
+//! For `M[Φ]`, all Φ-states become absorbing and reward-free: their
+//! outgoing rates, state rewards, and outgoing impulse rewards are set to
+//! zero. The transformation is idempotent and composes as
 //! `M[Φ][Ψ] = M[Φ ∨ Ψ]`.
+//!
+//! The quotient collapses each block of a [`Partition`] into one state;
+//! see [`quotient`] for the exact construction. The quotient is purely
+//! mechanical — *whether* a partition is a valid lumping is certified
+//! separately (the `mrmc-analysis` crate's lumpability analysis and its
+//! certificate verifier).
 
 use mrmc_ctmc::{Ctmc, CtmcBuilder};
 
 use crate::error::MrmError;
 use crate::mrm::Mrm;
+use crate::partition::Partition;
 use crate::rewards::{ImpulseRewards, StateRewards};
 
 /// Produce `M[Φ]` for the Φ-states given by the characteristic vector
@@ -54,6 +62,87 @@ pub fn make_absorbing(mrm: &Mrm, absorb: &[bool]) -> Result<Mrm, MrmError> {
     for (from, to, v) in mrm.impulse_rewards().iter() {
         if !absorb[from] {
             iota.set(from, to, v)?;
+        }
+    }
+    Mrm::new(ctmc, rho, iota)
+}
+
+/// The quotient `M/∼` collapsing each partition block into one state.
+///
+/// Per block `B` with representative `rep(B)` (the lowest member):
+///
+/// * **rates** — `R̂(B, C) = Σ_{t ∈ C} R(rep(B), t)` for every block
+///   `C ≠ B`, summed in the representative's row order (so the sums are
+///   bit-reproducible); intra-block transitions are dropped — for an
+///   ordinarily lumpable partition they only re-randomize inside the
+///   block and do not affect the aggregated law;
+/// * **labels** — a block keeps exactly the propositions common to *all*
+///   its members ([`Labeling::common_to`](mrmc_ctmc::Labeling::common_to));
+///   the declared vocabulary is preserved;
+/// * **state rewards** — the representative's reward;
+/// * **impulse rewards** — the representative's outgoing impulses, mapped
+///   to block pairs (intra-block impulses are dropped; a valid lumping
+///   certificate requires them to be zero anyway).
+///
+/// Per-state results computed on the quotient lift back to the original
+/// state space with [`Partition::lift`].
+///
+/// # Errors
+///
+/// [`MrmError::PartitionSizeMismatch`] when the partition does not cover
+/// the state space; reconstruction errors are propagated.
+pub fn quotient(mrm: &Mrm, partition: &Partition) -> Result<Mrm, MrmError> {
+    let n = mrm.num_states();
+    if partition.num_states() != n {
+        return Err(MrmError::PartitionSizeMismatch {
+            states: n,
+            partitioned: partition.num_states(),
+        });
+    }
+    let k = partition.num_blocks();
+
+    let mut b = CtmcBuilder::new(k);
+    let mut sums = vec![0.0_f64; k];
+    let mut touched: Vec<usize> = Vec::new();
+    for block in 0..k {
+        let rep = partition.representative(block);
+        for (t, r) in mrm.ctmc().rates().row(rep) {
+            let c = partition.block_of(t);
+            if c == block {
+                continue;
+            }
+            if sums[c] == 0.0 {
+                touched.push(c);
+            }
+            sums[c] += r;
+        }
+        touched.sort_unstable();
+        for &c in &touched {
+            b.transition(block, c, sums[c]);
+            sums[c] = 0.0;
+        }
+        touched.clear();
+    }
+    for (block, members) in partition.blocks().iter().enumerate() {
+        for ap in mrm.labeling().common_to(members) {
+            b.label(block, ap);
+        }
+    }
+    let mut ctmc: Ctmc = b.build()?;
+    for ap in mrm.labeling().declared() {
+        ctmc.labeling_mut().declare(ap);
+    }
+
+    let rho = StateRewards::new(
+        (0..k)
+            .map(|block| mrm.state_reward(partition.representative(block)))
+            .collect(),
+    )?;
+    let mut iota = ImpulseRewards::new();
+    for (from, to, v) in mrm.impulse_rewards().iter() {
+        let fb = partition.block_of(from);
+        if from == partition.representative(fb) && partition.block_of(to) != fb {
+            iota.set(fb, partition.block_of(to), v)?;
         }
     }
     Mrm::new(ctmc, rho, iota)
@@ -131,6 +220,77 @@ mod tests {
         assert!(matches!(
             make_absorbing(&m, &[true]),
             Err(MrmError::RewardSizeMismatch { .. })
+        ));
+    }
+
+    /// A hand-lumpable diamond: 0 → {1, 2} → 3 → 0 where the middle states
+    /// agree on rates, labels, rewards and impulses.
+    fn diamond() -> Mrm {
+        let mut b = CtmcBuilder::new(4);
+        b.transition(0, 1, 1.0).transition(0, 2, 1.0);
+        b.transition(1, 3, 2.0);
+        b.transition(2, 3, 2.0);
+        b.transition(3, 0, 0.5);
+        b.label(1, "mid").label(2, "mid");
+        b.label(1, "left");
+        b.label(3, "goal");
+        let ctmc = b.build().unwrap();
+        let rho = StateRewards::new(vec![0.0, 5.0, 5.0, 1.0]).unwrap();
+        let mut iota = ImpulseRewards::new();
+        iota.set(1, 3, 0.5).unwrap();
+        iota.set(2, 3, 0.5).unwrap();
+        Mrm::new(ctmc, rho, iota).unwrap()
+    }
+
+    #[test]
+    fn quotient_collapses_a_lumpable_block() {
+        let m = diamond();
+        let p = Partition::from_assignment(&[0, 1, 1, 2]);
+        let q = quotient(&m, &p).unwrap();
+        assert_eq!(q.num_states(), 3);
+        // Rates aggregate into the merged block and out of its rep.
+        assert_eq!(q.ctmc().rates().get(0, 1), 2.0);
+        assert_eq!(q.ctmc().rates().get(1, 2), 2.0);
+        assert_eq!(q.ctmc().rates().get(2, 0), 0.5);
+        // Only block-uniform labels survive; `left` held in state 1 alone.
+        assert!(q.labeling().has(1, "mid"));
+        assert!(!q.labeling().has(1, "left"));
+        assert!(q.labeling().has(2, "goal"));
+        // Declared vocabulary is preserved even for dropped labels.
+        assert!(q.labeling().declared().contains(&"left"));
+        // Rewards come from the representative.
+        assert_eq!(q.state_reward(1), 5.0);
+        assert_eq!(q.impulse_reward(1, 2), 0.5);
+    }
+
+    #[test]
+    fn quotient_under_identity_is_the_model_without_self_loops() {
+        let m = diamond();
+        let q = quotient(&m, &Partition::identity(4)).unwrap();
+        assert_eq!(q, m);
+    }
+
+    #[test]
+    fn quotient_drops_intra_block_transitions() {
+        // Merge 1 and 3: the 1 → 3 transition (and its impulse) vanish.
+        let m = diamond();
+        let p = Partition::from_assignment(&[0, 1, 2, 1]);
+        let q = quotient(&m, &p).unwrap();
+        assert_eq!(q.num_states(), 3);
+        assert_eq!(q.ctmc().rates().get(1, 1), 0.0);
+        assert_eq!(q.impulse_reward(1, 1), 0.0);
+        // The representative's inter-block structure stays: 1 → 0 is absent
+        // but 3 → 0 belongs to the non-representative member, so the merged
+        // block keeps only rep state 1's outgoing rows.
+        assert_eq!(q.ctmc().rates().get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn quotient_wrong_size_rejected() {
+        let m = diamond();
+        assert!(matches!(
+            quotient(&m, &Partition::identity(2)),
+            Err(MrmError::PartitionSizeMismatch { states: 4, .. })
         ));
     }
 

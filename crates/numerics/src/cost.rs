@@ -13,16 +13,41 @@
 use mrmc_ctmc::poisson;
 use mrmc_mrm::Mrm;
 
+/// Estimated path-tree nodes above which a uniformization run is
+/// considered likely to explode (the lint's `C101` threshold).
+pub const PATH_EXPLOSION_NODES: f64 = 1e8;
+
+/// Estimated grid bytes above which a discretization run is considered
+/// memory-hostile (the lint's `C102` threshold, 8 GiB-ish).
+pub const GRID_MEMORY_BYTES: f64 = 8e9;
+
+/// The largest exit rate in the model, `max_s E(s)` — the quantity both
+/// the uniformization-rate rule and the discretization stability
+/// requirement are built on.
+pub fn max_exit_rate(mrm: &Mrm) -> f64 {
+    mrm.ctmc()
+        .exit_rates()
+        .iter()
+        .fold(0.0_f64, |a, &b| a.max(b))
+}
+
+/// The largest discretization step the stability requirement
+/// `d ≤ 1/max-exit-rate` admits ([`f64::INFINITY`] for an absorbing-only
+/// model, where any step is stable).
+pub fn max_stable_step(mrm: &Mrm) -> f64 {
+    let max_exit = max_exit_rate(mrm);
+    if max_exit == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / max_exit
+    }
+}
+
 /// The `Λ = 1.02 · max exit rate` uniformization-rate rule used by
 /// [`UniformizedMrm`](mrmc_mrm::UniformizedMrm) when no explicit rate is
 /// given; replicated here so predictions match the engine.
 fn default_lambda(mrm: &Mrm) -> f64 {
-    let max_exit = mrm
-        .ctmc()
-        .exit_rates()
-        .iter()
-        .fold(0.0_f64, |a, &b| a.max(b));
-    1.02 * max_exit
+    1.02 * max_exit_rate(mrm)
 }
 
 /// Prediction for a uniformization path-exploration run.
@@ -124,11 +149,7 @@ pub struct DiscretizationCost {
 /// reward bound `r` and step `d` (see
 /// [`DiscretizationOptions::step`](crate::discretization::DiscretizationOptions)).
 pub fn estimate_discretization(mrm: &Mrm, t: f64, r: f64, step: f64) -> DiscretizationCost {
-    let max_exit = mrm
-        .ctmc()
-        .exit_rates()
-        .iter()
-        .fold(0.0_f64, |a, &b| a.max(b));
+    let max_exit = max_exit_rate(mrm);
     let d = if step > 0.0 { step } else { f64::NAN };
     let time_steps = (t / d).ceil().max(0.0);
     let reward_cells = (r / d).ceil().max(0.0) + 1.0;
@@ -165,6 +186,17 @@ mod tests {
         iota.set(2, 3, 0.42545).unwrap();
         iota.set(2, 4, 0.36195).unwrap();
         Mrm::new(ctmc, rho, iota).unwrap()
+    }
+
+    #[test]
+    fn max_exit_rate_and_stable_step() {
+        let m = wavelan();
+        assert_eq!(max_exit_rate(&m), 15.0);
+        assert_eq!(max_stable_step(&m), 1.0 / 15.0);
+        // An absorbing-only model admits any step.
+        let lone = Mrm::without_rewards(mrmc_ctmc::CtmcBuilder::new(1).build().unwrap());
+        assert_eq!(max_exit_rate(&lone), 0.0);
+        assert_eq!(max_stable_step(&lone), f64::INFINITY);
     }
 
     #[test]
