@@ -233,8 +233,10 @@ fn refine(
         return partition;
     }
 
-    loop {
+    let mut rounds = 0u64;
+    let partition = 'outer: loop {
         loop {
+            rounds += 1;
             let refined = split_by_signature(mrm, &partition, use_impulses);
             if refined.num_blocks() == partition.num_blocks() {
                 break;
@@ -242,13 +244,19 @@ fn refine(
             partition = refined;
         }
         if !use_impulses {
-            return partition;
+            break 'outer partition;
         }
         let Some((source, block)) = find_impulse_violation(mrm, &partition) else {
-            return partition;
+            break 'outer partition;
         };
         partition = split_block_by_incoming_impulse(mrm, &partition, source, block);
-    }
+    };
+    mrmc_obs::record(|| mrmc_obs::Event::LumpingRefinement {
+        rounds,
+        states: n as u64,
+        blocks: partition.num_blocks() as u64,
+    });
+    partition
 }
 
 /// One refinement round: group states by their current block plus their

@@ -1,7 +1,8 @@
-//! Doc-sync guard: every diagnostic code the analysis crate can construct
-//! must be documented in the code table of `docs/USAGE.md`. Codes are a
-//! stable public interface — shipping an undocumented one is a bug, so
-//! this test fails the build until the table is updated.
+//! Doc-sync guards: every diagnostic code the analysis crate can
+//! construct, and every telemetry event kind the `mrmc-obs` crate can
+//! emit, must be documented in `docs/USAGE.md`. Both are stable public
+//! interfaces — shipping an undocumented one is a bug, so these tests
+//! fail the build until the tables are updated.
 
 use std::collections::BTreeSet;
 use std::path::Path;
@@ -53,5 +54,20 @@ fn every_constructible_code_is_documented_in_usage_md() {
     assert!(
         undocumented.is_empty(),
         "diagnostic codes missing from the docs/USAGE.md table: {undocumented:?}"
+    );
+}
+
+#[test]
+fn every_telemetry_event_kind_is_documented_in_usage_md() {
+    let usage = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/USAGE.md");
+    let usage = std::fs::read_to_string(usage).expect("docs/USAGE.md exists");
+
+    let undocumented: Vec<&&str> = mrmc_obs::EVENT_KINDS
+        .iter()
+        .filter(|kind| !usage.contains(&format!("`{kind}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "telemetry event kinds missing from the docs/USAGE.md table: {undocumented:?}"
     );
 }

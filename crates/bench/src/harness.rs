@@ -16,12 +16,48 @@
 //! this harness exists to print honest numbers offline, not to replace a
 //! statistics engine.
 //!
+//! # Perf snapshots
+//!
+//! Unless disabled with [`Criterion::without_snapshots`],
+//! [`BenchmarkGroup::finish`] writes a machine-readable snapshot of the
+//! group's results to `BENCH_<group>.json` at the repository root (the
+//! group name is sanitized to `[A-Za-z0-9_-]`). The schema is one JSON
+//! object per file:
+//!
+//! ```text
+//! {
+//!   "group": "<group name>",
+//!   "benchmarks": [
+//!     {
+//!       "id": "<bench id>",          // e.g. "omega/17"
+//!       "samples": <int>,            // timed samples taken
+//!       "min_s": <float>,            // per-iteration wall seconds
+//!       "median_s": <float>,
+//!       "mean_s": <float>,
+//!       "metrics": { ... } | null    // mrmc-obs RunMetrics JSON
+//!     }, ...
+//!   ]
+//! }
+//! ```
+//!
+//! `metrics` is the work-counter snapshot (paths generated, solver sweeps,
+//! grid cells, …) captured by running the *calibration* iteration under a
+//! [`MetricsRecorder`](mrmc_obs::MetricsRecorder); it is `null` when the
+//! benchmark body emitted no telemetry events. The timed samples
+//! themselves run with no recorder installed, so snapshotting never adds
+//! overhead to the reported numbers.
+//!
 //! [`criterion_group!`]: crate::criterion_group
 //! [`criterion_main!`]: crate::criterion_main
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::hint::black_box as std_black_box;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use mrmc_obs::{MetricsRecorder, RunMetrics};
 
 /// Prevent the optimizer from deleting a benchmarked computation.
 ///
@@ -35,6 +71,7 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Criterion {
     default_sample_size: usize,
     target_sample_time: Duration,
+    snapshots: bool,
 }
 
 impl Default for Criterion {
@@ -42,6 +79,7 @@ impl Default for Criterion {
         Criterion {
             default_sample_size: 10,
             target_sample_time: Duration::from_millis(50),
+            snapshots: true,
         }
     }
 }
@@ -52,6 +90,14 @@ impl Criterion {
         self.target_sample_time
     }
 
+    /// Do not write `BENCH_<group>.json` snapshot files (used by the
+    /// harness's own unit tests).
+    #[must_use]
+    pub fn without_snapshots(mut self) -> Self {
+        self.snapshots = false;
+        self
+    }
+
     /// Open a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
         let name = name.into();
@@ -60,6 +106,8 @@ impl Criterion {
             name,
             sample_size: self.default_sample_size,
             target_sample_time: self.target_sample_time,
+            snapshots: self.snapshots,
+            results: Vec::new(),
         }
     }
 }
@@ -87,12 +135,25 @@ impl fmt::Display for BenchmarkId {
     }
 }
 
+/// One finished benchmark's numbers, as persisted in the snapshot file.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    samples: usize,
+    min: f64,
+    median: f64,
+    mean: f64,
+    metrics: Option<RunMetrics>,
+}
+
 /// A named collection of benchmarks sharing sampling configuration.
 #[derive(Debug)]
 pub struct BenchmarkGroup {
     name: String,
     sample_size: usize,
     target_sample_time: Duration,
+    snapshots: bool,
+    results: Vec<BenchResult>,
 }
 
 impl BenchmarkGroup {
@@ -111,6 +172,9 @@ impl BenchmarkGroup {
         let mut b = Bencher::new(self.sample_size, self.target_sample_time);
         f(&mut b);
         b.report(&self.name, &id.to_string());
+        if let Some(r) = b.into_result(id.to_string()) {
+            self.results.push(r);
+        }
         self
     }
 
@@ -124,11 +188,83 @@ impl BenchmarkGroup {
         let mut b = Bencher::new(self.sample_size, self.target_sample_time);
         f(&mut b, input);
         b.report(&self.name, &id.to_string());
+        if let Some(r) = b.into_result(id.to_string()) {
+            self.results.push(r);
+        }
         self
     }
 
-    /// End the group (kept for criterion API parity; reporting is eager).
-    pub fn finish(&mut self) {}
+    /// End the group. Console reporting is eager (criterion API parity);
+    /// this additionally persists the snapshot file (see the module docs)
+    /// unless snapshots are disabled or the group ran nothing.
+    pub fn finish(&mut self) {
+        if !self.snapshots || self.results.is_empty() {
+            return;
+        }
+        let path = snapshot_path(&self.name);
+        match std::fs::write(&path, self.render_json()) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    fn render_json(&self) -> String {
+        let mut s = String::from("{\"group\":\"");
+        push_escaped(&mut s, &self.name);
+        s.push_str("\",\"benchmarks\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"id\":\"");
+            push_escaped(&mut s, &r.id);
+            write!(
+                s,
+                "\",\"samples\":{},\"min_s\":{:e},\"median_s\":{:e},\"mean_s\":{:e},\"metrics\":",
+                r.samples, r.min, r.median, r.mean
+            )
+            .unwrap();
+            match &r.metrics {
+                Some(m) => s.push_str(&m.to_json()),
+                None => s.push_str("null"),
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// `BENCH_<group>.json` at the repository root, with the group name
+/// restricted to filename-safe characters.
+fn snapshot_path(group: &str) -> PathBuf {
+    let sanitized: String = group
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(format!("BENCH_{sanitized}.json"))
+}
+
+/// Minimal JSON string escaping for names and ids.
+fn push_escaped(s: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                write!(s, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => s.push(c),
+        }
+    }
 }
 
 /// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
@@ -138,6 +274,9 @@ pub struct Bencher {
     target_sample_time: Duration,
     /// Per-iteration seconds, one entry per sample.
     samples: Vec<f64>,
+    /// Work counters captured during the calibration iteration, when the
+    /// benchmark body emitted any telemetry events.
+    metrics: Option<RunMetrics>,
 }
 
 impl Bencher {
@@ -146,6 +285,7 @@ impl Bencher {
             sample_size,
             target_sample_time,
             samples: Vec::new(),
+            metrics: None,
         }
     }
 
@@ -153,12 +293,20 @@ impl Bencher {
     ///
     /// One calibration pass times a single iteration and derives how many
     /// iterations fill the target sample time; each of the `sample_size`
-    /// samples then runs that many iterations.
+    /// samples then runs that many iterations. The calibration iteration
+    /// runs under a [`MetricsRecorder`] so the snapshot file can report
+    /// the work the benchmark does (paths, sweeps, grid cells); the timed
+    /// samples run with no recorder installed.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
         // Calibration: one warm-up iteration, also priming caches.
-        let start = Instant::now();
-        black_box(f());
-        let once = start.elapsed().as_secs_f64().max(1e-9);
+        let recorder = Arc::new(MetricsRecorder::new());
+        let once = mrmc_obs::with_recorder(recorder.clone(), || {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64().max(1e-9)
+        });
+        let captured = recorder.take();
+        self.metrics = (captured != RunMetrics::default()).then_some(captured);
         let per_sample = (self.target_sample_time.as_secs_f64() / once).clamp(1.0, 1e6) as u64;
 
         self.samples.clear();
@@ -170,6 +318,24 @@ impl Bencher {
             self.samples
                 .push(start.elapsed().as_secs_f64() / per_sample as f64);
         }
+    }
+
+    /// Package the collected samples for the snapshot file; `None` when
+    /// the closure never called [`iter`](Self::iter).
+    fn into_result(self, id: String) -> Option<BenchResult> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(BenchResult {
+            id,
+            samples: sorted.len(),
+            min: sorted[0],
+            median: sorted[sorted.len() / 2],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            metrics: self.metrics,
+        })
     }
 
     fn report(&self, group: &str, id: &str) {
@@ -262,7 +428,7 @@ mod tests {
 
     #[test]
     fn group_runs_benchmarks() {
-        let mut c = Criterion::default();
+        let mut c = Criterion::default().without_snapshots();
         let mut group = c.benchmark_group("harness_selftest");
         group.sample_size(2);
         let mut ran = false;
@@ -275,6 +441,54 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+        assert_eq!(group.results.len(), 2);
+        assert_eq!(group.results[0].id, "noop");
+        assert_eq!(group.results[1].id, "with_input/3");
+    }
+
+    #[test]
+    fn snapshot_json_has_the_documented_shape() {
+        let mut c = Criterion::default().without_snapshots();
+        let mut group = c.benchmark_group("shape");
+        group.sample_size(2);
+        group.bench_function("fast", |b| b.iter(|| 2 + 2));
+        let json = group.render_json();
+        assert!(json.starts_with("{\"group\":\"shape\",\"benchmarks\":["));
+        for key in [
+            "\"id\":\"fast\"",
+            "\"samples\":2",
+            "\"min_s\":",
+            "\"median_s\":",
+            "\"mean_s\":",
+            "\"metrics\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // No telemetry emitted by `2 + 2`: metrics must be null.
+        assert!(json.contains("\"metrics\":null"), "{json}");
+    }
+
+    #[test]
+    fn calibration_captures_metrics_when_events_flow() {
+        let mut b = Bencher::new(2, Duration::from_millis(1));
+        b.iter(|| {
+            mrmc_obs::record(|| mrmc_obs::Event::Counter {
+                name: "bench_work",
+                value: 7,
+            });
+        });
+        let m = b.metrics.as_ref().expect("calibration metrics captured");
+        assert_eq!(m.counters["bench_work"], 7);
+        let r = b.into_result("instrumented".into()).unwrap();
+        assert!(r.metrics.is_some());
+    }
+
+    #[test]
+    fn snapshot_paths_are_sanitized_and_rooted() {
+        let p = snapshot_path("omega table/serial");
+        let name = p.file_name().unwrap().to_str().unwrap();
+        assert_eq!(name, "BENCH_omega_table_serial.json");
+        assert!(p.ends_with(format!("../../{name}")));
     }
 
     #[test]

@@ -23,8 +23,25 @@
 //! * `--no-reduction` — always check on the full model; by default, the
 //!   checker runs on a certified lumping quotient when one exists for the
 //!   formula (the reduction is exact, so results are unchanged);
+//! * `--metrics` — report the run metrics per formula: a human-readable
+//!   table, or a `metrics` object inside the `--json` output (paths
+//!   generated/pruned, Poisson truncation points, solver iterations, grid
+//!   cells, adaptive attempts, per-phase wall-clock, …);
+//! * `--trace <file>` (or `--trace=<file>`) — stream every telemetry
+//!   event as one JSON line to `<file>`; the last line is always a
+//!   `run_summary` event;
+//! * `--progress` — print throttled progress lines to stderr while the
+//!   engines run;
 //! * `NP` — print only the satisfying states, not the computed
 //!   probabilities.
+//!
+//! The word `check` may be given as an explicit leading subcommand
+//! (`mrmc check <model.tra> …`); it is equivalent to omitting it.
+//!
+//! Telemetry is observation-only: verdicts, probabilities and error
+//! budgets are bit-for-bit identical whether `--metrics`/`--trace` are
+//! given or not (see the `mrmc-obs` crate). Wall-clock readings appear
+//! only in `span` events and the `phases` map of the metrics.
 //!
 //! Formulas are read from standard input, one per line; empty lines and
 //! `%`-comments are skipped. States are printed 1-indexed, matching the
@@ -52,11 +69,17 @@
 //! needed).
 
 use std::io::{BufRead, IsTerminal};
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use mrmc::{
     diagnose_load_error, lumping, Analyzer, CheckError, CheckOptions, CheckOutcome, Diagnostic,
     ModelChecker, Reduction, Report, Severity, UntilEngine, Verdict,
+};
+use mrmc_obs::{
+    Event, JsonlTraceRecorder, MetricsRecorder, MultiRecorder, ProgressRecorder, Recorder,
+    RunMetrics,
 };
 
 #[derive(Debug)]
@@ -71,10 +94,13 @@ struct Cli {
     json: bool,
     print_probabilities: bool,
     no_reduction: bool,
+    metrics: bool,
+    trace: Option<String>,
+    progress: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: mrmc <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [--no-reduction] [NP]\n\
+    "usage: mrmc [check] <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [--no-reduction] [--metrics] [--trace FILE] [--progress] [NP]\n\
      \x20      mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--lumping] [--json] [--deny warnings]\n\
      \n\
      Reads CSRL formulas from stdin, one per line, e.g.\n\
@@ -93,6 +119,12 @@ fn usage() -> &'static str {
      --no-reduction always check on the full model; by default the checker\n\
      \x20              runs on a certified lumping quotient when one exists\n\
      \x20              (exact, results unchanged)\n\
+     --metrics      report per-formula run metrics (human table, or a\n\
+     \x20              `metrics` object with --json); observation-only, the\n\
+     \x20              results are bit-identical with or without it\n\
+     --trace FILE   stream every telemetry event as one JSON line to FILE;\n\
+     \x20              the final line is a run_summary event\n\
+     --progress     print throttled progress lines to stderr\n\
      NP             suppress the computed probabilities\n\
      \n\
      The lint subcommand statically analyzes the model, the formulas on\n\
@@ -149,6 +181,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json: false,
         print_probabilities: true,
         no_reduction: false,
+        metrics: false,
+        trace: None,
+        progress: false,
     };
     let mut rest = args[4..].iter();
     while let Some(arg) = rest.next() {
@@ -158,6 +193,22 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             cli.json = true;
         } else if arg == "--no-reduction" {
             cli.no_reduction = true;
+        } else if arg == "--metrics" {
+            cli.metrics = true;
+        } else if arg == "--progress" {
+            cli.progress = true;
+        } else if arg == "--trace" || arg.starts_with("--trace=") {
+            let value = match arg.strip_prefix("--trace=") {
+                Some(v) => v.to_string(),
+                None => rest
+                    .next()
+                    .ok_or_else(|| "--trace requires a file path".to_string())?
+                    .clone(),
+            };
+            if value.is_empty() {
+                return Err("--trace requires a non-empty file path".to_string());
+            }
+            cli.trace = Some(value);
         } else if arg == "--threads" || arg.starts_with("--threads=") {
             let value = match arg.strip_prefix("--threads=") {
                 Some(v) => v.to_string(),
@@ -329,7 +380,7 @@ fn verdict_name(v: Verdict) -> &'static str {
 }
 
 /// One JSON object (a single line) describing a checked formula.
-fn json_outcome(formula: &str, outcome: &CheckOutcome) -> String {
+fn json_outcome(formula: &str, outcome: &CheckOutcome, metrics: Option<&RunMetrics>) -> String {
     let set = |states: Vec<usize>| {
         states
             .iter()
@@ -343,6 +394,9 @@ fn json_outcome(formula: &str, outcome: &CheckOutcome) -> String {
         set(outcome.satisfying_states().collect()),
         set(outcome.unknown_states().collect()),
     );
+    if let Some(engine) = outcome.engine() {
+        out.push_str(&format!(",\"engine\":\"{engine}\""));
+    }
     if let Some(r) = outcome.reduction() {
         out.push_str(&format!(
             ",\"original_states\":{},\"reduced_states\":{}",
@@ -380,11 +434,18 @@ fn json_outcome(formula: &str, outcome: &CheckOutcome) -> String {
         }
         out.push(']');
     }
+    if let Some(m) = metrics {
+        out.push_str(",\"metrics\":");
+        out.push_str(&m.to_json());
+    }
     out.push('}');
     out
 }
 
 fn print_human(outcome: &CheckOutcome, print_probabilities: bool) {
+    if let Some(engine) = outcome.engine() {
+        println!("  engine: {engine}");
+    }
     if let Some(r) = outcome.reduction() {
         println!(
             "  checked on a verified quotient: {} -> {} states",
@@ -438,6 +499,106 @@ fn print_human(outcome: &CheckOutcome, print_probabilities: bool) {
     }
 }
 
+/// How the formula stream went, for exit-code selection.
+#[derive(Debug, Default)]
+struct RunTotals {
+    any_error: bool,
+    any_preflight: bool,
+    any_tolerance_miss: bool,
+}
+
+/// Read formulas from stdin and check each one, printing the outcomes.
+///
+/// Runs under whatever recorder the caller installed; per-formula metrics
+/// are scoped by draining `metrics` (when `--metrics` was given) after
+/// each check. Ends by emitting the `run_summary` event and flushing the
+/// sinks, so a `--trace` file always terminates with that line.
+fn check_formulas(
+    cli: &Cli,
+    checker: &ModelChecker,
+    metrics: Option<&MetricsRecorder>,
+) -> Result<RunTotals, String> {
+    let stdin = std::io::stdin();
+    let mut totals = RunTotals::default();
+    let mut formulas = 0u64;
+    let mut failures = 0u64;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let text = formula_text(&line);
+        if text.is_empty() {
+            continue;
+        }
+        formulas += 1;
+        if !cli.json {
+            println!("formula: {text}");
+        }
+        let result = match mrmc_csrl::parse(text) {
+            Ok(f) => {
+                if !cli.json {
+                    // Surface Warning/Note pre-flight findings on stderr;
+                    // Error-grade ones abort `check` below.
+                    for d in checker.preflight(&f).diagnostics() {
+                        if d.severity != Severity::Error {
+                            eprintln!("  {d}");
+                        }
+                    }
+                }
+                checker.check(&f)
+            }
+            Err(e) => Err(CheckError::Parse(e)),
+        };
+        // Drain the aggregator even on failure so the next formula's
+        // snapshot starts from zero.
+        let snapshot = metrics.map(MetricsRecorder::take);
+        match result {
+            Ok(outcome) => {
+                if cli.json {
+                    println!("{}", json_outcome(text, &outcome, snapshot.as_ref()));
+                } else {
+                    print_human(&outcome, cli.print_probabilities);
+                    if let Some(m) = &snapshot {
+                        println!("  metrics:");
+                        for (label, value) in m.table_rows() {
+                            println!("    {label}: {value}");
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                let tolerance_miss = matches!(e, CheckError::ToleranceNotMet { .. });
+                let preflight = matches!(e, CheckError::Preflight(_));
+                if cli.json {
+                    let kind = if tolerance_miss {
+                        "tolerance_not_met"
+                    } else if preflight {
+                        "preflight"
+                    } else {
+                        "check_failed"
+                    };
+                    println!(
+                        "{{\"formula\":\"{}\",\"error\":\"{}\",\"error_kind\":\"{kind}\"}}",
+                        json_escape(text),
+                        json_escape(&e.to_string())
+                    );
+                } else {
+                    println!("  error: {e}");
+                }
+                if tolerance_miss {
+                    totals.any_tolerance_miss = true;
+                } else if preflight {
+                    totals.any_preflight = true;
+                } else {
+                    totals.any_error = true;
+                }
+            }
+        }
+    }
+    mrmc_obs::record(|| Event::RunSummary { formulas, failures });
+    mrmc_obs::flush();
+    Ok(totals)
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -447,7 +608,13 @@ fn run() -> Result<ExitCode, String> {
     if args.first().map(String::as_str) == Some("lint") {
         return run_lint(&args[1..]);
     }
-    let cli = parse_args(&args)?;
+    // `check` is an optional explicit subcommand for the default mode.
+    let args = if args.first().map(String::as_str) == Some("check") {
+        &args[1..]
+    } else {
+        &args[..]
+    };
+    let cli = parse_args(args)?;
 
     let mrm = mrmc_mrm::io::load_model(&cli.tra, &cli.lab, &cli.rewr, &cli.rewi)
         .map_err(|e| e.to_string())?;
@@ -471,77 +638,36 @@ fn run() -> Result<ExitCode, String> {
     }
     let checker = ModelChecker::new(mrm, options);
 
-    let stdin = std::io::stdin();
-    let mut any_error = false;
-    let mut any_preflight = false;
-    let mut any_tolerance_miss = false;
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| e.to_string())?;
-        let text = formula_text(&line);
-        if text.is_empty() {
-            continue;
-        }
-        if !cli.json {
-            println!("formula: {text}");
-        }
-        let result = match mrmc_csrl::parse(text) {
-            Ok(f) => {
-                if !cli.json {
-                    // Surface Warning/Note pre-flight findings on stderr;
-                    // Error-grade ones abort `check` below.
-                    for d in checker.preflight(&f).diagnostics() {
-                        if d.severity != Severity::Error {
-                            eprintln!("  {d}");
-                        }
-                    }
-                }
-                checker.check(&f)
-            }
-            Err(e) => Err(CheckError::Parse(e)),
-        };
-        match result {
-            Ok(outcome) => {
-                if cli.json {
-                    println!("{}", json_outcome(text, &outcome));
-                } else {
-                    print_human(&outcome, cli.print_probabilities);
-                }
-            }
-            Err(e) => {
-                let tolerance_miss = matches!(e, CheckError::ToleranceNotMet { .. });
-                let preflight = matches!(e, CheckError::Preflight(_));
-                if cli.json {
-                    let kind = if tolerance_miss {
-                        "tolerance_not_met"
-                    } else if preflight {
-                        "preflight"
-                    } else {
-                        "check_failed"
-                    };
-                    println!(
-                        "{{\"formula\":\"{}\",\"error\":\"{}\",\"error_kind\":\"{kind}\"}}",
-                        json_escape(text),
-                        json_escape(&e.to_string())
-                    );
-                } else {
-                    println!("  error: {e}");
-                }
-                if tolerance_miss {
-                    any_tolerance_miss = true;
-                } else if preflight {
-                    any_preflight = true;
-                } else {
-                    any_error = true;
-                }
-            }
-        }
+    // Compose the requested telemetry sinks. With none requested, the
+    // checking loop runs with no recorder installed at all — the engines'
+    // emission sites stay on the free no-op path.
+    let metrics = cli.metrics.then(|| Arc::new(MetricsRecorder::new()));
+    let mut sinks: Vec<Arc<dyn Recorder>> = Vec::new();
+    if let Some(m) = &metrics {
+        sinks.push(m.clone());
     }
-    if any_error {
+    if let Some(path) = &cli.trace {
+        let trace = JsonlTraceRecorder::create(Path::new(path))
+            .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+        sinks.push(Arc::new(trace));
+    }
+    if cli.progress {
+        sinks.push(Arc::new(ProgressRecorder));
+    }
+    let totals = if sinks.is_empty() {
+        check_formulas(&cli, &checker, None)?
+    } else {
+        let recorder: Arc<dyn Recorder> = Arc::new(MultiRecorder::new(sinks));
+        mrmc_obs::with_recorder(recorder, || {
+            check_formulas(&cli, &checker, metrics.as_deref())
+        })?
+    };
+    if totals.any_error {
         Err("one or more formulas failed".to_string())
-    } else if any_preflight {
+    } else if totals.any_preflight {
         eprintln!("pre-flight lint rejected one or more formulas");
         Ok(ExitCode::from(2))
-    } else if any_tolerance_miss {
+    } else if totals.any_tolerance_miss {
         eprintln!("tolerance not met for one or more formulas");
         Ok(ExitCode::from(3))
     } else {
@@ -722,6 +848,51 @@ mod tests {
         assert!(cli.no_reduction);
         assert!(cli.json);
         assert!(!cli.print_probabilities);
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi"])).unwrap();
+        assert!(!cli.metrics);
+        assert!(!cli.progress);
+        assert_eq!(cli.trace, None);
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--metrics",
+            "--progress",
+            "--trace",
+            "run.jsonl",
+        ]))
+        .unwrap();
+        assert!(cli.metrics);
+        assert!(cli.progress);
+        assert_eq!(cli.trace.as_deref(), Some("run.jsonl"));
+        // The `=` spelling and composition with the other switches.
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "d=0.5",
+            "--trace=/tmp/t.jsonl",
+            "--json",
+            "NP",
+        ]))
+        .unwrap();
+        assert_eq!(cli.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(cli.json);
+    }
+
+    #[test]
+    fn bad_trace_values_are_rejected() {
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--trace"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--trace="])).is_err());
+        // Telemetry flags belong to check mode, not lint.
+        assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--metrics"])).is_err());
+        assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--progress"])).is_err());
     }
 
     #[test]

@@ -124,19 +124,26 @@ impl ModelChecker {
     /// no verified quotient exists, or numerical failures.
     pub fn check(&self, formula: &StateFormula) -> Result<CheckOutcome, CheckError> {
         if self.options.preflight {
+            let _span = mrmc_obs::span("preflight");
             let report = self.preflight(formula);
             if report.has_errors() {
                 return Err(CheckError::Preflight(report));
             }
         }
-        if let Some(cert) = self.reduction_certificate(formula)? {
+        let cert = {
+            let _span = mrmc_obs::span("reduction");
+            self.reduction_certificate(formula)?
+        };
+        if let Some(cert) = cert {
             let info = ReductionInfo {
                 original_states: self.mrm.num_states(),
                 reduced_states: cert.quotient.num_states(),
             };
+            let _span = mrmc_obs::span("engine");
             let outcome = sat::satisfy(&cert.quotient, &self.options, formula)?;
             return Ok(outcome.lift(&cert.partition, info));
         }
+        let _span = mrmc_obs::span("engine");
         sat::satisfy(&self.mrm, &self.options, formula)
     }
 

@@ -40,6 +40,7 @@ pub struct CheckOutcome {
     probabilities: Option<Vec<f64>>,
     error_bounds: Option<Vec<f64>>,
     budgets: Option<Vec<ErrorBudget>>,
+    engine: Option<&'static str>,
     reduction: Option<ReductionInfo>,
 }
 
@@ -50,6 +51,7 @@ impl CheckOutcome {
         probabilities: Vec<f64>,
         error_bounds: Option<Vec<f64>>,
         budgets: Option<Vec<ErrorBudget>>,
+        engine: &'static str,
     ) -> Self {
         CheckOutcome {
             sat,
@@ -57,6 +59,7 @@ impl CheckOutcome {
             probabilities: Some(probabilities),
             error_bounds,
             budgets,
+            engine: Some(engine),
             reduction: None,
         }
     }
@@ -68,6 +71,7 @@ impl CheckOutcome {
             probabilities: None,
             error_bounds: None,
             budgets: None,
+            engine: None,
             reduction: None,
         }
     }
@@ -82,6 +86,7 @@ impl CheckOutcome {
             probabilities: self.probabilities.map(|p| partition.lift(&p)),
             error_bounds: self.error_bounds.map(|e| partition.lift(&e)),
             budgets: self.budgets.map(|b| partition.lift(&b)),
+            engine: self.engine,
             reduction: Some(info),
         }
     }
@@ -170,6 +175,16 @@ impl CheckOutcome {
         self.budgets.as_deref()
     }
 
+    /// The engine that actually computed the outermost operator's
+    /// probabilities — which the bound shape may override away from the
+    /// configured [`UntilEngine`](crate::UntilEngine): `"reachability"`,
+    /// `"baseline"`, `"uniformization"`, `"discretization"`,
+    /// `"simulation"`, `"steady"`, or `"next"`. Absent for purely boolean
+    /// formulas.
+    pub fn engine(&self) -> Option<&'static str> {
+        self.engine
+    }
+
     /// The state-space reduction applied before checking, when the checker
     /// ran on a certified lumping quotient (see
     /// [`Reduction`](crate::Reduction)); `None` when the full model was
@@ -210,7 +225,9 @@ mod tests {
                 ErrorBudget::from_truncation(1e-9),
                 ErrorBudget::from_truncation(2e-9),
             ]),
+            "uniformization",
         );
+        assert_eq!(o.engine(), Some("uniformization"));
         assert_eq!(o.probabilities().unwrap()[1], 0.9);
         assert_eq!(o.error_bounds().unwrap()[0], 1e-9);
         assert_eq!(o.budgets().unwrap()[0].path_truncation, 1e-9);
@@ -226,6 +243,7 @@ mod tests {
             vec![0.9, 0.4],
             Some(vec![1e-9, 2e-9]),
             None,
+            "baseline",
         );
         assert_eq!(o.reduction(), None);
         let info = ReductionInfo {
@@ -233,6 +251,7 @@ mod tests {
             reduced_states: 2,
         };
         let lifted = o.lift(&p, info);
+        assert_eq!(lifted.engine(), Some("baseline"));
         assert_eq!(lifted.sat(), &[true, false, true, false]);
         assert_eq!(lifted.unknown(), &[false, true, false, true]);
         assert_eq!(lifted.probabilities().unwrap(), &[0.9, 0.4, 0.9, 0.4]);
@@ -248,6 +267,7 @@ mod tests {
             vec![0.5, 0.9, 0.1],
             None,
             None,
+            "steady",
         );
         assert_eq!(o.verdict(0), Verdict::Unknown);
         assert_eq!(o.verdict(1), Verdict::Holds);

@@ -31,6 +31,7 @@ struct Extras {
     probabilities: Vec<f64>,
     error_bounds: Option<Vec<f64>>,
     budgets: Option<Vec<ErrorBudget>>,
+    engine: &'static str,
 }
 
 /// Compute `Sat(Φ)` with a post-order traversal of the formula.
@@ -47,6 +48,7 @@ pub fn satisfy(
             e.probabilities,
             e.error_bounds,
             e.budgets,
+            e.engine,
         ),
         None => CheckOutcome::with_unknown(sat, unknown),
     })
@@ -207,6 +209,7 @@ fn sat_rec(
                     probabilities,
                     error_bounds: None,
                     budgets,
+                    engine: "steady",
                 }),
             ))
         }
@@ -233,6 +236,7 @@ fn sat_rec(
                         probabilities,
                         error_bounds: None,
                         budgets,
+                        engine: "next",
                     }),
                 ))
             }
@@ -244,7 +248,7 @@ fn sat_rec(
             } => {
                 let (phi, phi_u, _) = sat_rec(mrm, options, lhs)?;
                 let (psi, psi_u, _) = sat_rec(mrm, options, rhs)?;
-                let (probabilities, error_bounds, budgets) = if any(&phi_u) || any(&psi_u) {
+                let (probabilities, error_bounds, budgets, engine) = if any(&phi_u) || any(&psi_u) {
                     let lo = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
                     let hi = until_probabilities(
                         mrm,
@@ -254,6 +258,7 @@ fn sat_rec(
                         &union(&phi, &phi_u),
                         &union(&psi, &psi_u),
                     )?;
+                    let engine = lo.engine;
                     let error_bounds = match (lo.error_bounds, hi.error_bounds) {
                         (Some(l), Some(h)) => {
                             Some(l.iter().zip(&h).map(|(&a, &b)| a.max(b)).collect())
@@ -262,13 +267,14 @@ fn sat_rec(
                     };
                     let (probabilities, budgets) =
                         widen(lo.probabilities, hi.probabilities, lo.budgets, hi.budgets);
-                    (probabilities, error_bounds, budgets)
+                    (probabilities, error_bounds, budgets, engine)
                 } else {
                     let analysis = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
                     (
                         analysis.probabilities,
                         analysis.error_bounds,
                         analysis.budgets,
+                        analysis.engine,
                     )
                 };
                 let (sat, unknown) =
@@ -280,6 +286,7 @@ fn sat_rec(
                         probabilities,
                         error_bounds,
                         budgets,
+                        engine,
                     }),
                 ))
             }

@@ -40,6 +40,11 @@ pub struct UntilAnalysis {
     /// embedded DTMC. Statistical components hold at the simulation
     /// confidence level rather than with certainty.
     pub budgets: Option<Vec<ErrorBudget>>,
+    /// The engine that actually ran, which the bound shape can override
+    /// away from the configured [`UntilEngine`](crate::UntilEngine):
+    /// `"reachability"` (P0), `"baseline"` (P1 / trivial-reward windows),
+    /// `"uniformization"`, `"discretization"`, or `"simulation"` (P2).
+    pub engine: &'static str,
 }
 
 /// Compute `P^M(s, Φ U^I_J Ψ)` for every state.
@@ -85,6 +90,7 @@ pub fn until_probabilities(
                     probabilities,
                     error_bounds: None,
                     budgets: Some(vec![ErrorBudget::from_poisson_tail(2.0 * eps_used); n]),
+                    engine: "baseline",
                 });
             }
             // Φ U^{[t1,∞)} Ψ: unbounded reachability as phase 2, the
@@ -109,6 +115,7 @@ pub fn until_probabilities(
                 probabilities,
                 error_bounds: None,
                 budgets: None,
+                engine: "baseline",
             });
         }
         // Only the statistical engine evaluates general lower bounds.
@@ -137,6 +144,7 @@ pub fn until_probabilities(
                     probabilities,
                     error_bounds: Some(errors),
                     budgets: Some(budgets),
+                    engine: "simulation",
                 });
             }
         }
@@ -160,6 +168,7 @@ pub fn until_probabilities(
                 probabilities,
                 error_bounds: None,
                 budgets: None,
+                engine: "reachability",
             })
         }
         // Bounded reward with unbounded time has no engine (Chapter 6).
@@ -181,6 +190,7 @@ pub fn until_probabilities(
                 probabilities,
                 error_bounds: None,
                 budgets: Some(vec![ErrorBudget::from_poisson_tail(eps_used); n]),
+                engine: "baseline",
             })
         }
         // P2: time and reward bounds — run the configured engine per state,
@@ -209,6 +219,7 @@ pub fn until_probabilities(
                         probabilities: results.iter().map(|r| r.probability).collect(),
                         error_bounds: Some(results.iter().map(|r| r.error_bound).collect()),
                         budgets: Some(results.iter().map(|r| r.budget).collect()),
+                        engine: "uniformization",
                     })
                 }
                 UntilEngine::Discretization(dopts) => {
@@ -240,6 +251,7 @@ pub fn until_probabilities(
                         probabilities,
                         error_bounds: None,
                         budgets: Some(budgets),
+                        engine: "discretization",
                     })
                 }
                 UntilEngine::Simulation(sopts) => {
@@ -268,6 +280,7 @@ pub fn until_probabilities(
                         // carries the distribution-free Hoeffding radius.
                         error_bounds: Some(errors),
                         budgets: Some(budgets),
+                        engine: "simulation",
                     })
                 }
             }

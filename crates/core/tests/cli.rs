@@ -391,6 +391,302 @@ fn no_reduction_flag_disables_the_lumping_quotient() {
 }
 
 #[test]
+fn engine_field_reports_the_engine_actually_run() {
+    // `--json` must name the engine that *actually* computed the outermost
+    // operator — which the bound shape can override away from the
+    // configured one. In particular, a time-only bound always runs the
+    // exact baseline method, even when `d=`/`u=` selected an engine.
+    let dir = temp_dir("engine-field");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let p = [
+        tra.to_str().unwrap(),
+        lab.to_str().unwrap(),
+        rewr.to_str().unwrap(),
+        rewi.to_str().unwrap(),
+    ];
+
+    let engine_of = |extra: &[&str], formula: &str| -> String {
+        let mut args = p.to_vec();
+        args.extend_from_slice(extra);
+        args.push("--json");
+        let (stdout, stderr, ok) = run_mrmc(&args, &format!("{formula}\n"));
+        assert!(ok, "stderr: {stderr}\nstdout: {stdout}");
+        let line = stdout.lines().next().expect("one JSON line").to_string();
+        line.split("\"engine\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap_or_else(|| panic!("no engine field in {line}"))
+            .to_string()
+    };
+
+    // The regression this pins: a time-only bound under a configured
+    // discretization (or uniformization) engine falls back to the exact
+    // baseline, and the JSON must say so.
+    let time_only = "P(> 0.001) [up U[0,10] degraded]";
+    assert_eq!(engine_of(&["d=0.01"], time_only), "baseline");
+    assert_eq!(engine_of(&["u=1e-10"], time_only), "baseline");
+
+    // Doubly-bounded untils run the configured engine.
+    let bounded = "P(> 0.001) [up U[0,10][0,50] degraded]";
+    assert_eq!(engine_of(&["u=1e-10"], bounded), "uniformization");
+    assert_eq!(engine_of(&["d=0.01"], bounded), "discretization");
+
+    // Unbounded until is plain reachability; steady-state is its own
+    // engine.
+    assert_eq!(engine_of(&[], "P(> 0.99) [TT U failed]"), "reachability");
+    assert_eq!(engine_of(&[], "S(> 0.5) (up)"), "steady");
+
+    // Human mode prints the same thing as a labeled line.
+    let (stdout, _, ok) = run_mrmc(
+        &[p[0], p[1], p[2], p[3], "d=0.01"],
+        &format!("{time_only}\n"),
+    );
+    assert!(ok);
+    assert!(stdout.contains("engine: baseline"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_flag_reports_run_metrics() {
+    let dir = temp_dir("metrics");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let p = [
+        tra.to_str().unwrap(),
+        lab.to_str().unwrap(),
+        rewr.to_str().unwrap(),
+        rewi.to_str().unwrap(),
+    ];
+    let formula = "P(> 0.001) [up U[0,10][0,50] degraded]\n";
+    // Three formulas exercising three engines: uniformization (paths),
+    // the Fox–Glynn baseline (poisson window), and steady-state (solver).
+    let formulas = "P(> 0.001) [up U[0,10][0,50] degraded]\n\
+                    P(> 0.001) [up U[0,10] degraded]\n\
+                    S(> 0.5) (up)\n";
+
+    // JSON mode: a `metrics` object with the full fixed key set, in its
+    // documented order (the golden-shape contract).
+    let (stdout, stderr, ok) = run_mrmc(&[p[0], p[1], p[2], p[3], "--metrics", "--json"], formulas);
+    assert!(ok, "stderr: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "{stdout}");
+    let line = lines[0];
+    let metrics = line
+        .split("\"metrics\":")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no metrics object in {line}"));
+    let keys = [
+        "\"solver_solves\":",
+        "\"solver_iterations\":",
+        "\"poisson_windows\":",
+        "\"poisson_left\":",
+        "\"poisson_right\":",
+        "\"nodes_explored\":",
+        "\"paths_generated\":",
+        "\"paths_pruned\":",
+        "\"path_max_depth\":",
+        "\"path_classes\":",
+        "\"parallel_tasks\":",
+        "\"omega_requests\":",
+        "\"omega_cache_entries\":",
+        "\"omega_max_depth\":",
+        "\"grid_runs\":",
+        "\"grid_time_steps\":",
+        "\"grid_reward_cells\":",
+        "\"adaptive_attempts\":",
+        "\"solver_last_residual\":",
+        "\"poisson_tail_bound\":",
+        "\"truncated_mass\":",
+        "\"lumping_rounds\":",
+        "\"progress_events\":",
+        "\"phases\":{",
+        "\"counters\":{",
+    ];
+    let mut at = 0;
+    for key in keys {
+        let found = metrics[at..]
+            .find(key)
+            .unwrap_or_else(|| panic!("missing or out-of-order {key} in {metrics}"));
+        at += found;
+    }
+    // The uniformization run did real work, and the phase timers ran.
+    let grab_count = |metrics: &str, name: &str| -> u64 {
+        metrics
+            .split(&format!("\"{name}\":"))
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no {name} count in {metrics}"))
+    };
+    assert!(grab_count(metrics, "paths_generated") > 0, "{metrics}");
+    assert!(metrics.contains("\"phases\":{\"engine\":"), "{metrics}");
+
+    // Metrics are scoped per formula: the baseline formula's object has
+    // the Poisson window, the steady-state one the solver counters.
+    let baseline_metrics = lines[1].split("\"metrics\":").nth(1).unwrap();
+    assert!(
+        grab_count(baseline_metrics, "poisson_windows") > 0,
+        "{baseline_metrics}"
+    );
+    assert!(
+        grab_count(baseline_metrics, "poisson_right") > 0,
+        "{baseline_metrics}"
+    );
+    let steady_metrics = lines[2].split("\"metrics\":").nth(1).unwrap();
+    assert!(
+        grab_count(steady_metrics, "solver_solves") > 0,
+        "{steady_metrics}"
+    );
+    assert!(
+        grab_count(steady_metrics, "solver_iterations") > 0,
+        "{steady_metrics}"
+    );
+
+    // The discretization engine reports its grid work through the same
+    // object.
+    let (stdout, _, ok) = run_mrmc(
+        &[p[0], p[1], p[2], p[3], "d=0.01", "--metrics", "--json"],
+        formula,
+    );
+    assert!(ok);
+    let line = stdout.lines().next().unwrap();
+    let metrics = line.split("\"metrics\":").nth(1).unwrap();
+    assert!(grab_count(metrics, "grid_runs") > 0, "{metrics}");
+    assert!(grab_count(metrics, "grid_time_steps") > 0, "{metrics}");
+
+    // Under --tolerance the adaptive driver's attempts are counted.
+    let (stdout, _, ok) = run_mrmc(
+        &[
+            p[0],
+            p[1],
+            p[2],
+            p[3],
+            "--tolerance",
+            "1e-6",
+            "--metrics",
+            "--json",
+        ],
+        formula,
+    );
+    assert!(ok);
+    let metrics = stdout
+        .lines()
+        .next()
+        .unwrap()
+        .split("\"metrics\":")
+        .nth(1)
+        .unwrap();
+    assert!(grab_count(metrics, "adaptive_attempts") > 0, "{metrics}");
+
+    // Human mode: an indented metrics table with the headline counters
+    // (per formula, so each engine's rows appear under its own formula).
+    let (stdout, _, ok) = run_mrmc(&[p[0], p[1], p[2], p[3], "--metrics"], formulas);
+    assert!(ok);
+    assert!(stdout.contains("  metrics:"), "{stdout}");
+    assert!(stdout.contains("    paths generated: "), "{stdout}");
+    assert!(stdout.contains("    poisson window: ["), "{stdout}");
+    assert!(stdout.contains("    solver iterations: "), "{stdout}");
+    assert!(stdout.contains("    phase engine: "), "{stdout}");
+
+    // Telemetry is observation-only: the probability lines are identical
+    // with and without --metrics.
+    let (plain, _, ok) = run_mrmc(&[p[0], p[1], p[2], p[3]], formulas);
+    assert!(ok);
+    let prob_lines = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.trim_start().starts_with("state "))
+            .map(ToString::to_string)
+            .collect()
+    };
+    assert_eq!(prob_lines(&plain), prob_lines(&stdout));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_flag_streams_wellformed_jsonl() {
+    let dir = temp_dir("trace");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let trace = dir.join("run.jsonl");
+    let (_, stderr, ok) = run_mrmc(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "--json",
+            &format!("--trace={}", trace.display()),
+        ],
+        "P(> 0.001) [up U[0,10][0,50] degraded]\nP(> 0.001) [up U[0,10] degraded]\nS(> 0.5) (up)\n",
+    );
+    assert!(ok, "stderr: {stderr}");
+    let text = std::fs::read_to_string(&trace).expect("trace file written");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3, "suspiciously short trace:\n{text}");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "line {i} is not a JSON object: {line}"
+        );
+        assert!(
+            line.starts_with(&format!("{{\"seq\":{i},\"kind\":\"")),
+            "line {i} has wrong seq: {line}"
+        );
+    }
+    // The engines' signature events made it to the file, and the stream
+    // terminates with the run summary.
+    assert!(text.contains("\"kind\":\"path_exploration\""), "{text}");
+    assert!(text.contains("\"kind\":\"poisson_window\""), "{text}");
+    assert!(text.contains("\"kind\":\"solver_sweep\""), "{text}");
+    assert!(text.contains("\"kind\":\"span\""), "{text}");
+    let last = lines.last().unwrap();
+    assert!(
+        last.contains("\"kind\":\"run_summary\"") && last.contains("\"formulas\":3"),
+        "{last}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn progress_flag_prints_throttled_lines_to_stderr() {
+    let dir = temp_dir("progress");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let p = [
+        tra.to_str().unwrap(),
+        lab.to_str().unwrap(),
+        rewr.to_str().unwrap(),
+        rewi.to_str().unwrap(),
+    ];
+    // The discretization grid emits throttled `grid` progress events.
+    let formula = "P(> 0.001) [up U[0,10][0,50] degraded]\n";
+    let (_, stderr, ok) = run_mrmc(&[p[0], p[1], p[2], p[3], "d=0.01", "--progress"], formula);
+    assert!(ok);
+    assert!(stderr.contains("mrmc: progress: grid "), "{stderr}");
+    // Off by default.
+    let (_, stderr, ok) = run_mrmc(&[p[0], p[1], p[2], p[3], "d=0.01"], formula);
+    assert!(ok);
+    assert!(!stderr.contains("mrmc: progress:"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_subcommand_is_an_alias_for_the_default_mode() {
+    let dir = temp_dir("check-alias");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let p = [
+        tra.to_str().unwrap(),
+        lab.to_str().unwrap(),
+        rewr.to_str().unwrap(),
+        rewi.to_str().unwrap(),
+    ];
+    let formulas = "S(> 0.5) (up)\n";
+    let (plain, _, ok) = run_mrmc(&[p[0], p[1], p[2], p[3]], formulas);
+    assert!(ok);
+    let (aliased, stderr, ok) = run_mrmc(&["check", p[0], p[1], p[2], p[3]], formulas);
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(plain, aliased);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn point_intervals_yield_exact_budgets() {
     // `U[0,0][0,0]` degenerates to the ψ-indicator: probability 1 on
     // ψ-states, 0 elsewhere, with an identically-zero (exact) budget, so

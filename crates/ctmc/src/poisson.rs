@@ -263,10 +263,17 @@ impl FoxGlynn {
             acc += weights[hi - 1];
             hi -= 1;
         }
-        FoxGlynn {
+        let fg = FoxGlynn {
             left: left + lo as u64,
             weights: weights[lo..hi].to_vec(),
-        }
+        };
+        mrmc_obs::record(|| mrmc_obs::Event::PoissonWindow {
+            lambda_t,
+            left: fg.left(),
+            right: fg.right(),
+            tail_bound: epsilon,
+        });
+        fg
     }
 
     /// First index of the window.

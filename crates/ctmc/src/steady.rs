@@ -47,7 +47,7 @@ pub fn steady_state_strongly_connected(
 
     if !degenerate {
         let mut pi = vec![1.0 / n as f64; n];
-        for _ in 0..options.max_iterations {
+        for sweep in 0..options.max_iterations {
             let mut delta = 0.0_f64;
             for i in 0..n {
                 let mut acc = 0.0;
@@ -60,6 +60,10 @@ pub fn steady_state_strongly_connected(
                 delta = delta.max((next - pi[i]).abs());
                 pi[i] = next;
             }
+            mrmc_obs::record(|| mrmc_obs::Event::SolverSweep {
+                iteration: sweep as u64 + 1,
+                residual: delta,
+            });
             if !vector::normalize_l1(&mut pi) {
                 break;
             }
@@ -67,6 +71,11 @@ pub fn steady_state_strongly_connected(
                 vector::clamp_unit(&mut pi);
                 let s = vector::sum(&pi);
                 vector::scale(&mut pi, 1.0 / s);
+                mrmc_obs::record(|| mrmc_obs::Event::SolverDone {
+                    iterations: sweep as u64 + 1,
+                    residual: delta,
+                    converged: true,
+                });
                 return Ok(pi);
             }
         }

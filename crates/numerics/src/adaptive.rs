@@ -113,10 +113,17 @@ pub fn uniformization_until(
     adaptive.validate()?;
     let mut w = adaptive.initial_truncation(base.truncation);
     let mut best: Option<UntilResult> = None;
-    for _ in 0..adaptive.max_rounds {
+    for round in 0..adaptive.max_rounds {
         let opts = base.with_truncation(w).with_improved_pruning();
         let res = uniformization::until_probability(mrm, phi, psi, t, r, start, opts)?;
         let achieved = res.budget.total();
+        mrmc_obs::record(|| mrmc_obs::Event::AdaptiveAttempt {
+            round: u64::from(round) + 1,
+            knob: "truncation",
+            value: w,
+            achieved: Some(achieved),
+            components: res.budget.components().to_vec(),
+        });
         if achieved <= adaptive.tolerance {
             return Ok(res);
         }
@@ -157,10 +164,17 @@ pub fn uniformization_until_all(
     let worst = |v: &[UntilResult]| v.iter().map(|r| r.budget.total()).fold(0.0f64, f64::max);
     let mut w = adaptive.initial_truncation(base.truncation);
     let mut best: Option<Vec<UntilResult>> = None;
-    for _ in 0..adaptive.max_rounds {
+    for round in 0..adaptive.max_rounds {
         let opts = base.with_truncation(w).with_improved_pruning();
         let res = uniformization::until_probabilities_all(mrm, phi, psi, t, r, opts)?;
         let achieved = worst(&res);
+        mrmc_obs::record(|| mrmc_obs::Event::AdaptiveAttempt {
+            round: u64::from(round) + 1,
+            knob: "truncation",
+            value: w,
+            achieved: Some(achieved),
+            components: Vec::new(),
+        });
         if achieved <= adaptive.tolerance {
             return Ok(res);
         }
@@ -213,7 +227,7 @@ pub fn discretization_until(
     }
     d = d.min(t);
     let mut best: Option<DiscretizationResult> = None;
-    for _ in 0..adaptive.max_rounds {
+    for round in 0..adaptive.max_rounds {
         let mut opts = base;
         opts.step = d;
         let res = match discretization::until_probability(mrm, phi, psi, t, r, start, opts) {
@@ -232,6 +246,13 @@ pub fn discretization_until(
             Err(e) => return Err(e),
         };
         let achieved = res.budget.total();
+        mrmc_obs::record(|| mrmc_obs::Event::AdaptiveAttempt {
+            round: u64::from(round) + 1,
+            knob: "step",
+            value: d,
+            achieved: Some(achieved),
+            components: res.budget.components().to_vec(),
+        });
         if achieved <= adaptive.tolerance {
             return Ok(res);
         }
@@ -281,6 +302,13 @@ pub fn simulation_until(
     };
     let mut opts = base;
     opts.samples = samples;
+    mrmc_obs::record(|| mrmc_obs::Event::AdaptiveAttempt {
+        round: 1,
+        knob: "samples",
+        value: samples as f64,
+        achieved: None,
+        components: Vec::new(),
+    });
     monte_carlo::estimate_until(mrm, phi, psi, t, r, start, opts)
 }
 

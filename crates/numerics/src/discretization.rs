@@ -183,6 +183,12 @@ pub fn until_probability(
         max_cells: options.max_cells,
     };
     let (probability, time_steps, reward_cells) = evolve_grid(&grid, d)?;
+    mrmc_obs::record(|| mrmc_obs::Event::DiscretizationGrid {
+        time_steps: time_steps as u64,
+        reward_cells: reward_cells as u64,
+        reward_scale: scale,
+        step: d,
+    });
 
     // A-posteriori step error: Richardson companion at 2d where the
     // doubled step is still stable and fits the horizon; otherwise a
@@ -269,7 +275,17 @@ fn evolve_grid(g: &GridProblem<'_>, d: f64) -> Result<(f64, usize, usize), Numer
         current[g.start][rho[g.start]] = 1.0 / d;
     }
 
-    for _ in 1..time_steps {
+    // Progress is throttled by step count (at most ~100 events per run) so
+    // the emitted sequence is reproducible run-to-run.
+    let progress_step = (time_steps as u64).div_ceil(100).max(1);
+    for step_index in 1..time_steps {
+        if (step_index as u64).is_multiple_of(progress_step) {
+            mrmc_obs::record(|| mrmc_obs::Event::Progress {
+                phase: "grid",
+                done: step_index as u64,
+                total: time_steps as u64,
+            });
+        }
         for row in &mut next {
             for v in row.iter_mut() {
                 *v = 0.0;

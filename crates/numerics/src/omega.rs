@@ -27,6 +27,8 @@ use crate::error::NumericsError;
 pub struct OmegaEvaluator {
     coeffs: Vec<f64>,
     memo: HashMap<(u64, Box<[u32]>), f64>,
+    depth: u64,
+    max_depth: u64,
 }
 
 impl OmegaEvaluator {
@@ -64,6 +66,8 @@ impl OmegaEvaluator {
         Ok(OmegaEvaluator {
             coeffs,
             memo: HashMap::new(),
+            depth: 0,
+            max_depth: 0,
         })
     }
 
@@ -75,6 +79,12 @@ impl OmegaEvaluator {
     /// Number of memoized entries (exposed for the ablation benchmarks).
     pub fn cache_len(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Deepest `Ω` recursion reached across all evaluations so far
+    /// (exposed for telemetry; purely observational).
+    pub fn max_recursion_depth(&self) -> u64 {
+        self.max_depth
     }
 
     /// Evaluate `Ω(r, counts)`.
@@ -113,6 +123,14 @@ impl OmegaEvaluator {
     }
 
     fn eval_rec(&mut self, r: f64, counts: &[u32]) -> f64 {
+        self.depth += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+        let v = self.eval_body(r, counts);
+        self.depth -= 1;
+        v
+    }
+
+    fn eval_body(&mut self, r: f64, counts: &[u32]) -> f64 {
         // Base cases: one side empty.
         let mut greater_total = 0u64;
         let mut leq_total = 0u64;

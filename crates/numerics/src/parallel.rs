@@ -374,12 +374,19 @@ pub(crate) fn explore(
     // Phase 2: workers drain the task queue.
     let results = run_workers(&ctx, &frontier.tasks, threads);
 
-    // Phase 3: ordered replay — the exact serial event sequence.
+    // Phase 3: ordered replay — the exact serial event sequence. Per-task
+    // telemetry is emitted here, by the coordinator, so the trace order is
+    // deterministic even though the subtrees ran on arbitrary workers.
     for item in frontier.master {
         match item {
             MasterItem::Event(ev) => apply(&mut out, &ev),
             MasterItem::Task(i) => {
                 let w = &results[i];
+                mrmc_obs::record(|| mrmc_obs::Event::ParallelTask {
+                    task: i as u64,
+                    nodes: w.nodes,
+                    deepest: w.deepest,
+                });
                 out.add_node_stats(w.nodes, w.deepest);
                 for ev in &w.events {
                     apply(&mut out, ev);
@@ -467,18 +474,29 @@ pub(crate) fn omega_terms(
 ) -> Result<Vec<f64>, NumericsError> {
     if threads <= 1 || requests.len() < 2 * threads {
         let mut omega = OmegaEvaluator::new(coefficients)?;
-        return Ok(requests
+        let terms: Vec<f64> = requests
             .iter()
             .map(|rq| rq.weight * omega.evaluate(rq.r_prime, rq.k))
-            .collect());
+            .collect();
+        mrmc_obs::record(|| mrmc_obs::Event::OmegaTable {
+            coefficients: omega.coefficients().len() as u64,
+            requests: requests.len() as u64,
+            cache_entries: omega.cache_len() as u64,
+            max_recursion_depth: omega.max_recursion_depth(),
+        });
+        return Ok(terms);
     }
 
     // Validate the coefficient list once up front so workers cannot fail.
     OmegaEvaluator::new(coefficients.clone())?;
     let per = requests.len().div_ceil(threads);
     let mut terms = vec![0.0; requests.len()];
+    // Cache statistics merge commutatively (sum / max), so aggregating them
+    // in channel-arrival order stays deterministic.
+    let mut cache_entries = 0u64;
+    let mut max_recursion_depth = 0u64;
     thread::scope(|scope| {
-        let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Vec<f64>, u64, u64)>();
         for chunk_start in (0..requests.len()).step_by(per) {
             let tx = tx.clone();
             let coeffs = coefficients.clone();
@@ -489,13 +507,26 @@ pub(crate) fn omega_terms(
                     .iter()
                     .map(|rq| rq.weight * omega.evaluate(rq.r_prime, rq.k))
                     .collect();
-                let _ = tx.send((chunk_start, out));
+                let _ = tx.send((
+                    chunk_start,
+                    out,
+                    omega.cache_len() as u64,
+                    omega.max_recursion_depth(),
+                ));
             });
         }
         drop(tx);
-        for (start, chunk_terms) in rx {
+        for (start, chunk_terms, cache, depth) in rx {
             terms[start..start + chunk_terms.len()].copy_from_slice(&chunk_terms);
+            cache_entries += cache;
+            max_recursion_depth = max_recursion_depth.max(depth);
         }
+    });
+    mrmc_obs::record(|| mrmc_obs::Event::OmegaTable {
+        coefficients: coefficients.len() as u64,
+        requests: requests.len() as u64,
+        cache_entries,
+        max_recursion_depth,
     });
     Ok(terms)
 }

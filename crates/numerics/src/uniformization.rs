@@ -281,6 +281,7 @@ pub fn until_probability(
         uni.lambda() * t,
         &options,
     );
+    record_exploration(start, &classes);
     evaluate_classes(
         &classes,
         &classes_def,
@@ -289,6 +290,20 @@ pub fn until_probability(
         r,
         options.parallel.effective_threads(),
     )
+}
+
+/// Emit the path-exploration telemetry for one start state (no-op without
+/// an installed recorder).
+fn record_exploration(start: usize, classes: &PathClasses) {
+    mrmc_obs::record(|| mrmc_obs::Event::PathExploration {
+        start_state: start as u64,
+        explored_nodes: classes.explored_nodes(),
+        stored_paths: classes.stored_paths(),
+        truncated_paths: classes.truncated_paths(),
+        max_depth: classes.max_depth(),
+        num_classes: classes.num_classes() as u64,
+        truncated_mass: classes.error_bound(),
+    });
 }
 
 /// Evaluate `P^M(s, Φ U^{[0,t]}_{[0,r]} Ψ)` for **every** state, sharing
@@ -324,20 +339,32 @@ pub fn until_probabilities_all(
     let lambda_t = uni.lambda() * t;
 
     let mut out = Vec::with_capacity(n);
+    // Progress is throttled by state count, not wall clock, so the event
+    // sequence is reproducible: at most ~100 progress lines per sweep.
+    let progress_step = (n as u64).div_ceil(100).max(1);
     for s in 0..n {
         if !phi[s] && !psi[s] {
             out.push(zero(false));
-            continue;
+        } else {
+            let classes =
+                generate_path_classes(&uni, &classes_def, phi, psi, s, lambda_t, &options);
+            record_exploration(s, &classes);
+            out.push(evaluate_classes(
+                &classes,
+                &classes_def,
+                lambda_t,
+                t,
+                r,
+                options.parallel.effective_threads(),
+            )?);
         }
-        let classes = generate_path_classes(&uni, &classes_def, phi, psi, s, lambda_t, &options);
-        out.push(evaluate_classes(
-            &classes,
-            &classes_def,
-            lambda_t,
-            t,
-            r,
-            options.parallel.effective_threads(),
-        )?);
+        if (s as u64 + 1).is_multiple_of(progress_step) || s + 1 == n {
+            mrmc_obs::record(|| mrmc_obs::Event::Progress {
+                phase: "states",
+                done: s as u64 + 1,
+                total: n as u64,
+            });
+        }
     }
     Ok(out)
 }
@@ -371,6 +398,7 @@ pub fn performability(
         uni.lambda() * t,
         &options,
     );
+    record_exploration(start, &classes);
     evaluate_classes(
         &classes,
         &classes_def,

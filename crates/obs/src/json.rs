@@ -1,0 +1,62 @@
+//! Minimal JSON emission helpers, shared by the trace sink and
+//! [`RunMetrics::to_json`](crate::RunMetrics::to_json).
+//!
+//! This crate sits at the bottom of the workspace and must stay
+//! dependency-free, so serialization is hand-rolled: numbers use the `{:e}`
+//! scientific form (round-trip exact for `f64`), non-finite values become
+//! `null`, and strings are escaped per RFC 8259.
+
+use std::fmt::Write;
+
+/// Append `v` as a JSON number (`null` when non-finite).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        write!(out, "{v:e}").unwrap();
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append `s` as a JSON string literal.
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_and_nonfinite() {
+        let mut s = String::new();
+        push_f64(&mut s, 0.5);
+        assert_eq!(s, "5e-1");
+        s.clear();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        s.clear();
+        push_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn strings_escape_specials() {
+        let mut s = String::new();
+        push_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,271 @@
+//! Hermetic telemetry substrate for the `mrmc` workspace.
+//!
+//! Every numerical layer of the checker — the sparse solvers, the Poisson
+//! windows, the uniformization path exploration, the Omega recursion, the
+//! discretization grid, the adaptive driver, the lumping refinement —
+//! emits typed [`Event`]s through a thread-local, dynamically scoped
+//! [`Recorder`]. Three sinks are provided:
+//!
+//! * [`NullRecorder`] — the no-op (equivalently: install nothing at all);
+//! * [`MetricsRecorder`] — aggregates the stream into a [`RunMetrics`]
+//!   snapshot (the CLI's `--metrics` table / JSON object);
+//! * [`JsonlTraceRecorder`] — streams every event as one JSON line to a
+//!   file (the CLI's `--trace <file>`).
+//!
+//! # The determinism contract
+//!
+//! Instrumentation is **observation-only**: emitting events never reorders
+//! a floating-point operation, takes a different branch, or perturbs a
+//! seed, so verdicts, probabilities, and error budgets are bit-for-bit
+//! identical whether recording is on or off, at every thread count.
+//! Concretely:
+//!
+//! * emission sites only *read* values the engines computed anyway;
+//! * parallel workers never emit from their own threads — per-subtree
+//!   counters are reported by the coordinator during the deterministic
+//!   ordered replay, so even the trace's event order is reproducible;
+//! * wall-clock data appears only in [`Event::Span`] payloads (and the
+//!   `phases` map of [`RunMetrics`]) — never in anything a verdict
+//!   depends on.
+//!
+//! # The disabled hot path
+//!
+//! [`record`] takes a *closure*: when no recorder is installed the call is
+//! one thread-local `Cell` read and the event is never even constructed,
+//! so instrumenting a hot loop costs nothing in the default configuration.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mrmc_obs::{record, with_recorder, Event, MetricsRecorder};
+//!
+//! let metrics = Arc::new(MetricsRecorder::new());
+//! with_recorder(metrics.clone(), || {
+//!     record(|| Event::Counter { name: "widgets", value: 3 });
+//! });
+//! assert_eq!(metrics.snapshot().counters["widgets"], 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod metrics;
+mod sinks;
+
+pub use event::{Event, EVENT_KINDS};
+pub use metrics::{MetricsRecorder, RunMetrics};
+pub use sinks::{JsonlTraceRecorder, MultiRecorder, NullRecorder, ProgressRecorder};
+
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A telemetry sink: receives every [`Event`] emitted while it is
+/// installed (see [`with_recorder`]).
+///
+/// Implementations must be cheap and must never panic on any event — a
+/// sink failure must not break a checking run.
+pub trait Recorder: Send + Sync {
+    /// Consume one event.
+    fn record(&self, event: &Event);
+
+    /// Push any buffered output (trace files) to its destination.
+    fn flush(&self) {}
+
+    /// `false` for sinks that ignore everything ([`NullRecorder`]):
+    /// installing such a sink keeps the fast no-op path.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+thread_local! {
+    static RECORDER: RefCell<Option<Arc<dyn Recorder>>> = const { RefCell::new(None) };
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install `recorder` as this thread's sink for the duration of `f`.
+///
+/// Scoping is dynamic and re-entrant: nested calls shadow the outer
+/// recorder and restore it on exit (also on unwind). The recorder is
+/// thread-local on purpose — engine worker threads spawned *inside* the
+/// scope see no recorder and stay on the free no-op path, which is what
+/// the determinism contract requires (only coordinators emit).
+pub fn with_recorder<T>(recorder: Arc<dyn Recorder>, f: impl FnOnce() -> T) -> T {
+    struct Restore {
+        previous: Option<Arc<dyn Recorder>>,
+        was_enabled: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            RECORDER.with(|r| *r.borrow_mut() = self.previous.take());
+            ENABLED.with(|e| e.set(self.was_enabled));
+        }
+    }
+    let enabled = recorder.is_enabled();
+    let restore = Restore {
+        previous: RECORDER.with(|r| r.borrow_mut().replace(recorder)),
+        was_enabled: ENABLED.with(Cell::get),
+    };
+    ENABLED.with(|e| e.set(enabled));
+    let out = f();
+    drop(restore);
+    out
+}
+
+/// `true` when a (non-null) recorder is installed on this thread.
+///
+/// Emission sites can use this to skip *computing* expensive event inputs,
+/// not just constructing the event.
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Emit one event to the installed recorder, if any.
+///
+/// The closure runs only when recording is enabled, so building the event
+/// (allocation included) is free on the disabled path.
+pub fn record(make: impl FnOnce() -> Event) {
+    if !enabled() {
+        return;
+    }
+    let event = make();
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow().as_ref() {
+            rec.record(&event);
+        }
+    });
+}
+
+/// Ask the installed recorder to flush buffered output.
+pub fn flush() {
+    if !enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow().as_ref() {
+            rec.flush();
+        }
+    });
+}
+
+/// A phase timer: records an [`Event::Span`] with the elapsed wall-clock
+/// seconds when dropped. Inert (no clock read at all) when recording is
+/// disabled at construction time.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let seconds = start.elapsed().as_secs_f64();
+            record(|| Event::Span {
+                name: self.name,
+                seconds,
+            });
+        }
+    }
+}
+
+/// Start timing a named phase; the span reports itself when dropped.
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_path_never_builds_events() {
+        let mut built = false;
+        record(|| {
+            built = true;
+            Event::RunSummary {
+                formulas: 0,
+                failures: 0,
+            }
+        });
+        assert!(!built, "event closure ran without a recorder");
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn scoped_install_and_restore() {
+        let outer = Arc::new(MetricsRecorder::new());
+        let inner = Arc::new(MetricsRecorder::new());
+        with_recorder(outer.clone(), || {
+            assert!(enabled());
+            record(|| Event::Counter {
+                name: "outer",
+                value: 1,
+            });
+            with_recorder(inner.clone(), || {
+                record(|| Event::Counter {
+                    name: "inner",
+                    value: 1,
+                });
+            });
+            record(|| Event::Counter {
+                name: "outer",
+                value: 2,
+            });
+        });
+        assert!(!enabled(), "recorder leaked past its scope");
+        assert_eq!(outer.snapshot().counters["outer"], 2);
+        assert!(!outer.snapshot().counters.contains_key("inner"));
+        assert_eq!(inner.snapshot().counters["inner"], 1);
+    }
+
+    #[test]
+    fn null_recorder_keeps_the_fast_path() {
+        with_recorder(Arc::new(NullRecorder), || {
+            assert!(!enabled(), "null sink must not enable recording");
+            let mut built = false;
+            record(|| {
+                built = true;
+                Event::RunSummary {
+                    formulas: 0,
+                    failures: 0,
+                }
+            });
+            assert!(!built);
+        });
+    }
+
+    #[test]
+    fn spans_report_on_drop() {
+        let metrics = Arc::new(MetricsRecorder::new());
+        with_recorder(metrics.clone(), || {
+            let _s = span("phase_a");
+        });
+        let snap = metrics.snapshot();
+        let (count, secs) = snap.phases["phase_a"];
+        assert_eq!(count, 1);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn worker_threads_do_not_inherit_the_recorder() {
+        let metrics = Arc::new(MetricsRecorder::new());
+        with_recorder(metrics.clone(), || {
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    assert!(!enabled(), "recorder crossed a thread boundary");
+                    record(|| Event::Counter {
+                        name: "worker",
+                        value: 1,
+                    });
+                });
+            });
+        });
+        assert!(metrics.snapshot().counters.is_empty());
+    }
+}

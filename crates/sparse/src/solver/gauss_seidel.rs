@@ -86,16 +86,35 @@ pub fn gauss_seidel(
             residual = residual.max((next - x[r]).abs());
             x[r] = next;
         }
+        mrmc_obs::record(|| mrmc_obs::Event::SolverSweep {
+            iteration: iteration as u64,
+            residual,
+        });
         if residual <= options.tolerance {
+            mrmc_obs::record(|| mrmc_obs::Event::SolverDone {
+                iterations: iteration as u64,
+                residual,
+                converged: true,
+            });
             return Ok(x);
         }
         if !residual.is_finite() {
+            mrmc_obs::record(|| mrmc_obs::Event::SolverDone {
+                iterations: iteration as u64,
+                residual,
+                converged: false,
+            });
             return Err(SolveError::NotConverged {
                 iterations: iteration,
                 residual,
             });
         }
     }
+    mrmc_obs::record(|| mrmc_obs::Event::SolverDone {
+        iterations: options.max_iterations as u64,
+        residual,
+        converged: false,
+    });
     Err(SolveError::NotConverged {
         iterations: options.max_iterations,
         residual,

@@ -42,7 +42,7 @@ pub fn power_iteration(
     }
 
     let mut residual = f64::INFINITY;
-    for _iteration in 1..=options.max_iterations {
+    for iteration in 1..=options.max_iterations {
         let mut next = p.vec_mul(&x);
         // Renormalize to fight drift from floating-point round-off.
         if !vector::normalize_l1(&mut next) {
@@ -50,10 +50,24 @@ pub fn power_iteration(
         }
         residual = vector::max_abs_diff(&x, &next);
         x = next;
+        mrmc_obs::record(|| mrmc_obs::Event::SolverSweep {
+            iteration: iteration as u64,
+            residual,
+        });
         if residual <= options.tolerance {
+            mrmc_obs::record(|| mrmc_obs::Event::SolverDone {
+                iterations: iteration as u64,
+                residual,
+                converged: true,
+            });
             return Ok(x);
         }
     }
+    mrmc_obs::record(|| mrmc_obs::Event::SolverDone {
+        iterations: options.max_iterations as u64,
+        residual,
+        converged: false,
+    });
     Err(SolveError::NotConverged {
         iterations: options.max_iterations,
         residual,

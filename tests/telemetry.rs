@@ -1,0 +1,147 @@
+//! The telemetry determinism contract, tested end to end: checking any
+//! model with any recorder installed — the no-op sink, the in-memory
+//! metrics aggregator, or the JSONL trace writer — yields outcomes
+//! bit-for-bit identical to an uninstrumented run, at every thread count.
+//!
+//! This is the workspace's load-bearing guarantee that instrumentation is
+//! observation-only (`mrmc-obs` crate docs): `CheckOutcome` derives
+//! `PartialEq`, so the assertions below compare satisfying sets, unknown
+//! sets, probabilities, error bounds, and full error budgets exactly.
+
+use std::sync::Arc;
+
+use mrmc::{CheckOptions, CheckOutcome, ModelChecker};
+use mrmc_mrm::Mrm;
+use mrmc_obs::{JsonlTraceRecorder, MetricsRecorder, NullRecorder};
+
+use mrmc_models::cluster::{cluster, ClusterConfig};
+use mrmc_models::random::{random_mrm, RandomMrmConfig};
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_models::wavelan::wavelan;
+
+fn random_cfg() -> RandomMrmConfig {
+    RandomMrmConfig {
+        states: 6,
+        extra_transitions_per_state: 1.0,
+        max_rate: 2.0,
+        reward_levels: vec![0.0, 1.0, 3.0],
+        impulse_levels: vec![0.0, 0.5],
+        goal_fraction: 0.3,
+    }
+}
+
+fn check(mrm: &Mrm, threads: usize, formula: &str) -> CheckOutcome {
+    let checker = ModelChecker::new(mrm.clone(), CheckOptions::new().with_threads(threads));
+    checker
+        .check_str(formula)
+        .unwrap_or_else(|e| panic!("`{formula}` failed: {e}"))
+}
+
+/// Check every formula on `mrm` four ways — uninstrumented, under the
+/// null sink, under the metrics aggregator, and under a trace writer —
+/// at 1 and 4 worker threads, asserting bitwise-identical outcomes.
+fn assert_recording_is_invisible(name: &str, mrm: &Mrm, formulas: &[&str]) {
+    for threads in [1usize, 4] {
+        for (i, formula) in formulas.iter().enumerate() {
+            let ctx = format!("model {name}, threads {threads}, formula `{formula}`");
+            let plain = check(mrm, threads, formula);
+
+            let nulled =
+                mrmc_obs::with_recorder(Arc::new(NullRecorder), || check(mrm, threads, formula));
+            assert_eq!(plain, nulled, "null recorder changed the outcome: {ctx}");
+
+            let metrics = Arc::new(MetricsRecorder::new());
+            let metered = mrmc_obs::with_recorder(metrics.clone(), || check(mrm, threads, formula));
+            assert_eq!(
+                plain, metered,
+                "metrics recorder changed the outcome: {ctx}"
+            );
+
+            let path = std::env::temp_dir().join(format!(
+                "mrmc-telemetry-{name}-{threads}-{i}-{}.jsonl",
+                std::process::id()
+            ));
+            let trace = Arc::new(JsonlTraceRecorder::create(&path).expect("create trace"));
+            let traced = mrmc_obs::with_recorder(trace.clone(), || check(mrm, threads, formula));
+            drop(trace);
+            assert_eq!(plain, traced, "trace recorder changed the outcome: {ctx}");
+
+            // While we're here: the trace is well-formed JSONL with
+            // consecutive sequence numbers.
+            let text = std::fs::read_to_string(&path).expect("trace written");
+            let lines: Vec<&str> = text.lines().collect();
+            assert!(!lines.is_empty(), "empty trace: {ctx}");
+            for (seq, line) in lines.iter().enumerate() {
+                assert!(
+                    line.starts_with(&format!("{{\"seq\":{seq},\"kind\":\""))
+                        && line.ends_with('}'),
+                    "malformed trace line {seq} ({ctx}): {line}"
+                );
+            }
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+#[test]
+fn recording_never_changes_outcomes_on_the_paper_models() {
+    let tmr_model = tmr(&TmrConfig::classic());
+    assert_recording_is_invisible(
+        "tmr",
+        &tmr_model,
+        &[
+            "P(> 0.1) [TT U[0,1][0,10] failed]",
+            "P(> 0.01) [allUp U[0,2] failed]",
+            "S(> 0.5) (allUp)",
+        ],
+    );
+
+    let cluster_model = cluster(&ClusterConfig::new(2));
+    assert_recording_is_invisible(
+        "cluster",
+        &cluster_model,
+        &[
+            "P(>= 0.1) [TT U[0,1] down]",
+            "P(>= 0.0) [backbone_up U[0,1][0,5] down]",
+        ],
+    );
+
+    let wavelan_model = wavelan();
+    assert_recording_is_invisible(
+        "wavelan",
+        &wavelan_model,
+        &["P(> 0.01) [TT U[0,0.5][0,2] busy]", "S(> 0.1) (idle)"],
+    );
+}
+
+#[test]
+fn recording_never_changes_outcomes_on_random_models() {
+    for seed in 0u64..8 {
+        let m = random_mrm(seed, &random_cfg());
+        assert_recording_is_invisible(
+            &format!("random{seed}"),
+            &m,
+            &["P(< 0.5) [TT U[0,1][0,4] goal]", "goal"],
+        );
+    }
+}
+
+#[test]
+fn metrics_reflect_the_work_the_engines_did() {
+    // Not just invisible — the aggregator must actually see the engine
+    // events: path exploration for uniformization, the span timers for
+    // every phase.
+    let m = tmr(&TmrConfig::classic());
+    let checker = ModelChecker::new(m, CheckOptions::new());
+    let metrics = Arc::new(MetricsRecorder::new());
+    mrmc_obs::with_recorder(metrics.clone(), || {
+        checker
+            .check_str("P(> 0.1) [TT U[0,1][0,10] failed]")
+            .unwrap();
+    });
+    let snap = metrics.snapshot();
+    assert!(snap.paths_generated > 0, "{snap:?}");
+    assert!(snap.nodes_explored >= snap.paths_generated, "{snap:?}");
+    assert!(snap.phases.contains_key("engine"), "{snap:?}");
+    assert!(snap.phases.contains_key("preflight"), "{snap:?}");
+}
