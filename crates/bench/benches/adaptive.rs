@@ -2,7 +2,8 @@
 //! dependability query. Each benchmark fixes a target ε and measures the
 //! full refinement loop (all rounds until the reported budget is ≤ ε), so
 //! the timings track how much extra exploration each decade of accuracy
-//! costs.
+//! costs. All benchmarks share the single group `adaptive`, so one
+//! snapshot file (`BENCH_adaptive.json`) captures both engines' drivers.
 
 use mrmc_bench::harness::Criterion;
 use mrmc_bench::tables;
@@ -19,10 +20,10 @@ fn bench(c: &mut Criterion) {
     let start = config.state_with_working(3);
     let (t, r) = (100.0, 3000.0);
 
-    let mut group = c.benchmark_group("adaptive_uniformization");
+    let mut group = c.benchmark_group("adaptive");
     group.sample_size(10);
     for epsilon in [1e-3, 1e-6, 1e-9] {
-        group.bench_function(format!("eps={epsilon:e}"), |b| {
+        group.bench_function(format!("uniformization/eps={epsilon:e}"), |b| {
             b.iter(|| {
                 adaptive::uniformization_until(
                     &m,
@@ -39,12 +40,8 @@ fn bench(c: &mut Criterion) {
             });
         });
     }
-    group.finish();
-
-    let mut group = c.benchmark_group("adaptive_discretization");
-    group.sample_size(10);
     for epsilon in [1e-2, 1e-3] {
-        group.bench_function(format!("eps={epsilon:e}"), |b| {
+        group.bench_function(format!("discretization/eps={epsilon:e}"), |b| {
             b.iter(|| {
                 adaptive::discretization_until(
                     &m,

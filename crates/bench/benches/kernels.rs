@@ -1,6 +1,10 @@
 //! Scaling benches for the numerical kernels underneath the engines:
 //! Poisson layers, the Omega recursion, sparse matrix–vector products,
 //! BSCC decomposition, and whole-engine scaling on the breakdown queue.
+//!
+//! All benchmarks share the single group `kernels`, so one snapshot file
+//! (`BENCH_kernels.json` at the repository root) captures the whole kernel
+//! layer; ids are namespaced `section/benchmark/param`.
 
 use mrmc_bench::harness::{BenchmarkId, Criterion};
 use mrmc_bench::{criterion_group, criterion_main};
@@ -12,44 +16,49 @@ use mrmc_models::random::{random_mrm, RandomMrmConfig};
 use mrmc_numerics::omega::OmegaEvaluator;
 use mrmc_numerics::uniformization::{until_probability, UniformOptions};
 
-fn bench_poisson(c: &mut Criterion) {
-    let mut group = c.benchmark_group("poisson");
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+
+    // Poisson layers.
+    group.sample_size(10);
     for lt in [5.0, 50.0, 500.0] {
-        group.bench_with_input(BenchmarkId::new("fox_glynn", lt), &lt, |b, &lt| {
+        group.bench_with_input(BenchmarkId::new("poisson/fox_glynn", lt), &lt, |b, &lt| {
             b.iter(|| FoxGlynn::new(lt, 1e-10).weights().len());
         });
-        group.bench_with_input(BenchmarkId::new("recursion_100", lt), &lt, |b, &lt| {
-            b.iter(|| Weights::new(lt).take(100).sum::<f64>());
-        });
-        group.bench_with_input(BenchmarkId::new("log_pmf_100", lt), &lt, |b, &lt| {
-            b.iter(|| (0..100u64).map(|n| pmf(lt, n)).sum::<f64>());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("poisson/recursion_100", lt),
+            &lt,
+            |b, &lt| {
+                b.iter(|| Weights::new(lt).take(100).sum::<f64>());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("poisson/log_pmf_100", lt),
+            &lt,
+            |b, &lt| {
+                b.iter(|| (0..100u64).map(|n| pmf(lt, n)).sum::<f64>());
+            },
+        );
     }
-    group.finish();
-}
 
-fn bench_omega(c: &mut Criterion) {
-    let mut group = c.benchmark_group("omega_recursion");
+    // The Omega recursion (Alg. 4.8).
     group.sample_size(20);
     for n in [8u32, 16, 32] {
-        group.bench_with_input(BenchmarkId::new("cold_cache", n), &n, |b, &n| {
+        group.bench_with_input(BenchmarkId::new("omega/cold_cache", n), &n, |b, &n| {
             b.iter(|| {
                 let mut o = OmegaEvaluator::new(vec![5.0, 3.0, 1.0, 0.0]).unwrap();
                 o.evaluate(1.7, &[n / 4, n / 4, n / 4, n / 4])
             });
         });
-        group.bench_with_input(BenchmarkId::new("warm_cache", n), &n, |b, &n| {
+        group.bench_with_input(BenchmarkId::new("omega/warm_cache", n), &n, |b, &n| {
             let mut o = OmegaEvaluator::new(vec![5.0, 3.0, 1.0, 0.0]).unwrap();
             let counts = [n / 4, n / 4, n / 4, n / 4];
             o.evaluate(1.7, &counts);
             b.iter(|| o.evaluate(1.7, &counts));
         });
     }
-    group.finish();
-}
 
-fn bench_sparse_and_bscc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_kernels");
+    // Sparse matrix–vector products and BSCC decomposition.
     group.sample_size(20);
     for states in [100usize, 1000] {
         let cfg = RandomMrmConfig {
@@ -60,18 +69,25 @@ fn bench_sparse_and_bscc(c: &mut Criterion) {
         let m = random_mrm(42, &cfg);
         let rates = m.ctmc().rates().clone();
         let x = vec![1.0 / states as f64; states];
-        group.bench_with_input(BenchmarkId::new("vec_mul", states), &rates, |b, r| {
+        group.bench_with_input(BenchmarkId::new("graph/vec_mul", states), &rates, |b, r| {
             b.iter(|| r.vec_mul(&x));
         });
-        group.bench_with_input(BenchmarkId::new("bscc", states), &rates, |b, r| {
+        group.bench_with_input(BenchmarkId::new("graph/mul_vec", states), &rates, |b, r| {
+            b.iter(|| r.mul_vec(&x));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("graph/mul_vec_compensated", states),
+            &rates,
+            |b, r| {
+                b.iter(|| r.mul_vec_compensated(&x));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("graph/bscc", states), &rates, |b, r| {
             b.iter(|| SccDecomposition::new(r).num_components());
         });
     }
-    group.finish();
-}
 
-fn bench_queue_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("queue_until_scaling");
+    // Whole-engine scaling on the breakdown queue.
     group.sample_size(10);
     for k in [4usize, 8, 16] {
         let config = QueueConfig::new(k);
@@ -79,7 +95,7 @@ fn bench_queue_scaling(c: &mut Criterion) {
         let phi = vec![true; m.num_states()];
         let psi = m.labeling().states_with("full");
         let start = config.up_state(0);
-        group.bench_with_input(BenchmarkId::new("uniformization", k), &k, |b, _| {
+        group.bench_with_input(BenchmarkId::new("queue/uniformization", k), &k, |b, _| {
             b.iter(|| {
                 until_probability(
                     &m,
@@ -95,13 +111,9 @@ fn bench_queue_scaling(c: &mut Criterion) {
             });
         });
     }
-    group.finish();
-}
 
-fn bench_cluster_scaling(c: &mut Criterion) {
     // Whole-pipeline scaling on the cluster model: steady state and the
     // reward-blind baseline until, across state-space sizes.
-    let mut group = c.benchmark_group("cluster_scaling");
     group.sample_size(10);
     for n in [2usize, 4, 8] {
         let config = ClusterConfig::new(n);
@@ -110,7 +122,7 @@ fn bench_cluster_scaling(c: &mut Criterion) {
         let phi = vec![true; states];
         let psi = m.labeling().states_with("down");
         group.bench_with_input(
-            BenchmarkId::new("baseline_until_t24", states),
+            BenchmarkId::new("cluster/baseline_until_t24", states),
             &m,
             |b, m| {
                 b.iter(|| {
@@ -118,25 +130,61 @@ fn bench_cluster_scaling(c: &mut Criterion) {
                 });
             },
         );
-        group.bench_with_input(BenchmarkId::new("steady_state", states), &m, |b, m| {
-            b.iter(|| {
-                mrmc_ctmc::steady::steady_state_strongly_connected(
-                    m.ctmc(),
-                    mrmc_sparse::solver::SolverOptions::new().with_tolerance(1e-9),
-                )
-                .unwrap()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cluster/steady_state", states),
+            &m,
+            |b, m| {
+                b.iter(|| {
+                    mrmc_ctmc::steady::steady_state_strongly_connected(
+                        m.ctmc(),
+                        mrmc_sparse::solver::SolverOptions::new().with_tolerance(1e-9),
+                    )
+                    .unwrap()
+                });
+            },
+        );
     }
+
+    // Linear-solver schemes: plain Gauss–Seidel vs the multicolor colored
+    // schedule at several thread counts, on the unbounded-reachability
+    // system of the largest cluster instance (the path `--solver` actually
+    // dispatches; the specialized stationary sweep has no method switch).
+    group.sample_size(10);
+    {
+        let m = cluster(&ClusterConfig::new(8));
+        let embedded = m.ctmc().embedded_dtmc();
+        // Φ-constrained until: the substochastic system `P[backbone_up U
+        // down]` (paths leaving Φ are losses), which keeps the iteration
+        // matrix a strict contraction.
+        let phi = m.labeling().states_with("backbone_up");
+        let psi = m.labeling().states_with("down");
+        let solve = |options: mrmc_sparse::solver::SolverOptions| {
+            mrmc_ctmc::reach::until_unbounded(embedded.probabilities(), &phi, &psi, options)
+                .unwrap()
+        };
+        group.bench_with_input(BenchmarkId::new("solver/plain_gs", 1usize), &(), |b, _| {
+            b.iter(|| solve(mrmc_sparse::solver::SolverOptions::new().with_tolerance(1e-9)));
+        });
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new("solver/colored_gs", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        solve(
+                            mrmc_sparse::solver::SolverOptions::new()
+                                .with_tolerance(1e-9)
+                                .with_method(mrmc_sparse::solver::SolverMethod::ColoredGaussSeidel)
+                                .with_threads(threads),
+                        )
+                    });
+                },
+            );
+        }
+    }
+
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_poisson,
-    bench_omega,
-    bench_sparse_and_bscc,
-    bench_queue_scaling,
-    bench_cluster_scaling
-);
+criterion_group!(benches, bench);
 criterion_main!(benches);

@@ -1,6 +1,8 @@
 //! Scaling bench for the parallel path-exploration engine: the same
 //! reward-bounded until evaluated at 1, 2, and 4 worker threads on the TMR
-//! and cluster models, plus a summary table of measured speedups.
+//! and cluster models, plus a summary table of measured speedups. All
+//! benchmarks share the single group `parallel`, so one snapshot file
+//! (`BENCH_parallel.json`) captures the whole layer.
 //!
 //! The parallel engine is deterministic (bit-identical to serial at any
 //! thread count — asserted here before timing), so any speedup is free:
@@ -87,7 +89,7 @@ fn run(case: &Case, threads: usize) -> f64 {
 
 fn bench(c: &mut Criterion) {
     let cases = [tmr_case(), cluster_case()];
-    let mut group = c.benchmark_group("parallel_until");
+    let mut group = c.benchmark_group("parallel");
     group.sample_size(10);
     for case in &cases {
         // Determinism gate: the timed configurations must agree bit-for-bit
@@ -101,7 +103,7 @@ fn bench(c: &mut Criterion) {
                 case.name
             );
             group.bench_with_input(
-                BenchmarkId::new(case.name, threads),
+                BenchmarkId::new(format!("until/{}", case.name), threads),
                 &threads,
                 |b, &threads| b.iter(|| run(case, threads)),
             );

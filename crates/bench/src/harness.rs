@@ -42,7 +42,7 @@
 //!
 //! `metrics` is the work-counter snapshot (paths generated, solver sweeps,
 //! grid cells, …) captured by running the *calibration* iteration under a
-//! [`MetricsRecorder`](mrmc_obs::MetricsRecorder); it is `null` when the
+//! [`MetricsRecorder`]; it is `null` when the
 //! benchmark body emitted no telemetry events. The timed samples
 //! themselves run with no recorder installed, so snapshotting never adds
 //! overhead to the reported numbers.

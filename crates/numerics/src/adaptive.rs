@@ -14,11 +14,14 @@
 //! (the error blow-up visible in Table 5.3 at large `t`), which would make
 //! the budget *non-monotone* in `w` and defeat refinement.
 
+use std::sync::Arc;
+
 use mrmc_mrm::Mrm;
 
 use crate::discretization::{self, DiscretizationOptions, DiscretizationResult};
 use crate::error::NumericsError;
 use crate::monte_carlo::{self, Estimate, SimulationOptions};
+use crate::omega::{cache_installed, with_omega_cache, OmegaTermCache};
 use crate::uniformization::{self, UniformOptions, UntilResult};
 
 /// Confidence parameter for Hoeffding sizing of the simulation driver:
@@ -111,6 +114,30 @@ pub fn uniformization_until(
     adaptive: AdaptiveOptions,
 ) -> Result<UntilResult, NumericsError> {
     adaptive.validate()?;
+    // Successive rounds tighten `w`, re-generating most of the previous
+    // round's path classes; a per-run Omega-term cache lets re-attempts
+    // reuse the tables already computed (Ω is pure, so results are
+    // bit-identical). An externally installed cache is honored instead,
+    // which also shares tables across runs.
+    if !cache_installed() {
+        return with_omega_cache(Arc::new(OmegaTermCache::new()), || {
+            uniformization_until_rounds(mrm, phi, psi, t, r, start, base, adaptive)
+        });
+    }
+    uniformization_until_rounds(mrm, phi, psi, t, r, start, base, adaptive)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn uniformization_until_rounds(
+    mrm: &Mrm,
+    phi: &[bool],
+    psi: &[bool],
+    t: f64,
+    r: f64,
+    start: usize,
+    base: UniformOptions,
+    adaptive: AdaptiveOptions,
+) -> Result<UntilResult, NumericsError> {
     let mut w = adaptive.initial_truncation(base.truncation);
     let mut best: Option<UntilResult> = None;
     for round in 0..adaptive.max_rounds {
@@ -161,6 +188,25 @@ pub fn uniformization_until_all(
     adaptive: AdaptiveOptions,
 ) -> Result<Vec<UntilResult>, NumericsError> {
     adaptive.validate()?;
+    // Same per-run Omega-term cache as `uniformization_until`; here the
+    // reuse also spans start states within one round.
+    if !cache_installed() {
+        return with_omega_cache(Arc::new(OmegaTermCache::new()), || {
+            uniformization_until_all_rounds(mrm, phi, psi, t, r, base, adaptive)
+        });
+    }
+    uniformization_until_all_rounds(mrm, phi, psi, t, r, base, adaptive)
+}
+
+fn uniformization_until_all_rounds(
+    mrm: &Mrm,
+    phi: &[bool],
+    psi: &[bool],
+    t: f64,
+    r: f64,
+    base: UniformOptions,
+    adaptive: AdaptiveOptions,
+) -> Result<Vec<UntilResult>, NumericsError> {
     let worst = |v: &[UntilResult]| v.iter().map(|r| r.budget.total()).fold(0.0f64, f64::max);
     let mut w = adaptive.initial_truncation(base.truncation);
     let mut best: Option<Vec<UntilResult>> = None;

@@ -30,16 +30,22 @@ pub struct DiscretizationOptions {
     /// half as wide and half as deep, so it costs about a quarter of the
     /// main run; disabling it falls back to a coarse a-priori bound.
     pub estimate_error: bool,
+    /// Worker threads for the per-step grid sweep (`0` = the host's
+    /// available parallelism, `1` = serial, the default). Each worker
+    /// computes a disjoint block of destination state rows, so the result
+    /// is bit-identical at every thread count.
+    pub threads: usize,
 }
 
 impl DiscretizationOptions {
-    /// Use step size `d` with the default memory guard and a-posteriori
-    /// error estimation.
+    /// Use step size `d` with the default memory guard, a-posteriori
+    /// error estimation and a serial grid sweep.
     pub fn with_step(step: f64) -> Self {
         DiscretizationOptions {
             step,
             max_cells: 50_000_000,
             estimate_error: true,
+            threads: 1,
         }
     }
 
@@ -47,6 +53,12 @@ impl DiscretizationOptions {
     /// coarse a-priori step-error bound instead of the sharper estimate.
     pub fn without_error_estimate(mut self) -> Self {
         self.estimate_error = false;
+        self
+    }
+
+    /// Sweep the grid with `threads` workers (`0` = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 }
@@ -181,6 +193,7 @@ pub fn until_probability(
         r,
         scale,
         max_cells: options.max_cells,
+        threads: options.threads,
     };
     let (probability, time_steps, reward_cells) = evolve_grid(&grid, d)?;
     mrmc_obs::record(|| mrmc_obs::Event::DiscretizationGrid {
@@ -230,12 +243,71 @@ struct GridProblem<'a> {
     r: f64,
     scale: f64,
     max_cells: usize,
+    threads: usize,
+}
+
+/// One incoming transition of a destination row: source state, `rate·d`,
+/// and the reward shift in cells.
+#[derive(Debug, Clone, Copy)]
+struct Incoming {
+    from: usize,
+    rate_d: f64,
+    shift: usize,
+}
+
+/// Compute one destination row of the next grid layer from the current
+/// layer: the self term (stay in `to` for another `d` time units) followed
+/// by every incoming transition in ascending source order.
+///
+/// Each cell's terms are accumulated in the same fixed order no matter
+/// which worker runs the row, so the sweep is bit-identical at every
+/// thread count.
+#[allow(clippy::too_many_arguments)] // the sweep's full per-row context
+fn update_row(
+    to: usize,
+    dst: &mut [f64],
+    current: &[f64],
+    width: usize,
+    reward_cells: usize,
+    stay: f64,
+    rho_to: usize,
+    incoming: &[Incoming],
+) {
+    dst.fill(0.0);
+    if stay != 0.0 && rho_to <= reward_cells {
+        let src = &current[to * width..(to + 1) * width];
+        for k in rho_to..width {
+            dst[k] += src[k - rho_to] * stay;
+        }
+    }
+    for &Incoming {
+        from,
+        rate_d,
+        shift,
+    } in incoming
+    {
+        if shift > reward_cells {
+            continue;
+        }
+        let src = &current[from * width..(from + 1) * width];
+        for k in shift..width {
+            dst[k] += src[k - shift] * rate_d;
+        }
+    }
 }
 
 /// Run Algorithm 4.6 on the absorbed model with step `d`, returning the
 /// clamped probability, the time-step count and the reward-cell count.
 /// Factored out of [`until_probability`] so the Richardson companion can
 /// re-run the same problem at `2d`.
+///
+/// The density grid is one flat `n·width` buffer (state-major), double
+/// buffered. Transitions are stored incoming-major: each destination row
+/// depends only on the *current* layer, so rows of the next layer are
+/// independent and the sweep parallelizes over disjoint row blocks with no
+/// reduction step at all — and since every row accumulates its terms in a
+/// fixed order (self term, then sources ascending), the computed grid is
+/// bit-identical at every thread count.
 fn evolve_grid(g: &GridProblem<'_>, d: f64) -> Result<(f64, usize, usize), NumericsError> {
     let n = g.absorbed.num_states();
     let exit = g.absorbed.ctmc().exit_rates();
@@ -250,7 +322,7 @@ fn evolve_grid(g: &GridProblem<'_>, d: f64) -> Result<(f64, usize, usize), Numer
     let reward_cells = cells as usize;
     let time_steps = (g.t / d).round().max(1.0) as usize;
 
-    // Per-state reward advance (cells per step) and per-transition data.
+    // Per-state reward advance (cells per step) and stay probability.
     let rho: Vec<usize> = g
         .absorbed
         .state_rewards()
@@ -258,22 +330,38 @@ fn evolve_grid(g: &GridProblem<'_>, d: f64) -> Result<(f64, usize, usize), Numer
         .iter()
         .map(|&x| (x * g.scale).round() as usize)
         .collect();
-    // (from, to, rate·d, reward shift in cells).
+    let stay: Vec<f64> = exit.iter().map(|&e| 1.0 - e * d).collect();
+    // Incoming-major transition lists. `rates.iter()` is row-major (source
+    // ascending), so each destination's list comes out sorted by source —
+    // the accumulation order `update_row` promises.
     let rates = g.absorbed.ctmc().rates();
-    let mut transitions: Vec<(usize, usize, f64, usize)> = Vec::with_capacity(rates.nnz());
+    let mut incoming: Vec<Vec<Incoming>> = vec![Vec::new(); n];
     for (from, to, rate) in rates.iter() {
         let shift =
             rho[from] + ((g.absorbed.impulse_reward(from, to) * g.scale) / d).round() as usize;
-        transitions.push((from, to, rate * d, shift));
+        incoming[to].push(Incoming {
+            from,
+            rate_d: rate * d,
+            shift,
+        });
     }
 
-    // Double-buffered density F[s][k].
+    // Double-buffered flat density F[s·width + k].
     let width = reward_cells + 1;
-    let mut current = vec![vec![0.0f64; width]; n];
-    let mut next = vec![vec![0.0f64; width]; n];
+    let mut current = vec![0.0f64; n * width];
+    let mut next = vec![0.0f64; n * width];
     if rho[g.start] <= reward_cells {
-        current[g.start][rho[g.start]] = 1.0 / d;
+        current[g.start * width + rho[g.start]] = 1.0 / d;
     }
+
+    let threads = if g.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        g.threads
+    };
+    // Rows per worker block; below 2 blocks the scope overhead cannot pay off.
+    let block_rows = n.div_ceil(threads.max(1));
+    let parallel = threads > 1 && block_rows < n;
 
     // Progress is throttled by step count (at most ~100 events per run) so
     // the emitted sequence is reproducible run-to-run.
@@ -286,61 +374,50 @@ fn evolve_grid(g: &GridProblem<'_>, d: f64) -> Result<(f64, usize, usize), Numer
                 total: time_steps as u64,
             });
         }
-        for row in &mut next {
-            for v in row.iter_mut() {
-                *v = 0.0;
-            }
-        }
-        // Self term: remain in s for another d time units.
-        for s in 0..n {
-            let stay = 1.0 - exit[s] * d;
-            if stay == 0.0 {
-                continue;
-            }
-            let shift = rho[s];
-            if shift > reward_cells {
-                continue;
-            }
-            let (src, dst) = (&current[s], &mut next[s]);
-            for k in shift..width {
-                dst[k] += src[k - shift] * stay;
-            }
-        }
-        // Transition terms.
-        for &(from, to, rate_d, shift) in &transitions {
-            if shift > reward_cells {
-                continue;
-            }
-            if from == to {
-                for k in (shift..width).rev() {
-                    // Self-loop: source and destination rows coincide; the
-                    // shifted read must not observe already-written cells,
-                    // which reverse iteration guarantees for shift ≥ 0.
-                    let v = current[from][k - shift] * rate_d;
-                    next[to][k] += v;
+        if parallel {
+            // Disjoint contiguous row blocks of the next layer, one worker
+            // each; all reads go to the immutable current layer.
+            let src = &current[..];
+            std::thread::scope(|scope| {
+                for (block, dst_block) in next.chunks_mut(block_rows * width).enumerate() {
+                    let (rho, stay, incoming) = (&rho, &stay, &incoming);
+                    scope.spawn(move || {
+                        let base = block * block_rows;
+                        for (i, dst) in dst_block.chunks_mut(width).enumerate() {
+                            let to = base + i;
+                            update_row(
+                                to,
+                                dst,
+                                src,
+                                width,
+                                reward_cells,
+                                stay[to],
+                                rho[to],
+                                &incoming[to],
+                            );
+                        }
+                    });
                 }
-            } else {
-                let (src_row, dst_row) = {
-                    // Disjoint borrow of two rows.
-                    if from < to {
-                        let (a, b) = next.split_at_mut(to);
-                        let _ = &a[from];
-                        (&current[from], &mut b[0])
-                    } else {
-                        let (_, b) = next.split_at_mut(to);
-                        (&current[from], &mut b[0])
-                    }
-                };
-                for k in shift..width {
-                    dst_row[k] += src_row[k - shift] * rate_d;
-                }
+            });
+        } else {
+            for (to, dst) in next.chunks_mut(width).enumerate() {
+                update_row(
+                    to,
+                    dst,
+                    &current,
+                    width,
+                    reward_cells,
+                    stay[to],
+                    rho[to],
+                    &incoming[to],
+                );
             }
         }
         std::mem::swap(&mut current, &mut next);
     }
 
     let mut probability = 0.0;
-    for (row, &in_psi) in current.iter().zip(g.psi.iter()).take(n) {
+    for (row, &in_psi) in current.chunks(width).zip(g.psi.iter()).take(n) {
         if in_psi {
             probability += row.iter().sum::<f64>() * d;
         }
@@ -436,6 +513,29 @@ mod tests {
             "errors should shrink with d: {errors:?}"
         );
         assert!(errors[2] < 0.01, "final error too large: {errors:?}");
+    }
+
+    #[test]
+    fn grid_sweep_is_bitwise_identical_across_thread_counts() {
+        let m = wavelan();
+        let phi = m.labeling().states_with("idle");
+        let psi = m.labeling().states_with("busy");
+        let base = DiscretizationOptions::with_step(1.0 / 64.0);
+        let serial = until_probability(&m, &phi, &psi, 2.0, 2000.0, 2, base).unwrap();
+        for threads in [2, 4, 8, 0] {
+            let par = until_probability(&m, &phi, &psi, 2.0, 2000.0, 2, base.with_threads(threads))
+                .unwrap();
+            assert_eq!(
+                serial.probability.to_bits(),
+                par.probability.to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(
+                serial.budget.discretization.to_bits(),
+                par.budget.discretization.to_bits(),
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

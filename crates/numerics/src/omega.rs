@@ -14,7 +14,10 @@
 //! convex combinations of values in `[0, 1]`, which is what makes the
 //! recursion numerically stable — the property the thesis relies on.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::error::NumericsError;
 
@@ -184,6 +187,119 @@ impl OmegaEvaluator {
     }
 }
 
+/// One coefficient list's table: `(r'.to_bits(), k) → Ω(r', k)`.
+type TermTable = HashMap<(u64, Box<[u32]>), f64>;
+
+/// A shareable store of top-level `Ω(r', k)` values, keyed by the bitwise
+/// coefficient list so one cache serves evaluations over any number of
+/// reward structures.
+///
+/// `Ω` is a pure function of `(coefficients, r', k)`, so serving a value
+/// from the cache is *exact*: a cached run returns bit-identical terms to
+/// an uncached one. The payoff is across adaptive re-attempts
+/// ([`crate::adaptive`]): tightening the truncation probability `w`
+/// re-generates most of the previous round's path classes, whose Omega
+/// requests then hit the cache instead of re-running the recursion —
+/// observable as the `omega_table_requests` metric dropping round over
+/// round (and the cumulative `omega_cache_hits` counter rising).
+///
+/// The store is `Mutex`-protected and meant to be shared via
+/// [`with_omega_cache`]; hit accounting is atomic and cumulative over the
+/// cache's lifetime.
+#[derive(Debug, Default)]
+pub struct OmegaTermCache {
+    tables: Mutex<HashMap<Vec<u64>, TermTable>>,
+    hits: AtomicU64,
+}
+
+impl OmegaTermCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        OmegaTermCache::default()
+    }
+
+    /// The lookup key for a coefficient list (its bit pattern).
+    pub fn coefficient_key(coefficients: &[f64]) -> Vec<u64> {
+        coefficients.iter().map(|c| c.to_bits()).collect()
+    }
+
+    /// Look up `Ω(r, k)` under the coefficient list identified by `key`
+    /// (from [`coefficient_key`](OmegaTermCache::coefficient_key)).
+    /// Records a hit when the value is present.
+    pub fn get(&self, key: &[u64], r: f64, k: &[u32]) -> Option<f64> {
+        let tables = self.tables.lock().expect("omega cache poisoned");
+        let v = tables.get(key)?.get(&(r.to_bits(), Box::from(k))).copied();
+        if v.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Store `Ω(r, k) = value` under the coefficient list `key`.
+    pub fn insert(&self, key: &[u64], r: f64, k: &[u32], value: f64) {
+        let mut tables = self.tables.lock().expect("omega cache poisoned");
+        tables
+            .entry(key.to_vec())
+            .or_default()
+            .insert((r.to_bits(), Box::from(k)), value);
+    }
+
+    /// Total stored entries across all coefficient lists.
+    pub fn len(&self) -> usize {
+        let tables = self.tables.lock().expect("omega cache poisoned");
+        tables.values().map(HashMap::len).sum()
+    }
+
+    /// `true` when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative lookup hits over the cache's lifetime.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+thread_local! {
+    static CACHE: RefCell<Option<Arc<OmegaTermCache>>> = const { RefCell::new(None) };
+}
+
+/// Install `cache` as this thread's Omega-term cache for the duration of
+/// `f`.
+///
+/// Scoping is dynamic and re-entrant, mirroring
+/// [`mrmc_obs::with_recorder`]: nested calls shadow the outer cache and
+/// restore it on exit (also on unwind). While installed, the Eq. 4.5 term
+/// assembly consults the cache and only runs the Omega recursion for
+/// misses — results are bit-identical to an uncached run.
+pub fn with_omega_cache<T>(cache: Arc<OmegaTermCache>, f: impl FnOnce() -> T) -> T {
+    struct Restore {
+        previous: Option<Arc<OmegaTermCache>>,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CACHE.with(|c| *c.borrow_mut() = self.previous.take());
+        }
+    }
+    let restore = Restore {
+        previous: CACHE.with(|c| c.borrow_mut().replace(cache)),
+    };
+    let out = f();
+    drop(restore);
+    out
+}
+
+/// The cache installed on this thread by [`with_omega_cache`], if any.
+pub fn installed_cache() -> Option<Arc<OmegaTermCache>> {
+    CACHE.with(|c| c.borrow().clone())
+}
+
+/// `true` when a cache is installed on this thread.
+pub fn cache_installed() -> bool {
+    CACHE.with(|c| c.borrow().is_some())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +406,53 @@ mod tests {
         assert!(filled > 0);
         let _ = o.evaluate(0.5, &[3, 3, 3]);
         assert_eq!(o.cache_len(), filled);
+    }
+
+    #[test]
+    fn term_cache_round_trips_and_counts_hits() {
+        let cache = OmegaTermCache::new();
+        let key = OmegaTermCache::coefficient_key(&[2.0, 1.0, 0.0]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&key, 0.5, &[1, 2, 1]), None);
+        assert_eq!(cache.hits(), 0);
+        cache.insert(&key, 0.5, &[1, 2, 1], 0.625);
+        assert_eq!(cache.get(&key, 0.5, &[1, 2, 1]), Some(0.625));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        // Different threshold, counts, or coefficients: distinct entries.
+        assert_eq!(cache.get(&key, 0.25, &[1, 2, 1]), None);
+        assert_eq!(cache.get(&key, 0.5, &[2, 1, 1]), None);
+        let other = OmegaTermCache::coefficient_key(&[3.0, 0.0]);
+        assert_eq!(cache.get(&other, 0.5, &[1, 2, 1]), None);
+        cache.insert(&other, 0.5, &[1, 2], 1.0);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn cache_installation_is_scoped_and_reentrant() {
+        assert!(!cache_installed());
+        let outer = Arc::new(OmegaTermCache::new());
+        let inner = Arc::new(OmegaTermCache::new());
+        with_omega_cache(outer.clone(), || {
+            assert!(cache_installed());
+            assert!(Arc::ptr_eq(&installed_cache().unwrap(), &outer));
+            with_omega_cache(inner.clone(), || {
+                assert!(Arc::ptr_eq(&installed_cache().unwrap(), &inner));
+            });
+            assert!(Arc::ptr_eq(&installed_cache().unwrap(), &outer));
+        });
+        assert!(!cache_installed());
+        assert!(installed_cache().is_none());
+    }
+
+    #[test]
+    fn worker_threads_do_not_inherit_the_cache() {
+        with_omega_cache(Arc::new(OmegaTermCache::new()), || {
+            std::thread::scope(|scope| {
+                scope.spawn(|| assert!(!cache_installed()));
+            });
+        });
     }
 
     #[test]

@@ -57,7 +57,7 @@ use mrmc_ctmc::poisson;
 use mrmc_mrm::UniformizedMrm;
 
 use crate::error::NumericsError;
-use crate::omega::OmegaEvaluator;
+use crate::omega::{OmegaEvaluator, OmegaTermCache};
 use crate::path_classes::PathClasses;
 use crate::reward_structure::RewardClasses;
 use crate::uniformization::UniformOptions;
@@ -459,54 +459,54 @@ pub(crate) struct TermRequest<'a> {
     pub weight: f64,
 }
 
-/// Compute `weight · Ω(r', k)` for every request, in request order.
+/// Evaluator statistics of one Ω batch, for the `OmegaTable` event.
+struct OmegaBatchStats {
+    cache_entries: u64,
+    max_recursion_depth: u64,
+}
+
+/// Evaluate `Ω(r, k)` for every `(r, k)` pair, in order.
 ///
-/// With `threads ≤ 1` a single evaluator runs sequentially; otherwise the
-/// request list is split into contiguous ranges, one per worker, each with
-/// a private [`OmegaEvaluator`] (the memo cache is per-worker). Ω is a
-/// deterministic pure function of `(r', k)` — memoization only avoids
-/// recomputation — so the assembled term vector is independent of the
-/// thread count, and the caller's ordered fold stays exact.
-pub(crate) fn omega_terms(
-    requests: &[TermRequest<'_>],
-    coefficients: Vec<f64>,
+/// With `threads ≤ 1` (or too few pairs to split) a single evaluator runs
+/// sequentially; otherwise the list is split into contiguous ranges, one
+/// per worker, each with a private [`OmegaEvaluator`] (the memo cache is
+/// per-worker). Ω is a deterministic pure function of `(r, k)` —
+/// memoization only avoids recomputation — so the value vector is
+/// independent of the thread count.
+fn evaluate_omega(
+    pairs: &[(f64, &[u32])],
+    coefficients: &[f64],
     threads: usize,
-) -> Result<Vec<f64>, NumericsError> {
-    if threads <= 1 || requests.len() < 2 * threads {
-        let mut omega = OmegaEvaluator::new(coefficients)?;
-        let terms: Vec<f64> = requests
-            .iter()
-            .map(|rq| rq.weight * omega.evaluate(rq.r_prime, rq.k))
-            .collect();
-        mrmc_obs::record(|| mrmc_obs::Event::OmegaTable {
-            coefficients: omega.coefficients().len() as u64,
-            requests: requests.len() as u64,
+) -> Result<(Vec<f64>, OmegaBatchStats), NumericsError> {
+    if threads <= 1 || pairs.len() < 2 * threads {
+        let mut omega = OmegaEvaluator::new(coefficients.to_vec())?;
+        let values: Vec<f64> = pairs.iter().map(|&(r, k)| omega.evaluate(r, k)).collect();
+        let stats = OmegaBatchStats {
             cache_entries: omega.cache_len() as u64,
             max_recursion_depth: omega.max_recursion_depth(),
-        });
-        return Ok(terms);
+        };
+        return Ok((values, stats));
     }
 
     // Validate the coefficient list once up front so workers cannot fail.
-    OmegaEvaluator::new(coefficients.clone())?;
-    let per = requests.len().div_ceil(threads);
-    let mut terms = vec![0.0; requests.len()];
+    OmegaEvaluator::new(coefficients.to_vec())?;
+    let per = pairs.len().div_ceil(threads);
+    let mut values = vec![0.0; pairs.len()];
     // Cache statistics merge commutatively (sum / max), so aggregating them
     // in channel-arrival order stays deterministic.
-    let mut cache_entries = 0u64;
-    let mut max_recursion_depth = 0u64;
+    let mut stats = OmegaBatchStats {
+        cache_entries: 0,
+        max_recursion_depth: 0,
+    };
     thread::scope(|scope| {
         let (tx, rx) = mpsc::channel::<(usize, Vec<f64>, u64, u64)>();
-        for chunk_start in (0..requests.len()).step_by(per) {
+        for chunk_start in (0..pairs.len()).step_by(per) {
             let tx = tx.clone();
-            let coeffs = coefficients.clone();
-            let chunk = &requests[chunk_start..(chunk_start + per).min(requests.len())];
+            let coeffs = coefficients.to_vec();
+            let chunk = &pairs[chunk_start..(chunk_start + per).min(pairs.len())];
             scope.spawn(move || {
                 let mut omega = OmegaEvaluator::new(coeffs).expect("coefficients validated above");
-                let out: Vec<f64> = chunk
-                    .iter()
-                    .map(|rq| rq.weight * omega.evaluate(rq.r_prime, rq.k))
-                    .collect();
+                let out: Vec<f64> = chunk.iter().map(|&(r, k)| omega.evaluate(r, k)).collect();
                 let _ = tx.send((
                     chunk_start,
                     out,
@@ -516,19 +516,92 @@ pub(crate) fn omega_terms(
             });
         }
         drop(tx);
-        for (start, chunk_terms, cache, depth) in rx {
-            terms[start..start + chunk_terms.len()].copy_from_slice(&chunk_terms);
-            cache_entries += cache;
-            max_recursion_depth = max_recursion_depth.max(depth);
+        for (start, chunk_values, cache, depth) in rx {
+            values[start..start + chunk_values.len()].copy_from_slice(&chunk_values);
+            stats.cache_entries += cache;
+            stats.max_recursion_depth = stats.max_recursion_depth.max(depth);
         }
     });
+    Ok((values, stats))
+}
+
+/// Compute `weight · Ω(r', k)` for every request, in request order.
+///
+/// When a term cache is installed ([`crate::omega::with_omega_cache`]),
+/// known `Ω` values are served from it and only the misses run the
+/// recursion — the emitted `OmegaTable` event then reports the miss count
+/// as `requests` (the table work actually performed), and a cumulative
+/// `omega_cache_hits` counter is emitted. Ω is pure, so cached runs return
+/// bit-identical terms to uncached ones.
+pub(crate) fn omega_terms(
+    requests: &[TermRequest<'_>],
+    coefficients: Vec<f64>,
+    threads: usize,
+) -> Result<Vec<f64>, NumericsError> {
+    if let Some(cache) = crate::omega::installed_cache() {
+        return omega_terms_cached(requests, &coefficients, threads, &cache);
+    }
+    let pairs: Vec<(f64, &[u32])> = requests.iter().map(|rq| (rq.r_prime, rq.k)).collect();
+    let (values, stats) = evaluate_omega(&pairs, &coefficients, threads)?;
     mrmc_obs::record(|| mrmc_obs::Event::OmegaTable {
         coefficients: coefficients.len() as u64,
         requests: requests.len() as u64,
-        cache_entries,
-        max_recursion_depth,
+        cache_entries: stats.cache_entries,
+        max_recursion_depth: stats.max_recursion_depth,
     });
-    Ok(terms)
+    Ok(requests
+        .iter()
+        .zip(values)
+        .map(|(rq, v)| rq.weight * v)
+        .collect())
+}
+
+/// The cached variant of [`omega_terms`]: look every request up, evaluate
+/// only the misses (with the same serial/parallel split), and store the
+/// fresh values back.
+fn omega_terms_cached(
+    requests: &[TermRequest<'_>],
+    coefficients: &[f64],
+    threads: usize,
+    cache: &OmegaTermCache,
+) -> Result<Vec<f64>, NumericsError> {
+    // Validate the coefficients even when every request hits the cache, so
+    // the cached path rejects exactly what the uncached path rejects.
+    OmegaEvaluator::new(coefficients.to_vec())?;
+    let key = OmegaTermCache::coefficient_key(coefficients);
+    let mut values: Vec<Option<f64>> = requests
+        .iter()
+        .map(|rq| cache.get(&key, rq.r_prime, rq.k))
+        .collect();
+    let misses: Vec<usize> = values
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.is_none().then_some(i))
+        .collect();
+    let pairs: Vec<(f64, &[u32])> = misses
+        .iter()
+        .map(|&i| (requests[i].r_prime, requests[i].k))
+        .collect();
+    let (computed, stats) = evaluate_omega(&pairs, coefficients, threads)?;
+    for (&i, &v) in misses.iter().zip(&computed) {
+        cache.insert(&key, requests[i].r_prime, requests[i].k, v);
+        values[i] = Some(v);
+    }
+    mrmc_obs::record(|| mrmc_obs::Event::OmegaTable {
+        coefficients: coefficients.len() as u64,
+        requests: misses.len() as u64,
+        cache_entries: stats.cache_entries,
+        max_recursion_depth: stats.max_recursion_depth,
+    });
+    mrmc_obs::record(|| mrmc_obs::Event::Counter {
+        name: mrmc_obs::counters::OMEGA_CACHE_HITS,
+        value: cache.hits(),
+    });
+    Ok(requests
+        .iter()
+        .zip(values)
+        .map(|(rq, v)| rq.weight * v.expect("every request resolved"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -709,6 +782,91 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "term {i}, threads {threads}");
             }
         }
+    }
+
+    #[test]
+    fn cached_omega_terms_are_bitwise_identical_and_reuse_tables() {
+        use crate::omega::with_omega_cache;
+        use std::sync::Arc;
+
+        let coeffs = vec![4.0, 1.5, 0.0];
+        let counts: Vec<Vec<u32>> = (0..40)
+            .map(|i| vec![1 + (i % 3) as u32, (i % 4) as u32, 1 + (i % 2) as u32])
+            .collect();
+        let requests: Vec<TermRequest<'_>> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, k)| TermRequest {
+                r_prime: 0.3 + 0.1 * i as f64,
+                k,
+                weight: 1.0 / (1 + i) as f64,
+            })
+            .collect();
+        let uncached = omega_terms(&requests, coeffs.clone(), 1).unwrap();
+
+        let cache = Arc::new(OmegaTermCache::new());
+        let (cold, warm) = with_omega_cache(cache.clone(), || {
+            let cold = omega_terms(&requests, coeffs.clone(), 1).unwrap();
+            let warm = omega_terms(&requests, coeffs.clone(), 1).unwrap();
+            (cold, warm)
+        });
+        for (i, (u, c)) in uncached.iter().zip(&cold).enumerate() {
+            assert_eq!(u.to_bits(), c.to_bits(), "cold term {i}");
+        }
+        for (i, (u, w)) in uncached.iter().zip(&warm).enumerate() {
+            assert_eq!(u.to_bits(), w.to_bits(), "warm term {i}");
+        }
+        // The second pass was served entirely from the cache.
+        assert_eq!(cache.hits(), requests.len() as u64);
+        assert_eq!(cache.len(), requests.len());
+
+        // The parallel path consults the cache identically.
+        let par = with_omega_cache(cache.clone(), || {
+            omega_terms(&requests, coeffs.clone(), 4).unwrap()
+        });
+        for (i, (u, p)) in uncached.iter().zip(&par).enumerate() {
+            assert_eq!(u.to_bits(), p.to_bits(), "parallel term {i}");
+        }
+        assert_eq!(cache.hits(), 2 * requests.len() as u64);
+    }
+
+    #[test]
+    fn cached_runs_report_misses_not_total_requests() {
+        use crate::omega::with_omega_cache;
+        use mrmc_obs::{with_recorder, MetricsRecorder};
+        use std::sync::Arc;
+
+        let coeffs = vec![3.0, 1.0, 0.0];
+        let counts: Vec<Vec<u32>> = (0..12).map(|i| vec![1, 1 + (i % 3) as u32, 1]).collect();
+        let requests: Vec<TermRequest<'_>> = counts
+            .iter()
+            .enumerate()
+            .map(|(i, k)| TermRequest {
+                r_prime: 0.2 + 0.15 * i as f64,
+                k,
+                weight: 1.0,
+            })
+            .collect();
+
+        let cache = Arc::new(crate::omega::OmegaTermCache::new());
+        let first = Arc::new(MetricsRecorder::new());
+        let second = Arc::new(MetricsRecorder::new());
+        with_omega_cache(cache.clone(), || {
+            with_recorder(first.clone(), || {
+                omega_terms(&requests, coeffs.clone(), 1).unwrap();
+            });
+            with_recorder(second.clone(), || {
+                omega_terms(&requests, coeffs.clone(), 1).unwrap();
+            });
+        });
+        let cold = first.snapshot();
+        let warm = second.snapshot();
+        assert_eq!(cold.omega_requests, requests.len() as u64);
+        assert_eq!(warm.omega_requests, 0, "warm run must be all cache hits");
+        assert_eq!(
+            warm.counters[mrmc_obs::counters::OMEGA_CACHE_HITS],
+            requests.len() as u64
+        );
     }
 
     #[test]

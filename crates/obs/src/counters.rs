@@ -1,0 +1,42 @@
+//! Well-known [`Event::Counter`](crate::Event::Counter) names.
+//!
+//! `Counter` events carry a free-form `&'static str` name, but the
+//! counters the engines actually emit are part of the workspace's
+//! observable surface: they appear in `--metrics` tables, in JSONL
+//! traces, and in the committed `BENCH_*.json` snapshots, and they are
+//! documented in `docs/USAGE.md` (a doc-sync test keeps the table in
+//! step with [`COUNTER_NAMES`]). Emitters reference these constants
+//! instead of repeating string literals so the name can never drift from
+//! the documentation.
+//!
+//! Counters are merged by **maximum** in
+//! [`RunMetrics`](crate::RunMetrics), so emitters report cumulative
+//! totals and may safely re-emit.
+
+/// Number of color classes the multicolor Gauss–Seidel solver partitioned
+/// the system's rows into (emitted once per solve).
+pub const SOLVER_COLORS: &str = "solver_colors";
+
+/// Cumulative Omega-term cache hits: per-class conditional probabilities
+/// `Ω(r', k)` served from an installed cache instead of being recomputed
+/// by the Omega recursion.
+pub const OMEGA_CACHE_HITS: &str = "omega_cache_hits";
+
+/// Every counter name the engines emit, for doc-sync and validation.
+pub const COUNTER_NAMES: &[&str] = &[SOLVER_COLORS, OMEGA_CACHE_HITS];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_identifier_like() {
+        for (i, name) in COUNTER_NAMES.iter().enumerate() {
+            assert!(
+                name.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "{name}"
+            );
+            assert!(!COUNTER_NAMES[..i].contains(name), "duplicate {name}");
+        }
+    }
+}

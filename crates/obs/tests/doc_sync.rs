@@ -1,0 +1,28 @@
+//! Doc-sync guard: every well-known counter name the engines emit
+//! ([`mrmc_obs::counters::COUNTER_NAMES`]) must be documented in the
+//! telemetry counter table of `docs/USAGE.md`. Counters surface in
+//! `--metrics` tables, JSONL traces, and the committed `BENCH_*.json`
+//! snapshots — shipping an undocumented one is a bug, so this test fails
+//! the build until the table is updated.
+
+use std::path::Path;
+
+#[test]
+fn every_counter_name_is_documented_in_usage_md() {
+    assert!(
+        !mrmc_obs::counters::COUNTER_NAMES.is_empty(),
+        "counter registry is empty — the scan below would pass vacuously"
+    );
+
+    let usage = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/USAGE.md");
+    let usage = std::fs::read_to_string(usage).expect("docs/USAGE.md exists");
+
+    let undocumented: Vec<&&str> = mrmc_obs::counters::COUNTER_NAMES
+        .iter()
+        .filter(|name| !usage.contains(&format!("`{name}`")))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "counter names missing from the docs/USAGE.md telemetry table: {undocumented:?}"
+    );
+}

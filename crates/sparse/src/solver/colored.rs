@@ -1,0 +1,449 @@
+//! Multicolor (greedy-colored) parallel Gauss–Seidel for `A·x = b`.
+//!
+//! Plain Gauss–Seidel is inherently sequential: row `r` reads the values
+//! this sweep already wrote to earlier rows. The multicolor variant breaks
+//! that chain structurally. Rows are partitioned into *color classes* such
+//! that no two rows in a class are adjacent in the symmetrized sparsity
+//! pattern of `A` (neither `A[r][c]` nor `A[c][r]` is structurally
+//! non-zero for same-class rows `r ≠ c`). Within a class, no row's update
+//! reads another class member's entry — so all rows of a class can be
+//! updated concurrently from the same pre-class snapshot of `x`, and the
+//! result is **independent of how the work is scheduled**.
+//!
+//! The fixed reference ordering is *class-major, ascending row index
+//! within each class*. The serial path (`threads ≤ 1`) walks exactly that
+//! order; the parallel path partitions each class into contiguous chunks,
+//! lets scoped workers compute chunk updates against the shared immutable
+//! `x`, and applies the chunks back in chunk order. Because same-class
+//! updates never read each other, the applied values are bitwise identical
+//! to the serial walk at any thread count, and the residual is folded with
+//! `f64::max` — exact and order-insensitive. The iteration *order* differs
+//! from plain [`gauss_seidel`](super::gauss_seidel) (rows are visited
+//! class-major, not index-major), so the two converge to the same solution
+//! within tolerance but are not ulp-for-ulp interchangeable; determinism
+//! is promised per solver across thread counts, not across solvers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use super::SolverOptions;
+use crate::error::SolveError;
+use crate::CsrMatrix;
+
+/// Rows grouped into dependency-free classes by greedy coloring of the
+/// symmetrized sparsity pattern.
+#[derive(Debug, Clone)]
+struct Coloring {
+    /// `classes[c]` lists the rows of color `c` in ascending order.
+    classes: Vec<Vec<usize>>,
+}
+
+/// Greedy first-fit coloring over the symmetrized off-diagonal adjacency.
+///
+/// Rows are visited in ascending index order; each takes the smallest
+/// color unused by its already-colored neighbors. For the banded and
+/// block-structured matrices model checking produces this degenerates to
+/// the classic red–black split (two colors) or close to it; the color
+/// count is bounded by the maximum symmetrized degree plus one.
+fn greedy_coloring(a: &CsrMatrix, at: &CsrMatrix) -> Coloring {
+    let n = a.nrows();
+    let mut color = vec![usize::MAX; n];
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    // Scratch: colors seen among neighbors, reset per row via a stamp.
+    let mut seen_stamp = vec![usize::MAX; n + 1];
+    for r in 0..n {
+        for (c, _) in a.row(r).chain(at.row(r)) {
+            if c != r && color[c] != usize::MAX {
+                seen_stamp[color[c]] = r;
+            }
+        }
+        let mut pick = 0usize;
+        while seen_stamp[pick] == r {
+            pick += 1;
+        }
+        color[r] = pick;
+        if pick == classes.len() {
+            classes.push(Vec::new());
+        }
+        classes[pick].push(r);
+    }
+    Coloring { classes }
+}
+
+/// Solve `A·x = b` by multicolor Gauss–Seidel sweeps, starting from `x0`.
+///
+/// Converges for the same diagonally dominant systems as
+/// [`gauss_seidel`](super::gauss_seidel); the update order is class-major
+/// (see the module docs), and `options.threads` workers update each color
+/// class in parallel. The result is bitwise identical for every thread
+/// count, including the serial `threads ≤ 1` path.
+///
+/// Emits the `solver_colors` counter (number of color classes) alongside
+/// the usual `solver_sweep`/`solver_done` telemetry.
+///
+/// # Errors
+///
+/// * [`SolveError::DimensionMismatch`] — `A` not square or `b`/`x0` of the
+///   wrong length;
+/// * [`SolveError::ZeroDiagonal`] — a row of `A` has no usable diagonal
+///   entry;
+/// * [`SolveError::NotConverged`] — the iteration cap was reached (or the
+///   residual left the finite range) before the maximum absolute update
+///   fell below the tolerance.
+pub fn gauss_seidel_colored(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: &[f64],
+    options: SolverOptions,
+) -> Result<Vec<f64>, SolveError> {
+    let n = a.nrows();
+    if a.ncols() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: a.ncols(),
+        });
+    }
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: b.len(),
+        });
+    }
+    if x0.len() != n {
+        return Err(SolveError::DimensionMismatch {
+            expected: n,
+            found: x0.len(),
+        });
+    }
+
+    // Pre-extract diagonals and verify them once.
+    let mut diag = vec![0.0; n];
+    #[allow(clippy::needless_range_loop)] // r also indexes the matrix rows
+    for r in 0..n {
+        for (c, v) in a.row(r) {
+            if c == r {
+                diag[r] = v;
+            }
+        }
+        if diag[r].abs() < 1e-300 {
+            return Err(SolveError::ZeroDiagonal { index: r });
+        }
+    }
+
+    let at = a.transpose();
+    let coloring = greedy_coloring(a, &at);
+    mrmc_obs::record(|| mrmc_obs::Event::Counter {
+        name: mrmc_obs::counters::SOLVER_COLORS,
+        value: coloring.classes.len() as u64,
+    });
+
+    let threads = effective_threads(options.threads);
+    // Chunk granularity: enough chunks that the pool load-balances, large
+    // enough that the per-chunk send amortizes.
+    const MIN_CHUNK: usize = 64;
+
+    let mut x = x0.to_vec();
+    let mut residual = f64::INFINITY;
+    for iteration in 1..=options.max_iterations {
+        residual = 0.0;
+        for class in &coloring.classes {
+            if threads <= 1 || class.len() < 2 * MIN_CHUNK {
+                // Serial reference order: ascending row index. Immediate
+                // writes are safe — same-class rows never read each other.
+                for &r in class {
+                    let next = update_row(a, b, &diag, &x, r);
+                    residual = residual.max((next - x[r]).abs());
+                    x[r] = next;
+                }
+            } else {
+                let chunk = (class.len().div_ceil(threads)).max(MIN_CHUNK);
+                let chunks: Vec<&[usize]> = class.chunks(chunk).collect();
+                let mut slots: Vec<Option<Vec<f64>>> = vec![None; chunks.len()];
+                let cursor = AtomicUsize::new(0);
+                let (tx, rx) = mpsc::channel::<(usize, Vec<f64>)>();
+                thread::scope(|scope| {
+                    for _ in 0..threads.min(chunks.len()) {
+                        let tx = tx.clone();
+                        let x = &x;
+                        let chunks = &chunks;
+                        let cursor = &cursor;
+                        let diag = &diag;
+                        scope.spawn(move || loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(rows) = chunks.get(i) else { break };
+                            let values: Vec<f64> =
+                                rows.iter().map(|&r| update_row(a, b, diag, x, r)).collect();
+                            if tx.send((i, values)).is_err() {
+                                break;
+                            }
+                        });
+                    }
+                    drop(tx);
+                    for (i, values) in rx {
+                        slots[i] = Some(values);
+                    }
+                });
+                // Apply in chunk order — the same ascending row order the
+                // serial path walks, so the write-back (and the exact,
+                // order-insensitive max fold) reproduce its bits.
+                for (rows, slot) in chunks.iter().zip(slots) {
+                    let values = slot.expect("worker completed every claimed chunk");
+                    for (&r, &next) in rows.iter().zip(&values) {
+                        residual = residual.max((next - x[r]).abs());
+                        x[r] = next;
+                    }
+                }
+            }
+        }
+        mrmc_obs::record(|| mrmc_obs::Event::SolverSweep {
+            iteration: iteration as u64,
+            residual,
+        });
+        if residual <= options.tolerance {
+            mrmc_obs::record(|| mrmc_obs::Event::SolverDone {
+                iterations: iteration as u64,
+                residual,
+                converged: true,
+            });
+            return Ok(x);
+        }
+        if !residual.is_finite() {
+            mrmc_obs::record(|| mrmc_obs::Event::SolverDone {
+                iterations: iteration as u64,
+                residual,
+                converged: false,
+            });
+            return Err(SolveError::NotConverged {
+                iterations: iteration,
+                residual,
+            });
+        }
+    }
+    mrmc_obs::record(|| mrmc_obs::Event::SolverDone {
+        iterations: options.max_iterations as u64,
+        residual,
+        converged: false,
+    });
+    Err(SolveError::NotConverged {
+        iterations: options.max_iterations,
+        residual,
+    })
+}
+
+/// One Gauss–Seidel row update read against the current `x`.
+#[inline]
+fn update_row(a: &CsrMatrix, b: &[f64], diag: &[f64], x: &[f64], r: usize) -> f64 {
+    let mut acc = b[r];
+    for (c, v) in a.row(r) {
+        if c != r {
+            acc -= v * x[c];
+        }
+    }
+    acc / diag[r]
+}
+
+/// `0` means "use the host's available parallelism".
+fn effective_threads(threads: usize) -> usize {
+    if threads == 0 {
+        thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+    use crate::{CooBuilder, DenseMatrix};
+
+    fn matrix(rows: &[Vec<f64>]) -> CsrMatrix {
+        let mut b = CooBuilder::new(rows.len(), rows[0].len());
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    b.push(i, j, v);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn with_threads(threads: usize) -> SolverOptions {
+        SolverOptions::new().with_threads(threads)
+    }
+
+    #[test]
+    fn coloring_separates_adjacent_rows() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC0105);
+        for _ in 0..32 {
+            let n = 2 + rng.range_usize(30);
+            let mut b = CooBuilder::new(n, n);
+            for r in 0..n {
+                b.push(r, r, 8.0);
+                for _ in 0..rng.range_usize(4) {
+                    b.push(r, rng.range_usize(n), rng.range_f64(-1.0, 1.0));
+                }
+            }
+            let a = b.build().unwrap();
+            let at = a.transpose();
+            let coloring = greedy_coloring(&a, &at);
+            let mut color = vec![usize::MAX; n];
+            for (ci, class) in coloring.classes.iter().enumerate() {
+                for &r in class {
+                    color[r] = ci;
+                }
+            }
+            assert!(color.iter().all(|&c| c != usize::MAX));
+            for r in 0..n {
+                for (c, _) in a.row(r) {
+                    if c != r {
+                        assert_ne!(
+                            color[r], color[c],
+                            "adjacent rows {r} and {c} share a color"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tridiagonal_coloring_is_red_black() {
+        // The classic case: a tridiagonal pattern needs exactly two colors.
+        let n = 17;
+        let mut b = CooBuilder::new(n, n);
+        for r in 0..n {
+            b.push(r, r, 4.0);
+            if r > 0 {
+                b.push(r, r - 1, -1.0);
+            }
+            if r + 1 < n {
+                b.push(r, r + 1, -1.0);
+            }
+        }
+        let a = b.build().unwrap();
+        let at = a.transpose();
+        let coloring = greedy_coloring(&a, &at);
+        assert_eq!(coloring.classes.len(), 2);
+        // Even rows land in class 0, odd rows in class 1.
+        assert!(coloring.classes[0].iter().all(|r| r % 2 == 0));
+        assert!(coloring.classes[1].iter().all(|r| r % 2 == 1));
+    }
+
+    #[test]
+    fn solves_diagonally_dominant_system() {
+        let a = matrix(&[
+            vec![10.0, -1.0, 2.0],
+            vec![-1.0, 11.0, -1.0],
+            vec![2.0, -1.0, 10.0],
+        ]);
+        let b = [6.0, 25.0, -11.0];
+        let x = gauss_seidel_colored(&a, &b, &[0.0; 3], SolverOptions::new()).unwrap();
+        let dense = DenseMatrix::from_csr(&a);
+        let expect = dense.solve(&b).unwrap();
+        for (u, v) in x.iter().zip(&expect) {
+            assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn bitwise_identical_across_thread_counts() {
+        // Large enough that every class exceeds the parallel chunking
+        // threshold, so the worker pool actually runs.
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC0106);
+        let n = 600;
+        let mut builder = CooBuilder::new(n, n);
+        for r in 0..n {
+            builder.push(r, r, 12.0);
+            for _ in 0..3 {
+                let c = rng.range_usize(n);
+                if c != r {
+                    builder.push(r, c, rng.range_f64(-1.0, 1.0));
+                }
+            }
+        }
+        let a = builder.build().unwrap();
+        let b: Vec<f64> = (0..n).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+        let serial = gauss_seidel_colored(&a, &b, &vec![0.0; n], with_threads(1)).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel =
+                gauss_seidel_colored(&a, &b, &vec![0.0; n], with_threads(threads)).unwrap();
+            for (i, (u, v)) in serial.iter().zip(&parallel).enumerate() {
+                assert_eq!(
+                    u.to_bits(),
+                    v.to_bits(),
+                    "threads = {threads}, index {i}: {u} vs {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_plain_gauss_seidel_within_tolerance() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(0xC0107);
+        for _ in 0..16 {
+            let mut rows = vec![vec![0.0; 6]; 6];
+            for row in &mut rows {
+                for x in row.iter_mut() {
+                    *x = rng.range_f64(-1.0, 1.0);
+                }
+            }
+            for (i, row) in rows.iter_mut().enumerate() {
+                row[i] += 8.0;
+            }
+            let b: Vec<f64> = (0..6).map(|_| rng.range_f64(-5.0, 5.0)).collect();
+            let a = matrix(&rows);
+            let colored = gauss_seidel_colored(&a, &b, &[0.0; 6], SolverOptions::new()).unwrap();
+            let plain =
+                super::super::gauss_seidel(&a, &b, &[0.0; 6], SolverOptions::new()).unwrap();
+            for (u, v) in colored.iter().zip(&plain) {
+                assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let a = matrix(&[vec![0.0, 1.0], vec![1.0, 1.0]]);
+        assert_eq!(
+            gauss_seidel_colored(&a, &[1.0, 1.0], &[0.0, 0.0], SolverOptions::new()),
+            Err(SolveError::ZeroDiagonal { index: 0 })
+        );
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        let a = matrix(&[vec![1.0, 10.0], vec![10.0, 1.0]]);
+        let opts = SolverOptions::new().with_max_iterations(50);
+        assert!(matches!(
+            gauss_seidel_colored(&a, &[1.0, 1.0], &[0.0, 0.0], opts),
+            Err(SolveError::NotConverged { .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let a = matrix(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(matches!(
+            gauss_seidel_colored(&a, &[1.0], &[0.0, 0.0], SolverOptions::new()),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+        let rect = matrix(&[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
+        assert!(matches!(
+            gauss_seidel_colored(&rect, &[1.0, 1.0], &[0.0, 0.0], SolverOptions::new()),
+            Err(SolveError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reachability_style_system() {
+        // (I - P) x = b with substochastic P: the shape used by Eq. 3.8.
+        let a = matrix(&[vec![1.0, -2.0 / 3.0], vec![-1.0 / 3.0, 1.0]]);
+        let x =
+            gauss_seidel_colored(&a, &[0.0, 2.0 / 3.0], &[0.0, 0.0], SolverOptions::new()).unwrap();
+        assert!((x[0] - 4.0 / 7.0).abs() < 1e-10);
+        assert!((x[1] - 6.0 / 7.0).abs() < 1e-10);
+    }
+}

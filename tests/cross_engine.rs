@@ -3,12 +3,15 @@
 //! same values, and both must degenerate to the state-reward-free baseline
 //! when the reward bound is loose.
 
+use mrmc::{CheckOptions, CheckOutcome, ModelChecker};
 use mrmc_models::cluster::{cluster, ClusterConfig};
 use mrmc_models::tmr::{tmr, TmrConfig};
 use mrmc_models::{phone, random, wavelan};
+use mrmc_mrm::Mrm;
 use mrmc_numerics::baseline;
 use mrmc_numerics::discretization::{self, DiscretizationOptions};
 use mrmc_numerics::uniformization::{self, UniformOptions};
+use mrmc_sparse::solver::SolverMethod;
 
 #[test]
 fn tmr_engines_agree_at_several_horizons() {
@@ -271,6 +274,87 @@ fn zero_impulse_models_agree_with_impulse_api() {
         a.probability,
         b.probability
     );
+}
+
+/// Check `formula` with the colored Gauss–Seidel solver at every thread
+/// count and assert the outcomes are *identical* (`CheckOutcome` derives
+/// `PartialEq`, so this compares satisfying sets, unknown sets, and every
+/// probability bit for bit). Also sanity-check the colored solution
+/// against the plain serial solver — same verdicts, probabilities within
+/// solver tolerance (the two iteration orders legitimately differ in the
+/// last few ulps, so this comparison is approximate by design).
+fn assert_colored_solver_is_deterministic(name: &str, mrm: &Mrm, formula: &str) {
+    let solve = |method: SolverMethod, threads: usize| -> CheckOutcome {
+        let options = CheckOptions::new()
+            .with_solver_method(method)
+            .with_threads(threads);
+        ModelChecker::new(mrm.clone(), options)
+            .check_str(formula)
+            .unwrap_or_else(|e| panic!("model {name}, `{formula}`: {e}"))
+    };
+
+    let reference = solve(SolverMethod::ColoredGaussSeidel, 1);
+    for threads in [2, 4, 8] {
+        let outcome = solve(SolverMethod::ColoredGaussSeidel, threads);
+        assert_eq!(
+            reference, outcome,
+            "colored solver diverged at {threads} threads: model {name}, `{formula}`"
+        );
+    }
+
+    let plain = solve(SolverMethod::GaussSeidel, 1);
+    assert_eq!(
+        plain.sat(),
+        reference.sat(),
+        "solver methods disagree on the satisfying set: model {name}, `{formula}`"
+    );
+    if let (Some(p), Some(c)) = (plain.probabilities(), reference.probabilities()) {
+        for (s, (a, b)) in p.iter().zip(c).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-6,
+                "model {name}, `{formula}`, state {s}: plain {a} vs colored {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn colored_solver_is_deterministic_on_the_paper_models() {
+    // Steady-state and unbounded-until formulas route through the linear
+    // solver (`steady` and `reachability` engines); these are the paths the
+    // multicolor Gauss–Seidel schedule must keep bit-stable under
+    // parallelism.
+    let tmr_model = tmr(&TmrConfig::classic());
+    assert_colored_solver_is_deterministic("tmr", &tmr_model, "S(> 0.5) (allUp)");
+    assert_colored_solver_is_deterministic("tmr", &tmr_model, "P(> 0.1) [TT U failed]");
+
+    let cluster_model = cluster(&ClusterConfig::new(2));
+    assert_colored_solver_is_deterministic("cluster", &cluster_model, "S(> 0.0) (premium)");
+    assert_colored_solver_is_deterministic("cluster", &cluster_model, "P(>= 0.0) [premium U down]");
+
+    let wavelan_model = wavelan();
+    assert_colored_solver_is_deterministic("wavelan", &wavelan_model, "S(> 0.1) (idle)");
+    assert_colored_solver_is_deterministic("wavelan", &wavelan_model, "P(> 0.01) [TT U busy]");
+}
+
+#[test]
+fn colored_solver_is_deterministic_on_random_models() {
+    // 32 seeded random MRMs: irregular sparsity patterns give the greedy
+    // coloring more classes to schedule than the structured paper models.
+    let cfg = random::RandomMrmConfig {
+        states: 6,
+        extra_transitions_per_state: 1.0,
+        max_rate: 2.0,
+        reward_levels: vec![0.0, 1.0, 3.0],
+        impulse_levels: vec![0.0, 0.5],
+        goal_fraction: 0.3,
+    };
+    for seed in 0u64..32 {
+        let m = random::random_mrm(seed, &cfg);
+        let name = format!("random{seed}");
+        assert_colored_solver_is_deterministic(&name, &m, "P(>= 0.0) [TT U goal]");
+        assert_colored_solver_is_deterministic(&name, &m, "S(>= 0.0) (goal)");
+    }
 }
 
 #[test]

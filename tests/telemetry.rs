@@ -127,6 +127,76 @@ fn recording_never_changes_outcomes_on_random_models() {
 }
 
 #[test]
+fn omega_term_cache_reuses_tables_across_adaptive_runs() {
+    use mrmc_numerics::adaptive::{uniformization_until, AdaptiveOptions};
+    use mrmc_numerics::omega::{with_omega_cache, OmegaTermCache};
+    use mrmc_numerics::uniformization::UniformOptions;
+
+    let m = wavelan();
+    let phi = m.labeling().states_with("idle");
+    let psi = m.labeling().states_with("busy");
+
+    let run = |eps: f64| {
+        let metrics = Arc::new(MetricsRecorder::new());
+        let res = mrmc_obs::with_recorder(metrics.clone(), || {
+            uniformization_until(
+                &m,
+                &phi,
+                &psi,
+                2.0,
+                2000.0,
+                2,
+                UniformOptions::new(),
+                AdaptiveOptions::new(eps),
+            )
+            .expect("adaptive run")
+        });
+        (res, metrics.snapshot())
+    };
+
+    // Standalone runs: each driver call self-installs a fresh per-run cache.
+    let (base_loose, _) = run(1e-3);
+    let (base_tight, tight_alone) = run(1e-6);
+
+    // One externally installed cache shared by both tolerances: the tight
+    // run re-generates most of the loose run's path classes, so its Omega
+    // requests hit the shared cache.
+    let cache = Arc::new(OmegaTermCache::new());
+    let (loose_shared, tight_shared) = with_omega_cache(cache.clone(), || (run(1e-3), run(1e-6)));
+    let (shared_loose, _) = loose_shared;
+    let (shared_tight, tight_shared_metrics) = tight_shared;
+
+    // Caching is exact: outcomes are bit-identical to the uncached runs.
+    assert_eq!(
+        base_loose.probability.to_bits(),
+        shared_loose.probability.to_bits()
+    );
+    assert_eq!(
+        base_tight.probability.to_bits(),
+        shared_tight.probability.to_bits()
+    );
+    assert_eq!(
+        base_tight.budget.total().to_bits(),
+        shared_tight.budget.total().to_bits()
+    );
+
+    // The warm run performed strictly fewer table computations than the
+    // same tolerance standalone, and said so in the telemetry.
+    assert!(
+        tight_shared_metrics.omega_requests < tight_alone.omega_requests,
+        "shared-cache run must compute fewer tables: {} vs {}",
+        tight_shared_metrics.omega_requests,
+        tight_alone.omega_requests
+    );
+    assert!(cache.hits() > 0, "shared cache saw no hits");
+    assert!(
+        tight_shared_metrics.counters[mrmc_obs::counters::OMEGA_CACHE_HITS] > 0,
+        "{:?}",
+        tight_shared_metrics.counters
+    );
+}
+
+#[test]
 fn metrics_reflect_the_work_the_engines_did() {
     // Not just invisible — the aggregator must actually see the engine
     // events: path exploration for uniformization, the span timers for
