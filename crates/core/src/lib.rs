@@ -42,19 +42,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 mod error;
 mod next;
 mod options;
 mod outcome;
+pub mod report;
 mod sat;
+pub mod session;
 mod steady;
 mod until;
 pub mod witness;
 
+pub use cache::{model_hash, options_fingerprint, with_sat_cache, SatCache, SatCtx};
 pub use error::CheckError;
 pub use next::next_probabilities;
 pub use options::{CheckOptions, Reduction, UntilEngine};
 pub use outcome::{CheckOutcome, ReductionInfo, Verdict};
+pub use session::{CheckSession, ModelHandle, SessionStats};
 pub use until::{until_probabilities, UntilAnalysis};
 pub use witness::{most_probable_witness, Witness};
 

@@ -27,11 +27,12 @@ use crate::steady::steady_probabilities;
 use crate::until::until_probabilities;
 
 /// Probabilities attached to the outermost operator, for reporting.
-struct Extras {
-    probabilities: Vec<f64>,
-    error_bounds: Option<Vec<f64>>,
-    budgets: Option<Vec<ErrorBudget>>,
-    engine: &'static str,
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Extras {
+    pub(crate) probabilities: Vec<f64>,
+    pub(crate) error_bounds: Option<Vec<f64>>,
+    pub(crate) budgets: Option<Vec<ErrorBudget>>,
+    pub(crate) engine: &'static str,
 }
 
 /// Compute `Sat(Φ)` with a post-order traversal of the formula.
@@ -130,8 +131,40 @@ fn threshold_verdicts(
     }
 }
 
+/// One recursion step, with the session memo consulted first.
+///
+/// Engine-backed nodes (`S`/`P` operators) are served from the installed
+/// [`SatCache`](crate::cache::SatCache) when a session scoped one in
+/// ([`crate::cache::with_sat_cache`]); boolean nodes are recomputed — they
+/// cost a vector scan, less than a cache round-trip. With no cache
+/// installed (the one-shot [`ModelChecker`](crate::ModelChecker) path)
+/// this is exactly [`sat_node`].
 #[allow(clippy::type_complexity)]
 fn sat_rec(
+    mrm: &Mrm,
+    options: &CheckOptions,
+    formula: &StateFormula,
+) -> Result<(Vec<bool>, Vec<bool>, Option<Extras>), CheckError> {
+    let engine_backed = matches!(
+        formula,
+        StateFormula::Steady { .. } | StateFormula::Prob { .. }
+    );
+    if engine_backed {
+        if let Some((cache, ctx)) = crate::cache::installed() {
+            let key = formula.to_string();
+            if let Some(cached) = cache.get(ctx, &key) {
+                return Ok(cached);
+            }
+            let value = sat_node(mrm, options, formula)?;
+            cache.insert(ctx, key, value.clone());
+            return Ok(value);
+        }
+    }
+    sat_node(mrm, options, formula)
+}
+
+#[allow(clippy::type_complexity)]
+fn sat_node(
     mrm: &Mrm,
     options: &CheckOptions,
     formula: &StateFormula,

@@ -1,0 +1,553 @@
+//! The long-lived checking engine: [`CheckSession`].
+//!
+//! The thesis tool — and [`ModelChecker`](crate::ModelChecker), its
+//! library mirror — is one-shot: load a model, check a formula, drop
+//! everything. A `CheckSession` is the service-shaped refactor of the
+//! same machinery: one session outlives many requests over many models
+//! and amortizes everything that is a pure function of its inputs:
+//!
+//! * **load-once models** — model files are digested and parsed at most
+//!   once per distinct *content*; a reload of unchanged files is a hash
+//!   lookup, while changed content (same path, different bytes) yields a
+//!   fresh entry and can never be served stale results;
+//! * **persisted lumping certificates** — the partition-refinement
+//!   analysis and its independent verification run once per
+//!   `(model, formula)` and the verified certificate (or the verified
+//!   absence of a quotient) is reused on every later request;
+//! * **a session-scoped Omega-term cache** — the
+//!   [`OmegaTermCache`] promoted
+//!   from per-adaptive-run to session scope, so `Ω(r', k)` tables are
+//!   shared across formulas, models (the cache keys on the coefficient
+//!   list), and requests;
+//! * **memoized `Sat` sub-results** — every engine-backed subformula's
+//!   full result, keyed by `(model_hash, subformula, options)` (see
+//!   [`crate::cache`]), with `sat_cache_hits`/`sat_cache_misses`
+//!   counters in the [`mrmc_obs::counters`] registry.
+//!
+//! Every cache is exact: the engines are deterministic functions of
+//! `(model, formula, options)`, so session results are bit-for-bit
+//! identical to fresh one-shot runs (pinned by
+//! `tests/server_conformance.rs`). The session is `Sync` — requests may
+//! be checked from many threads concurrently, which is what
+//! `mrmc-server` does on its worker pool.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mrmc_csrl::StateFormula;
+use mrmc_mrm::io::LoadError;
+use mrmc_mrm::Mrm;
+use mrmc_numerics::omega::{with_omega_cache, OmegaTermCache};
+use mrmc_obs::{counters, Event};
+
+use crate::cache::{self, SatCache, SatCtx};
+use crate::error::CheckError;
+use crate::options::{CheckOptions, Reduction};
+use crate::outcome::{CheckOutcome, ReductionInfo};
+use crate::{lumping, sat};
+
+/// A model registered with a [`CheckSession`]: the parsed MRM plus its
+/// content hash (see [`crate::cache::model_hash`]).
+///
+/// Handles are cheap to clone (the model is shared) and remain valid for
+/// the life of the session. Two handles compare equal exactly when they
+/// denote the same model content.
+#[derive(Debug, Clone)]
+pub struct ModelHandle {
+    mrm: Arc<Mrm>,
+    hash: u64,
+}
+
+impl ModelHandle {
+    /// The model.
+    pub fn mrm(&self) -> &Mrm {
+        &self.mrm
+    }
+
+    /// The model's content hash — the key every session cache is scoped
+    /// by. Stable across loads of byte-different files that parse to the
+    /// same model; different for any semantic change.
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl PartialEq for ModelHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.hash == other.hash
+    }
+}
+
+impl Eq for ModelHandle {}
+
+/// A point-in-time snapshot of a session's cache accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Check requests served (successful or not).
+    pub requests: u64,
+    /// Distinct model contents parsed (cache misses on load/insert).
+    pub models_loaded: u64,
+    /// Memoized `Sat` sub-results served from the cache.
+    pub sat_cache_hits: u64,
+    /// Engine-backed subformulas computed and stored.
+    pub sat_cache_misses: u64,
+    /// Lumping certificates (or certified negative results) reused.
+    pub cert_cache_hits: u64,
+    /// Entries in the session's shared Omega-term cache.
+    pub omega_cache_entries: u64,
+    /// Cumulative Omega-term cache hits.
+    pub omega_cache_hits: u64,
+}
+
+/// What the certificate cache remembers for one `(model, formula)` pair.
+///
+/// Negative results are cached too: re-running partition refinement to
+/// re-discover that no quotient exists (or that verification fails) is
+/// exactly the kind of per-request work a session exists to amortize.
+#[derive(Debug, Clone)]
+enum CertOutcome {
+    /// A verified, strictly smaller quotient, with the quotient's own
+    /// content hash (the `Sat` cache context when checking on it).
+    Verified {
+        cert: Arc<lumping::LumpingCertificate>,
+        quotient_hash: u64,
+    },
+    /// A certificate existed but failed independent verification.
+    FailedVerify { reason: String },
+    /// No nontrivial quotient exists for this formula.
+    NoQuotient,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CertKey {
+    model_hash: u64,
+    formula: String,
+}
+
+/// A reusable checking engine with session-scoped caches; see the module
+/// docs for what is amortized and why every cache is exact.
+#[derive(Debug, Default)]
+pub struct CheckSession {
+    /// Load-once file store: digest of the four files' bytes → handle.
+    by_file_digest: Mutex<HashMap<u64, ModelHandle>>,
+    /// Structural store: model content hash → handle (dedups
+    /// [`insert`](CheckSession::insert) and byte-different reloads).
+    by_content: Mutex<HashMap<u64, ModelHandle>>,
+    certs: Mutex<HashMap<CertKey, CertOutcome>>,
+    sat_cache: Arc<SatCache>,
+    omega: Arc<OmegaTermCache>,
+    requests: AtomicU64,
+    models_loaded: AtomicU64,
+    cert_cache_hits: AtomicU64,
+}
+
+impl CheckSession {
+    /// A fresh session with empty caches.
+    pub fn new() -> Self {
+        CheckSession::default()
+    }
+
+    /// Register an in-memory model, deduplicating by content hash.
+    pub fn insert(&self, mrm: Mrm) -> ModelHandle {
+        let hash = cache::model_hash(&mrm);
+        let mut by_content = self.by_content.lock().expect("session poisoned");
+        by_content
+            .entry(hash)
+            .or_insert_with(|| {
+                self.models_loaded.fetch_add(1, Ordering::Relaxed);
+                ModelHandle {
+                    mrm: Arc::new(mrm),
+                    hash,
+                }
+            })
+            .clone()
+    }
+
+    /// Load a model from the four files of the thesis' tool, once per
+    /// distinct content.
+    ///
+    /// The files are always re-read (that is what detects a mutated model
+    /// behind an unchanged path), but parsing, validation, and every
+    /// downstream cache key off the content: unchanged bytes return the
+    /// existing handle, changed bytes produce a fresh one — the old
+    /// entry's memoized results can never be served for the new content.
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError`] as for [`mrmc_mrm::io::load_model`].
+    pub fn load_files(
+        &self,
+        tra: impl AsRef<Path>,
+        lab: impl AsRef<Path>,
+        rewr: impl AsRef<Path>,
+        rewi: impl AsRef<Path>,
+    ) -> Result<ModelHandle, LoadError> {
+        let (tra, lab, rewr, rewi) = (tra.as_ref(), lab.as_ref(), rewr.as_ref(), rewi.as_ref());
+        let mut digest = cache::Fnv::new();
+        for path in [tra, lab, rewr, rewi] {
+            let bytes = std::fs::read(path).map_err(|source| LoadError::Io {
+                path: path.to_path_buf(),
+                source,
+            })?;
+            digest.write_u64(bytes.len() as u64).write(&bytes);
+        }
+        let digest = digest.finish();
+        if let Some(handle) = self
+            .by_file_digest
+            .lock()
+            .expect("session poisoned")
+            .get(&digest)
+        {
+            return Ok(handle.clone());
+        }
+        let handle = self.insert(mrmc_mrm::io::load_model(tra, lab, rewr, rewi)?);
+        self.by_file_digest
+            .lock()
+            .expect("session poisoned")
+            .insert(digest, handle.clone());
+        Ok(handle)
+    }
+
+    /// Run the static pre-flight lint for `formula` against `model` and
+    /// the engine configured in `options` (the same report
+    /// [`check`](CheckSession::check) gates on).
+    pub fn preflight(
+        &self,
+        model: &ModelHandle,
+        formula: &StateFormula,
+        options: &CheckOptions,
+    ) -> mrmc_analysis::Report {
+        mrmc_analysis::preflight(model.mrm(), formula, options.engine_hint())
+    }
+
+    /// Compute `Sat(Φ)` for a parsed formula, serving every sub-result
+    /// the session has already computed from its caches.
+    ///
+    /// Semantics are identical to
+    /// [`ModelChecker::check`](crate::ModelChecker::check) — pre-flight
+    /// gate, certified reduction under [`Reduction::Auto`], three-valued
+    /// verdicts — and the outcome is bit-for-bit what a fresh one-shot
+    /// run would produce.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelChecker::check`](crate::ModelChecker::check).
+    pub fn check(
+        &self,
+        model: &ModelHandle,
+        formula: &StateFormula,
+        options: &CheckOptions,
+    ) -> Result<CheckOutcome, CheckError> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let result = self.check_inner(model, formula, options);
+        self.emit_counters();
+        result
+    }
+
+    /// Parse and check a formula given in concrete syntax.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::Parse`] for syntax errors, otherwise as
+    /// [`check`](CheckSession::check).
+    pub fn check_str(
+        &self,
+        model: &ModelHandle,
+        formula: &str,
+        options: &CheckOptions,
+    ) -> Result<CheckOutcome, CheckError> {
+        let parsed = mrmc_csrl::parse(formula)?;
+        self.check(model, &parsed, options)
+    }
+
+    fn check_inner(
+        &self,
+        model: &ModelHandle,
+        formula: &StateFormula,
+        options: &CheckOptions,
+    ) -> Result<CheckOutcome, CheckError> {
+        if options.preflight {
+            let _span = mrmc_obs::span("preflight");
+            let report = self.preflight(model, formula, options);
+            if report.has_errors() {
+                return Err(CheckError::Preflight(report));
+            }
+        }
+        let cert = {
+            let _span = mrmc_obs::span("reduction");
+            self.certificate(model, formula, options)?
+        };
+        let options_fp = cache::options_fingerprint(options);
+        if let Some((cert, quotient_hash)) = cert {
+            let info = ReductionInfo {
+                original_states: model.mrm().num_states(),
+                reduced_states: cert.quotient.num_states(),
+            };
+            let ctx = SatCtx {
+                model_hash: quotient_hash,
+                options_fp,
+            };
+            let outcome = self.run(&cert.quotient, options, formula, ctx)?;
+            return Ok(outcome.lift(&cert.partition, info));
+        }
+        let ctx = SatCtx {
+            model_hash: model.content_hash(),
+            options_fp,
+        };
+        self.run(model.mrm(), options, formula, ctx)
+    }
+
+    /// Run the recursion with the session caches installed.
+    fn run(
+        &self,
+        mrm: &Mrm,
+        options: &CheckOptions,
+        formula: &StateFormula,
+        ctx: SatCtx,
+    ) -> Result<CheckOutcome, CheckError> {
+        let _span = mrmc_obs::span("engine");
+        with_omega_cache(self.omega.clone(), || {
+            cache::with_sat_cache(self.sat_cache.clone(), ctx, || {
+                sat::satisfy(mrm, options, formula)
+            })
+        })
+    }
+
+    /// The verified certificate `check` reduces with (plus the quotient's
+    /// content hash), resolved through the session's certificate cache.
+    /// Mirrors `ModelChecker::reduction_certificate` exactly, including
+    /// the error messages under [`Reduction::Require`].
+    #[allow(clippy::type_complexity)]
+    fn certificate(
+        &self,
+        model: &ModelHandle,
+        formula: &StateFormula,
+        options: &CheckOptions,
+    ) -> Result<Option<(Arc<lumping::LumpingCertificate>, u64)>, CheckError> {
+        let require = match options.reduction {
+            Reduction::Off => return Ok(None),
+            Reduction::Auto => false,
+            Reduction::Require => true,
+        };
+        let key = CertKey {
+            model_hash: model.content_hash(),
+            formula: formula.to_string(),
+        };
+        let outcome = {
+            let cached = self
+                .certs
+                .lock()
+                .expect("session poisoned")
+                .get(&key)
+                .cloned();
+            match cached {
+                Some(outcome) => {
+                    self.cert_cache_hits.fetch_add(1, Ordering::Relaxed);
+                    outcome
+                }
+                None => {
+                    let outcome = match lumping::analyze(model.mrm(), formula).certificate {
+                        Some(cert) => match cert.verify(model.mrm()) {
+                            Ok(()) => CertOutcome::Verified {
+                                quotient_hash: cache::model_hash(&cert.quotient),
+                                cert: Arc::new(cert),
+                            },
+                            Err(e) => CertOutcome::FailedVerify {
+                                reason: format!("lumping certificate failed verification: {e}"),
+                            },
+                        },
+                        None => CertOutcome::NoQuotient,
+                    };
+                    self.certs
+                        .lock()
+                        .expect("session poisoned")
+                        .entry(key)
+                        .or_insert(outcome)
+                        .clone()
+                }
+            }
+        };
+        match outcome {
+            CertOutcome::Verified {
+                cert,
+                quotient_hash,
+            } => Ok(Some((cert, quotient_hash))),
+            CertOutcome::FailedVerify { reason } if require => {
+                Err(CheckError::Reduction { reason })
+            }
+            CertOutcome::NoQuotient if require => Err(CheckError::Reduction {
+                reason: "no nontrivial quotient exists for this formula".into(),
+            }),
+            CertOutcome::FailedVerify { .. } | CertOutcome::NoQuotient => Ok(None),
+        }
+    }
+
+    /// Report the cumulative cache counters to the installed telemetry
+    /// recorder, if any ([`RunMetrics`](mrmc_obs::RunMetrics) merges
+    /// counters by maximum, so re-emitting totals is safe).
+    fn emit_counters(&self) {
+        let stats = self.stats();
+        mrmc_obs::record(|| Event::Counter {
+            name: counters::SAT_CACHE_HITS,
+            value: stats.sat_cache_hits,
+        });
+        mrmc_obs::record(|| Event::Counter {
+            name: counters::SAT_CACHE_MISSES,
+            value: stats.sat_cache_misses,
+        });
+        mrmc_obs::record(|| Event::Counter {
+            name: counters::CERT_CACHE_HITS,
+            value: stats.cert_cache_hits,
+        });
+        mrmc_obs::record(|| Event::Counter {
+            name: counters::MODELS_LOADED,
+            value: stats.models_loaded,
+        });
+    }
+
+    /// A point-in-time snapshot of the session's cache accounting. Every
+    /// counter is monotone over the session's lifetime.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            models_loaded: self.models_loaded.load(Ordering::Relaxed),
+            sat_cache_hits: self.sat_cache.hits(),
+            sat_cache_misses: self.sat_cache.misses(),
+            cert_cache_hits: self.cert_cache_hits.load(Ordering::Relaxed),
+            omega_cache_entries: self.omega.len() as u64,
+            omega_cache_hits: self.omega.hits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelChecker;
+    use mrmc_ctmc::CtmcBuilder;
+
+    fn two_state(rate: f64) -> Mrm {
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, rate).transition(1, 0, 0.9);
+        b.label(0, "up").label(1, "down");
+        Mrm::without_rewards(b.build().unwrap())
+    }
+
+    #[test]
+    fn insert_dedups_by_content() {
+        let session = CheckSession::new();
+        let a = session.insert(two_state(0.1));
+        let b = session.insert(two_state(0.1));
+        let c = session.insert(two_state(0.2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(session.stats().models_loaded, 2);
+    }
+
+    #[test]
+    fn session_results_match_one_shot_and_repeat_hits_cache() {
+        let session = CheckSession::new();
+        let options = CheckOptions::new();
+        let handle = session.insert(two_state(0.1));
+        let formula = "S(>= 0.85) (up)";
+
+        let one_shot = ModelChecker::new(two_state(0.1), options)
+            .check_str(formula)
+            .unwrap();
+        let cold = session.check_str(&handle, formula, &options).unwrap();
+        assert_eq!(one_shot, cold);
+        let after_cold = session.stats();
+        assert_eq!(after_cold.sat_cache_hits, 0);
+        assert!(after_cold.sat_cache_misses > 0);
+
+        let hot = session.check_str(&handle, formula, &options).unwrap();
+        assert_eq!(one_shot, hot);
+        let after_hot = session.stats();
+        assert!(after_hot.sat_cache_hits > 0, "{after_hot:?}");
+        assert_eq!(after_hot.sat_cache_misses, after_cold.sat_cache_misses);
+        assert!(after_hot.cert_cache_hits > after_cold.cert_cache_hits);
+        assert_eq!(after_hot.requests, 2);
+    }
+
+    #[test]
+    fn different_options_do_not_share_entries() {
+        let session = CheckSession::new();
+        let handle = session.insert(two_state(0.1));
+        let formula = "P(> 0.05) [up U[0,1] down]";
+        let defaults = CheckOptions::new();
+        let tighter = CheckOptions::new().with_engine(crate::UntilEngine::uniformization(1e-10));
+        session.check_str(&handle, formula, &defaults).unwrap();
+        let misses = session.stats().sat_cache_misses;
+        session.check_str(&handle, formula, &tighter).unwrap();
+        assert!(
+            session.stats().sat_cache_misses > misses,
+            "a different engine knob must not hit the cache"
+        );
+    }
+
+    #[test]
+    fn shared_subformulas_hit_across_enclosing_formulas() {
+        let session = CheckSession::new();
+        let handle = session.insert(two_state(0.1));
+        let options = CheckOptions::new();
+        session
+            .check_str(&handle, "S(>= 0.85) (up)", &options)
+            .unwrap();
+        // The same S-subformula embedded under a conjunction is served
+        // from the cache.
+        session
+            .check_str(&handle, "(S(>= 0.85) (up)) && up", &options)
+            .unwrap();
+        assert!(session.stats().sat_cache_hits > 0);
+    }
+
+    #[test]
+    fn load_files_is_load_once_and_detects_mutation() {
+        let dir = std::env::temp_dir().join(format!("mrmc-session-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let write = |name: &str, content: &str| {
+            let p = dir.join(name);
+            std::fs::write(&p, content).unwrap();
+            p
+        };
+        let tra = write("m.tra", "STATES 2\nTRANSITIONS 2\n1 2 0.5\n2 1 1.5\n");
+        let lab = write("m.lab", "#DECLARATION\nup down\n#END\n1 up\n2 down\n");
+        let rewr = write("m.rewr", "1 2.0\n2 0.0\n");
+        let rewi = write("m.rewi", "TRANSITIONS 0\n");
+
+        let session = CheckSession::new();
+        let a = session.load_files(&tra, &lab, &rewr, &rewi).unwrap();
+        let b = session.load_files(&tra, &lab, &rewr, &rewi).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(session.stats().models_loaded, 1);
+
+        // Same path, different content: a fresh handle.
+        std::fs::write(&tra, "STATES 2\nTRANSITIONS 2\n1 2 0.75\n2 1 1.5\n").unwrap();
+        let c = session.load_files(&tra, &lab, &rewr, &rewi).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(session.stats().models_loaded, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn require_reduction_errors_are_faithful_and_cached() {
+        let session = CheckSession::new();
+        let handle = session.insert(two_state(0.1));
+        let options = CheckOptions::new().with_reduction(Reduction::Require);
+        // The two-state chain has no nontrivial quotient for this formula.
+        let e = session
+            .check_str(&handle, "S(>= 0.85) (up)", &options)
+            .unwrap_err();
+        let one_shot = ModelChecker::new(two_state(0.1), options)
+            .check_str("S(>= 0.85) (up)")
+            .unwrap_err();
+        assert_eq!(format!("{e}"), format!("{one_shot}"));
+        let e2 = session
+            .check_str(&handle, "S(>= 0.85) (up)", &options)
+            .unwrap_err();
+        assert_eq!(format!("{e}"), format!("{e2}"));
+        assert!(session.stats().cert_cache_hits > 0);
+    }
+}

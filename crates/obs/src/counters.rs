@@ -22,8 +22,37 @@ pub const SOLVER_COLORS: &str = "solver_colors";
 /// by the Omega recursion.
 pub const OMEGA_CACHE_HITS: &str = "omega_cache_hits";
 
+/// Cumulative memoized-`Sat` cache hits over a session's lifetime:
+/// engine-backed subformulas (`S`/`P` operators) whose full result —
+/// probabilities, verdicts, budgets — was served from the session cache
+/// keyed by `(model_hash, subformula, options)` instead of re-running the
+/// engines.
+pub const SAT_CACHE_HITS: &str = "sat_cache_hits";
+
+/// Cumulative memoized-`Sat` cache misses: engine-backed subformulas that
+/// had to be computed and were then stored for later requests.
+pub const SAT_CACHE_MISSES: &str = "sat_cache_misses";
+
+/// Cumulative lumping-certificate cache hits: `(model, formula)` pairs
+/// whose verified certificate (or the verified absence of a nontrivial
+/// quotient) was reused from the session instead of re-running partition
+/// refinement.
+pub const CERT_CACHE_HITS: &str = "cert_cache_hits";
+
+/// Distinct model contents parsed into a session so far: a reload of
+/// unchanged files is served from the load-once store and does not bump
+/// this counter, while changed content (same path, different bytes) does.
+pub const MODELS_LOADED: &str = "models_loaded";
+
 /// Every counter name the engines emit, for doc-sync and validation.
-pub const COUNTER_NAMES: &[&str] = &[SOLVER_COLORS, OMEGA_CACHE_HITS];
+pub const COUNTER_NAMES: &[&str] = &[
+    SOLVER_COLORS,
+    OMEGA_CACHE_HITS,
+    SAT_CACHE_HITS,
+    SAT_CACHE_MISSES,
+    CERT_CACHE_HITS,
+    MODELS_LOADED,
+];
 
 #[cfg(test)]
 mod tests {

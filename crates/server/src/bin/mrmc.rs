@@ -67,26 +67,49 @@
 //! (`R0xx`/`R1xx` codes); `--deny warnings` promotes Warning-grade
 //! findings to Errors.
 //!
-//! Exit codes: `0` all formulas checked (or lint found no errors), `1` a
-//! formula or the model failed operationally, `2` the pre-flight lint (or
+//! Exit codes reflect the *worst* outcome across the whole batch: `0` all
+//! formulas checked and decided (or lint found no errors), `1` a formula
+//! or the model failed operationally, `2` the pre-flight lint (or
 //! `mrmc lint`) found Error-grade diagnostics — no engine was started —
-//! and `3` every failure was a missed tolerance (the model and formulas
-//! are fine — only more work, a smaller `d`/`w`, or a looser `E` is
-//! needed).
+//! `3` a tolerance was missed (the model and formulas are fine — only
+//! more work, a smaller `d`/`w`, or a looser `E` is needed), and `4`
+//! every formula completed but at least one verdict is Unknown (the
+//! error budget straddles the probability bound).
+//!
+//! Checking runs on a [`CheckSession`], so a multi-formula batch shares
+//! memoized `Sat` sub-results, lumping certificates, and Omega tables
+//! across formulas — `--metrics` surfaces the `sat_cache_hits` /
+//! `sat_cache_misses` counters.
+//!
+//! Two further subcommands expose the checker as a service (see the
+//! `mrmc-server` crate docs for the JSONL wire protocol):
+//!
+//! ```text
+//! mrmc serve [--listen ADDR] [--workers N] [--connections N]
+//! mrmc batch <ADDR>
+//! ```
+//!
+//! `serve` binds a TCP listener (default `127.0.0.1:0`), prints one
+//! `{"listening":"HOST:PORT"}` line to stdout, and then answers JSONL
+//! batches from any number of concurrent clients over one shared session.
+//! `batch` is the matching client: it streams stdin (JSONL requests) to a
+//! running server and prints the response lines, exiting `0` when the
+//! terminal `run_summary` reports no failures.
 
-use std::io::{BufRead, IsTerminal};
+use std::io::{BufRead, IsTerminal, Write};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use mrmc::report::json_outcome;
 use mrmc::{
-    diagnose_load_error, lumping, Analyzer, CheckError, CheckOptions, CheckOutcome, Diagnostic,
-    ModelChecker, Reduction, Report, Severity, UntilEngine, Verdict,
+    diagnose_load_error, lumping, Analyzer, CheckError, CheckOptions, CheckOutcome, CheckSession,
+    Diagnostic, ModelHandle, Reduction, Report, Severity, UntilEngine, Verdict,
 };
 use mrmc_obs::{
     Event, JsonlTraceRecorder, MetricsRecorder, MultiRecorder, ProgressRecorder, Recorder,
-    RunMetrics,
 };
+use mrmc_server::{connect_with_retry, RunTotals, Server, ServerConfig};
 use mrmc_sparse::solver::SolverMethod;
 
 #[derive(Debug)]
@@ -110,6 +133,8 @@ struct Cli {
 fn usage() -> &'static str {
     "usage: mrmc [check] <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [--solver M] [--no-reduction] [--metrics] [--trace FILE] [--progress] [NP]\n\
      \x20      mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--lumping] [--json] [--deny warnings]\n\
+     \x20      mrmc serve [--listen ADDR] [--workers N] [--connections N]\n\
+     \x20      mrmc batch <ADDR>\n\
      \n\
      Reads CSRL formulas from stdin, one per line, e.g.\n\
      \x20 P(>= 0.3) [a U[0,3][0,23] b]\n\
@@ -146,7 +171,18 @@ fn usage() -> &'static str {
      cost, without running any engine. --lumping additionally reports the\n\
      per-formula lumpability analysis (R codes). --deny warnings promotes\n\
      warnings to errors. Exit code 2 when error-grade diagnostics are\n\
-     present."
+     present.\n\
+     \n\
+     The serve subcommand runs the checker as a JSONL batch server on a\n\
+     shared check session (models load once, Sat sub-results, lumping\n\
+     certificates and Omega tables are cached across requests); it prints\n\
+     a {\"listening\":\"HOST:PORT\"} line, then serves until interrupted\n\
+     (or for --connections N clients). batch streams stdin requests to a\n\
+     running server and prints the responses.\n\
+     \n\
+     Exit codes reflect the worst outcome across the batch: 0 all decided,\n\
+     1 operational error, 2 pre-flight rejection, 3 tolerance not met,\n\
+     4 unknown verdicts."
 }
 
 /// Parse a `u=`/`d=`/`s=` engine switch; `None` when `arg` is not one.
@@ -379,101 +415,6 @@ fn run_lint(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
-/// Escape a string for inclusion in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Format an `f64` as a JSON value (`null` for non-finite values, which
-/// JSON cannot represent).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:e}")
-    } else {
-        "null".to_string()
-    }
-}
-
-fn verdict_name(v: Verdict) -> &'static str {
-    match v {
-        Verdict::Holds => "holds",
-        Verdict::Fails => "fails",
-        Verdict::Unknown => "unknown",
-    }
-}
-
-/// One JSON object (a single line) describing a checked formula.
-fn json_outcome(formula: &str, outcome: &CheckOutcome, metrics: Option<&RunMetrics>) -> String {
-    let set = |states: Vec<usize>| {
-        states
-            .iter()
-            .map(|s| (s + 1).to_string())
-            .collect::<Vec<_>>()
-            .join(",")
-    };
-    let mut out = format!(
-        "{{\"formula\":\"{}\",\"satisfied\":[{}],\"unknown\":[{}]",
-        json_escape(formula),
-        set(outcome.satisfying_states().collect()),
-        set(outcome.unknown_states().collect()),
-    );
-    if let Some(engine) = outcome.engine() {
-        out.push_str(&format!(",\"engine\":\"{engine}\""));
-    }
-    if let Some(r) = outcome.reduction() {
-        out.push_str(&format!(
-            ",\"original_states\":{},\"reduced_states\":{}",
-            r.original_states, r.reduced_states
-        ));
-    }
-    if let Some(probs) = outcome.probabilities() {
-        out.push_str(",\"states\":[");
-        for (s, &p) in probs.iter().enumerate() {
-            if s > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"state\":{},\"probability\":{},\"verdict\":\"{}\"",
-                s + 1,
-                json_f64(p),
-                verdict_name(outcome.verdict(s)),
-            ));
-            if let Some(errs) = outcome.error_bounds() {
-                out.push_str(&format!(",\"error_bound\":{}", json_f64(errs[s])));
-            }
-            if let Some(budgets) = outcome.budgets() {
-                let b = &budgets[s];
-                out.push_str(",\"budget\":{");
-                for (name, value) in b.components() {
-                    out.push_str(&format!("\"{name}\":{},", json_f64(value)));
-                }
-                out.push_str(&format!(
-                    "\"total\":{},\"dominant\":\"{}\"}}",
-                    json_f64(b.total()),
-                    b.dominant().0
-                ));
-            }
-            out.push('}');
-        }
-        out.push(']');
-    }
-    if let Some(m) = metrics {
-        out.push_str(",\"metrics\":");
-        out.push_str(&m.to_json());
-    }
-    out.push('}');
-    out
-}
-
 fn print_human(outcome: &CheckOutcome, print_probabilities: bool) {
     if let Some(engine) = outcome.engine() {
         println!("  engine: {engine}");
@@ -531,23 +472,20 @@ fn print_human(outcome: &CheckOutcome, print_probabilities: bool) {
     }
 }
 
-/// How the formula stream went, for exit-code selection.
-#[derive(Debug, Default)]
-struct RunTotals {
-    any_error: bool,
-    any_preflight: bool,
-    any_tolerance_miss: bool,
-}
-
-/// Read formulas from stdin and check each one, printing the outcomes.
+/// Read formulas from stdin and check each one on `session`, printing the
+/// outcomes.
 ///
 /// Runs under whatever recorder the caller installed; per-formula metrics
 /// are scoped by draining `metrics` (when `--metrics` was given) after
-/// each check. Ends by emitting the `run_summary` event and flushing the
+/// each check. Because the whole batch shares the session, repeated (sub-)
+/// formulas are served from its caches — visible as `sat_cache_hits` in
+/// the metrics. Ends by emitting the `run_summary` event and flushing the
 /// sinks, so a `--trace` file always terminates with that line.
 fn check_formulas(
     cli: &Cli,
-    checker: &ModelChecker,
+    session: &CheckSession,
+    model: &ModelHandle,
+    options: &CheckOptions,
     metrics: Option<&MetricsRecorder>,
 ) -> Result<RunTotals, String> {
     let stdin = std::io::stdin();
@@ -569,13 +507,13 @@ fn check_formulas(
                 if !cli.json {
                     // Surface Warning/Note pre-flight findings on stderr;
                     // Error-grade ones abort `check` below.
-                    for d in checker.preflight(&f).diagnostics() {
+                    for d in session.preflight(model, &f, options).diagnostics() {
                         if d.severity != Severity::Error {
                             eprintln!("  {d}");
                         }
                     }
                 }
-                checker.check(&f)
+                session.check(model, &f, options)
             }
             Err(e) => Err(CheckError::Parse(e)),
         };
@@ -584,6 +522,9 @@ fn check_formulas(
         let snapshot = metrics.map(MetricsRecorder::take);
         match result {
             Ok(outcome) => {
+                if outcome.has_unknown() {
+                    totals.any_unknown = true;
+                }
                 if cli.json {
                     println!("{}", json_outcome(text, &outcome, snapshot.as_ref()));
                 } else {
@@ -598,31 +539,12 @@ fn check_formulas(
             }
             Err(e) => {
                 failures += 1;
-                let tolerance_miss = matches!(e, CheckError::ToleranceNotMet { .. });
-                let preflight = matches!(e, CheckError::Preflight(_));
                 if cli.json {
-                    let kind = if tolerance_miss {
-                        "tolerance_not_met"
-                    } else if preflight {
-                        "preflight"
-                    } else {
-                        "check_failed"
-                    };
-                    println!(
-                        "{{\"formula\":\"{}\",\"error\":\"{}\",\"error_kind\":\"{kind}\"}}",
-                        json_escape(text),
-                        json_escape(&e.to_string())
-                    );
+                    println!("{}", mrmc::report::json_error(text, &e));
                 } else {
                     println!("  error: {e}");
                 }
-                if tolerance_miss {
-                    totals.any_tolerance_miss = true;
-                } else if preflight {
-                    totals.any_preflight = true;
-                } else {
-                    totals.any_error = true;
-                }
+                totals.record_error(&e);
             }
         }
     }
@@ -631,14 +553,137 @@ fn check_formulas(
     Ok(totals)
 }
 
+/// Arguments of the `serve` subcommand.
+#[derive(Debug, PartialEq)]
+struct ServeCli {
+    listen: String,
+    workers: usize,
+    connections: Option<usize>,
+}
+
+fn parse_serve_args(args: &[String]) -> Result<ServeCli, String> {
+    let mut cli = ServeCli {
+        listen: "127.0.0.1:0".to_string(),
+        workers: ServerConfig::default().workers,
+        connections: None,
+    };
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        let mut value_of = |name: &str| -> Result<String, String> {
+            match arg.strip_prefix(&format!("{name}=")) {
+                Some(v) if !v.is_empty() => Ok(v.to_string()),
+                Some(_) => Err(format!("{name} requires a value")),
+                None => rest
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} requires a value")),
+            }
+        };
+        if arg == "--listen" || arg.starts_with("--listen=") {
+            cli.listen = value_of("--listen")?;
+        } else if arg == "--workers" || arg.starts_with("--workers=") {
+            let v = value_of("--workers")?;
+            cli.workers = v
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| format!("invalid worker count `{v}`"))?;
+        } else if arg == "--connections" || arg.starts_with("--connections=") {
+            let v = value_of("--connections")?;
+            cli.connections = Some(
+                v.parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| format!("invalid connection count `{v}`"))?,
+            );
+        } else {
+            return Err(format!("unrecognized argument `{arg}`\n\n{}", usage()));
+        }
+    }
+    Ok(cli)
+}
+
+/// The `mrmc serve` subcommand: run the JSONL batch server.
+fn run_serve(args: &[String]) -> Result<ExitCode, String> {
+    let cli = parse_serve_args(args)?;
+    let server = Server::bind(
+        &cli.listen,
+        ServerConfig {
+            workers: cli.workers,
+        },
+    )
+    .map_err(|e| format!("cannot bind `{}`: {e}", cli.listen))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // One machine-readable line so scripts can pick up an ephemeral port.
+    println!("{{\"listening\":\"{addr}\"}}");
+    std::io::stdout().flush().ok();
+    server
+        .run(cli.connections)
+        .map_err(|e| format!("server failed: {e}"))?;
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The `mrmc batch` subcommand: stream stdin JSONL requests to a running
+/// server and print the response lines.
+fn run_batch(args: &[String]) -> Result<ExitCode, String> {
+    let [addr] = args else {
+        return Err(format!(
+            "batch takes exactly one server address\n\n{}",
+            usage()
+        ));
+    };
+    let stream =
+        connect_with_retry(addr, 50).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let read_half = stream.try_clone().map_err(|e| e.to_string())?;
+    // Feed stdin to the server on a separate thread, then close the write
+    // half so the server drains the batch and emits its run_summary.
+    let feeder = std::thread::spawn(move || -> std::io::Result<()> {
+        let mut writer = stream;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            writer.write_all(line?.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+        writer.shutdown(std::net::Shutdown::Write)
+    });
+    let reader = std::io::BufReader::new(read_half);
+    let mut summary_failures: Option<u64> = None;
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        println!("{line}");
+        if let Some(rest) = line.strip_prefix("{\"kind\":\"run_summary\"") {
+            summary_failures = rest
+                .split("\"failures\":")
+                .nth(1)
+                .and_then(|v| v.trim_end_matches('}').parse().ok());
+        }
+    }
+    feeder
+        .join()
+        .map_err(|_| "stdin feeder panicked".to_string())?
+        .map_err(|e| format!("sending requests failed: {e}"))?;
+    match summary_failures {
+        Some(0) => Ok(ExitCode::SUCCESS),
+        Some(_) => {
+            eprintln!("one or more requests failed");
+            Ok(ExitCode::FAILURE)
+        }
+        None => Err("connection closed without a run_summary".to_string()),
+    }
+}
+
 fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!("{}", usage());
         return Ok(ExitCode::SUCCESS);
     }
-    if args.first().map(String::as_str) == Some("lint") {
-        return run_lint(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("lint") => return run_lint(&args[1..]),
+        Some("serve") => return run_serve(&args[1..]),
+        Some("batch") => return run_batch(&args[1..]),
+        _ => {}
     }
     // `check` is an optional explicit subcommand for the default mode.
     let args = if args.first().map(String::as_str) == Some("check") {
@@ -648,9 +693,14 @@ fn run() -> Result<ExitCode, String> {
     };
     let cli = parse_args(args)?;
 
-    let mrm = mrmc_mrm::io::load_model(&cli.tra, &cli.lab, &cli.rewr, &cli.rewi)
+    // The whole batch runs on one session: formulas read from stdin share
+    // memoized Sat sub-results, lumping certificates, and Omega tables.
+    let session = CheckSession::new();
+    let model = session
+        .load_files(&cli.tra, &cli.lab, &cli.rewr, &cli.rewi)
         .map_err(|e| e.to_string())?;
     if !cli.json {
+        let mrm = model.mrm();
         println!(
             "loaded model: {} states, {} transitions, {} impulse rewards",
             mrm.num_states(),
@@ -669,7 +719,6 @@ fn run() -> Result<ExitCode, String> {
     if cli.no_reduction {
         options = options.with_reduction(Reduction::Off);
     }
-    let checker = ModelChecker::new(mrm, options);
 
     // Compose the requested telemetry sinks. With none requested, the
     // checking loop runs with no recorder installed at all — the engines'
@@ -688,23 +737,28 @@ fn run() -> Result<ExitCode, String> {
         sinks.push(Arc::new(ProgressRecorder));
     }
     let totals = if sinks.is_empty() {
-        check_formulas(&cli, &checker, None)?
+        check_formulas(&cli, &session, &model, &options, None)?
     } else {
         let recorder: Arc<dyn Recorder> = Arc::new(MultiRecorder::new(sinks));
         mrmc_obs::with_recorder(recorder, || {
-            check_formulas(&cli, &checker, metrics.as_deref())
+            check_formulas(&cli, &session, &model, &options, metrics.as_deref())
         })?
     };
-    if totals.any_error {
-        Err("one or more formulas failed".to_string())
-    } else if totals.any_preflight {
-        eprintln!("pre-flight lint rejected one or more formulas");
-        Ok(ExitCode::from(2))
-    } else if totals.any_tolerance_miss {
-        eprintln!("tolerance not met for one or more formulas");
-        Ok(ExitCode::from(3))
-    } else {
-        Ok(ExitCode::SUCCESS)
+    match totals.exit_code() {
+        0 => Ok(ExitCode::SUCCESS),
+        1 => Err("one or more formulas failed".to_string()),
+        2 => {
+            eprintln!("pre-flight lint rejected one or more formulas");
+            Ok(ExitCode::from(2))
+        }
+        3 => {
+            eprintln!("tolerance not met for one or more formulas");
+            Ok(ExitCode::from(3))
+        }
+        code => {
+            eprintln!("one or more verdicts are unknown (error budget straddles the bound)");
+            Ok(ExitCode::from(code))
+        }
     }
 }
 
@@ -1045,10 +1099,29 @@ mod tests {
     }
 
     #[test]
-    fn json_escaping_covers_the_specials() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
-        assert_eq!(json_f64(0.5), "5e-1");
-        assert_eq!(json_f64(f64::NAN), "null");
-        assert_eq!(json_f64(f64::INFINITY), "null");
+    fn serve_args_parse() {
+        let cli = parse_serve_args(&args(&[])).unwrap();
+        assert_eq!(cli.listen, "127.0.0.1:0");
+        assert_eq!(cli.connections, None);
+        let cli = parse_serve_args(&args(&[
+            "--listen",
+            "127.0.0.1:7421",
+            "--workers=2",
+            "--connections",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(cli.listen, "127.0.0.1:7421");
+        assert_eq!(cli.workers, 2);
+        assert_eq!(cli.connections, Some(3));
+    }
+
+    #[test]
+    fn bad_serve_args_are_rejected() {
+        assert!(parse_serve_args(&args(&["--workers"])).is_err());
+        assert!(parse_serve_args(&args(&["--workers", "0"])).is_err());
+        assert!(parse_serve_args(&args(&["--connections=x"])).is_err());
+        assert!(parse_serve_args(&args(&["--listen="])).is_err());
+        assert!(parse_serve_args(&args(&["--frob"])).is_err());
     }
 }

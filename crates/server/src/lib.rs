@@ -1,0 +1,588 @@
+//! Checker-as-a-service: a JSONL batch server over a shared
+//! [`CheckSession`].
+//!
+//! `mrmc serve` turns the one-shot CLI into a long-lived daemon: clients
+//! connect over TCP (loopback by default), stream newline-delimited JSON
+//! requests, and receive one JSON response line per request. All
+//! connections share one [`CheckSession`], so models are loaded once per
+//! distinct content and memoized `Sat` sub-results, verified lumping
+//! certificates, and Omega-term tables accumulate across requests,
+//! clients, and models. Checks execute on a scoped worker pool; the
+//! per-request result objects are exactly the CLI's `--json` objects
+//! (rendered by [`mrmc::report`]), so a server-mode batch is bit-for-bit
+//! comparable to one-shot runs.
+//!
+//! # Wire protocol
+//!
+//! Requests, one JSON object per line:
+//!
+//! * `{"load": {"model": "m1", "tra": P, "lab": P, "rewr": P, "rewi": P}}` —
+//!   register the model files under the ref `"m1"`. Answered in line
+//!   order with `{"loaded": "m1", "states": N, "transitions": T,
+//!   "model_hash": "…"}`. Reloading re-reads the files: unchanged bytes
+//!   reuse the session entry, changed bytes get a fresh one (stale cached
+//!   results can never be served).
+//! * `{"check": {"model": "m1", "formula": F, "options": {…}}, "id": X}` —
+//!   check formula `F` against the model registered as `"m1"`. Dispatched
+//!   to the worker pool; the response is the CLI `--json` outcome (or
+//!   error) object with `"id"` (echoed verbatim) and `"model"` prepended.
+//!   Responses arrive in *completion* order — use `"id"` to correlate.
+//!   `options` accepts `engine` (`"u=1e-8"` / `"d=0.05"` / `"s=10000"`),
+//!   `threads`, `solver` (`"gs"`/`"colored"`), `tolerance`,
+//!   `no_reduction`, and `metrics` (embed the per-request metrics object).
+//! * `{"stats": true}` — answered in line order with the session's
+//!   cumulative cache counters (`sat_cache_hits`, `sat_cache_misses`,
+//!   `cert_cache_hits`, `models_loaded`, `omega_cache_hits`, …), each
+//!   monotone over the server's lifetime.
+//!
+//! Malformed lines are answered with `{"error": …, "error_kind":
+//! "request"}` and counted as failures. When the client closes its write
+//! half, the server drains that connection's in-flight checks and ends
+//! the response stream with `{"kind": "run_summary", "formulas": N,
+//! "failures": M}` — the same terminal record a `--trace` stream ends
+//! with — then closes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+use mrmc::report;
+use mrmc::{CheckError, CheckOptions, CheckSession, ModelHandle, Reduction, UntilEngine};
+use mrmc_obs::{MetricsRecorder, Recorder};
+use mrmc_sparse::solver::SolverMethod;
+
+use json::Value;
+
+/// How many checks may run concurrently across all connections.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads executing check requests (at least 1).
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { workers: 4 }
+    }
+}
+
+/// A bound, not-yet-running batch server. See the crate docs for the
+/// wire protocol.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    session: Arc<CheckSession>,
+    workers: usize,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) with a fresh
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            session: Arc::new(CheckSession::new()),
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared session (for in-process inspection in tests).
+    pub fn session(&self) -> &Arc<CheckSession> {
+        &self.session
+    }
+
+    /// Serve connections until `connections` have been accepted and fully
+    /// drained (`None`: forever). Workers and per-connection readers run
+    /// on a scoped pool; the call returns only when every response,
+    /// including each connection's `run_summary`, has been written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `accept` failures; per-connection I/O errors only
+    /// terminate that connection.
+    pub fn run(&self, connections: Option<usize>) -> std::io::Result<()> {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                let rx = rx.clone();
+                scope.spawn(move || worker_loop(&rx));
+            }
+            let mut accepted = 0usize;
+            let result = loop {
+                if connections == Some(accepted) {
+                    break Ok(());
+                }
+                let stream = match self.listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(e) => break Err(e),
+                };
+                accepted += 1;
+                let session = self.session.clone();
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    // A connection dropping mid-stream is the client's
+                    // problem, not the server's.
+                    let _ = serve_connection(&session, &tx, stream);
+                });
+            };
+            // Readers hold their own sender clones; once they finish and
+            // this one drops, the workers' `recv` fails and they exit.
+            drop(tx);
+            result
+        })
+    }
+}
+
+/// One check dispatched to the worker pool.
+struct Job {
+    session: Arc<CheckSession>,
+    model: ModelHandle,
+    model_ref: String,
+    /// The request's `id`, re-rendered verbatim into the response.
+    id: Option<Value>,
+    formula: String,
+    options: CheckOptions,
+    metrics: bool,
+    conn: Arc<ConnState>,
+}
+
+/// Per-connection shared state: the response writer plus in-flight
+/// accounting for the end-of-stream `run_summary`.
+struct ConnState {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<usize>,
+    idle: Condvar,
+    formulas: AtomicU64,
+    failures: AtomicU64,
+}
+
+impl ConnState {
+    fn new(stream: TcpStream) -> Self {
+        ConnState {
+            writer: Mutex::new(stream),
+            pending: Mutex::new(0),
+            idle: Condvar::new(),
+            formulas: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Write one response line atomically (line-buffered, flushed).
+    fn write_line(&self, line: &str) {
+        let mut w = self.writer.lock().expect("writer poisoned");
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+        let _ = w.flush();
+    }
+
+    fn job_queued(&self) {
+        *self.pending.lock().expect("pending poisoned") += 1;
+    }
+
+    fn job_done(&self) {
+        let mut pending = self.pending.lock().expect("pending poisoned");
+        *pending -= 1;
+        if *pending == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Block until every dispatched job for this connection completed.
+    fn wait_idle(&self) {
+        let mut pending = self.pending.lock().expect("pending poisoned");
+        while *pending > 0 {
+            pending = self.idle.wait(pending).expect("pending poisoned");
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>) {
+    loop {
+        // Hold the lock only while receiving, not while checking.
+        let Ok(job) = rx.lock().expect("queue poisoned").recv() else {
+            return;
+        };
+        let line = execute(&job);
+        job.conn.write_line(&line);
+        job.conn.job_done();
+    }
+}
+
+/// Run one check and render its response line.
+fn execute(job: &Job) -> String {
+    let metrics = job.metrics.then(|| Arc::new(MetricsRecorder::new()));
+    let check = || {
+        job.session
+            .check_str(&job.model, &job.formula, &job.options)
+    };
+    let result = match &metrics {
+        Some(m) => {
+            let recorder: Arc<dyn Recorder> = m.clone();
+            mrmc_obs::with_recorder(recorder, check)
+        }
+        None => check(),
+    };
+    let snapshot = metrics.as_deref().map(MetricsRecorder::take);
+    let body = match &result {
+        Ok(outcome) => report::json_outcome(&job.formula, outcome, snapshot.as_ref()),
+        Err(e) => {
+            job.conn.failures.fetch_add(1, Ordering::Relaxed);
+            report::json_error(&job.formula, e)
+        }
+    };
+    // Prepend the correlation fields; the rest of the object is exactly
+    // the CLI's `--json` line.
+    let id = job.id.as_ref().map(Value::render);
+    match id {
+        Some(id) => format!(
+            "{{\"id\":{id},\"model\":\"{}\",{}",
+            report::json_escape(&job.model_ref),
+            &body[1..]
+        ),
+        None => format!(
+            "{{\"model\":\"{}\",{}",
+            report::json_escape(&job.model_ref),
+            &body[1..]
+        ),
+    }
+}
+
+/// Read one connection's request lines, dispatch its checks, and finish
+/// with the `run_summary` record.
+fn serve_connection(
+    session: &Arc<CheckSession>,
+    tx: &mpsc::Sender<Job>,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let conn = Arc::new(ConnState::new(stream));
+    let mut models: HashMap<String, ModelHandle> = HashMap::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(reply) = handle_request(session, tx, &conn, &mut models, &line) {
+            conn.failures.fetch_add(1, Ordering::Relaxed);
+            conn.write_line(&format!(
+                "{{\"error\":\"{}\",\"error_kind\":\"request\"}}",
+                report::json_escape(&reply)
+            ));
+        }
+    }
+    // Client closed its write half: drain in-flight checks, then seal the
+    // stream with the same terminal record a `--trace` file ends with.
+    conn.wait_idle();
+    conn.write_line(&format!(
+        "{{\"kind\":\"run_summary\",\"formulas\":{},\"failures\":{}}}",
+        conn.formulas.load(Ordering::Relaxed),
+        conn.failures.load(Ordering::Relaxed)
+    ));
+    Ok(())
+}
+
+/// Dispatch one request line; `Err` is the human-readable reply for a
+/// malformed or unserviceable request.
+fn handle_request(
+    session: &Arc<CheckSession>,
+    tx: &mpsc::Sender<Job>,
+    conn: &Arc<ConnState>,
+    models: &mut HashMap<String, ModelHandle>,
+    line: &str,
+) -> Result<(), String> {
+    let request = json::parse(line).map_err(|e| e.to_string())?;
+    if let Some(load) = request.get("load") {
+        let field = |name: &str| -> Result<&str, String> {
+            load.get(name)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("load request needs a string `{name}` field"))
+        };
+        let model_ref = field("model")?.to_string();
+        let handle = session
+            .load_files(field("tra")?, field("lab")?, field("rewr")?, field("rewi")?)
+            .map_err(|e| e.to_string())?;
+        conn.write_line(&format!(
+            "{{\"loaded\":\"{}\",\"states\":{},\"transitions\":{},\"model_hash\":\"{:016x}\"}}",
+            report::json_escape(&model_ref),
+            handle.mrm().num_states(),
+            handle.mrm().ctmc().rates().nnz(),
+            handle.content_hash()
+        ));
+        models.insert(model_ref, handle);
+        return Ok(());
+    }
+    if let Some(check) = request.get("check") {
+        let model_ref = check
+            .get("model")
+            .and_then(Value::as_str)
+            .ok_or("check request needs a string `model` field")?
+            .to_string();
+        let model = models
+            .get(&model_ref)
+            .ok_or_else(|| format!("no model loaded under the ref `{model_ref}`"))?
+            .clone();
+        let formula = check
+            .get("formula")
+            .and_then(Value::as_str)
+            .ok_or("check request needs a string `formula` field")?
+            .to_string();
+        let (options, metrics) = parse_options(check.get("options"))?;
+        conn.formulas.fetch_add(1, Ordering::Relaxed);
+        conn.job_queued();
+        let sent = tx.send(Job {
+            session: session.clone(),
+            model,
+            model_ref,
+            id: request.get("id").cloned(),
+            formula,
+            options,
+            metrics,
+            conn: conn.clone(),
+        });
+        if sent.is_err() {
+            conn.job_done();
+            return Err("server is shutting down".to_string());
+        }
+        return Ok(());
+    }
+    if request.get("stats").is_some() {
+        let stats = session.stats();
+        conn.write_line(&format!(
+            "{{\"stats\":{{\"requests\":{},\"models_loaded\":{},\"sat_cache_hits\":{},\
+             \"sat_cache_misses\":{},\"cert_cache_hits\":{},\"omega_cache_entries\":{},\
+             \"omega_cache_hits\":{}}}}}",
+            stats.requests,
+            stats.models_loaded,
+            stats.sat_cache_hits,
+            stats.sat_cache_misses,
+            stats.cert_cache_hits,
+            stats.omega_cache_entries,
+            stats.omega_cache_hits
+        ));
+        return Ok(());
+    }
+    Err("request must contain `load`, `check`, or `stats`".to_string())
+}
+
+/// Build [`CheckOptions`] from a request's `options` object. Returns the
+/// options plus whether per-request metrics were asked for.
+fn parse_options(options: Option<&Value>) -> Result<(CheckOptions, bool), String> {
+    let mut out = CheckOptions::new();
+    let mut metrics = false;
+    let Some(options) = options else {
+        return Ok((out, metrics));
+    };
+    let Value::Obj(members) = options else {
+        return Err("`options` must be an object".to_string());
+    };
+    for (key, value) in members {
+        match key.as_str() {
+            "engine" => {
+                let text = value.as_str().ok_or("`engine` must be a string")?;
+                out = out.with_engine(parse_engine(text)?);
+            }
+            "threads" => {
+                let n = value
+                    .as_u64()
+                    .ok_or("`threads` must be a non-negative integer")?;
+                out = out.with_threads(n as usize);
+            }
+            "solver" => {
+                let method = match value.as_str() {
+                    Some("gs") => SolverMethod::GaussSeidel,
+                    Some("colored") => SolverMethod::ColoredGaussSeidel,
+                    _ => return Err("`solver` must be \"gs\" or \"colored\"".to_string()),
+                };
+                out = out.with_solver_method(method);
+            }
+            "tolerance" => {
+                let e = value.as_f64().ok_or("`tolerance` must be a number")?;
+                if !(e > 0.0 && e < 1.0) {
+                    return Err(format!("tolerance must be in (0, 1), got {e}"));
+                }
+                out = out.with_tolerance(e);
+            }
+            "no_reduction" => {
+                if value.as_bool().ok_or("`no_reduction` must be a boolean")? {
+                    out = out.with_reduction(Reduction::Off);
+                }
+            }
+            "metrics" => {
+                metrics = value.as_bool().ok_or("`metrics` must be a boolean")?;
+            }
+            other => return Err(format!("unrecognized option `{other}`")),
+        }
+    }
+    // `threads` must be applied after the engine switch so it reaches the
+    // engine actually configured — BTreeMap iteration already visits
+    // `engine` before `threads`, which the conformance tests pin.
+    Ok((out, metrics))
+}
+
+/// Parse a `u=`/`d=`/`s=` engine switch, the CLI's engine grammar.
+///
+/// # Errors
+///
+/// A human-readable message for unknown switches or bad numbers.
+pub fn parse_engine(text: &str) -> Result<UntilEngine, String> {
+    if let Some(w) = text.strip_prefix("u=") {
+        w.parse()
+            .map(UntilEngine::uniformization)
+            .map_err(|_| format!("invalid truncation probability `{w}`"))
+    } else if let Some(d) = text.strip_prefix("d=") {
+        d.parse()
+            .map(UntilEngine::discretization)
+            .map_err(|_| format!("invalid discretization step `{d}`"))
+    } else if let Some(n) = text.strip_prefix("s=") {
+        n.parse()
+            .map(UntilEngine::simulation)
+            .map_err(|_| format!("invalid sample count `{n}`"))
+    } else {
+        Err(format!(
+            "unrecognized engine `{text}` (expected u=, d=, or s=)"
+        ))
+    }
+}
+
+/// Classify a batch's worst outcome for exit-code selection; shared by
+/// `mrmc check` and `mrmc batch`. Precedence (worst first): operational
+/// error > pre-flight rejection > missed tolerance > unknown verdict.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunTotals {
+    /// A formula failed operationally (parse, model, numerics).
+    pub any_error: bool,
+    /// The pre-flight lint rejected a formula.
+    pub any_preflight: bool,
+    /// A formula missed its requested tolerance.
+    pub any_tolerance_miss: bool,
+    /// A formula completed with at least one Unknown verdict.
+    pub any_unknown: bool,
+}
+
+impl RunTotals {
+    /// Fold one failed check into the totals.
+    pub fn record_error(&mut self, e: &CheckError) {
+        match e {
+            CheckError::ToleranceNotMet { .. } => self.any_tolerance_miss = true,
+            CheckError::Preflight(_) => self.any_preflight = true,
+            _ => self.any_error = true,
+        }
+    }
+
+    /// The process exit code reflecting the worst outcome across the
+    /// batch: `1` operational error, `2` pre-flight rejection, `3`
+    /// missed tolerance, `4` unknown verdicts, `0` all formulas decided.
+    pub fn exit_code(&self) -> u8 {
+        if self.any_error {
+            1
+        } else if self.any_preflight {
+            2
+        } else if self.any_tolerance_miss {
+            3
+        } else if self.any_unknown {
+            4
+        } else {
+            0
+        }
+    }
+}
+
+/// Connect to a running server, retrying briefly while it starts up.
+///
+/// # Errors
+///
+/// The last connect failure once the retry budget is exhausted.
+pub fn connect_with_retry(addr: &str, attempts: u32) -> std::io::Result<TcpStream> {
+    let mut last = None;
+    for _ in 0..attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_rank_worst_outcome() {
+        let mut t = RunTotals::default();
+        assert_eq!(t.exit_code(), 0);
+        t.any_unknown = true;
+        assert_eq!(t.exit_code(), 4);
+        t.any_tolerance_miss = true;
+        assert_eq!(t.exit_code(), 3);
+        t.any_preflight = true;
+        assert_eq!(t.exit_code(), 2);
+        t.any_error = true;
+        assert_eq!(t.exit_code(), 1);
+    }
+
+    #[test]
+    fn engine_grammar_matches_the_cli() {
+        assert!(matches!(
+            parse_engine("u=1e-10"),
+            Ok(UntilEngine::Uniformization(_))
+        ));
+        assert!(matches!(
+            parse_engine("d=0.5"),
+            Ok(UntilEngine::Discretization(_))
+        ));
+        assert!(matches!(
+            parse_engine("s=1000"),
+            Ok(UntilEngine::Simulation(_))
+        ));
+        assert!(parse_engine("x=1").is_err());
+        assert!(parse_engine("u=potato").is_err());
+    }
+
+    #[test]
+    fn option_objects_parse() {
+        let v = json::parse(
+            r#"{"engine":"d=0.1","threads":4,"solver":"colored","tolerance":1e-4,"no_reduction":true,"metrics":true}"#,
+        )
+        .unwrap();
+        let (options, metrics) = parse_options(Some(&v)).unwrap();
+        assert!(metrics);
+        assert!(matches!(
+            options.until_engine,
+            UntilEngine::Discretization(_)
+        ));
+        assert_eq!(options.tolerance, Some(1e-4));
+        assert_eq!(options.reduction, Reduction::Off);
+        assert_eq!(options.solver.method, SolverMethod::ColoredGaussSeidel);
+        assert_eq!(options.solver.threads, 4);
+        // Defaults with no options at all.
+        let (options, metrics) = parse_options(None).unwrap();
+        assert_eq!(options, CheckOptions::new());
+        assert!(!metrics);
+        // Unknown keys are rejected, not ignored.
+        let v = json::parse(r#"{"frobnicate":1}"#).unwrap();
+        assert!(parse_options(Some(&v)).is_err());
+    }
+}

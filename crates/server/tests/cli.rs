@@ -714,3 +714,65 @@ fn point_intervals_yield_exact_budgets() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn unknown_verdicts_exit_with_code_4() {
+    // The simulation estimate for state 1 is ~0.617 with a statistical
+    // budget of ~0.085, so the bound 0.6 is inside the budget: the verdict
+    // is Unknown and the run must exit with the dedicated code 4, distinct
+    // from errors (1), preflight failures (2), and tolerance misses (3).
+    let dir = temp_dir("unknown-exit");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let (stdout, stderr, code) = run_mrmc_code(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "s=1000",
+            "--json",
+        ],
+        "P(> 0.6) [up U[0,10][0,50] degraded]\n",
+    );
+    assert_eq!(code, Some(4), "stderr: {stderr}\nstdout: {stdout}");
+    assert!(stdout.contains("\"unknown\":[1]"), "{stdout}");
+    assert!(
+        stderr.contains("one or more verdicts are unknown"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multi_formula_exit_reflects_the_worst_outcome() {
+    let dir = temp_dir("worst-exit");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let base = [
+        tra.to_str().unwrap().to_string(),
+        lab.to_str().unwrap().to_string(),
+        rewr.to_str().unwrap().to_string(),
+        rewi.to_str().unwrap().to_string(),
+        "s=1000".to_string(),
+    ];
+    let run = |formulas: &str| {
+        let args: Vec<&str> = base.iter().map(String::as_str).collect();
+        run_mrmc_code(&args, formulas)
+    };
+    let unknown = "P(> 0.6) [up U[0,10][0,50] degraded]\n";
+    let passing = "S(> 0.5) (up)\n";
+
+    // A definite verdict alongside an Unknown one: the batch still exits 4.
+    let (stdout, stderr, code) = run(&format!("{passing}{unknown}{passing}"));
+    assert_eq!(code, Some(4), "stderr: {stderr}\nstdout: {stdout}");
+
+    // An outright error outranks the Unknown (1 beats 4); the remaining
+    // formulas are still checked and reported.
+    let (stdout, stderr, code) = run(&format!("{unknown}not a formula ((\n{passing}"));
+    assert_eq!(code, Some(1), "stderr: {stderr}\nstdout: {stdout}");
+    assert!(stdout.contains("satisfied by"), "{stdout}");
+
+    // All definite: success.
+    let (stdout, stderr, code) = run(&format!("{passing}{passing}"));
+    assert_eq!(code, Some(0), "stderr: {stderr}\nstdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
