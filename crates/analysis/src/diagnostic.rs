@@ -250,8 +250,9 @@ impl Report {
                 json_escape(&d.message),
             )
             .expect("write to String");
-            if let Some(l) = d.line {
-                write!(out, ",\"line\":{l}").expect("write to String");
+            match d.line {
+                Some(l) => write!(out, ",\"line\":{l}").expect("write to String"),
+                None => out.push_str(",\"line\":null"),
             }
             if let Some(s) = &d.suggestion {
                 write!(out, ",\"suggestion\":\"{}\"", json_escape(s)).expect("write to String");
@@ -326,13 +327,14 @@ mod tests {
         let mut r = Report::new();
         r.push(d);
         assert!(r.render_json().contains("\"line\":5"));
-        // Absent when no location is known.
+        // Explicit null when no location is known, so the key is always
+        // present and scripts never branch on its existence.
         let r2 = {
             let mut r = Report::new();
             r.push(Diagnostic::new("M001", Severity::Error, "x"));
             r
         };
-        assert!(!r2.render_json().contains("\"line\""));
+        assert!(r2.render_json().contains("\"line\":null"));
     }
 
     #[test]

@@ -49,11 +49,13 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod dataflow;
 pub mod diagnostic;
 pub mod formula;
 pub mod lumping;
 pub mod model;
 
+pub use dataflow::{qualitative_until, QualitativeCertificate, QualitativeError};
 pub use diagnostic::{Diagnostic, Report, Severity};
 pub use lumping::{CertificateError, LumpingAnalysis, LumpingCertificate, Observation};
 
@@ -108,6 +110,10 @@ pub struct LintContext<'a> {
     pub formula: Option<&'a StateFormula>,
     /// The engine the checker would use for reward-bounded until formulas.
     pub engine: EngineHint,
+    /// Verbose mode (`mrmc lint --verbose`): passes that aggregate by
+    /// default (e.g. per-SCC unreachable-state grouping) fall back to
+    /// their flat per-state form.
+    pub verbose: bool,
 }
 
 /// The signature of a lint pass: inspect the context, push findings.
@@ -132,6 +138,7 @@ pub struct Pass {
 #[derive(Debug, Clone)]
 pub struct Analyzer {
     passes: Vec<Pass>,
+    verbose: bool,
 }
 
 impl Default for Analyzer {
@@ -145,12 +152,23 @@ impl Analyzer {
     pub fn new() -> Self {
         Analyzer {
             passes: Self::default_passes().to_vec(),
+            verbose: false,
         }
     }
 
     /// No passes; register your own.
     pub fn empty() -> Self {
-        Analyzer { passes: Vec::new() }
+        Analyzer {
+            passes: Vec::new(),
+            verbose: false,
+        }
+    }
+
+    /// Enable verbose mode: aggregating passes (per-SCC unreachable-state
+    /// grouping) report their flat per-state form instead.
+    pub fn set_verbose(&mut self, verbose: bool) -> &mut Self {
+        self.verbose = verbose;
+        self
     }
 
     /// The built-in pass set.
@@ -231,6 +249,7 @@ impl Analyzer {
             mrm,
             formula: None,
             engine: EngineHint::default(),
+            verbose: self.verbose,
         };
         let mut report = Report::new();
         for pass in self.passes.iter().filter(|p| p.scope == Scope::Model) {
@@ -245,6 +264,7 @@ impl Analyzer {
             mrm,
             formula: Some(formula),
             engine,
+            verbose: self.verbose,
         };
         let mut report = Report::new();
         for pass in self.passes.iter().filter(|p| p.scope == Scope::Formula) {

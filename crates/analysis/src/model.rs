@@ -49,22 +49,59 @@ pub fn reachability(ctx: &LintContext<'_>, report: &mut Report) {
     }
     let unreachable: Vec<usize> = (0..n).filter(|&s| !reached[s]).collect();
     if !unreachable.is_empty() {
-        let count = unreachable.len();
-        report.push(
-            Diagnostic::new(
-                "M101",
-                Severity::Warning,
-                format!(
-                    "{count} state{} unreachable from the initial state (state 1)",
-                    if count == 1 { " is" } else { "s are" }
+        if ctx.verbose {
+            // Flat per-state form, as reported before condensation existed.
+            let count = unreachable.len();
+            report.push(
+                Diagnostic::new(
+                    "M101",
+                    Severity::Warning,
+                    format!(
+                        "{count} state{} unreachable from the initial state (state 1)",
+                        if count == 1 { " is" } else { "s are" }
+                    ),
+                )
+                .with_states(state_refs(unreachable.into_iter()))
+                .with_suggestion(
+                    "remove the unreachable states or add transitions reaching them; \
+                     every engine pays per-state work for them",
                 ),
-            )
-            .with_states(state_refs(unreachable.into_iter()))
-            .with_suggestion(
-                "remove the unreachable states or add transitions reaching them; \
-                 every engine pays per-state work for them",
-            ),
-        );
+            );
+        } else {
+            // One diagnostic per unreachable SCC: a whole strongly
+            // connected component is unreachable iff any of its members
+            // is (reachability is component-invariant), so the SCC is the
+            // natural unit of repair — a single transition into the
+            // component reconnects all of it.
+            let scc = SccDecomposition::new(rates);
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); scc.num_components()];
+            for &s in &unreachable {
+                members[scc.component_of(s)].push(s);
+            }
+            // Components in ascending order of their smallest member, so
+            // the report order is stable and follows the state numbering.
+            let mut groups: Vec<&Vec<usize>> = members.iter().filter(|m| !m.is_empty()).collect();
+            groups.sort_by_key(|m| m[0]);
+            for group in groups {
+                let count = group.len();
+                report.push(
+                    Diagnostic::new(
+                        "M101",
+                        Severity::Warning,
+                        format!(
+                            "unreachable SCC of {count} state{} (no path from the \
+                             initial state, state 1)",
+                            if count == 1 { "" } else { "s" }
+                        ),
+                    )
+                    .with_states(state_refs(group.iter().copied()))
+                    .with_suggestion(
+                        "remove the component or add a transition reaching it; \
+                         every engine pays per-state work for it",
+                    ),
+                );
+            }
+        }
     }
 
     let initial_has_incoming = rates.iter().any(|(_, to, rate)| to == 0 && rate > 0.0);

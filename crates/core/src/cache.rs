@@ -246,6 +246,110 @@ pub(crate) fn installed() -> Option<(Arc<SatCache>, SatCtx)> {
     INSTALLED.with(|c| c.borrow().clone())
 }
 
+/// A shareable store of Tarjan SCC decompositions keyed by
+/// [`model_hash`], with hit/miss accounting. The condensation depends
+/// only on the model's rate graph (which the hash digests), so one entry
+/// serves every formula and option set checked against the same model —
+/// the qualitative dataflow pre-pass asks for it once per until operator.
+#[derive(Debug, Default)]
+pub struct SccCache {
+    entries: Mutex<HashMap<u64, Arc<mrmc_ctmc::bscc::SccDecomposition>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SccCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SccCache::default()
+    }
+
+    /// Number of memoized decompositions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("scc cache poisoned").len()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn get_or_compute(
+        &self,
+        hash: u64,
+        compute: impl FnOnce() -> mrmc_ctmc::bscc::SccDecomposition,
+    ) -> Arc<mrmc_ctmc::bscc::SccDecomposition> {
+        if let Some(scc) = self
+            .entries
+            .lock()
+            .expect("scc cache poisoned")
+            .get(&hash)
+            .cloned()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return scc;
+        }
+        // Compute outside the lock; a racing thread may duplicate the
+        // work, but both arrive at the identical decomposition.
+        let scc = Arc::new(compute());
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("scc cache poisoned")
+            .entry(hash)
+            .or_insert_with(|| scc.clone())
+            .clone()
+    }
+}
+
+thread_local! {
+    static INSTALLED_SCC: RefCell<Option<Arc<SccCache>>> = const { RefCell::new(None) };
+}
+
+/// Install `cache` as this thread's condensation store for the duration
+/// of `f` — dynamic scoping exactly like [`with_sat_cache`]. One-shot
+/// callers install nothing and recompute per request;
+/// [`crate::CheckSession`] installs its cache around each check so the
+/// Tarjan pass runs once per model hash.
+pub fn with_scc_cache<T>(cache: Arc<SccCache>, f: impl FnOnce() -> T) -> T {
+    struct Restore {
+        previous: Option<Arc<SccCache>>,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INSTALLED_SCC.with(|c| *c.borrow_mut() = self.previous.take());
+        }
+    }
+    let restore = Restore {
+        previous: INSTALLED_SCC.with(|c| c.borrow_mut().replace(cache)),
+    };
+    let out = f();
+    drop(restore);
+    out
+}
+
+/// The SCC decomposition of `mrm`'s rate graph: served from the installed
+/// [`SccCache`] (keyed by [`model_hash`]) when one is in scope, computed
+/// fresh otherwise. The decomposition is a pure function of the rate
+/// graph, so a cached value is identical to a recomputed one.
+pub(crate) fn condensation_for(mrm: &Mrm) -> Arc<mrmc_ctmc::bscc::SccDecomposition> {
+    let compute = || mrmc_ctmc::bscc::SccDecomposition::new(mrm.ctmc().rates());
+    match INSTALLED_SCC.with(|c| c.borrow().clone()) {
+        Some(cache) => cache.get_or_compute(model_hash(mrm), compute),
+        None => Arc::new(compute()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +427,27 @@ mod tests {
             options_fp: 9,
         };
         assert!(cache.get(other, "S(> 0.5) (up)").is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn scc_cache_memoizes_by_model_hash() {
+        use mrmc_ctmc::CtmcBuilder;
+        let mut b = CtmcBuilder::new(2);
+        b.transition(0, 1, 1.0).transition(1, 0, 1.0);
+        let m = Mrm::without_rewards(b.build().unwrap());
+        let cache = Arc::new(SccCache::new());
+        assert!(cache.is_empty());
+        let (a, b) = with_scc_cache(cache.clone(), || {
+            (condensation_for(&m), condensation_for(&m))
+        });
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be served");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.num_components(), 1);
+        // Uninstalled: computed fresh, cache untouched.
+        let fresh = condensation_for(&m);
+        assert_eq!(fresh.num_components(), 1);
         assert_eq!(cache.len(), 1);
     }
 

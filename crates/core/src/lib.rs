@@ -58,7 +58,7 @@ pub use cache::{model_hash, options_fingerprint, with_sat_cache, SatCache, SatCt
 pub use error::CheckError;
 pub use next::next_probabilities;
 pub use options::{CheckOptions, Reduction, UntilEngine};
-pub use outcome::{CheckOutcome, ReductionInfo, Verdict};
+pub use outcome::{CheckOutcome, DataflowInfo, ReductionInfo, Verdict};
 pub use session::{CheckSession, ModelHandle, SessionStats};
 pub use until::{until_probabilities, UntilAnalysis};
 pub use witness::{most_probable_witness, Witness};
@@ -68,7 +68,8 @@ pub use mrmc_numerics::ErrorBudget;
 // Re-export the static-analysis vocabulary so downstream users (and the
 // CLI's `lint` subcommand) need not depend on `mrmc-analysis` directly.
 pub use mrmc_analysis::{
-    diagnose_load_error, lumping, Analyzer, Diagnostic, EngineHint, Pass, Report, Scope, Severity,
+    dataflow, diagnose_load_error, lumping, Analyzer, Diagnostic, EngineHint, Pass, Report, Scope,
+    Severity,
 };
 
 use mrmc_csrl::StateFormula;

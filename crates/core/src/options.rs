@@ -93,6 +93,15 @@ pub struct CheckOptions {
     /// Whether to check on a certified lumping quotient when one exists
     /// (see [`Reduction`]). [`Reduction::Auto`] by default.
     pub reduction: Reduction,
+    /// Qualitative precomputation and formula-driven slicing: before an
+    /// until engine runs, a verified
+    /// [`QualitativeCertificate`](mrmc_analysis::QualitativeCertificate)
+    /// pre-assigns exact 0/1 probabilities to the certain-zero/one states
+    /// and the engine solves only the undetermined block. On by default —
+    /// when the certificate prunes nothing the run is bitwise identical
+    /// to an unsliced one; [`without_slicing`](CheckOptions::without_slicing)
+    /// (the CLI's `--no-slicing`) forces the full numerical solve.
+    pub slicing: bool,
 }
 
 impl CheckOptions {
@@ -105,6 +114,7 @@ impl CheckOptions {
             tolerance: None,
             preflight: true,
             reduction: Reduction::Auto,
+            slicing: true,
         }
     }
 
@@ -112,6 +122,14 @@ impl CheckOptions {
     /// [`preflight`](CheckOptions::preflight)).
     pub fn without_preflight(mut self) -> Self {
         self.preflight = false;
+        self
+    }
+
+    /// Disable qualitative slicing (see
+    /// [`slicing`](CheckOptions::slicing)): every until engine solves the
+    /// full state space numerically.
+    pub fn without_slicing(mut self) -> Self {
+        self.slicing = false;
         self
     }
 
@@ -206,6 +224,12 @@ mod tests {
     fn preflight_defaults_on_and_can_be_disabled() {
         assert!(CheckOptions::new().preflight);
         assert!(!CheckOptions::new().without_preflight().preflight);
+    }
+
+    #[test]
+    fn slicing_defaults_on_and_can_be_disabled() {
+        assert!(CheckOptions::new().slicing);
+        assert!(!CheckOptions::new().without_slicing().slicing);
     }
 
     #[test]

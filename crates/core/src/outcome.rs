@@ -13,6 +13,28 @@ pub struct ReductionInfo {
     pub reduced_states: usize,
 }
 
+/// What the qualitative dataflow pre-pass decided before the outermost
+/// operator's engine ran (see [`CheckOptions::slicing`](crate::CheckOptions)):
+/// condensation size, certain-0/1 set sizes, how many states the slicer
+/// pruned from the numerical solve, and the hash of the verified
+/// [`QualitativeCertificate`](mrmc_analysis::QualitativeCertificate) the
+/// pruning is justified by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataflowInfo {
+    /// SCCs in the model's rate graph (Tarjan condensation).
+    pub scc_count: usize,
+    /// States proved to satisfy the until operator with probability 0.
+    pub qual_zero_states: usize,
+    /// States proved to satisfy the until operator with probability 1.
+    pub qual_one_states: usize,
+    /// States removed from the numerical solve beyond the engines' own
+    /// dead-state skip. `0` guarantees the run was bitwise identical to
+    /// an unsliced one.
+    pub slice_states_removed: usize,
+    /// Content hash of the independently re-verified certificate.
+    pub certificate_hash: u64,
+}
+
 /// A bound-aware, three-valued verdict for one state.
 ///
 /// When the computed probability's error budget straddles the threshold of
@@ -42,6 +64,7 @@ pub struct CheckOutcome {
     budgets: Option<Vec<ErrorBudget>>,
     engine: Option<&'static str>,
     reduction: Option<ReductionInfo>,
+    dataflow: Option<DataflowInfo>,
 }
 
 impl CheckOutcome {
@@ -52,6 +75,7 @@ impl CheckOutcome {
         error_bounds: Option<Vec<f64>>,
         budgets: Option<Vec<ErrorBudget>>,
         engine: &'static str,
+        dataflow: Option<DataflowInfo>,
     ) -> Self {
         CheckOutcome {
             sat,
@@ -61,6 +85,7 @@ impl CheckOutcome {
             budgets,
             engine: Some(engine),
             reduction: None,
+            dataflow,
         }
     }
 
@@ -73,6 +98,7 @@ impl CheckOutcome {
             budgets: None,
             engine: None,
             reduction: None,
+            dataflow: None,
         }
     }
 
@@ -88,6 +114,7 @@ impl CheckOutcome {
             budgets: self.budgets.map(|b| partition.lift(&b)),
             engine: self.engine,
             reduction: Some(info),
+            dataflow: self.dataflow,
         }
     }
 
@@ -192,6 +219,14 @@ impl CheckOutcome {
     pub fn reduction(&self) -> Option<ReductionInfo> {
         self.reduction
     }
+
+    /// The qualitative dataflow pre-pass result for the outermost
+    /// operator, when slicing was enabled and an until engine ran with a
+    /// verified certificate; `None` for boolean formulas, non-until
+    /// operators, and `--no-slicing` runs.
+    pub fn dataflow(&self) -> Option<DataflowInfo> {
+        self.dataflow
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +261,7 @@ mod tests {
                 ErrorBudget::from_truncation(2e-9),
             ]),
             "uniformization",
+            None,
         );
         assert_eq!(o.engine(), Some("uniformization"));
         assert_eq!(o.probabilities().unwrap()[1], 0.9);
@@ -244,6 +280,7 @@ mod tests {
             Some(vec![1e-9, 2e-9]),
             None,
             "baseline",
+            None,
         );
         assert_eq!(o.reduction(), None);
         let info = ReductionInfo {
@@ -268,6 +305,7 @@ mod tests {
             None,
             None,
             "steady",
+            None,
         );
         assert_eq!(o.verdict(0), Verdict::Unknown);
         assert_eq!(o.verdict(1), Verdict::Holds);

@@ -87,6 +87,17 @@ pub fn json_outcome(formula: &str, outcome: &CheckOutcome, metrics: Option<&RunM
             r.original_states, r.reduced_states
         ));
     }
+    if let Some(d) = outcome.dataflow() {
+        out.push_str(&format!(
+            ",\"dataflow\":{{\"scc_count\":{},\"qual_zero_states\":{},\"qual_one_states\":{},\
+             \"slice_states_removed\":{},\"certificate_hash\":\"{:016x}\"}}",
+            d.scc_count,
+            d.qual_zero_states,
+            d.qual_one_states,
+            d.slice_states_removed,
+            d.certificate_hash
+        ));
+    }
     if let Some(probs) = outcome.probabilities() {
         out.push_str(",\"states\":[");
         for (s, &p) in probs.iter().enumerate() {
@@ -161,6 +172,33 @@ mod tests {
             "{line}"
         );
         assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+
+    #[test]
+    fn dataflow_object_renders_for_sliced_until_runs() {
+        use crate::{CheckOptions, ModelChecker};
+        use mrmc_ctmc::CtmcBuilder;
+        let build = || {
+            let mut b = CtmcBuilder::new(2);
+            b.transition(0, 1, 0.1).transition(1, 0, 0.9);
+            b.label(0, "up").label(1, "down");
+            mrmc_mrm::Mrm::without_rewards(b.build().unwrap())
+        };
+        let formula = "P(> 0.5) [up U down]";
+        let outcome = ModelChecker::new(build(), CheckOptions::new())
+            .check_str(formula)
+            .unwrap();
+        let line = json_outcome(formula, &outcome, None);
+        assert!(line.contains("\"dataflow\":{\"scc_count\":"), "{line}");
+        assert!(line.contains("\"qual_zero_states\":"), "{line}");
+        assert!(line.contains("\"slice_states_removed\":"), "{line}");
+        assert!(line.contains("\"certificate_hash\":\""), "{line}");
+        // --no-slicing runs carry no dataflow object at all.
+        let unsliced = ModelChecker::new(build(), CheckOptions::new().without_slicing())
+            .check_str(formula)
+            .unwrap();
+        let line = json_outcome(formula, &unsliced, None);
+        assert!(!line.contains("dataflow"), "{line}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use mrmc_numerics::ErrorBudget;
 use crate::error::CheckError;
 use crate::next::next_probabilities;
 use crate::options::CheckOptions;
-use crate::outcome::CheckOutcome;
+use crate::outcome::{CheckOutcome, DataflowInfo};
 use crate::steady::steady_probabilities;
 use crate::until::until_probabilities;
 
@@ -33,6 +33,7 @@ pub(crate) struct Extras {
     pub(crate) error_bounds: Option<Vec<f64>>,
     pub(crate) budgets: Option<Vec<ErrorBudget>>,
     pub(crate) engine: &'static str,
+    pub(crate) dataflow: Option<DataflowInfo>,
 }
 
 /// Compute `Sat(Φ)` with a post-order traversal of the formula.
@@ -50,6 +51,7 @@ pub fn satisfy(
             e.error_bounds,
             e.budgets,
             e.engine,
+            e.dataflow,
         ),
         None => CheckOutcome::with_unknown(sat, unknown),
     })
@@ -243,6 +245,7 @@ fn sat_node(
                     error_bounds: None,
                     budgets,
                     engine: "steady",
+                    dataflow: None,
                 }),
             ))
         }
@@ -270,6 +273,7 @@ fn sat_node(
                         error_bounds: None,
                         budgets,
                         engine: "next",
+                        dataflow: None,
                     }),
                 ))
             }
@@ -281,35 +285,40 @@ fn sat_node(
             } => {
                 let (phi, phi_u, _) = sat_rec(mrm, options, lhs)?;
                 let (psi, psi_u, _) = sat_rec(mrm, options, rhs)?;
-                let (probabilities, error_bounds, budgets, engine) = if any(&phi_u) || any(&psi_u) {
-                    let lo = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
-                    let hi = until_probabilities(
-                        mrm,
-                        options,
-                        time,
-                        reward,
-                        &union(&phi, &phi_u),
-                        &union(&psi, &psi_u),
-                    )?;
-                    let engine = lo.engine;
-                    let error_bounds = match (lo.error_bounds, hi.error_bounds) {
-                        (Some(l), Some(h)) => {
-                            Some(l.iter().zip(&h).map(|(&a, &b)| a.max(b)).collect())
-                        }
-                        _ => None,
+                let (probabilities, error_bounds, budgets, engine, dataflow) =
+                    if any(&phi_u) || any(&psi_u) {
+                        let lo = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
+                        let hi = until_probabilities(
+                            mrm,
+                            options,
+                            time,
+                            reward,
+                            &union(&phi, &phi_u),
+                            &union(&psi, &psi_u),
+                        )?;
+                        let engine = lo.engine;
+                        // Report the lower run's pre-pass: it analyzed the
+                        // definite argument sets the verdicts are anchored to.
+                        let dataflow = lo.dataflow;
+                        let error_bounds = match (lo.error_bounds, hi.error_bounds) {
+                            (Some(l), Some(h)) => {
+                                Some(l.iter().zip(&h).map(|(&a, &b)| a.max(b)).collect())
+                            }
+                            _ => None,
+                        };
+                        let (probabilities, budgets) =
+                            widen(lo.probabilities, hi.probabilities, lo.budgets, hi.budgets);
+                        (probabilities, error_bounds, budgets, engine, dataflow)
+                    } else {
+                        let analysis = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
+                        (
+                            analysis.probabilities,
+                            analysis.error_bounds,
+                            analysis.budgets,
+                            analysis.engine,
+                            analysis.dataflow,
+                        )
                     };
-                    let (probabilities, budgets) =
-                        widen(lo.probabilities, hi.probabilities, lo.budgets, hi.budgets);
-                    (probabilities, error_bounds, budgets, engine)
-                } else {
-                    let analysis = until_probabilities(mrm, options, time, reward, &phi, &psi)?;
-                    (
-                        analysis.probabilities,
-                        analysis.error_bounds,
-                        analysis.budgets,
-                        analysis.engine,
-                    )
-                };
                 let (sat, unknown) =
                     threshold_verdicts(*op, *bound, &probabilities, budgets.as_deref());
                 Ok((
@@ -320,6 +329,7 @@ fn sat_node(
                         error_bounds,
                         budgets,
                         engine,
+                        dataflow,
                     }),
                 ))
             }

@@ -22,7 +22,11 @@
 //! * **memoized `Sat` sub-results** — every engine-backed subformula's
 //!   full result, keyed by `(model_hash, subformula, options)` (see
 //!   [`crate::cache`]), with `sat_cache_hits`/`sat_cache_misses`
-//!   counters in the [`mrmc_obs::counters`] registry.
+//!   counters in the [`mrmc_obs::counters`] registry;
+//! * **a session-scoped condensation cache** — the Tarjan SCC
+//!   decomposition the qualitative dataflow pre-pass slices with (see
+//!   [`crate::cache::SccCache`]) is a pure function of the rate graph
+//!   and is computed once per model hash.
 //!
 //! Every cache is exact: the engines are deterministic functions of
 //! `(model, formula, options)`, so session results are bit-for-bit
@@ -42,7 +46,7 @@ use mrmc_mrm::Mrm;
 use mrmc_numerics::omega::{with_omega_cache, OmegaTermCache};
 use mrmc_obs::{counters, Event};
 
-use crate::cache::{self, SatCache, SatCtx};
+use crate::cache::{self, SatCache, SatCtx, SccCache};
 use crate::error::CheckError;
 use crate::options::{CheckOptions, Reduction};
 use crate::outcome::{CheckOutcome, ReductionInfo};
@@ -99,6 +103,9 @@ pub struct SessionStats {
     pub omega_cache_entries: u64,
     /// Cumulative Omega-term cache hits.
     pub omega_cache_hits: u64,
+    /// SCC condensations served from the session cache instead of being
+    /// recomputed by the dataflow pre-pass.
+    pub scc_cache_hits: u64,
 }
 
 /// What the certificate cache remembers for one `(model, formula)` pair.
@@ -138,6 +145,7 @@ pub struct CheckSession {
     certs: Mutex<HashMap<CertKey, CertOutcome>>,
     sat_cache: Arc<SatCache>,
     omega: Arc<OmegaTermCache>,
+    scc: Arc<SccCache>,
     requests: AtomicU64,
     models_loaded: AtomicU64,
     cert_cache_hits: AtomicU64,
@@ -309,8 +317,10 @@ impl CheckSession {
     ) -> Result<CheckOutcome, CheckError> {
         let _span = mrmc_obs::span("engine");
         with_omega_cache(self.omega.clone(), || {
-            cache::with_sat_cache(self.sat_cache.clone(), ctx, || {
-                sat::satisfy(mrm, options, formula)
+            cache::with_scc_cache(self.scc.clone(), || {
+                cache::with_sat_cache(self.sat_cache.clone(), ctx, || {
+                    sat::satisfy(mrm, options, formula)
+                })
             })
         })
     }
@@ -418,6 +428,7 @@ impl CheckSession {
             cert_cache_hits: self.cert_cache_hits.load(Ordering::Relaxed),
             omega_cache_entries: self.omega.len() as u64,
             omega_cache_hits: self.omega.hits(),
+            scc_cache_hits: self.scc.hits(),
         }
     }
 }

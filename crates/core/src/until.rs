@@ -17,13 +17,17 @@
 //! evaluate arbitrary closed intervals exactly (statistical model
 //! checking; see [`mrmc_numerics::monte_carlo::estimate_until_general`]).
 
+use mrmc_analysis::dataflow as qual;
 use mrmc_csrl::Interval;
 use mrmc_ctmc::reach;
 use mrmc_mrm::Mrm;
 use mrmc_numerics::{adaptive, baseline, discretization, monte_carlo, uniformization, ErrorBudget};
+use mrmc_obs::counters;
 
+use crate::cache;
 use crate::error::CheckError;
 use crate::options::{CheckOptions, UntilEngine};
+use crate::outcome::DataflowInfo;
 
 /// Per-state until probabilities plus (engine-dependent) error bounds.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +49,12 @@ pub struct UntilAnalysis {
     /// `"reachability"` (P0), `"baseline"` (P1 / trivial-reward windows),
     /// `"uniformization"`, `"discretization"`, or `"simulation"` (P2).
     pub engine: &'static str,
+    /// The qualitative dataflow pre-pass result, when slicing ran for
+    /// this operator (see [`CheckOptions::slicing`]); `None` for
+    /// `--no-slicing` runs, the property classes the slicer leaves
+    /// untouched (P1 and lower-bound decompositions), and the defensive
+    /// fallback after a failed certificate re-verification.
+    pub dataflow: Option<DataflowInfo>,
 }
 
 /// Compute `P^M(s, Φ U^I_J Ψ)` for every state.
@@ -91,6 +101,7 @@ pub fn until_probabilities(
                     error_bounds: None,
                     budgets: Some(vec![ErrorBudget::from_poisson_tail(2.0 * eps_used); n]),
                     engine: "baseline",
+                    dataflow: None,
                 });
             }
             // Φ U^{[t1,∞)} Ψ: unbounded reachability as phase 2, the
@@ -116,6 +127,7 @@ pub fn until_probabilities(
                 error_bounds: None,
                 budgets: None,
                 engine: "baseline",
+                dataflow: None,
             });
         }
         // Only the statistical engine evaluates general lower bounds.
@@ -145,6 +157,7 @@ pub fn until_probabilities(
                     error_bounds: Some(errors),
                     budgets: Some(budgets),
                     engine: "simulation",
+                    dataflow: None,
                 });
             }
         }
@@ -161,14 +174,29 @@ pub fn until_probabilities(
         // P0: Φ U Ψ — unbounded reachability over the embedded DTMC,
         // exact to the solver's convergence tolerance (no budget).
         (true, true) => {
+            let df = dataflow_prepass(mrm, options, phi, psi, true);
             let embedded = mrm.ctmc().embedded_dtmc();
-            let probabilities =
-                reach::until_unbounded(embedded.probabilities(), phi, psi, options.solver)?;
+            // The certificate's certain-one set enlarges the solver's
+            // sure set: those states are pre-assigned probability 1 and
+            // the linear system covers only the undetermined block. With
+            // nothing pruned the sure set *is* Ψ and the run is bitwise
+            // identical to an unsliced one.
+            let probabilities = match &df {
+                Some((cert, _)) => reach::until_unbounded_with(
+                    embedded.probabilities(),
+                    phi,
+                    psi,
+                    &cert.one,
+                    options.solver,
+                )?,
+                None => reach::until_unbounded(embedded.probabilities(), phi, psi, options.solver)?,
+            };
             Ok(UntilAnalysis {
                 probabilities,
                 error_bounds: None,
                 budgets: None,
                 engine: "reachability",
+                dataflow: df.map(|(_, info)| info),
             })
         }
         // Bounded reward with unbounded time has no engine (Chapter 6).
@@ -191,42 +219,61 @@ pub fn until_probabilities(
                 error_bounds: None,
                 budgets: Some(vec![ErrorBudget::from_poisson_tail(eps_used); n]),
                 engine: "baseline",
+                dataflow: None,
             })
         }
         // P2: time and reward bounds — run the configured engine per state,
         // under the adaptive driver when a tolerance was requested.
         (false, false) => {
+            let df = dataflow_prepass(mrm, options, phi, psi, false);
             let t = time.hi();
             let r = reward.hi();
             let n = mrm.num_states();
+            // Certain-zero states contribute exactly 0 — the slicer skips
+            // them (discretization/simulation) or makes them absorbing
+            // (uniformization's φ′) and folds the sliced-away mass, which
+            // is exactly zero by the verified certificate, into a zero
+            // error budget. With nothing pruned φ′ equals Φ bitwise and
+            // the skip set equals the engines' own dead-state skip.
+            let zero_sliced = |s: usize| matches!(&df, Some((cert, _)) if cert.zero[s]);
             match options.until_engine {
                 UntilEngine::Uniformization(uopts) => {
+                    // φ′ = Φ ∧ ¬certain-zero: dead subtrees become
+                    // absorbing, so path exploration never descends into
+                    // regions the certificate proved irrelevant.
+                    let phi_sliced: Vec<bool> = (0..n).map(|s| phi[s] && !zero_sliced(s)).collect();
                     let results = match options.tolerance {
                         Some(eps) => adaptive::uniformization_until_all(
                             mrm,
-                            phi,
+                            &phi_sliced,
                             psi,
                             t,
                             r,
                             uopts,
                             adaptive::AdaptiveOptions::new(eps),
                         )?,
-                        None => {
-                            uniformization::until_probabilities_all(mrm, phi, psi, t, r, uopts)?
-                        }
+                        None => uniformization::until_probabilities_all(
+                            mrm,
+                            &phi_sliced,
+                            psi,
+                            t,
+                            r,
+                            uopts,
+                        )?,
                     };
                     Ok(UntilAnalysis {
                         probabilities: results.iter().map(|r| r.probability).collect(),
                         error_bounds: Some(results.iter().map(|r| r.error_bound).collect()),
                         budgets: Some(results.iter().map(|r| r.budget).collect()),
                         engine: "uniformization",
+                        dataflow: df.map(|(_, info)| info),
                     })
                 }
                 UntilEngine::Discretization(dopts) => {
                     let mut probabilities = vec![0.0; n];
                     let mut budgets = vec![ErrorBudget::zero(); n];
                     for s in 0..n {
-                        if !phi[s] && !psi[s] {
+                        if zero_sliced(s) || (!phi[s] && !psi[s]) {
                             continue;
                         }
                         let res = match options.tolerance {
@@ -252,6 +299,7 @@ pub fn until_probabilities(
                         error_bounds: None,
                         budgets: Some(budgets),
                         engine: "discretization",
+                        dataflow: df.map(|(_, info)| info),
                     })
                 }
                 UntilEngine::Simulation(sopts) => {
@@ -263,7 +311,7 @@ pub fn until_probabilities(
                     let mut errors = vec![0.0; n];
                     let mut budgets = vec![ErrorBudget::zero(); n];
                     for s in 0..n {
-                        if !phi[s] && !psi[s] {
+                        if zero_sliced(s) || (!phi[s] && !psi[s]) {
                             continue;
                         }
                         // De-correlate states while keeping determinism.
@@ -281,11 +329,61 @@ pub fn until_probabilities(
                         error_bounds: Some(errors),
                         budgets: Some(budgets),
                         engine: "simulation",
+                        dataflow: df.map(|(_, info)| info),
                     })
                 }
             }
         }
     }
+}
+
+/// The qualitative dataflow pre-pass for one until operator: the model's
+/// condensation (served from the session's [`cache::SccCache`] when one
+/// is installed), the Prob0/Prob1 fixpoints, and the certificate —
+/// **independently re-verified** before any engine may prune with it.
+///
+/// `None` when slicing is off, and — mirroring the lumping `Auto`
+/// fallback — when re-verification fails: the engines then solve the
+/// full model, trading the pruning for safety.
+fn dataflow_prepass(
+    mrm: &Mrm,
+    options: &CheckOptions,
+    phi: &[bool],
+    psi: &[bool],
+    unbounded: bool,
+) -> Option<(qual::QualitativeCertificate, DataflowInfo)> {
+    if !options.slicing {
+        return None;
+    }
+    let scc = cache::condensation_for(mrm);
+    let cert = qual::qualitative_until(mrm, phi, psi, unbounded);
+    if cert.verify(mrm).is_err() {
+        return None;
+    }
+    let info = DataflowInfo {
+        scc_count: scc.num_components(),
+        qual_zero_states: cert.zero_count(),
+        qual_one_states: cert.one_count(),
+        slice_states_removed: cert.slice_states_removed(),
+        certificate_hash: cert.content_hash(),
+    };
+    mrmc_obs::record(|| mrmc_obs::Event::Counter {
+        name: counters::SCC_COUNT,
+        value: info.scc_count as u64,
+    });
+    mrmc_obs::record(|| mrmc_obs::Event::Counter {
+        name: counters::QUAL_ZERO_STATES,
+        value: info.qual_zero_states as u64,
+    });
+    mrmc_obs::record(|| mrmc_obs::Event::Counter {
+        name: counters::QUAL_ONE_STATES,
+        value: info.qual_one_states as u64,
+    });
+    mrmc_obs::record(|| mrmc_obs::Event::Counter {
+        name: counters::SLICE_STATES_REMOVED,
+        value: info.slice_states_removed as u64,
+    });
+    Some((cert, info))
 }
 
 /// Resolve the simulation sample count: the configured base, raised to the

@@ -29,35 +29,56 @@ pub fn until_unbounded(
     psi: &[bool],
     options: SolverOptions,
 ) -> Result<Vec<f64>, ModelError> {
+    until_unbounded_with(probs, phi, psi, psi, options)
+}
+
+/// [`until_unbounded`] with an enlarged *sure* set: every state in `one`
+/// is pre-assigned probability 1 and acts as an absorbing goal for the
+/// linear system, exactly as the Ψ-states do.
+///
+/// `one` must be a superset of the Ψ-states for which `P(s, Φ U Ψ) = 1`
+/// is already known (e.g. a verified qualitative certificate's certain-one
+/// set); passing `one = psi` reproduces [`until_unbounded`] bit for bit.
+/// A strictly larger `one` shrinks the "maybe" block the solver sweeps
+/// over — that is the slicing win — at the price of a (tiny, bounded by
+/// solver tolerance) difference in the remaining states' floats.
+///
+/// # Errors
+///
+/// * [`ModelError::LabelingSizeMismatch`] — any vector of the wrong length;
+/// * solver failures are propagated as [`ModelError::Solve`].
+pub fn until_unbounded_with(
+    probs: &CsrMatrix,
+    phi: &[bool],
+    psi: &[bool],
+    one: &[bool],
+    options: SolverOptions,
+) -> Result<Vec<f64>, ModelError> {
     let n = probs.nrows();
-    if phi.len() != n {
-        return Err(ModelError::LabelingSizeMismatch {
-            states: n,
-            labeled: phi.len(),
-        });
-    }
-    if psi.len() != n {
-        return Err(ModelError::LabelingSizeMismatch {
-            states: n,
-            labeled: psi.len(),
-        });
+    for v in [phi, psi, one] {
+        if v.len() != n {
+            return Err(ModelError::LabelingSizeMismatch {
+                states: n,
+                labeled: v.len(),
+            });
+        }
     }
 
-    // Backward graph pass: `can_reach[s]` iff a Ψ-state is reachable from `s`
-    // through Φ-states. Everything else has probability exactly zero, and
-    // excluding it makes the linear system non-singular.
+    // Backward graph pass: `can_reach[s]` iff a sure state is reachable
+    // from `s` through Φ-states. Everything else has probability exactly
+    // zero, and excluding it makes the linear system non-singular.
     let reverse = probs.transpose();
     let mut can_reach = vec![false; n];
     let mut queue: Vec<usize> = Vec::new();
     for s in 0..n {
-        if psi[s] {
+        if one[s] {
             can_reach[s] = true;
             queue.push(s);
         }
     }
     while let Some(t) = queue.pop() {
         for (s, v) in reverse.row(t) {
-            if v > 0.0 && !can_reach[s] && phi[s] && !psi[s] {
+            if v > 0.0 && !can_reach[s] && phi[s] && !one[s] {
                 can_reach[s] = true;
                 queue.push(s);
             }
@@ -65,7 +86,7 @@ pub fn until_unbounded(
     }
 
     // "Maybe" states need the linear solve.
-    let maybe: Vec<usize> = (0..n).filter(|&s| can_reach[s] && !psi[s]).collect();
+    let maybe: Vec<usize> = (0..n).filter(|&s| can_reach[s] && !one[s]).collect();
     let mut local_of = vec![usize::MAX; n];
     for (i, &s) in maybe.iter().enumerate() {
         local_of[s] = i;
@@ -73,7 +94,7 @@ pub fn until_unbounded(
 
     let mut result = vec![0.0; n];
     for s in 0..n {
-        if psi[s] {
+        if one[s] {
             result[s] = 1.0;
         }
     }
@@ -91,7 +112,7 @@ pub fn until_unbounded(
             if p <= 0.0 {
                 continue;
             }
-            if psi[t] {
+            if one[t] {
                 b[i] += p;
             } else if local_of[t] != usize::MAX {
                 a.push(i, local_of[t], -p);
@@ -253,6 +274,39 @@ mod tests {
         assert!((colored[1] - 6.0 / 7.0).abs() < 1e-10);
         assert_eq!(colored[2], 1.0);
         assert_eq!(colored[4], 0.0);
+    }
+
+    #[test]
+    fn sure_set_equal_to_psi_is_bitwise_identical() {
+        let p = matrix(&[
+            vec![0.0, 2.0 / 3.0, 0.0, 0.0, 1.0 / 3.0],
+            vec![1.0 / 3.0, 0.0, 2.0 / 3.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 1.0],
+        ]);
+        let phi = vec![true; 5];
+        let psi = vec![false, false, true, true, false];
+        let plain = until_unbounded(&p, &phi, &psi, SolverOptions::new()).unwrap();
+        let with = until_unbounded_with(&p, &phi, &psi, &psi, SolverOptions::new()).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&plain), bits(&with));
+    }
+
+    #[test]
+    fn enlarged_sure_set_preassigns_ones_and_shrinks_the_system() {
+        // 0 -> 1 -> 2(target); every state reaches the target surely, so a
+        // certificate may pre-assign 1 everywhere — no solve remains.
+        let p = matrix(&[
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let phi = vec![true, true, true];
+        let psi = vec![false, false, true];
+        let one = vec![true, true, true];
+        let r = until_unbounded_with(&p, &phi, &psi, &one, SolverOptions::new()).unwrap();
+        assert_eq!(r, vec![1.0, 1.0, 1.0]);
     }
 
     #[test]

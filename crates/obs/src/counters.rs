@@ -44,6 +44,24 @@ pub const CERT_CACHE_HITS: &str = "cert_cache_hits";
 /// this counter, while changed content (same path, different bytes) does.
 pub const MODELS_LOADED: &str = "models_loaded";
 
+/// Number of SCCs the qualitative dataflow pass found in the model's rate
+/// graph (Tarjan condensation, computed once per model hash).
+pub const SCC_COUNT: &str = "scc_count";
+
+/// States the qualitative analysis proved to satisfy the current until
+/// operator with probability exactly 0 (the certain-zero set).
+pub const QUAL_ZERO_STATES: &str = "qual_zero_states";
+
+/// States the qualitative analysis proved to satisfy the current until
+/// operator with probability exactly 1 (the certain-one set; for bounded
+/// operators conservatively the goal states themselves).
+pub const QUAL_ONE_STATES: &str = "qual_one_states";
+
+/// States formula-driven slicing removed from the numerical solve beyond
+/// the engines' own dead-state skip: certain-zero invariant states and
+/// certain-one non-goal states, pre-assigned their exact 0/1 verdicts.
+pub const SLICE_STATES_REMOVED: &str = "slice_states_removed";
+
 /// Every counter name the engines emit, for doc-sync and validation.
 pub const COUNTER_NAMES: &[&str] = &[
     SOLVER_COLORS,
@@ -52,6 +70,10 @@ pub const COUNTER_NAMES: &[&str] = &[
     SAT_CACHE_MISSES,
     CERT_CACHE_HITS,
     MODELS_LOADED,
+    SCC_COUNT,
+    QUAL_ZERO_STATES,
+    QUAL_ONE_STATES,
+    SLICE_STATES_REMOVED,
 ];
 
 #[cfg(test)]

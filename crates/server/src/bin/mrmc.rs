@@ -125,14 +125,15 @@ struct Cli {
     json: bool,
     print_probabilities: bool,
     no_reduction: bool,
+    no_slicing: bool,
     metrics: bool,
     trace: Option<String>,
     progress: bool,
 }
 
 fn usage() -> &'static str {
-    "usage: mrmc [check] <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [--solver M] [--no-reduction] [--metrics] [--trace FILE] [--progress] [NP]\n\
-     \x20      mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--lumping] [--json] [--deny warnings]\n\
+    "usage: mrmc [check] <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [--solver M] [--no-reduction] [--no-slicing] [--metrics] [--trace FILE] [--progress] [NP]\n\
+     \x20      mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--lumping] [--dataflow] [--verbose] [--json] [--deny warnings]\n\
      \x20      mrmc serve [--listen ADDR] [--workers N] [--connections N]\n\
      \x20      mrmc batch <ADDR>\n\
      \n\
@@ -158,6 +159,9 @@ fn usage() -> &'static str {
      --no-reduction always check on the full model; by default the checker\n\
      \x20              runs on a certified lumping quotient when one exists\n\
      \x20              (exact, results unchanged)\n\
+     --no-slicing   disable qualitative precomputation: until engines solve\n\
+     \x20              the full state space instead of pre-assigning the\n\
+     \x20              certified certain-0/1 states and solving the rest\n\
      --metrics      report per-formula run metrics (human table, or a\n\
      \x20              `metrics` object with --json); observation-only, the\n\
      \x20              results are bit-identical with or without it\n\
@@ -169,9 +173,13 @@ fn usage() -> &'static str {
      The lint subcommand statically analyzes the model, the formulas on\n\
      stdin (model-only when stdin is a terminal), and the predicted engine\n\
      cost, without running any engine. --lumping additionally reports the\n\
-     per-formula lumpability analysis (R codes). --deny warnings promotes\n\
-     warnings to errors. Exit code 2 when error-grade diagnostics are\n\
-     present.\n\
+     per-formula lumpability analysis (R codes). --dataflow additionally\n\
+     reports the qualitative dataflow view (X codes): the SCC condensation,\n\
+     per-until certain-0/1 sets, and the slicing opportunities the checker\n\
+     would exploit. --verbose expands aggregated diagnostics (e.g. M101\n\
+     unreachable SCCs) to their flat per-state form. --deny warnings\n\
+     promotes warnings to errors. Exit code 2 when error-grade diagnostics\n\
+     are present.\n\
      \n\
      The serve subcommand runs the checker as a JSONL batch server on a\n\
      shared check session (models load once, Sat sub-results, lumping\n\
@@ -232,6 +240,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         json: false,
         print_probabilities: true,
         no_reduction: false,
+        no_slicing: false,
         metrics: false,
         trace: None,
         progress: false,
@@ -244,6 +253,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             cli.json = true;
         } else if arg == "--no-reduction" {
             cli.no_reduction = true;
+        } else if arg == "--no-slicing" {
+            cli.no_slicing = true;
         } else if arg == "--metrics" {
             cli.metrics = true;
         } else if arg == "--progress" {
@@ -322,6 +333,8 @@ struct LintCli {
     json: bool,
     deny_warnings: bool,
     lumping: bool,
+    dataflow: bool,
+    verbose: bool,
 }
 
 fn parse_lint_args(args: &[String]) -> Result<LintCli, String> {
@@ -337,6 +350,8 @@ fn parse_lint_args(args: &[String]) -> Result<LintCli, String> {
         json: false,
         deny_warnings: false,
         lumping: false,
+        dataflow: false,
+        verbose: false,
     };
     let mut rest = args[4..].iter();
     while let Some(arg) = rest.next() {
@@ -344,6 +359,10 @@ fn parse_lint_args(args: &[String]) -> Result<LintCli, String> {
             cli.json = true;
         } else if arg == "--lumping" {
             cli.lumping = true;
+        } else if arg == "--dataflow" {
+            cli.dataflow = true;
+        } else if arg == "--verbose" {
+            cli.verbose = true;
         } else if arg == "--deny" || arg == "--deny=warnings" {
             if arg == "--deny" {
                 let value = rest
@@ -369,8 +388,13 @@ fn parse_lint_args(args: &[String]) -> Result<LintCli, String> {
 fn run_lint(args: &[String]) -> Result<ExitCode, String> {
     let cli = parse_lint_args(args)?;
     let mut analyzer = Analyzer::new();
+    analyzer.set_verbose(cli.verbose);
     if cli.lumping {
         analyzer.register(lumping::PASS);
+    }
+    if cli.dataflow {
+        analyzer.register(mrmc::dataflow::CONDENSATION_PASS);
+        analyzer.register(mrmc::dataflow::PASS);
     }
     let hint = CheckOptions::new().with_engine(cli.engine).engine_hint();
     let mut report = Report::new();
@@ -423,6 +447,13 @@ fn print_human(outcome: &CheckOutcome, print_probabilities: bool) {
         println!(
             "  checked on a verified quotient: {} -> {} states",
             r.original_states, r.reduced_states
+        );
+    }
+    if let Some(d) = outcome.dataflow() {
+        println!(
+            "  dataflow: {} SCCs, {} certain-0 / {} certain-1 states, {} sliced (certificate {:016x})",
+            d.scc_count, d.qual_zero_states, d.qual_one_states, d.slice_states_removed,
+            d.certificate_hash
         );
     }
     let states: Vec<String> = outcome
@@ -719,6 +750,9 @@ fn run() -> Result<ExitCode, String> {
     if cli.no_reduction {
         options = options.with_reduction(Reduction::Off);
     }
+    if cli.no_slicing {
+        options = options.without_slicing();
+    }
 
     // Compose the requested telemetry sinks. With none requested, the
     // checking loop runs with no recorder installed at all — the engines'
@@ -976,6 +1010,60 @@ mod tests {
         assert!(cli.no_reduction);
         assert!(cli.json);
         assert!(!cli.print_probabilities);
+    }
+
+    #[test]
+    fn no_slicing_flag_parses() {
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi"])).unwrap();
+        assert!(!cli.no_slicing);
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--no-slicing",
+        ]))
+        .unwrap();
+        assert!(cli.no_slicing);
+        // Composes with the other switches.
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "u=1e-10",
+            "--no-reduction",
+            "--no-slicing",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(cli.no_slicing);
+        assert!(cli.no_reduction);
+        // --no-slicing belongs to check mode, not lint.
+        assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--no-slicing"])).is_err());
+    }
+
+    #[test]
+    fn dataflow_and_verbose_lint_flags_parse() {
+        let cli = parse_lint_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi"])).unwrap();
+        assert!(!cli.dataflow);
+        assert!(!cli.verbose);
+        let cli = parse_lint_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--dataflow",
+            "--verbose",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(cli.dataflow);
+        assert!(cli.verbose);
+        assert!(cli.json);
+        // Both belong to the lint subcommand only.
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--dataflow"])).is_err());
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--verbose"])).is_err());
     }
 
     #[test]

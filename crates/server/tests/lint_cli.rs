@@ -66,13 +66,16 @@ fn codes_in(json: &str) -> Vec<String> {
 }
 
 /// The sorted `"line":N` locations present in `--json` output.
+/// Post-load diagnostics render `"line":null` and are skipped here.
 fn lines_in(json: &str) -> Vec<usize> {
     let mut lines = Vec::new();
     let mut rest = json;
     while let Some(i) = rest.find("\"line\":") {
         let tail = &rest[i + 7..];
         let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
-        lines.push(digits.parse().expect("line number"));
+        if !digits.is_empty() {
+            lines.push(digits.parse().expect("line number"));
+        }
         rest = tail;
     }
     lines.sort_unstable();
@@ -195,6 +198,89 @@ fn unparsable_formula_is_f003() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(2), "{stdout}");
     assert!(stdout.contains("\"code\":\"F003\""), "{stdout}");
+}
+
+#[test]
+fn post_load_diagnostics_render_an_explicit_null_line() {
+    // Formula-scope diagnostics have no model-file location; they must
+    // still carry the `line` key (as `null`) so consumers see a uniform
+    // shape instead of a sometimes-missing field.
+    let case = corpus_dir().join("formulas");
+    let (stdout, _, code) = run_lint(&case, &["--json"]);
+    assert_eq!(code, Some(2), "{stdout}");
+    assert!(stdout.contains("\"line\":null"), "{stdout}");
+    // Every diagnostic object carries the key, numeric or null.
+    assert_eq!(
+        stdout.matches("\"code\":").count(),
+        stdout.matches("\"line\":").count(),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn verbose_expands_the_per_scc_unreachability_report() {
+    // `suspicious_model` has unreachable states: by default they are
+    // aggregated into one M101 per unreachable SCC, and --verbose
+    // restores the flat per-state form.
+    let case = corpus_dir().join("suspicious_model");
+    let (stdout, _, code) = run_lint(&case, &[]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("unreachable SCC"), "{stdout}");
+    let (stdout, _, code) = run_lint(&case, &["--verbose"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.contains("unreachable from the initial state"),
+        "{stdout}"
+    );
+    assert!(!stdout.contains("unreachable SCC"), "{stdout}");
+}
+
+#[test]
+fn dataflow_flag_reports_x_codes() {
+    let models = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/models");
+    let file = |name: &str| models.join(name).to_str().unwrap().to_string();
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "lint".to_string(),
+            file("tmr.tra"),
+            file("tmr.lab"),
+            file("tmr.rewr"),
+            file("tmr.rewi"),
+        ];
+        args.extend(extra.iter().map(ToString::to_string));
+        let mut child = Command::new(env!("CARGO_BIN_EXE_mrmc"))
+            .args(&args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("binary runs");
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(b"P(> 0.99) [TT U Sup]\n")
+            .unwrap();
+        let out = child.wait_with_output().unwrap();
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            out.status.code(),
+        )
+    };
+
+    let (stdout, code) = run(&["--dataflow", "--json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"code\":\"X002\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"X003\""), "{stdout}");
+    assert!(stdout.contains("condensation"), "{stdout}");
+
+    // Without the flag, no X codes at all.
+    let (stdout, code) = run(&["--json"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        !codes_in(&stdout).iter().any(|c| c.starts_with('X')),
+        "{stdout}"
+    );
 }
 
 #[test]
