@@ -49,7 +49,7 @@
 //! * `R104` (note) — impulse rewards block further lumping, with an
 //!   example pair.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -281,7 +281,10 @@ fn split_by_signature(mrm: &Mrm, partition: &Partition, use_impulses: bool) -> P
     let assignment: Vec<usize> = (0..n)
         .map(|s| {
             let b = partition.block_of(s);
-            let mut impulse_map: HashMap<usize, Vec<u64>> = HashMap::new();
+            // BTreeMap: the signature below consumes this map in
+            // iteration order, so the order must be the key order, not
+            // hash order.
+            let mut impulse_map: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
             for (t, r) in mrm.ctmc().rates().row(s) {
                 let c = partition.block_of(t);
                 if c == b {
@@ -305,7 +308,9 @@ fn split_by_signature(mrm: &Mrm, partition: &Partition, use_impulses: bool) -> P
                 sums[c] = 0.0;
             }
             touched.clear();
-            let mut impulses: Vec<(usize, Vec<u64>)> = impulse_map
+            // BTreeMap iteration is already key-ascending, so the
+            // signature's impulse list needs no extra outer sort.
+            let impulses: Vec<(usize, Vec<u64>)> = impulse_map
                 .into_iter()
                 .map(|(c, mut vs)| {
                     vs.sort_unstable();
@@ -313,7 +318,6 @@ fn split_by_signature(mrm: &Mrm, partition: &Partition, use_impulses: bool) -> P
                     (c, vs)
                 })
                 .collect();
-            impulses.sort_unstable();
             let next = keys.len();
             *keys
                 .entry(Signature {

@@ -30,7 +30,7 @@
 //! request.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -138,7 +138,7 @@ pub struct SatCtx {
 /// One memoized sub-result: the full triple the recursion produced.
 pub(crate) type CachedSat = (Vec<bool>, Vec<bool>, Option<Extras>);
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct SatKey {
     model_hash: u64,
     options_fp: u64,
@@ -150,7 +150,7 @@ struct SatKey {
 /// counters in the `mrmc_obs::counters` registry).
 #[derive(Debug, Default)]
 pub struct SatCache {
-    entries: Mutex<HashMap<SatKey, CachedSat>>,
+    entries: Mutex<BTreeMap<SatKey, CachedSat>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -253,7 +253,7 @@ pub(crate) fn installed() -> Option<(Arc<SatCache>, SatCtx)> {
 /// the qualitative dataflow pre-pass asks for it once per until operator.
 #[derive(Debug, Default)]
 pub struct SccCache {
-    entries: Mutex<HashMap<u64, Arc<mrmc_ctmc::bscc::SccDecomposition>>>,
+    entries: Mutex<BTreeMap<u64, Arc<mrmc_ctmc::bscc::SccDecomposition>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

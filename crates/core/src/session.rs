@@ -35,7 +35,7 @@
 //! be checked from many threads concurrently, which is what
 //! `mrmc-server` does on its worker pool.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -127,7 +127,7 @@ enum CertOutcome {
     NoQuotient,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct CertKey {
     model_hash: u64,
     formula: String,
@@ -138,11 +138,11 @@ struct CertKey {
 #[derive(Debug, Default)]
 pub struct CheckSession {
     /// Load-once file store: digest of the four files' bytes → handle.
-    by_file_digest: Mutex<HashMap<u64, ModelHandle>>,
+    by_file_digest: Mutex<BTreeMap<u64, ModelHandle>>,
     /// Structural store: model content hash → handle (dedups
     /// [`insert`](CheckSession::insert) and byte-different reloads).
-    by_content: Mutex<HashMap<u64, ModelHandle>>,
-    certs: Mutex<HashMap<CertKey, CertOutcome>>,
+    by_content: Mutex<BTreeMap<u64, ModelHandle>>,
+    certs: Mutex<BTreeMap<CertKey, CertOutcome>>,
     sat_cache: Arc<SatCache>,
     omega: Arc<OmegaTermCache>,
     scc: Arc<SccCache>,

@@ -1,0 +1,68 @@
+//! Standalone devlint driver: `mrmc-devlint [--json] [ROOT]`.
+//!
+//! Exit codes follow the `mrmc lint` convention: `0` clean, `2` when
+//! findings exist (devlint is deny-by-default — every code is
+//! Error-grade), `1` on I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "mrmc-devlint — workspace determinism & hermeticity analyzer\n\
+     \n\
+     USAGE:\n\
+       mrmc-devlint [--json] [ROOT]\n\
+     \n\
+     ARGS:\n\
+       ROOT      workspace checkout to scan (default: current directory)\n\
+     \n\
+     OPTIONS:\n\
+       --json    machine-readable report on stdout\n\
+       --help    this text\n\
+     \n\
+     EXIT CODES:\n\
+       0  clean   2  findings   1  I/O error\n"
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("mrmc-devlint: unknown option `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+            other => {
+                if root.replace(PathBuf::from(other)).is_some() {
+                    eprintln!("mrmc-devlint: more than one ROOT argument\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    match mrmc_devlint::lint_workspace(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(err) => {
+            eprintln!("mrmc-devlint: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Manifest-level devlint passes: D006 (hermeticity) and D008
+//! (workspace lint-gate).
+//!
+//! A tiny line-oriented TOML reader — section headers, `key = value`
+//! lines, `#` comments outside strings — is enough for the shapes our
+//! manifests use; devlint does not need a general TOML parser any more
+//! than it needs `syn`.
+//!
+//! * **D006** — every entry in a `[dependencies]`-like section must be a
+//!   workspace-internal dependency: `path = …` or `workspace = true`.
+//!   Anything that could reach a registry or the network (`version`,
+//!   `git`, a bare version string) breaks the hermeticity contract.
+//! * **D008** — the lint gate must stay centralized: the root manifest
+//!   must carry `unsafe_code = "forbid"` and a non-empty pinned
+//!   `[workspace.lints.clippy]` table, and every crate manifest must
+//!   opt in via `[lints] workspace = true`.
+//!
+//! Suppression uses the TOML comment form of the same pragma:
+//! `# devlint::allow(D006): <reason>` — trailing on the entry line, or
+//! on its own line governing the next line.
+
+use crate::finding::Finding;
+use crate::scan::{parse_pragma, Pragma, PragmaIssue};
+
+/// Lint one `Cargo.toml`. `rel_path == "Cargo.toml"` is treated as the
+/// workspace root manifest; everything else as a crate manifest.
+/// Suppressions are applied; malformed or unused pragmas come back as
+/// `D000` findings.
+pub fn lint_manifest(rel_path: &str, text: &str) -> Vec<Finding> {
+    let lines: Vec<(String, Option<String>)> = text.lines().map(split_comment).collect();
+    let (pragmas, pragma_issues) = collect_pragmas(&lines);
+
+    let mut raw = Vec::new();
+    d006_hermeticity(rel_path, &lines, &mut raw);
+    d008_lint_gate(rel_path, &lines, &mut raw);
+
+    let mut used = vec![false; pragmas.len()];
+    let mut out: Vec<Finding> = Vec::new();
+    for finding in raw {
+        let suppressed = pragmas.iter().enumerate().any(|(i, p)| {
+            let hit = p.applies_to == finding.line && p.codes.iter().any(|c| c == finding.code);
+            if hit {
+                used[i] = true;
+            }
+            hit
+        });
+        if !suppressed {
+            out.push(finding);
+        }
+    }
+    for issue in &pragma_issues {
+        out.push(d000(rel_path, issue.line, &issue.message));
+    }
+    for (i, p) in pragmas.iter().enumerate() {
+        if !used[i] {
+            out.push(d000(
+                rel_path,
+                p.at_line,
+                &format!(
+                    "suppression pragma for {} matches no finding — remove it or fix its placement",
+                    p.codes.join(", ")
+                ),
+            ));
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+    out
+}
+
+fn d000(rel_path: &str, line: usize, message: &str) -> Finding {
+    Finding::new("D000", rel_path, line, message).with_suggestion(
+        "pragmas must read `devlint::allow(D00x): <non-empty reason>` and suppress a real finding",
+    )
+}
+
+/// Split one TOML line into its code part and its `#` comment body
+/// (quote-aware, so a `#` inside a string stays code).
+fn split_comment(line: &str) -> (String, Option<String>) {
+    let b = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => {
+                return (
+                    line[..i].to_string(),
+                    Some(line[i + 1..].trim().to_string()),
+                );
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line.to_string(), None)
+}
+
+fn collect_pragmas(lines: &[(String, Option<String>)]) -> (Vec<Pragma>, Vec<PragmaIssue>) {
+    let mut pragmas = Vec::new();
+    let mut issues = Vec::new();
+    for (idx, (code, comment)) in lines.iter().enumerate() {
+        let Some(comment) = comment else { continue };
+        if !comment.starts_with("devlint::allow") {
+            continue;
+        }
+        let line_no = idx + 1;
+        match parse_pragma(comment) {
+            Ok((codes, reason)) => pragmas.push(Pragma {
+                at_line: line_no,
+                applies_to: if code.trim().is_empty() {
+                    line_no + 1
+                } else {
+                    line_no
+                },
+                codes,
+                reason,
+            }),
+            Err(message) => issues.push(PragmaIssue {
+                line: line_no,
+                message,
+            }),
+        }
+    }
+    (pragmas, issues)
+}
+
+/// `true` when `section` holds dependency entries.
+fn is_dep_section(section: &str) -> bool {
+    section == "dependencies"
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+        || section == "workspace.dependencies"
+        || section.ends_with(".dependencies")
+}
+
+fn d006_hermeticity(rel_path: &str, lines: &[(String, Option<String>)], out: &mut Vec<Finding>) {
+    let mut section = String::new();
+    // `[dependencies.foo]` header-table form: remember the entry and
+    // whether a hermetic key showed up before the section ended.
+    let mut pending: Option<(String, usize, bool)> = None;
+    for (idx, (code, _)) in lines.iter().enumerate() {
+        let t = code.trim();
+        if t.starts_with('[') {
+            if let Some((name, line, ok)) = pending.take() {
+                if !ok {
+                    out.push(dep_finding(rel_path, line, &name));
+                }
+            }
+            section = t.trim_matches(|c| c == '[' || c == ']').trim().to_string();
+            if let Some(rest) = section.strip_prefix("dependencies.").or_else(|| {
+                section
+                    .strip_prefix("dev-dependencies.")
+                    .or_else(|| section.strip_prefix("build-dependencies."))
+            }) {
+                pending = Some((rest.to_string(), idx + 1, false));
+            }
+            continue;
+        }
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(p) = pending.as_mut() {
+            if is_hermetic_key_line(t) {
+                p.2 = true;
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((name, value)) = t.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let value = value.trim();
+        // `foo.workspace = true` / `foo.path = "…"` dotted keys.
+        if name.ends_with(".workspace") || name.ends_with(".path") {
+            continue;
+        }
+        if value.contains("path") && value.contains('=') || value.contains("workspace = true") {
+            let hermetic = value.split(',').any(|kv| {
+                let kv = kv.trim_matches(|c: char| c == '{' || c == '}' || c.is_whitespace());
+                kv.starts_with("path") || kv.replace(' ', "") == "workspace=true"
+            });
+            if hermetic {
+                continue;
+            }
+        }
+        out.push(dep_finding(rel_path, idx + 1, name));
+    }
+    if let Some((name, line, ok)) = pending {
+        if !ok {
+            out.push(dep_finding(rel_path, line, &name));
+        }
+    }
+}
+
+fn is_hermetic_key_line(t: &str) -> bool {
+    let key = t.split('=').next().unwrap_or("").trim();
+    key == "path" || (key == "workspace" && t.replace(' ', "").contains("workspace=true"))
+}
+
+fn dep_finding(rel_path: &str, line: usize, name: &str) -> Finding {
+    Finding::new(
+        "D006",
+        rel_path,
+        line,
+        format!("dependency `{name}` is not workspace-internal — the build must stay hermetic"),
+    )
+    .with_suggestion("use `path = …` / `workspace = true`, or vendor the code into the workspace")
+}
+
+fn d008_lint_gate(rel_path: &str, lines: &[(String, Option<String>)], out: &mut Vec<Finding>) {
+    let mut section = String::new();
+    let mut has_forbid = false;
+    let mut clippy_pins = 0usize;
+    let mut lints_workspace = false;
+    let mut has_package = false;
+    for (code, _) in lines {
+        let t = code.trim();
+        if t.starts_with('[') {
+            section = t.trim_matches(|c| c == '[' || c == ']').trim().to_string();
+            continue;
+        }
+        if t.is_empty() {
+            continue;
+        }
+        match section.as_str() {
+            "workspace.lints.rust" if t.starts_with("unsafe_code") && t.contains("forbid") => {
+                has_forbid = true;
+            }
+            "workspace.lints.clippy" if t.contains('=') => {
+                clippy_pins += 1;
+            }
+            "lints" if t.replace(' ', "").starts_with("workspace=true") => {
+                lints_workspace = true;
+            }
+            _ => {}
+        }
+        if section == "package" {
+            has_package = true;
+        }
+    }
+    if rel_path == "Cargo.toml" {
+        if !has_forbid {
+            out.push(
+                Finding::new(
+                    "D008",
+                    rel_path,
+                    0,
+                    "root manifest does not forbid unsafe code for the workspace",
+                )
+                .with_suggestion("add `unsafe_code = \"forbid\"` under [workspace.lints.rust]"),
+            );
+        }
+        if clippy_pins == 0 {
+            out.push(
+                Finding::new(
+                    "D008",
+                    rel_path,
+                    0,
+                    "root manifest has no pinned [workspace.lints.clippy] set",
+                )
+                .with_suggestion("pin the clippy lint set under [workspace.lints.clippy]"),
+            );
+        }
+    } else if has_package && !lints_workspace {
+        out.push(
+            Finding::new(
+                "D008",
+                rel_path,
+                0,
+                "crate manifest does not opt into the workspace lint gate",
+            )
+            .with_suggestion("add `[lints]\\nworkspace = true`"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(rel_path: &str, text: &str) -> Vec<&'static str> {
+        lint_manifest(rel_path, text)
+            .iter()
+            .map(|f| f.code)
+            .collect()
+    }
+
+    const CRATE_OK: &str = "[package]\nname = \"x\"\n\n[dependencies]\nmrmc-core = { path = \"../core\" }\nmrmc-obs = { workspace = true }\n\n[lints]\nworkspace = true\n";
+
+    #[test]
+    fn workspace_internal_deps_pass() {
+        assert!(codes("crates/x/Cargo.toml", CRATE_OK).is_empty());
+    }
+
+    #[test]
+    fn registry_and_git_deps_are_flagged() {
+        let bad = "[package]\nname = \"x\"\n\n[dependencies]\nserde = \"1\"\nrand = { version = \"0.8\" }\nfoo = { git = \"https://example.com/foo\" }\n\n[lints]\nworkspace = true\n";
+        assert_eq!(
+            codes("crates/x/Cargo.toml", bad),
+            vec!["D006", "D006", "D006"]
+        );
+    }
+
+    #[test]
+    fn header_table_dep_without_path_is_flagged() {
+        let bad = "[package]\nname = \"x\"\n\n[dependencies.serde]\nversion = \"1\"\n\n[lints]\nworkspace = true\n";
+        assert_eq!(codes("crates/x/Cargo.toml", bad), vec!["D006"]);
+        let ok = "[package]\nname = \"x\"\n\n[dependencies.mrmc-core]\npath = \"../core\"\n\n[lints]\nworkspace = true\n";
+        assert!(codes("crates/x/Cargo.toml", ok).is_empty());
+    }
+
+    #[test]
+    fn missing_lint_gate_is_d008() {
+        let bad = "[package]\nname = \"x\"\n\n[dependencies]\n";
+        assert_eq!(codes("crates/x/Cargo.toml", bad), vec!["D008"]);
+    }
+
+    #[test]
+    fn root_manifest_needs_forbid_and_clippy_pins() {
+        let good = "[workspace]\nmembers = [\"crates/*\"]\n\n[workspace.lints.rust]\nunsafe_code = \"forbid\"\n\n[workspace.lints.clippy]\ndbg_macro = \"deny\"\n";
+        assert!(codes("Cargo.toml", good).is_empty());
+        let bad = "[workspace]\nmembers = [\"crates/*\"]\n";
+        assert_eq!(codes("Cargo.toml", bad), vec!["D008", "D008"]);
+    }
+
+    #[test]
+    fn toml_pragma_suppresses_with_reason() {
+        let t = "[package]\nname = \"x\"\n\n[dependencies]\nserde = \"1\" # devlint::allow(D006): vendoring tracked in issue 7\n\n[lints]\nworkspace = true\n";
+        assert!(codes("crates/x/Cargo.toml", t).is_empty());
+    }
+
+    #[test]
+    fn reasonless_toml_pragma_is_d000_and_does_not_suppress() {
+        let t = "[package]\nname = \"x\"\n\n[dependencies]\nserde = \"1\" # devlint::allow(D006)\n\n[lints]\nworkspace = true\n";
+        assert_eq!(codes("crates/x/Cargo.toml", t), vec!["D000", "D006"]);
+    }
+
+    #[test]
+    fn unused_toml_pragma_is_d000() {
+        let t = "[package]\nname = \"x\"\n\n[dependencies]\n# devlint::allow(D006): nothing here\nmrmc-core = { path = \"../core\" }\n\n[lints]\nworkspace = true\n";
+        assert_eq!(codes("crates/x/Cargo.toml", t), vec!["D000"]);
+    }
+}

@@ -1,0 +1,768 @@
+//! The source-level devlint passes: D001–D005.
+//!
+//! Every pass works on a [`SourceFile`] — comment/string-blanked lines
+//! plus test-region flags — and returns raw findings; suppression
+//! pragmas are applied by the caller so that pragma *usage* can be
+//! tracked (an unused pragma is a `D000` finding of its own).
+//!
+//! The passes are deliberately token-level. They do not type-check; they
+//! recognize the shapes the determinism contract forbids:
+//!
+//! * **D001** — iteration over a `HashMap`/`HashSet` in an
+//!   engine/result-path crate. A per-file taint set seeds on bindings
+//!   and fields declared with hash-container types or constructors,
+//!   propagates through simple re-bindings, and any method chain from a
+//!   tainted name that reaches `.iter()`/`.keys()`/`.values()`/
+//!   `.drain()`/`.into_iter()` — or a bare `for … in tainted` header —
+//!   is flagged. Keyed access (`get`/`insert`/`entry`/`len`) stays
+//!   allowed.
+//! * **D002** — `Instant`/`SystemTime` tokens outside the bench/obs
+//!   timing allowlist and outside test code.
+//! * **D003** — `thread::spawn` anywhere: all parallelism must be
+//!   structured through `thread::scope` (`scope.spawn` does not match).
+//! * **D004** — atomic-float emulation (`fetch_*`/`compare_exchange`
+//!   co-occurring with `to_bits`/`from_bits`) and reductions
+//!   (`sum`/`fold`/`product`/`reduce`) chained onto hash-order
+//!   iteration.
+//! * **D005** — the panic family (`unwrap`/`expect`/`panic!`/…) in the
+//!   `mrmc-server` request-handling sources.
+//!
+//! Known accepted holes (documented in DESIGN.md): a type alias hides
+//! the container tokens from the taint seed, and taint is file-scoped,
+//! not block-scoped.
+
+use crate::finding::Finding;
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+
+/// Crates whose `src/` trees are result paths: hash-order iteration and
+/// unordered reductions there can reach outputs.
+const ENGINE_CRATES: &[&str] = &["analysis", "core", "ctmc", "mrm", "numerics", "sparse"];
+
+/// Methods whose results observe hash order.
+const ITER_METHODS: &[&str] = &[
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+];
+
+/// Reduction adaptors: order-sensitive for floats.
+const REDUCE_METHODS: &[&str] = &["fold", "product", "reduce", "sum"];
+
+/// Methods that hand back (a guard over) the same container, so taint
+/// flows through a `let` re-binding.
+const PROPAGATING_METHODS: &[&str] = &[
+    "as_mut",
+    "as_ref",
+    "borrow",
+    "borrow_mut",
+    "clone",
+    "expect",
+    "get_mut",
+    "lock",
+    "read",
+    "unwrap",
+    "write",
+];
+
+/// Read-modify-write atomic operations.
+const ATOMIC_OPS: &[&str] = &[
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_and",
+    "fetch_max",
+    "fetch_min",
+    "fetch_or",
+    "fetch_sub",
+    "fetch_update",
+    "fetch_xor",
+];
+
+/// Float/bit reinterpretation — the signature of atomic-float emulation.
+const BIT_CASTS: &[&str] = &["from_bits", "to_bits"];
+
+/// Panicking macros (rule D005).
+const PANIC_MACROS: &[&str] = &["panic!", "todo!", "unimplemented!", "unreachable!"];
+
+/// `true` for files under an engine crate's `src/` tree.
+pub fn in_engine_src(rel_path: &str) -> bool {
+    ENGINE_CRATES.iter().any(|c| {
+        rel_path
+            .strip_prefix("crates/")
+            .and_then(|p| p.strip_prefix(c))
+            .is_some_and(|p| p.starts_with("/src/"))
+    })
+}
+
+/// `true` for files allowed to read wall clocks: the bench and obs
+/// crates (timing is their job), plus integration-test and bench trees.
+pub fn clock_allowlisted(rel_path: &str) -> bool {
+    rel_path.starts_with("crates/bench/")
+        || rel_path.starts_with("crates/obs/")
+        || rel_path.contains("/tests/")
+        || rel_path.contains("/benches/")
+        || rel_path.starts_with("tests/")
+}
+
+/// `true` for the `mrmc-server` request-handling sources (rule D005's
+/// scope): the connection loop and the JSON codec it feeds.
+pub fn server_request_path(rel_path: &str) -> bool {
+    rel_path == "crates/server/src/lib.rs" || rel_path == "crates/server/src/json.rs"
+}
+
+/// Run every source-level pass over `file`. Findings are unsuppressed
+/// and sorted by line, then code.
+pub fn lint_source(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    d001_d004_hash_iteration(file, &mut out);
+    d002_wall_clock(file, &mut out);
+    d003_unscoped_spawn(file, &mut out);
+    d004_atomic_float(file, &mut out);
+    d005_server_panics(file, &mut out);
+    out.sort_by(|a, b| (a.line, a.code).cmp(&(b.line, b.code)));
+    out
+}
+
+// ---------------------------------------------------------------------------
+// D001 + D004 (reduction half): hash-container taint analysis
+// ---------------------------------------------------------------------------
+
+fn d001_d004_hash_iteration(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_engine_src(&file.rel_path) {
+        return;
+    }
+    let tainted = hash_tainted_idents(file);
+    if tainted.is_empty() {
+        return;
+    }
+    let text = file.code_lines.join("\n");
+    let bytes = text.as_bytes();
+    let line_starts = line_starts(&text);
+    let mut seen: BTreeSet<(usize, &'static str)> = BTreeSet::new();
+
+    for ident in &tainted {
+        for pos in token_positions(&text, ident) {
+            let methods = walk_chain(bytes, pos + ident.len());
+            let mut saw_iter = false;
+            for (name, at) in &methods {
+                let line = line_of(&line_starts, *at);
+                if file.in_test.get(line - 1).copied().unwrap_or(false) {
+                    continue;
+                }
+                if !saw_iter && ITER_METHODS.contains(&name.as_str()) {
+                    saw_iter = true;
+                    if seen.insert((line, "D001")) {
+                        out.push(
+                            Finding::new(
+                                "D001",
+                                &file.rel_path,
+                                line,
+                                format!(
+                                    "iteration over hash-ordered container `{ident}` via `.{name}()` — order can reach results"
+                                ),
+                            )
+                            .with_suggestion(
+                                "use a BTreeMap/BTreeSet, or collect and sort before iterating",
+                            ),
+                        );
+                    }
+                } else if saw_iter
+                    && REDUCE_METHODS.contains(&name.as_str())
+                    && seen.insert((line, "D004"))
+                {
+                    out.push(
+                        Finding::new(
+                            "D004",
+                            &file.rel_path,
+                            line,
+                            format!(
+                                "`.{name}()` reduction over hash-ordered iteration of `{ident}` — float reductions must have a pinned order"
+                            ),
+                        )
+                        .with_suggestion(
+                            "iterate a BTreeMap or a sorted buffer, and sum via the compensated helpers",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // Bare `for x in tainted` headers (no method chain to walk).
+    for (idx, line) in file.code_lines.iter().enumerate() {
+        if file.in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let Some(for_pos) = token_positions(line, "for").first().copied() else {
+            continue;
+        };
+        let after_for = &line[for_pos + 3..];
+        let Some(in_pos) = token_positions(after_for, "in").first().copied() else {
+            continue;
+        };
+        let after_in = &after_for[in_pos + 2..];
+        for ident in &tainted {
+            for pos in token_positions(after_in, ident) {
+                let rest = after_in[pos + ident.len()..].trim_start();
+                let direct = !rest.starts_with('.')
+                    && !rest.starts_with('(')
+                    && !rest.starts_with('[')
+                    && !rest.starts_with("::");
+                if direct && seen.insert((idx + 1, "D001")) {
+                    out.push(
+                        Finding::new(
+                            "D001",
+                            &file.rel_path,
+                            idx + 1,
+                            format!(
+                                "`for … in {ident}` iterates a hash-ordered container — order can reach results"
+                            ),
+                        )
+                        .with_suggestion(
+                            "use a BTreeMap/BTreeSet, or collect and sort before iterating",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The file's hash-container taint set: names declared with
+/// `HashMap`/`HashSet` types or constructors, closed under simple
+/// re-bindings (`let a = map;`, `let g = map.lock().unwrap();`).
+fn hash_tainted_idents(file: &SourceFile) -> BTreeSet<String> {
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    for line in &file.code_lines {
+        let hashy = contains_token(line, "HashMap") || contains_token(line, "HashSet");
+        if !hashy {
+            continue;
+        }
+        if let Some(name) = let_binding_name(line) {
+            tainted.insert(name);
+        }
+        for tok in ["HashMap", "HashSet"] {
+            for pos in token_positions(line, tok) {
+                if let Some(name) = ident_before_colon(line, pos) {
+                    tainted.insert(name);
+                }
+            }
+        }
+    }
+    // Close under re-binding: `let alias = <expr over tainted>` where the
+    // chain from the tainted name only passes through guards/clones.
+    loop {
+        let mut changed = false;
+        for line in &file.code_lines {
+            let Some(name) = let_binding_name(line) else {
+                continue;
+            };
+            if tainted.contains(&name) {
+                continue;
+            }
+            let Some(rhs) = binding_rhs(line) else {
+                continue;
+            };
+            let rhs_bytes = rhs.as_bytes();
+            let propagates = tainted.iter().any(|t| {
+                token_positions(rhs, t).iter().any(|&pos| {
+                    walk_chain(rhs_bytes, pos + t.len())
+                        .iter()
+                        .all(|(m, _)| PROPAGATING_METHODS.contains(&m.as_str()))
+                })
+            });
+            if propagates {
+                tainted.insert(name);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}
+
+// ---------------------------------------------------------------------------
+// D002: wall-clock reads
+// ---------------------------------------------------------------------------
+
+fn d002_wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
+    if clock_allowlisted(&file.rel_path) {
+        return;
+    }
+    for (idx, line) in file.code_lines.iter().enumerate() {
+        if file.in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for tok in ["Instant", "SystemTime"] {
+            if contains_token(line, tok) {
+                out.push(
+                    Finding::new(
+                        "D002",
+                        &file.rel_path,
+                        idx + 1,
+                        format!("wall-clock read (`{tok}`) outside the bench/obs timing allowlist"),
+                    )
+                    .with_suggestion(
+                        "route timing through mrmc-obs, or move the measurement into crates/bench",
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D003: unscoped threads
+// ---------------------------------------------------------------------------
+
+fn d003_unscoped_spawn(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.code_lines.iter().enumerate() {
+        for pos in token_positions(line, "thread") {
+            if line[pos + "thread".len()..].trim_start().starts_with("::")
+                && line[pos + "thread".len()..]
+                    .trim_start()
+                    .trim_start_matches(':')
+                    .trim_start()
+                    .starts_with("spawn")
+            {
+                out.push(
+                    Finding::new(
+                        "D003",
+                        &file.rel_path,
+                        idx + 1,
+                        "`thread::spawn` outside `thread::scope` — all parallelism must be scoped",
+                    )
+                    .with_suggestion(
+                        "restructure under std::thread::scope so joins are structural",
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D004 (atomic half): atomic-float emulation
+// ---------------------------------------------------------------------------
+
+fn d004_atomic_float(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_engine_src(&file.rel_path) {
+        return;
+    }
+    for (idx, line) in file.code_lines.iter().enumerate() {
+        if file.in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let atomic = ATOMIC_OPS.iter().any(|t| contains_token(line, t));
+        let bits = BIT_CASTS.iter().any(|t| contains_token(line, t));
+        if atomic && bits {
+            out.push(
+                Finding::new(
+                    "D004",
+                    &file.rel_path,
+                    idx + 1,
+                    "atomic-float emulation (atomic RMW combined with to_bits/from_bits) — accumulation order is unordered",
+                )
+                .with_suggestion(
+                    "accumulate per-thread and combine in a pinned order via the compensated helpers",
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D005: panics in server request paths
+// ---------------------------------------------------------------------------
+
+fn d005_server_panics(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !server_request_path(&file.rel_path) {
+        return;
+    }
+    for (idx, line) in file.code_lines.iter().enumerate() {
+        if file.in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let hit = if line.contains(".unwrap()") {
+            Some("`.unwrap()`")
+        } else if line.contains(".expect(") {
+            Some("`.expect(…)`")
+        } else {
+            PANIC_MACROS
+                .iter()
+                .find(|m| {
+                    let stem = &m[..m.len() - 1];
+                    token_positions(line, stem)
+                        .iter()
+                        .any(|&p| line[p + stem.len()..].starts_with('!'))
+                })
+                .map(|m| match *m {
+                    "panic!" => "`panic!`",
+                    "todo!" => "`todo!`",
+                    "unimplemented!" => "`unimplemented!`",
+                    _ => "`unreachable!`",
+                })
+        };
+        if let Some(what) = hit {
+            out.push(
+                Finding::new(
+                    "D005",
+                    &file.rel_path,
+                    idx + 1,
+                    format!("{what} in a server request-handling path — a bad request must not kill the connection loop"),
+                )
+                .with_suggestion("return a protocol error reply instead of panicking"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+fn is_ident_byte(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Byte offsets of `tok` in `hay` at identifier boundaries.
+fn token_positions(hay: &str, tok: &str) -> Vec<usize> {
+    let hb = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(p) = hay[start..].find(tok) {
+        let pos = start + p;
+        let end = pos + tok.len();
+        let before_ok = pos == 0 || !is_ident_byte(hb[pos - 1]);
+        let after_ok = end >= hb.len() || !is_ident_byte(hb[end]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        start = end;
+    }
+    out
+}
+
+fn contains_token(hay: &str, tok: &str) -> bool {
+    !token_positions(hay, tok).is_empty()
+}
+
+/// The snake_case name a `let [mut] name …` line binds, if any.
+/// Destructuring patterns and enum patterns (uppercase) return `None`.
+fn let_binding_name(line: &str) -> Option<String> {
+    let pos = token_positions(line, "let").first().copied()?;
+    let mut rest = line[pos + 3..].trim_start();
+    if let Some(stripped) = rest.strip_prefix("mut") {
+        if stripped.starts_with(|c: char| c.is_whitespace()) {
+            rest = stripped.trim_start();
+        }
+    }
+    let first = rest.chars().next()?;
+    if !(first.is_ascii_lowercase() || first == '_') {
+        return None;
+    }
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty() && name != "_").then_some(name)
+}
+
+/// The right-hand side of a `let` binding: everything after the first
+/// top-level `=` (not `==`, `=>`, `<=`, …).
+fn binding_rhs(line: &str) -> Option<&str> {
+    let b = line.as_bytes();
+    for (i, &c) in b.iter().enumerate() {
+        if c != b'=' {
+            continue;
+        }
+        let prev = if i == 0 { b' ' } else { b[i - 1] };
+        let next = if i + 1 < b.len() { b[i + 1] } else { b' ' };
+        if next == b'=' || next == b'>' {
+            continue;
+        }
+        if matches!(
+            prev,
+            b'=' | b'<' | b'>' | b'!' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^'
+        ) {
+            continue;
+        }
+        return Some(&line[i + 1..]);
+    }
+    None
+}
+
+/// The identifier immediately before the single `:` governing the type
+/// at `type_pos` — i.e. the field/parameter name of a declaration whose
+/// type mentions a hash container. Stops at `;` and top-level `=` so an
+/// unrelated earlier statement's colon is never picked up.
+fn ident_before_colon(line: &str, type_pos: usize) -> Option<String> {
+    let b = line.as_bytes();
+    let mut i = type_pos;
+    let mut colon = None;
+    while i > 0 {
+        i -= 1;
+        match b[i] {
+            b':' => {
+                let prev = if i == 0 { b' ' } else { b[i - 1] };
+                let next = if i + 1 < b.len() { b[i + 1] } else { b' ' };
+                if prev != b':' && next != b':' {
+                    colon = Some(i);
+                    break;
+                }
+                // Part of a `::` path — step over the pair.
+                if prev == b':' {
+                    i -= 1;
+                }
+            }
+            b';' | b'=' => return None,
+            _ => {}
+        }
+    }
+    let colon = colon?;
+    let mut end = colon;
+    while end > 0 && b[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident_byte(b[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    let name = &line[start..end];
+    let first = name.chars().next()?;
+    if !(first.is_ascii_lowercase() || first == '_') {
+        return None;
+    }
+    const KEYWORDS: &[&str] = &[
+        "else", "fn", "impl", "let", "match", "mod", "mut", "pub", "ref", "return", "self", "where",
+    ];
+    (!KEYWORDS.contains(&name)).then(|| name.to_string())
+}
+
+/// Walk a method/field chain starting right after an identifier at byte
+/// offset `i`: returns `(name, offset)` for each `.name` segment,
+/// skipping turbofish and balanced argument lists, following the chain
+/// across newlines.
+fn walk_chain(b: &[u8], mut i: usize) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    loop {
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= b.len() || b[i] != b'.' {
+            break;
+        }
+        i += 1;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < b.len() && is_ident_byte(b[i]) {
+            i += 1;
+        }
+        if i == start {
+            break;
+        }
+        out.push((String::from_utf8_lossy(&b[start..i]).into_owned(), start));
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        // Turbofish: `.collect::<…>()`.
+        if i + 2 < b.len() && b[i] == b':' && b[i + 1] == b':' && b[i + 2] == b'<' {
+            i += 3;
+            let mut depth = 1u32;
+            while i < b.len() && depth > 0 {
+                match b[i] {
+                    b'<' => depth += 1,
+                    b'>' => depth -= 1,
+                    _ => {}
+                }
+                i += 1;
+            }
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+        }
+        // Argument list.
+        if i < b.len() && b[i] == b'(' {
+            let mut depth = 1u32;
+            i += 1;
+            while i < b.len() && depth > 0 {
+                match b[i] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < b.len() && b[i] == b'?' {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Byte offsets where each line starts.
+fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line containing byte `offset`.
+fn line_of(starts: &[usize], offset: usize) -> usize {
+    starts.partition_point(|&s| s <= offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        lint_source(&SourceFile::parse(path, src))
+    }
+
+    fn codes(path: &str, src: &str) -> Vec<&'static str> {
+        findings(path, src).iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn keyed_lookup_is_allowed() {
+        let src = "use std::collections::HashMap;\nfn f() {\n    let mut m: HashMap<u64, f64> = HashMap::new();\n    m.insert(1, 2.0);\n    let _ = m.get(&1);\n    let _ = m.len();\n}\n";
+        assert!(codes("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iteration_is_flagged_in_engine_crates_only() {
+        let src = "fn f(m: &std::collections::HashMap<u64, f64>) -> f64 {\n    m.values().copied().collect::<Vec<_>>().len() as f64\n}\n";
+        assert_eq!(codes("crates/core/src/x.rs", src), vec!["D001"]);
+        assert!(codes("crates/server/src/x.rs", src).is_empty());
+        assert!(codes("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn chain_through_lock_guard_is_flagged() {
+        let src = "struct C { entries: std::sync::Mutex<std::collections::HashMap<u64, f64>> }\nimpl C {\n    fn total(&self) -> usize {\n        self.entries.lock().expect(\"poisoned\").values().count()\n    }\n}\n";
+        let f = findings("crates/numerics/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].code, "D001");
+        assert_eq!(f[0].line, 4);
+    }
+
+    #[test]
+    fn bare_for_loop_over_map_is_flagged() {
+        let src = "fn f(m: std::collections::HashMap<u64, f64>) {\n    for (k, v) in &m {\n        let _ = (k, v);\n    }\n}\n";
+        assert_eq!(codes("crates/mrm/src/x.rs", src), vec!["D001"]);
+    }
+
+    #[test]
+    fn taint_propagates_through_rebinding() {
+        let src = "fn f() {\n    let m = std::collections::HashMap::<u64, f64>::new();\n    let alias = m;\n    let _sum: f64 = alias.values().sum();\n}\n";
+        assert_eq!(codes("crates/ctmc/src/x.rs", src), vec!["D001", "D004"]);
+    }
+
+    #[test]
+    fn len_rebinding_does_not_propagate_taint() {
+        let src = "fn f(m: &std::collections::HashMap<u64, f64>) {\n    let n = m.len();\n    for _i in 0..n {}\n}\n";
+        assert!(codes("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn sum_over_hash_iteration_is_d004_too() {
+        let src =
+            "fn f(m: &std::collections::HashMap<u64, f64>) -> f64 {\n    m.values().sum()\n}\n";
+        assert_eq!(codes("crates/numerics/src/x.rs", src), vec!["D001", "D004"]);
+    }
+
+    #[test]
+    fn wall_clock_outside_allowlist() {
+        let src = "fn f() { let _t = std::time::Instant::now(); }\n";
+        assert_eq!(codes("crates/core/src/x.rs", src), vec!["D002"]);
+        assert!(codes("crates/bench/src/x.rs", src).is_empty());
+        assert!(codes("crates/obs/src/x.rs", src).is_empty());
+        assert!(codes("crates/server/tests/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_d002() {
+        let src = "fn shipped() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        assert!(codes("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unscoped_spawn_is_flagged_scoped_is_not() {
+        assert_eq!(
+            codes(
+                "crates/server/src/x.rs",
+                "fn f() { std::thread::spawn(|| {}); }\n"
+            ),
+            vec!["D003"]
+        );
+        let scoped = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert!(codes("crates/server/src/x.rs", scoped).is_empty());
+    }
+
+    #[test]
+    fn atomic_float_emulation_is_flagged() {
+        let src = "fn f(a: &std::sync::atomic::AtomicU64, x: f64) {\n    let _ = a.fetch_update(O, O, |b| Some(f64::to_bits(f64::from_bits(b) + x)));\n}\n";
+        assert_eq!(codes("crates/sparse/src/x.rs", src), vec!["D004"]);
+        // Integer counters are fine.
+        let ok = "fn f(a: &std::sync::atomic::AtomicU64) { a.fetch_add(1, O); }\n";
+        assert!(codes("crates/sparse/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn server_panics_only_in_request_paths() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(codes("crates/server/src/lib.rs", src), vec!["D005"]);
+        assert_eq!(codes("crates/server/src/json.rs", src), vec!["D005"]);
+        assert!(codes("crates/server/src/bin/mrmc.rs", src).is_empty());
+        assert!(codes("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_are_flagged_in_request_paths() {
+        for mac in [
+            "panic!(\"x\")",
+            "unreachable!()",
+            "todo!()",
+            "unimplemented!()",
+        ] {
+            let src = format!("fn f() {{ {mac}; }}\n");
+            assert_eq!(
+                codes("crates/server/src/lib.rs", &src),
+                vec!["D005"],
+                "{mac}"
+            );
+        }
+    }
+
+    #[test]
+    fn hazard_words_in_strings_and_comments_do_not_fire() {
+        let src = "fn f() -> &'static str {\n    // HashMap iteration and thread::spawn and Instant, discussed\n    \"HashMap .values() thread::spawn Instant .unwrap()\"\n}\n";
+        assert!(codes("crates/core/src/x.rs", src).is_empty());
+        assert!(codes("crates/server/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,495 @@
+//! The token-level source scanner devlint is built on.
+//!
+//! devlint deliberately has **no** dependency on `syn` or any other
+//! parser crate — the workspace is hermetic, and the hazards it hunts
+//! (hash-order iteration, wall-clock reads, unscoped threads, panics in
+//! request paths) are recognizable from a comment/string-stripped token
+//! stream. [`SourceFile::parse`] runs a small lexer over one `.rs` file
+//! and produces:
+//!
+//! * `code_lines` — the source with comments and string/char literal
+//!   *contents* blanked out (structure preserved, so column positions and
+//!   line numbers survive). Rules match tokens against these lines and
+//!   can never be fooled by a hazard-shaped word inside a string or a
+//!   doc example;
+//! * `in_test` — a per-line flag marking `#[cfg(test)] mod … { … }`
+//!   regions, so rules about *shipped* behavior skip test code;
+//! * `pragmas` — parsed `// devlint::allow(D00x): reason` suppressions,
+//!   each bound to the line it governs (its own line for a trailing
+//!   comment, the next line for a comment on its own line);
+//! * `pragma_issues` — malformed pragmas (no code list, empty reason),
+//!   which rule `D000` turns into findings: a suppression without a
+//!   reason is itself a defect.
+
+/// One parsed suppression pragma.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pragma {
+    /// 1-based line of the pragma comment itself.
+    pub at_line: usize,
+    /// 1-based line the suppression applies to.
+    pub applies_to: usize,
+    /// The D-codes suppressed, e.g. `["D001"]`.
+    pub codes: Vec<String>,
+    /// The mandatory justification after the `:`.
+    pub reason: String,
+}
+
+/// A malformed suppression pragma (rule `D000`'s raw material).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PragmaIssue {
+    /// 1-based line of the pragma comment.
+    pub line: usize,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// One lexed `.rs` file; see the module docs for the fields' contracts.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// Comment- and literal-blanked source, split into lines.
+    pub code_lines: Vec<String>,
+    /// Per-line: inside a `#[cfg(test)] mod … { … }` region.
+    pub in_test: Vec<bool>,
+    /// Parsed suppression pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed pragmas.
+    pub pragma_issues: Vec<PragmaIssue>,
+}
+
+/// Lexer state while sweeping the raw text.
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth of `/* … */`.
+    BlockComment(u32),
+    Str,
+    /// Number of `#`s closing the raw string.
+    RawStr(u32),
+}
+
+impl SourceFile {
+    /// Lex `text` into blanked code lines, test regions, and pragmas.
+    pub fn parse(rel_path: impl Into<String>, text: &str) -> SourceFile {
+        let (code, comments) = blank(text);
+        let code_lines: Vec<String> = split_lines(&code);
+        let in_test = test_regions(&code_lines);
+        let mut pragmas = Vec::new();
+        let mut pragma_issues = Vec::new();
+        for (line_idx, comment) in comments {
+            let Some(body) = pragma_body(&comment) else {
+                continue;
+            };
+            let line_no = line_idx + 1;
+            match parse_pragma(body) {
+                Ok((codes, reason)) => {
+                    // A trailing pragma governs its own line; a pragma on
+                    // an otherwise-blank line governs the next line.
+                    let own_code = code_lines
+                        .get(line_idx)
+                        .is_some_and(|l| !l.trim().is_empty());
+                    pragmas.push(Pragma {
+                        at_line: line_no,
+                        applies_to: if own_code { line_no } else { line_no + 1 },
+                        codes,
+                        reason,
+                    });
+                }
+                Err(message) => pragma_issues.push(PragmaIssue {
+                    line: line_no,
+                    message,
+                }),
+            }
+        }
+        SourceFile {
+            rel_path: rel_path.into(),
+            code_lines,
+            in_test,
+            pragmas,
+            pragma_issues,
+        }
+    }
+
+    /// `true` when a well-formed pragma suppresses `code` on `line`
+    /// (1-based).
+    pub fn suppressed(&self, code: &str, line: usize) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| p.applies_to == line && p.codes.iter().any(|c| c == code))
+    }
+}
+
+/// Blank comments and literal contents out of `text`, preserving line
+/// structure. Returns the blanked text plus every line comment's body
+/// (0-based line index, text after `//`) for pragma parsing.
+fn blank(text: &str) -> (String, Vec<(usize, String)>) {
+    let mut out = String::with_capacity(text.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut state = State::Code;
+    let mut line = 0usize;
+    let mut current_comment = String::new();
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    current_comment.clear();
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                    continue;
+                }
+                // Raw strings: r"…", r#"…"#, br#"…"#, … — scan the hash
+                // run between `r` and the opening quote.
+                if c == 'r' && matches!(next, Some('"' | '#')) && !prev_is_ident(&out) {
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        out.pop();
+                        out.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: a literal closes within a
+                    // few chars (`'a'`, `'\n'`, `'\u{1F600}'`); a lifetime
+                    // never has a closing quote before a non-ident char.
+                    if let Some(len) = char_literal_len(&bytes[i..]) {
+                        out.push('\'');
+                        for _ in 1..len - 1 {
+                            out.push(' ');
+                        }
+                        out.push('\'');
+                        i += len;
+                        continue;
+                    }
+                }
+                out.push(c);
+                if c == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    comments.push((line, std::mem::take(&mut current_comment)));
+                    out.push('\n');
+                    line += 1;
+                    state = State::Code;
+                } else {
+                    current_comment.push(c);
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                        line += 1;
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && next.is_some() {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    out.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                        line += 1;
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&bytes[i + 1..], hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                        line += 1;
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    if let State::LineComment = state {
+        comments.push((line, current_comment));
+    }
+    (out, comments)
+}
+
+/// `true` when the blanked output so far ends in an identifier character
+/// (so an `r` there is part of a name like `for` or `var`, not a raw
+/// string prefix).
+fn prev_is_ident(out: &str) -> bool {
+    out.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Length in chars of the char literal starting at `rest[0] == '\''`, or
+/// `None` when this `'` opens a lifetime.
+fn char_literal_len(rest: &[char]) -> Option<usize> {
+    match rest.get(1)? {
+        '\\' => {
+            // Escape: scan to the closing quote (bounded — `'\u{10FFFF}'`
+            // is the longest legal form).
+            for (k, &c) in rest.iter().enumerate().skip(2).take(10) {
+                if c == '\'' {
+                    return Some(k + 1);
+                }
+            }
+            None
+        }
+        _ => (rest.get(2)? == &'\'').then_some(3),
+    }
+}
+
+/// `true` when `rest` starts with `hashes` `#` characters.
+fn closes_raw(rest: &[char], hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| rest.get(k) == Some(&'#'))
+}
+
+fn split_lines(text: &str) -> Vec<String> {
+    text.split('\n').map(str::to_owned).collect()
+}
+
+/// Mark every line inside a `#[cfg(test)] mod … { … }` region.
+fn test_regions(code_lines: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; code_lines.len()];
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    // Brace depth at which the innermost test region opened; `None` when
+    // outside any test region. Test modules don't nest in practice, but a
+    // stack keeps the bookkeeping honest if they ever do.
+    let mut region_depth: Option<i64> = None;
+    for (idx, line) in code_lines.iter().enumerate() {
+        let trimmed = line.trim();
+        if region_depth.is_some() {
+            in_test[idx] = true;
+        }
+        if trimmed.contains("#[cfg(test)]") {
+            pending_attr = true;
+        }
+        let opens_test_mod = pending_attr
+            && trimmed.contains("mod")
+            && trimmed.contains('{')
+            && region_depth.is_none();
+        if opens_test_mod {
+            region_depth = Some(depth);
+            in_test[idx] = true;
+            pending_attr = false;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if region_depth == Some(depth) {
+                        region_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if pending_attr && !trimmed.is_empty() && !trimmed.starts_with("#[") && !opens_test_mod {
+            // The attribute attached to something that is not a
+            // brace-opening mod on the same line (e.g. a single function);
+            // without its braces tracked we conservatively drop it.
+            if !trimmed.contains("mod") {
+                pending_attr = false;
+            }
+        }
+    }
+    in_test
+}
+
+/// The pragma body (`devlint::allow(...)...`) of a line comment, if the
+/// comment is one. Leading doc-comment markers and whitespace are
+/// tolerated.
+fn pragma_body(comment: &str) -> Option<&str> {
+    let t = comment
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    t.starts_with("devlint::allow").then_some(t)
+}
+
+/// Parse `devlint::allow(D001, D005): reason` into codes and reason.
+/// `body` must start at the `devlint::allow` token (comment markers
+/// already stripped). Public so meta-tests can audit pragmas directly.
+pub fn parse_pragma(body: &str) -> Result<(Vec<String>, String), String> {
+    let Some(rest) = body.strip_prefix("devlint::allow") else {
+        return Err("pragma body must start with `devlint::allow`".into());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("suppression pragma needs a code list: devlint::allow(D00x): reason".into());
+    };
+    let Some(close) = rest.find(')') else {
+        return Err("unclosed code list in suppression pragma".into());
+    };
+    let codes: Vec<String> = rest[..close]
+        .split(',')
+        .map(|c| c.trim().to_string())
+        .filter(|c| !c.is_empty())
+        .collect();
+    if codes.is_empty() {
+        return Err("empty code list in suppression pragma".into());
+    }
+    for code in &codes {
+        let ok = code.len() == 4
+            && code.starts_with('D')
+            && code[1..].bytes().all(|b| b.is_ascii_digit());
+        if !ok {
+            return Err(format!("`{code}` is not a D-code"));
+        }
+    }
+    let tail = rest[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix(':') else {
+        return Err("suppression pragma needs a `: reason` — justify the allowance".into());
+    };
+    let reason = reason.trim();
+    if reason.is_empty() {
+        return Err("suppression pragma has an empty reason — justify the allowance".into());
+    }
+    Ok((codes, reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = \"HashMap in a string\"; // HashMap in a comment\nlet b = 2; /* HashMap\nstill comment */ let c = 3;\n",
+        );
+        assert!(!f.code_lines[0].contains("HashMap"));
+        assert!(f.code_lines[0].contains("let a ="));
+        assert!(!f.code_lines[1].contains("HashMap"));
+        assert!(f.code_lines[2].contains("let c = 3;"));
+        assert_eq!(f.code_lines.len(), 4);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = r#\"Instant\"#;\nlet b = 'I';\nfn f<'a>(x: &'a str) {}\n",
+        );
+        assert!(!f.code_lines[0].contains("Instant"));
+        assert!(!f.code_lines[1].contains('I'));
+        // Lifetimes survive blanking (they are code, not literals).
+        assert!(f.code_lines[2].contains("&'a str"));
+    }
+
+    #[test]
+    fn trailing_pragma_governs_its_own_line() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "use std::time::Instant; // devlint::allow(D002): test clock\n",
+        );
+        assert_eq!(f.pragmas.len(), 1);
+        assert_eq!(f.pragmas[0].applies_to, 1);
+        assert_eq!(f.pragmas[0].codes, vec!["D002".to_string()]);
+        assert_eq!(f.pragmas[0].reason, "test clock");
+        assert!(f.suppressed("D002", 1));
+        assert!(!f.suppressed("D001", 1));
+    }
+
+    #[test]
+    fn own_line_pragma_governs_the_next_line() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "// devlint::allow(D002, D003): harness timing\nuse std::time::Instant;\n",
+        );
+        assert_eq!(f.pragmas.len(), 1);
+        assert_eq!(f.pragmas[0].applies_to, 2);
+        assert!(f.suppressed("D002", 2));
+        assert!(f.suppressed("D003", 2));
+    }
+
+    #[test]
+    fn reasonless_pragma_is_an_issue_not_a_suppression() {
+        let f = SourceFile::parse("x.rs", "// devlint::allow(D002)\nlet t = Instant::now();\n");
+        assert!(f.pragmas.is_empty());
+        assert_eq!(f.pragma_issues.len(), 1);
+        assert!(f.pragma_issues[0].message.contains("reason"));
+        assert!(!f.suppressed("D002", 2));
+    }
+
+    #[test]
+    fn bad_code_in_pragma_is_an_issue() {
+        let f = SourceFile::parse("x.rs", "// devlint::allow(X001): nope\n");
+        assert_eq!(f.pragma_issues.len(), 1);
+        assert!(f.pragma_issues[0].message.contains("X001"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_marked() {
+        let text = "fn shipped() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn also_shipped() {}\n";
+        let f = SourceFile::parse("x.rs", text);
+        assert_eq!(
+            f.in_test,
+            vec![false, false, true, true, true, false, false]
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The workspace must be devlint-clean: zero unsuppressed findings, and
+//! every suppression pragma in the tree carries a reason and suppresses
+//! a real finding. This is the meta-test behind the CI gate — devlint
+//! eating its own cooking, including its own source.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mrmc_devlint::{lint_workspace, SourceFile};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let report = lint_workspace(&workspace_root()).expect("workspace walk must succeed");
+    assert!(
+        report.is_empty(),
+        "devlint found problems in the tree:\n{}",
+        report.render_human()
+    );
+}
+
+/// Re-lex every `.rs` file and insist each pragma that parsed carries a
+/// non-empty reason, and nothing pragma-shaped failed to parse.
+/// `lint_workspace` reports these as D000 findings; this pins the
+/// invariant even if the D000 wiring regresses. String literals that
+/// merely *mention* pragmas (devlint's own tests and help text) are
+/// blanked by the lexer, so only real comments are audited.
+#[test]
+fn every_pragma_in_the_tree_carries_a_reason() {
+    let root = workspace_root();
+    let mut audited = 0usize;
+    audit_dir(&root, &root, &mut audited);
+    assert!(
+        audited > 0,
+        "expected at least the server-crate D005 pragmas in the tree"
+    );
+}
+
+fn audit_dir(root: &Path, dir: &Path, audited: &mut usize) {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.')
+                || ["target", "experiments-out", "devlint_corpus"].contains(&name.as_str())
+            {
+                continue;
+            }
+            audit_dir(root, &path, audited);
+        } else if name.ends_with(".rs") {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let parsed = SourceFile::parse(rel.clone(), &text);
+            if let Some(issue) = parsed.pragma_issues.first() {
+                panic!("{rel}:{}: bad pragma: {}", issue.line, issue.message);
+            }
+            for pragma in &parsed.pragmas {
+                assert!(
+                    !pragma.reason.trim().is_empty(),
+                    "{rel}:{}: pragma for {} has no reason",
+                    pragma.at_line,
+                    pragma.codes.join(", ")
+                );
+                *audited += 1;
+            }
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //! recursion numerically stable — the property the thesis relies on.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -208,7 +208,10 @@ type TermTable = HashMap<(u64, Box<[u32]>), f64>;
 /// cache's lifetime.
 #[derive(Debug, Default)]
 pub struct OmegaTermCache {
-    tables: Mutex<HashMap<Vec<u64>, TermTable>>,
+    // Keyed by coefficient-list bit pattern; BTreeMap so aggregate walks
+    // (`len`) and any future diagnostics iterate in key order. The inner
+    // TermTable stays a HashMap: it is only ever keyed lookup.
+    tables: Mutex<BTreeMap<Vec<u64>, TermTable>>,
     hits: AtomicU64,
 }
 

@@ -136,6 +136,7 @@ fn usage() -> &'static str {
      \x20      mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--lumping] [--dataflow] [--verbose] [--json] [--deny warnings]\n\
      \x20      mrmc serve [--listen ADDR] [--workers N] [--connections N]\n\
      \x20      mrmc batch <ADDR>\n\
+     \x20      mrmc devlint [--json] [ROOT]\n\
      \n\
      Reads CSRL formulas from stdin, one per line, e.g.\n\
      \x20 P(>= 0.3) [a U[0,3][0,23] b]\n\
@@ -187,6 +188,15 @@ fn usage() -> &'static str {
      a {\"listening\":\"HOST:PORT\"} line, then serves until interrupted\n\
      (or for --connections N clients). batch streams stdin requests to a\n\
      running server and prints the responses.\n\
+     \n\
+     The devlint subcommand statically analyzes the mrmc workspace source\n\
+     tree itself (default ROOT: the current directory) for determinism and\n\
+     hermeticity hazards, reporting stable D codes (D000-D008): hash-order\n\
+     iteration in result paths, wall-clock reads, unscoped threads,\n\
+     unordered float reductions, panics in server request paths,\n\
+     non-workspace dependencies, telemetry-registry drift, and lint-gate\n\
+     gaps. Suppressions require an inline reason. Exit code 2 when\n\
+     findings are present.\n\
      \n\
      Exit codes reflect the worst outcome across the batch: 0 all decided,\n\
      1 operational error, 2 pre-flight rejection, 3 tolerance not met,\n\
@@ -666,34 +676,37 @@ fn run_batch(args: &[String]) -> Result<ExitCode, String> {
     let stream =
         connect_with_retry(addr, 50).map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
     let read_half = stream.try_clone().map_err(|e| e.to_string())?;
-    // Feed stdin to the server on a separate thread, then close the write
-    // half so the server drains the batch and emits its run_summary.
-    let feeder = std::thread::spawn(move || -> std::io::Result<()> {
-        let mut writer = stream;
-        let stdin = std::io::stdin();
-        for line in stdin.lock().lines() {
-            writer.write_all(line?.as_bytes())?;
-            writer.write_all(b"\n")?;
-        }
-        writer.flush()?;
-        writer.shutdown(std::net::Shutdown::Write)
-    });
-    let reader = std::io::BufReader::new(read_half);
+    // Feed stdin to the server on a scoped thread, then close the write
+    // half so the server drains the batch and emits its run_summary. The
+    // scope joins the feeder structurally before we inspect the summary.
     let mut summary_failures: Option<u64> = None;
-    for line in reader.lines() {
-        let line = line.map_err(|e| e.to_string())?;
-        println!("{line}");
-        if let Some(rest) = line.strip_prefix("{\"kind\":\"run_summary\"") {
-            summary_failures = rest
-                .split("\"failures\":")
-                .nth(1)
-                .and_then(|v| v.trim_end_matches('}').parse().ok());
+    let feeder_result = std::thread::scope(|scope| {
+        let feeder = scope.spawn(move || -> std::io::Result<()> {
+            let mut writer = stream;
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                writer.write_all(line?.as_bytes())?;
+                writer.write_all(b"\n")?;
+            }
+            writer.flush()?;
+            writer.shutdown(std::net::Shutdown::Write)
+        });
+        let reader = std::io::BufReader::new(read_half);
+        for line in reader.lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            println!("{line}");
+            if let Some(rest) = line.strip_prefix("{\"kind\":\"run_summary\"") {
+                summary_failures = rest
+                    .split("\"failures\":")
+                    .nth(1)
+                    .and_then(|v| v.trim_end_matches('}').parse().ok());
+            }
         }
-    }
-    feeder
-        .join()
-        .map_err(|_| "stdin feeder panicked".to_string())?
-        .map_err(|e| format!("sending requests failed: {e}"))?;
+        feeder
+            .join()
+            .map_err(|_| "stdin feeder panicked".to_string())
+    });
+    feeder_result?.map_err(|e| format!("sending requests failed: {e}"))?;
     match summary_failures {
         Some(0) => Ok(ExitCode::SUCCESS),
         Some(_) => {
@@ -702,6 +715,40 @@ fn run_batch(args: &[String]) -> Result<ExitCode, String> {
         }
         None => Err("connection closed without a run_summary".to_string()),
     }
+}
+
+/// The `mrmc devlint` subcommand: run the workspace determinism &
+/// hermeticity analyzer (same engine as the standalone `mrmc-devlint`
+/// binary).
+fn run_devlint(args: &[String]) -> Result<ExitCode, String> {
+    let mut json = false;
+    let mut root: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unrecognized argument `{other}`\n\n{}", usage()));
+            }
+            other => {
+                if root.replace(other.to_string()).is_some() {
+                    return Err(format!("devlint takes at most one ROOT\n\n{}", usage()));
+                }
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| ".".to_string());
+    let report = mrmc_devlint::lint_workspace(Path::new(&root))
+        .map_err(|e| format!("devlint failed reading `{root}`: {e}"))?;
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(if report.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    })
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -714,6 +761,7 @@ fn run() -> Result<ExitCode, String> {
         Some("lint") => return run_lint(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("batch") => return run_batch(&args[1..]),
+        Some("devlint") => return run_devlint(&args[1..]),
         _ => {}
     }
     // `check` is an optional explicit subcommand for the default mode.

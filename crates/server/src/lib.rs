@@ -47,14 +47,16 @@
 
 pub mod json;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use mrmc::report;
-use mrmc::{CheckError, CheckOptions, CheckSession, ModelHandle, Reduction, UntilEngine};
+use mrmc::{
+    CheckError, CheckOptions, CheckSession, ModelHandle, Reduction, SessionStats, UntilEngine,
+};
 use mrmc_obs::{MetricsRecorder, Recorder};
 use mrmc_sparse::solver::SolverMethod;
 
@@ -190,6 +192,7 @@ impl ConnState {
 
     /// Write one response line atomically (line-buffered, flushed).
     fn write_line(&self, line: &str) {
+        // devlint::allow(D005): poisoned only if a holder panicked; no recovery short of dropping the connection
         let mut w = self.writer.lock().expect("writer poisoned");
         let _ = w.write_all(line.as_bytes());
         let _ = w.write_all(b"\n");
@@ -197,10 +200,12 @@ impl ConnState {
     }
 
     fn job_queued(&self) {
+        // devlint::allow(D005): poisoned only if a holder panicked; no recovery short of dropping the connection
         *self.pending.lock().expect("pending poisoned") += 1;
     }
 
     fn job_done(&self) {
+        // devlint::allow(D005): poisoned only if a holder panicked; no recovery short of dropping the connection
         let mut pending = self.pending.lock().expect("pending poisoned");
         *pending -= 1;
         if *pending == 0 {
@@ -210,8 +215,10 @@ impl ConnState {
 
     /// Block until every dispatched job for this connection completed.
     fn wait_idle(&self) {
+        // devlint::allow(D005): poisoned only if a holder panicked; no recovery short of dropping the connection
         let mut pending = self.pending.lock().expect("pending poisoned");
         while *pending > 0 {
+            // devlint::allow(D005): same poisoning caveat as the lock above
             pending = self.idle.wait(pending).expect("pending poisoned");
         }
     }
@@ -220,6 +227,7 @@ impl ConnState {
 fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>) {
     loop {
         // Hold the lock only while receiving, not while checking.
+        // devlint::allow(D005): poisoned only if a holder panicked; no recovery short of dropping the connection
         let Ok(job) = rx.lock().expect("queue poisoned").recv() else {
             return;
         };
@@ -277,7 +285,9 @@ fn serve_connection(
 ) -> std::io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
     let conn = Arc::new(ConnState::new(stream));
-    let mut models: HashMap<String, ModelHandle> = HashMap::new();
+    // BTreeMap: any reply or summary that walks the loaded models must
+    // come out in ref order, never hash order.
+    let mut models: BTreeMap<String, ModelHandle> = BTreeMap::new();
     for line in reader.lines() {
         let line = line?;
         if line.trim().is_empty() {
@@ -308,7 +318,7 @@ fn handle_request(
     session: &Arc<CheckSession>,
     tx: &mpsc::Sender<Job>,
     conn: &Arc<ConnState>,
-    models: &mut HashMap<String, ModelHandle>,
+    models: &mut BTreeMap<String, ModelHandle>,
     line: &str,
 ) -> Result<(), String> {
     let request = json::parse(line).map_err(|e| e.to_string())?;
@@ -367,19 +377,7 @@ fn handle_request(
         return Ok(());
     }
     if request.get("stats").is_some() {
-        let stats = session.stats();
-        conn.write_line(&format!(
-            "{{\"stats\":{{\"requests\":{},\"models_loaded\":{},\"sat_cache_hits\":{},\
-             \"sat_cache_misses\":{},\"cert_cache_hits\":{},\"omega_cache_entries\":{},\
-             \"omega_cache_hits\":{}}}}}",
-            stats.requests,
-            stats.models_loaded,
-            stats.sat_cache_hits,
-            stats.sat_cache_misses,
-            stats.cert_cache_hits,
-            stats.omega_cache_entries,
-            stats.omega_cache_hits
-        ));
+        conn.write_line(&render_stats(&session.stats()));
         return Ok(());
     }
     Err("request must contain `load`, `check`, or `stats`".to_string())
@@ -522,12 +520,55 @@ pub fn connect_with_retry(addr: &str, attempts: u32) -> std::io::Result<TcpStrea
         }
         std::thread::sleep(std::time::Duration::from_millis(100));
     }
+    // devlint::allow(D005): attempts.max(1) guarantees the loop ran and set `last`
     Err(last.expect("at least one attempt"))
+}
+
+/// Render the `stats` reply line. The field order is part of the wire
+/// contract — conformance clients and CI greps match on it — so it is
+/// pinned here (and by a regression test below), in the exact order the
+/// fields leave [`CheckSession::stats`].
+fn render_stats(stats: &SessionStats) -> String {
+    format!(
+        "{{\"stats\":{{\"requests\":{},\"models_loaded\":{},\"sat_cache_hits\":{},\
+         \"sat_cache_misses\":{},\"cert_cache_hits\":{},\"omega_cache_entries\":{},\
+         \"omega_cache_hits\":{}}}}}",
+        stats.requests,
+        stats.models_loaded,
+        stats.sat_cache_hits,
+        stats.sat_cache_misses,
+        stats.cert_cache_hits,
+        stats.omega_cache_entries,
+        stats.omega_cache_hits
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_reply_field_order_is_pinned() {
+        let stats = SessionStats {
+            requests: 1,
+            models_loaded: 2,
+            sat_cache_hits: 3,
+            sat_cache_misses: 4,
+            cert_cache_hits: 5,
+            omega_cache_entries: 6,
+            omega_cache_hits: 7,
+            scc_cache_hits: 8,
+        };
+        // Byte-exact wire contract: conformance clients and CI greps
+        // parse this line positionally. Any reordering is a breaking
+        // protocol change and must fail here first.
+        assert_eq!(
+            render_stats(&stats),
+            "{\"stats\":{\"requests\":1,\"models_loaded\":2,\"sat_cache_hits\":3,\
+             \"sat_cache_misses\":4,\"cert_cache_hits\":5,\"omega_cache_entries\":6,\
+             \"omega_cache_hits\":7}}"
+        );
+    }
 
     #[test]
     fn totals_rank_worst_outcome() {

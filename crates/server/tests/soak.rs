@@ -153,36 +153,41 @@ fn run_soak(dir: &Path) -> BTreeMap<String, String> {
     let paths = write_model_files(dir);
     let server = Server::bind("127.0.0.1:0", ServerConfig { workers: 4 }).unwrap();
     let addr = server.local_addr().unwrap().to_string();
-    // One extra connection slot for the post-soak stats probe.
-    let server_thread = std::thread::spawn(move || server.run(Some(CLIENTS + 1)));
-
-    let views: Vec<ClientView> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..CLIENTS)
-            .map(|client| {
-                let addr = addr.clone();
-                let paths = &paths;
-                scope.spawn(move || run_client(&addr, client, paths))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    // One enclosing scope owns every thread of the soak: the server
+    // (with one extra connection slot for the post-soak stats probe),
+    // the clients in their own inner scope, and the structural joins.
+    let (views, stats_line) = std::thread::scope(|outer| {
+        let server_thread = outer.spawn(|| server.run(Some(CLIENTS + 1)));
+        let views: Vec<ClientView> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|client| {
+                    let addr = addr.clone();
+                    let paths = &paths;
+                    scope.spawn(move || run_client(&addr, client, paths))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // With every check drained, a fresh connection's stats probe must
+        // see the shared cache's hits: 4 clients x 3 rounds of 3 formulas
+        // ran only 3 distinct jobs, so most dispatches were served from
+        // the cache. The in-flight probes above may race the jobs; this
+        // one cannot.
+        let stream = TcpStream::connect(&addr).expect("connect for stats");
+        stream
+            .try_clone()
+            .unwrap()
+            .write_all(b"{\"stats\":true}\n")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let stats_line = BufReader::new(stream)
+            .lines()
+            .map(|l| l.unwrap())
+            .find(|l| l.starts_with("{\"stats\":"))
+            .expect("stats response");
+        server_thread.join().unwrap().unwrap();
+        (views, stats_line)
     });
-    // With every check drained, a fresh connection's stats probe must see
-    // the shared cache's hits: 4 clients x 3 rounds of 3 formulas ran only
-    // 3 distinct jobs, so most dispatches were served from the cache. The
-    // in-flight probes above may race the jobs; this one cannot.
-    let stream = TcpStream::connect(&addr).expect("connect for stats");
-    stream
-        .try_clone()
-        .unwrap()
-        .write_all(b"{\"stats\":true}\n")
-        .unwrap();
-    stream.shutdown(std::net::Shutdown::Write).unwrap();
-    let stats_line = BufReader::new(stream)
-        .lines()
-        .map(|l| l.unwrap())
-        .find(|l| l.starts_with("{\"stats\":"))
-        .expect("stats response");
-    server_thread.join().unwrap().unwrap();
     assert!(
         stats_field(&stats_line, "sat_cache_hits") > 0,
         "the soak produced no sat-cache hits; the session cache is not shared: {stats_line}"

@@ -1,0 +1,32 @@
+// virtual-path: crates/numerics/src/d001.rs
+// expect: D001 D001
+//
+// Hash-order iteration in an engine crate fires D001; keyed lookup on
+// the same container does not. Not compiled — scanned by the devlint
+// corpus test under the virtual path above.
+use std::collections::HashMap;
+
+fn keyed_access_is_fine(weights: &HashMap<u64, f64>) -> Option<f64> {
+    weights.get(&7).copied()
+}
+
+fn chained_iteration_fires(weights: &HashMap<u64, f64>) -> Vec<f64> {
+    weights.values().copied().collect()
+}
+
+fn for_loop_fires(weights: HashMap<u64, f64>) {
+    for (k, v) in &weights {
+        let _ = (k, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_in_tests_is_exempt() {
+        let weights: HashMap<u64, f64> = HashMap::new();
+        let _: Vec<f64> = weights.values().copied().collect();
+    }
+}

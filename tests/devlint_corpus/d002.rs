@@ -1,0 +1,23 @@
+// virtual-path: crates/core/src/d002.rs
+// expect: D002 D002
+//
+// Wall-clock reads outside the bench/obs allowlist fire D002, once per
+// offending line; test modules are exempt. Not compiled — scanned by
+// the devlint corpus test under the virtual path above.
+
+fn measures_in_a_result_path() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}
+
+fn reads_the_system_clock() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_exempt() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,24 @@
+// virtual-path: crates/server/src/worker.rs
+// expect: D003
+//
+// Unscoped `thread::spawn` fires D003 anywhere in the workspace;
+// `thread::scope` parallelism does not. Not compiled — scanned by the
+// devlint corpus test under the virtual path above.
+
+fn detached_thread_fires() {
+    std::thread::spawn(|| {
+        let _ = 1 + 1;
+    });
+}
+
+fn scoped_threads_are_fine(xs: &mut [u64]) {
+    std::thread::scope(|scope| {
+        for chunk in xs.chunks_mut(8) {
+            scope.spawn(move || {
+                for x in chunk {
+                    *x += 1;
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,22 @@
+// virtual-path: crates/sparse/src/d004.rs
+// expect: D001 D004 D004
+//
+// Two halves of D004: atomic-float emulation (RMW + bit casts on one
+// line), and a float reduction chained onto hash-order iteration (the
+// iteration itself also fires D001). A deterministic slice sum stays
+// clean. Not compiled — scanned by the devlint corpus test under the
+// virtual path above.
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn atomic_float_emulation_fires(acc: &AtomicU64, x: f64) {
+    let _ = acc.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| Some(f64::to_bits(f64::from_bits(b) + x)));
+}
+
+fn hash_order_reduction_fires(weights: &HashMap<u64, f64>) -> f64 {
+    weights.values().sum()
+}
+
+fn ordered_slice_sum_is_fine(row: &[f64]) -> f64 {
+    row.iter().sum()
+}

@@ -1,0 +1,28 @@
+// virtual-path: crates/server/src/lib.rs
+// expect: D005 D005 D005
+//
+// The panic family in a server request-handling source fires D005 once
+// per line; test modules are exempt. Not compiled — scanned by the
+// devlint corpus test under the virtual path above.
+
+fn unwrap_fires(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn expect_fires(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn panic_fires(kind: u8) {
+    if kind > 3 {
+        panic!("unknown request kind");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_exempt() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+// virtual-path: crates/core/src/d007.rs
+// expect: D007
+//
+// An Event::Counter emission whose name is a string literal bypasses
+// the COUNTER_NAMES registry and fires D007; emitting through the
+// counters consts does not. Not compiled — scanned by the devlint
+// corpus test (registry pass) under the virtual path above.
+
+fn literal_name_fires() {
+    mrmc_obs::record(|| mrmc_obs::Event::Counter {
+        name: "ad_hoc_counter",
+        value: 1,
+    });
+}
+
+fn registry_const_is_fine() {
+    mrmc_obs::record(|| mrmc_obs::Event::Counter {
+        name: mrmc_obs::counters::SAT_CACHE_HITS,
+        value: 1,
+    });
+}

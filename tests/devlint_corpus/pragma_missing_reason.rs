@@ -1,0 +1,12 @@
+// virtual-path: crates/core/src/pragma_missing_reason.rs
+// expect: D000 D002
+//
+// A pragma without a reason is rejected: the finding it meant to
+// suppress survives (D002) and the malformed pragma is itself a
+// finding (D000). Not compiled — scanned by the devlint corpus test
+// under the virtual path above.
+
+fn reasonless_pragma_rejected() -> u128 {
+    let start = std::time::Instant::now(); // devlint::allow(D002)
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,16 @@
+// virtual-path: crates/core/src/pragma_ok.rs
+// expect:
+//
+// A well-formed pragma with a reason suppresses its finding, both in
+// trailing form and own-line form, and counts as used. Not compiled —
+// scanned by the devlint corpus test under the virtual path above.
+
+fn trailing_pragma() -> u128 {
+    let start = std::time::Instant::now(); // devlint::allow(D002): fixture clock feeds nothing
+    start.elapsed().as_nanos()
+}
+
+fn own_line_pragma() -> bool {
+    // devlint::allow(D002): fixture clock feeds nothing
+    std::time::SystemTime::now().elapsed().is_ok()
+}

@@ -255,7 +255,6 @@ fn wire_batches_embed_the_one_shot_json_objects() {
     for threads in [1usize, 4] {
         let server = Server::bind("127.0.0.1:0", ServerConfig { workers: threads }).unwrap();
         let addr = server.local_addr().unwrap().to_string();
-        let handle = std::thread::spawn(move || server.run(Some(1)));
 
         let mut requests = Vec::new();
         let mut expected: Vec<(String, String)> = Vec::new();
@@ -282,8 +281,14 @@ fn wire_batches_embed_the_one_shot_json_objects() {
                 ));
             }
         }
-        let responses = talk(&addr, &requests);
-        handle.join().unwrap().unwrap();
+        // Scoped server thread: the scope joins it structurally after the
+        // conversation completes (it exits on its own via `run(Some(1))`).
+        let responses = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| server.run(Some(1)));
+            let responses = talk(&addr, &requests);
+            handle.join().unwrap().unwrap();
+            responses
+        });
 
         let last = responses.last().expect("nonempty response stream");
         assert_eq!(
