@@ -1,0 +1,96 @@
+//! Service-shape benchmarks for the checker-as-a-service layer, snapshot
+//! group `server` (`BENCH_server.json`):
+//!
+//! * `check/cold` — a fresh [`CheckSession`] per check: the price of the
+//!   first request after a model is loaded, every cache empty;
+//! * `check/hot` — the same check against a long-lived shared session,
+//!   where the sat cache answers and only the memoized lookup is paid;
+//! * `batch/roundtrip` — a full `mrmc serve` conversation over loopback
+//!   TCP: bind, connect, load the model, run two checks, drain the
+//!   `run_summary`. This is the end-to-end latency a batch client sees,
+//!   protocol framing and socket included.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use mrmc::{CheckOptions, CheckSession};
+use mrmc_bench::harness::{black_box, Criterion};
+use mrmc_bench::{criterion_group, criterion_main};
+use mrmc_models::tmr::{tmr, TmrConfig};
+use mrmc_server::{Server, ServerConfig};
+
+const FORMULA: &str = "P(> 0.1) [TT U[0,1][0,10] failed]";
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server");
+    group.sample_size(10);
+    let mrm = tmr(&TmrConfig::classic());
+    let options = CheckOptions::new();
+
+    group.bench_function("check/cold", |b| {
+        b.iter(|| {
+            let session = CheckSession::new();
+            let handle = session.insert(mrm.clone());
+            black_box(session.check_str(&handle, FORMULA, &options).unwrap())
+        });
+    });
+
+    let session = CheckSession::new();
+    let handle = session.insert(mrm.clone());
+    // Prime once so every timed iteration is a pure cache hit.
+    session.check_str(&handle, FORMULA, &options).unwrap();
+    group.bench_function("check/hot", |b| {
+        b.iter(|| black_box(session.check_str(&handle, FORMULA, &options).unwrap()));
+    });
+
+    let dir = std::env::temp_dir().join(format!("mrmc-bench-server-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let paths = {
+        use mrmc_mrm::io::{write_lab, write_rewi, write_rewr, write_tra};
+        let paths = [
+            dir.join("m.tra"),
+            dir.join("m.lab"),
+            dir.join("m.rewr"),
+            dir.join("m.rewi"),
+        ];
+        std::fs::write(&paths[0], write_tra(&mrm)).unwrap();
+        std::fs::write(&paths[1], write_lab(&mrm)).unwrap();
+        std::fs::write(&paths[2], write_rewr(&mrm)).unwrap();
+        std::fs::write(&paths[3], write_rewi(&mrm)).unwrap();
+        paths
+    };
+    let requests = format!(
+        "{{\"load\":{{\"model\":\"tmr\",\"tra\":\"{}\",\"lab\":\"{}\",\"rewr\":\"{}\",\"rewi\":\"{}\"}}}}\n\
+         {{\"check\":{{\"model\":\"tmr\",\"formula\":\"{FORMULA}\"}},\"id\":1}}\n\
+         {{\"check\":{{\"model\":\"tmr\",\"formula\":\"{FORMULA}\"}},\"id\":2}}\n",
+        paths[0].display(),
+        paths[1].display(),
+        paths[2].display(),
+        paths[3].display()
+    );
+    group.bench_function("batch/roundtrip", |b| {
+        b.iter(|| {
+            let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+            let addr = server.local_addr().unwrap().to_string();
+            std::thread::scope(|scope| {
+                let handle = scope.spawn(|| server.run(Some(1)));
+                let stream = TcpStream::connect(&addr).expect("connect");
+                stream
+                    .try_clone()
+                    .unwrap()
+                    .write_all(requests.as_bytes())
+                    .unwrap();
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let lines = BufReader::new(stream).lines().count();
+                handle.join().unwrap().unwrap();
+                black_box(lines)
+            })
+        });
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sessions);
+criterion_main!(benches);

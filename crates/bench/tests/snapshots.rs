@@ -20,6 +20,8 @@ const SNAPSHOTS: &[&str] = &[
     "BENCH_adaptive_baseline.json",
     "BENCH_dataflow.json",
     "BENCH_dataflow_baseline.json",
+    "BENCH_server.json",
+    "BENCH_server_baseline.json",
 ];
 
 fn load(name: &str) -> Value {
@@ -138,6 +140,35 @@ fn dataflow_snapshot_carries_qualitative_prepass_counters() {
     );
 }
 
+/// The committed regression pairs must pass the perf sentinel with the
+/// CI gate's default tolerances — this is the same comparison the
+/// `bench-diff` CI job runs via `mrmc bench diff`. The dataflow pair is
+/// excluded: its `_baseline` file is an ablation (slicing off, its own
+/// group name), not a frozen run of the same configuration.
+#[test]
+fn committed_pairs_pass_the_regression_sentinel() {
+    use mrmc_bench::diff::{diff_files, DiffOptions};
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for (current, baseline) in [
+        ("BENCH_kernels.json", "BENCH_kernels_baseline.json"),
+        ("BENCH_parallel.json", "BENCH_parallel_baseline.json"),
+        ("BENCH_adaptive.json", "BENCH_adaptive_baseline.json"),
+        ("BENCH_server.json", "BENCH_server_baseline.json"),
+    ] {
+        let report = diff_files(
+            &root.join(current),
+            &root.join(baseline),
+            DiffOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{current} vs {baseline}: {e}"));
+        assert!(
+            !report.has_regressions(),
+            "{current} regressed against {baseline}:\n{}",
+            report.render_human()
+        );
+    }
+}
+
 /// Baselines pair with their counterparts benchmark by benchmark — a
 /// renamed id silently breaks the perf comparison. A snapshot may gain
 /// benchmarks after its baseline was frozen, so the requirement is
@@ -150,6 +181,7 @@ fn every_baseline_benchmark_still_exists_in_its_snapshot() {
         ("BENCH_parallel.json", "BENCH_parallel_baseline.json"),
         ("BENCH_adaptive.json", "BENCH_adaptive_baseline.json"),
         ("BENCH_dataflow.json", "BENCH_dataflow_baseline.json"),
+        ("BENCH_server.json", "BENCH_server_baseline.json"),
     ] {
         let ids = |name: &str| -> Vec<String> {
             let doc = load(name);

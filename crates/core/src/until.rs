@@ -93,6 +93,7 @@ pub fn until_probabilities(
                     Some(eps) => options.transient_epsilon.min(eps / 2.0),
                     None => options.transient_epsilon,
                 };
+                let _span = mrmc_obs::span("until/baseline");
                 let probabilities =
                     baseline::until_time_interval(mrm, phi, psi, time.lo(), time.hi(), eps_used)?;
                 let n = probabilities.len();
@@ -108,6 +109,7 @@ pub fn until_probabilities(
             // Φ-constrained backward transient as phase 1. The solver
             // phase is exact to its own convergence tolerance, outside
             // the budget system — no budget is claimed.
+            let _span = mrmc_obs::span("until/baseline");
             let embedded = mrm.ctmc().embedded_dtmc();
             let mut u = reach::until_unbounded(embedded.probabilities(), phi, psi, options.solver)?;
             for (s, value) in u.iter_mut().enumerate() {
@@ -133,6 +135,7 @@ pub fn until_probabilities(
         // Only the statistical engine evaluates general lower bounds.
         if let UntilEngine::Simulation(sopts) = options.until_engine {
             if !time.is_upper_unbounded() {
+                let _span = mrmc_obs::span("until/simulation");
                 let samples = simulation_samples(sopts.samples, options.tolerance)?;
                 let mut sopts = sopts;
                 sopts.samples = samples;
@@ -174,6 +177,7 @@ pub fn until_probabilities(
         // P0: Φ U Ψ — unbounded reachability over the embedded DTMC,
         // exact to the solver's convergence tolerance (no budget).
         (true, true) => {
+            let _span = mrmc_obs::span("until/reachability");
             let df = dataflow_prepass(mrm, options, phi, psi, true);
             let embedded = mrm.ctmc().embedded_dtmc();
             // The certificate's certain-one set enlarges the solver's
@@ -208,6 +212,7 @@ pub fn until_probabilities(
         // truncated at ε', which IS the budget; a requested tolerance
         // tightens ε' directly, so this class always meets it.
         (false, true) => {
+            let _span = mrmc_obs::span("until/baseline");
             let eps_used = match options.tolerance {
                 Some(eps) => options.transient_epsilon.min(eps),
                 None => options.transient_epsilon,
@@ -238,6 +243,7 @@ pub fn until_probabilities(
             let zero_sliced = |s: usize| matches!(&df, Some((cert, _)) if cert.zero[s]);
             match options.until_engine {
                 UntilEngine::Uniformization(uopts) => {
+                    let _span = mrmc_obs::span("until/uniformization");
                     // φ′ = Φ ∧ ¬certain-zero: dead subtrees become
                     // absorbing, so path exploration never descends into
                     // regions the certificate proved irrelevant.
@@ -270,6 +276,7 @@ pub fn until_probabilities(
                     })
                 }
                 UntilEngine::Discretization(dopts) => {
+                    let _span = mrmc_obs::span("until/discretization");
                     let mut probabilities = vec![0.0; n];
                     let mut budgets = vec![ErrorBudget::zero(); n];
                     for s in 0..n {
@@ -303,6 +310,7 @@ pub fn until_probabilities(
                     })
                 }
                 UntilEngine::Simulation(sopts) => {
+                    let _span = mrmc_obs::span("until/simulation");
                     let samples = simulation_samples(sopts.samples, options.tolerance)?;
                     let mut sopts = sopts;
                     sopts.samples = samples;

@@ -167,6 +167,7 @@ pub fn until_probability(
 
     // Theorem 4.1: absorb (¬Φ ∨ Ψ)-states, then evaluate
     // Pr{Y(t) ≤ r, X(t) ⊨ Ψ}.
+    let _span = mrmc_obs::span("grid");
     let absorb: Vec<bool> = phi.iter().zip(psi).map(|(&p, &q)| !p || q).collect();
     let absorbed = make_absorbing(mrm, &absorb)?;
     let exit = absorbed.ctmc().exit_rates();

@@ -538,6 +538,7 @@ pub(crate) fn omega_terms(
     coefficients: Vec<f64>,
     threads: usize,
 ) -> Result<Vec<f64>, NumericsError> {
+    let _span = mrmc_obs::span("omega");
     if let Some(cache) = crate::omega::installed_cache() {
         return omega_terms_cached(requests, &coefficients, threads, &cache);
     }

@@ -272,6 +272,7 @@ pub fn until_probability(
     let uni = UniformizedMrm::new(&absorbed, options.lambda)?;
     let classes_def = RewardClasses::new(&uni);
 
+    let _span = mrmc_obs::span("path");
     let classes = generate_path_classes(
         &uni,
         &classes_def,
@@ -346,6 +347,7 @@ pub fn until_probabilities_all(
         if !phi[s] && !psi[s] {
             out.push(zero(false));
         } else {
+            let _span = mrmc_obs::span("path");
             let classes =
                 generate_path_classes(&uni, &classes_def, phi, psi, s, lambda_t, &options);
             record_exploration(s, &classes);

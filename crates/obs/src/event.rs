@@ -155,6 +155,12 @@ pub enum Event {
         name: &'static str,
         /// Elapsed wall-clock seconds.
         seconds: f64,
+        /// Close timestamp: seconds since the process-wide profiling
+        /// origin (the first span ever started). Together with `seconds`
+        /// this locates the span on a shared timeline, which is what lets
+        /// [`ProfileRecorder`](crate::ProfileRecorder) reconstruct the
+        /// nesting tree from a flat close-ordered event stream.
+        end_s: f64,
     },
     /// A named monotone counter; sinks merge repeated observations by
     /// maximum, so emitting a stale (smaller) value is harmless.
@@ -326,11 +332,17 @@ impl Event {
                 push_str(out, phase);
                 write!(out, ",\"done\":{done},\"total\":{total}").unwrap();
             }
-            Event::Span { name, seconds } => {
+            Event::Span {
+                name,
+                seconds,
+                end_s,
+            } => {
                 out.push_str(",\"name\":");
                 push_str(out, name);
                 out.push_str(",\"seconds\":");
                 push_f64(out, *seconds);
+                out.push_str(",\"end_s\":");
+                push_f64(out, *end_s);
             }
             Event::Counter { name, value } => {
                 out.push_str(",\"name\":");
@@ -412,6 +424,7 @@ mod tests {
             Event::Span {
                 name: "engine",
                 seconds: 0.25,
+                end_s: 1.25,
             },
             Event::Counter {
                 name: "threads",

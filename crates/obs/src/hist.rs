@@ -1,0 +1,305 @@
+//! Log2-bucketed latency histograms.
+//!
+//! A [`Histogram`] sorts durations into power-of-two nanosecond buckets:
+//! bucket `i` holds durations `d` with `2^(i-1) ns < d <= 2^i ns`
+//! (bucket 0 holds everything at or below one nanosecond). Sixty-four
+//! buckets therefore cover every representable duration — from
+//! nanoseconds to centuries — in a fixed-size array with no configuration
+//! knobs, and merging two histograms is plain element-wise addition. The
+//! same shape backs the `--profile` per-phase latency tables and the
+//! server's per-request-kind latency metrics.
+
+use std::fmt::Write as _;
+
+use crate::json::push_f64;
+
+/// Number of buckets; `2^63 ns` (roughly 292 years) tops out the range.
+pub const BUCKET_COUNT: usize = 64;
+
+const NANOS_PER_SEC: f64 = 1e9;
+
+/// A fixed-shape log2 latency histogram over durations in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: [u64; BUCKET_COUNT],
+    count: u64,
+    sum_s: f64,
+    max_s: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKET_COUNT],
+            count: 0,
+            sum_s: 0.0,
+            max_s: 0.0,
+        }
+    }
+}
+
+/// The bucket index for a duration of `nanos` nanoseconds:
+/// `ceil(log2(nanos))`, clamped into the array.
+fn bucket_of(nanos: u64) -> usize {
+    if nanos <= 1 {
+        0
+    } else {
+        (u64::BITS - (nanos - 1).leading_zeros()).min(63) as usize
+    }
+}
+
+/// The inclusive upper bound of bucket `i`, in seconds.
+fn upper_bound_s(i: usize) -> f64 {
+    2f64.powi(i32::try_from(i).expect("bucket index fits i32")) / NANOS_PER_SEC
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one duration. Negative or non-finite durations clamp to
+    /// zero (they can only come from clock anomalies, never from data).
+    pub fn observe_seconds(&mut self, seconds: f64) {
+        let seconds = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        let nanos = (seconds * NANOS_PER_SEC).ceil();
+        let nanos = if nanos >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            nanos as u64
+        };
+        self.counts[bucket_of(nanos)] += 1;
+        self.count += 1;
+        self.sum_s += seconds;
+        self.max_s = self.max_s.max(seconds);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed durations, in seconds.
+    pub fn sum_s(&self) -> f64 {
+        self.sum_s
+    }
+
+    /// Largest observed duration, in seconds.
+    pub fn max_s(&self) -> f64 {
+        self.max_s
+    }
+
+    /// `true` when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Add every observation of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+        self.max_s = self.max_s.max(other.max_s);
+    }
+
+    /// The occupied buckets as `(upper_bound_seconds, count)` pairs in
+    /// increasing bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (upper_bound_s(i), c))
+    }
+
+    /// Render as one JSON object with the fixed key order
+    /// `count`, `sum_s`, `max_s`, `buckets` — where `buckets` is an array
+    /// of `{"le_s":…,"count":…}` objects for the occupied buckets only.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+
+    pub(crate) fn write_json(&self, out: &mut String) {
+        write!(out, "{{\"count\":{},\"sum_s\":", self.count).unwrap();
+        push_f64(out, self.sum_s);
+        out.push_str(",\"max_s\":");
+        push_f64(out, self.max_s);
+        out.push_str(",\"buckets\":[");
+        for (i, (le_s, count)) in self.buckets().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"le_s\":");
+            push_f64(out, le_s);
+            write!(out, ",\"count\":{count}}}").unwrap();
+        }
+        out.push_str("]}");
+    }
+
+    /// Append this histogram to `out` in Prometheus text-exposition
+    /// format: cumulative `<name>_bucket{...,le="..."}` lines for the
+    /// occupied buckets, the mandatory `le="+Inf"` line, then
+    /// `<name>_sum` and `<name>_count`. `labels` are rendered verbatim as
+    /// `key="value"` pairs on every line.
+    pub fn write_prometheus(&self, out: &mut String, name: &str, labels: &[(&str, &str)]) {
+        let label_prefix = |out: &mut String| {
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "{k}=\"{v}\"").unwrap();
+            }
+        };
+        let mut cumulative = 0u64;
+        for (le_s, count) in self.buckets() {
+            cumulative += count;
+            write!(out, "{name}_bucket{{").unwrap();
+            label_prefix(out);
+            if !labels.is_empty() {
+                out.push(',');
+            }
+            writeln!(out, "le=\"{le_s:e}\"}} {cumulative}").unwrap();
+        }
+        write!(out, "{name}_bucket{{").unwrap();
+        label_prefix(out);
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        writeln!(out, "le=\"+Inf\"}} {}", self.count).unwrap();
+        write!(out, "{name}_sum").unwrap();
+        if !labels.is_empty() {
+            out.push('{');
+            label_prefix(out);
+            out.push('}');
+        }
+        writeln!(out, " {:e}", self.sum_s).unwrap();
+        write!(out, "{name}_count").unwrap();
+        if !labels.is_empty() {
+            out.push('{');
+            label_prefix(out);
+            out.push('}');
+        }
+        writeln!(out, " {}", self.count).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_nanoseconds() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(5), 3);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(1025), 11);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn observations_land_in_the_right_bucket() {
+        let mut h = Histogram::new();
+        h.observe_seconds(1e-9); // 1 ns -> bucket 0
+        h.observe_seconds(1e-6); // 1000 ns -> bucket 10 (le 1024 ns)
+        h.observe_seconds(1e-6);
+        h.observe_seconds(2.0); // 2e9 ns -> bucket 31
+        let buckets: Vec<(f64, u64)> = h.buckets().collect();
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], (1e-9, 1));
+        assert_eq!(buckets[1], (1.024e-6, 2));
+        assert_eq!(buckets[1].0, upper_bound_s(10));
+        assert_eq!(buckets[2].1, 1);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum_s() - 2.000002001).abs() < 1e-9);
+        assert_eq!(h.max_s(), 2.0);
+    }
+
+    #[test]
+    fn negative_and_nonfinite_clamp_to_zero() {
+        let mut h = Histogram::new();
+        h.observe_seconds(-1.0);
+        h.observe_seconds(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_s(), 0.0);
+        assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(1e-9, 2)]);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = Histogram::new();
+        a.observe_seconds(1e-6);
+        let mut b = Histogram::new();
+        b.observe_seconds(1e-6);
+        b.observe_seconds(1e-3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let buckets: Vec<(f64, u64)> = a.buckets().collect();
+        assert_eq!(buckets[0].1, 2);
+        assert_eq!(buckets[1].1, 1);
+    }
+
+    #[test]
+    fn json_shape_is_fixed_and_empty_safe() {
+        let empty = Histogram::new().to_json();
+        assert_eq!(
+            empty,
+            "{\"count\":0,\"sum_s\":0e0,\"max_s\":0e0,\"buckets\":[]}"
+        );
+        let mut h = Histogram::new();
+        h.observe_seconds(1e-9);
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":1,\"sum_s\":1e-9,\"max_s\":1e-9,\
+             \"buckets\":[{\"le_s\":1e-9,\"count\":1}]}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_is_cumulative() {
+        let mut h = Histogram::new();
+        h.observe_seconds(1e-9);
+        h.observe_seconds(1e-9);
+        h.observe_seconds(1e-3);
+        let mut out = String::new();
+        h.write_prometheus(&mut out, "mrmc_request_seconds", &[("kind", "check")]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "mrmc_request_seconds_bucket{kind=\"check\",le=\"1e-9\"} 2"
+        );
+        assert!(lines[1]
+            .starts_with("mrmc_request_seconds_bucket{kind=\"check\",le=\"1.048576e-3\"} 3"));
+        assert_eq!(
+            lines[2],
+            "mrmc_request_seconds_bucket{kind=\"check\",le=\"+Inf\"} 3"
+        );
+        assert!(lines[3].starts_with("mrmc_request_seconds_sum{kind=\"check\"} "));
+        assert_eq!(lines[4], "mrmc_request_seconds_count{kind=\"check\"} 3");
+    }
+
+    #[test]
+    fn prometheus_exposition_without_labels() {
+        let mut h = Histogram::new();
+        h.observe_seconds(1e-9);
+        let mut out = String::new();
+        h.write_prometheus(&mut out, "mrmc_phase_seconds", &[]);
+        assert!(
+            out.contains("mrmc_phase_seconds_bucket{le=\"1e-9\"} 1"),
+            "{out}"
+        );
+        assert!(out.contains("mrmc_phase_seconds_count 1"), "{out}");
+    }
+}

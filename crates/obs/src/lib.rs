@@ -4,13 +4,16 @@
 //! windows, the uniformization path exploration, the Omega recursion, the
 //! discretization grid, the adaptive driver, the lumping refinement —
 //! emits typed [`Event`]s through a thread-local, dynamically scoped
-//! [`Recorder`]. Three sinks are provided:
+//! [`Recorder`]. The provided sinks:
 //!
 //! * [`NullRecorder`] — the no-op (equivalently: install nothing at all);
 //! * [`MetricsRecorder`] — aggregates the stream into a [`RunMetrics`]
 //!   snapshot (the CLI's `--metrics` table / JSON object);
 //! * [`JsonlTraceRecorder`] — streams every event as one JSON line to a
-//!   file (the CLI's `--trace <file>`).
+//!   file (the CLI's `--trace <file>`);
+//! * [`ProfileRecorder`] — folds the span stream into a hierarchical
+//!   self/total wall-time tree with per-phase latency histograms (the
+//!   CLI's `--profile [FILE]`).
 //!
 //! # The determinism contract
 //!
@@ -50,16 +53,20 @@
 
 pub mod counters;
 mod event;
-mod json;
+pub mod hist;
+pub mod json;
 mod metrics;
+mod profile;
 mod sinks;
 
 pub use event::{Event, EVENT_KINDS};
+pub use hist::Histogram;
 pub use metrics::{MetricsRecorder, RunMetrics};
+pub use profile::{ProfileNode, ProfileRecorder, ProfileReport};
 pub use sinks::{JsonlTraceRecorder, MultiRecorder, NullRecorder, ProgressRecorder};
 
 use std::cell::{Cell, RefCell};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// A telemetry sink: receives every [`Event`] emitted while it is
@@ -151,8 +158,14 @@ pub fn flush() {
     });
 }
 
+/// The process-wide profiling origin: pinned to the start instant of the
+/// first span ever constructed, so every span's `end_s` is non-negative
+/// and all spans of one process share a single timeline.
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
 /// A phase timer: records an [`Event::Span`] with the elapsed wall-clock
-/// seconds when dropped. Inert (no clock read at all) when recording is
+/// seconds and the close timestamp (seconds since the process-wide
+/// origin) when dropped. Inert (no clock read at all) when recording is
 /// disabled at construction time.
 #[derive(Debug)]
 pub struct Span {
@@ -163,10 +176,17 @@ pub struct Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            let seconds = start.elapsed().as_secs_f64();
+            let end = Instant::now();
+            let seconds = end.duration_since(start).as_secs_f64();
+            // The origin was pinned no later than `start`, so this is a
+            // saturating-at-zero subtraction only in theory.
+            let end_s = end
+                .duration_since(*ORIGIN.get_or_init(|| start))
+                .as_secs_f64();
             record(|| Event::Span {
                 name: self.name,
                 seconds,
+                end_s,
             });
         }
     }
@@ -176,7 +196,11 @@ impl Drop for Span {
 pub fn span(name: &'static str) -> Span {
     Span {
         name,
-        start: enabled().then(Instant::now),
+        start: enabled().then(|| {
+            let now = Instant::now();
+            ORIGIN.get_or_init(|| now);
+            now
+        }),
     }
 }
 

@@ -138,7 +138,7 @@ impl RunMetrics {
             Event::AdaptiveAttempt { .. } => self.adaptive_attempts += 1,
             Event::LumpingRefinement { rounds, .. } => self.lumping_rounds += rounds,
             Event::Progress { .. } => self.progress_events += 1,
-            Event::Span { name, seconds } => {
+            Event::Span { name, seconds, .. } => {
                 let slot = self.phases.entry(name).or_insert((0, 0.0));
                 slot.0 += 1;
                 slot.1 += seconds;
@@ -345,6 +345,7 @@ mod tests {
         m.record(&Event::Span {
             name: "engine",
             seconds: 0.5,
+            end_s: 0.5,
         });
         m.record(&Event::Counter {
             name: "threads",

@@ -1,0 +1,409 @@
+//! Wall-time profiling: [`ProfileRecorder`] folds the span event stream
+//! into a hierarchical self/total time tree ([`ProfileReport`]).
+//!
+//! Spans arrive *flat*, in close order — a scoped timer emits one
+//! [`Event::Span`] when it drops, carrying its duration and its close
+//! timestamp on the process-wide timeline. Because scoped timers nest
+//! properly on the emitting thread, the intervals form a laminar family,
+//! and the tree can be reconstructed from the close-ordered stream alone:
+//! when a span closes, every still-unadopted span that started at or
+//! after it must lie inside it and becomes its child. Spans left over at
+//! the end are roots (top-level checker phases).
+//!
+//! The reconstruction is pure observation — the recorder only listens to
+//! events the engines emit anyway, so installing it cannot perturb a
+//! verdict (the determinism contract of this crate, proven end-to-end by
+//! `tests/telemetry.rs`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use crate::event::Event;
+use crate::hist::Histogram;
+use crate::json::{push_f64, push_str};
+use crate::Recorder;
+
+/// One closed span on the shared timeline.
+#[derive(Debug, Clone, Copy)]
+struct Closed {
+    name: &'static str,
+    start_s: f64,
+    end_s: f64,
+}
+
+/// A concrete (non-aggregated) tree node during reconstruction.
+#[derive(Debug)]
+struct Node {
+    name: &'static str,
+    start_s: f64,
+    end_s: f64,
+    children: Vec<Node>,
+}
+
+/// A [`Recorder`] that collects span events for wall-time profiling.
+///
+/// Install it (typically inside a
+/// [`MultiRecorder`](crate::MultiRecorder)) and call
+/// [`report`](Self::report) after the run to get the aggregated tree.
+#[derive(Debug, Default)]
+pub struct ProfileRecorder {
+    closed: Mutex<Vec<Closed>>,
+}
+
+impl ProfileRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        ProfileRecorder::default()
+    }
+
+    /// Build the aggregated profile from everything recorded so far.
+    pub fn report(&self) -> ProfileReport {
+        let closed = self.closed.lock().expect("profile lock").clone();
+        ProfileReport::from_closed(&closed)
+    }
+}
+
+impl Recorder for ProfileRecorder {
+    fn record(&self, event: &Event) {
+        if let Event::Span {
+            name,
+            seconds,
+            end_s,
+        } = event
+        {
+            self.closed.lock().expect("profile lock").push(Closed {
+                name,
+                start_s: (end_s - seconds).max(0.0),
+                end_s: *end_s,
+            });
+        }
+    }
+}
+
+/// One node of the aggregated profile tree: all spans with the same name
+/// under the same parent path, merged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileNode {
+    /// Span (phase) name.
+    pub name: &'static str,
+    /// How many spans were merged into this node.
+    pub count: u64,
+    /// Total wall-clock seconds across the merged spans.
+    pub total_s: f64,
+    /// Seconds not attributed to any child: `total_s` minus the
+    /// children's `total_s` sum (clamped at zero against rounding).
+    pub self_s: f64,
+    /// Child phases, sorted by name.
+    pub children: Vec<ProfileNode>,
+}
+
+/// The aggregated self/total wall-time tree plus per-phase latency
+/// histograms, produced by [`ProfileRecorder::report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Sum of the root nodes' `total_s` (all profiled wall time).
+    pub total_s: f64,
+    /// Top-level phases, sorted by name.
+    pub roots: Vec<ProfileNode>,
+    /// Per span-name duration histogram over every individual span.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl ProfileReport {
+    fn from_closed(closed: &[Closed]) -> ProfileReport {
+        // Reconstruct the forest. Unadopted roots are kept in close
+        // order; laminarity makes their intervals disjoint, so their
+        // start times increase and the spans contained in a closing span
+        // form a suffix of the pending list.
+        let mut pending: Vec<Node> = Vec::new();
+        for span in closed {
+            let mut children = Vec::new();
+            while pending.last().is_some_and(|n| n.start_s >= span.start_s) {
+                children.push(pending.pop().expect("non-empty pending"));
+            }
+            children.reverse();
+            pending.push(Node {
+                name: span.name,
+                start_s: span.start_s,
+                end_s: span.end_s,
+                children,
+            });
+        }
+        let roots = aggregate(pending);
+        let total_s = roots.iter().map(|r| r.total_s).sum();
+        let mut histograms: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        for span in closed {
+            histograms
+                .entry(span.name)
+                .or_default()
+                .observe_seconds(span.end_s - span.start_s);
+        }
+        ProfileReport {
+            total_s,
+            roots,
+            histograms,
+        }
+    }
+
+    /// Render as one JSON object with the fixed key order `total_s`,
+    /// `spans`, `histograms`; every span node has the fixed key order
+    /// `name`, `count`, `total_s`, `self_s`, `children`, and arrays/maps
+    /// are sorted by name.
+    pub fn to_json(&self) -> String {
+        fn write_nodes(out: &mut String, nodes: &[ProfileNode]) {
+            out.push('[');
+            for (i, node) in nodes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"name\":");
+                push_str(out, node.name);
+                write!(out, ",\"count\":{},\"total_s\":", node.count).unwrap();
+                push_f64(out, node.total_s);
+                out.push_str(",\"self_s\":");
+                push_f64(out, node.self_s);
+                out.push_str(",\"children\":");
+                write_nodes(out, &node.children);
+                out.push('}');
+            }
+            out.push(']');
+        }
+        let mut s = String::from("{\"total_s\":");
+        push_f64(&mut s, self.total_s);
+        s.push_str(",\"spans\":");
+        write_nodes(&mut s, &self.roots);
+        s.push_str(",\"histograms\":{");
+        for (i, (name, hist)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_str(&mut s, name);
+            s.push(':');
+            hist.write_json(&mut s);
+        }
+        s.push_str("}}");
+        s
+    }
+
+    /// The human "flame table": one indented row per tree node with
+    /// count, total and self seconds.
+    pub fn table(&self) -> String {
+        fn write_rows(out: &mut String, nodes: &[ProfileNode], depth: usize) {
+            for node in nodes {
+                let label = format!("{:indent$}{}", "", node.name, indent = 2 * depth);
+                writeln!(
+                    out,
+                    "  {label:<30} {:>7} {:>12.6} {:>12.6}",
+                    node.count, node.total_s, node.self_s
+                )
+                .unwrap();
+                write_rows(out, &node.children, depth + 1);
+            }
+        }
+        let mut out = String::new();
+        writeln!(
+            out,
+            "  {:<30} {:>7} {:>12} {:>12}",
+            "phase", "count", "total s", "self s"
+        )
+        .unwrap();
+        write_rows(&mut out, &self.roots, 0);
+        out
+    }
+}
+
+/// Merge a forest of concrete nodes by name (recursively), computing
+/// total and self times. Children sort by name for determinism.
+fn aggregate(nodes: Vec<Node>) -> Vec<ProfileNode> {
+    let mut by_name: BTreeMap<&'static str, (u64, f64, Vec<Node>)> = BTreeMap::new();
+    for node in nodes {
+        let slot = by_name.entry(node.name).or_insert((0, 0.0, Vec::new()));
+        slot.0 += 1;
+        slot.1 += node.end_s - node.start_s;
+        slot.2.extend(node.children);
+    }
+    by_name
+        .into_iter()
+        .map(|(name, (count, total_s, grandchildren))| {
+            let children = aggregate(grandchildren);
+            let child_total: f64 = children.iter().map(|c| c.total_s).sum();
+            // Children are disjoint sub-intervals of their parents, so a
+            // negative residue can only be float rounding; clamp it.
+            let self_s = (total_s - child_total).max(0.0);
+            ProfileNode {
+                name,
+                count,
+                total_s,
+                self_s,
+                children,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{span, with_recorder};
+    use std::sync::Arc;
+
+    fn feed(recorder: &ProfileRecorder, spans: &[(&'static str, f64, f64)]) {
+        for &(name, start_s, end_s) in spans {
+            recorder.record(&Event::Span {
+                name,
+                seconds: end_s - start_s,
+                end_s,
+            });
+        }
+    }
+
+    #[test]
+    fn close_order_reconstructs_the_nesting_tree() {
+        let rec = ProfileRecorder::new();
+        // engine [0.0, 1.0] containing solver [0.1, 0.3] and grid
+        // [0.4, 0.9], grid containing solver [0.5, 0.6]; then a sibling
+        // root phase [1.0, 1.2]. Close order: innermost first.
+        feed(
+            &rec,
+            &[
+                ("solver", 0.1, 0.3),
+                ("solver", 0.5, 0.6),
+                ("grid", 0.4, 0.9),
+                ("engine", 0.0, 1.0),
+                ("reduction", 1.0, 1.2),
+            ],
+        );
+        let report = rec.report();
+        assert_eq!(report.roots.len(), 2);
+        let engine = &report.roots[0];
+        assert_eq!(engine.name, "engine");
+        assert_eq!(engine.count, 1);
+        assert!((engine.total_s - 1.0).abs() < 1e-12);
+        assert_eq!(engine.children.len(), 2);
+        let grid = &engine.children[0];
+        assert_eq!(grid.name, "grid");
+        assert_eq!(grid.children.len(), 1);
+        assert_eq!(grid.children[0].name, "solver");
+        assert!((grid.self_s - 0.4).abs() < 1e-12);
+        let solver = &engine.children[1];
+        assert_eq!(solver.name, "solver");
+        assert_eq!(solver.count, 1, "only the direct child merges here");
+        assert!((engine.self_s - (1.0 - 0.5 - 0.2)).abs() < 1e-12);
+        assert_eq!(report.roots[1].name, "reduction");
+        assert!((report.total_s - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_phases_merge_by_name_per_level() {
+        let rec = ProfileRecorder::new();
+        // Two formulas, each with engine over solver.
+        feed(
+            &rec,
+            &[
+                ("solver", 0.1, 0.2),
+                ("engine", 0.0, 0.5),
+                ("solver", 0.6, 0.9),
+                ("engine", 0.5, 1.5),
+            ],
+        );
+        let report = rec.report();
+        assert_eq!(report.roots.len(), 1);
+        let engine = &report.roots[0];
+        assert_eq!(engine.count, 2);
+        assert!((engine.total_s - 1.5).abs() < 1e-12);
+        assert_eq!(engine.children.len(), 1);
+        assert_eq!(engine.children[0].count, 2);
+        assert!((engine.children[0].total_s - 0.4).abs() < 1e-12);
+        assert_eq!(report.histograms["engine"].count(), 2);
+        assert_eq!(report.histograms["solver"].count(), 2);
+    }
+
+    #[test]
+    fn children_never_exceed_parents() {
+        let rec = ProfileRecorder::new();
+        feed(
+            &rec,
+            &[("a", 0.0, 0.3), ("b", 0.3, 0.7), ("outer", 0.0, 0.7)],
+        );
+        let report = rec.report();
+        fn check(node: &ProfileNode) {
+            let child_total: f64 = node.children.iter().map(|c| c.total_s).sum();
+            assert!(
+                child_total <= node.total_s + 1e-12,
+                "{}: children {child_total} > total {}",
+                node.name,
+                node.total_s
+            );
+            assert!(node.self_s >= 0.0);
+            for child in &node.children {
+                check(child);
+            }
+        }
+        for root in &report.roots {
+            check(root);
+        }
+        assert!((report.roots[0].self_s - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_and_table_have_the_documented_shape() {
+        let rec = ProfileRecorder::new();
+        feed(&rec, &[("solver", 0.25, 0.5), ("engine", 0.0, 1.0)]);
+        let report = rec.report();
+        let json = report.to_json();
+        assert!(
+            json.starts_with("{\"total_s\":1e0,\"spans\":[{\"name\":\"engine\""),
+            "{json}"
+        );
+        assert!(
+            json.contains(
+                "\"children\":[{\"name\":\"solver\",\"count\":1,\
+                 \"total_s\":2.5e-1,\"self_s\":2.5e-1,\"children\":[]}]"
+            ),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"histograms\":{\"engine\":{\"count\":1,"),
+            "{json}"
+        );
+        // Parses as real JSON.
+        crate::json::parse(&json).expect("profile JSON must parse");
+        let table = report.table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("phase") && lines[0].contains("self s"));
+        assert!(lines[1].trim_start().starts_with("engine"), "{table}");
+        assert!(lines[2].trim_start().starts_with("solver"), "{table}");
+    }
+
+    #[test]
+    fn live_spans_produce_a_nested_report() {
+        let rec = Arc::new(ProfileRecorder::new());
+        with_recorder(rec.clone(), || {
+            let _outer = span("outer_phase");
+            {
+                let _inner = span("inner_phase");
+                std::hint::black_box(0u64);
+            }
+        });
+        let report = rec.report();
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].name, "outer_phase");
+        assert_eq!(report.roots[0].children.len(), 1);
+        assert_eq!(report.roots[0].children[0].name, "inner_phase");
+        assert!(report.roots[0].total_s >= report.roots[0].children[0].total_s);
+    }
+
+    #[test]
+    fn non_span_events_are_ignored() {
+        let rec = ProfileRecorder::new();
+        rec.record(&Event::RunSummary {
+            formulas: 1,
+            failures: 0,
+        });
+        let report = rec.report();
+        assert_eq!(report.roots.len(), 0);
+        assert_eq!(report.total_s, 0.0);
+        assert!(report.histograms.is_empty());
+    }
+}

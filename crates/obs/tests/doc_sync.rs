@@ -7,6 +7,37 @@
 
 use std::path::Path;
 
+/// The wall-time observability surface — the `--profile` flag, the
+/// pinned timing fields, the server latency stats, and the Prometheus
+/// exposition family names — is a stable interface like the counter
+/// table; docs/USAGE.md must name every piece of it.
+#[test]
+fn the_timing_observability_surface_is_documented_in_usage_md() {
+    let usage = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../docs/USAGE.md");
+    let usage = std::fs::read_to_string(usage).expect("docs/USAGE.md exists");
+
+    let undocumented: Vec<&&str> = [
+        "--profile",
+        "bench diff",
+        "elapsed_s",
+        "phase_times",
+        "total_s",
+        "self_s",
+        "uptime_s",
+        "sat_hit_ratio",
+        "slow request",
+        "mrmc_uptime_seconds",
+        "mrmc_request_seconds",
+    ]
+    .iter()
+    .filter(|needle| !usage.contains(**needle))
+    .collect();
+    assert!(
+        undocumented.is_empty(),
+        "timing-surface names missing from docs/USAGE.md: {undocumented:?}"
+    );
+}
+
 #[test]
 fn every_counter_name_is_documented_in_usage_md() {
     assert!(

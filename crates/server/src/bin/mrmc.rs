@@ -38,6 +38,11 @@
 //!   `run_summary` event;
 //! * `--progress` — print throttled progress lines to stderr while the
 //!   engines run;
+//! * `--profile` (or `--profile=FILE`) — fold the span telemetry into a
+//!   hierarchical self/total wall-time tree, printed as a flame table on
+//!   stderr after the batch; with `=FILE`, the profile (span tree plus
+//!   per-phase latency histograms) is also written to `FILE` as one JSON
+//!   object. Observation-only, like `--metrics`;
 //! * `NP` — print only the satisfying states, not the computed
 //!   probabilities.
 //!
@@ -95,11 +100,18 @@
 //! `batch` is the matching client: it streams stdin (JSONL requests) to a
 //! running server and prints the response lines, exiting `0` when the
 //! terminal `run_summary` reports no failures.
+//!
+//! Finally, `mrmc bench diff <snapshot> <baseline>` is the
+//! perf-regression sentinel over the committed `BENCH_<group>.json`
+//! snapshot pairs (see the `mrmc-bench` crate): noise-aware median
+//! comparison plus hard work-counter checks, exit code 1 on regression.
 
 use std::io::{BufRead, IsTerminal, Write};
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+// devlint::allow(D002): the CLI reports per-formula wall time; results never branch on it
+use std::time::Instant;
 
 use mrmc::report::json_outcome;
 use mrmc::{
@@ -107,7 +119,8 @@ use mrmc::{
     Diagnostic, ModelHandle, Reduction, Report, Severity, UntilEngine, Verdict,
 };
 use mrmc_obs::{
-    Event, JsonlTraceRecorder, MetricsRecorder, MultiRecorder, ProgressRecorder, Recorder,
+    Event, JsonlTraceRecorder, MetricsRecorder, MultiRecorder, ProfileRecorder, ProgressRecorder,
+    Recorder, RunMetrics,
 };
 use mrmc_server::{connect_with_retry, RunTotals, Server, ServerConfig};
 use mrmc_sparse::solver::SolverMethod;
@@ -129,13 +142,17 @@ struct Cli {
     metrics: bool,
     trace: Option<String>,
     progress: bool,
+    /// `None` = off, `Some(None)` = flame table only, `Some(Some(path))`
+    /// = flame table plus the JSON profile written to `path`.
+    profile: Option<Option<String>>,
 }
 
 fn usage() -> &'static str {
-    "usage: mrmc [check] <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [--solver M] [--no-reduction] [--no-slicing] [--metrics] [--trace FILE] [--progress] [NP]\n\
+    "usage: mrmc [check] <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>] [--tolerance E] [--json] [--threads N] [--solver M] [--no-reduction] [--no-slicing] [--metrics] [--trace FILE] [--progress] [--profile[=FILE]] [NP]\n\
      \x20      mrmc lint <model.tra> <model.lab> <model.rewr> <model.rewi> [u=<w>|d=<d>|s=<n>] [--lumping] [--dataflow] [--verbose] [--json] [--deny warnings]\n\
      \x20      mrmc serve [--listen ADDR] [--workers N] [--connections N]\n\
      \x20      mrmc batch <ADDR>\n\
+     \x20      mrmc bench diff <snapshot.json> <baseline.json> [--json] [--max-ratio R]\n\
      \x20      mrmc devlint [--json] [ROOT]\n\
      \n\
      Reads CSRL formulas from stdin, one per line, e.g.\n\
@@ -169,6 +186,12 @@ fn usage() -> &'static str {
      --trace FILE   stream every telemetry event as one JSON line to FILE;\n\
      \x20              the final line is a run_summary event\n\
      --progress     print throttled progress lines to stderr\n\
+     --profile      print a hierarchical wall-time flame table (phase,\n\
+     \x20              count, total s, self s) to stderr after the batch;\n\
+     \x20              --profile=FILE additionally writes the profile as\n\
+     \x20              one JSON object (span tree + per-phase latency\n\
+     \x20              histograms) to FILE. Observation-only: results are\n\
+     \x20              bit-identical with or without it\n\
      NP             suppress the computed probabilities\n\
      \n\
      The lint subcommand statically analyzes the model, the formulas on\n\
@@ -188,6 +211,12 @@ fn usage() -> &'static str {
      a {\"listening\":\"HOST:PORT\"} line, then serves until interrupted\n\
      (or for --connections N clients). batch streams stdin requests to a\n\
      running server and prints the responses.\n\
+     \n\
+     The bench diff subcommand compares a BENCH_<group>.json perf snapshot\n\
+     against a baseline with noise-aware thresholds: a benchmark fails the\n\
+     gate when its median slows by more than --max-ratio (default 1.5) by\n\
+     more than an absolute slack, or when any work counter in its metrics\n\
+     drifts (hard check, no tolerance). Exit code 1 on regression.\n\
      \n\
      The devlint subcommand statically analyzes the mrmc workspace source\n\
      tree itself (default ROOT: the current directory) for determinism and\n\
@@ -254,6 +283,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         metrics: false,
         trace: None,
         progress: false,
+        profile: None,
     };
     let mut rest = args[4..].iter();
     while let Some(arg) = rest.next() {
@@ -269,6 +299,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             cli.metrics = true;
         } else if arg == "--progress" {
             cli.progress = true;
+        } else if arg == "--profile" {
+            cli.profile = Some(None);
+        } else if let Some(path) = arg.strip_prefix("--profile=") {
+            if path.is_empty() {
+                return Err("--profile= requires a non-empty file path".to_string());
+            }
+            cli.profile = Some(Some(path.to_string()));
         } else if arg == "--trace" || arg.starts_with("--trace=") {
             let value = match arg.strip_prefix("--trace=") {
                 Some(v) => v.to_string(),
@@ -513,6 +550,30 @@ fn print_human(outcome: &CheckOutcome, print_probabilities: bool) {
     }
 }
 
+/// The timing prefix of a `--json` output line: `{"elapsed_s":E,` plus,
+/// when `--metrics` captured per-phase wall times, a
+/// `"phase_times":{"<phase>":<seconds>,…},` object. The remainder of the
+/// line is the unchanged one-shot JSON body, so consumers that key on
+/// `formula` and later fields are unaffected.
+fn timing_prefix(elapsed_s: f64, snapshot: Option<&RunMetrics>) -> String {
+    let mut p = String::from("{\"elapsed_s\":");
+    mrmc_obs::json::push_f64(&mut p, elapsed_s);
+    if let Some(m) = snapshot {
+        p.push_str(",\"phase_times\":{");
+        for (i, (name, (_count, seconds))) in m.phases.iter().enumerate() {
+            if i > 0 {
+                p.push(',');
+            }
+            mrmc_obs::json::push_str(&mut p, name);
+            p.push(':');
+            mrmc_obs::json::push_f64(&mut p, *seconds);
+        }
+        p.push('}');
+    }
+    p.push(',');
+    p
+}
+
 /// Read formulas from stdin and check each one on `session`, printing the
 /// outcomes.
 ///
@@ -543,6 +604,8 @@ fn check_formulas(
         if !cli.json {
             println!("formula: {text}");
         }
+        // devlint::allow(D002): reported as elapsed_s, never branched on
+        let started = Instant::now();
         let result = match mrmc_csrl::parse(text) {
             Ok(f) => {
                 if !cli.json {
@@ -558,6 +621,7 @@ fn check_formulas(
             }
             Err(e) => Err(CheckError::Parse(e)),
         };
+        let elapsed_s = started.elapsed().as_secs_f64();
         // Drain the aggregator even on failure so the next formula's
         // snapshot starts from zero.
         let snapshot = metrics.map(MetricsRecorder::take);
@@ -567,7 +631,11 @@ fn check_formulas(
                     totals.any_unknown = true;
                 }
                 if cli.json {
-                    println!("{}", json_outcome(text, &outcome, snapshot.as_ref()));
+                    println!(
+                        "{}{}",
+                        timing_prefix(elapsed_s, snapshot.as_ref()),
+                        &json_outcome(text, &outcome, snapshot.as_ref())[1..]
+                    );
                 } else {
                     print_human(&outcome, cli.print_probabilities);
                     if let Some(m) = &snapshot {
@@ -581,7 +649,11 @@ fn check_formulas(
             Err(e) => {
                 failures += 1;
                 if cli.json {
-                    println!("{}", mrmc::report::json_error(text, &e));
+                    println!(
+                        "{}{}",
+                        timing_prefix(elapsed_s, snapshot.as_ref()),
+                        &mrmc::report::json_error(text, &e)[1..]
+                    );
                 } else {
                     println!("  error: {e}");
                 }
@@ -651,6 +723,7 @@ fn run_serve(args: &[String]) -> Result<ExitCode, String> {
         &cli.listen,
         ServerConfig {
             workers: cli.workers,
+            ..ServerConfig::default()
         },
     )
     .map_err(|e| format!("cannot bind `{}`: {e}", cli.listen))?;
@@ -696,10 +769,13 @@ fn run_batch(args: &[String]) -> Result<ExitCode, String> {
             let line = line.map_err(|e| e.to_string())?;
             println!("{line}");
             if let Some(rest) = line.strip_prefix("{\"kind\":\"run_summary\"") {
+                // The summary may carry fields after `failures` (e.g.
+                // `elapsed_s`), so parse just the leading digit run.
                 summary_failures = rest
                     .split("\"failures\":")
                     .nth(1)
-                    .and_then(|v| v.trim_end_matches('}').parse().ok());
+                    .and_then(|v| v.split(|c: char| !c.is_ascii_digit()).next())
+                    .and_then(|v| v.parse().ok());
             }
         }
         feeder
@@ -715,6 +791,62 @@ fn run_batch(args: &[String]) -> Result<ExitCode, String> {
         }
         None => Err("connection closed without a run_summary".to_string()),
     }
+}
+
+/// The `mrmc bench diff` subcommand: the perf-regression sentinel.
+/// Compares a `BENCH_<group>.json` snapshot against its committed
+/// baseline with noise-aware thresholds and exits nonzero when a
+/// benchmark regressed or its work counters drifted.
+fn run_bench(args: &[String]) -> Result<ExitCode, String> {
+    let Some(("diff", rest)) = args
+        .split_first()
+        .map(|(first, rest)| (first.as_str(), rest))
+    else {
+        return Err(format!("bench only supports `diff`\n\n{}", usage()));
+    };
+    let mut json = false;
+    let mut options = mrmc_bench::diff::DiffOptions::default();
+    let mut files: Vec<&str> = Vec::new();
+    let mut rest = rest.iter();
+    while let Some(arg) = rest.next() {
+        if arg == "--json" {
+            json = true;
+        } else if arg == "--max-ratio" || arg.starts_with("--max-ratio=") {
+            let v = match arg.strip_prefix("--max-ratio=") {
+                Some(v) => v.to_string(),
+                None => rest
+                    .next()
+                    .ok_or_else(|| "--max-ratio requires a value".to_string())?
+                    .clone(),
+            };
+            options.max_ratio = v
+                .parse()
+                .ok()
+                .filter(|&r: &f64| r >= 1.0)
+                .ok_or_else(|| format!("invalid --max-ratio `{v}` (must be >= 1)"))?;
+        } else if arg.starts_with('-') {
+            return Err(format!("unrecognized argument `{arg}`\n\n{}", usage()));
+        } else {
+            files.push(arg);
+        }
+    }
+    let [snapshot, baseline] = files[..] else {
+        return Err(format!(
+            "bench diff takes exactly two files: <snapshot> <baseline>\n\n{}",
+            usage()
+        ));
+    };
+    let report = mrmc_bench::diff::diff_files(Path::new(snapshot), Path::new(baseline), options)?;
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    Ok(if report.has_regressions() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 /// The `mrmc devlint` subcommand: run the workspace determinism &
@@ -761,6 +893,7 @@ fn run() -> Result<ExitCode, String> {
         Some("lint") => return run_lint(&args[1..]),
         Some("serve") => return run_serve(&args[1..]),
         Some("batch") => return run_batch(&args[1..]),
+        Some("bench") => return run_bench(&args[1..]),
         Some("devlint") => return run_devlint(&args[1..]),
         _ => {}
     }
@@ -816,7 +949,14 @@ fn run() -> Result<ExitCode, String> {
         sinks.push(Arc::new(trace));
     }
     if cli.progress {
-        sinks.push(Arc::new(ProgressRecorder));
+        sinks.push(Arc::new(ProgressRecorder::new()));
+    }
+    let profile = cli
+        .profile
+        .as_ref()
+        .map(|_| Arc::new(ProfileRecorder::new()));
+    if let Some(p) = &profile {
+        sinks.push(p.clone());
     }
     let totals = if sinks.is_empty() {
         check_formulas(&cli, &session, &model, &options, None)?
@@ -826,6 +966,17 @@ fn run() -> Result<ExitCode, String> {
             check_formulas(&cli, &session, &model, &options, metrics.as_deref())
         })?
     };
+    if let (Some(recorder), Some(dest)) = (&profile, &cli.profile) {
+        let report = recorder.report();
+        // The flame table goes to stderr so --json stdout stays a clean
+        // JSONL stream.
+        eprintln!("wall-time profile:");
+        eprint!("{}", report.table());
+        if let Some(path) = dest {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| format!("cannot write profile file `{path}`: {e}"))?;
+        }
+    }
     match totals.exit_code() {
         0 => Ok(ExitCode::SUCCESS),
         1 => Err("one or more formulas failed".to_string()),
@@ -1148,6 +1299,44 @@ mod tests {
         .unwrap();
         assert_eq!(cli.trace.as_deref(), Some("/tmp/t.jsonl"));
         assert!(cli.json);
+    }
+
+    #[test]
+    fn profile_flag_parses_in_both_spellings() {
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi"])).unwrap();
+        assert_eq!(cli.profile, None);
+        let cli = parse_args(&args(&["a.tra", "a.lab", "a.rewr", "a.rewi", "--profile"])).unwrap();
+        assert_eq!(cli.profile, Some(None));
+        let cli = parse_args(&args(&[
+            "a.tra",
+            "a.lab",
+            "a.rewr",
+            "a.rewi",
+            "--profile=prof.json",
+            "--json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.profile, Some(Some("prof.json".to_string())));
+        assert!(cli.json);
+        assert!(parse_args(&args(&["a", "b", "c", "d", "--profile="])).is_err());
+        // --profile belongs to check mode, not lint.
+        assert!(parse_lint_args(&args(&["a", "b", "c", "d", "--profile"])).is_err());
+    }
+
+    #[test]
+    fn timing_prefix_pins_the_elapsed_field_order() {
+        // Without metrics: exactly `{"elapsed_s":E,`.
+        let p = timing_prefix(0.5, None);
+        assert_eq!(p, "{\"elapsed_s\":5e-1,");
+        // With metrics: phase_times carries the per-phase wall seconds.
+        let mut m = RunMetrics::default();
+        m.phases.insert("engine", (2, 0.25));
+        m.phases.insert("solver", (1, 0.125));
+        let p = timing_prefix(1.0, Some(&m));
+        assert_eq!(
+            p,
+            "{\"elapsed_s\":1e0,\"phase_times\":{\"engine\":2.5e-1,\"solver\":1.25e-1},"
+        );
     }
 
     #[test]

@@ -33,14 +33,28 @@
 //! * `{"stats": true}` — answered in line order with the session's
 //!   cumulative cache counters (`sat_cache_hits`, `sat_cache_misses`,
 //!   `cert_cache_hits`, `models_loaded`, `omega_cache_hits`, …), each
-//!   monotone over the server's lifetime.
+//!   monotone over the server's lifetime, followed by the latency
+//!   observability fields: `uptime_s`, `sat_hit_ratio`, and a `latency`
+//!   object holding one log2-bucketed wall-time histogram per request
+//!   kind (`check`, `load`, `stats`, `metrics`).
+//! * `{"metrics": true}` — answered in line order with
+//!   `{"metrics": "<text>"}` where `<text>` is a Prometheus-style text
+//!   exposition of the same counters and latency histograms
+//!   (`mrmc_sat_cache_hits`, `mrmc_uptime_seconds`,
+//!   `mrmc_request_seconds_bucket{kind="check",le="…"}`, …).
+//!
+//! Every `check` response carries an `elapsed_s` field in its correlation
+//! prefix (wall seconds the check spent in a worker); the result object
+//! that follows is still byte-identical to the one-shot CLI line.
+//! Requests slower than [`ServerConfig::slow_request_s`] are logged to
+//! stderr. All timing is observation-only: results never depend on it.
 //!
 //! Malformed lines are answered with `{"error": …, "error_kind":
 //! "request"}` and counted as failures. When the client closes its write
 //! half, the server drains that connection's in-flight checks and ends
 //! the response stream with `{"kind": "run_summary", "formulas": N,
-//! "failures": M}` — the same terminal record a `--trace` stream ends
-//! with — then closes.
+//! "failures": M, "elapsed_s": S}` — the terminal record a `--trace`
+//! stream ends with, plus the connection's wall time — then closes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,26 +66,126 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+// devlint::allow(D002): request latency and uptime are observability-only; no checking result reads the clock
+use std::time::Instant;
 
 use mrmc::report;
 use mrmc::{
     CheckError, CheckOptions, CheckSession, ModelHandle, Reduction, SessionStats, UntilEngine,
 };
-use mrmc_obs::{MetricsRecorder, Recorder};
+use mrmc_obs::{Histogram, MetricsRecorder, Recorder};
 use mrmc_sparse::solver::SolverMethod;
 
 use json::Value;
 
-/// How many checks may run concurrently across all connections.
+/// How many checks may run concurrently across all connections, and when
+/// a request counts as slow.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// Worker threads executing check requests (at least 1).
     pub workers: usize,
+    /// Requests slower than this many wall-clock seconds are logged to
+    /// stderr (the slow-request log). Non-positive disables the log.
+    pub slow_request_s: f64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4 }
+        ServerConfig {
+            workers: 4,
+            slow_request_s: 1.0,
+        }
+    }
+}
+
+/// Cross-connection latency observability: the server start time (for
+/// `uptime_s`), the slow-request threshold, and one log2-bucketed
+/// wall-time histogram per request kind, shared by every connection and
+/// worker. Purely additive — nothing here feeds back into results.
+#[derive(Debug)]
+struct ServerObs {
+    // devlint::allow(D002): uptime anchor for the stats reply; observability-only
+    start: Instant,
+    slow_request_s: f64,
+    latency: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl ServerObs {
+    fn new(slow_request_s: f64) -> Self {
+        ServerObs {
+            // devlint::allow(D002): uptime anchor for the stats reply; observability-only
+            start: Instant::now(),
+            slow_request_s,
+            latency: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Seconds since the server was bound.
+    fn uptime_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Fold one serviced request into its kind's latency histogram and
+    /// log it to stderr when it breached the slow-request threshold.
+    fn observe(&self, kind: &'static str, seconds: f64, detail: &str) {
+        if self.slow_request_s > 0.0 && seconds >= self.slow_request_s {
+            if detail.is_empty() {
+                eprintln!("mrmc serve: slow request: {kind} took {seconds:.3}s");
+            } else {
+                eprintln!("mrmc serve: slow request: {kind} `{detail}` took {seconds:.3}s");
+            }
+        }
+        // devlint::allow(D005): poisoned only if a holder panicked; no recovery short of dropping the connection
+        let mut latency = self.latency.lock().expect("latency poisoned");
+        latency.entry(kind).or_default().observe_seconds(seconds);
+    }
+
+    /// The per-kind latency map as a JSON object; BTreeMap keeps the kind
+    /// order fixed, and each histogram renders in its documented shape.
+    fn latency_json(&self) -> String {
+        // devlint::allow(D005): poisoned only if a holder panicked; no recovery short of dropping the connection
+        let latency = self.latency.lock().expect("latency poisoned");
+        let mut out = String::from("{");
+        for (i, (kind, hist)) in latency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{kind}\":{}", hist.to_json()));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The Prometheus-style text exposition for the `metrics` request:
+    /// session counters (named after `mrmc_obs::counters`), the uptime
+    /// gauge, and the per-kind request-latency histograms.
+    fn exposition(&self, stats: &SessionStats) -> String {
+        use mrmc_obs::counters;
+        fn push_counter(out: &mut String, name: &str, value: u64) {
+            out.push_str(&format!(
+                "# TYPE mrmc_{name} counter\nmrmc_{name} {value}\n"
+            ));
+        }
+        let mut out = String::new();
+        push_counter(&mut out, "requests", stats.requests);
+        push_counter(&mut out, counters::MODELS_LOADED, stats.models_loaded);
+        push_counter(&mut out, counters::SAT_CACHE_HITS, stats.sat_cache_hits);
+        push_counter(&mut out, counters::SAT_CACHE_MISSES, stats.sat_cache_misses);
+        push_counter(&mut out, counters::CERT_CACHE_HITS, stats.cert_cache_hits);
+        push_counter(&mut out, "omega_cache_entries", stats.omega_cache_entries);
+        push_counter(&mut out, counters::OMEGA_CACHE_HITS, stats.omega_cache_hits);
+        push_counter(&mut out, "scc_cache_hits", stats.scc_cache_hits);
+        out.push_str(&format!(
+            "# TYPE mrmc_uptime_seconds gauge\nmrmc_uptime_seconds {:e}\n",
+            self.uptime_s()
+        ));
+        out.push_str("# TYPE mrmc_request_seconds histogram\n");
+        // devlint::allow(D005): poisoned only if a holder panicked; no recovery short of dropping the connection
+        let latency = self.latency.lock().expect("latency poisoned");
+        for (kind, hist) in latency.iter() {
+            hist.write_prometheus(&mut out, "mrmc_request_seconds", &[("kind", kind)]);
+        }
+        out
     }
 }
 
@@ -82,6 +196,7 @@ pub struct Server {
     listener: TcpListener,
     session: Arc<CheckSession>,
     workers: usize,
+    obs: Arc<ServerObs>,
 }
 
 impl Server {
@@ -96,6 +211,7 @@ impl Server {
             listener: TcpListener::bind(addr)?,
             session: Arc::new(CheckSession::new()),
             workers: config.workers.max(1),
+            obs: Arc::new(ServerObs::new(config.slow_request_s)),
         })
     }
 
@@ -141,11 +257,12 @@ impl Server {
                 };
                 accepted += 1;
                 let session = self.session.clone();
+                let obs = self.obs.clone();
                 let tx = tx.clone();
                 scope.spawn(move || {
                     // A connection dropping mid-stream is the client's
                     // problem, not the server's.
-                    let _ = serve_connection(&session, &tx, stream);
+                    let _ = serve_connection(&session, &obs, &tx, stream);
                 });
             };
             // Readers hold their own sender clones; once they finish and
@@ -167,6 +284,7 @@ struct Job {
     options: CheckOptions,
     metrics: bool,
     conn: Arc<ConnState>,
+    obs: Arc<ServerObs>,
 }
 
 /// Per-connection shared state: the response writer plus in-flight
@@ -177,6 +295,8 @@ struct ConnState {
     idle: Condvar,
     formulas: AtomicU64,
     failures: AtomicU64,
+    // devlint::allow(D002): feeds the run_summary `elapsed_s` field only
+    started: Instant,
 }
 
 impl ConnState {
@@ -187,6 +307,8 @@ impl ConnState {
             idle: Condvar::new(),
             formulas: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            // devlint::allow(D002): feeds the run_summary `elapsed_s` field only
+            started: Instant::now(),
         }
     }
 
@@ -237,8 +359,12 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Job>>) {
     }
 }
 
-/// Run one check and render its response line.
+/// Run one check and render its response line. The wall time the check
+/// spends here becomes the response's `elapsed_s` correlation field and
+/// a `check` latency observation; it never influences the result object.
 fn execute(job: &Job) -> String {
+    // devlint::allow(D002): wall time feeds the latency histogram and the `elapsed_s` field, never the result
+    let started = Instant::now();
     let metrics = job.metrics.then(|| Arc::new(MetricsRecorder::new()));
     let check = || {
         job.session
@@ -259,17 +385,20 @@ fn execute(job: &Job) -> String {
             report::json_error(&job.formula, e)
         }
     };
-    // Prepend the correlation fields; the rest of the object is exactly
-    // the CLI's `--json` line.
+    let elapsed_s = started.elapsed().as_secs_f64();
+    job.obs.observe("check", elapsed_s, &job.formula);
+    // Prepend the correlation fields (including the wall time the check
+    // took); the rest of the object is exactly the CLI's `--json` line.
     let id = job.id.as_ref().map(Value::render);
+    let elapsed = report::json_f64(elapsed_s);
     match id {
         Some(id) => format!(
-            "{{\"id\":{id},\"model\":\"{}\",{}",
+            "{{\"id\":{id},\"model\":\"{}\",\"elapsed_s\":{elapsed},{}",
             report::json_escape(&job.model_ref),
             &body[1..]
         ),
         None => format!(
-            "{{\"model\":\"{}\",{}",
+            "{{\"model\":\"{}\",\"elapsed_s\":{elapsed},{}",
             report::json_escape(&job.model_ref),
             &body[1..]
         ),
@@ -280,6 +409,7 @@ fn execute(job: &Job) -> String {
 /// with the `run_summary` record.
 fn serve_connection(
     session: &Arc<CheckSession>,
+    obs: &Arc<ServerObs>,
     tx: &mpsc::Sender<Job>,
     stream: TcpStream,
 ) -> std::io::Result<()> {
@@ -293,7 +423,7 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        if let Err(reply) = handle_request(session, tx, &conn, &mut models, &line) {
+        if let Err(reply) = handle_request(session, obs, tx, &conn, &mut models, &line) {
             conn.failures.fetch_add(1, Ordering::Relaxed);
             conn.write_line(&format!(
                 "{{\"error\":\"{}\",\"error_kind\":\"request\"}}",
@@ -302,12 +432,14 @@ fn serve_connection(
         }
     }
     // Client closed its write half: drain in-flight checks, then seal the
-    // stream with the same terminal record a `--trace` file ends with.
+    // stream with the same terminal record a `--trace` file ends with
+    // (plus the connection's wall time).
     conn.wait_idle();
     conn.write_line(&format!(
-        "{{\"kind\":\"run_summary\",\"formulas\":{},\"failures\":{}}}",
+        "{{\"kind\":\"run_summary\",\"formulas\":{},\"failures\":{},\"elapsed_s\":{}}}",
         conn.formulas.load(Ordering::Relaxed),
-        conn.failures.load(Ordering::Relaxed)
+        conn.failures.load(Ordering::Relaxed),
+        report::json_f64(conn.started.elapsed().as_secs_f64())
     ));
     Ok(())
 }
@@ -316,11 +448,14 @@ fn serve_connection(
 /// malformed or unserviceable request.
 fn handle_request(
     session: &Arc<CheckSession>,
+    obs: &Arc<ServerObs>,
     tx: &mpsc::Sender<Job>,
     conn: &Arc<ConnState>,
     models: &mut BTreeMap<String, ModelHandle>,
     line: &str,
 ) -> Result<(), String> {
+    // devlint::allow(D002): synchronous requests are timed for the latency histograms only
+    let started = Instant::now();
     let request = json::parse(line).map_err(|e| e.to_string())?;
     if let Some(load) = request.get("load") {
         let field = |name: &str| -> Result<&str, String> {
@@ -339,6 +474,7 @@ fn handle_request(
             handle.mrm().ctmc().rates().nnz(),
             handle.content_hash()
         ));
+        obs.observe("load", started.elapsed().as_secs_f64(), &model_ref);
         models.insert(model_ref, handle);
         return Ok(());
     }
@@ -369,6 +505,7 @@ fn handle_request(
             options,
             metrics,
             conn: conn.clone(),
+            obs: obs.clone(),
         });
         if sent.is_err() {
             conn.job_done();
@@ -377,10 +514,24 @@ fn handle_request(
         return Ok(());
     }
     if request.get("stats").is_some() {
-        conn.write_line(&render_stats(&session.stats()));
+        conn.write_line(&render_stats(
+            &session.stats(),
+            obs.uptime_s(),
+            &obs.latency_json(),
+        ));
+        obs.observe("stats", started.elapsed().as_secs_f64(), "");
         return Ok(());
     }
-    Err("request must contain `load`, `check`, or `stats`".to_string())
+    if request.get("metrics").is_some() {
+        let text = obs.exposition(&session.stats());
+        conn.write_line(&format!(
+            "{{\"metrics\":\"{}\"}}",
+            report::json_escape(&text)
+        ));
+        obs.observe("metrics", started.elapsed().as_secs_f64(), "");
+        return Ok(());
+    }
+    Err("request must contain `load`, `check`, `stats`, or `metrics`".to_string())
 }
 
 /// Build [`CheckOptions`] from a request's `options` object. Returns the
@@ -526,20 +677,31 @@ pub fn connect_with_retry(addr: &str, attempts: u32) -> std::io::Result<TcpStrea
 
 /// Render the `stats` reply line. The field order is part of the wire
 /// contract — conformance clients and CI greps match on it — so it is
-/// pinned here (and by a regression test below), in the exact order the
-/// fields leave [`CheckSession::stats`].
-fn render_stats(stats: &SessionStats) -> String {
+/// pinned here (and by a regression test below): first the session
+/// counters in the exact order the fields leave [`CheckSession::stats`],
+/// then the latency observability suffix (`uptime_s`, `sat_hit_ratio`,
+/// `latency`) appended behind them.
+fn render_stats(stats: &SessionStats, uptime_s: f64, latency_json: &str) -> String {
+    let lookups = stats.sat_cache_hits + stats.sat_cache_misses;
+    let sat_hit_ratio = if lookups == 0 {
+        0.0
+    } else {
+        stats.sat_cache_hits as f64 / lookups as f64
+    };
     format!(
         "{{\"stats\":{{\"requests\":{},\"models_loaded\":{},\"sat_cache_hits\":{},\
          \"sat_cache_misses\":{},\"cert_cache_hits\":{},\"omega_cache_entries\":{},\
-         \"omega_cache_hits\":{}}}}}",
+         \"omega_cache_hits\":{},\"uptime_s\":{},\"sat_hit_ratio\":{},\"latency\":{}}}}}",
         stats.requests,
         stats.models_loaded,
         stats.sat_cache_hits,
         stats.sat_cache_misses,
         stats.cert_cache_hits,
         stats.omega_cache_entries,
-        stats.omega_cache_hits
+        stats.omega_cache_hits,
+        report::json_f64(uptime_s),
+        report::json_f64(sat_hit_ratio),
+        latency_json
     )
 }
 
@@ -553,7 +715,7 @@ mod tests {
             requests: 1,
             models_loaded: 2,
             sat_cache_hits: 3,
-            sat_cache_misses: 4,
+            sat_cache_misses: 1,
             cert_cache_hits: 5,
             omega_cache_entries: 6,
             omega_cache_hits: 7,
@@ -561,13 +723,53 @@ mod tests {
         };
         // Byte-exact wire contract: conformance clients and CI greps
         // parse this line positionally. Any reordering is a breaking
-        // protocol change and must fail here first.
+        // protocol change and must fail here first. The latency suffix
+        // is part of the pinned order too (3 hits / 1 miss = 0.75).
         assert_eq!(
-            render_stats(&stats),
+            render_stats(&stats, 0.5, "{}"),
             "{\"stats\":{\"requests\":1,\"models_loaded\":2,\"sat_cache_hits\":3,\
-             \"sat_cache_misses\":4,\"cert_cache_hits\":5,\"omega_cache_entries\":6,\
-             \"omega_cache_hits\":7}}"
+             \"sat_cache_misses\":1,\"cert_cache_hits\":5,\"omega_cache_entries\":6,\
+             \"omega_cache_hits\":7,\"uptime_s\":5e-1,\"sat_hit_ratio\":7.5e-1,\
+             \"latency\":{}}}"
         );
+    }
+
+    #[test]
+    fn server_obs_feeds_histograms_stats_and_exposition() {
+        let obs = ServerObs::new(0.0);
+        obs.observe("check", 0.5e-3, "S(> 0.5) (up)");
+        obs.observe("check", 1.5e-3, "S(> 0.5) (up)");
+        obs.observe("stats", 1e-6, "");
+        let latency = obs.latency_json();
+        assert!(latency.starts_with("{\"check\":{\"count\":2,"), "{latency}");
+        assert!(latency.contains("\"stats\":{\"count\":1,"), "{latency}");
+
+        let stats = SessionStats {
+            requests: 4,
+            models_loaded: 1,
+            sat_cache_hits: 0,
+            sat_cache_misses: 0,
+            cert_cache_hits: 0,
+            omega_cache_entries: 0,
+            omega_cache_hits: 0,
+            scc_cache_hits: 0,
+        };
+        // Zero lookups must not divide by zero.
+        let line = render_stats(&stats, 1.0, &latency);
+        assert!(line.contains("\"sat_hit_ratio\":0e0"), "{line}");
+        json::parse(&line).expect("stats reply parses");
+
+        let text = obs.exposition(&stats);
+        assert!(text.contains("# TYPE mrmc_requests counter\nmrmc_requests 4\n"));
+        assert!(text.contains("# TYPE mrmc_sat_cache_hits counter\n"));
+        assert!(text.contains("# TYPE mrmc_uptime_seconds gauge\n"));
+        assert!(text.contains("# TYPE mrmc_request_seconds histogram\n"));
+        assert!(
+            text.contains("mrmc_request_seconds_bucket{kind=\"check\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("mrmc_request_seconds_count{kind=\"check\"} 2"));
+        assert!(text.contains("mrmc_request_seconds_count{kind=\"stats\"} 1"));
     }
 
     #[test]

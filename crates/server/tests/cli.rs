@@ -303,6 +303,136 @@ fn json_output_carries_budget_fields() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The timing fields lead every `--json` line in a pinned order:
+/// `{"elapsed_s":E,` bare, or `{"elapsed_s":E,"phase_times":{…},` under
+/// `--metrics` — followed by the unchanged one-shot body starting at
+/// `"formula"`. Scripts may rely on this prefix byte-for-byte.
+#[test]
+fn json_output_leads_with_the_pinned_timing_prefix() {
+    let dir = temp_dir("elapsed");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let (stdout, stderr, code) = run_mrmc_code(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "--json",
+        ],
+        "S(> 0.5) (up)\n",
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    let line = stdout.lines().next().expect("one JSON line");
+    assert!(line.starts_with("{\"elapsed_s\":"), "{line}");
+    let elapsed: f64 = line["{\"elapsed_s\":".len()..]
+        .split(',')
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("elapsed_s is not a number: {line}"));
+    assert!(elapsed >= 0.0 && elapsed.is_finite(), "{line}");
+    // The body after the prefix is the unchanged one-shot object.
+    assert!(line.contains(",\"formula\":\"S(> 0.5) (up)\","), "{line}");
+
+    // Under --metrics the prefix gains phase_times, before `formula`.
+    let (stdout, _, code) = run_mrmc_code(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "--json",
+            "--metrics",
+        ],
+        "S(> 0.5) (up)\n",
+    );
+    assert_eq!(code, Some(0));
+    let line = stdout.lines().next().expect("one JSON line");
+    assert!(line.starts_with("{\"elapsed_s\":"), "{line}");
+    let phase_idx = line
+        .find(",\"phase_times\":{")
+        .expect("phase_times present");
+    let formula_idx = line.find(",\"formula\":").expect("formula present");
+    assert!(phase_idx < formula_idx, "{line}");
+    assert!(line.contains("\"phase_times\":{\"engine\":"), "{line}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--profile` prints the flame table to stderr; `--profile=FILE` also
+/// writes the JSON profile, whose span tree keeps children within their
+/// parents' totals.
+#[test]
+fn profile_flag_writes_flame_table_and_json_tree() {
+    let dir = temp_dir("profile");
+    let [tra, lab, rewr, rewi] = write_tmr_like_model(&dir);
+    let profile_path = dir.join("prof.json");
+    let profile_arg = format!("--profile={}", profile_path.display());
+    let (stdout, stderr, code) = run_mrmc_code(
+        &[
+            tra.to_str().unwrap(),
+            lab.to_str().unwrap(),
+            rewr.to_str().unwrap(),
+            rewi.to_str().unwrap(),
+            "--json",
+            &profile_arg,
+        ],
+        "P(> 0.1) [TT U[0,1][0,10] failed]\nS(> 0.5) (up)\n",
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}\nstdout: {stdout}");
+    // Flame table on stderr: header plus the top-level checker phases.
+    assert!(stderr.contains("wall-time profile:"), "{stderr}");
+    assert!(stderr.contains("phase"), "{stderr}");
+    assert!(stderr.contains("engine"), "{stderr}");
+    // stdout stays a clean JSONL stream.
+    for line in stdout.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    // The JSON profile parses, has the pinned envelope, and never lets a
+    // child total exceed its parent.
+    let text = std::fs::read_to_string(&profile_path).expect("profile written");
+    assert!(text.starts_with("{\"total_s\":"), "{text}");
+    let doc = mrmc_server::json::parse(&text).expect("profile JSON parses");
+    fn check_nodes(nodes: &[mrmc_server::json::Value]) {
+        for node in nodes {
+            let total = node
+                .get("total_s")
+                .and_then(mrmc_server::json::Value::as_f64)
+                .expect("total_s");
+            let self_s = node
+                .get("self_s")
+                .and_then(mrmc_server::json::Value::as_f64)
+                .expect("self_s");
+            assert!(self_s >= 0.0 && self_s <= total + 1e-9);
+            let Some(mrmc_server::json::Value::Arr(children)) = node.get("children") else {
+                panic!("no children array");
+            };
+            let child_total: f64 = children
+                .iter()
+                .map(|c| {
+                    c.get("total_s")
+                        .and_then(mrmc_server::json::Value::as_f64)
+                        .unwrap()
+                })
+                .sum();
+            assert!(child_total <= total + 1e-9, "children exceed parent");
+            check_nodes(children);
+        }
+    }
+    let Some(mrmc_server::json::Value::Arr(spans)) = doc.get("spans") else {
+        panic!("no spans array: {text}");
+    };
+    assert!(!spans.is_empty(), "empty span tree: {text}");
+    check_nodes(spans);
+    assert!(
+        doc.get("histograms")
+            .and_then(|h| h.get("engine"))
+            .and_then(|h| h.get("count"))
+            .and_then(mrmc_server::json::Value::as_u64)
+            .is_some_and(|n| n >= 2),
+        "engine histogram missing: {text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn no_reduction_flag_disables_the_lumping_quotient() {
     // A diamond with twin mid states: lumpable 4 -> 3 for a steady-state

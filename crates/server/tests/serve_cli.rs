@@ -108,21 +108,22 @@ fn serve_then_batch_roundtrip_with_cache_hits() {
         lines[0].starts_with("{\"loaded\":\"m\",\"states\":3,\"transitions\":4,"),
         "{lines:#?}"
     );
-    assert_eq!(
-        lines.last().map(String::as_str),
-        Some("{\"kind\":\"run_summary\",\"formulas\":2,\"failures\":0}"),
+    assert!(
+        lines.last().is_some_and(|l| l
+            .starts_with("{\"kind\":\"run_summary\",\"formulas\":2,\"failures\":0,\"elapsed_s\":")),
         "{lines:#?}"
     );
-    // Both checks answered, byte-identical apart from the id.
+    // Both checks answered, byte-identical apart from the correlation
+    // prefix (id and per-request elapsed_s).
     let answer = |id: &str| {
-        lines
+        let line = lines
             .iter()
             .find(|l| l.starts_with(&format!("{{\"id\":{id},")))
-            .unwrap_or_else(|| panic!("no answer for id {id}: {lines:#?}"))
-            .split_once(',')
-            .unwrap()
-            .1
-            .to_string()
+            .unwrap_or_else(|| panic!("no answer for id {id}: {lines:#?}"));
+        let idx = line
+            .find("\"formula\":")
+            .unwrap_or_else(|| panic!("unexpected framing: {line}"));
+        line[idx..].to_string()
     };
     assert_eq!(answer("1"), answer("2"));
     assert!(answer("1").contains("\"formula\":\"S(> 0.5) (up)\""));
@@ -188,9 +189,9 @@ fn batch_reports_failures_in_exit_code() {
             .any(|l| l.contains("no model loaded under the ref `absent`")),
         "{lines:#?}"
     );
-    assert_eq!(
-        lines.last().map(String::as_str),
-        Some("{\"kind\":\"run_summary\",\"formulas\":2,\"failures\":2}"),
+    assert!(
+        lines.last().is_some_and(|l| l
+            .starts_with("{\"kind\":\"run_summary\",\"formulas\":2,\"failures\":2,\"elapsed_s\":")),
         "{lines:#?}"
     );
     assert!(server.wait().unwrap().success());

@@ -47,11 +47,13 @@ fn write_model_files(dir: &Path) -> [std::path::PathBuf; 4] {
 }
 
 /// What one client observed: formula → answer bytes (with the
-/// correlation prefix stripped), plus the `sat_cache_hits` values seen
-/// through its interleaved `stats` probes, in request order.
+/// correlation prefix stripped), plus the `sat_cache_hits` and per-kind
+/// latency-histogram counts seen through its interleaved `stats`
+/// probes, in request order.
 struct ClientView {
     answers: BTreeMap<String, String>,
     hits_seen: Vec<u64>,
+    check_counts_seen: Vec<u64>,
 }
 
 fn stats_field(line: &str, field: &str) -> u64 {
@@ -61,6 +63,19 @@ fn stats_field(line: &str, field: &str) -> u64 {
         .and_then(|s| s.get(field))
         .and_then(json::Value::as_u64)
         .unwrap_or_else(|| panic!("stats line lacks {field}: {line}"))
+}
+
+/// The observation count of the per-request-kind latency histogram in a
+/// `stats` reply, or 0 if no request of that kind has been timed yet.
+fn latency_count(line: &str, kind: &str) -> u64 {
+    json::parse(line)
+        .unwrap_or_else(|e| panic!("bad stats line: {e}\n{line}"))
+        .get("stats")
+        .and_then(|s| s.get("latency"))
+        .and_then(|l| l.get(kind))
+        .and_then(|h| h.get("count"))
+        .and_then(json::Value::as_u64)
+        .unwrap_or(0)
 }
 
 /// Drive one client: load the model, then `ROUNDS` passes over the
@@ -99,24 +114,28 @@ fn run_client(addr: &str, client: usize, paths: &[std::path::PathBuf; 4]) -> Cli
     let mut view = ClientView {
         answers: BTreeMap::new(),
         hits_seen: Vec::new(),
+        check_counts_seen: Vec::new(),
     };
     let mut summary = None;
     for line in BufReader::new(stream).lines() {
         let line = line.expect("read response");
         if line.starts_with("{\"stats\":") {
             view.hits_seen.push(stats_field(&line, "sat_cache_hits"));
+            view.check_counts_seen.push(latency_count(&line, "check"));
         } else if line.starts_with("{\"kind\":\"run_summary\"") {
             summary = Some(line);
         } else if line.starts_with("{\"id\":") {
             let parsed = json::parse(&line).unwrap();
             let id = parsed.get("id").and_then(json::Value::as_u64).unwrap();
             let formula = &id_to_formula[&id];
-            // Strip the correlation prefix; the remainder is the answer
-            // object all clients must agree on, byte for byte.
-            let prefix = format!("{{\"id\":{id},\"model\":\"tmr\",");
-            let body = line
-                .strip_prefix(prefix.as_str())
+            // Strip the correlation prefix (which carries the wall-clock
+            // `elapsed_s` and so differs between runs); the remainder,
+            // from the `formula` key on, is the answer object all clients
+            // must agree on, byte for byte.
+            let idx = line
+                .find("\"formula\":")
                 .unwrap_or_else(|| panic!("unexpected response framing: {line}"));
+            let body = &line[idx..];
             if let Some(previous) = view.answers.get(formula) {
                 assert_eq!(
                     previous, body,
@@ -128,21 +147,24 @@ fn run_client(addr: &str, client: usize, paths: &[std::path::PathBuf; 4]) -> Cli
             panic!("unexpected response line: {line}");
         }
     }
-    assert_eq!(
-        summary.as_deref(),
-        Some(
-            format!(
-                "{{\"kind\":\"run_summary\",\"formulas\":{},\"failures\":0}}",
-                ROUNDS * FORMULAS.len()
-            )
-            .as_str()
-        ),
-        "client {client} must end with a clean run_summary"
+    let summary = summary.unwrap_or_else(|| panic!("client {client} got no run_summary"));
+    let expected_prefix = format!(
+        "{{\"kind\":\"run_summary\",\"formulas\":{},\"failures\":0,\"elapsed_s\":",
+        ROUNDS * FORMULAS.len()
+    );
+    assert!(
+        summary.starts_with(&expected_prefix),
+        "client {client} must end with a clean run_summary: {summary}"
     );
     assert!(
         view.hits_seen.windows(2).all(|w| w[0] <= w[1]),
         "client {client} saw sat_cache_hits decrease: {:?}",
         view.hits_seen
+    );
+    assert!(
+        view.check_counts_seen.windows(2).all(|w| w[0] <= w[1]),
+        "client {client} saw the check-latency histogram count decrease: {:?}",
+        view.check_counts_seen
     );
     view
 }
@@ -151,7 +173,14 @@ fn run_client(addr: &str, client: usize, paths: &[std::path::PathBuf; 4]) -> Cli
 /// map after asserting every client observed the same answers.
 fn run_soak(dir: &Path) -> BTreeMap<String, String> {
     let paths = write_model_files(dir);
-    let server = Server::bind("127.0.0.1:0", ServerConfig { workers: 4 }).unwrap();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
     let addr = server.local_addr().unwrap().to_string();
     // One enclosing scope owns every thread of the soak: the server
     // (with one extra connection slot for the post-soak stats probe),

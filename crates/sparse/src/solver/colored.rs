@@ -143,6 +143,7 @@ pub fn gauss_seidel_colored(
     // enough that the per-chunk send amortizes.
     const MIN_CHUNK: usize = 64;
 
+    let _span = mrmc_obs::span("solver");
     let mut x = x0.to_vec();
     let mut residual = f64::INFINITY;
     for iteration in 1..=options.max_iterations {

@@ -71,6 +71,7 @@ pub fn gauss_seidel(
         }
     }
 
+    let _span = mrmc_obs::span("solver");
     let mut x = x0.to_vec();
     let mut residual = f64::INFINITY;
     for iteration in 1..=options.max_iterations {

@@ -41,6 +41,7 @@ pub fn power_iteration(
         return Err(SolveError::Singular);
     }
 
+    let _span = mrmc_obs::span("solver");
     let mut residual = f64::INFINITY;
     for iteration in 1..=options.max_iterations {
         let mut next = p.vec_mul(&x);

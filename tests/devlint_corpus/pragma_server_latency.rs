@@ -1,0 +1,18 @@
+// virtual-path: crates/server/src/request_timing.rs
+// expect: D002
+//
+// The server's request path is inside D002 scope: wall-clock reads that
+// feed latency observability must carry a reasoned pragma (the real
+// crates/server/src/lib.rs does exactly this), while a bare read in the
+// same file still fires. Not compiled — scanned by the devlint corpus
+// test under the virtual path above.
+
+fn timed_request_dispatch() -> f64 {
+    // devlint::allow(D002): wall time feeds the latency histogram only, never the result
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}
+
+fn bare_clock_read_still_fires() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}

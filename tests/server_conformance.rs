@@ -253,7 +253,14 @@ fn talk(server_addr: &str, requests: &[String]) -> Vec<String> {
 fn wire_batches_embed_the_one_shot_json_objects() {
     let dir = std::env::temp_dir().join(format!("mrmc-conf-wire-{}", std::process::id()));
     for threads in [1usize, 4] {
-        let server = Server::bind("127.0.0.1:0", ServerConfig { workers: threads }).unwrap();
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: threads,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
         let addr = server.local_addr().unwrap().to_string();
 
         let mut requests = Vec::new();
@@ -291,12 +298,12 @@ fn wire_batches_embed_the_one_shot_json_objects() {
         });
 
         let last = responses.last().expect("nonempty response stream");
-        assert_eq!(
-            last,
-            &format!(
-                "{{\"kind\":\"run_summary\",\"formulas\":{},\"failures\":0}}",
+        assert!(
+            last.starts_with(&format!(
+                "{{\"kind\":\"run_summary\",\"formulas\":{},\"failures\":0,\"elapsed_s\":",
                 expected.len()
-            )
+            )) && last.ends_with('}'),
+            "malformed run_summary: {last}"
         );
         // Responses arrive in completion order; correlate by id. Each line
         // must END with the one-shot JSON object, byte for byte (only the

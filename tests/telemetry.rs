@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use mrmc::{CheckOptions, CheckOutcome, ModelChecker};
 use mrmc_mrm::Mrm;
-use mrmc_obs::{JsonlTraceRecorder, MetricsRecorder, NullRecorder};
+use mrmc_obs::{JsonlTraceRecorder, MetricsRecorder, NullRecorder, ProfileNode, ProfileRecorder};
 
 use mrmc_models::cluster::{cluster, ClusterConfig};
 use mrmc_models::random::{random_mrm, RandomMrmConfig};
@@ -37,9 +37,26 @@ fn check(mrm: &Mrm, threads: usize, formula: &str) -> CheckOutcome {
         .unwrap_or_else(|e| panic!("`{formula}` failed: {e}"))
 }
 
-/// Check every formula on `mrm` four ways — uninstrumented, under the
-/// null sink, under the metrics aggregator, and under a trace writer —
-/// at 1 and 4 worker threads, asserting bitwise-identical outcomes.
+/// A profile tree node's children must never account for more time than
+/// the node itself, and self time is non-negative by construction.
+fn assert_profile_invariants(node: &ProfileNode, ctx: &str) {
+    let child_total: f64 = node.children.iter().map(|c| c.total_s).sum();
+    assert!(
+        child_total <= node.total_s + 1e-9,
+        "{ctx}: phase `{}` children total {child_total} exceeds parent total {}",
+        node.name,
+        node.total_s
+    );
+    assert!(node.self_s >= 0.0, "{ctx}: negative self time");
+    for child in &node.children {
+        assert_profile_invariants(child, ctx);
+    }
+}
+
+/// Check every formula on `mrm` five ways — uninstrumented, under the
+/// null sink, under the metrics aggregator, under the wall-time profiler,
+/// and under a trace writer — at 1 and 4 worker threads, asserting
+/// bitwise-identical outcomes.
 fn assert_recording_is_invisible(name: &str, mrm: &Mrm, formulas: &[&str]) {
     for threads in [1usize, 4] {
         for (i, formula) in formulas.iter().enumerate() {
@@ -56,6 +73,22 @@ fn assert_recording_is_invisible(name: &str, mrm: &Mrm, formulas: &[&str]) {
                 plain, metered,
                 "metrics recorder changed the outcome: {ctx}"
             );
+
+            let profiler = Arc::new(ProfileRecorder::new());
+            let profiled =
+                mrmc_obs::with_recorder(profiler.clone(), || check(mrm, threads, formula));
+            assert_eq!(
+                plain, profiled,
+                "profile recorder changed the outcome: {ctx}"
+            );
+            // While we're here: the reconstructed tree is structurally
+            // sound — engines always emit spans, and a child phase can
+            // never out-total its parent.
+            let report = profiler.report();
+            assert!(!report.roots.is_empty(), "no spans recorded: {ctx}");
+            for root in &report.roots {
+                assert_profile_invariants(root, &ctx);
+            }
 
             let path = std::env::temp_dir().join(format!(
                 "mrmc-telemetry-{name}-{threads}-{i}-{}.jsonl",
